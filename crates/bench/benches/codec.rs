@@ -1,0 +1,136 @@
+//! Experiment A1: serialization ablation.
+//!
+//! "Most of the performance benefits of our prototype come from its use of
+//! a custom serialization format designed for non-versioned data exchange"
+//! (§6.1). This bench measures encode and decode of representative boutique
+//! messages across the three formats that share every other implementation
+//! detail (buffers, varints, reader).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use boutique::types::{CartItem, Money, OrderItem, OrderResult, Product};
+use weaver_codec::json::{FromJson, ToJson};
+use weaver_codec::prelude::*;
+use weaver_codec::tagged;
+use weaver_macros::WeaverData;
+
+fn product(i: u32) -> Product {
+    Product {
+        id: format!("PRODUCT-{i:04}"),
+        name: format!("Product number {i}"),
+        description: "A modern touch for your outfits, kitchens, and bicycles alike.".into(),
+        picture: format!("/static/img/products/{i}.jpg"),
+        price: Money::new("USD", i64::from(i) * 3 + 5, 990_000_000),
+        categories: vec!["accessories".into(), "kitchen".into()],
+    }
+}
+
+#[derive(Debug, Default, PartialEq, Clone, WeaverData)]
+struct CatalogResponse {
+    products: Vec<Product>,
+}
+
+fn order() -> OrderResult {
+    OrderResult {
+        order_id: "order-0000000042".into(),
+        shipping_tracking_id: "USAC-0000000042-94043".into(),
+        shipping_cost: Money::new("USD", 8, 970_000_000),
+        shipping_address: Default::default(),
+        items: (0..4)
+            .map(|i| OrderItem {
+                item: CartItem {
+                    product_id: format!("PRODUCT-{i:04}"),
+                    quantity: i + 1,
+                },
+                cost: Money::new("USD", 19, 990_000_000),
+            })
+            .collect(),
+        total: Money::new("USD", 170, 890_000_000),
+    }
+}
+
+fn bench_catalog(c: &mut Criterion) {
+    let response = CatalogResponse {
+        products: (0..12).map(product).collect(),
+    };
+    let wire = encode_to_vec(&response);
+    let tagged_bytes = tagged::encode_message(&response);
+    let json_text = response.to_json_string();
+
+    let mut group = c.benchmark_group("codec/catalog_response");
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+
+    group.bench_function(BenchmarkId::new("encode", "weaver"), |b| {
+        b.iter(|| encode_to_vec(std::hint::black_box(&response)))
+    });
+    group.bench_function(BenchmarkId::new("encode", "tagged"), |b| {
+        b.iter(|| tagged::encode_message(std::hint::black_box(&response)))
+    });
+    group.bench_function(BenchmarkId::new("encode", "json"), |b| {
+        b.iter(|| std::hint::black_box(&response).to_json_string())
+    });
+
+    group.bench_function(BenchmarkId::new("decode", "weaver"), |b| {
+        b.iter(|| decode_from_slice::<CatalogResponse>(std::hint::black_box(&wire)).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("decode", "tagged"), |b| {
+        b.iter(|| {
+            tagged::decode_message::<CatalogResponse>(std::hint::black_box(&tagged_bytes)).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("decode", "json"), |b| {
+        b.iter(|| CatalogResponse::from_json_str(std::hint::black_box(&json_text)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_order(c: &mut Criterion) {
+    let order = order();
+    let wire = encode_to_vec(&order);
+    let tagged_bytes = tagged::encode_message(&order);
+    let json_text = order.to_json_string();
+
+    let mut group = c.benchmark_group("codec/order_result");
+    group.bench_function(BenchmarkId::new("roundtrip", "weaver"), |b| {
+        b.iter(|| {
+            let bytes = encode_to_vec(std::hint::black_box(&order));
+            decode_from_slice::<OrderResult>(&bytes).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("roundtrip", "tagged"), |b| {
+        b.iter(|| {
+            let bytes = tagged::encode_message(std::hint::black_box(&order));
+            tagged::decode_message::<OrderResult>(&bytes).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("roundtrip", "json"), |b| {
+        b.iter(|| {
+            let text = std::hint::black_box(&order).to_json_string();
+            OrderResult::from_json_str(&text).unwrap()
+        })
+    });
+    group.finish();
+
+    // Report encoded sizes once (visible with --verbose or in stdout).
+    println!(
+        "encoded sizes — weaver: {} B, tagged: {} B, json: {} B",
+        wire.len(),
+        tagged_bytes.len(),
+        json_text.len()
+    );
+}
+
+fn quick() -> Criterion {
+    // Bounded runtimes: CI-friendly while still statistically useful.
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_catalog, bench_order
+}
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Experiment A2: transport ablation.
+//!
+//! "…as well as its use of a streamlined transport protocol built directly
+//! on top of TCP" (§6.1). Round-trip and frame-size comparison of the
+//! weaver framing vs. the HTTP/2-like baseline over loopback, plus the
+//! in-process path (what co-located calls avoid entirely).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use weaver_transport::inproc::InprocNetwork;
+use weaver_transport::{
+    Connection, Framing, GrpcLikeFraming, RequestHeader, ResponseBody, RpcHandler, Server,
+    Status, WeaverFraming,
+};
+
+fn echo_handler(response_bytes: usize) -> Arc<dyn RpcHandler> {
+    let payload = vec![7u8; response_bytes];
+    Arc::new(move |_h: RequestHeader, _a: &[u8]| ResponseBody {
+        status: Status::Ok,
+        payload: payload.clone(),
+    })
+}
+
+fn header() -> RequestHeader {
+    RequestHeader {
+        component: 3,
+        method: 1,
+        version: 1,
+        deadline_nanos: 5_000_000_000,
+        trace_id: 0xfeed,
+        span_id: 0xbeef,
+        routing: None,
+    }
+}
+
+fn bench_rtt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport/rtt");
+    for &response_bytes in &[128usize, 4096] {
+        let weaver_server =
+            Server::<WeaverFraming>::bind("127.0.0.1:0", 2, echo_handler(response_bytes))
+                .expect("bind weaver server");
+        let weaver_conn =
+            Connection::<WeaverFraming>::connect(weaver_server.local_addr()).expect("connect");
+
+        let grpc_server =
+            Server::<GrpcLikeFraming>::bind("127.0.0.1:0", 2, echo_handler(response_bytes))
+                .expect("bind grpc-like server");
+        let grpc_conn =
+            Connection::<GrpcLikeFraming>::connect(grpc_server.local_addr()).expect("connect");
+
+        let request = vec![1u8; 128];
+        let h = header();
+
+        group.throughput(Throughput::Bytes(response_bytes as u64));
+        group.bench_function(BenchmarkId::new("weaver", response_bytes), |b| {
+            b.iter(|| {
+                weaver_conn
+                    .call(&h, &request, Some(Duration::from_secs(5)))
+                    .expect("weaver call")
+            })
+        });
+        group.bench_function(BenchmarkId::new("grpc_like", response_bytes), |b| {
+            b.iter(|| {
+                grpc_conn
+                    .call(&h, &request, Some(Duration::from_secs(5)))
+                    .expect("grpc-like call")
+            })
+        });
+
+        // In-process: full marshaling, no socket.
+        let net = InprocNetwork::new();
+        net.register("echo", echo_handler(response_bytes));
+        group.bench_function(BenchmarkId::new("inproc", response_bytes), |b| {
+            b.iter(|| net.call("echo", &h, &request, None).expect("inproc call"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_frame_sizes(c: &mut Criterion) {
+    // Not a timing bench: measures bytes-on-wire per call for both
+    // framings (encode only, no I/O).
+    let mut group = c.benchmark_group("transport/encode_frame");
+    let h = header();
+    let args = vec![0u8; 256];
+
+    group.bench_function("weaver", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(512);
+            WeaverFraming::write_request(&mut out, 1, &h, &args);
+            out
+        })
+    });
+    group.bench_function("grpc_like", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(1024);
+            GrpcLikeFraming::write_request(&mut out, 1, &h, &args);
+            out
+        })
+    });
+    group.finish();
+
+    let mut weaver_frame = Vec::new();
+    WeaverFraming::write_request(&mut weaver_frame, 1, &h, &args);
+    let mut grpc_frame = Vec::new();
+    GrpcLikeFraming::write_request(&mut grpc_frame, 1, &h, &args);
+    println!(
+        "request frame sizes (256 B payload) — weaver: {} B, grpc-like: {} B",
+        weaver_frame.len(),
+        grpc_frame.len()
+    );
+}
+
+fn quick() -> Criterion {
+    // Bounded runtimes: CI-friendly while still statistically useful.
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_rtt, bench_frame_sizes
+}
+criterion_main!(benches);

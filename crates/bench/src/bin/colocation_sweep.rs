@@ -1,0 +1,109 @@
+//! Experiment A3: the co-location sweep.
+//!
+//! The paper reports the two endpoints — no co-location (Table 2) and all
+//! eleven components in one process (§6.1 follow-up) — and argues the
+//! runtime should pick placements in between using the call graph (§5.1).
+//! This sweep fills in the curve: cores and median latency as successively
+//! chattier component pairs are fused, in the order the
+//! `weaver-placement` optimizer would fuse them.
+
+use weaver_placement::{colocate, ColocationConfig};
+use weaver_sim::engine::{run, SimConfig};
+use weaver_sim::queue::units;
+use weaver_sim::StackModel;
+
+/// Fusion order: the placement optimizer's view of the boutique call graph
+/// (chattiest edges first). Derived from the call trees' traffic volumes.
+fn fusion_order() -> Vec<Vec<usize>> {
+    use weaver_sim::boutique_model::services::*;
+    // Each entry is the colocate set at that sweep step.
+    vec![
+        vec![],                                        // 0 fused
+        vec![FRONTEND, CURRENCY],                      // currency is the chattiest peer
+        vec![FRONTEND, CURRENCY, CATALOG],
+        vec![FRONTEND, CURRENCY, CATALOG, CHECKOUT],
+        vec![FRONTEND, CURRENCY, CATALOG, CHECKOUT, CART],
+        vec![FRONTEND, CURRENCY, CATALOG, CHECKOUT, CART, RECOMMENDATION],
+        vec![FRONTEND, CURRENCY, CATALOG, CHECKOUT, CART, RECOMMENDATION, ADS],
+        vec![FRONTEND, CURRENCY, CATALOG, CHECKOUT, CART, RECOMMENDATION, ADS, SHIPPING],
+        vec![
+            FRONTEND, CURRENCY, CATALOG, CHECKOUT, CART, RECOMMENDATION, ADS, SHIPPING, PAYMENT,
+        ],
+        vec![
+            FRONTEND, CURRENCY, CATALOG, CHECKOUT, CART, RECOMMENDATION, ADS, SHIPPING, PAYMENT,
+            EMAIL,
+        ],
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let qps: f64 = args
+        .iter()
+        .position(|a| a == "--qps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000.0);
+
+    println!("A3: co-location sweep at {qps:.0} QPS (weaver stack, simulated cluster)");
+    println!(
+        "{:<10} {:>8} {:>12} {:>9}",
+        "fused", "cores", "median (ms)", "p99 (ms)"
+    );
+    for group in fusion_order() {
+        let mut config = SimConfig::boutique(qps, StackModel::weaver());
+        config.duration = 10 * units::S;
+        config.warmup = 8 * units::S;
+        let label = if group.len() < 2 {
+            "none".to_string()
+        } else {
+            group.len().to_string()
+        };
+        if group.len() >= 2 {
+            config.colocate = vec![group];
+        }
+        let report = run(&config);
+        println!(
+            "{:<10} {:>8.1} {:>12.2} {:>9.2}",
+            label,
+            report.mean_cores,
+            report.median_ms(),
+            report.p99_ms()
+        );
+    }
+
+    // Show that the placement optimizer, fed the boutique call graph from a
+    // real (marshaled) run, picks the chatty pairs this sweep fuses first.
+    let registry = boutique::registry();
+    let app = weaver_runtime::SingleProcess::deploy(
+        registry,
+        weaver_runtime::SingleMode::Marshaled,
+        1,
+    );
+    let frontend = app.get::<dyn boutique::components::Frontend>().expect("frontend");
+    let report = boutique::loadgen::run_load(
+        frontend,
+        &boutique::loadgen::LoadOptions {
+            workers: 4,
+            duration: std::time::Duration::from_millis(500),
+            ..Default::default()
+        },
+    );
+    let graph = app.callgraph();
+    let groups = colocate(
+        &graph,
+        &ColocationConfig {
+            max_group_size: 4,
+            min_traffic: 10_000,
+            ..Default::default()
+        },
+    );
+    println!();
+    println!(
+        "placement optimizer on a live call graph ({} requests driven):",
+        report.requests
+    );
+    for group in groups.iter().filter(|g| g.len() > 1) {
+        println!("  fuse: {}", group.join(" + "));
+    }
+}

@@ -1,0 +1,158 @@
+//! Experiment A5: atomic rollouts vs. rolling updates (paper §4.4).
+//!
+//! "During a rolling update, machines running different versions of the
+//! code have to communicate with each other, which can lead to failures.
+//! \[78\] shows that the majority of update failures are caused by these
+//! cross-version interactions."
+//!
+//! The experiment is live, not analytical: version 2 of a "pricer" service
+//! adds a field to its request schema. Because the prototype's wire format
+//! is non-versioned (no field tags — that is where its speed comes from),
+//! any cross-version call **fails to decode**. We drive the same upgrade
+//! under the two strategies and count real decode failures:
+//!
+//! * **rolling update** — replicas upgrade one at a time; the load
+//!   balancer doesn't know about versions, so a request may hit a v2
+//!   frontend and a v1 pricer (or vice versa);
+//! * **atomic blue/green** — the rollout engine pins every request to one
+//!   version end to end while shifting traffic through stages.
+
+use weaver_codec::{decode_from_slice, encode_to_vec};
+use weaver_rollout::{RollingUpdate, Rollout, RolloutConfig, RolloutPhase};
+
+/// Version 1 request schema.
+fn encode_v1(product: &str) -> Vec<u8> {
+    encode_to_vec(&(product.to_string(),))
+}
+
+/// Version 2 added a currency field — same method id, new schema.
+fn encode_v2(product: &str) -> Vec<u8> {
+    encode_to_vec(&(product.to_string(), "USD".to_string()))
+}
+
+/// The pricer's decoder for each version. Returns whether decoding worked.
+fn decode_as(version: u64, bytes: &[u8]) -> bool {
+    match version {
+        1 => decode_from_slice::<(String,)>(bytes).is_ok(),
+        _ => decode_from_slice::<(String, String)>(bytes).is_ok(),
+    }
+}
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+fn main() {
+    let requests_per_step = 20_000u64;
+
+    println!("A5: upgrade strategies vs. real decode failures (non-versioned wire format)");
+    println!();
+    println!("rolling update (4 frontend + 4 pricer replicas, upgraded one by one):");
+    println!(
+        "{:<6} {:>10} {:>12} {:>12} {:>12}",
+        "step", "upgraded", "mix prob", "errors", "error rate"
+    );
+
+    let mut rolling = RollingUpdate::new(1, 2, &[4, 4]);
+    let mut rng_state = 0x5eed_5eed_5eed_5eedu64;
+    let mut total_rolling_errors = 0u64;
+    let mut step = 0;
+    loop {
+        let mut errors = 0u64;
+        for _ in 0..requests_per_step {
+            let frontend_version = rolling.route(0, xorshift(&mut rng_state));
+            let pricer_version = rolling.route(1, xorshift(&mut rng_state));
+            // The frontend encodes with its version's schema; the pricer
+            // decodes with its own. This is the actual codec running.
+            let bytes = if frontend_version == 1 {
+                encode_v1("OLJCESPC7Z")
+            } else {
+                encode_v2("OLJCESPC7Z")
+            };
+            if !decode_as(pricer_version, &bytes) {
+                errors += 1;
+            }
+        }
+        total_rolling_errors += errors;
+        println!(
+            "{:<6} {:>7}/8 {:>12.3} {:>12} {:>11.2}%",
+            step,
+            rolling.total_upgraded(),
+            rolling.mix_probability(),
+            errors,
+            errors as f64 / requests_per_step as f64 * 100.0
+        );
+        if !rolling.step() {
+            break;
+        }
+        step += 1;
+    }
+
+    println!();
+    println!("atomic blue/green (traffic pinned per request, staged 1% → 10% → 50% → 100%):");
+    println!(
+        "{:<6} {:>10} {:>12} {:>12}",
+        "tick", "new share", "errors", "phase"
+    );
+    let mut atomic = Rollout::new(1, 2, RolloutConfig::default());
+    let mut total_atomic_errors = 0u64;
+    let mut tick = 0;
+    loop {
+        let split = atomic.split();
+        let mut errors = 0u64;
+        for _ in 0..requests_per_step {
+            let request_key = xorshift(&mut rng_state);
+            // Atomicity: every hop of this request runs the same version.
+            let version = split.version_for(request_key);
+            let bytes = if version == 1 {
+                encode_v1("OLJCESPC7Z")
+            } else {
+                encode_v2("OLJCESPC7Z")
+            };
+            if !decode_as(version, &bytes) {
+                errors += 1;
+            }
+        }
+        total_atomic_errors += errors;
+        let phase = atomic.tick(errors as f64 / requests_per_step as f64);
+        println!(
+            "{:<6} {:>9.0}% {:>12} {:>12?}",
+            tick,
+            split.new_fraction * 100.0,
+            errors,
+            phase
+        );
+        if phase != RolloutPhase::Shifting {
+            break;
+        }
+        tick += 1;
+    }
+
+    println!();
+    println!(
+        "totals: rolling update {total_rolling_errors} decode failures, \
+         atomic rollout {total_atomic_errors}"
+    );
+    assert_eq!(total_atomic_errors, 0, "atomic rollouts must never mix versions");
+    assert!(
+        total_rolling_errors > 0,
+        "rolling updates over a non-versioned format must fail"
+    );
+
+    println!();
+    println!("bonus: a *health-gated* atomic rollout of a bad v2 rolls back:");
+    let mut bad = Rollout::new(1, 2, RolloutConfig::default());
+    // v2 is broken: 30% of its requests error. The first health tick at the
+    // 1% stage catches it.
+    let stage = bad.split().new_fraction;
+    let phase = bad.tick(0.30);
+    println!(
+        "  after one tick at {:.0}% traffic: {phase:?} (blast radius ≈ {:.0}% of requests)",
+        stage * 100.0,
+        stage * 100.0
+    );
+    assert_eq!(phase, RolloutPhase::RolledBack);
+}

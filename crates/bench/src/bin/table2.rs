@@ -1,0 +1,96 @@
+//! Regenerates **Table 2** (and the §6.1 co-location follow-up).
+//!
+//! Paper (GKE, Online Boutique, Locust at 10 000 QPS, HPA):
+//!
+//! ```text
+//! Metric               Our Prototype   Baseline
+//! QPS                        10000       10000
+//! Average Number of Cores       28          78
+//! Median Latency (ms)         2.66        5.47
+//! (all 11 co-located:  9 cores, 0.38 ms)
+//! ```
+//!
+//! This binary reproduces the experiment on the cluster simulator: same
+//! topology, same operation mix, same HPA control law, cost models for the
+//! two stacks taken from this repo's own codec/transport microbenchmarks
+//! (`cargo run -p bench --bin calibrate`). Run with `--colocate-all` to add
+//! the follow-up row explicitly, `--qps N` to move the operating point.
+
+use weaver_sim::engine::{run, SimConfig};
+use weaver_sim::queue::units;
+use weaver_sim::StackModel;
+
+fn row(label: &str, report: &weaver_sim::SimReport) {
+    println!(
+        "{label:<24} {qps:>8.0} {cores:>8.1} {median:>12.2} {p99:>9.2}",
+        qps = report.achieved_qps,
+        cores = report.mean_cores,
+        median = report.median_ms(),
+        p99 = report.p99_ms(),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let qps: f64 = args
+        .iter()
+        .position(|a| a == "--qps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000.0);
+    let seconds: u64 = args
+        .iter()
+        .position(|a| a == "--seconds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+
+    println!("Table 2 reproduction — Online Boutique at {qps:.0} QPS (simulated cluster)");
+    println!(
+        "{:<24} {:>8} {:>8} {:>12} {:>9}",
+        "configuration", "QPS", "cores", "median (ms)", "p99 (ms)"
+    );
+
+    let mut prototype = SimConfig::boutique(qps, StackModel::weaver());
+    prototype.duration = seconds * units::S;
+    let prototype_report = run(&prototype);
+    row("prototype (weaver)", &prototype_report);
+
+    let mut baseline = SimConfig::boutique(qps, StackModel::grpc_like());
+    baseline.duration = seconds * units::S;
+    let baseline_report = run(&baseline);
+    row("baseline (grpc-like)", &baseline_report);
+
+    let mut colocated = SimConfig::boutique_colocated(qps);
+    colocated.duration = seconds * units::S;
+    let colocated_report = run(&colocated);
+    row("prototype, all 11 co-located", &colocated_report);
+
+    // Extra row beyond the paper's table: the JSON-over-HTTP stack its
+    // introduction calls out as the heaviest status-quo format.
+    let mut json = SimConfig::boutique(qps, StackModel::json_like());
+    json.duration = seconds * units::S;
+    let json_report = run(&json);
+    row("baseline (json-like)", &json_report);
+
+    println!();
+    println!(
+        "cost ratio  baseline/prototype: {:.2}x (paper: 78/28 = 2.79x)",
+        baseline_report.mean_cores / prototype_report.mean_cores
+    );
+    println!(
+        "latency ratio baseline/prototype: {:.2}x (paper: 5.47/2.66 = 2.06x)",
+        baseline_report.median_ms() / prototype_report.median_ms()
+    );
+    println!(
+        "headline: latency {:.1}x lower, cost {:.1}x lower (paper: up to 15x / 9x)",
+        baseline_report.median_ms() / colocated_report.median_ms(),
+        baseline_report.mean_cores / colocated_report.mean_cores
+    );
+
+    println!();
+    println!("per-group cores (prototype):");
+    for (name, cores) in &prototype_report.cores_per_group {
+        println!("  {name:<18} {cores:>6.1}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Benchmark harness crate: one Criterion bench or binary per table/figure.
+//!
+//! | Target | Experiment |
+//! |---|---|
+//! | `--bin table2` | Table 2 + the §6.1 co-location follow-up (T2, T2b) |
+//! | `--bin colocation_sweep` | A3: cores/latency vs. number of co-located services |
+//! | `--bin affinity` | A4: affinity routing vs. unrouted cache hit rates |
+//! | `--bin rollout` | A5: atomic blue/green vs. rolling update under load |
+//! | `--bin calibrate` | measures local codec/transport costs backing the simulator presets |
+//! | `--bench codec` | A1: non-versioned vs. tagged vs. JSON encode/decode |
+//! | `--bench transport` | A2: weaver framing vs. gRPC-like framing RPC round-trips |
+//! | `--bench call_path` | end-to-end component call: colocated vs. marshaled vs. TCP |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -1,0 +1,43 @@
+//! The ads component.
+
+use std::sync::Arc;
+
+use weaver_core::component::Component;
+use weaver_core::context::{CallContext, InitContext};
+use weaver_core::error::WeaverError;
+use weaver_macros::component;
+
+use crate::logic::ads::AdServer;
+use crate::types::Ad;
+
+/// Contextual ads (the demo's `adservice`).
+#[component(name = "boutique.AdService")]
+pub trait AdService {
+    /// Up to two ads for the given context categories.
+    fn get_ads(&self, ctx: &CallContext, categories: Vec<String>) -> Result<Vec<Ad>, WeaverError>;
+}
+
+/// Implementation over the seeded inventory.
+pub struct AdServiceImpl {
+    server: AdServer,
+}
+
+impl AdService for AdServiceImpl {
+    fn get_ads(&self, _ctx: &CallContext, categories: Vec<String>) -> Result<Vec<Ad>, WeaverError> {
+        Ok(self.server.ads_for(&categories, 2))
+    }
+}
+
+impl Component for AdServiceImpl {
+    type Interface = dyn AdService;
+
+    fn init(_ctx: &InitContext<'_>) -> Result<Self, WeaverError> {
+        Ok(AdServiceImpl {
+            server: AdServer::seeded(),
+        })
+    }
+
+    fn into_interface(self: Arc<Self>) -> Arc<dyn AdService> {
+        self
+    }
+}

@@ -1,0 +1,75 @@
+//! The cart component — the boutique's routed component (§5.2).
+
+use std::sync::Arc;
+
+use weaver_core::component::Component;
+use weaver_core::context::{CallContext, InitContext};
+use weaver_core::error::WeaverError;
+use weaver_macros::component;
+
+use crate::logic::cart::CartStore;
+use crate::types::CartItem;
+
+/// Per-user shopping carts (the demo's `cartservice`).
+///
+/// Every method is `#[routed]` on `user_id`: all of a user's cart traffic
+/// lands on the same replica, so the per-replica in-memory store behaves
+/// like a redis-with-perfect-affinity — the paper's §5.2 example.
+#[component(name = "boutique.CartService")]
+pub trait CartService {
+    /// Adds an item to the user's cart, merging quantities.
+    #[routed]
+    fn add_item(&self, ctx: &CallContext, user_id: String, item: CartItem)
+        -> Result<(), WeaverError>;
+
+    /// The user's current cart.
+    #[routed]
+    fn get_cart(&self, ctx: &CallContext, user_id: String) -> Result<Vec<CartItem>, WeaverError>;
+
+    /// Empties the user's cart.
+    #[routed]
+    fn empty_cart(&self, ctx: &CallContext, user_id: String) -> Result<(), WeaverError>;
+}
+
+/// Implementation over the in-memory store.
+pub struct CartServiceImpl {
+    store: CartStore,
+}
+
+impl CartService for CartServiceImpl {
+    fn add_item(
+        &self,
+        _ctx: &CallContext,
+        user_id: String,
+        item: CartItem,
+    ) -> Result<(), WeaverError> {
+        if item.product_id.is_empty() {
+            return Err(WeaverError::app("cart item needs a product id"));
+        }
+        self.store.add_item(&user_id, item);
+        Ok(())
+    }
+
+    fn get_cart(&self, _ctx: &CallContext, user_id: String) -> Result<Vec<CartItem>, WeaverError> {
+        Ok(self.store.get_cart(&user_id))
+    }
+
+    fn empty_cart(&self, _ctx: &CallContext, user_id: String) -> Result<(), WeaverError> {
+        self.store.empty_cart(&user_id);
+        Ok(())
+    }
+}
+
+impl Component for CartServiceImpl {
+    type Interface = dyn CartService;
+
+    fn init(_ctx: &InitContext<'_>) -> Result<Self, WeaverError> {
+        Ok(CartServiceImpl {
+            store: CartStore::new(),
+        })
+    }
+
+    fn into_interface(self: Arc<Self>) -> Arc<dyn CartService> {
+        self
+    }
+}

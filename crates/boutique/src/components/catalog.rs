@@ -1,0 +1,65 @@
+//! The product catalog component.
+
+use std::sync::Arc;
+
+use weaver_core::component::Component;
+use weaver_core::context::{CallContext, InitContext};
+use weaver_core::error::WeaverError;
+use weaver_macros::component;
+
+use crate::logic::catalog::CatalogStore;
+use crate::types::Product;
+
+/// Read-only product catalog (the demo's `productcatalogservice`).
+#[component(name = "boutique.ProductCatalog")]
+pub trait ProductCatalog {
+    /// All products.
+    fn list_products(&self, ctx: &CallContext) -> Result<Vec<Product>, WeaverError>;
+
+    /// One product by id; `App` error if unknown.
+    fn get_product(&self, ctx: &CallContext, id: String) -> Result<Product, WeaverError>;
+
+    /// Substring search over names and descriptions.
+    fn search_products(&self, ctx: &CallContext, query: String)
+        -> Result<Vec<Product>, WeaverError>;
+}
+
+/// Implementation backed by the seeded in-memory catalog.
+pub struct ProductCatalogImpl {
+    store: CatalogStore,
+}
+
+impl ProductCatalog for ProductCatalogImpl {
+    fn list_products(&self, _ctx: &CallContext) -> Result<Vec<Product>, WeaverError> {
+        Ok(self.store.list().to_vec())
+    }
+
+    fn get_product(&self, _ctx: &CallContext, id: String) -> Result<Product, WeaverError> {
+        self.store
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| WeaverError::app(format!("no product with id {id:?}")))
+    }
+
+    fn search_products(
+        &self,
+        _ctx: &CallContext,
+        query: String,
+    ) -> Result<Vec<Product>, WeaverError> {
+        Ok(self.store.search(&query).into_iter().cloned().collect())
+    }
+}
+
+impl Component for ProductCatalogImpl {
+    type Interface = dyn ProductCatalog;
+
+    fn init(_ctx: &InitContext<'_>) -> Result<Self, WeaverError> {
+        Ok(ProductCatalogImpl {
+            store: CatalogStore::seeded(),
+        })
+    }
+
+    fn into_interface(self: Arc<Self>) -> Arc<dyn ProductCatalog> {
+        self
+    }
+}

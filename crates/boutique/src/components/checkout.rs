@@ -1,0 +1,134 @@
+//! The checkout orchestrator — the boutique's busiest caller.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use weaver_core::component::Component;
+use weaver_core::context::{CallContext, InitContext};
+use weaver_core::error::WeaverError;
+use weaver_macros::component;
+
+use crate::types::{Money, OrderItem, OrderResult, PlaceOrderRequest};
+
+use super::cart::CartService;
+use super::catalog::ProductCatalog;
+use super::currency::CurrencyService;
+use super::email::EmailService;
+use super::payment::PaymentService;
+use super::shipping::Shipping;
+
+/// Order placement (the demo's `checkoutservice`).
+#[component(name = "boutique.CheckoutService")]
+pub trait CheckoutService {
+    /// Runs the full checkout: price the cart, quote shipping, charge,
+    /// ship, empty the cart, send the confirmation.
+    fn place_order(
+        &self,
+        ctx: &CallContext,
+        request: PlaceOrderRequest,
+    ) -> Result<OrderResult, WeaverError>;
+}
+
+/// Implementation orchestrating six other components.
+pub struct CheckoutServiceImpl {
+    cart: Arc<dyn CartService>,
+    catalog: Arc<dyn ProductCatalog>,
+    currency: Arc<dyn CurrencyService>,
+    shipping: Arc<dyn Shipping>,
+    payment: Arc<dyn PaymentService>,
+    email: Arc<dyn EmailService>,
+    orders: AtomicU64,
+}
+
+impl CheckoutService for CheckoutServiceImpl {
+    fn place_order(
+        &self,
+        ctx: &CallContext,
+        request: PlaceOrderRequest,
+    ) -> Result<OrderResult, WeaverError> {
+        let cart_items = self.cart.get_cart(ctx, request.user_id.clone())?;
+        if cart_items.is_empty() {
+            return Err(WeaverError::app("cart is empty"));
+        }
+
+        // Price every line in the user's currency.
+        let mut items = Vec::with_capacity(cart_items.len());
+        let mut items_total = Money::new(request.user_currency.clone(), 0, 0);
+        for cart_item in &cart_items {
+            let product = self.catalog.get_product(ctx, cart_item.product_id.clone())?;
+            let unit = self
+                .currency
+                .convert(ctx, product.price, request.user_currency.clone())?;
+            let line = unit.times(cart_item.quantity);
+            items_total = items_total
+                .checked_add(&line)
+                .ok_or_else(|| WeaverError::internal("currency mismatch pricing cart"))?;
+            items.push(OrderItem {
+                item: cart_item.clone(),
+                cost: unit,
+            });
+        }
+
+        // Shipping, quoted in USD then converted.
+        let quote_usd = self
+            .shipping
+            .get_quote(ctx, request.address.clone(), cart_items.clone())?;
+        let shipping_cost = self
+            .currency
+            .convert(ctx, quote_usd, request.user_currency.clone())?;
+
+        let total = items_total
+            .checked_add(&shipping_cost)
+            .ok_or_else(|| WeaverError::internal("currency mismatch totaling order"))?;
+
+        // Charge before shipping: a failed charge must leave the cart
+        // intact and nothing shipped.
+        let _txn_id = self
+            .payment
+            .charge(ctx, total.clone(), request.credit_card.clone())?;
+
+        let tracking_id =
+            self.shipping
+                .ship_order(ctx, request.address.clone(), cart_items.clone())?;
+
+        self.cart.empty_cart(ctx, request.user_id.clone())?;
+
+        let seq = self.orders.fetch_add(1, Ordering::Relaxed);
+        let order = OrderResult {
+            order_id: format!("order-{seq:010}"),
+            shipping_tracking_id: tracking_id,
+            shipping_cost,
+            shipping_address: request.address,
+            items,
+            total,
+        };
+
+        // Confirmation email failures must not fail the order: the charge
+        // already happened (matches the demo's best-effort email).
+        let _ = self
+            .email
+            .send_order_confirmation(ctx, request.email, order.clone());
+
+        Ok(order)
+    }
+}
+
+impl Component for CheckoutServiceImpl {
+    type Interface = dyn CheckoutService;
+
+    fn init(ctx: &InitContext<'_>) -> Result<Self, WeaverError> {
+        Ok(CheckoutServiceImpl {
+            cart: ctx.component::<dyn CartService>()?,
+            catalog: ctx.component::<dyn ProductCatalog>()?,
+            currency: ctx.component::<dyn CurrencyService>()?,
+            shipping: ctx.component::<dyn Shipping>()?,
+            payment: ctx.component::<dyn PaymentService>()?,
+            email: ctx.component::<dyn EmailService>()?,
+            orders: AtomicU64::new(0),
+        })
+    }
+
+    fn into_interface(self: Arc<Self>) -> Arc<dyn CheckoutService> {
+        self
+    }
+}

@@ -1,0 +1,63 @@
+//! The currency conversion component.
+
+use std::sync::Arc;
+
+use weaver_core::component::Component;
+use weaver_core::context::{CallContext, InitContext};
+use weaver_core::error::WeaverError;
+use weaver_macros::component;
+
+use crate::logic::currency::CurrencyConverter;
+use crate::types::Money;
+
+/// Currency conversion (the demo's `currencyservice`).
+#[component(name = "boutique.CurrencyService")]
+pub trait CurrencyService {
+    /// ISO codes this deployment can convert between.
+    fn get_supported_currencies(&self, ctx: &CallContext) -> Result<Vec<String>, WeaverError>;
+
+    /// Converts an amount into `to_code`.
+    fn convert(&self, ctx: &CallContext, from: Money, to_code: String)
+        -> Result<Money, WeaverError>;
+}
+
+/// Implementation over the fixed EUR-pivot rate table.
+pub struct CurrencyServiceImpl {
+    converter: CurrencyConverter,
+}
+
+impl CurrencyService for CurrencyServiceImpl {
+    fn get_supported_currencies(&self, _ctx: &CallContext) -> Result<Vec<String>, WeaverError> {
+        Ok(self.converter.supported())
+    }
+
+    fn convert(
+        &self,
+        _ctx: &CallContext,
+        from: Money,
+        to_code: String,
+    ) -> Result<Money, WeaverError> {
+        self.converter
+            .convert(&from, &to_code)
+            .ok_or_else(|| {
+                WeaverError::app(format!(
+                    "cannot convert {} to {to_code}",
+                    from.currency_code
+                ))
+            })
+    }
+}
+
+impl Component for CurrencyServiceImpl {
+    type Interface = dyn CurrencyService;
+
+    fn init(_ctx: &InitContext<'_>) -> Result<Self, WeaverError> {
+        Ok(CurrencyServiceImpl {
+            converter: CurrencyConverter::seeded(),
+        })
+    }
+
+    fn into_interface(self: Arc<Self>) -> Arc<dyn CurrencyService> {
+        self
+    }
+}

@@ -1,0 +1,56 @@
+//! The email component.
+
+use std::sync::Arc;
+
+use weaver_core::component::Component;
+use weaver_core::context::{CallContext, InitContext};
+use weaver_core::error::WeaverError;
+use weaver_macros::component;
+
+use crate::logic::email::EmailSender;
+use crate::types::OrderResult;
+
+/// Order confirmation email (the demo's `emailservice`).
+#[component(name = "boutique.EmailService")]
+pub trait EmailService {
+    /// Sends the confirmation, returning the rendered body.
+    fn send_order_confirmation(
+        &self,
+        ctx: &CallContext,
+        email: String,
+        order: OrderResult,
+    ) -> Result<String, WeaverError>;
+}
+
+/// Implementation over the template renderer.
+pub struct EmailServiceImpl {
+    sender: EmailSender,
+}
+
+impl EmailService for EmailServiceImpl {
+    fn send_order_confirmation(
+        &self,
+        _ctx: &CallContext,
+        email: String,
+        order: OrderResult,
+    ) -> Result<String, WeaverError> {
+        if !email.contains('@') {
+            return Err(WeaverError::app(format!("invalid email address {email:?}")));
+        }
+        Ok(self.sender.send_confirmation(&email, &order))
+    }
+}
+
+impl Component for EmailServiceImpl {
+    type Interface = dyn EmailService;
+
+    fn init(_ctx: &InitContext<'_>) -> Result<Self, WeaverError> {
+        Ok(EmailServiceImpl {
+            sender: EmailSender::new(),
+        })
+    }
+
+    fn into_interface(self: Arc<Self>) -> Arc<dyn EmailService> {
+        self
+    }
+}

@@ -1,0 +1,225 @@
+//! The frontend component: the application's ingress.
+
+use std::sync::Arc;
+
+use weaver_core::component::Component;
+use weaver_core::context::{CallContext, InitContext};
+use weaver_core::error::WeaverError;
+use weaver_macros::component;
+
+use crate::types::{
+    CartItem, CartView, HomeView, Money, OrderItem, OrderResult, PlaceOrderRequest, ProductView,
+};
+
+use super::ads::AdService;
+use super::cart::CartService;
+use super::catalog::ProductCatalog;
+use super::checkout::CheckoutService;
+use super::currency::CurrencyService;
+use super::recommend::RecommendationService;
+use super::shipping::Shipping;
+
+/// The web frontend (the demo's `frontend`): every user request enters
+/// here and fans out to the other components.
+#[component(name = "boutique.Frontend")]
+pub trait Frontend {
+    /// Home page: catalog in the user's currency, an ad, cart size.
+    fn home(&self, ctx: &CallContext, user_id: String, currency: String)
+        -> Result<HomeView, WeaverError>;
+
+    /// Product page: the product, recommendations, a contextual ad.
+    fn browse_product(
+        &self,
+        ctx: &CallContext,
+        user_id: String,
+        product_id: String,
+        currency: String,
+    ) -> Result<ProductView, WeaverError>;
+
+    /// Adds a product to the user's cart.
+    fn add_to_cart(
+        &self,
+        ctx: &CallContext,
+        user_id: String,
+        product_id: String,
+        quantity: u32,
+    ) -> Result<(), WeaverError>;
+
+    /// Cart page: priced lines, shipping estimate, total, recommendations.
+    fn view_cart(
+        &self,
+        ctx: &CallContext,
+        user_id: String,
+        currency: String,
+    ) -> Result<CartView, WeaverError>;
+
+    /// Places the order through the checkout service.
+    fn place_order(
+        &self,
+        ctx: &CallContext,
+        request: PlaceOrderRequest,
+    ) -> Result<OrderResult, WeaverError>;
+}
+
+/// Implementation fanning out to seven components.
+pub struct FrontendImpl {
+    catalog: Arc<dyn ProductCatalog>,
+    currency: Arc<dyn CurrencyService>,
+    cart: Arc<dyn CartService>,
+    recommendations: Arc<dyn RecommendationService>,
+    shipping: Arc<dyn Shipping>,
+    ads: Arc<dyn AdService>,
+    checkout: Arc<dyn CheckoutService>,
+}
+
+impl FrontendImpl {
+    fn convert_price(
+        &self,
+        ctx: &CallContext,
+        price: Money,
+        currency: &str,
+    ) -> Result<Money, WeaverError> {
+        if price.currency_code == currency {
+            return Ok(price);
+        }
+        self.currency.convert(ctx, price, currency.to_string())
+    }
+}
+
+impl Frontend for FrontendImpl {
+    fn home(
+        &self,
+        ctx: &CallContext,
+        user_id: String,
+        currency: String,
+    ) -> Result<HomeView, WeaverError> {
+        let mut products = self.catalog.list_products(ctx)?;
+        for product in &mut products {
+            product.price =
+                self.convert_price(ctx, std::mem::take(&mut product.price), &currency)?;
+        }
+        let cart = self.cart.get_cart(ctx, user_id)?;
+        let ad = self.ads.get_ads(ctx, vec![])?.into_iter().next();
+        Ok(HomeView {
+            products,
+            ad,
+            cart_size: cart.iter().map(|i| i.quantity).sum(),
+            currency,
+        })
+    }
+
+    fn browse_product(
+        &self,
+        ctx: &CallContext,
+        user_id: String,
+        product_id: String,
+        currency: String,
+    ) -> Result<ProductView, WeaverError> {
+        let mut product = self.catalog.get_product(ctx, product_id.clone())?;
+        product.price = self.convert_price(ctx, std::mem::take(&mut product.price), &currency)?;
+        let recommendations =
+            self.recommendations
+                .list_recommendations(ctx, user_id, vec![product_id])?;
+        let ad = self
+            .ads
+            .get_ads(ctx, product.categories.clone())?
+            .into_iter()
+            .next();
+        Ok(ProductView {
+            product,
+            recommendations,
+            ad,
+        })
+    }
+
+    fn add_to_cart(
+        &self,
+        ctx: &CallContext,
+        user_id: String,
+        product_id: String,
+        quantity: u32,
+    ) -> Result<(), WeaverError> {
+        // Validate the product exists before touching the cart.
+        let _ = self.catalog.get_product(ctx, product_id.clone())?;
+        self.cart.add_item(
+            ctx,
+            user_id,
+            CartItem {
+                product_id,
+                quantity,
+            },
+        )
+    }
+
+    fn view_cart(
+        &self,
+        ctx: &CallContext,
+        user_id: String,
+        currency: String,
+    ) -> Result<CartView, WeaverError> {
+        let cart = self.cart.get_cart(ctx, user_id.clone())?;
+        let mut items = Vec::with_capacity(cart.len());
+        let mut total = Money::new(currency.clone(), 0, 0);
+        for line in &cart {
+            let product = self.catalog.get_product(ctx, line.product_id.clone())?;
+            let unit = self.convert_price(ctx, product.price, &currency)?;
+            total = total
+                .checked_add(&unit.times(line.quantity))
+                .ok_or_else(|| WeaverError::internal("currency mismatch in cart view"))?;
+            items.push(OrderItem {
+                item: line.clone(),
+                cost: unit,
+            });
+        }
+        let shipping_cost = if cart.is_empty() {
+            Money::new(currency.clone(), 0, 0)
+        } else {
+            let quote_usd = self.shipping.get_quote(ctx, Default::default(), cart.clone())?;
+            self.convert_price(ctx, quote_usd, &currency)?
+        };
+        total = total
+            .checked_add(&shipping_cost)
+            .ok_or_else(|| WeaverError::internal("currency mismatch adding shipping"))?;
+        let product_ids = cart.into_iter().map(|i| i.product_id).collect();
+        let recommendations = self
+            .recommendations
+            .list_recommendations(ctx, user_id, product_ids)?;
+        Ok(CartView {
+            items,
+            shipping_cost,
+            total,
+            recommendations,
+        })
+    }
+
+    fn place_order(
+        &self,
+        ctx: &CallContext,
+        request: PlaceOrderRequest,
+    ) -> Result<OrderResult, WeaverError> {
+        if request.user_id.is_empty() {
+            return Err(WeaverError::app("missing user id"));
+        }
+        self.checkout.place_order(ctx, request)
+    }
+}
+
+impl Component for FrontendImpl {
+    type Interface = dyn Frontend;
+
+    fn init(ctx: &InitContext<'_>) -> Result<Self, WeaverError> {
+        Ok(FrontendImpl {
+            catalog: ctx.component::<dyn ProductCatalog>()?,
+            currency: ctx.component::<dyn CurrencyService>()?,
+            cart: ctx.component::<dyn CartService>()?,
+            recommendations: ctx.component::<dyn RecommendationService>()?,
+            shipping: ctx.component::<dyn Shipping>()?,
+            ads: ctx.component::<dyn AdService>()?,
+            checkout: ctx.component::<dyn CheckoutService>()?,
+        })
+    }
+
+    fn into_interface(self: Arc<Self>) -> Arc<dyn Frontend> {
+        self
+    }
+}

@@ -1,0 +1,68 @@
+//! The boutique's eleven services as weaver components (paper §6.1: "we
+//! then ported the application to our prototype, with each microservice
+//! rewritten as a component").
+//!
+//! Each component is a trait annotated `#[component]` plus an
+//! implementation that wraps the plain business logic in
+//! [`crate::logic`]. The microservices baseline (`baseline` crate) wraps
+//! the *same* logic behind a gRPC-like stack, so prototype-vs-baseline
+//! comparisons differ only in the plumbing — exactly the paper's
+//! experimental setup.
+
+mod ads;
+mod cart;
+mod catalog;
+mod checkout;
+mod currency;
+mod email;
+mod frontend;
+mod payment;
+mod recommend;
+mod shipping;
+
+pub use ads::{AdService, AdServiceImpl};
+pub use cart::{CartService, CartServiceImpl};
+pub use catalog::{ProductCatalog, ProductCatalogImpl};
+pub use checkout::{CheckoutService, CheckoutServiceImpl};
+pub use currency::{CurrencyService, CurrencyServiceImpl};
+pub use email::{EmailService, EmailServiceImpl};
+pub use frontend::{Frontend, FrontendImpl};
+pub use payment::{PaymentService, PaymentServiceImpl};
+pub use recommend::{RecommendationService, RecommendationServiceImpl};
+pub use shipping::{Shipping, ShippingImpl};
+
+use std::sync::Arc;
+
+use weaver_core::registry::{ComponentRegistry, RegistryBuilder};
+
+/// Builds the registry containing all eleven boutique components.
+pub fn registry() -> Arc<ComponentRegistry> {
+    Arc::new(
+        RegistryBuilder::new()
+            .register::<ProductCatalogImpl>()
+            .register::<CurrencyServiceImpl>()
+            .register::<CartServiceImpl>()
+            .register::<RecommendationServiceImpl>()
+            .register::<ShippingImpl>()
+            .register::<PaymentServiceImpl>()
+            .register::<EmailServiceImpl>()
+            .register::<AdServiceImpl>()
+            .register::<CheckoutServiceImpl>()
+            .register::<FrontendImpl>()
+            .build(),
+    )
+}
+
+/// Component names in dependency-ish order (for configs and reports).
+pub const COMPONENT_NAMES: &[&str] = &[
+    "boutique.Frontend",
+    "boutique.CheckoutService",
+    "boutique.ProductCatalog",
+    "boutique.CurrencyService",
+    "boutique.CartService",
+    "boutique.RecommendationService",
+    "boutique.Shipping",
+    "boutique.PaymentService",
+    "boutique.EmailService",
+    "boutique.AdService",
+];

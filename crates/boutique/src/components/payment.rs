@@ -1,0 +1,58 @@
+//! The payment component.
+
+use std::sync::Arc;
+
+use weaver_core::component::Component;
+use weaver_core::context::{CallContext, InitContext};
+use weaver_core::error::WeaverError;
+use weaver_macros::component;
+
+use crate::logic::payment::PaymentProcessor;
+use crate::types::{CreditCard, Money};
+
+/// Payment processing (the demo's `paymentservice`).
+#[component(name = "boutique.PaymentService")]
+pub trait PaymentService {
+    /// Charges the card, returning a transaction id.
+    fn charge(
+        &self,
+        ctx: &CallContext,
+        amount: Money,
+        card: CreditCard,
+    ) -> Result<String, WeaverError>;
+}
+
+/// Implementation over the Luhn-validating processor.
+pub struct PaymentServiceImpl {
+    processor: PaymentProcessor,
+}
+
+impl PaymentService for PaymentServiceImpl {
+    fn charge(
+        &self,
+        _ctx: &CallContext,
+        amount: Money,
+        card: CreditCard,
+    ) -> Result<String, WeaverError> {
+        self.processor
+            .charge(&amount, &card)
+            .map_err(|e| WeaverError::App {
+                code: 402,
+                message: e.to_string(),
+            })
+    }
+}
+
+impl Component for PaymentServiceImpl {
+    type Interface = dyn PaymentService;
+
+    fn init(_ctx: &InitContext<'_>) -> Result<Self, WeaverError> {
+        Ok(PaymentServiceImpl {
+            processor: PaymentProcessor::new(),
+        })
+    }
+
+    fn into_interface(self: Arc<Self>) -> Arc<dyn PaymentService> {
+        self
+    }
+}

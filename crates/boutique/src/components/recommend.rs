@@ -1,0 +1,59 @@
+//! The recommendation component.
+
+use std::sync::Arc;
+
+use weaver_core::component::Component;
+use weaver_core::context::{CallContext, InitContext};
+use weaver_core::error::WeaverError;
+use weaver_macros::component;
+
+use crate::logic::recommend::recommend;
+use crate::types::Product;
+
+use super::catalog::ProductCatalog;
+
+/// Product recommendations (the demo's `recommendationservice`).
+#[component(name = "boutique.RecommendationService")]
+pub trait RecommendationService {
+    /// Up to four products related to the given context for this user.
+    fn list_recommendations(
+        &self,
+        ctx: &CallContext,
+        user_id: String,
+        product_ids: Vec<String>,
+    ) -> Result<Vec<Product>, WeaverError>;
+}
+
+/// Implementation that ranks the live catalog.
+pub struct RecommendationServiceImpl {
+    catalog: Arc<dyn ProductCatalog>,
+}
+
+impl RecommendationService for RecommendationServiceImpl {
+    fn list_recommendations(
+        &self,
+        ctx: &CallContext,
+        user_id: String,
+        product_ids: Vec<String>,
+    ) -> Result<Vec<Product>, WeaverError> {
+        let catalog = self.catalog.list_products(ctx)?;
+        Ok(recommend(&user_id, &product_ids, &catalog, 4)
+            .into_iter()
+            .cloned()
+            .collect())
+    }
+}
+
+impl Component for RecommendationServiceImpl {
+    type Interface = dyn RecommendationService;
+
+    fn init(ctx: &InitContext<'_>) -> Result<Self, WeaverError> {
+        Ok(RecommendationServiceImpl {
+            catalog: ctx.component::<dyn ProductCatalog>()?,
+        })
+    }
+
+    fn into_interface(self: Arc<Self>) -> Arc<dyn RecommendationService> {
+        self
+    }
+}

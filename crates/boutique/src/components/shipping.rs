@@ -1,0 +1,73 @@
+//! The shipping component.
+
+use std::sync::Arc;
+
+use weaver_core::component::Component;
+use weaver_core::context::{CallContext, InitContext};
+use weaver_core::error::WeaverError;
+use weaver_macros::component;
+
+use crate::logic::shipping::ShippingService;
+use crate::types::{Address, CartItem, Money};
+
+/// Shipping quotes and fulfillment (the demo's `shippingservice`).
+#[component(name = "boutique.Shipping")]
+pub trait Shipping {
+    /// Quotes shipping for the items, in USD.
+    fn get_quote(
+        &self,
+        ctx: &CallContext,
+        address: Address,
+        items: Vec<CartItem>,
+    ) -> Result<Money, WeaverError>;
+
+    /// Ships the order, returning a tracking id.
+    fn ship_order(
+        &self,
+        ctx: &CallContext,
+        address: Address,
+        items: Vec<CartItem>,
+    ) -> Result<String, WeaverError>;
+}
+
+/// Implementation over the quoting/tracking logic.
+pub struct ShippingImpl {
+    service: ShippingService,
+}
+
+impl Shipping for ShippingImpl {
+    fn get_quote(
+        &self,
+        _ctx: &CallContext,
+        address: Address,
+        items: Vec<CartItem>,
+    ) -> Result<Money, WeaverError> {
+        Ok(self.service.quote(&address, &items))
+    }
+
+    fn ship_order(
+        &self,
+        _ctx: &CallContext,
+        address: Address,
+        items: Vec<CartItem>,
+    ) -> Result<String, WeaverError> {
+        if items.is_empty() {
+            return Err(WeaverError::app("cannot ship an empty order"));
+        }
+        Ok(self.service.ship(&address, &items))
+    }
+}
+
+impl Component for ShippingImpl {
+    type Interface = dyn Shipping;
+
+    fn init(_ctx: &InitContext<'_>) -> Result<Self, WeaverError> {
+        Ok(ShippingImpl {
+            service: ShippingService::new(),
+        })
+    }
+
+    fn into_interface(self: Arc<Self>) -> Arc<dyn Shipping> {
+        self
+    }
+}

@@ -1,0 +1,301 @@
+//! A Locust-style workload generator (paper §6.1).
+//!
+//! "We used Locust, a workload generator, to load-test the application
+//! with and without our prototype. The workload generator sends a steady
+//! rate of HTTP requests to the applications."
+//!
+//! Two modes over the same operation mix:
+//!
+//! * **closed loop** — `workers` virtual users issue requests back to back;
+//!   latency is pure service time.
+//! * **open loop** (`target_qps` set) — arrivals are scheduled at a steady
+//!   rate regardless of completions, like Locust's constant-throughput
+//!   shape; recorded latency is *sojourn* time (wait + service), which is
+//!   what an end user experiences.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use weaver_core::context::CallContext;
+use weaver_core::error::WeaverError;
+use weaver_metrics::{Histogram, HistogramSnapshot};
+
+use crate::components::Frontend;
+use crate::logic::payment::test_card;
+use crate::types::{Address, PlaceOrderRequest};
+
+/// Relative weights of the operation mix (the demo's Locust script shape).
+#[derive(Debug, Clone)]
+pub struct Mix {
+    /// Weight of the home-page op.
+    pub home: u32,
+    /// Weight of the product-browse op.
+    pub browse: u32,
+    /// Weight of add-to-cart.
+    pub add_to_cart: u32,
+    /// Weight of viewing the cart.
+    pub view_cart: u32,
+    /// Weight of checkout (always preceded by an add so the cart is
+    /// non-empty).
+    pub checkout: u32,
+}
+
+impl Default for Mix {
+    fn default() -> Self {
+        // Browse-heavy, like the demo's locustfile.
+        Mix {
+            home: 30,
+            browse: 35,
+            add_to_cart: 15,
+            view_cart: 10,
+            checkout: 10,
+        }
+    }
+}
+
+impl Mix {
+    fn total(&self) -> u32 {
+        self.home + self.browse + self.add_to_cart + self.view_cart + self.checkout
+    }
+}
+
+/// Load-run options.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Concurrent virtual users.
+    pub workers: usize,
+    /// Run length.
+    pub duration: Duration,
+    /// Operation mix.
+    pub mix: Mix,
+    /// RNG seed (per-worker seeds derive from it).
+    pub seed: u64,
+    /// Size of the simulated user population.
+    pub users: usize,
+    /// Open-loop arrival rate; `None` = closed loop.
+    pub target_qps: Option<f64>,
+    /// Deployment version for root contexts.
+    pub version: u64,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            workers: 4,
+            duration: Duration::from_millis(500),
+            mix: Mix::default(),
+            seed: 42,
+            users: 64,
+            target_qps: None,
+            version: 1,
+        }
+    }
+}
+
+/// The outcome of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Latency distribution, nanoseconds (sojourn time in open loop).
+    pub latency: HistogramSnapshot,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Successful checkouts (orders actually placed).
+    pub orders: u64,
+}
+
+impl LoadReport {
+    /// Achieved throughput.
+    pub fn qps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.requests as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Median latency in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.latency.median() as f64 / 1e6
+    }
+
+    /// Error fraction.
+    pub fn error_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.requests as f64
+        }
+    }
+}
+
+/// A default shipping address for generated orders.
+pub fn test_address() -> Address {
+    Address {
+        street_address: "1600 Amphitheatre Parkway".into(),
+        city: "Mountain View".into(),
+        state: "CA".into(),
+        country: "USA".into(),
+        zip_code: 94043,
+    }
+}
+
+const CURRENCIES: &[&str] = &["USD", "EUR", "JPY", "GBP", "CAD"];
+const PRODUCT_IDS: &[&str] = &[
+    "OLJCESPC7Z",
+    "66VCHSJNUP",
+    "1YMWWN1N4O",
+    "L9ECAV7KIM",
+    "2ZYFJ3GM2N",
+    "0PUK6V6EV0",
+    "LS4PSXUNUM",
+    "9SIQT8TOJO",
+    "6E92ZMYYFZ",
+];
+
+fn one_op(
+    frontend: &dyn Frontend,
+    ctx: &CallContext,
+    rng: &mut StdRng,
+    mix: &Mix,
+    users: usize,
+    worker: usize,
+) -> (Result<(), WeaverError>, bool) {
+    // Workers own disjoint user populations, like distinct Locust users:
+    // a virtual user never runs two requests concurrently, so checkout
+    // cannot race with another of its own adds.
+    let user = format!("user-{worker}-{}", rng.gen_range(0..users.max(1)));
+    let currency = CURRENCIES[rng.gen_range(0..CURRENCIES.len())].to_string();
+    let product = PRODUCT_IDS[rng.gen_range(0..PRODUCT_IDS.len())].to_string();
+    let pick = rng.gen_range(0..mix.total().max(1));
+    let mut threshold = mix.home;
+    if pick < threshold {
+        return (frontend.home(ctx, user, currency).map(|_| ()), false);
+    }
+    threshold += mix.browse;
+    if pick < threshold {
+        return (
+            frontend
+                .browse_product(ctx, user, product, currency)
+                .map(|_| ()),
+            false,
+        );
+    }
+    threshold += mix.add_to_cart;
+    if pick < threshold {
+        return (
+            frontend.add_to_cart(ctx, user, product, rng.gen_range(1..4)),
+            false,
+        );
+    }
+    threshold += mix.view_cart;
+    if pick < threshold {
+        return (frontend.view_cart(ctx, user, currency).map(|_| ()), false);
+    }
+    // Checkout: guarantee a non-empty cart first.
+    let result = frontend
+        .add_to_cart(ctx, user.clone(), product, 1)
+        .and_then(|()| {
+            frontend.place_order(
+                ctx,
+                PlaceOrderRequest {
+                    user_id: user,
+                    user_currency: currency,
+                    address: test_address(),
+                    email: "someone@example.com".into(),
+                    credit_card: test_card(),
+                },
+            )
+        })
+        .map(|_| ());
+    let ordered = result.is_ok();
+    (result, ordered)
+}
+
+/// Runs the workload and reports.
+pub fn run_load(frontend: Arc<dyn Frontend>, options: &LoadOptions) -> LoadReport {
+    let histogram = Arc::new(Histogram::new());
+    let requests = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let orders = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let deadline = started + options.duration;
+
+    // Open-loop arrival schedule: each worker claims the next arrival slot.
+    let arrival_interval_nanos = options
+        .target_qps
+        .map(|qps| (1e9 / qps.max(0.001)) as u64);
+    let next_arrival = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        for worker in 0..options.workers.max(1) {
+            let frontend = Arc::clone(&frontend);
+            let histogram = Arc::clone(&histogram);
+            let requests = Arc::clone(&requests);
+            let errors = Arc::clone(&errors);
+            let orders = Arc::clone(&orders);
+            let next_arrival = Arc::clone(&next_arrival);
+            let mix = options.mix.clone();
+            let users = options.users;
+            let version = options.version;
+            let seed = options
+                .seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(worker as u64 + 1));
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                loop {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let measured_from = match arrival_interval_nanos {
+                        Some(interval) => {
+                            // Claim the next arrival slot and wait for it.
+                            let slot = next_arrival.fetch_add(interval, Ordering::Relaxed);
+                            let at = started + Duration::from_nanos(slot);
+                            if at >= deadline {
+                                break;
+                            }
+                            if at > now {
+                                std::thread::sleep(at - now);
+                            }
+                            at
+                        }
+                        None => now,
+                    };
+                    let ctx = CallContext::root(version);
+                    let (result, ordered) =
+                        one_op(&*frontend, &ctx, &mut rng, &mix, users, worker);
+                    histogram.record(
+                        measured_from
+                            .elapsed()
+                            .as_nanos()
+                            .min(u128::from(u64::MAX)) as u64,
+                    );
+                    requests.fetch_add(1, Ordering::Relaxed);
+                    if result.is_err() {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if ordered {
+                        orders.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    LoadReport {
+        requests: requests.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        latency: histogram.snapshot(),
+        elapsed: started.elapsed(),
+        orders: orders.load(Ordering::Relaxed),
+    }
+}

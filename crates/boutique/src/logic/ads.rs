@@ -1,0 +1,97 @@
+//! Ad serving logic.
+
+use crate::types::Ad;
+
+/// Serves contextual (by category) or random ads, like the demo adservice.
+#[derive(Debug, Clone)]
+pub struct AdServer {
+    ads: Vec<(String, Ad)>,
+}
+
+impl Default for AdServer {
+    fn default() -> Self {
+        Self::seeded()
+    }
+}
+
+fn ad(category: &str, url: &str, text: &str) -> (String, Ad) {
+    (
+        category.to_string(),
+        Ad {
+            redirect_url: url.to_string(),
+            text: text.to_string(),
+        },
+    )
+}
+
+impl AdServer {
+    /// The demo ad inventory.
+    pub fn seeded() -> AdServer {
+        AdServer {
+            ads: vec![
+                ad("clothing", "/product/66VCHSJNUP", "Tank top for sale. 20% off."),
+                ad("accessories", "/product/1YMWWN1N4O", "Watch for sale. Buy one, get second kit for free"),
+                ad("footwear", "/product/L9ECAV7KIM", "Loafers for sale. Buy one, get second one for free"),
+                ad("hair", "/product/2ZYFJ3GM2N", "Hairdryer for sale. 50% off."),
+                ad("decor", "/product/0PUK6V6EV0", "Candle holder for sale. 30% off."),
+                ad("kitchen", "/product/9SIQT8TOJO", "Bamboo glass jar for sale. 10% off."),
+                ad("kitchen", "/product/6E92ZMYYFZ", "Mug for sale. Buy two, get third one for free"),
+                ad("cycling", "/product/OBTPVJ3HM1", "City Bike for sale. 10% off."),
+                ad("gardening", "/product/HQTGWGPNH4", "Air plants for sale. Buy two, get third one for free"),
+            ],
+        }
+    }
+
+    /// Ads matching any of the context categories; falls back to a
+    /// deterministic "random" pick when nothing matches.
+    pub fn ads_for(&self, context_categories: &[String], max: usize) -> Vec<Ad> {
+        let matching: Vec<Ad> = self
+            .ads
+            .iter()
+            .filter(|(cat, _)| context_categories.contains(cat))
+            .map(|(_, a)| a.clone())
+            .take(max)
+            .collect();
+        if !matching.is_empty() {
+            return matching;
+        }
+        // Fallback: rotate through inventory by a hash of the context.
+        let seed = context_categories
+            .iter()
+            .flat_map(|s| s.bytes())
+            .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(u64::from(b)));
+        let start = (seed % self.ads.len() as u64) as usize;
+        (0..max.min(self.ads.len()))
+            .map(|i| self.ads[(start + i) % self.ads.len()].1.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contextual_match() {
+        let server = AdServer::seeded();
+        let ads = server.ads_for(&["kitchen".to_string()], 5);
+        assert_eq!(ads.len(), 2);
+        assert!(ads.iter().all(|a| a.text.contains("sale")));
+    }
+
+    #[test]
+    fn fallback_when_no_match() {
+        let server = AdServer::seeded();
+        let ads = server.ads_for(&["spaceships".to_string()], 2);
+        assert_eq!(ads.len(), 2);
+        // Deterministic fallback.
+        assert_eq!(ads, server.ads_for(&["spaceships".to_string()], 2));
+    }
+
+    #[test]
+    fn max_respected() {
+        let server = AdServer::seeded();
+        assert_eq!(server.ads_for(&[], 1).len(), 1);
+        assert!(server.ads_for(&[], 100).len() <= 9);
+    }
+}

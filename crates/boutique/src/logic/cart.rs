@@ -1,0 +1,119 @@
+//! Cart storage logic.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::types::CartItem;
+
+/// In-memory per-user carts.
+///
+/// The cart component is the boutique's *routed* component: calls for the
+/// same user hash to the same replica, so this per-replica store behaves
+/// like a cache with perfect affinity (§5.2). Without routing, a user's
+/// cart would be scattered across replicas.
+#[derive(Debug, Default)]
+pub struct CartStore {
+    carts: RwLock<HashMap<String, Vec<CartItem>>>,
+}
+
+impl CartStore {
+    /// Creates an empty store.
+    pub fn new() -> CartStore {
+        CartStore::default()
+    }
+
+    /// Adds an item, merging quantities of the same product.
+    pub fn add_item(&self, user_id: &str, item: CartItem) {
+        if item.quantity == 0 {
+            return;
+        }
+        let mut carts = self.carts.write();
+        let cart = carts.entry(user_id.to_string()).or_default();
+        match cart.iter_mut().find(|i| i.product_id == item.product_id) {
+            Some(existing) => existing.quantity = existing.quantity.saturating_add(item.quantity),
+            None => cart.push(item),
+        }
+    }
+
+    /// The user's cart (empty if none).
+    pub fn get_cart(&self, user_id: &str) -> Vec<CartItem> {
+        self.carts.read().get(user_id).cloned().unwrap_or_default()
+    }
+
+    /// Empties the user's cart.
+    pub fn empty_cart(&self, user_id: &str) {
+        self.carts.write().remove(user_id);
+    }
+
+    /// Number of users with non-empty carts (diagnostics/affinity metrics).
+    pub fn user_count(&self) -> usize {
+        self.carts.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(product: &str, quantity: u32) -> CartItem {
+        CartItem {
+            product_id: product.into(),
+            quantity,
+        }
+    }
+
+    #[test]
+    fn add_and_get() {
+        let store = CartStore::new();
+        store.add_item("alice", item("P1", 2));
+        store.add_item("alice", item("P2", 1));
+        let cart = store.get_cart("alice");
+        assert_eq!(cart.len(), 2);
+        assert!(store.get_cart("bob").is_empty());
+    }
+
+    #[test]
+    fn quantities_merge() {
+        let store = CartStore::new();
+        store.add_item("alice", item("P1", 2));
+        store.add_item("alice", item("P1", 3));
+        assert_eq!(store.get_cart("alice"), vec![item("P1", 5)]);
+    }
+
+    #[test]
+    fn zero_quantity_ignored() {
+        let store = CartStore::new();
+        store.add_item("alice", item("P1", 0));
+        assert!(store.get_cart("alice").is_empty());
+    }
+
+    #[test]
+    fn quantity_saturates() {
+        let store = CartStore::new();
+        store.add_item("alice", item("P1", u32::MAX));
+        store.add_item("alice", item("P1", 5));
+        assert_eq!(store.get_cart("alice")[0].quantity, u32::MAX);
+    }
+
+    #[test]
+    fn empty_cart() {
+        let store = CartStore::new();
+        store.add_item("alice", item("P1", 1));
+        store.empty_cart("alice");
+        assert!(store.get_cart("alice").is_empty());
+        assert_eq!(store.user_count(), 0);
+        // Emptying a missing cart is a no-op.
+        store.empty_cart("nobody");
+    }
+
+    #[test]
+    fn users_are_isolated() {
+        let store = CartStore::new();
+        store.add_item("alice", item("P1", 1));
+        store.add_item("bob", item("P2", 9));
+        assert_eq!(store.get_cart("alice"), vec![item("P1", 1)]);
+        assert_eq!(store.get_cart("bob"), vec![item("P2", 9)]);
+        assert_eq!(store.user_count(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Product catalog business logic (no runtime dependencies).
+
+use crate::types::{Money, Product};
+
+/// The in-memory product catalog, seeded with the Online Boutique demo's
+/// product set.
+#[derive(Debug, Clone)]
+pub struct CatalogStore {
+    products: Vec<Product>,
+}
+
+impl Default for CatalogStore {
+    fn default() -> Self {
+        Self::seeded()
+    }
+}
+
+fn product(
+    id: &str,
+    name: &str,
+    description: &str,
+    units: i64,
+    nanos: i32,
+    categories: &[&str],
+) -> Product {
+    Product {
+        id: id.to_string(),
+        name: name.to_string(),
+        description: description.to_string(),
+        picture: format!("/static/img/products/{}.jpg", name.to_lowercase().replace(' ', "-")),
+        price: Money::new("USD", units, nanos),
+        categories: categories.iter().map(|c| c.to_string()).collect(),
+    }
+}
+
+impl CatalogStore {
+    /// The demo catalog.
+    pub fn seeded() -> CatalogStore {
+        CatalogStore {
+            products: vec![
+                product(
+                    "OLJCESPC7Z",
+                    "Sunglasses",
+                    "Add a modern touch to your outfits with these sleek aviator sunglasses.",
+                    19,
+                    990_000_000,
+                    &["accessories"],
+                ),
+                product(
+                    "66VCHSJNUP",
+                    "Tank Top",
+                    "Perfectly cropped cotton tank, with a scooped neckline.",
+                    18,
+                    990_000_000,
+                    &["clothing", "tops"],
+                ),
+                product(
+                    "1YMWWN1N4O",
+                    "Watch",
+                    "This gold-tone stainless steel watch will work with most of your outfits.",
+                    109,
+                    990_000_000,
+                    &["accessories"],
+                ),
+                product(
+                    "L9ECAV7KIM",
+                    "Loafers",
+                    "A neat addition to your summer wardrobe.",
+                    89,
+                    990_000_000,
+                    &["footwear"],
+                ),
+                product(
+                    "2ZYFJ3GM2N",
+                    "Hairdryer",
+                    "This lightweight hairdryer has 3 heat and speed settings.",
+                    24,
+                    990_000_000,
+                    &["hair", "beauty"],
+                ),
+                product(
+                    "0PUK6V6EV0",
+                    "Candle Holder",
+                    "This small but intricate candle holder is an excellent gift.",
+                    18,
+                    990_000_000,
+                    &["decor", "home"],
+                ),
+                product(
+                    "LS4PSXUNUM",
+                    "Salt and Pepper Shakers",
+                    "Add some flavor to your kitchen.",
+                    18,
+                    490_000_000,
+                    &["kitchen"],
+                ),
+                product(
+                    "9SIQT8TOJO",
+                    "Bamboo Glass Jar",
+                    "This bamboo glass jar can hold 57 oz (1.7 l) and is perfect for any kitchen.",
+                    5,
+                    490_000_000,
+                    &["kitchen"],
+                ),
+                product(
+                    "6E92ZMYYFZ",
+                    "Mug",
+                    "A simple mug with a mustard interior.",
+                    8,
+                    990_000_000,
+                    &["kitchen"],
+                ),
+                product(
+                    "OBTPVJ3HM1",
+                    "City Bike",
+                    "This single gear bike is the perfect fit for city streets.",
+                    789,
+                    500_000_000,
+                    &["cycling"],
+                ),
+                product(
+                    "HQTGWGPNH4",
+                    "Air Plant",
+                    "Low-maintenance and forgiving, a great starter plant.",
+                    12,
+                    300_000_000,
+                    &["gardening"],
+                ),
+                product(
+                    "PLTNQRKVNE",
+                    "Record Player",
+                    "A belt-driven turntable with built-in stereo speakers.",
+                    65,
+                    500_000_000,
+                    &["music", "decor"],
+                ),
+            ],
+        }
+    }
+
+    /// All products.
+    pub fn list(&self) -> &[Product] {
+        &self.products
+    }
+
+    /// Looks up a product by id.
+    pub fn get(&self, id: &str) -> Option<&Product> {
+        self.products.iter().find(|p| p.id == id)
+    }
+
+    /// Case-insensitive substring search over name and description.
+    pub fn search(&self, query: &str) -> Vec<&Product> {
+        let q = query.to_lowercase();
+        self.products
+            .iter()
+            .filter(|p| {
+                p.name.to_lowercase().contains(&q) || p.description.to_lowercase().contains(&q)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_catalog_has_eleven_plus_products() {
+        let c = CatalogStore::seeded();
+        assert!(c.list().len() >= 12);
+        // Ids are unique.
+        let mut ids: Vec<&str> = c.list().iter().map(|p| p.id.as_str()).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn get_by_id() {
+        let c = CatalogStore::seeded();
+        assert_eq!(c.get("OLJCESPC7Z").unwrap().name, "Sunglasses");
+        assert!(c.get("NOPE").is_none());
+    }
+
+    #[test]
+    fn search_matches_name_and_description() {
+        let c = CatalogStore::seeded();
+        assert!(!c.search("watch").is_empty());
+        assert!(!c.search("KITCHEN").is_empty() || !c.search("kitchen").is_empty());
+        assert!(c.search("zzzzz").is_empty());
+    }
+
+    #[test]
+    fn prices_are_positive() {
+        for p in CatalogStore::seeded().list() {
+            assert!(p.price.total_nanos() > 0, "{} has no price", p.id);
+            assert_eq!(p.price.currency_code, "USD");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Currency conversion logic, EUR-based like the demo's currencyservice.
+
+use std::collections::BTreeMap;
+
+use crate::types::Money;
+
+/// Converts between currencies through EUR at fixed rates.
+#[derive(Debug, Clone)]
+pub struct CurrencyConverter {
+    /// currency code → units of that currency per 1 EUR.
+    rates: BTreeMap<String, f64>,
+}
+
+impl Default for CurrencyConverter {
+    fn default() -> Self {
+        Self::seeded()
+    }
+}
+
+impl CurrencyConverter {
+    /// The demo's rate table (a representative snapshot; rates are fixed so
+    /// results are deterministic).
+    pub fn seeded() -> CurrencyConverter {
+        let mut rates = BTreeMap::new();
+        for (code, rate) in [
+            ("EUR", 1.0),
+            ("USD", 1.1305),
+            ("JPY", 126.40),
+            ("GBP", 0.85970),
+            ("TRY", 5.0950),
+            ("CHF", 1.1360),
+            ("CAD", 1.5128),
+            ("AUD", 1.5991),
+            ("CNY", 7.5857),
+            ("KRW", 1283.2),
+            ("INR", 79.101),
+            ("MXN", 21.672),
+            ("SEK", 10.525),
+            ("NZD", 1.6884),
+            ("BRL", 4.3410),
+        ] {
+            rates.insert(code.to_string(), rate);
+        }
+        CurrencyConverter { rates }
+    }
+
+    /// Supported currency codes, sorted.
+    pub fn supported(&self) -> Vec<String> {
+        self.rates.keys().cloned().collect()
+    }
+
+    /// Converts `from` into `to_code`.
+    ///
+    /// Returns `None` when either currency is unknown.
+    pub fn convert(&self, from: &Money, to_code: &str) -> Option<Money> {
+        let from_rate = *self.rates.get(&from.currency_code)?;
+        let to_rate = *self.rates.get(to_code)?;
+        // value_eur = value_from / from_rate; value_to = value_eur × to_rate.
+        let nanos = from.total_nanos() as f64 * (to_rate / from_rate);
+        Some(Money::from_total_nanos(to_code, nanos.round() as i128))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_conversion() {
+        let c = CurrencyConverter::seeded();
+        let usd = Money::new("USD", 10, 500_000_000);
+        assert_eq!(c.convert(&usd, "USD").unwrap(), usd);
+    }
+
+    #[test]
+    fn roundtrip_is_close() {
+        let c = CurrencyConverter::seeded();
+        let usd = Money::new("USD", 123, 450_000_000);
+        let jpy = c.convert(&usd, "JPY").unwrap();
+        assert_eq!(jpy.currency_code, "JPY");
+        let back = c.convert(&jpy, "USD").unwrap();
+        let diff = (back.total_nanos() - usd.total_nanos()).abs();
+        assert!(diff < 1_000, "roundtrip drift {diff} nanos");
+    }
+
+    #[test]
+    fn conversion_uses_eur_pivot() {
+        let c = CurrencyConverter::seeded();
+        let eur = Money::new("EUR", 1, 0);
+        let usd = c.convert(&eur, "USD").unwrap();
+        assert!((usd.as_f64() - 1.1305).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unknown_currency_is_none() {
+        let c = CurrencyConverter::seeded();
+        let m = Money::new("USD", 1, 0);
+        assert!(c.convert(&m, "XXX").is_none());
+        let bad = Money::new("XXX", 1, 0);
+        assert!(c.convert(&bad, "USD").is_none());
+    }
+
+    #[test]
+    fn supported_is_sorted_and_nonempty() {
+        let s = CurrencyConverter::seeded().supported();
+        assert!(s.len() >= 15);
+        let mut sorted = s.clone();
+        sorted.sort();
+        assert_eq!(s, sorted);
+    }
+
+    #[test]
+    fn negative_amounts_convert() {
+        let c = CurrencyConverter::seeded();
+        let refund = Money::new("USD", -10, 0);
+        let eur = c.convert(&refund, "EUR").unwrap();
+        assert!(eur.total_nanos() < 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Email rendering and "sending" logic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::types::OrderResult;
+
+/// Renders and records order-confirmation emails (the demo's emailservice
+/// renders a template and logs; no real SMTP).
+#[derive(Debug, Default)]
+pub struct EmailSender {
+    sent: AtomicU64,
+}
+
+impl EmailSender {
+    /// Creates the sender.
+    pub fn new() -> EmailSender {
+        EmailSender::default()
+    }
+
+    /// Renders the confirmation body for an order.
+    pub fn render_confirmation(&self, email: &str, order: &OrderResult) -> String {
+        let mut body = String::with_capacity(256);
+        body.push_str(&format!("To: {email}\n"));
+        body.push_str(&format!("Subject: Your order {}\n\n", order.order_id));
+        body.push_str(&format!(
+            "Thank you for your order! It ships to {}, {} ({}).\n",
+            order.shipping_address.street_address,
+            order.shipping_address.city,
+            order.shipping_address.country,
+        ));
+        body.push_str(&format!("Tracking: {}\n", order.shipping_tracking_id));
+        body.push_str("Items:\n");
+        for item in &order.items {
+            body.push_str(&format!(
+                "  {} x{} @ {} {:.2}\n",
+                item.item.product_id,
+                item.item.quantity,
+                item.cost.currency_code,
+                item.cost.as_f64(),
+            ));
+        }
+        body.push_str(&format!(
+            "Shipping: {} {:.2}\n",
+            order.shipping_cost.currency_code,
+            order.shipping_cost.as_f64()
+        ));
+        body.push_str(&format!(
+            "Total: {} {:.2}\n",
+            order.total.currency_code,
+            order.total.as_f64()
+        ));
+        body
+    }
+
+    /// "Sends" a confirmation (renders + counts).
+    pub fn send_confirmation(&self, email: &str, order: &OrderResult) -> String {
+        let body = self.render_confirmation(email, order);
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        body
+    }
+
+    /// Emails sent so far.
+    pub fn sent_count(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Address, CartItem, Money, OrderItem};
+
+    fn order() -> OrderResult {
+        OrderResult {
+            order_id: "o-77".into(),
+            shipping_tracking_id: "USAI-0000000001-62701".into(),
+            shipping_cost: Money::new("USD", 6, 980_000_000),
+            shipping_address: Address {
+                street_address: "1 Main St".into(),
+                city: "Springfield".into(),
+                state: "IL".into(),
+                country: "USA".into(),
+                zip_code: 62701,
+            },
+            items: vec![OrderItem {
+                item: CartItem {
+                    product_id: "OLJCESPC7Z".into(),
+                    quantity: 2,
+                },
+                cost: Money::new("USD", 19, 990_000_000),
+            }],
+            total: Money::new("USD", 46, 960_000_000),
+        }
+    }
+
+    #[test]
+    fn renders_all_fields() {
+        let sender = EmailSender::new();
+        let body = sender.render_confirmation("a@example.com", &order());
+        for needle in [
+            "a@example.com",
+            "o-77",
+            "USAI-0000000001-62701",
+            "OLJCESPC7Z x2",
+            "USD 19.99",
+            "Total: USD 46.96",
+            "Springfield",
+        ] {
+            assert!(body.contains(needle), "missing {needle:?} in:\n{body}");
+        }
+    }
+
+    #[test]
+    fn send_counts() {
+        let sender = EmailSender::new();
+        sender.send_confirmation("a@example.com", &order());
+        sender.send_confirmation("b@example.com", &order());
+        assert_eq!(sender.sent_count(), 2);
+    }
+}

@@ -1,0 +1,12 @@
+//! Pure business logic, shared verbatim by the component version (this
+//! crate) and the microservices baseline (`baseline` crate) so that
+//! architecture comparisons hold the application constant.
+
+pub mod ads;
+pub mod cart;
+pub mod catalog;
+pub mod currency;
+pub mod email;
+pub mod payment;
+pub mod recommend;
+pub mod shipping;

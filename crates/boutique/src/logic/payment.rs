@@ -1,0 +1,229 @@
+//! Payment processing logic: card validation and charging.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::types::{CreditCard, Money};
+
+/// Why a charge was declined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChargeError {
+    /// The card number fails structural checks (length/digits/Luhn).
+    InvalidNumber,
+    /// The card is past its expiration date.
+    Expired {
+        /// Expiration year on the card.
+        year: u32,
+        /// Expiration month on the card.
+        month: u32,
+    },
+    /// Only Visa/Mastercard-shaped numbers are accepted (like the demo).
+    UnsupportedNetwork,
+    /// Non-positive amounts cannot be charged.
+    InvalidAmount,
+}
+
+impl std::fmt::Display for ChargeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChargeError::InvalidNumber => write!(f, "invalid card number"),
+            ChargeError::Expired { year, month } => write!(f, "card expired {month}/{year}"),
+            ChargeError::UnsupportedNetwork => write!(f, "unsupported card network"),
+            ChargeError::InvalidAmount => write!(f, "invalid charge amount"),
+        }
+    }
+}
+
+/// The payment processor.
+#[derive(Debug, Default)]
+pub struct PaymentProcessor {
+    charged: AtomicU64,
+}
+
+/// The clock the processor validates expiry against. Fixed (rather than
+/// wall-clock) so tests and simulations are reproducible.
+pub const BILLING_YEAR: u32 = 2026;
+/// See [`BILLING_YEAR`].
+pub const BILLING_MONTH: u32 = 7;
+
+/// Luhn checksum over an ASCII-digit string.
+pub fn luhn_valid(number: &str) -> bool {
+    if number.is_empty() || !number.bytes().all(|b| b.is_ascii_digit()) {
+        return false;
+    }
+    let sum: u32 = number
+        .bytes()
+        .rev()
+        .enumerate()
+        .map(|(i, b)| {
+            let mut d = u32::from(b - b'0');
+            if i % 2 == 1 {
+                d *= 2;
+                if d > 9 {
+                    d -= 9;
+                }
+            }
+            d
+        })
+        .sum();
+    sum % 10 == 0
+}
+
+impl PaymentProcessor {
+    /// Creates the processor.
+    pub fn new() -> PaymentProcessor {
+        PaymentProcessor::default()
+    }
+
+    /// Charges `amount` to `card`, returning a transaction id.
+    pub fn charge(&self, amount: &Money, card: &CreditCard) -> Result<String, ChargeError> {
+        if amount.total_nanos() <= 0 {
+            return Err(ChargeError::InvalidAmount);
+        }
+        let number = card.number.replace([' ', '-'], "");
+        if !(13..=19).contains(&number.len()) || !luhn_valid(&number) {
+            return Err(ChargeError::InvalidNumber);
+        }
+        // Network detection like the demo: Visa starts with 4;
+        // Mastercard with 51–55 or 2221–2720.
+        let is_visa = number.starts_with('4');
+        let is_mc = number
+            .get(..2)
+            .and_then(|p| p.parse::<u32>().ok())
+            .is_some_and(|p| (51..=55).contains(&p))
+            || number
+                .get(..4)
+                .and_then(|p| p.parse::<u32>().ok())
+                .is_some_and(|p| (2221..=2720).contains(&p));
+        if !is_visa && !is_mc {
+            return Err(ChargeError::UnsupportedNetwork);
+        }
+        if card.expiration_year < BILLING_YEAR
+            || (card.expiration_year == BILLING_YEAR && card.expiration_month < BILLING_MONTH)
+        {
+            return Err(ChargeError::Expired {
+                year: card.expiration_year,
+                month: card.expiration_month,
+            });
+        }
+        let seq = self.charged.fetch_add(1, Ordering::Relaxed);
+        let last4 = &number[number.len() - 4..];
+        Ok(format!("txn-{seq:012}-{last4}"))
+    }
+
+    /// Successful charges so far.
+    pub fn charge_count(&self) -> u64 {
+        self.charged.load(Ordering::Relaxed)
+    }
+}
+
+/// A valid test card (the demo's default).
+pub fn test_card() -> CreditCard {
+    CreditCard {
+        number: "4432-8015-6152-0454".into(),
+        cvv: 672,
+        expiration_year: 2031,
+        expiration_month: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usd(units: i64) -> Money {
+        Money::new("USD", units, 0)
+    }
+
+    #[test]
+    fn luhn_known_values() {
+        assert!(luhn_valid("4532015112830366")); // Visa test number.
+        assert!(luhn_valid("79927398713")); // Classic Luhn example.
+        assert!(!luhn_valid("79927398714"));
+        assert!(!luhn_valid(""));
+        assert!(!luhn_valid("4532a15112830366"));
+    }
+
+    #[test]
+    fn valid_charge_returns_txn() {
+        let p = PaymentProcessor::new();
+        let txn = p.charge(&usd(20), &test_card()).unwrap();
+        assert!(txn.starts_with("txn-"));
+        assert!(txn.ends_with("0454"));
+        assert_eq!(p.charge_count(), 1);
+    }
+
+    #[test]
+    fn txn_ids_unique() {
+        let p = PaymentProcessor::new();
+        let a = p.charge(&usd(1), &test_card()).unwrap();
+        let b = p.charge(&usd(1), &test_card()).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let p = PaymentProcessor::new();
+        let mut card = test_card();
+        card.number = "4432-8015-6152-0455".into(); // Bad checksum.
+        assert_eq!(p.charge(&usd(1), &card), Err(ChargeError::InvalidNumber));
+        card.number = "123".into();
+        assert_eq!(p.charge(&usd(1), &card), Err(ChargeError::InvalidNumber));
+    }
+
+    #[test]
+    fn expired_card_rejected() {
+        let p = PaymentProcessor::new();
+        let mut card = test_card();
+        card.expiration_year = 2020;
+        assert!(matches!(
+            p.charge(&usd(1), &card),
+            Err(ChargeError::Expired { year: 2020, .. })
+        ));
+        // Same year, earlier month.
+        card.expiration_year = BILLING_YEAR;
+        card.expiration_month = BILLING_MONTH - 1;
+        assert!(matches!(
+            p.charge(&usd(1), &card),
+            Err(ChargeError::Expired { .. })
+        ));
+        // Same year, same month: still valid.
+        card.expiration_month = BILLING_MONTH;
+        assert!(p.charge(&usd(1), &card).is_ok());
+    }
+
+    #[test]
+    fn unsupported_network_rejected() {
+        let p = PaymentProcessor::new();
+        let mut card = test_card();
+        // Amex-shaped (starts with 37), Luhn-valid.
+        card.number = "371449635398431".into();
+        assert_eq!(
+            p.charge(&usd(1), &card),
+            Err(ChargeError::UnsupportedNetwork)
+        );
+    }
+
+    #[test]
+    fn mastercard_accepted() {
+        let p = PaymentProcessor::new();
+        let mut card = test_card();
+        card.number = "5555555555554444".into(); // MC test number.
+        assert!(p.charge(&usd(1), &card).is_ok());
+        card.number = "2223003122003222".into(); // 2-series MC.
+        assert!(p.charge(&usd(1), &card).is_ok());
+    }
+
+    #[test]
+    fn nonpositive_amounts_rejected() {
+        let p = PaymentProcessor::new();
+        assert_eq!(
+            p.charge(&usd(0), &test_card()),
+            Err(ChargeError::InvalidAmount)
+        );
+        assert_eq!(
+            p.charge(&usd(-5), &test_card()),
+            Err(ChargeError::InvalidAmount)
+        );
+        assert_eq!(p.charge_count(), 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Recommendation logic: suggest products related to what the user views.
+
+use crate::types::Product;
+
+/// Recommends up to `max` products the user is not already looking at.
+///
+/// Deterministic: candidates are ranked by a hash of (user, product), so
+/// the same user sees stable recommendations while different users see
+/// different mixes — the shape of the demo's recommendationservice without
+/// its Python ML stub.
+pub fn recommend<'a>(
+    user_id: &str,
+    context_product_ids: &[String],
+    catalog: &'a [Product],
+    max: usize,
+) -> Vec<&'a Product> {
+    let mut candidates: Vec<(&'a Product, u64)> = catalog
+        .iter()
+        .filter(|p| !context_product_ids.contains(&p.id))
+        .map(|p| (p, pair_hash(user_id, &p.id)))
+        .collect();
+    candidates.sort_by_key(|&(p, h)| (h, p.id.clone()));
+    candidates.into_iter().take(max).map(|(p, _)| p).collect()
+}
+
+fn pair_hash(user: &str, product: &str) -> u64 {
+    // FNV-1a over both strings; stable across processes and runs.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in user.bytes().chain([0]).chain(product.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::catalog::CatalogStore;
+
+    #[test]
+    fn excludes_context_products() {
+        let catalog = CatalogStore::seeded();
+        let context = vec!["OLJCESPC7Z".to_string()];
+        let recs = recommend("alice", &context, catalog.list(), 5);
+        assert_eq!(recs.len(), 5);
+        assert!(recs.iter().all(|p| p.id != "OLJCESPC7Z"));
+    }
+
+    #[test]
+    fn stable_per_user() {
+        let catalog = CatalogStore::seeded();
+        let a = recommend("alice", &[], catalog.list(), 4);
+        let b = recommend("alice", &[], catalog.list(), 4);
+        assert_eq!(
+            a.iter().map(|p| &p.id).collect::<Vec<_>>(),
+            b.iter().map(|p| &p.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_users_usually_differ() {
+        let catalog = CatalogStore::seeded();
+        let alice: Vec<&str> = recommend("alice", &[], catalog.list(), 4)
+            .iter()
+            .map(|p| p.id.as_str())
+            .collect();
+        let bob: Vec<&str> = recommend("bob", &[], catalog.list(), 4)
+            .iter()
+            .map(|p| p.id.as_str())
+            .collect();
+        assert_ne!(alice, bob);
+    }
+
+    #[test]
+    fn max_respected_and_bounded_by_catalog() {
+        let catalog = CatalogStore::seeded();
+        assert_eq!(recommend("u", &[], catalog.list(), 3).len(), 3);
+        assert_eq!(recommend("u", &[], catalog.list(), 0).len(), 0);
+        let all = recommend("u", &[], catalog.list(), 1000);
+        assert_eq!(all.len(), catalog.list().len());
+    }
+}

@@ -1,0 +1,132 @@
+//! Shipping quote and tracking logic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::types::{Address, CartItem, Money};
+
+/// Quote and ship orders.
+#[derive(Debug, Default)]
+pub struct ShippingService {
+    shipped: AtomicU64,
+}
+
+impl ShippingService {
+    /// Creates the service.
+    pub fn new() -> ShippingService {
+        ShippingService::default()
+    }
+
+    /// Quotes shipping for a set of items in USD, like the demo: a flat fee
+    /// plus a per-item cost, discounted for bulk.
+    pub fn quote(&self, _address: &Address, items: &[CartItem]) -> Money {
+        let count: u64 = items.iter().map(|i| u64::from(i.quantity)).sum();
+        if count == 0 {
+            return Money::new("USD", 0, 0);
+        }
+        // $4.99 base + $1.99/item, 10% off above 10 items.
+        let base = 4_990_000_000i128;
+        let per_item = 1_990_000_000i128 * i128::from(count);
+        let mut total = base + per_item;
+        if count > 10 {
+            total = total * 9 / 10;
+        }
+        Money::from_total_nanos("USD", total)
+    }
+
+    /// Ships an order, returning a tracking id.
+    ///
+    /// Tracking ids are derived from the destination and a sequence number
+    /// — deterministic per process, unique across orders.
+    pub fn ship(&self, address: &Address, _items: &[CartItem]) -> String {
+        let seq = self.shipped.fetch_add(1, Ordering::Relaxed);
+        let region = address
+            .country
+            .chars()
+            .chain(address.state.chars())
+            .filter(|c| c.is_ascii_alphabetic())
+            .take(4)
+            .collect::<String>()
+            .to_uppercase();
+        let region = if region.is_empty() {
+            "XX".to_string()
+        } else {
+            region
+        };
+        format!("{region}-{:010}-{}", seq, address.zip_code)
+    }
+
+    /// Orders shipped so far.
+    pub fn shipped_count(&self) -> u64 {
+        self.shipped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(qty: &[u32]) -> Vec<CartItem> {
+        qty.iter()
+            .enumerate()
+            .map(|(i, &q)| CartItem {
+                product_id: format!("P{i}"),
+                quantity: q,
+            })
+            .collect()
+    }
+
+    fn address() -> Address {
+        Address {
+            street_address: "1 Main".into(),
+            city: "Springfield".into(),
+            state: "IL".into(),
+            country: "USA".into(),
+            zip_code: 62701,
+        }
+    }
+
+    #[test]
+    fn empty_cart_ships_free() {
+        let s = ShippingService::new();
+        assert_eq!(s.quote(&address(), &[]), Money::new("USD", 0, 0));
+    }
+
+    #[test]
+    fn quote_scales_with_items() {
+        let s = ShippingService::new();
+        let one = s.quote(&address(), &items(&[1]));
+        let three = s.quote(&address(), &items(&[1, 1, 1]));
+        assert!(three.total_nanos() > one.total_nanos());
+        // 1 item: 4.99 + 1.99 = 6.98.
+        assert_eq!(one, Money::new("USD", 6, 980_000_000));
+    }
+
+    #[test]
+    fn bulk_discount_applies() {
+        let s = ShippingService::new();
+        let ten = s.quote(&address(), &items(&[10]));
+        let eleven = s.quote(&address(), &items(&[11]));
+        // 11 items gets 10% off; compare against undiscounted extrapolation.
+        let undiscounted_eleven = 4_990_000_000i128 + 1_990_000_000 * 11;
+        assert_eq!(eleven.total_nanos(), undiscounted_eleven * 9 / 10);
+        assert!(ten.total_nanos() < undiscounted_eleven);
+    }
+
+    #[test]
+    fn tracking_ids_unique_and_regional() {
+        let s = ShippingService::new();
+        let a = s.ship(&address(), &items(&[1]));
+        let b = s.ship(&address(), &items(&[1]));
+        assert_ne!(a, b);
+        assert!(a.starts_with("USAI"), "{a}");
+        assert!(a.ends_with("62701"));
+        assert_eq!(s.shipped_count(), 2);
+    }
+
+    #[test]
+    fn empty_address_gets_placeholder_region() {
+        let s = ShippingService::new();
+        let t = s.ship(&Address::default(), &[]);
+        assert!(t.starts_with("XX-"), "{t}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Serialization substrate for `weaver-rs`.
+//!
+//! This crate implements the three wire formats used throughout the
+//! reproduction of *Towards Modern Development of Cloud Applications*
+//! (HotOS '23):
+//!
+//! * [`Encode`]/[`Decode`] — the paper's **custom non-versioned format**
+//!   (§5.5, §6.1). Because encoder and decoder are always compiled into the
+//!   same binary and deployed atomically, the format carries *zero* per-field
+//!   metadata: fields are written in declaration order, scalars are
+//!   fixed-width little-endian, and lengths are LEB128 varints. This is the
+//!   format whose efficiency Table 2 attributes most of the prototype's win
+//!   to.
+//! * [`tagged`] — a protobuf-shaped **versioned baseline**: every field is
+//!   prefixed with a `(field_number << 3) | wire_type` key, unknown fields
+//!   are skippable, and absent fields decode to defaults. This reproduces
+//!   the encoding cost the paper ascribes to the status quo.
+//! * [`json`] — a textual baseline (self-describing field names), the most
+//!   expensive format the paper's introduction mentions.
+//!
+//! All three are implemented from scratch so the benchmark in
+//! `bench/benches/codec.rs` compares like against like (same allocator, same
+//! buffer discipline), isolating the cost of versioning metadata itself.
+//!
+//! Application types get all three implementations from a single
+//! `#[derive(WeaverData)]` (see the `weaver-macros` crate).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod json;
+pub mod persist;
+pub mod reader;
+pub mod tagged;
+pub mod varint;
+pub mod wire;
+
+pub use error::DecodeError;
+pub use reader::Reader;
+pub use wire::{decode_from_slice, encode_to_vec, Decode, Encode};
+
+/// Convenience prelude for generated code and downstream crates.
+pub mod prelude {
+    pub use crate::error::DecodeError;
+    pub use crate::json::{FromJson, JsonValue, ToJson};
+    pub use crate::reader::Reader;
+    pub use crate::tagged::{FieldKey, TaggedDecode, TaggedEncode, WireType};
+    pub use crate::varint::{read_uvarint, write_uvarint};
+    pub use crate::wire::{decode_from_slice, encode_to_vec, Decode, Encode};
+}

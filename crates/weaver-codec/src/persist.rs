@@ -1,0 +1,201 @@
+//! Versioned envelopes for **persistent** state (paper §5.4).
+//!
+//! Atomic rollouts let the RPC wire format drop all versioning metadata,
+//! but "persistent state, by definition, persists across versions": bytes
+//! written by v1 will be read by v2. A non-versioned encoding is therefore
+//! *unsafe at rest*, even though it is optimal in flight.
+//!
+//! [`Record`] is the missing piece: a tiny self-describing envelope —
+//! magic, schema version, payload length, checksum — wrapped around the
+//! fast non-versioned encoding. Readers dispatch on the schema version and
+//! migrate old payloads forward explicitly, so cross-version state
+//! interactions are a visible, testable code path instead of silent
+//! corruption (the open question §5.4 raises).
+
+use crate::error::DecodeError;
+use crate::reader::Reader;
+use crate::varint::{read_uvarint, write_uvarint};
+use crate::wire::{decode_from_slice, encode_to_vec, Decode, Encode};
+
+/// Magic bytes identifying a persisted weaver record.
+pub const MAGIC: [u8; 4] = *b"WVR1";
+
+/// A schema-versioned persisted payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Application-defined schema version of the payload.
+    pub schema: u32,
+    /// The non-versioned-encoded payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// FNV-1a over the payload — corruption detection, not cryptography.
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+impl Record {
+    /// Encodes `value` under `schema`.
+    pub fn seal<T: Encode>(schema: u32, value: &T) -> Record {
+        Record {
+            schema,
+            payload: encode_to_vec(value),
+        }
+    }
+
+    /// Serializes the record: `MAGIC ‖ schema ‖ len ‖ payload ‖ checksum`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + 24);
+        out.extend_from_slice(&MAGIC);
+        write_uvarint(&mut out, u64::from(self.schema));
+        write_uvarint(&mut out, self.payload.len() as u64);
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&checksum(&self.payload).to_le_bytes());
+        out
+    }
+
+    /// Parses a record, verifying magic and checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Record, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.read_array::<4>()?;
+        if magic != MAGIC {
+            return Err(DecodeError::UnknownVariant {
+                type_name: "persist::Record (bad magic)",
+                discriminant: u64::from(u32::from_le_bytes(magic)),
+            });
+        }
+        let schema = u32::try_from(read_uvarint(&mut r)?)
+            .map_err(|_| DecodeError::InvalidLength(u64::MAX))?;
+        let len = r.read_len()?;
+        let payload = r.read_bytes(len)?.to_vec();
+        let stored = u64::from_le_bytes(r.read_array::<8>()?);
+        if stored != checksum(&payload) {
+            return Err(DecodeError::UnknownVariant {
+                type_name: "persist::Record (checksum mismatch)",
+                discriminant: stored,
+            });
+        }
+        if !r.is_empty() {
+            return Err(DecodeError::TrailingBytes(r.remaining()));
+        }
+        Ok(Record { schema, payload })
+    }
+
+    /// Decodes the payload as `T`, requiring the expected schema version.
+    pub fn open<T: Decode>(&self, expected_schema: u32) -> Result<T, DecodeError> {
+        if self.schema != expected_schema {
+            return Err(DecodeError::UnknownVariant {
+                type_name: "persist::Record (schema version)",
+                discriminant: u64::from(self.schema),
+            });
+        }
+        decode_from_slice(&self.payload)
+    }
+}
+
+/// Reads a record written at *any* known schema version, migrating it to
+/// the current type via the supplied per-version migrations.
+///
+/// `migrations` maps an old schema version to a function that decodes the
+/// old payload and converts it to `T`. The current version decodes
+/// directly. This is the §5.4 pattern: cross-version state interaction as
+/// explicit, testable code.
+pub fn open_with_migrations<T: Decode>(
+    bytes: &[u8],
+    current_schema: u32,
+    migrations: &[(u32, &dyn Fn(&[u8]) -> Result<T, DecodeError>)],
+) -> Result<T, DecodeError> {
+    let record = Record::from_bytes(bytes)?;
+    if record.schema == current_schema {
+        return decode_from_slice(&record.payload);
+    }
+    for (schema, migrate) in migrations {
+        if *schema == record.schema {
+            return migrate(&record.payload);
+        }
+    }
+    Err(DecodeError::UnknownVariant {
+        type_name: "persist::Record (no migration for schema)",
+        discriminant: u64::from(record.schema),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let record = Record::seal(3, &("cart".to_string(), 7u32));
+        let bytes = record.to_bytes();
+        let back = Record::from_bytes(&bytes).unwrap();
+        assert_eq!(back, record);
+        let (name, qty): (String, u32) = back.open(3).unwrap();
+        assert_eq!((name.as_str(), qty), ("cart", 7));
+    }
+
+    #[test]
+    fn wrong_schema_is_refused_not_misdecoded() {
+        // v2 of the state adds a field; reading v1 bytes as v2 must be an
+        // explicit schema error, not garbage.
+        let v1 = Record::seal(1, &("cart".to_string(),));
+        let err = v1.open::<(String, u32)>(2).unwrap_err();
+        assert!(matches!(err, DecodeError::UnknownVariant { .. }));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = Record::seal(1, &42u64).to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(Record::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut bytes = Record::seal(1, &42u64).to_bytes();
+        bytes[0] = b'X';
+        assert!(Record::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = Record::seal(1, &42u64).to_bytes();
+        assert!(Record::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn migration_path() {
+        // v1 persisted a bare count; v2 persists (count, label).
+        type V2 = (u64, String);
+        let old = Record::seal(1, &41u64).to_bytes();
+        let new = Record::seal(2, &(7u64, "x".to_string())).to_bytes();
+
+        let migrate_v1: &dyn Fn(&[u8]) -> Result<V2, DecodeError> = &|payload| {
+            let count: u64 = decode_from_slice(payload)?;
+            Ok((count, String::from("migrated")))
+        };
+
+        let from_old: V2 = open_with_migrations(&old, 2, &[(1, migrate_v1)]).unwrap();
+        assert_eq!(from_old, (41, "migrated".to_string()));
+        let from_new: V2 = open_with_migrations(&new, 2, &[(1, migrate_v1)]).unwrap();
+        assert_eq!(from_new, (7, "x".to_string()));
+
+        // Unknown schema (e.g. state written by a *newer* version during a
+        // rollback) is a loud error.
+        let future = Record::seal(9, &1u8).to_bytes();
+        assert!(open_with_migrations::<V2>(&future, 2, &[(1, migrate_v1)]).is_err());
+    }
+
+    #[test]
+    fn envelope_overhead_is_small() {
+        let record = Record::seal(1, &vec![0u8; 1000]);
+        let overhead = record.to_bytes().len() - 1000;
+        assert!(overhead <= 24, "envelope overhead {overhead} bytes");
+    }
+}

@@ -1,0 +1,202 @@
+//! A bounds-checked cursor over an input byte slice.
+
+use crate::error::DecodeError;
+
+/// Maximum nesting depth any decoder will follow before bailing out.
+///
+/// Prevents stack exhaustion on adversarial inputs (e.g. a few hundred bytes
+/// of `[[[[…`). Shared by the binary and JSON decoders.
+pub const MAX_DEPTH: usize = 128;
+
+/// A cursor over a borrowed byte slice with explicit error reporting.
+///
+/// All decoders in this crate read through a `Reader`; it never panics on
+/// short input, returning [`DecodeError::UnexpectedEof`] instead.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    #[inline]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader {
+            buf,
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when all input has been consumed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Current byte offset from the start of the input.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Consumes and returns the next byte.
+    #[inline]
+    pub fn read_u8(&mut self) -> Result<u8, DecodeError> {
+        match self.buf.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => Err(DecodeError::UnexpectedEof {
+                needed: 1,
+                remaining: 0,
+            }),
+        }
+    }
+
+    /// Consumes and returns the next `n` bytes as a subslice.
+    #[inline]
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consumes a fixed-size array of `N` bytes.
+    #[inline]
+    pub fn read_array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let slice = self.read_bytes(N)?;
+        // The slice is exactly N bytes, so the conversion cannot fail.
+        let mut arr = [0u8; N];
+        arr.copy_from_slice(slice);
+        Ok(arr)
+    }
+
+    /// Skips `n` bytes without copying them.
+    #[inline]
+    pub fn skip(&mut self, n: usize) -> Result<(), DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        self.pos += n;
+        Ok(())
+    }
+
+    /// Reads a length prefix and validates it against the remaining input.
+    ///
+    /// Every length-prefixed structure in both binary formats goes through
+    /// this check, so a corrupt length can never cause an over-allocation:
+    /// the declared length is bounded by the bytes actually present.
+    #[inline]
+    pub fn read_len(&mut self) -> Result<usize, DecodeError> {
+        let len = crate::varint::read_uvarint(self)?;
+        if len > self.remaining() as u64 {
+            return Err(DecodeError::InvalidLength(len));
+        }
+        Ok(len as usize)
+    }
+
+    /// Enters one level of nesting, failing if [`MAX_DEPTH`] is exceeded.
+    ///
+    /// Callers must pair this with [`Reader::leave`].
+    #[inline]
+    pub fn enter(&mut self) -> Result<(), DecodeError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(DecodeError::DepthLimitExceeded);
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    /// Leaves one level of nesting.
+    #[inline]
+    pub fn leave(&mut self) {
+        debug_assert!(self.depth > 0, "leave() without matching enter()");
+        self.depth = self.depth.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_u8_sequence() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.read_u8().unwrap(), 1);
+        assert_eq!(r.read_u8().unwrap(), 2);
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.read_u8().unwrap(), 3);
+        assert!(r.is_empty());
+        assert!(r.read_u8().is_err());
+    }
+
+    #[test]
+    fn read_bytes_bounds() {
+        let mut r = Reader::new(&[1, 2, 3, 4]);
+        assert_eq!(r.read_bytes(2).unwrap(), &[1, 2]);
+        assert_eq!(
+            r.read_bytes(3),
+            Err(DecodeError::UnexpectedEof {
+                needed: 3,
+                remaining: 2
+            })
+        );
+        // A failed read consumes nothing.
+        assert_eq!(r.read_bytes(2).unwrap(), &[3, 4]);
+    }
+
+    #[test]
+    fn read_array_exact() {
+        let mut r = Reader::new(&[0xde, 0xad, 0xbe, 0xef]);
+        let a: [u8; 4] = r.read_array().unwrap();
+        assert_eq!(a, [0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn skip_and_position() {
+        let mut r = Reader::new(&[0; 10]);
+        r.skip(4).unwrap();
+        assert_eq!(r.position(), 4);
+        assert!(r.skip(7).is_err());
+        assert_eq!(r.position(), 4);
+    }
+
+    #[test]
+    fn read_len_rejects_lengths_beyond_input() {
+        // Varint 200 but only a handful of bytes follow.
+        let mut buf = Vec::new();
+        crate::varint::write_uvarint(&mut buf, 200);
+        buf.extend_from_slice(&[0; 3]);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.read_len(), Err(DecodeError::InvalidLength(200)));
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let mut r = Reader::new(&[]);
+        for _ in 0..MAX_DEPTH {
+            r.enter().unwrap();
+        }
+        assert_eq!(r.enter(), Err(DecodeError::DepthLimitExceeded));
+        r.leave();
+        assert!(r.enter().is_ok());
+    }
+}

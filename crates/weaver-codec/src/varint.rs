@@ -1,0 +1,183 @@
+//! LEB128 variable-width integers and zigzag transforms.
+//!
+//! Varints are used by the non-versioned format only for *lengths* (where
+//! values are almost always small) and by the tagged baseline for field keys
+//! and integer values, mirroring protobuf's encoding exactly.
+
+use crate::error::DecodeError;
+use crate::reader::Reader;
+
+/// Maximum encoded width of a `u64` varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `value` to `buf` as an LEB128 varint (1–10 bytes).
+#[inline]
+pub fn write_uvarint(buf: &mut Vec<u8>, mut value: u64) {
+    while value >= 0x80 {
+        buf.push((value as u8) | 0x80);
+        value >>= 7;
+    }
+    buf.push(value as u8);
+}
+
+/// Reads an LEB128 varint from `r`.
+///
+/// Rejects encodings longer than 10 bytes and 10-byte encodings whose final
+/// byte would overflow 64 bits.
+#[inline]
+pub fn read_uvarint(r: &mut Reader<'_>) -> Result<u64, DecodeError> {
+    let mut result: u64 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let byte = r.read_u8()?;
+        if shift == 63 && byte > 1 {
+            return Err(DecodeError::VarintOverflow);
+        }
+        result |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DecodeError::VarintOverflow);
+        }
+    }
+}
+
+/// Maps a signed integer onto the unsigned space so that values of small
+/// magnitude (of either sign) encode in few bytes: 0 → 0, -1 → 1, 1 → 2, …
+#[inline]
+pub fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Appends a zigzag-encoded signed varint.
+#[inline]
+pub fn write_ivarint(buf: &mut Vec<u8>, value: i64) {
+    write_uvarint(buf, zigzag_encode(value));
+}
+
+/// Reads a zigzag-encoded signed varint.
+#[inline]
+pub fn read_ivarint(r: &mut Reader<'_>) -> Result<i64, DecodeError> {
+    Ok(zigzag_decode(read_uvarint(r)?))
+}
+
+/// Returns the number of bytes [`write_uvarint`] would append for `value`.
+#[inline]
+pub fn uvarint_len(value: u64) -> usize {
+    // Bits needed, rounded up to a multiple of 7; zero still takes one byte.
+    ((64 - (value | 1).leading_zeros() as usize) + 6) / 7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, v);
+        assert_eq!(buf.len(), uvarint_len(v), "length mismatch for {v}");
+        let mut r = Reader::new(&buf);
+        let out = read_uvarint(&mut r).unwrap();
+        assert!(r.is_empty());
+        out
+    }
+
+    #[test]
+    fn uvarint_boundaries() {
+        for v in [
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(roundtrip(v), v);
+        }
+    }
+
+    #[test]
+    fn uvarint_single_byte_values() {
+        for v in 0..=0x7f_u64 {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            assert_eq!(buf, vec![v as u8]);
+        }
+    }
+
+    #[test]
+    fn uvarint_max_is_ten_bytes() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), MAX_VARINT_LEN);
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // Eleven continuation bytes can never terminate within 64 bits.
+        let buf = [0xff_u8; 11];
+        let mut r = Reader::new(&buf);
+        assert_eq!(read_uvarint(&mut r), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn ten_byte_overflow_rejected() {
+        // 9 continuation bytes then a final byte of 2 overflows bit 64.
+        let mut buf = vec![0x80_u8; 9];
+        buf.push(0x02);
+        let mut r = Reader::new(&buf);
+        assert_eq!(read_uvarint(&mut r), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn truncated_varint_is_eof() {
+        let buf = [0x80_u8, 0x80];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            read_uvarint(&mut r),
+            Err(DecodeError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn zigzag_mapping() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        assert_eq!(zigzag_encode(i64::MAX), u64::MAX - 1);
+        assert_eq!(zigzag_encode(i64::MIN), u64::MAX);
+    }
+
+    #[test]
+    fn zigzag_roundtrip_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 42, -42] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+            let mut buf = Vec::new();
+            write_ivarint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(read_ivarint(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn uvarint_len_matches_encoding() {
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            assert_eq!(buf.len(), uvarint_len(v), "shift {shift}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The two traits linking application code to the runtime.
+
+use std::sync::Arc;
+
+use crate::client::ClientHandle;
+use crate::context::{CallContext, InitContext};
+use crate::error::WeaverError;
+
+/// Metadata for one method of a component interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MethodSpec {
+    /// Method name (for call-graph edges and diagnostics).
+    pub name: &'static str,
+    /// Whether calls are routed by the hash of the first argument (§5.2).
+    pub routed: bool,
+}
+
+/// Implemented by `#[weaver::component]` for `dyn Trait`.
+///
+/// This is the compile-time artifact of the paper's code generator (§4.2):
+/// everything the runtime needs to marshal calls to and from the trait
+/// without knowing its methods.
+pub trait ComponentInterface: Send + Sync + 'static {
+    /// Globally unique component name (defaults to `module_path.TraitName`).
+    const NAME: &'static str;
+
+    /// The interface's method table; method ids index into it.
+    const METHODS: &'static [MethodSpec];
+
+    /// Builds a client stub that forwards calls through `handle`.
+    fn client(handle: ClientHandle) -> Arc<Self>;
+
+    /// Server side: decode `args`, invoke method `method` on `this`, and
+    /// encode the reply.
+    fn dispatch(
+        this: &Self,
+        method: u32,
+        ctx: &CallContext,
+        args: &[u8],
+    ) -> Result<Vec<u8>, WeaverError>;
+}
+
+/// Implemented by application structs — the analogue of embedding
+/// `Implements[Hello]` in the paper's Figure 2.
+///
+/// ```ignore
+/// struct HelloImpl;
+/// impl Hello for HelloImpl { /* business logic */ }
+/// impl Component for HelloImpl {
+///     type Interface = dyn Hello;
+///     fn init(_: &InitContext) -> Result<Self, WeaverError> { Ok(HelloImpl) }
+///     fn into_interface(self: Arc<Self>) -> Arc<dyn Hello> { self }
+/// }
+/// ```
+pub trait Component: Send + Sync + Sized + 'static {
+    /// The interface this struct implements (a `dyn Trait`).
+    type Interface: ComponentInterface + ?Sized;
+
+    /// Constructs one replica of the component. The [`InitContext`] supplies
+    /// references to other components; acquiring them here (rather than per
+    /// call) is the idiomatic pattern.
+    fn init(ctx: &InitContext<'_>) -> Result<Self, WeaverError>;
+
+    /// Upcasts to the interface. Always `{ self }` — Rust cannot write the
+    /// unsize coercion generically on stable, so each component spells it.
+    fn into_interface(self: Arc<Self>) -> Arc<Self::Interface>;
+}

@@ -1,0 +1,299 @@
+//! Expansion of `#[component]` on a trait.
+//!
+//! For a trait `Hello` this generates:
+//!
+//! * the trait itself, with `Send + Sync + 'static` supertraits added;
+//! * `HelloClient`, a stub implementing `Hello` by marshaling arguments and
+//!   calling through a `weaver_core::client::ClientHandle`;
+//! * `impl weaver_core::component::ComponentInterface for dyn Hello`, which
+//!   carries the component name, the method table, the client factory, and
+//!   the server-side dispatcher.
+
+use proc_macro2::TokenStream;
+use quote::{format_ident, quote};
+use syn::{
+    parse2, FnArg, Ident, ItemTrait, LitStr, Pat, Result, ReturnType, TraitItem, TraitItemFn,
+    Type,
+};
+
+struct Method {
+    ident: Ident,
+    /// Payload arguments (excluding `&self` and the context argument).
+    args: Vec<(Ident, Type)>,
+    /// `T` from `Result<T, WeaverError>`.
+    ok_type: Type,
+    routed: bool,
+}
+
+pub fn expand(attr_args: TokenStream, input: TokenStream) -> Result<TokenStream> {
+    let mut item: ItemTrait = parse2(input)?;
+    let trait_ident = item.ident.clone();
+
+    // Optional `name = "..."` attribute argument.
+    let mut explicit_name: Option<String> = None;
+    if !attr_args.is_empty() {
+        let parser = syn::meta::parser(|meta| {
+            if meta.path.is_ident("name") {
+                let lit: LitStr = meta.value()?.parse()?;
+                explicit_name = Some(lit.value());
+                Ok(())
+            } else {
+                Err(meta.error("unsupported #[component] argument; expected `name = \"…\"`"))
+            }
+        });
+        syn::parse::Parser::parse2(parser, attr_args)?;
+    }
+
+    // Add `Send + Sync + 'static` supertraits so `Arc<dyn Trait>` is shareable.
+    item.supertraits.push(syn::parse_quote!(::std::marker::Send));
+    item.supertraits.push(syn::parse_quote!(::std::marker::Sync));
+    item.supertraits.push(syn::parse_quote!('static));
+
+    let mut methods = Vec::new();
+    for entry in &mut item.items {
+        if let TraitItem::Fn(f) = entry {
+            methods.push(parse_method(f)?);
+        }
+    }
+    if methods.is_empty() {
+        return Err(syn::Error::new_spanned(
+            &trait_ident,
+            "a #[component] trait must declare at least one method",
+        ));
+    }
+
+    let client_ident = format_ident!("{trait_ident}Client");
+    let trait_name_str = trait_ident.to_string();
+
+    let name_expr = match explicit_name {
+        Some(n) => quote!(#n),
+        None => quote!(::std::concat!(::std::module_path!(), ".", #trait_name_str)),
+    };
+
+    let method_specs = methods.iter().map(|m| {
+        let name = m.ident.to_string();
+        let routed = m.routed;
+        quote! {
+            ::weaver_core::component::MethodSpec {
+                name: #name,
+                routed: #routed,
+            }
+        }
+    });
+
+    let client_methods = methods.iter().enumerate().map(|(idx, m)| {
+        let idx = idx as u32;
+        let ident = &m.ident;
+        let ok_type = &m.ok_type;
+        let arg_pairs = m.args.iter().map(|(name, ty)| quote!(#name: #ty));
+        let encodes = m.args.iter().map(|(name, _)| {
+            quote!(::weaver_codec::wire::Encode::encode(&#name, &mut args);)
+        });
+        let routing = if m.routed {
+            let first = &m.args[0].0;
+            quote!(::std::option::Option::Some(::weaver_core::routing_key(&#first)))
+        } else {
+            quote!(::std::option::Option::None)
+        };
+        quote! {
+            fn #ident(
+                &self,
+                ctx: &::weaver_core::context::CallContext,
+                #(#arg_pairs),*
+            ) -> ::std::result::Result<#ok_type, ::weaver_core::error::WeaverError> {
+                let mut args = ::std::vec::Vec::new();
+                #(#encodes)*
+                let reply = self.handle.call(ctx, #idx, #routing, args)?;
+                ::weaver_core::client::decode_reply::<#ok_type>(&reply)
+            }
+        }
+    });
+
+    let dispatch_arms = methods.iter().enumerate().map(|(idx, m)| {
+        let idx = idx as u32;
+        let ident = &m.ident;
+        let arg_names: Vec<&Ident> = m.args.iter().map(|(name, _)| name).collect();
+        let decodes = m.args.iter().map(|(name, ty)| {
+            quote! {
+                let #name = <#ty as ::weaver_codec::wire::Decode>::decode(&mut r)
+                    .map_err(::weaver_core::error::WeaverError::from)?;
+            }
+        });
+        quote! {
+            #idx => {
+                let mut r = ::weaver_codec::reader::Reader::new(args);
+                #(#decodes)*
+                let ret = this.#ident(ctx, #(#arg_names),*);
+                ::std::result::Result::Ok(::weaver_core::client::encode_reply(&ret))
+            }
+        }
+    });
+
+    let vis = &item.vis;
+
+    let generated = quote! {
+        #item
+
+        /// Generated client stub: marshals arguments and calls through the
+        /// runtime. Local (co-located) calls never construct one of these —
+        /// the runtime hands out the implementation `Arc` directly.
+        #[doc(hidden)]
+        #vis struct #client_ident {
+            handle: ::weaver_core::client::ClientHandle,
+        }
+
+        impl #trait_ident for #client_ident {
+            #(#client_methods)*
+        }
+
+        impl ::weaver_core::component::ComponentInterface for dyn #trait_ident {
+            const NAME: &'static str = #name_expr;
+
+            const METHODS: &'static [::weaver_core::component::MethodSpec] = &[
+                #(#method_specs),*
+            ];
+
+            fn client(handle: ::weaver_core::client::ClientHandle) -> ::std::sync::Arc<Self> {
+                ::std::sync::Arc::new(#client_ident { handle })
+            }
+
+            fn dispatch(
+                this: &Self,
+                method: u32,
+                ctx: &::weaver_core::context::CallContext,
+                args: &[u8],
+            ) -> ::std::result::Result<::std::vec::Vec<u8>, ::weaver_core::error::WeaverError>
+            {
+                match method {
+                    #(#dispatch_arms)*
+                    other => ::std::result::Result::Err(
+                        ::weaver_core::error::WeaverError::UnknownMethod {
+                            component: <Self as ::weaver_core::component::ComponentInterface>::NAME
+                                .to_string(),
+                            method: other,
+                        },
+                    ),
+                }
+            }
+        }
+    };
+
+    Ok(generated)
+}
+
+fn parse_method(f: &mut TraitItemFn) -> Result<Method> {
+    if f.default.is_some() {
+        return Err(syn::Error::new_spanned(
+            &f.sig.ident,
+            "#[component] trait methods cannot have default bodies",
+        ));
+    }
+
+    // Strip and record the #[routed] marker.
+    let mut routed = false;
+    f.attrs.retain(|attr| {
+        if attr.path().is_ident("routed") {
+            routed = true;
+            false
+        } else {
+            true
+        }
+    });
+
+    let mut inputs = f.sig.inputs.iter();
+
+    // Receiver must be `&self`.
+    match inputs.next() {
+        Some(FnArg::Receiver(recv)) if recv.reference.is_some() && recv.mutability.is_none() => {}
+        _ => {
+            return Err(syn::Error::new_spanned(
+                &f.sig.ident,
+                "component methods must take `&self` (components are shared, replicated agents)",
+            ))
+        }
+    }
+
+    // Context argument: any by-reference parameter, conventionally
+    // `ctx: &CallContext`.
+    match inputs.next() {
+        Some(FnArg::Typed(pat)) if matches!(*pat.ty, Type::Reference(_)) => {}
+        _ => {
+            return Err(syn::Error::new_spanned(
+                &f.sig.ident,
+                "component methods must take `ctx: &CallContext` as their first argument",
+            ))
+        }
+    }
+
+    // Remaining arguments are the owned payload.
+    let mut args = Vec::new();
+    for arg in inputs {
+        let FnArg::Typed(pat) = arg else {
+            return Err(syn::Error::new_spanned(
+                &f.sig.ident,
+                "unexpected receiver after the first position",
+            ));
+        };
+        let Pat::Ident(pat_ident) = &*pat.pat else {
+            return Err(syn::Error::new_spanned(
+                &pat.pat,
+                "component method arguments must be simple identifiers",
+            ));
+        };
+        if matches!(*pat.ty, Type::Reference(_)) {
+            return Err(syn::Error::new_spanned(
+                &pat.ty,
+                "component method arguments must be owned values (they may cross a process \
+                 boundary)",
+            ));
+        }
+        args.push((pat_ident.ident.clone(), (*pat.ty).clone()));
+    }
+
+    if routed && args.is_empty() {
+        return Err(syn::Error::new_spanned(
+            &f.sig.ident,
+            "#[routed] methods need at least one argument to use as the routing key",
+        ));
+    }
+
+    // Return type must be Result<T, …>.
+    let ok_type = match &f.sig.output {
+        ReturnType::Type(_, ty) => extract_result_ok(ty).ok_or_else(|| {
+            syn::Error::new_spanned(
+                ty,
+                "component methods must return Result<T, WeaverError>",
+            )
+        })?,
+        ReturnType::Default => {
+            return Err(syn::Error::new_spanned(
+                &f.sig.ident,
+                "component methods must return Result<T, WeaverError>",
+            ))
+        }
+    };
+
+    Ok(Method {
+        ident: f.sig.ident.clone(),
+        args,
+        ok_type,
+        routed,
+    })
+}
+
+/// Extracts `T` from a `Result<T, E>` return type.
+fn extract_result_ok(ty: &Type) -> Option<Type> {
+    let Type::Path(path) = ty else { return None };
+    let last = path.path.segments.last()?;
+    if last.ident != "Result" {
+        return None;
+    }
+    let syn::PathArguments::AngleBracketed(args) = &last.arguments else {
+        return None;
+    };
+    let mut type_args = args.args.iter().filter_map(|a| match a {
+        syn::GenericArgument::Type(t) => Some(t.clone()),
+        _ => None,
+    });
+    type_args.next()
+}

@@ -1,0 +1,733 @@
+//! Expansion of `#[derive(WeaverData)]`.
+
+use proc_macro2::TokenStream;
+use quote::{format_ident, quote};
+use syn::{
+    parse2, Data, DataEnum, DataStruct, DeriveInput, Fields, GenericParam, Generics, Ident,
+    Index, Result,
+};
+
+pub fn expand(input: TokenStream) -> Result<TokenStream> {
+    let input: DeriveInput = parse2(input)?;
+    let name = &input.ident;
+    let generics = add_bounds(input.generics.clone());
+    let (impl_generics, ty_generics, where_clause) = generics.split_for_impl();
+
+    let body = match &input.data {
+        Data::Struct(s) => expand_struct(name, s)?,
+        Data::Enum(e) => expand_enum(name, e)?,
+        Data::Union(_) => {
+            return Err(syn::Error::new_spanned(
+                &input.ident,
+                "WeaverData cannot be derived for unions",
+            ))
+        }
+    };
+
+    let StructImpls {
+        wire_encode,
+        wire_decode,
+        tagged_encode,
+        tagged_decode,
+        to_json,
+        from_json,
+    } = body;
+
+    Ok(quote! {
+        impl #impl_generics ::weaver_codec::wire::Encode for #name #ty_generics #where_clause {
+            fn encode(&self, buf: &mut ::std::vec::Vec<u8>) {
+                #wire_encode
+            }
+        }
+
+        impl #impl_generics ::weaver_codec::wire::Decode for #name #ty_generics #where_clause {
+            fn decode(
+                r: &mut ::weaver_codec::reader::Reader<'_>,
+            ) -> ::std::result::Result<Self, ::weaver_codec::error::DecodeError> {
+                #wire_decode
+            }
+        }
+
+        impl #impl_generics ::weaver_codec::tagged::TaggedEncode for #name #ty_generics #where_clause {
+            fn encode_tagged(&self, buf: &mut ::std::vec::Vec<u8>) {
+                #tagged_encode
+            }
+        }
+
+        impl #impl_generics ::weaver_codec::tagged::TaggedDecode for #name #ty_generics #where_clause {
+            fn decode_tagged(
+                r: &mut ::weaver_codec::reader::Reader<'_>,
+            ) -> ::std::result::Result<Self, ::weaver_codec::error::DecodeError> {
+                #tagged_decode
+            }
+        }
+
+        impl #impl_generics ::weaver_codec::tagged::TaggedValue for #name #ty_generics #where_clause {
+            const WIRE: ::weaver_codec::tagged::WireType =
+                ::weaver_codec::tagged::WireType::LengthDelimited;
+
+            fn write_value(&self, buf: &mut ::std::vec::Vec<u8>) {
+                let mut body = ::std::vec::Vec::new();
+                ::weaver_codec::tagged::TaggedEncode::encode_tagged(self, &mut body);
+                ::weaver_codec::varint::write_uvarint(buf, body.len() as u64);
+                buf.extend_from_slice(&body);
+            }
+
+            fn read_value(
+                r: &mut ::weaver_codec::reader::Reader<'_>,
+            ) -> ::std::result::Result<Self, ::weaver_codec::error::DecodeError> {
+                r.enter()?;
+                let len = r.read_len()?;
+                let body = r.read_bytes(len)?;
+                let mut inner = ::weaver_codec::reader::Reader::new(body);
+                let out = <Self as ::weaver_codec::tagged::TaggedDecode>::decode_tagged(&mut inner)?;
+                r.leave();
+                ::std::result::Result::Ok(out)
+            }
+
+            fn is_default_value(&self) -> bool {
+                // Message-typed values always use explicit presence.
+                false
+            }
+        }
+
+        impl #impl_generics ::weaver_codec::tagged::TaggedField for #name #ty_generics #where_clause {
+            fn emit(&self, field: u32, buf: &mut ::std::vec::Vec<u8>) {
+                ::weaver_codec::tagged::write_key(
+                    buf,
+                    field,
+                    ::weaver_codec::tagged::WireType::LengthDelimited,
+                );
+                ::weaver_codec::tagged::TaggedValue::write_value(self, buf);
+            }
+
+            fn merge(
+                &mut self,
+                key: ::weaver_codec::tagged::FieldKey,
+                r: &mut ::weaver_codec::reader::Reader<'_>,
+            ) -> ::std::result::Result<(), ::weaver_codec::error::DecodeError> {
+                if key.wire_type != ::weaver_codec::tagged::WireType::LengthDelimited {
+                    return ::std::result::Result::Err(
+                        ::weaver_codec::error::DecodeError::WireTypeMismatch {
+                            field: key.field,
+                            found: key.wire_type as u8,
+                        },
+                    );
+                }
+                *self = <Self as ::weaver_codec::tagged::TaggedValue>::read_value(r)?;
+                ::std::result::Result::Ok(())
+            }
+        }
+
+        impl #impl_generics ::weaver_codec::json::ToJson for #name #ty_generics #where_clause {
+            fn to_json(&self) -> ::weaver_codec::json::JsonValue {
+                #to_json
+            }
+        }
+
+        impl #impl_generics ::weaver_codec::json::FromJson for #name #ty_generics #where_clause {
+            fn from_json(
+                v: &::weaver_codec::json::JsonValue,
+            ) -> ::std::result::Result<Self, ::weaver_codec::error::DecodeError> {
+                #from_json
+            }
+        }
+    })
+}
+
+/// Adds the codec bounds to every type parameter.
+fn add_bounds(mut generics: Generics) -> Generics {
+    for param in &mut generics.params {
+        if let GenericParam::Type(ty) = param {
+            ty.bounds.push(syn::parse_quote!(::weaver_codec::wire::Encode));
+            ty.bounds.push(syn::parse_quote!(::weaver_codec::wire::Decode));
+            ty.bounds
+                .push(syn::parse_quote!(::weaver_codec::tagged::TaggedField));
+            ty.bounds.push(syn::parse_quote!(::weaver_codec::json::ToJson));
+            ty.bounds
+                .push(syn::parse_quote!(::weaver_codec::json::FromJson));
+        }
+    }
+    generics
+}
+
+struct StructImpls {
+    wire_encode: TokenStream,
+    wire_decode: TokenStream,
+    tagged_encode: TokenStream,
+    tagged_decode: TokenStream,
+    to_json: TokenStream,
+    from_json: TokenStream,
+}
+
+enum FieldRef {
+    Named(Ident),
+    Indexed(Index),
+}
+
+impl FieldRef {
+    fn access(&self) -> TokenStream {
+        match self {
+            FieldRef::Named(id) => quote!(self.#id),
+            FieldRef::Indexed(ix) => quote!(self.#ix),
+        }
+    }
+    fn binding(&self, i: usize) -> Ident {
+        match self {
+            FieldRef::Named(id) => id.clone(),
+            FieldRef::Indexed(_) => format_ident!("f{i}"),
+        }
+    }
+    fn json_key(&self, i: usize) -> String {
+        match self {
+            FieldRef::Named(id) => id.to_string(),
+            FieldRef::Indexed(_) => format!("{i}"),
+        }
+    }
+}
+
+fn field_refs(fields: &Fields) -> Vec<(FieldRef, syn::Type)> {
+    match fields {
+        Fields::Named(named) => named
+            .named
+            .iter()
+            .map(|f| {
+                (
+                    FieldRef::Named(f.ident.clone().expect("named field has ident")),
+                    f.ty.clone(),
+                )
+            })
+            .collect(),
+        Fields::Unnamed(unnamed) => unnamed
+            .unnamed
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FieldRef::Indexed(Index::from(i)), f.ty.clone()))
+            .collect(),
+        Fields::Unit => Vec::new(),
+    }
+}
+
+fn expand_struct(name: &Ident, s: &DataStruct) -> Result<StructImpls> {
+    let fields = field_refs(&s.fields);
+    let is_named = matches!(s.fields, Fields::Named(_));
+
+    let wire_encode = {
+        let parts = fields.iter().map(|(fr, _)| {
+            let access = fr.access();
+            quote!(::weaver_codec::wire::Encode::encode(&#access, buf);)
+        });
+        quote!(#(#parts)*)
+    };
+
+    let wire_decode = {
+        let bindings: Vec<Ident> = fields
+            .iter()
+            .enumerate()
+            .map(|(i, (fr, _))| fr.binding(i))
+            .collect();
+        let reads = fields.iter().enumerate().map(|(i, (_, ty))| {
+            let b = &bindings[i];
+            quote!(let #b = <#ty as ::weaver_codec::wire::Decode>::decode(r)?;)
+        });
+        let construct = construct_expr(name, None, &s.fields, &bindings);
+        quote! {
+            #(#reads)*
+            ::std::result::Result::Ok(#construct)
+        }
+    };
+
+    let tagged_encode = {
+        let parts = fields.iter().enumerate().map(|(i, (fr, _))| {
+            let access = fr.access();
+            let num = (i + 1) as u32;
+            quote!(::weaver_codec::tagged::TaggedField::emit(&#access, #num, buf);)
+        });
+        quote!(#(#parts)*)
+    };
+
+    let tagged_decode = {
+        let bindings: Vec<Ident> = fields
+            .iter()
+            .enumerate()
+            .map(|(i, (fr, _))| fr.binding(i))
+            .collect();
+        let inits = fields.iter().enumerate().map(|(i, (_, ty))| {
+            let b = &bindings[i];
+            quote!(let mut #b: #ty = ::std::default::Default::default();)
+        });
+        let arms = fields.iter().enumerate().map(|(i, _)| {
+            let b = &bindings[i];
+            let num = (i + 1) as u32;
+            quote!(#num => ::weaver_codec::tagged::TaggedField::merge(&mut #b, key, r)?,)
+        });
+        let construct = construct_expr(name, None, &s.fields, &bindings);
+        quote! {
+            #(#inits)*
+            while !r.is_empty() {
+                let key = ::weaver_codec::tagged::read_key(r)?;
+                match key.field {
+                    #(#arms)*
+                    _ => ::weaver_codec::tagged::skip_value(r, key.wire_type)?,
+                }
+            }
+            ::std::result::Result::Ok(#construct)
+        }
+    };
+
+    let to_json = if is_named {
+        let inserts = fields.iter().map(|(fr, _)| {
+            let access = fr.access();
+            let key = fr.json_key(0);
+            quote! {
+                map.insert(
+                    #key.to_string(),
+                    ::weaver_codec::json::ToJson::to_json(&#access),
+                );
+            }
+        });
+        quote! {
+            let mut map = ::std::collections::BTreeMap::new();
+            #(#inserts)*
+            ::weaver_codec::json::JsonValue::Object(map)
+        }
+    } else if fields.is_empty() {
+        quote!(::weaver_codec::json::JsonValue::Array(::std::vec::Vec::new()))
+    } else {
+        let items = fields.iter().map(|(fr, _)| {
+            let access = fr.access();
+            quote!(::weaver_codec::json::ToJson::to_json(&#access))
+        });
+        quote!(::weaver_codec::json::JsonValue::Array(vec![#(#items),*]))
+    };
+
+    let from_json = if is_named {
+        let bindings: Vec<Ident> = fields
+            .iter()
+            .enumerate()
+            .map(|(i, (fr, _))| fr.binding(i))
+            .collect();
+        let reads = fields.iter().enumerate().map(|(i, (fr, ty))| {
+            let b = &bindings[i];
+            let key = fr.json_key(0);
+            quote! {
+                let #b = <#ty as ::weaver_codec::json::FromJson>::from_json_field(
+                    obj.get(#key),
+                    #key,
+                )?;
+            }
+        });
+        let construct = construct_expr(name, None, &s.fields, &bindings);
+        quote! {
+            let obj = v.as_object()?;
+            #(#reads)*
+            ::std::result::Result::Ok(#construct)
+        }
+    } else {
+        let bindings: Vec<Ident> = fields
+            .iter()
+            .enumerate()
+            .map(|(i, (fr, _))| fr.binding(i))
+            .collect();
+        let n = fields.len();
+        let reads = fields.iter().enumerate().map(|(i, (_, ty))| {
+            let b = &bindings[i];
+            quote! {
+                let #b = <#ty as ::weaver_codec::json::FromJson>::from_json(&arr[#i])?;
+            }
+        });
+        let construct = construct_expr(name, None, &s.fields, &bindings);
+        quote! {
+            let arr = v.as_array()?;
+            if arr.len() != #n {
+                return ::std::result::Result::Err(
+                    ::weaver_codec::error::DecodeError::JsonType {
+                        expected: "tuple array of matching arity",
+                    },
+                );
+            }
+            #(#reads)*
+            ::std::result::Result::Ok(#construct)
+        }
+    };
+
+    Ok(StructImpls {
+        wire_encode,
+        wire_decode,
+        tagged_encode,
+        tagged_decode,
+        to_json,
+        from_json,
+    })
+}
+
+/// Builds `Name { a, b }`, `Name(a, b)`, or `Name` / with a variant path.
+fn construct_expr(
+    name: &Ident,
+    variant: Option<&Ident>,
+    fields: &Fields,
+    bindings: &[Ident],
+) -> TokenStream {
+    let path = match variant {
+        Some(v) => quote!(#name::#v),
+        None => quote!(#name),
+    };
+    match fields {
+        Fields::Named(named) => {
+            let names = named.named.iter().map(|f| f.ident.as_ref().expect("named"));
+            let pairs = names.zip(bindings).map(|(n, b)| quote!(#n: #b));
+            quote!(#path { #(#pairs),* })
+        }
+        Fields::Unnamed(_) => quote!(#path(#(#bindings),*)),
+        Fields::Unit => quote!(#path),
+    }
+}
+
+/// Builds a match pattern `Name::Variant { a, b }` binding every field.
+fn pattern_expr(name: &Ident, variant: &Ident, fields: &Fields, bindings: &[Ident]) -> TokenStream {
+    match fields {
+        Fields::Named(named) => {
+            let names = named.named.iter().map(|f| f.ident.as_ref().expect("named"));
+            // Bindings equal the field names for named fields: shorthand.
+            let pairs = names.zip(bindings).map(|(n, b)| {
+                if n == b {
+                    quote!(#n)
+                } else {
+                    quote!(#n: #b)
+                }
+            });
+            quote!(#name::#variant { #(#pairs),* })
+        }
+        Fields::Unnamed(_) => quote!(#name::#variant(#(#bindings),*)),
+        Fields::Unit => quote!(#name::#variant),
+    }
+}
+
+fn expand_enum(name: &Ident, e: &DataEnum) -> Result<StructImpls> {
+    if e.variants.is_empty() {
+        return Err(syn::Error::new_spanned(
+            name,
+            "WeaverData cannot be derived for empty enums",
+        ));
+    }
+    let name_str = name.to_string();
+
+    struct VariantInfo {
+        ident: Ident,
+        fields: Fields,
+        bindings: Vec<Ident>,
+        types: Vec<syn::Type>,
+    }
+
+    let variants: Vec<VariantInfo> = e
+        .variants
+        .iter()
+        .map(|v| {
+            let frs = field_refs(&v.fields);
+            let bindings = frs
+                .iter()
+                .enumerate()
+                .map(|(i, (fr, _))| fr.binding(i))
+                .collect();
+            let types = frs.into_iter().map(|(_, ty)| ty).collect();
+            VariantInfo {
+                ident: v.ident.clone(),
+                fields: v.fields.clone(),
+                bindings,
+                types,
+            }
+        })
+        .collect();
+
+    let wire_encode = {
+        let arms = variants.iter().enumerate().map(|(idx, v)| {
+            let idx = idx as u64;
+            let pat = pattern_expr(name, &v.ident, &v.fields, &v.bindings);
+            let writes = v.bindings.iter().map(|b| {
+                quote!(::weaver_codec::wire::Encode::encode(#b, buf);)
+            });
+            quote! {
+                #pat => {
+                    ::weaver_codec::varint::write_uvarint(buf, #idx);
+                    #(#writes)*
+                }
+            }
+        });
+        quote! {
+            match self {
+                #(#arms)*
+            }
+        }
+    };
+
+    let wire_decode = {
+        let arms = variants.iter().enumerate().map(|(idx, v)| {
+            let idx = idx as u64;
+            let reads = v.bindings.iter().zip(&v.types).map(|(b, ty)| {
+                quote!(let #b = <#ty as ::weaver_codec::wire::Decode>::decode(r)?;)
+            });
+            let construct = construct_expr(name, Some(&v.ident), &v.fields, &v.bindings);
+            quote! {
+                #idx => {
+                    #(#reads)*
+                    ::std::result::Result::Ok(#construct)
+                }
+            }
+        });
+        quote! {
+            let disc = ::weaver_codec::varint::read_uvarint(r)?;
+            match disc {
+                #(#arms)*
+                other => ::std::result::Result::Err(
+                    ::weaver_codec::error::DecodeError::UnknownVariant {
+                        type_name: #name_str,
+                        discriminant: other,
+                    },
+                ),
+            }
+        }
+    };
+
+    // Tagged layout for enums: field 1 = discriminant (always present),
+    // field 2 = length-delimited payload carrying the variant's own fields
+    // as a nested message numbered from 1.
+    let tagged_encode = {
+        let arms = variants.iter().enumerate().map(|(idx, v)| {
+            let idx = idx as u64;
+            let pat = pattern_expr(name, &v.ident, &v.fields, &v.bindings);
+            let emits = v.bindings.iter().enumerate().map(|(i, b)| {
+                let num = (i + 1) as u32;
+                quote!(::weaver_codec::tagged::TaggedField::emit(#b, #num, &mut payload);)
+            });
+            quote! {
+                #pat => {
+                    ::weaver_codec::tagged::write_key(
+                        buf, 1, ::weaver_codec::tagged::WireType::Varint,
+                    );
+                    ::weaver_codec::varint::write_uvarint(buf, #idx);
+                    let mut payload = ::std::vec::Vec::new();
+                    #(#emits)*
+                    ::weaver_codec::tagged::write_key(
+                        buf, 2, ::weaver_codec::tagged::WireType::LengthDelimited,
+                    );
+                    ::weaver_codec::varint::write_uvarint(buf, payload.len() as u64);
+                    buf.extend_from_slice(&payload);
+                }
+            }
+        });
+        quote! {
+            match self {
+                #(#arms)*
+            }
+        }
+    };
+
+    let tagged_decode = {
+        let arms = variants.iter().enumerate().map(|(idx, v)| {
+            let idx = idx as u64;
+            let inits = v.bindings.iter().zip(&v.types).map(|(b, ty)| {
+                quote!(let mut #b: #ty = ::std::default::Default::default();)
+            });
+            let field_arms = v.bindings.iter().enumerate().map(|(i, b)| {
+                let num = (i + 1) as u32;
+                quote!(#num => ::weaver_codec::tagged::TaggedField::merge(&mut #b, key, r)?,)
+            });
+            let construct = construct_expr(name, Some(&v.ident), &v.fields, &v.bindings);
+            quote! {
+                #idx => {
+                    #(#inits)*
+                    let mut r = ::weaver_codec::reader::Reader::new(&payload);
+                    let r = &mut r;
+                    while !r.is_empty() {
+                        let key = ::weaver_codec::tagged::read_key(r)?;
+                        match key.field {
+                            #(#field_arms)*
+                            _ => ::weaver_codec::tagged::skip_value(r, key.wire_type)?,
+                        }
+                    }
+                    ::std::result::Result::Ok(#construct)
+                }
+            }
+        });
+        quote! {
+            let mut disc: u64 = 0;
+            let mut payload: ::std::vec::Vec<u8> = ::std::vec::Vec::new();
+            while !r.is_empty() {
+                let key = ::weaver_codec::tagged::read_key(r)?;
+                match key.field {
+                    1 => ::weaver_codec::tagged::TaggedField::merge(&mut disc, key, r)?,
+                    2 => {
+                        if key.wire_type != ::weaver_codec::tagged::WireType::LengthDelimited {
+                            return ::std::result::Result::Err(
+                                ::weaver_codec::error::DecodeError::WireTypeMismatch {
+                                    field: 2,
+                                    found: key.wire_type as u8,
+                                },
+                            );
+                        }
+                        let len = r.read_len()?;
+                        payload = r.read_bytes(len)?.to_vec();
+                    }
+                    _ => ::weaver_codec::tagged::skip_value(r, key.wire_type)?,
+                }
+            }
+            match disc {
+                #(#arms)*
+                other => ::std::result::Result::Err(
+                    ::weaver_codec::error::DecodeError::UnknownVariant {
+                        type_name: #name_str,
+                        discriminant: other,
+                    },
+                ),
+            }
+        }
+    };
+
+    let to_json = {
+        let arms = variants.iter().map(|v| {
+            let vname = v.ident.to_string();
+            let pat = pattern_expr(name, &v.ident, &v.fields, &v.bindings);
+            match &v.fields {
+                Fields::Unit => quote! {
+                    #pat => {
+                        let mut map = ::std::collections::BTreeMap::new();
+                        map.insert(
+                            "$type".to_string(),
+                            ::weaver_codec::json::JsonValue::String(#vname.to_string()),
+                        );
+                        ::weaver_codec::json::JsonValue::Object(map)
+                    }
+                },
+                Fields::Named(named) => {
+                    let inserts =
+                        named.named.iter().zip(&v.bindings).map(|(f, b)| {
+                            let key = f.ident.as_ref().expect("named").to_string();
+                            quote! {
+                                map.insert(
+                                    #key.to_string(),
+                                    ::weaver_codec::json::ToJson::to_json(#b),
+                                );
+                            }
+                        });
+                    quote! {
+                        #pat => {
+                            let mut map = ::std::collections::BTreeMap::new();
+                            map.insert(
+                                "$type".to_string(),
+                                ::weaver_codec::json::JsonValue::String(#vname.to_string()),
+                            );
+                            #(#inserts)*
+                            ::weaver_codec::json::JsonValue::Object(map)
+                        }
+                    }
+                }
+                Fields::Unnamed(_) => {
+                    let items = v.bindings.iter().map(|b| {
+                        quote!(::weaver_codec::json::ToJson::to_json(#b))
+                    });
+                    quote! {
+                        #pat => {
+                            let mut map = ::std::collections::BTreeMap::new();
+                            map.insert(
+                                "$type".to_string(),
+                                ::weaver_codec::json::JsonValue::String(#vname.to_string()),
+                            );
+                            map.insert(
+                                "$fields".to_string(),
+                                ::weaver_codec::json::JsonValue::Array(vec![#(#items),*]),
+                            );
+                            ::weaver_codec::json::JsonValue::Object(map)
+                        }
+                    }
+                }
+            }
+        });
+        quote! {
+            match self {
+                #(#arms)*
+            }
+        }
+    };
+
+    let from_json = {
+        let arms = variants.iter().map(|v| {
+            let vname = v.ident.to_string();
+            match &v.fields {
+                Fields::Unit => {
+                    let construct =
+                        construct_expr(name, Some(&v.ident), &v.fields, &v.bindings);
+                    quote!(#vname => ::std::result::Result::Ok(#construct),)
+                }
+                Fields::Named(named) => {
+                    let reads = named.named.iter().zip(&v.bindings).map(|(f, b)| {
+                        let key = f.ident.as_ref().expect("named").to_string();
+                        let ty = &f.ty;
+                        quote! {
+                            let #b = <#ty as ::weaver_codec::json::FromJson>::from_json_field(
+                                obj.get(#key),
+                                #key,
+                            )?;
+                        }
+                    });
+                    let construct =
+                        construct_expr(name, Some(&v.ident), &v.fields, &v.bindings);
+                    quote! {
+                        #vname => {
+                            #(#reads)*
+                            ::std::result::Result::Ok(#construct)
+                        }
+                    }
+                }
+                Fields::Unnamed(_) => {
+                    let n = v.bindings.len();
+                    let reads = v.bindings.iter().zip(&v.types).enumerate().map(
+                        |(i, (b, ty))| {
+                            quote! {
+                                let #b =
+                                    <#ty as ::weaver_codec::json::FromJson>::from_json(&arr[#i])?;
+                            }
+                        },
+                    );
+                    let construct =
+                        construct_expr(name, Some(&v.ident), &v.fields, &v.bindings);
+                    quote! {
+                        #vname => {
+                            let arr = v.get("$fields")?.as_array()?;
+                            if arr.len() != #n {
+                                return ::std::result::Result::Err(
+                                    ::weaver_codec::error::DecodeError::JsonType {
+                                        expected: "variant field array of matching arity",
+                                    },
+                                );
+                            }
+                            #(#reads)*
+                            ::std::result::Result::Ok(#construct)
+                        }
+                    }
+                }
+            }
+        });
+        quote! {
+            let obj = v.as_object()?;
+            let tag = v.get("$type")?.as_str()?;
+            let _ = obj;
+            match tag {
+                #(#arms)*
+                _ => ::std::result::Result::Err(
+                    ::weaver_codec::error::DecodeError::JsonType {
+                        expected: "a known enum variant name in $type",
+                    },
+                ),
+            }
+        }
+    };
+
+    Ok(StructImpls {
+        wire_encode,
+        wire_decode,
+        tagged_encode,
+        tagged_decode,
+        to_json,
+        from_json,
+    })
+}

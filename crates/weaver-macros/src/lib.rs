@@ -1,0 +1,86 @@
+//! The code generator (§4.2 of the paper).
+//!
+//! The paper's runtime "inspects the `Implements[T]` embeddings in a
+//! program's source code, computes the set of all component interfaces and
+//! implementations, then generates code to marshal and unmarshal arguments
+//! … and to execute these methods as remote procedure calls. The generated
+//! code is compiled along with the developer's code into a single binary."
+//!
+//! In Rust the natural vehicle for that step is procedural macros, which run
+//! at exactly the same point in the build:
+//!
+//! * [`macro@derive(WeaverData)`](derive_weaver_data) — implements all three
+//!   wire formats for an application type: the non-versioned `Encode`/`Decode`
+//!   pair used by the prototype path, the protobuf-shaped
+//!   `TaggedEncode`/`TaggedDecode` pair used by the microservices baseline,
+//!   and `ToJson`/`FromJson` for the textual baseline. One `struct`
+//!   definition, three formats — which is what makes the codec ablation
+//!   (experiment A1) apples-to-apples.
+//!
+//! * [`macro@component`] — the component interface generator. Applied to a
+//!   trait, it emits the client stub (marshal arguments, call through a
+//!   `ClientHandle`, unmarshal the reply), the server-side dispatcher
+//!   (unmarshal, invoke the implementation, marshal the reply), and the
+//!   `ComponentInterface` glue the runtime uses to treat the trait as a
+//!   deployable unit. Methods annotated `#[routed]` hash their first
+//!   argument into a routing key for Slicer-style affinity routing (§5.2).
+//!
+//! Generated code refers to the runtime crates by their crate names
+//! (`::weaver_codec`, `::weaver_core`), so any crate using these macros must
+//! depend on both.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod component;
+mod data;
+
+use proc_macro::TokenStream;
+
+/// Derives `Encode`, `Decode`, `TaggedEncode`, `TaggedDecode`, `TaggedValue`,
+/// `TaggedField`, `ToJson`, and `FromJson` for a struct or enum.
+///
+/// Field order is the wire order for the non-versioned format, and field
+/// numbers for the tagged format are assigned from declaration order starting
+/// at 1 — exactly the invariants the paper's atomic rollouts let the custom
+/// format rely on.
+///
+/// Requirements: named-field or tuple structs, and enums whose variants have
+/// unit, tuple, or named fields. Types used as *tagged struct fields* must
+/// also implement `Default` (derive it; enums can mark a `#[default]`
+/// variant).
+#[proc_macro_derive(WeaverData)]
+pub fn derive_weaver_data(input: TokenStream) -> TokenStream {
+    data::expand(input.into())
+        .unwrap_or_else(|e| e.to_compile_error())
+        .into()
+}
+
+/// Declares a trait as a component interface.
+///
+/// ```ignore
+/// #[weaver::component]
+/// pub trait Hello {
+///     fn greet(&self, ctx: &CallContext, name: String) -> Result<String, WeaverError>;
+/// }
+/// ```
+///
+/// Every method must take `&self`, then a context argument (any `&`-reference
+/// type, conventionally `&CallContext`), then owned `WeaverData` arguments,
+/// and return `Result<T, WeaverError>`.
+///
+/// Accepted attribute arguments:
+///
+/// * `#[component(name = "pkg.Hello")]` — overrides the registered component
+///   name (defaults to `"<module path>.<TraitName>"`).
+///
+/// Accepted method attributes:
+///
+/// * `#[routed]` — route calls by the hash of the first argument (affinity
+///   routing, §5.2). The first argument must implement `Hash`.
+#[proc_macro_attribute]
+pub fn component(args: TokenStream, input: TokenStream) -> TokenStream {
+    component::expand(args.into(), input.into())
+        .unwrap_or_else(|e| e.to_compile_error())
+        .into()
+}

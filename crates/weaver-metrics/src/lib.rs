@@ -1,0 +1,33 @@
+//! Metrics, call-graph, and tracing substrate (paper §4.3, §5.1).
+//!
+//! Figure 3 of the paper shows the manager aggregating "metrics, traces,
+//! logs" exported by proclets, and §5.1 describes using a "fine-grained call
+//! graph between components … to identify the critical path, the bottleneck
+//! components, the chatty components". This crate supplies those pieces:
+//!
+//! * [`Counter`], [`Gauge`] — lock-free scalar metrics;
+//! * [`Histogram`] — a log-linear (HDR-style) latency histogram with
+//!   mergeable snapshots and quantile estimation, used for every latency
+//!   number this repository reports;
+//! * [`CallGraph`] — per-(caller, callee, method) counts, byte volumes and
+//!   latency sums; the placement optimizer consumes its snapshots to decide
+//!   which components are "chatty" enough to co-locate;
+//! * [`trace`] — minimal distributed trace spans linked by the trace and
+//!   span ids every call context carries.
+//!
+//! All snapshot types derive `WeaverData`, so they travel over the same wire
+//! formats as application data when proclets report load to the manager.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod callgraph;
+pub mod histogram;
+pub mod registry;
+pub mod scalar;
+pub mod trace;
+
+pub use callgraph::{CallEdge, CallGraph, CallGraphSnapshot, EdgeStats};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{MetricFamily, MetricsRegistry, MetricsSnapshot};
+pub use scalar::{Counter, Gauge};

@@ -1,0 +1,221 @@
+//! HPA-style horizontal autoscaling.
+//!
+//! The paper's prototype "uses Horizontal Pod Autoscalers to dynamically
+//! adjust the number of container replicas based on load". This module
+//! reproduces the Kubernetes HPA control law:
+//!
+//! ```text
+//! desired = ceil(current × observed_utilization / target_utilization)
+//! ```
+//!
+//! with the two behaviours that make it usable in practice: a tolerance
+//! band (no action within ±10% of target) and a scale-down stabilization
+//! window (use the *maximum* desired over the window, so transient dips do
+//! not shed capacity that an imminent burst needs).
+
+use std::collections::VecDeque;
+
+/// Autoscaler tunables.
+#[derive(Debug, Clone)]
+pub struct AutoscalerConfig {
+    /// Target per-replica utilization in `(0, 1]` (HPA default ~0.7).
+    pub target_utilization: f64,
+    /// Do nothing when |observed/target − 1| is below this.
+    pub tolerance: f64,
+    /// Minimum replicas.
+    pub min_replicas: u32,
+    /// Maximum replicas.
+    pub max_replicas: u32,
+    /// Scale-down decisions take the max desired over this many recent
+    /// evaluations (the HPA stabilization window).
+    pub stabilization_ticks: usize,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        AutoscalerConfig {
+            target_utilization: 0.7,
+            tolerance: 0.1,
+            min_replicas: 1,
+            max_replicas: 1000,
+            stabilization_ticks: 5,
+        }
+    }
+}
+
+/// One component's (or co-location group's) autoscaler state.
+#[derive(Debug)]
+pub struct Autoscaler {
+    config: AutoscalerConfig,
+    /// Recent desired-replica computations, newest last.
+    recent_desired: VecDeque<u32>,
+}
+
+impl Autoscaler {
+    /// Creates an autoscaler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_utilization` is not in `(0, 1]` or
+    /// `min_replicas > max_replicas` — configuration errors caught at
+    /// startup.
+    pub fn new(config: AutoscalerConfig) -> Self {
+        assert!(
+            config.target_utilization > 0.0 && config.target_utilization <= 1.0,
+            "target_utilization must be in (0, 1]"
+        );
+        assert!(
+            config.min_replicas <= config.max_replicas,
+            "min_replicas must not exceed max_replicas"
+        );
+        Autoscaler {
+            config,
+            recent_desired: VecDeque::new(),
+        }
+    }
+
+    /// Evaluates one control tick.
+    ///
+    /// `current` is the current replica count; `utilization` is the mean
+    /// per-replica utilization in `[0, ∞)` (1.0 = a full core's worth of
+    /// work per replica). Returns the replica count to run next.
+    pub fn evaluate(&mut self, current: u32, utilization: f64) -> u32 {
+        let current = current.clamp(self.config.min_replicas, self.config.max_replicas);
+        let ratio = utilization / self.config.target_utilization;
+
+        let raw_desired = if (ratio - 1.0).abs() <= self.config.tolerance {
+            current
+        } else {
+            (f64::from(current) * ratio).ceil() as u32
+        };
+        let desired = raw_desired.clamp(self.config.min_replicas, self.config.max_replicas);
+
+        self.recent_desired.push_back(desired);
+        while self.recent_desired.len() > self.config.stabilization_ticks.max(1) {
+            self.recent_desired.pop_front();
+        }
+
+        if desired >= current {
+            // Scale up (or hold) immediately: under-provisioning hurts now.
+            desired
+        } else {
+            // Scale down conservatively: the max over the window.
+            let stabilized = self
+                .recent_desired
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(desired);
+            stabilized.min(current)
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AutoscalerConfig {
+        &self.config
+    }
+}
+
+/// Computes the steady-state replica count the control law converges to for
+/// a constant offered load of `load_cores` total cores of work.
+pub fn steady_state_replicas(config: &AutoscalerConfig, load_cores: f64) -> u32 {
+    let ideal = (load_cores / config.target_utilization).ceil() as u32;
+    ideal.clamp(config.min_replicas, config.max_replicas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scaler() -> Autoscaler {
+        Autoscaler::new(AutoscalerConfig::default())
+    }
+
+    #[test]
+    fn holds_within_tolerance() {
+        let mut s = scaler();
+        // 0.7 target, 0.72 observed: within 10% band.
+        assert_eq!(s.evaluate(10, 0.72), 10);
+        assert_eq!(s.evaluate(10, 0.65), 10);
+    }
+
+    #[test]
+    fn scales_up_proportionally_and_immediately() {
+        let mut s = scaler();
+        // Double the target utilization → double the replicas.
+        assert_eq!(s.evaluate(10, 1.4), 20);
+        // Fresh burst from 1 replica.
+        let mut s = scaler();
+        assert_eq!(s.evaluate(1, 7.0), 10);
+    }
+
+    #[test]
+    fn scale_down_waits_for_stabilization() {
+        let mut s = scaler();
+        // Warm the window at high desired.
+        assert_eq!(s.evaluate(10, 0.7), 10);
+        // Load drops sharply; window still remembers 10.
+        assert_eq!(s.evaluate(10, 0.07), 10);
+        assert_eq!(s.evaluate(10, 0.07), 10);
+        assert_eq!(s.evaluate(10, 0.07), 10);
+        assert_eq!(s.evaluate(10, 0.07), 10);
+        // Window (5 ticks) has flushed the old high-water mark.
+        let settled = s.evaluate(10, 0.07);
+        assert!(settled < 10, "still at {settled}");
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut s = Autoscaler::new(AutoscalerConfig {
+            min_replicas: 2,
+            max_replicas: 8,
+            ..Default::default()
+        });
+        assert_eq!(s.evaluate(8, 10.0), 8);
+        for _ in 0..10 {
+            s.evaluate(2, 0.0);
+        }
+        assert_eq!(s.evaluate(2, 0.0), 2);
+    }
+
+    #[test]
+    fn converges_to_steady_state() {
+        let config = AutoscalerConfig::default();
+        let mut s = Autoscaler::new(config.clone());
+        // Constant offered load of 14 cores of work.
+        let load_cores = 14.0;
+        let mut replicas = 1u32;
+        for _ in 0..50 {
+            let utilization = load_cores / f64::from(replicas);
+            replicas = s.evaluate(replicas, utilization);
+        }
+        assert_eq!(replicas, steady_state_replicas(&config, load_cores));
+    }
+
+    #[test]
+    #[should_panic(expected = "target_utilization")]
+    fn bad_target_rejected() {
+        let _ = Autoscaler::new(AutoscalerConfig {
+            target_utilization: 0.0,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "min_replicas")]
+    fn inverted_bounds_rejected() {
+        let _ = Autoscaler::new(AutoscalerConfig {
+            min_replicas: 5,
+            max_replicas: 2,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn steady_state_math() {
+        let config = AutoscalerConfig::default();
+        assert_eq!(steady_state_replicas(&config, 14.0), 20);
+        assert_eq!(steady_state_replicas(&config, 0.0), 1);
+        assert_eq!(steady_state_replicas(&config, 1e9), 1000);
+    }
+}

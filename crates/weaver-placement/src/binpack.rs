@@ -1,0 +1,176 @@
+//! First-fit-decreasing placement of proclet replicas onto machines.
+
+use std::collections::HashMap;
+
+/// A machine (or VM) with finite CPU capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    /// Machine identifier.
+    pub name: String,
+    /// Total cores.
+    pub capacity: f64,
+    /// Cores already committed.
+    pub used: f64,
+}
+
+impl Machine {
+    /// A fresh machine with `capacity` cores.
+    pub fn new(name: impl Into<String>, capacity: f64) -> Self {
+        Machine {
+            name: name.into(),
+            capacity,
+            used: 0.0,
+        }
+    }
+
+    /// Remaining cores.
+    pub fn free(&self) -> f64 {
+        (self.capacity - self.used).max(0.0)
+    }
+}
+
+/// The outcome of placing a set of replicas.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Placement {
+    /// replica name → machine name.
+    pub assignments: HashMap<String, String>,
+    /// Replicas that did not fit anywhere.
+    pub unplaced: Vec<String>,
+}
+
+/// Places `replicas` (name, cpu-cores) onto `machines` using first-fit
+/// decreasing, spreading replicas of the *same group* across distinct
+/// machines when possible (anti-affinity: one machine failure should not
+/// take out every replica of a component).
+///
+/// Replica names are expected as `group/index` (e.g. `"cart/0"`); the group
+/// prefix drives anti-affinity. Machines are mutated to reflect usage.
+pub fn place(replicas: &[(String, f64)], machines: &mut [Machine]) -> Placement {
+    let mut order: Vec<usize> = (0..replicas.len()).collect();
+    // Decreasing CPU, ties by name for determinism.
+    order.sort_by(|&a, &b| {
+        replicas[b]
+            .1
+            .partial_cmp(&replicas[a].1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| replicas[a].0.cmp(&replicas[b].0))
+    });
+
+    // group → machines already hosting one of its replicas.
+    let mut group_hosts: HashMap<String, Vec<String>> = HashMap::new();
+    let mut placement = Placement::default();
+
+    for i in order {
+        let (name, cpu) = &replicas[i];
+        let group = name.split('/').next().unwrap_or(name).to_string();
+        let hosts = group_hosts.entry(group).or_default();
+
+        // First pass: machines not already hosting this group.
+        let slot = machines
+            .iter()
+            .position(|m| m.free() >= *cpu && !hosts.contains(&m.name))
+            // Second pass: any machine with room.
+            .or_else(|| machines.iter().position(|m| m.free() >= *cpu));
+
+        match slot {
+            Some(mi) => {
+                machines[mi].used += cpu;
+                hosts.push(machines[mi].name.clone());
+                placement
+                    .assignments
+                    .insert(name.clone(), machines[mi].name.clone());
+            }
+            None => placement.unplaced.push(name.clone()),
+        }
+    }
+    placement.unplaced.sort();
+    placement
+}
+
+/// Number of machines with any usage (the cost figure: billed machines).
+pub fn machines_used(machines: &[Machine]) -> usize {
+    machines.iter().filter(|m| m.used > 0.0).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machines(n: usize, capacity: f64) -> Vec<Machine> {
+        (0..n)
+            .map(|i| Machine::new(format!("m{i}"), capacity))
+            .collect()
+    }
+
+    fn replicas(spec: &[(&str, f64)]) -> Vec<(String, f64)> {
+        spec.iter().map(|(n, c)| (n.to_string(), *c)).collect()
+    }
+
+    #[test]
+    fn everything_fits_when_capacity_allows() {
+        let mut ms = machines(2, 4.0);
+        let p = place(
+            &replicas(&[("a/0", 2.0), ("b/0", 2.0), ("c/0", 2.0), ("d/0", 2.0)]),
+            &mut ms,
+        );
+        assert!(p.unplaced.is_empty());
+        assert_eq!(p.assignments.len(), 4);
+        assert_eq!(machines_used(&ms), 2);
+    }
+
+    #[test]
+    fn overflow_reported_not_dropped() {
+        let mut ms = machines(1, 2.0);
+        let p = place(&replicas(&[("a/0", 1.5), ("b/0", 1.5)]), &mut ms);
+        assert_eq!(p.assignments.len(), 1);
+        assert_eq!(p.unplaced.len(), 1);
+    }
+
+    #[test]
+    fn replicas_of_same_group_spread() {
+        let mut ms = machines(3, 4.0);
+        let p = place(
+            &replicas(&[("cart/0", 1.0), ("cart/1", 1.0), ("cart/2", 1.0)]),
+            &mut ms,
+        );
+        let hosts: std::collections::HashSet<&String> = p.assignments.values().collect();
+        assert_eq!(hosts.len(), 3, "replicas stacked: {:?}", p.assignments);
+    }
+
+    #[test]
+    fn anti_affinity_yields_when_space_runs_out() {
+        let mut ms = machines(1, 4.0);
+        let p = place(&replicas(&[("cart/0", 1.0), ("cart/1", 1.0)]), &mut ms);
+        assert!(p.unplaced.is_empty());
+        assert_eq!(p.assignments["cart/0"], "m0");
+        assert_eq!(p.assignments["cart/1"], "m0");
+    }
+
+    #[test]
+    fn ffd_packs_tightly() {
+        // 2×3.0 + 2×1.0 fits in two 4-core machines only if the big ones
+        // go first (FFD); naive order could strand a 3.0.
+        let mut ms = machines(2, 4.0);
+        let p = place(
+            &replicas(&[("a/0", 1.0), ("b/0", 3.0), ("c/0", 1.0), ("d/0", 3.0)]),
+            &mut ms,
+        );
+        assert!(p.unplaced.is_empty(), "unplaced: {:?}", p.unplaced);
+    }
+
+    #[test]
+    fn deterministic() {
+        let r = replicas(&[("a/0", 1.0), ("b/0", 1.0), ("c/0", 2.0)]);
+        let mut m1 = machines(2, 3.0);
+        let mut m2 = machines(2, 3.0);
+        assert_eq!(place(&r, &mut m1), place(&r, &mut m2));
+    }
+
+    #[test]
+    fn zero_capacity_places_nothing() {
+        let mut ms = machines(2, 0.0);
+        let p = place(&replicas(&[("a/0", 0.5)]), &mut ms);
+        assert_eq!(p.unplaced, vec!["a/0".to_string()]);
+        assert_eq!(machines_used(&ms), 0);
+    }
+}

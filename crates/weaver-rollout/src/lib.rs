@@ -1,0 +1,25 @@
+//! Atomic rollouts (paper §4.4) and the rolling-update baseline.
+//!
+//! "The runtime ensures that application versions are rolled out atomically,
+//! meaning that all component communication occurs within a single version
+//! of the application. The runtime gradually shifts traffic from the old
+//! version to the new version, but once a user request is forwarded to a
+//! specific version, it is processed entirely within that version."
+//!
+//! * [`rollout`] — the blue/green rollout state machine: staged traffic
+//!   shifting with health gates, automatic rollback on failed gates, and
+//!   the per-request version pinning that makes the rollout *atomic*.
+//! * [`rolling`] — the baseline the paper criticizes: replicas upgraded one
+//!   by one, callers hitting arbitrary replicas, so a single request can
+//!   traverse both versions. [`rolling::RollingUpdate::mix_probability`]
+//!   quantifies how often — the \[78\] failure class the A5 experiment
+//!   reproduces end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rolling;
+pub mod rollout;
+
+pub use rolling::RollingUpdate;
+pub use rollout::{Rollout, RolloutConfig, RolloutPhase, TrafficSplit};

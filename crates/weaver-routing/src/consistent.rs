@@ -1,0 +1,114 @@
+//! Consistent hashing, the classic alternative to slice assignment.
+//!
+//! Kept as the comparison point for the A4 experiment: consistent hashing
+//! gives stability under membership change but cannot rebalance *load* —
+//! a hot key stays hot on one replica. Slicer-style assignments can split
+//! and move hot slices; the ring cannot.
+
+/// A consistent-hash ring with virtual nodes.
+#[derive(Debug, Clone)]
+pub struct ConsistentRing {
+    /// Sorted (point, replica) pairs.
+    points: Vec<(u64, u32)>,
+    replica_count: u32,
+}
+
+fn mix(mut x: u64) -> u64 {
+    // SplitMix64 finalizer: cheap, well-distributed, deterministic.
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl ConsistentRing {
+    /// Builds a ring for `replica_count` replicas with `vnodes` virtual
+    /// nodes each.
+    pub fn new(replica_count: u32, vnodes: u32) -> Self {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity((replica_count * vnodes) as usize);
+        for replica in 0..replica_count {
+            for v in 0..vnodes {
+                points.push((mix((u64::from(replica) << 32) | u64::from(v)), replica));
+            }
+        }
+        points.sort_unstable();
+        ConsistentRing {
+            points,
+            replica_count,
+        }
+    }
+
+    /// Number of replicas the ring was built for.
+    pub fn replica_count(&self) -> u32 {
+        self.replica_count
+    }
+
+    /// Maps a key to its replica (clockwise successor on the ring).
+    pub fn replica_for(&self, key: u64) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let hashed = mix(key);
+        let idx = match self.points.binary_search_by(|(p, _)| p.cmp(&hashed)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0, // Wrap around.
+            Err(i) => i,
+        };
+        Some(self.points[idx].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn empty_ring() {
+        let ring = ConsistentRing::new(0, 16);
+        assert_eq!(ring.replica_for(5), None);
+    }
+
+    #[test]
+    fn all_keys_map_and_are_stable() {
+        let ring = ConsistentRing::new(5, 64);
+        for key in 0..1000u64 {
+            let r = ring.replica_for(key).unwrap();
+            assert!(r < 5);
+            assert_eq!(ring.replica_for(key), Some(r));
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let ring = ConsistentRing::new(4, 128);
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for key in 0..40_000u64 {
+            *counts.entry(ring.replica_for(key).unwrap()).or_default() += 1;
+        }
+        for replica in 0..4 {
+            let c = counts.get(&replica).copied().unwrap_or(0);
+            assert!(
+                (5_000..=15_000).contains(&c),
+                "replica {replica} owns {c} of 40000"
+            );
+        }
+    }
+
+    #[test]
+    fn growth_moves_few_keys() {
+        // The defining property: adding a replica relocates ~1/(n+1) keys.
+        let before = ConsistentRing::new(4, 128);
+        let after = ConsistentRing::new(5, 128);
+        let moved = (0..20_000u64)
+            .filter(|&k| before.replica_for(k) != after.replica_for(k))
+            .count();
+        let frac = moved as f64 / 20_000.0;
+        assert!(
+            frac < 0.35,
+            "membership change moved {frac} of the key space"
+        );
+        assert!(frac > 0.05, "growth moved implausibly few keys ({frac})");
+    }
+}

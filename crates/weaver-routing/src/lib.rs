@@ -1,0 +1,26 @@
+//! Routing substrate (paper §5.2): affinity routing and replica selection.
+//!
+//! "The performance of some components improves greatly when requests are
+//! routed with affinity. … Slicer showed that many applications can benefit
+//! from this type of affinity based routing and that the routing is most
+//! efficient when embedded in the application itself."
+//!
+//! * [`mod@slice`] — a Slicer-style assignment of the 64-bit key space into
+//!   contiguous slices mapped to replicas, with load-driven rebalancing
+//!   (split hot slices, reassign to the least-loaded replica). The manager
+//!   computes assignments; every caller embeds the lookup.
+//! * [`consistent`] — a classic consistent-hashing ring, kept as the
+//!   baseline the A4 experiment compares slice assignment against.
+//! * [`lb`] — load-balancing policies for *unrouted* methods: round-robin
+//!   and power-of-two-choices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consistent;
+pub mod lb;
+pub mod slice;
+
+pub use consistent::ConsistentRing;
+pub use lb::{Balancer, PowerOfTwo, RoundRobin};
+pub use slice::{Slice, SliceAssignment};

@@ -1,0 +1,87 @@
+//! Property tests for routing invariants.
+
+use proptest::prelude::*;
+use weaver_routing::{ConsistentRing, SliceAssignment};
+
+proptest! {
+    #[test]
+    fn uniform_assignments_always_valid(replicas in 1u32..32, per in 1u32..16) {
+        let a = SliceAssignment::uniform(replicas, per);
+        prop_assert_eq!(a.validate(), Ok(()));
+    }
+
+    #[test]
+    fn every_key_has_an_owner(replicas in 1u32..16, key in any::<u64>()) {
+        let a = SliceAssignment::uniform(replicas, 8);
+        let owner = a.replica_for(key);
+        prop_assert!(owner.is_some());
+        prop_assert!(owner.unwrap() < replicas);
+    }
+
+    #[test]
+    fn rebalance_preserves_validity(
+        replicas in 1u32..8,
+        per in 1u32..8,
+        seed in any::<u64>(),
+    ) {
+        let a = SliceAssignment::uniform(replicas, per);
+        // Pseudo-random load from the seed, deterministic per case.
+        let load: Vec<u64> = (0..a.slices.len() as u64)
+            .map(|i| {
+                let mut x = seed.wrapping_add(i.wrapping_mul(0x9e3779b97f4a7c15));
+                x ^= x >> 33;
+                x = x.wrapping_mul(0xff51afd7ed558ccd);
+                x % 10_000
+            })
+            .collect();
+        let (b, _) = a.rebalance(&load);
+        prop_assert_eq!(b.validate(), Ok(()));
+        prop_assert_eq!(b.replica_count, replicas);
+        prop_assert!(b.version > a.version);
+    }
+
+    #[test]
+    fn rebalance_keeps_every_key_owned(
+        replicas in 1u32..8,
+        keys in proptest::collection::vec(any::<u64>(), 1..32),
+    ) {
+        let a = SliceAssignment::uniform(replicas, 4);
+        let load: Vec<u64> = (0..a.slices.len()).map(|i| (i as u64 % 7) * 100).collect();
+        let (b, _) = a.rebalance(&load);
+        for key in keys {
+            let owner = b.replica_for(key);
+            prop_assert!(owner.is_some());
+            prop_assert!(owner.unwrap() < replicas);
+        }
+    }
+
+    #[test]
+    fn resize_validity_and_range(from in 1u32..12, to in 0u32..12) {
+        let a = SliceAssignment::uniform(from, 4);
+        let b = a.resize(to);
+        prop_assert_eq!(b.validate(), Ok(()));
+        for s in &b.slices {
+            prop_assert!(s.replica < to.max(1) || b.slices.is_empty());
+        }
+    }
+
+    #[test]
+    fn resize_shrink_preserves_low_replica_affinity(from in 3u32..10) {
+        let to = from - 1;
+        let a = SliceAssignment::uniform(from, 4);
+        let b = a.resize(to);
+        for (old, new) in a.slices.iter().zip(&b.slices) {
+            if old.replica < to {
+                prop_assert_eq!(old.replica, new.replica);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_lookup_in_range(replicas in 1u32..16, vnodes in 1u32..64, key in any::<u64>()) {
+        let ring = ConsistentRing::new(replicas, vnodes);
+        let r = ring.replica_for(key);
+        prop_assert!(r.is_some());
+        prop_assert!(r.unwrap() < replicas);
+    }
+}

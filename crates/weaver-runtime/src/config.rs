@@ -1,0 +1,575 @@
+//! Deployment configuration: a TOML-subset parser and the typed config.
+//!
+//! The paper's prototype is configured with a small TOML file (deployment
+//! name, co-location groups, scaling bounds). This module implements the
+//! subset needed for that — tables, strings, integers, floats, booleans,
+//! and (nested) arrays — from scratch, so the runtime has no external
+//! parsing dependency.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML-subset value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// `"…"` string.
+    String(String),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `[ … ]`, possibly nested.
+    Array(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            TomlValue::String(_) => "string",
+            TomlValue::Int(_) => "integer",
+            TomlValue::Float(_) => "float",
+            TomlValue::Bool(_) => "boolean",
+            TomlValue::Array(_) => "array",
+        }
+    }
+}
+
+/// A configuration parse/validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of the problem (0 = not line-specific).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "config line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "config: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// A parsed document: `section.key` → value. Keys before any `[section]`
+/// header live under the empty section `""`.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct TomlDoc {
+    /// section → key → value.
+    pub sections: BTreeMap<String, BTreeMap<String, TomlValue>>,
+}
+
+impl TomlDoc {
+    /// Parses a document.
+    pub fn parse(input: &str) -> Result<TomlDoc, ConfigError> {
+        let mut doc = TomlDoc::default();
+        let mut section = String::new();
+        for (i, raw_line) in input.lines().enumerate() {
+            let lineno = i + 1;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let name = rest
+                    .strip_suffix(']')
+                    .ok_or_else(|| err(lineno, "unterminated section header"))?
+                    .trim();
+                if name.is_empty() {
+                    return Err(err(lineno, "empty section name"));
+                }
+                section = name.to_string();
+                doc.sections.entry(section.clone()).or_default();
+                continue;
+            }
+            let (key, value_text) = line
+                .split_once('=')
+                .ok_or_else(|| err(lineno, "expected `key = value`"))?;
+            let key = key.trim();
+            if key.is_empty() {
+                return Err(err(lineno, "empty key"));
+            }
+            let value = parse_value(value_text.trim(), lineno)?;
+            let table = doc.sections.entry(section.clone()).or_default();
+            if table.insert(key.to_string(), value).is_some() {
+                return Err(err(lineno, format!("duplicate key {key:?}")));
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Fetches `section.key` if present.
+    pub fn get(&self, section: &str, key: &str) -> Option<&TomlValue> {
+        self.sections.get(section)?.get(key)
+    }
+
+    /// Fetches a string.
+    pub fn get_str(&self, section: &str, key: &str) -> Result<Option<&str>, ConfigError> {
+        match self.get(section, key) {
+            None => Ok(None),
+            Some(TomlValue::String(s)) => Ok(Some(s)),
+            Some(other) => Err(err(
+                0,
+                format!("{section}.{key}: expected string, found {}", other.type_name()),
+            )),
+        }
+    }
+
+    /// Fetches an integer.
+    pub fn get_int(&self, section: &str, key: &str) -> Result<Option<i64>, ConfigError> {
+        match self.get(section, key) {
+            None => Ok(None),
+            Some(TomlValue::Int(v)) => Ok(Some(*v)),
+            Some(other) => Err(err(
+                0,
+                format!(
+                    "{section}.{key}: expected integer, found {}",
+                    other.type_name()
+                ),
+            )),
+        }
+    }
+
+    /// Fetches a float (integers widen).
+    pub fn get_float(&self, section: &str, key: &str) -> Result<Option<f64>, ConfigError> {
+        match self.get(section, key) {
+            None => Ok(None),
+            Some(TomlValue::Float(v)) => Ok(Some(*v)),
+            Some(TomlValue::Int(v)) => Ok(Some(*v as f64)),
+            Some(other) => Err(err(
+                0,
+                format!("{section}.{key}: expected float, found {}", other.type_name()),
+            )),
+        }
+    }
+
+    /// Fetches a boolean.
+    pub fn get_bool(&self, section: &str, key: &str) -> Result<Option<bool>, ConfigError> {
+        match self.get(section, key) {
+            None => Ok(None),
+            Some(TomlValue::Bool(v)) => Ok(Some(*v)),
+            Some(other) => Err(err(
+                0,
+                format!(
+                    "{section}.{key}: expected boolean, found {}",
+                    other.type_name()
+                ),
+            )),
+        }
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` outside a string starts a comment.
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<TomlValue, ConfigError> {
+    let mut chars = Scanner {
+        bytes: text.as_bytes(),
+        pos: 0,
+        lineno,
+    };
+    let v = chars.value()?;
+    chars.skip_ws();
+    if chars.pos != chars.bytes.len() {
+        return Err(err(lineno, "trailing characters after value"));
+    }
+    Ok(v)
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    lineno: usize,
+}
+
+impl Scanner<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<TomlValue, ConfigError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'"') => self.string(),
+            Some(b'[') => self.array(),
+            Some(b't' | b'f') => self.boolean(),
+            Some(b'-' | b'+' | b'0'..=b'9') => self.number(),
+            _ => Err(err(self.lineno, "expected a value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<TomlValue, ConfigError> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(err(self.lineno, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(TomlValue::String(out));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        _ => return Err(err(self.lineno, "bad escape in string")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the full character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| err(self.lineno, "invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty by construction");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<TomlValue, ConfigError> {
+        self.pos += 1; // `[`
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(TomlValue::Array(items));
+                }
+                None => return Err(err(self.lineno, "unterminated array")),
+                _ => {}
+            }
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {}
+                _ => return Err(err(self.lineno, "expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn boolean(&mut self) -> Result<TomlValue, ConfigError> {
+        let rest = &self.bytes[self.pos..];
+        if rest.starts_with(b"true") {
+            self.pos += 4;
+            Ok(TomlValue::Bool(true))
+        } else if rest.starts_with(b"false") {
+            self.pos += 5;
+            Ok(TomlValue::Bool(false))
+        } else {
+            Err(err(self.lineno, "expected `true` or `false`"))
+        }
+    }
+
+    fn number(&mut self) -> Result<TomlValue, ConfigError> {
+        let start = self.pos;
+        if matches!(self.bytes.get(self.pos), Some(b'-' | b'+')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'_' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                    if matches!(self.bytes.get(self.pos), Some(b'-' | b'+')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text: String = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| err(self.lineno, "invalid number"))?
+            .replace('_', "");
+        if is_float {
+            text.parse()
+                .map(TomlValue::Float)
+                .map_err(|_| err(self.lineno, format!("bad float {text:?}")))
+        } else {
+            text.parse()
+                .map(TomlValue::Int)
+                .map_err(|_| err(self.lineno, format!("bad integer {text:?}")))
+        }
+    }
+}
+
+/// Typed deployment configuration (what `weaver.toml` describes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentConfig {
+    /// Deployment name.
+    pub name: String,
+    /// Deployment version id (atomic rollout identity).
+    pub version: u64,
+    /// Explicit co-location groups; components not listed get singleton
+    /// groups. Empty = let the placement optimizer decide from the call
+    /// graph.
+    pub colocate: Vec<Vec<String>>,
+    /// Replicas per proclet group.
+    pub replicas: u32,
+    /// Autoscaler target utilization.
+    pub target_utilization: f64,
+    /// Autoscaler bounds.
+    pub min_replicas: u32,
+    /// Autoscaler bounds.
+    pub max_replicas: u32,
+    /// Whether the manager runs the HPA control loop over proclet load
+    /// reports (scaling each group between `min_replicas` and
+    /// `max_replicas`).
+    pub autoscale: bool,
+    /// Worker threads per proclet RPC server.
+    pub server_workers: usize,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            name: "app".into(),
+            version: 1,
+            colocate: Vec::new(),
+            replicas: 1,
+            target_utilization: 0.7,
+            min_replicas: 1,
+            max_replicas: 10,
+            autoscale: false,
+            server_workers: 4,
+        }
+    }
+}
+
+impl DeploymentConfig {
+    /// Parses a `weaver.toml`-style document.
+    pub fn from_toml(input: &str) -> Result<DeploymentConfig, ConfigError> {
+        let doc = TomlDoc::parse(input)?;
+        let mut config = DeploymentConfig::default();
+        if let Some(name) = doc.get_str("deployment", "name")? {
+            config.name = name.to_string();
+        }
+        if let Some(v) = doc.get_int("deployment", "version")? {
+            config.version = u64::try_from(v)
+                .map_err(|_| err(0, "deployment.version must be non-negative"))?;
+        }
+        if let Some(TomlValue::Array(groups)) = doc.get("placement", "colocate") {
+            let mut out = Vec::new();
+            for g in groups {
+                let TomlValue::Array(members) = g else {
+                    return Err(err(0, "placement.colocate must be an array of arrays"));
+                };
+                let mut group = Vec::new();
+                for m in members {
+                    let TomlValue::String(s) = m else {
+                        return Err(err(0, "colocate group members must be strings"));
+                    };
+                    group.push(s.clone());
+                }
+                out.push(group);
+            }
+            config.colocate = out;
+        }
+        if let Some(v) = doc.get_int("placement", "replicas")? {
+            config.replicas =
+                u32::try_from(v).map_err(|_| err(0, "placement.replicas out of range"))?;
+        }
+        if let Some(v) = doc.get_float("scaling", "target_utilization")? {
+            if !(0.0..=1.0).contains(&v) || v == 0.0 {
+                return Err(err(0, "scaling.target_utilization must be in (0, 1]"));
+            }
+            config.target_utilization = v;
+        }
+        if let Some(v) = doc.get_int("scaling", "min_replicas")? {
+            config.min_replicas =
+                u32::try_from(v).map_err(|_| err(0, "scaling.min_replicas out of range"))?;
+        }
+        if let Some(v) = doc.get_int("scaling", "max_replicas")? {
+            config.max_replicas =
+                u32::try_from(v).map_err(|_| err(0, "scaling.max_replicas out of range"))?;
+        }
+        if let Some(v) = doc.get_bool("scaling", "autoscale")? {
+            config.autoscale = v;
+        }
+        if config.min_replicas > config.max_replicas {
+            return Err(err(0, "scaling.min_replicas exceeds max_replicas"));
+        }
+        if let Some(v) = doc.get_int("runtime", "server_workers")? {
+            config.server_workers =
+                usize::try_from(v).map_err(|_| err(0, "runtime.server_workers out of range"))?;
+        }
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# Boutique deployment.
+[deployment]
+name = "boutique"   # the app
+version = 3
+
+[placement]
+colocate = [["frontend", "ads"], ["cart"]]
+replicas = 2
+
+[scaling]
+target_utilization = 0.7
+min_replicas = 1
+max_replicas = 20
+
+[runtime]
+server_workers = 8
+"#;
+
+    #[test]
+    fn full_document_parses() {
+        let config = DeploymentConfig::from_toml(SAMPLE).unwrap();
+        assert_eq!(config.name, "boutique");
+        assert_eq!(config.version, 3);
+        assert_eq!(
+            config.colocate,
+            vec![
+                vec!["frontend".to_string(), "ads".to_string()],
+                vec!["cart".to_string()]
+            ]
+        );
+        assert_eq!(config.replicas, 2);
+        assert_eq!(config.target_utilization, 0.7);
+        assert_eq!(config.max_replicas, 20);
+        assert_eq!(config.server_workers, 8);
+    }
+
+    #[test]
+    fn empty_document_is_defaults() {
+        let config = DeploymentConfig::from_toml("").unwrap();
+        assert_eq!(config, DeploymentConfig::default());
+    }
+
+    #[test]
+    fn value_types() {
+        let doc = TomlDoc::parse(
+            "a = 1\nb = -2.5\nc = true\nd = \"hi # not a comment\"\ne = [1, 2, 3]\nf = 1_000",
+        )
+        .unwrap();
+        assert_eq!(doc.get("", "a"), Some(&TomlValue::Int(1)));
+        assert_eq!(doc.get("", "b"), Some(&TomlValue::Float(-2.5)));
+        assert_eq!(doc.get("", "c"), Some(&TomlValue::Bool(true)));
+        assert_eq!(
+            doc.get("", "d"),
+            Some(&TomlValue::String("hi # not a comment".into()))
+        );
+        assert_eq!(
+            doc.get("", "e"),
+            Some(&TomlValue::Array(vec![
+                TomlValue::Int(1),
+                TomlValue::Int(2),
+                TomlValue::Int(3)
+            ]))
+        );
+        assert_eq!(doc.get("", "f"), Some(&TomlValue::Int(1000)));
+    }
+
+    #[test]
+    fn nested_arrays() {
+        let doc = TomlDoc::parse(r#"g = [["a", "b"], ["c"]]"#).unwrap();
+        let TomlValue::Array(outer) = doc.get("", "g").unwrap() else {
+            panic!("not an array");
+        };
+        assert_eq!(outer.len(), 2);
+    }
+
+    #[test]
+    fn string_escapes_and_unicode() {
+        let doc = TomlDoc::parse(r#"s = "line\nnext\t\"q\" déjà""#).unwrap();
+        assert_eq!(
+            doc.get("", "s"),
+            Some(&TomlValue::String("line\nnext\t\"q\" déjà".into()))
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = TomlDoc::parse("ok = 1\nbroken").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = TomlDoc::parse("[unclosed").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = TomlDoc::parse("a = 1\na = 2").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(TomlDoc::parse("a = 1 2").is_err());
+        assert!(TomlDoc::parse("a = [1,").is_err());
+        assert!(TomlDoc::parse("a = \"unterminated").is_err());
+    }
+
+    #[test]
+    fn type_mismatch_reported() {
+        let doc = TomlDoc::parse("[s]\nk = \"str\"").unwrap();
+        assert!(doc.get_int("s", "k").is_err());
+        assert!(doc.get_str("s", "k").unwrap().is_some());
+        assert_eq!(doc.get_int("s", "missing").unwrap(), None);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(DeploymentConfig::from_toml("[scaling]\ntarget_utilization = 1.5").is_err());
+        assert!(DeploymentConfig::from_toml("[scaling]\ntarget_utilization = 0.0").is_err());
+        assert!(
+            DeploymentConfig::from_toml("[scaling]\nmin_replicas = 5\nmax_replicas = 2").is_err()
+        );
+        assert!(DeploymentConfig::from_toml("[deployment]\nversion = -1").is_err());
+    }
+
+    #[test]
+    fn comments_stripped_outside_strings() {
+        let doc = TomlDoc::parse("a = 5 # five").unwrap();
+        assert_eq!(doc.get("", "a"), Some(&TomlValue::Int(5)));
+    }
+
+    #[test]
+    fn float_with_exponent() {
+        let doc = TomlDoc::parse("a = 1.5e3").unwrap();
+        assert_eq!(doc.get("", "a"), Some(&TomlValue::Float(1500.0)));
+    }
+}

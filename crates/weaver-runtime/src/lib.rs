@@ -1,0 +1,49 @@
+//! The runtime (paper §4): deployers, the proclet architecture, and the
+//! application–runtime API.
+//!
+//! "Underneath the programming model lies a runtime that is responsible for
+//! distributing and executing components. … The runtime is also responsible
+//! for low-level details like launching components onto physical resources
+//! and restarting components when they fail."
+//!
+//! Pieces, mapped to the paper:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`config`] | the deployment TOML (name, co-location, scaling bounds) |
+//! | [`protocol`] | Table 1: the proclet ↔ runtime pipe API |
+//! | [`proclet`] | §4.3: the in-binary daemon |
+//! | [`envelope`] | Figure 3: per-proclet parent agent |
+//! | [`manager`] | Figure 3: the global manager (multiprocess deployer) |
+//! | [`single`] | the single-process deployer (co-located / weavertest) |
+//! | [`router`] | the data plane: proclet-to-proclet calls |
+//! | [`dispatch`] | server-side dispatch with the §4.4 version backstop |
+//!
+//! A binary using the runtime starts with:
+//!
+//! ```ignore
+//! fn main() {
+//!     let registry = Arc::new(build_registry());
+//!     weaver_runtime::proclet::maybe_proclet(&registry); // proclet? never returns
+//!     let dep = MultiProcess::deploy(registry, config, SpawnSpec::current_exe()?)?;
+//!     let hello = dep.get::<dyn Hello>()?;
+//!     println!("{}", hello.greet(&dep.root_context(), "World".into())?);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dispatch;
+pub mod envelope;
+pub mod manager;
+pub mod proclet;
+pub mod protocol;
+pub mod router;
+pub mod single;
+
+pub use config::{ConfigError, DeploymentConfig, TomlDoc, TomlValue};
+pub use envelope::{ReplicaId, SpawnSpec};
+pub use manager::MultiProcess;
+pub use single::{ComponentFault, SingleMode, SingleProcess};

@@ -1,0 +1,257 @@
+//! The proclet: the environment-agnostic daemon linked into every binary
+//! (paper §4.3).
+//!
+//! "Every application binary runs a small, environment-agnostic daemon
+//! called a proclet that is linked into the binary during compilation. A
+//! proclet manages the components in a running binary."
+//!
+//! [`maybe_proclet`] is the link point: application `main` calls it first;
+//! in a process the deployer spawned as a proclet (marked by environment
+//! variables) it never returns — it binds the data-plane RPC server, speaks
+//! the Table 1 pipe protocol on stdin/stdout, hosts its assigned
+//! components, and exits when told to. In the manager process it returns
+//! immediately.
+
+use std::collections::HashSet;
+use std::io::Write;
+use std::sync::Arc;
+
+
+use weaver_core::client::{ClientHandle, TargetInfo};
+use weaver_core::context::{Acquired, ComponentGetter};
+use weaver_core::error::WeaverError;
+use weaver_core::instance::LiveComponents;
+use weaver_core::registry::ComponentRegistry;
+use weaver_metrics::{CallGraph, MetricsRegistry};
+use weaver_transport::{Server, WeaverFraming};
+
+use crate::dispatch::ProcletDispatcher;
+use crate::protocol::{read_message, write_message, EnvelopeMessage, ProcletMessage};
+use crate::router::{RemoteRouter, RoutingState, RoutingTable};
+
+/// Environment variable marking a process as a proclet (value = group id).
+pub const ENV_GROUP: &str = "WEAVER_PROCLET_GROUP";
+/// Environment variable carrying the replica index.
+pub const ENV_REPLICA: &str = "WEAVER_PROCLET_REPLICA";
+/// Environment variable carrying the deployment version.
+pub const ENV_VERSION: &str = "WEAVER_VERSION";
+/// Environment variable carrying the RPC worker-pool size.
+pub const ENV_WORKERS: &str = "WEAVER_WORKERS";
+
+/// Component resolution inside a proclet: local for hosted components,
+/// remote (through the routing table) for everything else.
+pub struct ProcletGetter {
+    live: Arc<LiveComponents>,
+    /// `None` until the envelope's `HostComponents` arrives. Resolution
+    /// *blocks* on it: an early RPC must not make a component wire its
+    /// co-located dependencies as remote stubs.
+    hosted: parking_lot::Mutex<Option<HashSet<u32>>>,
+    hosted_set: parking_lot::Condvar,
+    router: Arc<RemoteRouter>,
+}
+
+/// How long component resolution waits for the hosting assignment before
+/// concluding the control plane is broken.
+const HOSTED_WAIT: std::time::Duration = std::time::Duration::from_secs(10);
+
+impl ProcletGetter {
+    /// Creates a getter; the hosted set is installed once `HostComponents`
+    /// arrives.
+    pub fn new(live: Arc<LiveComponents>, router: Arc<RemoteRouter>) -> Arc<Self> {
+        Arc::new(ProcletGetter {
+            live,
+            hosted: parking_lot::Mutex::new(None),
+            hosted_set: parking_lot::Condvar::new(),
+            router,
+        })
+    }
+
+    /// Installs the hosting assignment and unblocks resolution.
+    pub fn set_hosted(&self, components: &[u32]) {
+        *self.hosted.lock() = Some(components.iter().copied().collect());
+        self.hosted_set.notify_all();
+    }
+
+    /// Whether `id` is hosted by this proclet, waiting for the assignment
+    /// if it has not arrived yet.
+    pub fn hosts(&self, id: u32) -> Result<bool, WeaverError> {
+        let mut hosted = self.hosted.lock();
+        let deadline = std::time::Instant::now() + HOSTED_WAIT;
+        while hosted.is_none() {
+            if self
+                .hosted_set
+                .wait_until(&mut hosted, deadline)
+                .timed_out()
+            {
+                return Err(WeaverError::Unavailable {
+                    detail: "hosting assignment never arrived".into(),
+                });
+            }
+        }
+        Ok(hosted.as_ref().expect("checked above").contains(&id))
+    }
+}
+
+impl ComponentGetter for ProcletGetter {
+    fn acquire(&self, name: &str) -> Result<Acquired, WeaverError> {
+        let id = self.live.registry().id_of(name)?;
+        if self.hosts(id)? {
+            let instance = self.live.get_or_start(id, self)?;
+            Ok(Acquired::Local(instance.iface_any))
+        } else {
+            let registration = self.live.registry().get(id)?;
+            Ok(Acquired::Remote(ClientHandle::new(
+                TargetInfo {
+                    component_id: id,
+                    name: registration.name,
+                    methods: registration.methods,
+                },
+                Arc::clone(&self.router) as Arc<dyn weaver_core::client::CallRouter>,
+            )))
+        }
+    }
+}
+
+/// If this process was spawned as a proclet, run the proclet main loop and
+/// **never return** (the process exits when the envelope says so or the
+/// pipe closes). Otherwise return immediately.
+///
+/// Application binaries call this at the top of `main`, mirroring how the
+/// paper's proclet is "linked into the binary during compilation".
+pub fn maybe_proclet(registry: &Arc<ComponentRegistry>) {
+    let Ok(group) = std::env::var(ENV_GROUP) else {
+        return;
+    };
+    let group: u32 = group.parse().unwrap_or(0);
+    let replica: u32 = std::env::var(ENV_REPLICA)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let version: u64 = std::env::var(ENV_VERSION)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let workers: usize = std::env::var(ENV_WORKERS)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
+    let code = proclet_main(Arc::clone(registry), group, replica, version, workers);
+    std::process::exit(code);
+}
+
+/// The proclet main loop. Returns the process exit code.
+fn proclet_main(
+    registry: Arc<ComponentRegistry>,
+    group: u32,
+    replica: u32,
+    version: u64,
+    workers: usize,
+) -> i32 {
+    let live = Arc::new(LiveComponents::new(registry));
+    let table = RoutingTable::new();
+    let callgraph = Arc::new(CallGraph::new());
+    let metrics = Arc::new(MetricsRegistry::new());
+    let router = Arc::new(RemoteRouter::new(
+        Arc::clone(&table),
+        Arc::clone(&callgraph),
+        version,
+    ));
+    let getter = ProcletGetter::new(Arc::clone(&live), router);
+
+    // Data plane: serve our components to other proclets.
+    let dispatcher = Arc::new(ProcletDispatcher::new(
+        Arc::clone(&live),
+        Arc::clone(&getter) as Arc<dyn ComponentGetter>,
+        version,
+        Arc::clone(&metrics),
+    ));
+    let busy = dispatcher.busy_tracker();
+    let server = match Server::<WeaverFraming>::bind("127.0.0.1:0", workers, dispatcher) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("proclet {group}/{replica}: cannot bind data plane: {e}");
+            return 1;
+        }
+    };
+
+    // Control plane: the Table 1 pipe protocol on stdin/stdout.
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let register = ProcletMessage::RegisterReplica {
+        group,
+        replica,
+        addr: server.local_addr().to_string(),
+        pid: std::process::id().into(),
+    };
+    if write_message(&mut out, &register).is_err() {
+        return 1;
+    }
+    if write_message(&mut out, &ProcletMessage::ComponentsToHost).is_err() {
+        return 1;
+    }
+
+    let mut stdin = std::io::stdin().lock();
+    loop {
+        let msg: Option<EnvelopeMessage> = match read_message(&mut stdin) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("proclet {group}/{replica}: pipe error: {e}");
+                return 1;
+            }
+        };
+        let Some(msg) = msg else {
+            // Envelope went away: a proclet must not outlive its deployer.
+            return 0;
+        };
+        match msg {
+            EnvelopeMessage::HostComponents { components } => {
+                getter.set_hosted(&components);
+                // Eagerly start hosted components so the first call does not
+                // pay construction latency.
+                for id in components {
+                    if let Err(e) = live.get_or_start(id, &*getter) {
+                        eprintln!("proclet {group}/{replica}: start #{id} failed: {e}");
+                    }
+                }
+            }
+            EnvelopeMessage::RoutingInfo {
+                epoch,
+                routes,
+                assignments,
+            } => {
+                let state = RoutingState {
+                    epoch,
+                    routes: routes
+                        .into_iter()
+                        .filter_map(|(id, addrs)| {
+                            let parsed: Vec<std::net::SocketAddr> =
+                                addrs.iter().filter_map(|a| a.parse().ok()).collect();
+                            (!parsed.is_empty()).then_some((id, parsed))
+                        })
+                        .collect(),
+                    assignments: assignments.into_iter().collect(),
+                };
+                table.update(state);
+            }
+            EnvelopeMessage::HealthCheck => {
+                // Busy fraction since the previous report: what the
+                // manager's autoscaler consumes.
+                let report = ProcletMessage::LoadReport {
+                    utilization: busy.utilization_since_reset(),
+                    metrics: metrics.snapshot(),
+                    callgraph: callgraph.snapshot(),
+                };
+                if write_message(&mut out, &report).is_err() {
+                    return 1;
+                }
+            }
+            EnvelopeMessage::Shutdown => {
+                let _ = write_message(&mut out, &ProcletMessage::ShuttingDown);
+                let _ = out.flush();
+                server.shutdown();
+                return 0;
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Client-side routing: pick a replica, move the bytes, record the edge.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use weaver_core::client::{CallRouter, TargetInfo};
+use weaver_core::context::CallContext;
+use weaver_core::error::WeaverError;
+use weaver_metrics::{CallEdge, CallGraph};
+use weaver_routing::{Balancer, PowerOfTwo, SliceAssignment};
+use weaver_transport::{Pool, RequestHeader, ResponseBody, Status, WeaverFraming};
+
+/// Default per-call timeout when the caller set no deadline. Generous: the
+/// point is to bound hangs, not to police slow handlers.
+pub const DEFAULT_CALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The routing state a proclet receives from its envelope
+/// (`EnvelopeMessage::RoutingInfo`) or the single-process deployer builds
+/// directly.
+#[derive(Debug, Default)]
+pub struct RoutingState {
+    /// Update epoch; stale `RoutingInfo` messages are discarded.
+    pub epoch: u64,
+    /// component id → replica addresses, ordered by replica index.
+    pub routes: HashMap<u32, Vec<SocketAddr>>,
+    /// component id → affinity slice assignment.
+    pub assignments: HashMap<u32, SliceAssignment>,
+}
+
+/// Shared, updatable routing table.
+#[derive(Default)]
+pub struct RoutingTable {
+    state: RwLock<RoutingState>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Installs a new state if its epoch is newer. Returns whether it took.
+    pub fn update(&self, new_state: RoutingState) -> bool {
+        let mut state = self.state.write();
+        if new_state.epoch <= state.epoch && state.epoch != 0 {
+            return false;
+        }
+        *state = new_state;
+        true
+    }
+
+    /// Replica addresses for a component (empty when unknown).
+    pub fn replicas_of(&self, component: u32) -> Vec<SocketAddr> {
+        self.state
+            .read()
+            .routes
+            .get(&component)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Resolves the address for one call.
+    fn pick(
+        &self,
+        component: u32,
+        routing: Option<u64>,
+        balancer: &dyn Balancer,
+    ) -> Result<(SocketAddr, usize), WeaverError> {
+        let state = self.state.read();
+        let replicas = state.routes.get(&component).ok_or_else(|| {
+            WeaverError::Unavailable {
+                detail: format!("no routes for component #{component}"),
+            }
+        })?;
+        if replicas.is_empty() {
+            return Err(WeaverError::Unavailable {
+                detail: format!("zero replicas for component #{component}"),
+            });
+        }
+        let index = match routing {
+            Some(key) => {
+                // Affinity routing: the slice assignment owns the choice.
+                match state.assignments.get(&component).and_then(|a| a.replica_for(key)) {
+                    Some(r) => r as usize % replicas.len(),
+                    // No assignment yet: fall back to modulo, still sticky.
+                    None => (key % replicas.len() as u64) as usize,
+                }
+            }
+            None => balancer.pick(replicas.len()).unwrap_or(0),
+        };
+        Ok((replicas[index], index))
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.state.read().epoch
+    }
+}
+
+/// The remote call path: resolve → call → record.
+pub struct RemoteRouter {
+    table: Arc<RoutingTable>,
+    pool: Pool<WeaverFraming>,
+    balancer: PowerOfTwo,
+    callgraph: Arc<CallGraph>,
+    version: u64,
+}
+
+impl RemoteRouter {
+    /// Builds a router over `table` for deployment `version`.
+    pub fn new(table: Arc<RoutingTable>, callgraph: Arc<CallGraph>, version: u64) -> Self {
+        RemoteRouter {
+            table,
+            pool: Pool::new(),
+            balancer: PowerOfTwo::new(64),
+            callgraph,
+            version,
+        }
+    }
+
+    /// The call graph edges this router has recorded.
+    pub fn callgraph(&self) -> &Arc<CallGraph> {
+        &self.callgraph
+    }
+}
+
+impl CallRouter for RemoteRouter {
+    fn route_call(
+        &self,
+        target: &TargetInfo,
+        ctx: &CallContext,
+        method: u32,
+        routing: Option<u64>,
+        args: Vec<u8>,
+    ) -> Result<Vec<u8>, WeaverError> {
+        let started = Instant::now();
+        let request_bytes = args.len();
+        let timeout = ctx.remaining().unwrap_or(DEFAULT_CALL_TIMEOUT);
+        let header = RequestHeader {
+            component: target.component_id,
+            method,
+            version: self.version,
+            deadline_nanos: ctx
+                .remaining()
+                .map_or(0, |d| d.as_nanos().min(u128::from(u64::MAX)) as u64),
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            routing,
+        };
+
+        // Up to two attempts on *retryable* failures, moving to another
+        // replica. Routed calls are not retried elsewhere — affinity means
+        // another replica is a cache miss at best.
+        let attempts = if routing.is_some() { 1 } else { 2 };
+        let mut last_err: Option<WeaverError> = None;
+        let mut result: Option<Result<ResponseBody, WeaverError>> = None;
+        for _ in 0..attempts {
+            let (addr, replica) = match self.table.pick(target.component_id, routing, &self.balancer)
+            {
+                Ok(x) => x,
+                Err(e) => {
+                    last_err = Some(e);
+                    break;
+                }
+            };
+            self.balancer.on_start(replica);
+            let outcome = self
+                .pool
+                .call(addr, &header, &args, Some(timeout))
+                .map_err(WeaverError::from);
+            self.balancer.on_finish(replica);
+            match outcome {
+                Err(e) if e.is_retryable() => {
+                    self.pool.evict(addr);
+                    last_err = Some(e);
+                    continue;
+                }
+                other => {
+                    result = Some(other);
+                    break;
+                }
+            }
+        }
+
+        let outcome: Result<Vec<u8>, WeaverError> = match result {
+            Some(Ok(body)) => match body.status {
+                Status::Ok => Ok(body.payload),
+                Status::Error => {
+                    let e: WeaverError = weaver_codec::decode_from_slice(&body.payload)
+                        .unwrap_or_else(|decode_err| WeaverError::Codec {
+                            detail: format!("undecodable remote error: {decode_err}"),
+                        });
+                    Err(e)
+                }
+            },
+            Some(Err(e)) => Err(e),
+            None => Err(last_err.unwrap_or_else(|| WeaverError::Unavailable {
+                detail: "no attempt possible".into(),
+            })),
+        };
+
+        let method_name = target
+            .methods
+            .get(method as usize)
+            .map_or("?", |m| m.name);
+        let is_error = match &outcome {
+            Ok(reply) => weaver_core::client::reply_is_err(reply),
+            Err(_) => true,
+        };
+        self.callgraph.record(
+            CallEdge {
+                caller: ctx.caller.to_string(),
+                callee: target.name.to_string(),
+                method: method_name.to_string(),
+            },
+            request_bytes,
+            outcome.as_ref().map_or(0, Vec::len),
+            started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            is_error,
+        );
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().expect("valid addr")
+    }
+
+    fn table_with(component: u32, ports: &[u16]) -> Arc<RoutingTable> {
+        let table = RoutingTable::new();
+        let mut routes = HashMap::new();
+        routes.insert(component, ports.iter().map(|&p| addr(p)).collect());
+        table.update(RoutingState {
+            epoch: 1,
+            routes,
+            assignments: HashMap::new(),
+        });
+        table
+    }
+
+    #[test]
+    fn epoch_ordering_enforced() {
+        let table = RoutingTable::new();
+        assert!(table.update(RoutingState {
+            epoch: 3,
+            ..Default::default()
+        }));
+        assert!(!table.update(RoutingState {
+            epoch: 2,
+            ..Default::default()
+        }));
+        assert!(table.update(RoutingState {
+            epoch: 4,
+            ..Default::default()
+        }));
+        assert_eq!(table.epoch(), 4);
+    }
+
+    #[test]
+    fn pick_unrouted_spreads() {
+        let table = table_with(0, &[1001, 1002, 1003]);
+        let balancer = PowerOfTwo::new(8);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let (a, _) = table.pick(0, None, &balancer).unwrap();
+            seen.insert(a);
+        }
+        assert!(seen.len() >= 2, "picks never spread: {seen:?}");
+    }
+
+    #[test]
+    fn pick_routed_is_sticky() {
+        let table = table_with(0, &[1001, 1002, 1003, 1004]);
+        {
+            let mut state = RoutingState {
+                epoch: 2,
+                routes: HashMap::new(),
+                assignments: HashMap::new(),
+            };
+            state
+                .routes
+                .insert(0, vec![addr(1001), addr(1002), addr(1003), addr(1004)]);
+            state
+                .assignments
+                .insert(0, SliceAssignment::uniform(4, 8));
+            table.update(state);
+        }
+        let balancer = PowerOfTwo::new(8);
+        for key in [1u64, 99, u64::MAX / 7] {
+            let (first, _) = table.pick(0, Some(key), &balancer).unwrap();
+            for _ in 0..10 {
+                let (again, _) = table.pick(0, Some(key), &balancer).unwrap();
+                assert_eq!(first, again, "routing key {key} moved");
+            }
+        }
+    }
+
+    #[test]
+    fn pick_unknown_component_is_unavailable() {
+        let table = table_with(0, &[1001]);
+        let balancer = PowerOfTwo::new(8);
+        assert!(matches!(
+            table.pick(7, None, &balancer),
+            Err(WeaverError::Unavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn replicas_of_unknown_is_empty() {
+        let table = RoutingTable::new();
+        assert!(table.replicas_of(3).is_empty());
+    }
+}

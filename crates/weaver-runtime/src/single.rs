@@ -1,0 +1,268 @@
+//! The single-process deployer.
+//!
+//! Everything runs in one OS process. Two modes:
+//!
+//! * [`SingleMode::Colocated`] — component references are the
+//!   implementations themselves; calls are plain method calls with zero
+//!   marshaling. This is the configuration behind the paper's follow-up
+//!   result ("when we co-locate all eleven components into a single OS
+//!   process, the number of cores drops to 9 and the median latency drops
+//!   to 0.38 ms").
+//! * [`SingleMode::Marshaled`] — every cross-component call takes the full
+//!   RPC path (encode header+args, dispatch, decode reply) without a
+//!   socket. This is the weavertest configuration (§5.3): deterministic,
+//!   single-process, yet exercising exactly the bytes that would cross the
+//!   network — and the hook point for fault injection.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use weaver_core::client::{CallRouter, TargetInfo};
+use weaver_core::component::ComponentInterface;
+use weaver_core::context::{Acquired, CallContext, ComponentGetter};
+use weaver_core::error::WeaverError;
+use weaver_core::instance::LiveComponents;
+use weaver_core::registry::ComponentRegistry;
+use weaver_metrics::trace::{Span, TraceSink};
+use weaver_metrics::{CallEdge, CallGraph, CallGraphSnapshot, MetricsRegistry, MetricsSnapshot};
+
+/// How component references resolve in a single process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SingleMode {
+    /// Plain method calls (all components co-located).
+    Colocated,
+    /// Full marshal/dispatch per call (weavertest mode).
+    Marshaled,
+}
+
+/// A fault installed on a component (weavertest / chaos hooks, §5.3).
+#[derive(Debug, Clone, Default)]
+pub struct ComponentFault {
+    /// Fail this many upcoming calls with `Unavailable`.
+    pub fail_next: u64,
+    /// Injected latency per call.
+    pub delay: Duration,
+    /// While set, every call fails (replica down).
+    pub down: bool,
+}
+
+/// The single-process deployment.
+pub struct SingleProcess {
+    live: Arc<LiveComponents>,
+    mode: SingleMode,
+    version: u64,
+    callgraph: Arc<CallGraph>,
+    metrics: Arc<MetricsRegistry>,
+    traces: Arc<TraceSink>,
+    faults: RwLock<HashMap<String, ComponentFault>>,
+    self_ref: RwLock<std::sync::Weak<SingleProcess>>,
+}
+
+impl SingleProcess {
+    /// Deploys `registry` in this process.
+    pub fn deploy(registry: Arc<ComponentRegistry>, mode: SingleMode, version: u64) -> Arc<Self> {
+        let deployment = Arc::new(SingleProcess {
+            live: Arc::new(LiveComponents::new(registry)),
+            mode,
+            version,
+            callgraph: Arc::new(CallGraph::new()),
+            metrics: Arc::new(MetricsRegistry::new()),
+            traces: TraceSink::new(),
+            faults: RwLock::new(HashMap::new()),
+            self_ref: RwLock::new(std::sync::Weak::new()),
+        });
+        *deployment.self_ref.write() = Arc::downgrade(&deployment);
+        deployment
+    }
+
+    /// The deployment version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// A root call context for driving requests into the deployment.
+    pub fn root_context(&self) -> CallContext {
+        CallContext::root(self.version)
+    }
+
+    /// Returns the component with interface `I` (the paper's `Get[T]`).
+    pub fn get<I: ComponentInterface + ?Sized>(&self) -> Result<Arc<I>, WeaverError> {
+        match self.acquire(I::NAME)? {
+            Acquired::Local(any) => any
+                .downcast_ref::<Arc<I>>()
+                .map(Arc::clone)
+                .ok_or_else(|| WeaverError::internal("wrong instance type")),
+            Acquired::Remote(handle) => Ok(I::client(handle)),
+        }
+    }
+
+    /// Snapshot of the recorded component call graph (only populated in
+    /// [`SingleMode::Marshaled`]; co-located calls are invisible by design).
+    pub fn callgraph(&self) -> CallGraphSnapshot {
+        self.callgraph.snapshot()
+    }
+
+    /// Snapshot of runtime metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Drains the spans recorded so far (only populated in
+    /// [`SingleMode::Marshaled`]; §5.1's "metrics, traces, logs").
+    pub fn drain_traces(&self) -> Vec<Span> {
+        self.traces.drain()
+    }
+
+    /// Installs (or clears, with the default value) a fault on a component.
+    /// Only effective in [`SingleMode::Marshaled`].
+    pub fn inject_fault(&self, component: &str, fault: ComponentFault) {
+        self.faults.write().insert(component.to_string(), fault);
+    }
+
+    /// Crashes a component instance: the next call constructs a fresh one,
+    /// exercising restart paths.
+    pub fn crash_component(&self, component: &str) -> Result<(), WeaverError> {
+        let id = self.live.registry().id_of(component)?;
+        self.live.restart(id);
+        Ok(())
+    }
+
+    /// Names of components currently instantiated.
+    pub fn running(&self) -> Vec<&'static str> {
+        self.live
+            .running()
+            .into_iter()
+            .filter_map(|id| self.live.registry().get(id).ok().map(|r| r.name))
+            .collect()
+    }
+
+    fn router(&self) -> Arc<dyn CallRouter> {
+        self.self_ref
+            .read()
+            .upgrade()
+            .expect("deployment still alive")
+    }
+
+    fn check_fault(&self, component: &str) -> Result<(), WeaverError> {
+        let mut faults = self.faults.write();
+        let Some(fault) = faults.get_mut(component) else {
+            return Ok(());
+        };
+        if fault.down {
+            return Err(WeaverError::Unavailable {
+                detail: format!("{component} is down (injected)"),
+            });
+        }
+        if !fault.delay.is_zero() {
+            std::thread::sleep(fault.delay);
+        }
+        if fault.fail_next > 0 {
+            fault.fail_next -= 1;
+            return Err(WeaverError::Unavailable {
+                detail: format!("{component} failed (injected)"),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl ComponentGetter for SingleProcess {
+    fn acquire(&self, name: &str) -> Result<Acquired, WeaverError> {
+        let id = self.live.registry().id_of(name)?;
+        match self.mode {
+            SingleMode::Colocated => {
+                let instance = self.live.get_or_start(id, self)?;
+                Ok(Acquired::Local(instance.iface_any))
+            }
+            SingleMode::Marshaled => {
+                let registration = self.live.registry().get(id)?;
+                Ok(Acquired::Remote(weaver_core::client::ClientHandle::new(
+                    TargetInfo {
+                        component_id: id,
+                        name: registration.name,
+                        methods: registration.methods,
+                    },
+                    self.router(),
+                )))
+            }
+        }
+    }
+}
+
+impl CallRouter for SingleProcess {
+    fn route_call(
+        &self,
+        target: &TargetInfo,
+        ctx: &CallContext,
+        method: u32,
+        _routing: Option<u64>,
+        args: Vec<u8>,
+    ) -> Result<Vec<u8>, WeaverError> {
+        let started = Instant::now();
+        let request_bytes = args.len();
+        // This call gets its own span; the caller's span becomes its parent.
+        let span_id = weaver_core::context::next_span_id();
+
+        let outcome = self.check_fault(target.name).and_then(|()| {
+            if ctx.expired() {
+                return Err(WeaverError::DeadlineExceeded);
+            }
+            // The §4.4 backstop, mirrored from the transport dispatcher: a
+            // request stamped with another deployment's version never
+            // reaches a handler.
+            if ctx.version != self.version {
+                return Err(WeaverError::VersionMismatch {
+                    caller_version: ctx.version,
+                    callee_version: self.version,
+                });
+            }
+            let instance = self.live.get_or_start(target.component_id, self)?;
+            let registration = self.live.registry().get(target.component_id)?;
+            let inner_ctx = CallContext {
+                caller: registration.name,
+                span_id,
+                ..ctx.clone()
+            };
+            (instance.dispatch)(method, &inner_ctx, &args)
+        });
+
+        let method_name = target.methods.get(method as usize).map_or("?", |m| m.name);
+        // An error is either a routing/runtime failure (outcome Err) or an
+        // application error riding inside a successful reply.
+        let is_error = match &outcome {
+            Ok(reply) => weaver_core::client::reply_is_err(reply),
+            Err(_) => true,
+        };
+        if ctx.trace_id != 0 {
+            self.traces.record(
+                Span {
+                    trace_id: ctx.trace_id,
+                    span_id,
+                    parent_id: ctx.span_id,
+                    component: target.name.to_string(),
+                    method: method_name.to_string(),
+                    start_nanos: 0,
+                    duration_nanos: 0,
+                    error: is_error,
+                },
+                started,
+                started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            );
+        }
+        self.callgraph.record(
+            CallEdge {
+                caller: ctx.caller.to_string(),
+                callee: target.name.to_string(),
+                method: method_name.to_string(),
+            },
+            request_bytes,
+            outcome.as_ref().map_or(0, Vec::len),
+            started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            is_error,
+        );
+        outcome
+    }
+}

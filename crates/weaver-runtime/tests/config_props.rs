@@ -1,0 +1,77 @@
+//! Property tests for the TOML-subset parser: never panics, faithfully
+//! round-trips the value kinds it supports.
+
+use proptest::prelude::*;
+use weaver_runtime::{TomlDoc, TomlValue};
+
+fn key_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,12}"
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics(input in ".{0,256}") {
+        let _ = TomlDoc::parse(&input);
+    }
+
+    #[test]
+    fn integers_roundtrip(key in key_strategy(), v in any::<i64>()) {
+        let doc = TomlDoc::parse(&format!("{key} = {v}")).unwrap();
+        prop_assert_eq!(doc.get("", &key), Some(&TomlValue::Int(v)));
+    }
+
+    #[test]
+    fn floats_roundtrip(key in key_strategy(), v in -1e12f64..1e12) {
+        // Print with enough precision and a guaranteed decimal point.
+        let text = format!("{key} = {v:.6}");
+        let doc = TomlDoc::parse(&text).unwrap();
+        match doc.get("", &key) {
+            Some(TomlValue::Float(parsed)) => {
+                prop_assert!((parsed - v).abs() <= v.abs() * 1e-9 + 1e-6);
+            }
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn booleans_roundtrip(key in key_strategy(), v in any::<bool>()) {
+        let doc = TomlDoc::parse(&format!("{key} = {v}")).unwrap();
+        prop_assert_eq!(doc.get("", &key), Some(&TomlValue::Bool(v)));
+    }
+
+    #[test]
+    fn simple_strings_roundtrip(key in key_strategy(), v in "[ -~&&[^\"\\\\#]]{0,32}") {
+        // Printable ASCII without quotes, backslashes, or comment chars.
+        let doc = TomlDoc::parse(&format!("{key} = \"{v}\"")).unwrap();
+        prop_assert_eq!(doc.get("", &key), Some(&TomlValue::String(v)));
+    }
+
+    #[test]
+    fn string_arrays_roundtrip(
+        key in key_strategy(),
+        items in proptest::collection::vec("[a-zA-Z0-9 ]{0,16}", 0..8),
+    ) {
+        let rendered: Vec<String> = items.iter().map(|s| format!("\"{s}\"")).collect();
+        let doc = TomlDoc::parse(&format!("{key} = [{}]", rendered.join(", "))).unwrap();
+        let expected = TomlValue::Array(items.into_iter().map(TomlValue::String).collect());
+        prop_assert_eq!(doc.get("", &key), Some(&expected));
+    }
+
+    #[test]
+    fn sections_isolate_keys(
+        section_a in key_strategy(),
+        section_b in key_strategy(),
+        v in any::<i64>(),
+    ) {
+        prop_assume!(section_a != section_b);
+        let doc = TomlDoc::parse(&format!("[{section_a}]\nk = {v}\n[{section_b}]\nk = {}", v.wrapping_add(1))).unwrap();
+        prop_assert_eq!(doc.get(&section_a, "k"), Some(&TomlValue::Int(v)));
+        prop_assert_eq!(doc.get(&section_b, "k"), Some(&TomlValue::Int(v.wrapping_add(1))));
+    }
+
+    #[test]
+    fn comments_never_change_values(key in key_strategy(), v in any::<i64>(), comment in "[ -~&&[^\"]]{0,24}") {
+        let doc = TomlDoc::parse(&format!("{key} = {v} # {comment}")).unwrap();
+        prop_assert_eq!(doc.get("", &key), Some(&TomlValue::Int(v)));
+    }
+}

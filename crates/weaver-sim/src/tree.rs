@@ -1,0 +1,104 @@
+//! Call-tree templates: the shape of one user-facing operation.
+
+use crate::queue::SimTime;
+
+/// One node of a call tree: a method execution on a service, possibly
+/// fanning out to children *sequentially* (the boutique's orchestration is
+/// sequential; the demo does not issue parallel RPCs on its hot paths).
+#[derive(Debug, Clone)]
+pub struct CallNode {
+    /// Index of the target service in the topology.
+    pub service: usize,
+    /// Handler CPU, nanoseconds (business logic only — stack costs are
+    /// added by the engine from the [`crate::stack::StackModel`]).
+    pub cpu: SimTime,
+    /// Request payload bytes (pre-inflation).
+    pub request_bytes: u64,
+    /// Response payload bytes (pre-inflation).
+    pub response_bytes: u64,
+    /// Whether the call carries a routing key (affinity routing).
+    pub routed: bool,
+    /// Child calls made while handling, in order.
+    pub children: Vec<CallNode>,
+}
+
+impl CallNode {
+    /// A leaf call.
+    pub fn leaf(
+        service: usize,
+        cpu: SimTime,
+        request_bytes: u64,
+        response_bytes: u64,
+    ) -> CallNode {
+        CallNode {
+            service,
+            cpu,
+            request_bytes,
+            response_bytes,
+            routed: false,
+            children: Vec::new(),
+        }
+    }
+
+    /// Marks the call as routed.
+    pub fn routed(mut self) -> CallNode {
+        self.routed = true;
+        self
+    }
+
+    /// Adds children.
+    pub fn with_children(mut self, children: Vec<CallNode>) -> CallNode {
+        self.children = children;
+        self
+    }
+
+    /// Total RPC count in the tree (including this node).
+    pub fn call_count(&self) -> usize {
+        1 + self.children.iter().map(CallNode::call_count).sum::<usize>()
+    }
+
+    /// Total handler CPU in the tree.
+    pub fn total_cpu(&self) -> SimTime {
+        self.cpu + self.children.iter().map(CallNode::total_cpu).sum::<SimTime>()
+    }
+
+    /// Total payload bytes moved (requests + responses, whole tree).
+    pub fn total_bytes(&self) -> u64 {
+        self.request_bytes
+            + self.response_bytes
+            + self.children.iter().map(CallNode::total_bytes).sum::<u64>()
+    }
+}
+
+/// A weighted operation in the workload mix.
+#[derive(Debug, Clone)]
+pub struct Operation {
+    /// Operation name (reports).
+    pub name: &'static str,
+    /// Relative weight in the mix.
+    pub weight: u32,
+    /// The call tree executed per request.
+    pub tree: CallNode,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_aggregates() {
+        let tree = CallNode::leaf(0, 100, 10, 20).with_children(vec![
+            CallNode::leaf(1, 50, 5, 5),
+            CallNode::leaf(2, 25, 1, 1).with_children(vec![CallNode::leaf(3, 10, 2, 2)]),
+        ]);
+        assert_eq!(tree.call_count(), 4);
+        assert_eq!(tree.total_cpu(), 185);
+        assert_eq!(tree.total_bytes(), 46);
+    }
+
+    #[test]
+    fn routed_flag() {
+        let node = CallNode::leaf(0, 1, 1, 1).routed();
+        assert!(node.routed);
+    }
+}

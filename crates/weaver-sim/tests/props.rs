@@ -1,0 +1,96 @@
+//! Property tests for the simulator's foundations.
+
+use proptest::prelude::*;
+use weaver_sim::queue::EventQueue;
+
+proptest! {
+    #[test]
+    fn event_queue_pops_in_time_order(
+        events in proptest::collection::vec((any::<u64>(), any::<u16>()), 0..128),
+    ) {
+        let mut q = EventQueue::new();
+        for &(at, payload) in &events {
+            q.push(at, payload);
+        }
+        let mut last_time = 0u64;
+        let mut popped = 0usize;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last_time, "time went backwards");
+            last_time = at;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, events.len());
+    }
+
+    #[test]
+    fn event_queue_is_fifo_at_equal_times(
+        times in proptest::collection::vec(0u64..4, 1..64),
+    ) {
+        // Payload = push index; among equal timestamps, indices ascend.
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i);
+        }
+        let mut last: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        while let Some((at, idx)) = q.pop() {
+            if let Some(&prev) = last.get(&at) {
+                prop_assert!(idx > prev, "FIFO violated at t={at}");
+            }
+            last.insert(at, idx);
+        }
+    }
+
+    #[test]
+    fn pod_accounting_is_exact(
+        jobs in proptest::collection::vec((0u64..1_000_000, 1u64..10_000), 1..64),
+    ) {
+        use weaver_sim::cluster::Pod;
+        let mut pod = Pod::default();
+        let mut pending = std::collections::VecDeque::new();
+        let mut started_cpu: u64 = 0;
+        let mut completions: Vec<u64> = Vec::new();
+        let mut jobs_sorted = jobs.clone();
+        jobs_sorted.sort();
+        for (at, cpu) in jobs_sorted {
+            if let Some(done) = pod.offer(at, 0, cpu) {
+                completions.push(done);
+                started_cpu += cpu;
+            } else {
+                pending.push_back(cpu);
+            }
+            // Drain any completions that are due before the next arrival.
+            while let Some(&done) = completions.last() {
+                if done <= at {
+                    completions.pop();
+                    if let Some((_, next_done)) = pod.finish(done) {
+                        let cpu = pending.pop_front().expect("queued job exists");
+                        started_cpu += cpu;
+                        completions.push(next_done);
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        // Every started job's CPU was accounted exactly once.
+        prop_assert_eq!(pod.busy_total, started_cpu);
+    }
+
+    #[test]
+    fn stack_costs_are_monotone_in_payload(
+        small in 0u64..10_000,
+        delta in 1u64..10_000,
+    ) {
+        use weaver_sim::StackModel;
+        for stack in [StackModel::weaver(), StackModel::grpc_like(), StackModel::json_like()] {
+            prop_assert!(
+                stack.caller_cpu(small, 0) <= stack.caller_cpu(small + delta, 0),
+                "{} caller_cpu not monotone", stack.name
+            );
+            prop_assert!(
+                stack.wire_latency(small) <= stack.wire_latency(small + delta),
+                "{} wire_latency not monotone", stack.name
+            );
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Seeded chaos testing over a marshaled deployment.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use weaver_runtime::{ComponentFault, SingleProcess};
+
+/// One chaos action, recorded for post-mortem analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosAction {
+    /// The component's instance was dropped; next call re-constructs it.
+    Crash(String),
+    /// The component was marked down.
+    Down(String),
+    /// The component got injected latency.
+    Delay(String, Duration),
+    /// The component's next call was failed.
+    FailNext(String),
+    /// All faults on the component were cleared.
+    Heal(String),
+}
+
+/// Chaos loop tunables.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// RNG seed: the action *sequence* is reproducible per seed (exact
+    /// interleaving with the workload still depends on scheduling).
+    pub seed: u64,
+    /// Components eligible for chaos.
+    pub targets: Vec<String>,
+    /// Delay between actions.
+    pub interval: Duration,
+    /// Fraction of actions that are heals (the system must also recover).
+    pub heal_fraction: f64,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            seed: 0xC4A05,
+            targets: Vec::new(),
+            interval: Duration::from_millis(5),
+            heal_fraction: 0.4,
+        }
+    }
+}
+
+/// Drives chaos actions against a deployment on a background thread.
+pub struct ChaosRunner {
+    stop: Arc<AtomicBool>,
+    log: Arc<Mutex<Vec<ChaosAction>>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    deployment: Arc<SingleProcess>,
+    targets: Vec<String>,
+}
+
+impl ChaosRunner {
+    /// Starts injecting faults into `deployment` per `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.targets` is empty — chaos with no targets is a
+    /// test-authoring bug.
+    pub fn start(deployment: Arc<SingleProcess>, options: ChaosOptions) -> ChaosRunner {
+        assert!(!options.targets.is_empty(), "chaos needs target components");
+        let stop = Arc::new(AtomicBool::new(false));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let log = Arc::clone(&log);
+            let deployment = Arc::clone(&deployment);
+            let options = options.clone();
+            std::thread::Builder::new()
+                .name("weaver-chaos".into())
+                .spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(options.seed);
+                    while !stop.load(Ordering::SeqCst) {
+                        let target =
+                            options.targets[rng.gen_range(0..options.targets.len())].clone();
+                        let action = if rng.gen_bool(options.heal_fraction) {
+                            deployment.inject_fault(&target, ComponentFault::default());
+                            ChaosAction::Heal(target)
+                        } else {
+                            match rng.gen_range(0..4u8) {
+                                0 => {
+                                    let _ = deployment.crash_component(&target);
+                                    ChaosAction::Crash(target)
+                                }
+                                1 => {
+                                    deployment.inject_fault(
+                                        &target,
+                                        ComponentFault {
+                                            down: true,
+                                            ..Default::default()
+                                        },
+                                    );
+                                    ChaosAction::Down(target)
+                                }
+                                2 => {
+                                    let delay = Duration::from_micros(rng.gen_range(50..500));
+                                    deployment.inject_fault(
+                                        &target,
+                                        ComponentFault {
+                                            delay,
+                                            ..Default::default()
+                                        },
+                                    );
+                                    ChaosAction::Delay(target, delay)
+                                }
+                                _ => {
+                                    deployment.inject_fault(
+                                        &target,
+                                        ComponentFault {
+                                            fail_next: 1,
+                                            ..Default::default()
+                                        },
+                                    );
+                                    ChaosAction::FailNext(target)
+                                }
+                            }
+                        };
+                        log.lock().push(action);
+                        std::thread::sleep(options.interval);
+                    }
+                })
+                .expect("failed to spawn chaos thread")
+        };
+        ChaosRunner {
+            stop,
+            log,
+            thread: Some(thread),
+            deployment,
+            targets: options.targets,
+        }
+    }
+
+    /// Stops the chaos loop, heals every target, and returns the action log.
+    pub fn stop(mut self) -> Vec<ChaosAction> {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        for target in &self.targets {
+            self.deployment
+                .inject_fault(target, ComponentFault::default());
+        }
+        std::mem::take(&mut *self.log.lock())
+    }
+
+    /// Actions taken so far (the loop keeps running).
+    pub fn actions_so_far(&self) -> usize {
+        self.log.lock().len()
+    }
+}
+
+impl Drop for ChaosRunner {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Retries `op` until it succeeds or `deadline` passes — the standard
+/// "system recovers after chaos" assertion.
+pub fn eventually<T, E: std::fmt::Display>(
+    deadline: Duration,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> Result<T, String> {
+    let end = std::time::Instant::now() + deadline;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if std::time::Instant::now() >= end => {
+                return Err(format!("did not recover within {deadline:?}: {e}"));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Automated testing of distributed applications (paper §5.3).
+//!
+//! "With our proposal, it is trivial to run end-to-end tests. Because
+//! applications are written as single binaries in a single programming
+//! language, end-to-end tests become simple unit tests. This opens the door
+//! to automated fault tolerance testing, akin to chaos testing, Jepsen
+//! testing, and model checking."
+//!
+//! * [`weavertest`] — runs the same test body under **every** deployment
+//!   shape that matters: fully co-located (plain calls) and fully marshaled
+//!   (every cross-component call encodes/dispatches/decodes). A test that
+//!   passes both ways cannot be depending on address-space sharing — the
+//!   property the programming model demands of components.
+//! * [`chaos`] — a seeded fault-injection loop over a marshaled deployment:
+//!   crash components, take them down, inject latency, heal — while the
+//!   test body keeps issuing requests and asserting invariants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod weavertest;
+
+pub use chaos::{ChaosAction, ChaosOptions, ChaosRunner};
+pub use weavertest::{run_both, run_colocated, run_marshaled};

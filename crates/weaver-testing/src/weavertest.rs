@@ -1,0 +1,39 @@
+//! Run one test body under every placement.
+
+use std::sync::Arc;
+
+use weaver_core::registry::ComponentRegistry;
+use weaver_runtime::{SingleMode, SingleProcess};
+
+/// Runs `body` against a fully co-located deployment (calls are plain
+/// method calls).
+pub fn run_colocated<F>(registry: Arc<ComponentRegistry>, mut body: F)
+where
+    F: FnMut(Arc<SingleProcess>),
+{
+    let deployment = SingleProcess::deploy(registry, SingleMode::Colocated, 1);
+    body(deployment);
+}
+
+/// Runs `body` against a fully marshaled deployment (every cross-component
+/// call takes the full encode/dispatch/decode path).
+pub fn run_marshaled<F>(registry: Arc<ComponentRegistry>, mut body: F)
+where
+    F: FnMut(Arc<SingleProcess>),
+{
+    let deployment = SingleProcess::deploy(registry, SingleMode::Marshaled, 1);
+    body(deployment);
+}
+
+/// Runs `body` under both placements, with a label for failure
+/// attribution. This is the paper's end-to-end-test-as-unit-test: the same
+/// assertions must hold whether components share a process or not.
+pub fn run_both<F>(registry: Arc<ComponentRegistry>, mut body: F)
+where
+    F: FnMut(&str, Arc<SingleProcess>),
+{
+    let colocated = SingleProcess::deploy(Arc::clone(&registry), SingleMode::Colocated, 1);
+    body("colocated", colocated);
+    let marshaled = SingleProcess::deploy(registry, SingleMode::Marshaled, 1);
+    body("marshaled", marshaled);
+}

@@ -1,0 +1,161 @@
+//! Connection pooling: one persistent connection per remote proclet.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::conn::Connection;
+use crate::error::TransportError;
+use crate::frame::{Framing, RequestHeader, ResponseBody};
+
+/// A pool of client connections keyed by address.
+///
+/// The paper's data plane is proclet-to-proclet over persistent connections
+/// ("the runtime implements the control plane but not the data plane;
+/// proclets communicate directly with one another"). The pool keeps one
+/// multiplexed connection per peer, replacing it transparently when it dies.
+pub struct Pool<F: Framing> {
+    conns: Mutex<HashMap<SocketAddr, Arc<Connection<F>>>>,
+}
+
+impl<F: Framing> Default for Pool<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: Framing> Pool<F> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Pool {
+            conns: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns a live connection to `addr`, dialing if necessary.
+    pub fn get(&self, addr: SocketAddr) -> Result<Arc<Connection<F>>, TransportError> {
+        let mut conns = self.conns.lock();
+        if let Some(conn) = conns.get(&addr) {
+            if !conn.is_dead() {
+                return Ok(Arc::clone(conn));
+            }
+            conns.remove(&addr);
+        }
+        let conn = Arc::new(Connection::<F>::connect(addr)?);
+        conns.insert(addr, Arc::clone(&conn));
+        Ok(conn)
+    }
+
+    /// Calls `addr`, retrying once through a fresh connection if the cached
+    /// one turns out to be dead (e.g. the peer restarted).
+    pub fn call(
+        &self,
+        addr: SocketAddr,
+        header: &RequestHeader,
+        args: &[u8],
+        timeout: Option<Duration>,
+    ) -> Result<ResponseBody, TransportError> {
+        let conn = self.get(addr)?;
+        match conn.call(header, args, timeout) {
+            Err(TransportError::ConnectionClosed) => {
+                // One reconnect attempt: the common case is a replica that
+                // restarted between calls. Anything else propagates.
+                self.conns.lock().remove(&addr);
+                let conn = self.get(addr)?;
+                conn.call(header, args, timeout)
+            }
+            other => other,
+        }
+    }
+
+    /// Drops the cached connection to `addr` (e.g. on re-placement).
+    pub fn evict(&self, addr: SocketAddr) {
+        self.conns.lock().remove(&addr);
+    }
+
+    /// Number of currently cached connections.
+    pub fn len(&self) -> usize {
+        self.conns.lock().len()
+    }
+
+    /// True when no connections are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Status, WeaverFraming};
+    use crate::server::{RpcHandler, Server};
+
+    fn echo() -> Arc<dyn RpcHandler> {
+        Arc::new(|_h: RequestHeader, args: &[u8]| ResponseBody {
+            status: Status::Ok,
+            payload: args.to_vec(),
+        })
+    }
+
+    #[test]
+    fn pool_reuses_connections() {
+        let server = Server::<WeaverFraming>::bind("127.0.0.1:0", 2, echo()).unwrap();
+        let pool = Pool::<WeaverFraming>::new();
+        let header = RequestHeader::default();
+        for _ in 0..5 {
+            let resp = pool
+                .call(server.local_addr(), &header, &[9], Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(resp.payload, vec![9]);
+        }
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn pool_reconnects_after_server_restart() {
+        let server = Server::<WeaverFraming>::bind("127.0.0.1:0", 2, echo()).unwrap();
+        let addr = server.local_addr();
+        let pool = Pool::<WeaverFraming>::new();
+        let header = RequestHeader::default();
+        pool.call(addr, &header, &[1], Some(Duration::from_secs(5)))
+            .unwrap();
+
+        drop(server);
+        // Rebind on the same port. This can race with the OS releasing the
+        // listener, so retry briefly.
+        let mut server2 = None;
+        for _ in 0..50 {
+            match Server::<WeaverFraming>::bind(addr, 2, echo()) {
+                Ok(s) => {
+                    server2 = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        let _server2 = server2.expect("could not rebind test server");
+
+        // Give the pooled connection a moment to observe the close, then the
+        // retry path should transparently reconnect.
+        std::thread::sleep(Duration::from_millis(50));
+        let resp = pool
+            .call(addr, &header, &[2], Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(resp.payload, vec![2]);
+    }
+
+    #[test]
+    fn evict_forces_redial() {
+        let server = Server::<WeaverFraming>::bind("127.0.0.1:0", 2, echo()).unwrap();
+        let pool = Pool::<WeaverFraming>::new();
+        pool.get(server.local_addr()).unwrap();
+        assert_eq!(pool.len(), 1);
+        pool.evict(server.local_addr());
+        assert!(pool.is_empty());
+        pool.get(server.local_addr()).unwrap();
+        assert_eq!(pool.len(), 1);
+    }
+}

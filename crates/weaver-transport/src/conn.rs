@@ -1,0 +1,192 @@
+//! Client-side connection: one TCP socket, multiplexed calls.
+//!
+//! A [`Connection`] owns two threads:
+//!
+//! * a **writer** draining a channel of pre-encoded byte buffers, so many
+//!   caller threads can pipeline requests without contending on the socket;
+//! * a **reader** parsing inbound messages and completing the pending call
+//!   matching each response's stream id.
+//!
+//! Deadlines are enforced caller-side: a call that times out sends a cancel
+//! message (best effort) and returns [`TransportError::DeadlineExceeded`].
+//! When the socket dies, every in-flight call fails with
+//! [`TransportError::ConnectionClosed`] and the connection is marked dead so
+//! the pool replaces it.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::error::TransportError;
+use crate::frame::{Framing, Message, RequestHeader, ResponseBody};
+
+type PendingMap = Arc<Mutex<HashMap<u64, Sender<Result<ResponseBody, TransportError>>>>>;
+
+/// A multiplexing client connection using framing `F`.
+pub struct Connection<F: Framing> {
+    writer_tx: Sender<Vec<u8>>,
+    pending: PendingMap,
+    next_stream: AtomicU64,
+    dead: Arc<AtomicBool>,
+    _marker: PhantomData<F>,
+}
+
+impl<F: Framing> Connection<F> {
+    /// Connects to `addr` and spawns the reader and writer threads.
+    pub fn connect<A: ToSocketAddrs + std::fmt::Debug>(addr: A) -> Result<Self, TransportError> {
+        let stream = TcpStream::connect(&addr)
+            .map_err(|e| TransportError::Unreachable(format!("{addr:?}: {e}")))?;
+        // The whole point of the custom protocol is small latency-sensitive
+        // messages; Nagle would serialize them behind ACKs.
+        stream.set_nodelay(true)?;
+        Self::from_stream(stream)
+    }
+
+    /// Builds a connection over an already-established stream.
+    pub fn from_stream(stream: TcpStream) -> Result<Self, TransportError> {
+        let read_half = stream.try_clone()?;
+        let (writer_tx, writer_rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = unbounded();
+        let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
+        let dead = Arc::new(AtomicBool::new(false));
+
+        {
+            let mut write_half = stream;
+            let dead = Arc::clone(&dead);
+            std::thread::Builder::new()
+                .name("weaver-conn-writer".into())
+                .spawn(move || {
+                    use std::io::Write;
+                    while let Ok(buf) = writer_rx.recv() {
+                        if write_half.write_all(&buf).is_err() {
+                            dead.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                    let _ = write_half.shutdown(std::net::Shutdown::Both);
+                })
+                .expect("failed to spawn connection writer");
+        }
+
+        {
+            let pending = Arc::clone(&pending);
+            let dead = Arc::clone(&dead);
+            let writer_tx = writer_tx.clone();
+            std::thread::Builder::new()
+                .name("weaver-conn-reader".into())
+                .spawn(move || {
+                    let mut read_half = read_half;
+                    let mut framing = F::default();
+                    loop {
+                        match framing.read_message(&mut read_half) {
+                            Ok(Some(Message::Response { stream, body })) => {
+                                if let Some(tx) = pending.lock().remove(&stream) {
+                                    let _ = tx.send(Ok(body));
+                                }
+                                // A response for an unknown stream was
+                                // cancelled or timed out: drop it.
+                            }
+                            Ok(Some(Message::Ping)) => {
+                                let mut buf = Vec::with_capacity(16);
+                                F::write_ping(&mut buf, true);
+                                let _ = writer_tx.send(buf);
+                            }
+                            Ok(Some(Message::Pong)) => {}
+                            Ok(Some(Message::Cancel { .. } | Message::Request { .. })) => {
+                                // Clients do not serve requests; ignore.
+                            }
+                            Ok(None) | Err(_) => break,
+                        }
+                    }
+                    dead.store(true, Ordering::SeqCst);
+                    // Fail everything still in flight.
+                    for (_, tx) in pending.lock().drain() {
+                        let _ = tx.send(Err(TransportError::ConnectionClosed));
+                    }
+                })
+                .expect("failed to spawn connection reader");
+        }
+
+        Ok(Connection {
+            writer_tx,
+            pending,
+            next_stream: AtomicU64::new(1),
+            dead,
+            _marker: PhantomData,
+        })
+    }
+
+    /// True once the underlying socket has failed; the pool discards such
+    /// connections.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Performs one call and waits for its response.
+    ///
+    /// `timeout` of `None` waits indefinitely (used only by tests; real
+    /// callers always carry a deadline).
+    pub fn call(
+        &self,
+        header: &RequestHeader,
+        args: &[u8],
+        timeout: Option<Duration>,
+    ) -> Result<ResponseBody, TransportError> {
+        if self.is_dead() {
+            return Err(TransportError::ConnectionClosed);
+        }
+        let stream = self.next_stream.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.pending.lock().insert(stream, tx);
+
+        let mut buf = Vec::with_capacity(64 + args.len());
+        F::write_request(&mut buf, stream, header, args);
+        if self.writer_tx.send(buf).is_err() {
+            self.pending.lock().remove(&stream);
+            return Err(TransportError::ConnectionClosed);
+        }
+
+        let outcome = match timeout {
+            Some(t) => rx.recv_timeout(t).map_err(|_| ()),
+            None => rx.recv().map_err(|_| ()),
+        };
+        match outcome {
+            Ok(result) => result,
+            Err(()) => {
+                // Timed out (or the channel vanished with the reader): stop
+                // tracking the stream and tell the server to give up.
+                self.pending.lock().remove(&stream);
+                let mut cancel = Vec::with_capacity(16);
+                F::write_cancel(&mut cancel, stream);
+                let _ = self.writer_tx.send(cancel);
+                if self.is_dead() {
+                    Err(TransportError::ConnectionClosed)
+                } else {
+                    Err(TransportError::DeadlineExceeded)
+                }
+            }
+        }
+    }
+
+    /// Sends a liveness probe (response handled by the reader thread).
+    pub fn ping(&self) -> Result<(), TransportError> {
+        if self.is_dead() {
+            return Err(TransportError::ConnectionClosed);
+        }
+        let mut buf = Vec::with_capacity(16);
+        F::write_ping(&mut buf, false);
+        self.writer_tx
+            .send(buf)
+            .map_err(|_| TransportError::ConnectionClosed)
+    }
+
+    /// Number of calls currently awaiting a response.
+    pub fn in_flight(&self) -> usize {
+        self.pending.lock().len()
+    }
+}

@@ -1,0 +1,693 @@
+//! Wire framings: the streamlined weaver protocol and the gRPC-like
+//! baseline.
+
+use std::collections::HashMap;
+use std::io::{self, Read};
+
+use weaver_codec::prelude::*;
+use weaver_macros::WeaverData;
+
+use crate::error::TransportError;
+
+/// Sanity bound on any single message (16 MiB), protecting against corrupt
+/// or hostile length prefixes.
+pub const MAX_MESSAGE_SIZE: usize = 16 << 20;
+
+/// The per-call metadata carried with every request.
+///
+/// Everything is numeric: atomic rollouts guarantee caller and callee were
+/// compiled from the same source, so component and method are identified by
+/// their registration indices rather than by name strings.
+#[derive(Debug, Clone, Default, PartialEq, WeaverData)]
+pub struct RequestHeader {
+    /// Component registration index in the (shared) registry.
+    pub component: u32,
+    /// Method index within the component's interface.
+    pub method: u32,
+    /// Deployment version id; callee rejects mismatches (§4.4 backstop).
+    pub version: u64,
+    /// Absolute deadline as nanoseconds remaining at send time (0 = none).
+    pub deadline_nanos: u64,
+    /// Trace id for distributed tracing (0 = untraced).
+    pub trace_id: u64,
+    /// Parent span id.
+    pub span_id: u64,
+    /// Affinity routing key, if the method is routed (§5.2).
+    pub routing: Option<u64>,
+}
+
+/// Response status discriminant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Payload is the encoded application-level reply.
+    Ok,
+    /// Payload is an encoded application/runtime error.
+    Error,
+}
+
+/// A complete response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseBody {
+    /// Whether the payload is a reply or an error.
+    pub status: Status,
+    /// Encoded reply or error.
+    pub payload: Vec<u8>,
+}
+
+/// One decoded protocol message.
+#[derive(Debug, PartialEq)]
+pub enum Message {
+    /// A call request.
+    Request {
+        /// Stream id chosen by the caller.
+        stream: u64,
+        /// Call metadata.
+        header: RequestHeader,
+        /// Marshaled arguments.
+        args: Vec<u8>,
+    },
+    /// A call response.
+    Response {
+        /// Stream id of the request being answered.
+        stream: u64,
+        /// The response.
+        body: ResponseBody,
+    },
+    /// Cancel an in-flight request.
+    Cancel {
+        /// Stream id to cancel.
+        stream: u64,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Probe acknowledgement.
+    Pong,
+}
+
+/// A wire protocol: how [`Message`]s become bytes and back.
+///
+/// Implementations may keep per-connection reader state (`&mut self` in
+/// [`Framing::read_message`]); one instance serves one connection direction.
+pub trait Framing: Default + Send + 'static {
+    /// Human-readable protocol name (used in benchmark output).
+    const NAME: &'static str;
+
+    /// Appends an encoded request to `out`.
+    fn write_request(out: &mut Vec<u8>, stream: u64, header: &RequestHeader, args: &[u8]);
+
+    /// Appends an encoded response to `out`.
+    fn write_response(out: &mut Vec<u8>, stream: u64, body: &ResponseBody);
+
+    /// Appends an encoded cancel message to `out`.
+    fn write_cancel(out: &mut Vec<u8>, stream: u64);
+
+    /// Appends an encoded ping (`pong = false`) or pong to `out`.
+    fn write_ping(out: &mut Vec<u8>, pong: bool);
+
+    /// Blocks until one complete message is read from `r`.
+    ///
+    /// Returns `Ok(None)` on clean EOF at a message boundary.
+    fn read_message(&mut self, r: &mut dyn Read) -> Result<Option<Message>, TransportError>;
+}
+
+fn read_exact_or_eof(r: &mut dyn Read, buf: &mut [u8]) -> Result<Option<()>, TransportError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(TransportError::ConnectionClosed);
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Some(()))
+}
+
+// ---------------------------------------------------------------------------
+// Weaver framing
+// ---------------------------------------------------------------------------
+
+/// The streamlined protocol: `[len u32][kind u8][stream u64][payload]`.
+///
+/// * Request payload: `RequestHeader` (non-versioned encoding) + raw args.
+/// * Response payload: status byte + reply/error bytes.
+/// * Cancel/Ping/Pong: empty payload.
+#[derive(Default)]
+pub struct WeaverFraming;
+
+const KIND_REQUEST: u8 = 0;
+const KIND_RESPONSE: u8 = 1;
+const KIND_CANCEL: u8 = 2;
+const KIND_PING: u8 = 3;
+const KIND_PONG: u8 = 4;
+
+impl WeaverFraming {
+    fn write_frame(out: &mut Vec<u8>, kind: u8, stream: u64, payload: &[u8]) {
+        let len = (1 + 8 + payload.len()) as u32;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.push(kind);
+        out.extend_from_slice(&stream.to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+}
+
+impl Framing for WeaverFraming {
+    const NAME: &'static str = "weaver";
+
+    fn write_request(out: &mut Vec<u8>, stream: u64, header: &RequestHeader, args: &[u8]) {
+        let mut payload = Vec::with_capacity(40 + args.len());
+        header.encode(&mut payload);
+        payload.extend_from_slice(args);
+        Self::write_frame(out, KIND_REQUEST, stream, &payload);
+    }
+
+    fn write_response(out: &mut Vec<u8>, stream: u64, body: &ResponseBody) {
+        let mut payload = Vec::with_capacity(1 + body.payload.len());
+        payload.push(match body.status {
+            Status::Ok => 0,
+            Status::Error => 1,
+        });
+        payload.extend_from_slice(&body.payload);
+        Self::write_frame(out, KIND_RESPONSE, stream, &payload);
+    }
+
+    fn write_cancel(out: &mut Vec<u8>, stream: u64) {
+        Self::write_frame(out, KIND_CANCEL, stream, &[]);
+    }
+
+    fn write_ping(out: &mut Vec<u8>, pong: bool) {
+        Self::write_frame(out, if pong { KIND_PONG } else { KIND_PING }, 0, &[]);
+    }
+
+    fn read_message(&mut self, r: &mut dyn Read) -> Result<Option<Message>, TransportError> {
+        let mut len_buf = [0u8; 4];
+        if read_exact_or_eof(r, &mut len_buf)?.is_none() {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if !(9..=MAX_MESSAGE_SIZE).contains(&len) {
+            return Err(TransportError::Protocol(format!("bad frame length {len}")));
+        }
+        let mut frame = vec![0u8; len];
+        if read_exact_or_eof(r, &mut frame)?.is_none() {
+            return Err(TransportError::ConnectionClosed);
+        }
+        let kind = frame[0];
+        let stream = u64::from_le_bytes(
+            frame[1..9]
+                .try_into()
+                .map_err(|_| TransportError::Protocol("short frame".into()))?,
+        );
+        let payload = &frame[9..];
+        match kind {
+            KIND_REQUEST => {
+                let mut rd = Reader::new(payload);
+                let header = RequestHeader::decode(&mut rd)
+                    .map_err(|e| TransportError::Protocol(e.to_string()))?;
+                let args = payload[rd.position()..].to_vec();
+                Ok(Some(Message::Request {
+                    stream,
+                    header,
+                    args,
+                }))
+            }
+            KIND_RESPONSE => {
+                let (&status, rest) = payload
+                    .split_first()
+                    .ok_or_else(|| TransportError::Protocol("empty response".into()))?;
+                let status = match status {
+                    0 => Status::Ok,
+                    1 => Status::Error,
+                    other => {
+                        return Err(TransportError::Protocol(format!("bad status {other}")))
+                    }
+                };
+                Ok(Some(Message::Response {
+                    stream,
+                    body: ResponseBody {
+                        status,
+                        payload: rest.to_vec(),
+                    },
+                }))
+            }
+            KIND_CANCEL => Ok(Some(Message::Cancel { stream })),
+            KIND_PING => Ok(Some(Message::Ping)),
+            KIND_PONG => Ok(Some(Message::Pong)),
+            other => Err(TransportError::Protocol(format!("bad frame kind {other}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// gRPC-like framing
+// ---------------------------------------------------------------------------
+
+/// HTTP/2 frame types used by the baseline.
+const H2_DATA: u8 = 0x0;
+const H2_HEADERS: u8 = 0x1;
+const H2_RST_STREAM: u8 = 0x3;
+const H2_PING: u8 = 0x6;
+
+const H2_FLAG_END_STREAM: u8 = 0x1;
+const H2_FLAG_END_HEADERS: u8 = 0x4;
+const H2_FLAG_ACK: u8 = 0x1;
+
+/// The status-quo baseline: HTTP/2-shaped frames with textual metadata.
+///
+/// A call is `HEADERS` (`:path`, `content-type`, timeout, tracing metadata
+/// as literal text lines) followed by `DATA` carrying gRPC's 5-byte message
+/// prefix plus the payload. A response is `HEADERS` (`:status`), `DATA`, and
+/// a trailers `HEADERS` frame (`grpc-status`). The reader keeps per-stream
+/// state to pair HEADERS with DATA, like a real HTTP/2 endpoint.
+#[derive(Default)]
+pub struct GrpcLikeFraming {
+    /// Streams whose HEADERS arrived but DATA has not (requests).
+    pending_requests: HashMap<u64, RequestHeader>,
+    /// Streams whose response HEADERS arrived but DATA has not.
+    pending_responses: HashMap<u64, Status>,
+    /// Streams whose response DATA arrived but trailers have not.
+    pending_trailers: HashMap<u64, ResponseBody>,
+}
+
+impl GrpcLikeFraming {
+    fn write_h2_frame(out: &mut Vec<u8>, ty: u8, flags: u8, stream: u64, payload: &[u8]) {
+        let len = payload.len() as u32;
+        out.extend_from_slice(&len.to_be_bytes()[1..4]); // u24 length
+        out.push(ty);
+        out.push(flags);
+        out.extend_from_slice(&(stream as u32).to_be_bytes());
+        out.extend_from_slice(payload);
+    }
+
+    fn header_block_for_request(header: &RequestHeader) -> Vec<u8> {
+        // Literal (uncompressed) text metadata, the shape gRPC puts on the
+        // wire before HPACK. Component/method ids stand in for the path.
+        let mut block = String::with_capacity(192);
+        block.push_str(&format!(
+            ":path: /weaver.c{}/m{}\r\n",
+            header.component, header.method
+        ));
+        block.push_str(":method: POST\r\n:scheme: http\r\n");
+        block.push_str("content-type: application/grpc+proto\r\n");
+        block.push_str("te: trailers\r\n");
+        block.push_str(&format!("weaver-version: {}\r\n", header.version));
+        if header.deadline_nanos > 0 {
+            block.push_str(&format!("grpc-timeout: {}n\r\n", header.deadline_nanos));
+        }
+        if header.trace_id != 0 {
+            block.push_str(&format!(
+                "trace-bin: {:016x}{:016x}\r\n",
+                header.trace_id, header.span_id
+            ));
+        }
+        if let Some(key) = header.routing {
+            block.push_str(&format!("routing-key: {key}\r\n"));
+        }
+        block.into_bytes()
+    }
+
+    fn parse_request_headers(block: &[u8]) -> Result<RequestHeader, TransportError> {
+        let text = std::str::from_utf8(block)
+            .map_err(|_| TransportError::Protocol("non-UTF-8 header block".into()))?;
+        let mut header = RequestHeader::default();
+        let mut saw_path = false;
+        for line in text.split("\r\n").filter(|l| !l.is_empty()) {
+            let (key, value) = line
+                .split_once(": ")
+                .ok_or_else(|| TransportError::Protocol(format!("bad header line {line:?}")))?;
+            match key {
+                ":path" => {
+                    let rest = value.strip_prefix("/weaver.c").ok_or_else(|| {
+                        TransportError::Protocol(format!("bad path {value:?}"))
+                    })?;
+                    let (c, m) = rest.split_once("/m").ok_or_else(|| {
+                        TransportError::Protocol(format!("bad path {value:?}"))
+                    })?;
+                    header.component = c
+                        .parse()
+                        .map_err(|_| TransportError::Protocol("bad component id".into()))?;
+                    header.method = m
+                        .parse()
+                        .map_err(|_| TransportError::Protocol("bad method id".into()))?;
+                    saw_path = true;
+                }
+                "weaver-version" => {
+                    header.version = value
+                        .parse()
+                        .map_err(|_| TransportError::Protocol("bad version".into()))?;
+                }
+                "grpc-timeout" => {
+                    let digits = value.trim_end_matches('n');
+                    header.deadline_nanos = digits
+                        .parse()
+                        .map_err(|_| TransportError::Protocol("bad timeout".into()))?;
+                }
+                "trace-bin" => {
+                    if value.len() == 32 {
+                        header.trace_id = u64::from_str_radix(&value[..16], 16)
+                            .map_err(|_| TransportError::Protocol("bad trace id".into()))?;
+                        header.span_id = u64::from_str_radix(&value[16..], 16)
+                            .map_err(|_| TransportError::Protocol("bad span id".into()))?;
+                    }
+                }
+                "routing-key" => {
+                    header.routing = Some(
+                        value
+                            .parse()
+                            .map_err(|_| TransportError::Protocol("bad routing key".into()))?,
+                    );
+                }
+                _ => {}
+            }
+        }
+        if !saw_path {
+            return Err(TransportError::Protocol("missing :path".into()));
+        }
+        Ok(header)
+    }
+
+    fn grpc_message(payload: &[u8]) -> Vec<u8> {
+        // gRPC length-prefixed message: 1-byte compressed flag + u32 length.
+        let mut out = Vec::with_capacity(5 + payload.len());
+        out.push(0);
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    fn parse_grpc_message(data: &[u8]) -> Result<Vec<u8>, TransportError> {
+        if data.len() < 5 {
+            return Err(TransportError::Protocol("short gRPC message".into()));
+        }
+        let len = u32::from_be_bytes(
+            data[1..5]
+                .try_into()
+                .map_err(|_| TransportError::Protocol("short gRPC prefix".into()))?,
+        ) as usize;
+        if data.len() != 5 + len {
+            return Err(TransportError::Protocol("gRPC length mismatch".into()));
+        }
+        Ok(data[5..].to_vec())
+    }
+}
+
+impl Framing for GrpcLikeFraming {
+    const NAME: &'static str = "grpc-like";
+
+    fn write_request(out: &mut Vec<u8>, stream: u64, header: &RequestHeader, args: &[u8]) {
+        let block = Self::header_block_for_request(header);
+        Self::write_h2_frame(out, H2_HEADERS, H2_FLAG_END_HEADERS, stream, &block);
+        let msg = Self::grpc_message(args);
+        Self::write_h2_frame(out, H2_DATA, H2_FLAG_END_STREAM, stream, &msg);
+    }
+
+    fn write_response(out: &mut Vec<u8>, stream: u64, body: &ResponseBody) {
+        let head = b":status: 200\r\ncontent-type: application/grpc+proto\r\n";
+        Self::write_h2_frame(out, H2_HEADERS, H2_FLAG_END_HEADERS, stream, head);
+        let msg = Self::grpc_message(&body.payload);
+        Self::write_h2_frame(out, H2_DATA, 0, stream, &msg);
+        let trailer = match body.status {
+            Status::Ok => "grpc-status: 0\r\n".to_string(),
+            Status::Error => "grpc-status: 2\r\n".to_string(),
+        };
+        Self::write_h2_frame(
+            out,
+            H2_HEADERS,
+            H2_FLAG_END_HEADERS | H2_FLAG_END_STREAM,
+            stream,
+            trailer.as_bytes(),
+        );
+    }
+
+    fn write_cancel(out: &mut Vec<u8>, stream: u64) {
+        // RST_STREAM with error code CANCEL (0x8).
+        Self::write_h2_frame(out, H2_RST_STREAM, 0, stream, &8u32.to_be_bytes());
+    }
+
+    fn write_ping(out: &mut Vec<u8>, pong: bool) {
+        let flags = if pong { H2_FLAG_ACK } else { 0 };
+        Self::write_h2_frame(out, H2_PING, flags, 0, &[0u8; 8]);
+    }
+
+    fn read_message(&mut self, r: &mut dyn Read) -> Result<Option<Message>, TransportError> {
+        loop {
+            let mut head = [0u8; 9];
+            if read_exact_or_eof(r, &mut head)?.is_none() {
+                return Ok(None);
+            }
+            let len = u32::from_be_bytes([0, head[0], head[1], head[2]]) as usize;
+            if len > MAX_MESSAGE_SIZE {
+                return Err(TransportError::Protocol(format!("bad frame length {len}")));
+            }
+            let ty = head[3];
+            let flags = head[4];
+            let stream = u64::from(u32::from_be_bytes(
+                head[5..9]
+                    .try_into()
+                    .map_err(|_| TransportError::Protocol("short frame head".into()))?,
+            ));
+            let mut payload = vec![0u8; len];
+            if len > 0 && read_exact_or_eof(r, &mut payload)?.is_none() {
+                return Err(TransportError::ConnectionClosed);
+            }
+            match ty {
+                H2_PING => {
+                    return Ok(Some(if flags & H2_FLAG_ACK != 0 {
+                        Message::Pong
+                    } else {
+                        Message::Ping
+                    }));
+                }
+                H2_RST_STREAM => return Ok(Some(Message::Cancel { stream })),
+                H2_HEADERS => {
+                    let text = std::str::from_utf8(&payload)
+                        .map_err(|_| TransportError::Protocol("non-UTF-8 headers".into()))?;
+                    if text.starts_with(":status") {
+                        // Response headers: remember status, wait for DATA.
+                        self.pending_responses.insert(stream, Status::Ok);
+                    } else if text.starts_with("grpc-status") {
+                        // Trailers: finish the response.
+                        let ok = text.contains("grpc-status: 0");
+                        let mut body = self.pending_trailers.remove(&stream).ok_or_else(
+                            || TransportError::Protocol("trailers without data".into()),
+                        )?;
+                        if !ok {
+                            body.status = Status::Error;
+                        }
+                        return Ok(Some(Message::Response { stream, body }));
+                    } else {
+                        // Request headers.
+                        let header = Self::parse_request_headers(&payload)?;
+                        self.pending_requests.insert(stream, header);
+                    }
+                }
+                H2_DATA => {
+                    let msg = Self::parse_grpc_message(&payload)?;
+                    if let Some(header) = self.pending_requests.remove(&stream) {
+                        return Ok(Some(Message::Request {
+                            stream,
+                            header,
+                            args: msg,
+                        }));
+                    }
+                    if let Some(status) = self.pending_responses.remove(&stream) {
+                        // Hold until trailers arrive, like a gRPC client.
+                        self.pending_trailers.insert(
+                            stream,
+                            ResponseBody {
+                                status,
+                                payload: msg,
+                            },
+                        );
+                        continue;
+                    }
+                    return Err(TransportError::Protocol("DATA without HEADERS".into()));
+                }
+                other => {
+                    return Err(TransportError::Protocol(format!("bad frame type {other}")))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_header() -> RequestHeader {
+        RequestHeader {
+            component: 3,
+            method: 1,
+            version: 42,
+            deadline_nanos: 5_000_000,
+            trace_id: 0xdead,
+            span_id: 0xbeef,
+            routing: Some(77),
+        }
+    }
+
+    fn roundtrip_request<F: Framing>() {
+        let header = sample_header();
+        let args = vec![1u8, 2, 3, 4];
+        let mut wire = Vec::new();
+        F::write_request(&mut wire, 9, &header, &args);
+        let mut f = F::default();
+        let msg = f.read_message(&mut Cursor::new(&wire)).unwrap().unwrap();
+        assert_eq!(
+            msg,
+            Message::Request {
+                stream: 9,
+                header,
+                args,
+            }
+        );
+    }
+
+    fn roundtrip_response<F: Framing>(status: Status) {
+        let body = ResponseBody {
+            status,
+            payload: vec![9u8; 100],
+        };
+        let mut wire = Vec::new();
+        F::write_response(&mut wire, 4, &body);
+        let mut f = F::default();
+        let msg = f.read_message(&mut Cursor::new(&wire)).unwrap().unwrap();
+        assert_eq!(msg, Message::Response { stream: 4, body });
+    }
+
+    fn roundtrip_control<F: Framing>() {
+        let mut wire = Vec::new();
+        F::write_ping(&mut wire, false);
+        F::write_ping(&mut wire, true);
+        F::write_cancel(&mut wire, 11);
+        let mut cursor = Cursor::new(&wire);
+        let mut f = F::default();
+        assert_eq!(f.read_message(&mut cursor).unwrap(), Some(Message::Ping));
+        assert_eq!(f.read_message(&mut cursor).unwrap(), Some(Message::Pong));
+        assert_eq!(
+            f.read_message(&mut cursor).unwrap(),
+            Some(Message::Cancel { stream: 11 })
+        );
+        assert_eq!(f.read_message(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn weaver_roundtrips() {
+        roundtrip_request::<WeaverFraming>();
+        roundtrip_response::<WeaverFraming>(Status::Ok);
+        roundtrip_response::<WeaverFraming>(Status::Error);
+        roundtrip_control::<WeaverFraming>();
+    }
+
+    #[test]
+    fn grpc_like_roundtrips() {
+        roundtrip_request::<GrpcLikeFraming>();
+        roundtrip_response::<GrpcLikeFraming>(Status::Ok);
+        roundtrip_response::<GrpcLikeFraming>(Status::Error);
+        roundtrip_control::<GrpcLikeFraming>();
+    }
+
+    #[test]
+    fn minimal_header_roundtrips_grpc_like() {
+        // No deadline, no trace, no routing.
+        let header = RequestHeader {
+            component: 0,
+            method: 0,
+            version: 1,
+            ..Default::default()
+        };
+        let mut wire = Vec::new();
+        GrpcLikeFraming::write_request(&mut wire, 1, &header, &[]);
+        let mut f = GrpcLikeFraming::default();
+        let msg = f.read_message(&mut Cursor::new(&wire)).unwrap().unwrap();
+        match msg {
+            Message::Request { header: h, .. } => assert_eq!(h, header),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn weaver_request_is_much_smaller_than_grpc_like() {
+        // The core of the A2 transport ablation, as a unit test.
+        let header = sample_header();
+        let args = vec![0u8; 64];
+        let mut weaver = Vec::new();
+        WeaverFraming::write_request(&mut weaver, 1, &header, &args);
+        let mut grpc = Vec::new();
+        GrpcLikeFraming::write_request(&mut grpc, 1, &header, &args);
+        assert!(
+            weaver.len() + 60 < grpc.len(),
+            "weaver {} vs grpc-like {}",
+            weaver.len(),
+            grpc.len()
+        );
+    }
+
+    #[test]
+    fn multiple_messages_stream() {
+        let mut wire = Vec::new();
+        WeaverFraming::write_request(&mut wire, 1, &sample_header(), &[1]);
+        WeaverFraming::write_request(&mut wire, 2, &sample_header(), &[2]);
+        let mut cursor = Cursor::new(&wire);
+        let mut f = WeaverFraming;
+        let m1 = f.read_message(&mut cursor).unwrap().unwrap();
+        let m2 = f.read_message(&mut cursor).unwrap().unwrap();
+        match (m1, m2) {
+            (Message::Request { stream: 1, .. }, Message::Request { stream: 2, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(f.read_message(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_frame_is_connection_closed() {
+        let mut wire = Vec::new();
+        WeaverFraming::write_request(&mut wire, 1, &sample_header(), &[1, 2, 3]);
+        wire.truncate(wire.len() - 2);
+        let mut f = WeaverFraming;
+        assert_eq!(
+            f.read_message(&mut Cursor::new(&wire)),
+            Err(TransportError::ConnectionClosed)
+        );
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        let mut f = WeaverFraming;
+        assert!(matches!(
+            f.read_message(&mut Cursor::new(&wire)),
+            Err(TransportError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_rejected_not_panicked() {
+        let wire: Vec<u8> = (0..64u8).collect();
+        let mut f = WeaverFraming;
+        let _ = f.read_message(&mut Cursor::new(&wire));
+        let mut g = GrpcLikeFraming::default();
+        let _ = g.read_message(&mut Cursor::new(&wire));
+    }
+
+    #[test]
+    fn grpc_data_without_headers_is_protocol_error() {
+        let mut wire = Vec::new();
+        let msg = GrpcLikeFraming::grpc_message(&[1, 2, 3]);
+        GrpcLikeFraming::write_h2_frame(&mut wire, H2_DATA, 0, 5, &msg);
+        let mut f = GrpcLikeFraming::default();
+        assert!(matches!(
+            f.read_message(&mut Cursor::new(&wire)),
+            Err(TransportError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,45 @@
+//! Transport substrate: the paper's "custom transport protocol built
+//! directly on top of TCP" (§5.5) and the baseline it is compared against.
+//!
+//! Two framings share one connection/server implementation:
+//!
+//! * [`WeaverFraming`] — the streamlined protocol. One persistent TCP
+//!   connection per (caller proclet, callee proclet) pair carries
+//!   multiplexed request/response frames with a 13-byte frame header and a
+//!   compact binary [`RequestHeader`]. Because atomic rollouts guarantee
+//!   both ends run the same binary, the header carries numeric component and
+//!   method ids — no paths, no content negotiation, no per-call metadata
+//!   text.
+//! * [`GrpcLikeFraming`] — the status-quo baseline: HTTP/2-shaped framing
+//!   (9-byte frame headers, HEADERS/DATA/trailer frames per call) with
+//!   textual metadata (`:path`, `content-type`, timeouts) and gRPC's 5-byte
+//!   message prefix. This reproduces the transport overhead the paper
+//!   ascribes to microservice RPC stacks. (Real gRPC compresses headers
+//!   with HPACK; even so, every call carries header-processing work and an
+//!   extra trailers frame — the shape, not the exact byte count, is what
+//!   the A2 ablation measures.)
+//!
+//! On top of the framings sit [`Connection`] (client side: stream-id
+//! multiplexing, deadlines, cancellation, pipelined writes from a dedicated
+//! writer thread), [`Server`] (accept loop + worker pool), [`Pool`]
+//! (connection reuse per address), and [`inproc`] (a loopback transport used
+//! by tests and the single-process deployer's RPC-mode).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod conn;
+pub mod error;
+pub mod frame;
+pub mod inproc;
+pub mod pool;
+pub mod server;
+
+pub use client::Pool;
+pub use conn::Connection;
+pub use error::TransportError;
+pub use frame::{
+    Framing, GrpcLikeFraming, Message, RequestHeader, ResponseBody, Status, WeaverFraming,
+};
+pub use server::{RpcHandler, Server};

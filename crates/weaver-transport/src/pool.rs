@@ -1,0 +1,111 @@
+//! A small fixed-size worker pool for server-side request execution.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size thread pool.
+///
+/// Dropping the pool closes the queue and joins all workers; jobs already
+/// queued still run.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `size` worker threads (at least 1).
+    pub fn new(size: usize, name: &str) -> Arc<Self> {
+        let size = size.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let workers = (0..size)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("{name}-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Arc::new(WorkerPool {
+            tx: Some(tx),
+            workers,
+        })
+    }
+
+    /// Queues a job. Returns `false` if the pool is shutting down.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the sender lets workers drain and exit.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn executes_jobs_on_multiple_threads() {
+        let pool = WorkerPool::new(4, "test");
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let count = Arc::clone(&count);
+            assert!(pool.execute(move || {
+                count.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while count.load(Ordering::SeqCst) < 100 {
+            assert!(std::time::Instant::now() < deadline, "jobs did not finish");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn drop_joins_after_draining() {
+        let count = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2, "drain");
+            for _ in 0..10 {
+                let count = Arc::clone(&count);
+                pool.execute(move || {
+                    std::thread::sleep(Duration::from_millis(1));
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        // Drop has joined: every queued job ran.
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn zero_size_becomes_one() {
+        let pool = WorkerPool::new(0, "min");
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        pool.execute(move || {
+            tx.send(42).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
+    }
+}

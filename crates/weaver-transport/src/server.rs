@@ -1,0 +1,332 @@
+//! Server side: accept loop, per-connection reader, shared worker pool.
+
+use std::collections::HashSet;
+use std::marker::PhantomData;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+
+use crate::error::TransportError;
+use crate::frame::{Framing, Message, RequestHeader, ResponseBody};
+use crate::pool::WorkerPool;
+
+/// The server-side request handler installed by the runtime.
+///
+/// Returns a complete [`ResponseBody`]; application errors are encoded into
+/// the body rather than surfaced as transport failures.
+pub trait RpcHandler: Send + Sync + 'static {
+    /// Handles one request.
+    fn handle(&self, header: RequestHeader, args: &[u8]) -> ResponseBody;
+}
+
+impl<F> RpcHandler for F
+where
+    F: Fn(RequestHeader, &[u8]) -> ResponseBody + Send + Sync + 'static,
+{
+    fn handle(&self, header: RequestHeader, args: &[u8]) -> ResponseBody {
+        self(header, args)
+    }
+}
+
+/// A listening RPC server using framing `F`.
+pub struct Server<F: Framing> {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Clones of every accepted socket, so shutdown can sever live
+    /// connections the way a killed proclet's process exit would.
+    active: Arc<Mutex<Vec<TcpStream>>>,
+    _marker: PhantomData<F>,
+}
+
+impl<F: Framing> Server<F> {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
+    /// serving requests on a pool of `workers` threads.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        workers: usize,
+        handler: Arc<dyn RpcHandler>,
+    ) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let pool = WorkerPool::new(workers, "weaver-rpc");
+        let active: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let active = Arc::clone(&active);
+            std::thread::Builder::new()
+                .name("weaver-server-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        match conn {
+                            Ok(stream) => {
+                                let handler = Arc::clone(&handler);
+                                let pool = Arc::clone(&pool);
+                                if stream.set_nodelay(true).is_err() {
+                                    continue;
+                                }
+                                if let Ok(clone) = stream.try_clone() {
+                                    active.lock().push(clone);
+                                }
+                                std::thread::Builder::new()
+                                    .name("weaver-server-conn".into())
+                                    .spawn(move || {
+                                        serve_connection::<F>(stream, handler, pool);
+                                    })
+                                    .ok();
+                            }
+                            Err(_) => {
+                                if stop.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                })
+                .map_err(|e| TransportError::Io(e.to_string()))?
+        };
+
+        Ok(Server {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            active,
+            _marker: PhantomData,
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting and severs all live connections, mimicking the abrupt
+    /// socket teardown of a killed proclet process.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        for stream in self.active.lock().drain(..) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl<F: Framing> Drop for Server<F> {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Reads requests off one connection and executes them on the pool.
+fn serve_connection<F: Framing>(
+    stream: TcpStream,
+    handler: Arc<dyn RpcHandler>,
+    pool: Arc<WorkerPool>,
+) {
+    let mut read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+
+    // All worker responses for this connection funnel through one writer
+    // thread, keeping frame writes atomic.
+    let (writer_tx, writer_rx) = unbounded::<Vec<u8>>();
+    {
+        let mut write_half = stream;
+        std::thread::Builder::new()
+            .name("weaver-server-writer".into())
+            .spawn(move || {
+                use std::io::Write;
+                while let Ok(buf) = writer_rx.recv() {
+                    if write_half.write_all(&buf).is_err() {
+                        break;
+                    }
+                }
+                let _ = write_half.shutdown(std::net::Shutdown::Both);
+            })
+            .ok();
+    }
+
+    // Streams cancelled before their handler finished; responses for these
+    // are suppressed. Bounded by in-flight requests.
+    let cancelled: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+
+    let mut framing = F::default();
+    loop {
+        match framing.read_message(&mut read_half) {
+            Ok(Some(Message::Request {
+                stream,
+                header,
+                args,
+            })) => {
+                let handler = Arc::clone(&handler);
+                let writer_tx: Sender<Vec<u8>> = writer_tx.clone();
+                let cancelled = Arc::clone(&cancelled);
+                pool.execute(move || {
+                    let body = handler.handle(header, &args);
+                    if cancelled.lock().remove(&stream) {
+                        return;
+                    }
+                    let mut buf = Vec::with_capacity(32 + body.payload.len());
+                    F::write_response(&mut buf, stream, &body);
+                    let _ = writer_tx.send(buf);
+                });
+            }
+            Ok(Some(Message::Cancel { stream })) => {
+                cancelled.lock().insert(stream);
+            }
+            Ok(Some(Message::Ping)) => {
+                let mut buf = Vec::with_capacity(16);
+                F::write_ping(&mut buf, true);
+                let _ = writer_tx.send(buf);
+            }
+            Ok(Some(Message::Pong | Message::Response { .. })) => {}
+            Ok(None) | Err(_) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::Connection;
+    use crate::frame::{GrpcLikeFraming, Status, WeaverFraming};
+    use std::time::Duration;
+
+    fn echo_handler() -> Arc<dyn RpcHandler> {
+        Arc::new(|header: RequestHeader, args: &[u8]| {
+            let mut payload = args.to_vec();
+            payload.push(header.method as u8);
+            ResponseBody {
+                status: Status::Ok,
+                payload,
+            }
+        })
+    }
+
+    fn echo_roundtrip<F: Framing>() {
+        let server = Server::<F>::bind("127.0.0.1:0", 2, echo_handler()).unwrap();
+        let conn = Connection::<F>::connect(server.local_addr()).unwrap();
+        let header = RequestHeader {
+            component: 1,
+            method: 7,
+            version: 1,
+            ..Default::default()
+        };
+        let resp = conn
+            .call(&header, &[1, 2, 3], Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.payload, vec![1, 2, 3, 7]);
+        assert_eq!(conn.in_flight(), 0);
+    }
+
+    #[test]
+    fn weaver_echo() {
+        echo_roundtrip::<WeaverFraming>();
+    }
+
+    #[test]
+    fn grpc_like_echo() {
+        echo_roundtrip::<GrpcLikeFraming>();
+    }
+
+    #[test]
+    fn concurrent_calls_multiplex() {
+        let server = Server::<WeaverFraming>::bind("127.0.0.1:0", 4, echo_handler()).unwrap();
+        let conn = Arc::new(Connection::<WeaverFraming>::connect(server.local_addr()).unwrap());
+        let threads: Vec<_> = (0..16u8)
+            .map(|i| {
+                let conn = Arc::clone(&conn);
+                std::thread::spawn(move || {
+                    let header = RequestHeader {
+                        method: u32::from(i),
+                        version: 1,
+                        ..Default::default()
+                    };
+                    let resp = conn
+                        .call(&header, &[i], Some(Duration::from_secs(5)))
+                        .unwrap();
+                    assert_eq!(resp.payload, vec![i, i]);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn slow_handler_hits_deadline() {
+        let handler: Arc<dyn RpcHandler> = Arc::new(|_h: RequestHeader, _a: &[u8]| {
+            std::thread::sleep(Duration::from_millis(500));
+            ResponseBody {
+                status: Status::Ok,
+                payload: vec![],
+            }
+        });
+        let server = Server::<WeaverFraming>::bind("127.0.0.1:0", 1, handler).unwrap();
+        let conn = Connection::<WeaverFraming>::connect(server.local_addr()).unwrap();
+        let header = RequestHeader::default();
+        let err = conn
+            .call(&header, &[], Some(Duration::from_millis(20)))
+            .unwrap_err();
+        assert_eq!(err, TransportError::DeadlineExceeded);
+        // The stream is cleaned up; the late response is dropped silently.
+        std::thread::sleep(Duration::from_millis(600));
+        assert_eq!(conn.in_flight(), 0);
+        assert!(!conn.is_dead());
+    }
+
+    #[test]
+    fn server_shutdown_fails_inflight_cleanly() {
+        let server = Server::<WeaverFraming>::bind("127.0.0.1:0", 2, echo_handler()).unwrap();
+        let addr = server.local_addr();
+        let conn = Connection::<WeaverFraming>::connect(addr).unwrap();
+        drop(server);
+        // Either the first call observes the closed socket or a later one
+        // does; a dead connection must never hang.
+        let header = RequestHeader::default();
+        let mut saw_failure = false;
+        for _ in 0..10 {
+            match conn.call(&header, &[], Some(Duration::from_millis(200))) {
+                Ok(_) => std::thread::sleep(Duration::from_millis(10)),
+                Err(_) => {
+                    saw_failure = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_failure);
+    }
+
+    #[test]
+    fn ping_keeps_connection_alive() {
+        let server = Server::<WeaverFraming>::bind("127.0.0.1:0", 1, echo_handler()).unwrap();
+        let conn = Connection::<WeaverFraming>::connect(server.local_addr()).unwrap();
+        conn.ping().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!conn.is_dead());
+    }
+
+    #[test]
+    fn unreachable_address_errors() {
+        // TEST-NET-1 address, nothing listens there.
+        let result = Connection::<WeaverFraming>::connect("127.0.0.1:1");
+        assert!(matches!(result, Err(TransportError::Unreachable(_))));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests: framing round-trips and robustness under fuzz input.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+use weaver_transport::{Framing, GrpcLikeFraming, Message, RequestHeader, ResponseBody, Status, WeaverFraming};
+
+fn arbitrary_header() -> impl Strategy<Value = RequestHeader> {
+    (
+        any::<u32>(),
+        0u32..64,
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<Option<u64>>(),
+    )
+        .prop_map(
+            |(component, method, version, deadline_nanos, trace_id, span_id, routing)| {
+                RequestHeader {
+                    component,
+                    method,
+                    version,
+                    deadline_nanos,
+                    trace_id,
+                    span_id,
+                    routing,
+                }
+            },
+        )
+}
+
+fn roundtrip_request<F: Framing>(
+    header: &RequestHeader,
+    args: &[u8],
+) -> Result<(), TestCaseError> {
+    let mut wire = Vec::new();
+    F::write_request(&mut wire, 42, header, args);
+    let mut framing = F::default();
+    let msg = framing
+        .read_message(&mut Cursor::new(&wire))
+        .expect("read")
+        .expect("one message");
+    prop_assert_eq!(
+        msg,
+        Message::Request {
+            stream: 42,
+            header: header.clone(),
+            args: args.to_vec(),
+        }
+    );
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn weaver_request_roundtrip(
+        header in arbitrary_header(),
+        args in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        roundtrip_request::<WeaverFraming>(&header, &args)?;
+    }
+
+    #[test]
+    fn grpc_like_request_roundtrip(
+        header in arbitrary_header(),
+        args in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        roundtrip_request::<GrpcLikeFraming>(&header, &args)?;
+    }
+
+    #[test]
+    fn response_roundtrips_both_framings(
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+        ok in any::<bool>(),
+        stream in any::<u32>(),
+    ) {
+        let body = ResponseBody {
+            status: if ok { Status::Ok } else { Status::Error },
+            payload,
+        };
+        let stream = u64::from(stream);
+
+        let mut wire = Vec::new();
+        WeaverFraming::write_response(&mut wire, stream, &body);
+        let mut f = WeaverFraming;
+        let msg = f.read_message(&mut Cursor::new(&wire)).unwrap().unwrap();
+        prop_assert_eq!(msg, Message::Response { stream, body: body.clone() });
+
+        let mut wire = Vec::new();
+        GrpcLikeFraming::write_response(&mut wire, stream, &body);
+        let mut f = GrpcLikeFraming::default();
+        let msg = f.read_message(&mut Cursor::new(&wire)).unwrap().unwrap();
+        prop_assert_eq!(msg, Message::Response { stream, body });
+    }
+
+    #[test]
+    fn weaver_is_never_larger_on_the_wire(
+        header in arbitrary_header(),
+        args in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let mut weaver = Vec::new();
+        WeaverFraming::write_request(&mut weaver, 1, &header, &args);
+        let mut grpc = Vec::new();
+        GrpcLikeFraming::write_request(&mut grpc, 1, &header, &args);
+        prop_assert!(weaver.len() < grpc.len());
+    }
+
+    #[test]
+    fn fuzz_bytes_never_panic_either_framing(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut f = WeaverFraming;
+        let mut cursor = Cursor::new(&bytes);
+        while let Ok(Some(_)) = f.read_message(&mut cursor) {}
+
+        let mut g = GrpcLikeFraming::default();
+        let mut cursor = Cursor::new(&bytes);
+        while let Ok(Some(_)) = g.read_message(&mut cursor) {}
+    }
+
+    #[test]
+    fn interleaved_messages_all_arrive(
+        headers in proptest::collection::vec(arbitrary_header(), 1..8),
+    ) {
+        let mut wire = Vec::new();
+        for (i, h) in headers.iter().enumerate() {
+            WeaverFraming::write_request(&mut wire, i as u64, h, &[i as u8]);
+            WeaverFraming::write_ping(&mut wire, false);
+        }
+        let mut f = WeaverFraming;
+        let mut cursor = Cursor::new(&wire);
+        for (i, h) in headers.iter().enumerate() {
+            let msg = f.read_message(&mut cursor).unwrap().unwrap();
+            prop_assert_eq!(msg, Message::Request {
+                stream: i as u64,
+                header: h.clone(),
+                args: vec![i as u8],
+            });
+            let ping = f.read_message(&mut cursor).unwrap().unwrap();
+            prop_assert_eq!(ping, Message::Ping);
+        }
+        prop_assert_eq!(f.read_message(&mut cursor).unwrap(), None);
+    }
+}

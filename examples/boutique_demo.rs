@@ -1,0 +1,135 @@
+//! The Online Boutique under each deployer, driven by the Locust-style
+//! load generator.
+//!
+//! ```text
+//! cargo run --release --example boutique_demo                 # single process
+//! cargo run --release --example boutique_demo -- --deploy multi
+//! cargo run --release --example boutique_demo -- --deploy baseline
+//! ```
+//!
+//! `multi` spawns one proclet process per component (plus the manager in
+//! this process) — Figure 3's architecture with real pipes and real TCP.
+//! `baseline` runs the same application as ten gRPC-like microservices.
+//! Afterwards the demo prints the observed call graph and what the
+//! placement optimizer would co-locate.
+
+use std::time::Duration;
+
+use boutique::components::Frontend;
+use boutique::loadgen::{run_load, LoadOptions};
+use weaver::prelude::*;
+use weaver_placement::{colocate, ColocationConfig};
+
+fn report(label: &str, r: &boutique::loadgen::LoadReport) {
+    println!(
+        "{label:<22} {requests:>7} reqs  {qps:>8.0} qps  median {median:>7.3} ms  p99 {p99:>7.3} ms  errors {errors}",
+        requests = r.requests,
+        qps = r.qps(),
+        median = r.median_ms(),
+        p99 = r.latency.quantile(0.99) as f64 / 1e6,
+        errors = r.errors,
+    );
+}
+
+fn main() -> Result<(), WeaverError> {
+    let registry = boutique::registry();
+    weaver::runtime::proclet::maybe_proclet(&registry);
+
+    let args: Vec<String> = std::env::args().collect();
+    let deploy = args
+        .iter()
+        .position(|a| a == "--deploy")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("single")
+        .to_string();
+
+    let options = LoadOptions {
+        workers: 8,
+        duration: Duration::from_secs(2),
+        users: 256,
+        ..Default::default()
+    };
+
+    match deploy.as_str() {
+        "single" => {
+            // Both placements, like the paper's co-location comparison.
+            let colocated = SingleProcess::deploy(
+                boutique::registry(),
+                SingleMode::Colocated,
+                1,
+            );
+            let r = run_load(colocated.get::<dyn Frontend>()?, &options);
+            report("single (colocated)", &r);
+
+            let marshaled = SingleProcess::deploy(
+                boutique::registry(),
+                SingleMode::Marshaled,
+                1,
+            );
+            let r = run_load(marshaled.get::<dyn Frontend>()?, &options);
+            report("single (marshaled)", &r);
+
+            // The call graph the runtime observed, and what it would fuse.
+            let graph = marshaled.callgraph();
+            println!("\nobserved call graph (calls per edge):");
+            for (caller, callee, calls) in graph.edge_call_counts() {
+                let caller = if caller.is_empty() { "<ingress>" } else { &caller };
+                println!("  {caller:<34} -> {callee:<34} {calls:>8}");
+            }
+            let groups = colocate(
+                &graph,
+                &ColocationConfig {
+                    max_group_size: 4,
+                    min_traffic: 10_000,
+                    ..Default::default()
+                },
+            );
+            println!("\nplacement optimizer proposes co-locating:");
+            for group in groups.iter().filter(|g| g.len() > 1) {
+                println!("  {}", group.join(" + "));
+            }
+        }
+        "multi" => {
+            let config = DeploymentConfig::from_toml(
+                r#"
+[deployment]
+name = "boutique"
+version = 1
+
+[placement]
+replicas = 1
+
+[runtime]
+server_workers = 8
+"#,
+            )
+            .map_err(|e| WeaverError::internal(e.to_string()))?;
+            let deployment = MultiProcess::deploy(
+                registry,
+                config,
+                SpawnSpec::current_exe().map_err(|e| WeaverError::internal(e.to_string()))?,
+            )?;
+            println!("proclet groups: {:?}", deployment.groups());
+            let r = run_load(deployment.get::<dyn Frontend>()?, &options);
+            report("multiprocess", &r);
+
+            // Aggregated from proclet LoadReports over the pipe protocol.
+            let graph = deployment.callgraph();
+            println!("\nmanager-aggregated call graph edges: {}", graph.edges.len());
+            deployment.shutdown();
+        }
+        "baseline" => {
+            let deployment = baseline::BaselineDeployment::start(8)
+                .map_err(|e| WeaverError::internal(e.to_string()))?;
+            println!("{} microservices running", deployment.service_count());
+            let r = run_load(deployment.frontend(), &options);
+            report("baseline (grpc-like)", &r);
+        }
+        other => {
+            eprintln!("unknown --deploy {other:?} (expected single|multi|baseline)");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! Automated fault-tolerance testing (paper §5.3).
+//!
+//! ```text
+//! cargo run --example chaos_testing
+//! ```
+//!
+//! "With our proposal, it is trivial to run end-to-end tests … This opens
+//! the door to automated fault tolerance testing, akin to chaos testing."
+//! The boutique runs in one process with full marshaling; a seeded chaos
+//! loop crashes components, takes them down, injects latency, and heals —
+//! while the load generator keeps shopping. The assertions at the end are
+//! the fault-tolerance contract: requests may fail while a dependency is
+//! down, but the application never wedges and always recovers.
+
+use std::time::Duration;
+
+use boutique::components::Frontend;
+use boutique::loadgen::{run_load, LoadOptions};
+use weaver::prelude::*;
+use weaver::testing::chaos::{eventually, ChaosOptions, ChaosRunner};
+
+fn main() -> Result<(), WeaverError> {
+    let app = SingleProcess::deploy(boutique::registry(), SingleMode::Marshaled, 1);
+    let frontend = app.get::<dyn Frontend>()?;
+
+    // Healthy baseline.
+    let healthy = run_load(
+        frontend.clone(),
+        &LoadOptions {
+            workers: 4,
+            duration: Duration::from_millis(500),
+            ..Default::default()
+        },
+    );
+    println!(
+        "healthy:    {} requests, {} errors, median {:.3} ms",
+        healthy.requests,
+        healthy.errors,
+        healthy.median_ms()
+    );
+    assert_eq!(healthy.errors, 0);
+
+    // Chaos: everything except the frontend is fair game.
+    let chaos = ChaosRunner::start(
+        app.clone(),
+        ChaosOptions {
+            seed: 0xC4A05,
+            targets: vec![
+                "boutique.CartService".into(),
+                "boutique.ProductCatalog".into(),
+                "boutique.CurrencyService".into(),
+                "boutique.PaymentService".into(),
+                "boutique.Shipping".into(),
+                "boutique.EmailService".into(),
+                "boutique.AdService".into(),
+                "boutique.RecommendationService".into(),
+            ],
+            interval: Duration::from_millis(3),
+            heal_fraction: 0.4,
+        },
+    );
+
+    let stormy = run_load(
+        frontend.clone(),
+        &LoadOptions {
+            workers: 4,
+            duration: Duration::from_secs(1),
+            ..Default::default()
+        },
+    );
+    let actions = chaos.stop();
+    println!(
+        "under chaos: {} requests, {} errors ({:.1}%), median {:.3} ms, {} chaos actions",
+        stormy.requests,
+        stormy.errors,
+        stormy.error_rate() * 100.0,
+        stormy.median_ms(),
+        actions.len()
+    );
+    assert!(
+        stormy.requests > 100,
+        "the app wedged under chaos ({} requests)",
+        stormy.requests
+    );
+    assert!(stormy.errors > 0, "chaos produced no faults to tolerate");
+
+    // Recovery: after chaos stops (and faults are healed), the app must
+    // return to error-free service.
+    let ctx = app.root_context();
+    eventually(Duration::from_secs(5), || {
+        frontend.home(&ctx, "post-chaos".into(), "USD".into())
+    })
+    .map_err(WeaverError::internal)?;
+    let recovered = run_load(
+        frontend,
+        &LoadOptions {
+            workers: 4,
+            duration: Duration::from_millis(500),
+            ..Default::default()
+        },
+    );
+    println!(
+        "recovered:  {} requests, {} errors, median {:.3} ms",
+        recovered.requests,
+        recovered.errors,
+        recovered.median_ms()
+    );
+    assert_eq!(recovered.errors, 0, "errors persisted after healing");
+    println!("ok: degraded under chaos, fully recovered after");
+    Ok(())
+}

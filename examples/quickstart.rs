@@ -1,0 +1,51 @@
+//! The paper's Figure 2, in Rust: a "Hello, World!" component application.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Where the Go prototype writes `type hello struct { Implements[Hello] }`,
+//! here the interface is a trait under `#[weaver::component]` and the
+//! implementation links itself with `impl Component`. `Init`/`Get[Hello]`
+//! become `SingleProcess::deploy` / `app.get::<dyn Hello>()`.
+
+use std::sync::Arc;
+
+use weaver::prelude::*;
+
+// Component interface (Figure 2: `type Hello interface { Greet(...) }`).
+#[weaver::component(name = "quickstart.Hello")]
+pub trait Hello {
+    /// Greets someone.
+    fn greet(&self, ctx: &CallContext, name: String) -> Result<String, WeaverError>;
+}
+
+// Component implementation (Figure 2: `func (h *hello) Greet(...)`).
+struct HelloImpl;
+
+impl Hello for HelloImpl {
+    fn greet(&self, _ctx: &CallContext, name: String) -> Result<String, WeaverError> {
+        Ok(format!("Hello, {name}!"))
+    }
+}
+
+impl Component for HelloImpl {
+    type Interface = dyn Hello;
+
+    fn init(_ctx: &InitContext<'_>) -> Result<Self, WeaverError> {
+        Ok(HelloImpl)
+    }
+
+    fn into_interface(self: Arc<Self>) -> Arc<dyn Hello> {
+        self
+    }
+}
+
+// Component invocation (Figure 2: `app := Init(); hello := Get[Hello](app)`).
+fn main() -> Result<(), WeaverError> {
+    let registry = Arc::new(RegistryBuilder::new().register::<HelloImpl>().build());
+    let app = SingleProcess::deploy(registry, SingleMode::Colocated, 1);
+    let hello = app.get::<dyn Hello>()?;
+    println!("{}", hello.greet(&app.root_context(), "World".into())?);
+    Ok(())
+}

@@ -1,0 +1,135 @@
+//! Atomic rollouts walk-through (paper §4.4).
+//!
+//! ```text
+//! cargo run --example rollout_demo
+//! ```
+//!
+//! Deploys v1 and v2 of a small app side by side (blue/green), shifts
+//! traffic in stages with health gates, and shows the §4.4 invariant in
+//! action twice over:
+//!
+//! 1. requests are pinned to one version end to end (the runtime's
+//!    `VersionMismatch` backstop never fires);
+//! 2. a *broken* v2 is caught at the 1% stage and rolled back.
+
+use std::sync::Arc;
+
+use weaver::prelude::*;
+use weaver::rollout::{Rollout, RolloutConfig, RolloutPhase};
+
+#[weaver::component(name = "rollout.Greeter")]
+pub trait Greeter {
+    /// Returns a greeting and the serving version.
+    fn greet(&self, ctx: &CallContext, name: String) -> Result<(String, u64), WeaverError>;
+}
+
+/// v1 implementation.
+struct GreeterV1;
+impl Greeter for GreeterV1 {
+    fn greet(&self, ctx: &CallContext, name: String) -> Result<(String, u64), WeaverError> {
+        Ok((format!("Hello, {name}!"), ctx.version))
+    }
+}
+impl Component for GreeterV1 {
+    type Interface = dyn Greeter;
+    fn init(_: &InitContext<'_>) -> Result<Self, WeaverError> {
+        Ok(GreeterV1)
+    }
+    fn into_interface(self: Arc<Self>) -> Arc<dyn Greeter> {
+        self
+    }
+}
+
+/// v2 implementation: new greeting copy.
+struct GreeterV2;
+impl Greeter for GreeterV2 {
+    fn greet(&self, ctx: &CallContext, name: String) -> Result<(String, u64), WeaverError> {
+        Ok((format!("Howdy, {name}! 👋"), ctx.version))
+    }
+}
+impl Component for GreeterV2 {
+    type Interface = dyn Greeter;
+    fn init(_: &InitContext<'_>) -> Result<Self, WeaverError> {
+        Ok(GreeterV2)
+    }
+    fn into_interface(self: Arc<Self>) -> Arc<dyn Greeter> {
+        self
+    }
+}
+
+fn main() -> Result<(), WeaverError> {
+    // Blue/green: both versions fully deployed; the split decides which
+    // one serves each request.
+    let blue = SingleProcess::deploy(
+        Arc::new(RegistryBuilder::new().register::<GreeterV1>().build()),
+        SingleMode::Marshaled,
+        1,
+    );
+    let green = SingleProcess::deploy(
+        Arc::new(RegistryBuilder::new().register::<GreeterV2>().build()),
+        SingleMode::Marshaled,
+        2,
+    );
+    let blue_greeter = blue.get::<dyn Greeter>()?;
+    let green_greeter = green.get::<dyn Greeter>()?;
+
+    let mut rollout = Rollout::new(1, 2, RolloutConfig {
+        stages: vec![0.01, 0.25, 1.0],
+        ticks_per_stage: 1,
+        max_error_rate: 0.01,
+    });
+
+    println!("rolling v1 → v2 with health gates:");
+    let mut request_no = 0u64;
+    loop {
+        let split = rollout.split();
+        let mut served = [0u64; 2];
+        for _ in 0..10_000 {
+            request_no += 1;
+            // Pin the whole request to one version (the atomicity rule).
+            let version = split.version_for(weaver::core::routing_key(&request_no));
+            let (app, greeter) = if version == 1 {
+                (&blue, &blue_greeter)
+            } else {
+                (&green, &green_greeter)
+            };
+            let ctx = app.root_context();
+            let (_, served_by) = greeter.greet(&ctx, "World".into())?;
+            assert_eq!(served_by, version, "request crossed versions!");
+            served[(version - 1) as usize] += 1;
+        }
+        println!(
+            "  stage {:>4.0}%: v1 served {:>6}, v2 served {:>6}",
+            split.new_fraction * 100.0,
+            served[0],
+            served[1]
+        );
+        if rollout.tick(0.0) != RolloutPhase::Shifting {
+            break;
+        }
+    }
+    assert_eq!(rollout.phase(), RolloutPhase::Completed);
+    println!("rollout completed: all traffic on v2\n");
+
+    // The backstop: a request stamped v1 arriving at a v2 deployment is
+    // rejected, not silently mis-decoded.
+    let stale_ctx = blue.root_context(); // version 1
+    let err = green_greeter
+        .greet(&stale_ctx, "Mallory".into())
+        .expect_err("cross-version call must be rejected");
+    println!("cross-version call rejected by the runtime: {err}");
+    assert!(matches!(err, WeaverError::VersionMismatch { .. }));
+
+    // A broken v2 rolls back at the canary stage.
+    let mut bad = Rollout::new(1, 2, RolloutConfig::default());
+    let canary_share = bad.split().new_fraction;
+    let phase = bad.tick(0.5); // 50% of canary requests failing.
+    println!(
+        "broken v2: health gate at the {:.0}% stage → {phase:?}, blast radius ≈ {:.0}%",
+        canary_share * 100.0,
+        canary_share * 100.0
+    );
+    assert_eq!(phase, RolloutPhase::RolledBack);
+    assert_eq!(bad.split().new_fraction, 0.0);
+    Ok(())
+}

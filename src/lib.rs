@@ -1,0 +1,81 @@
+//! # weaver
+//!
+//! Write distributed applications as **modular monoliths**: split your code
+//! into *components* along logical boundaries, and let the runtime decide
+//! the physical ones — which components share a process, how many replicas
+//! each gets, where they run, and how new versions roll out (always
+//! atomically). A Rust realization of the architecture proposed in
+//! *Towards Modern Development of Cloud Applications* (HotOS '23).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use weaver::prelude::*;
+//!
+//! // 1. A component interface: a trait plus #[weaver::component].
+//! #[weaver::component(name = "demo.Hello")]
+//! pub trait Hello {
+//!     fn greet(&self, ctx: &CallContext, name: String) -> Result<String, WeaverError>;
+//! }
+//!
+//! // 2. An implementation.
+//! struct HelloImpl;
+//!
+//! impl Hello for HelloImpl {
+//!     fn greet(&self, _ctx: &CallContext, name: String) -> Result<String, WeaverError> {
+//!         Ok(format!("Hello, {name}!"))
+//!     }
+//! }
+//!
+//! impl Component for HelloImpl {
+//!     type Interface = dyn Hello;
+//!     fn init(_ctx: &InitContext<'_>) -> Result<Self, WeaverError> {
+//!         Ok(HelloImpl)
+//!     }
+//!     fn into_interface(self: Arc<Self>) -> Arc<dyn Hello> {
+//!         self
+//!     }
+//! }
+//!
+//! // 3. Register, deploy, call (Figure 2 of the paper).
+//! let registry = Arc::new(RegistryBuilder::new().register::<HelloImpl>().build());
+//! let app = SingleProcess::deploy(registry, SingleMode::Colocated, 1);
+//! let hello = app.get::<dyn Hello>().unwrap();
+//! assert_eq!(
+//!     hello.greet(&app.root_context(), "World".into()).unwrap(),
+//!     "Hello, World!"
+//! );
+//! ```
+//!
+//! The same registry deploys unchanged across processes with
+//! [`runtime::MultiProcess`], where the runtime co-locates, replicates,
+//! restarts, and routes — see `examples/placement_fig1.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use weaver_macros::{component, WeaverData};
+
+pub use weaver_codec as codec;
+pub use weaver_core as core;
+pub use weaver_metrics as metrics;
+pub use weaver_placement as placement;
+pub use weaver_rollout as rollout;
+pub use weaver_routing as routing;
+pub use weaver_runtime as runtime;
+pub use weaver_testing as testing;
+pub use weaver_transport as transport;
+
+/// Everything an application module usually needs.
+pub mod prelude {
+    pub use crate::{component, WeaverData};
+    pub use weaver_core::client::ClientHandle;
+    pub use weaver_core::component::{Component, ComponentInterface, MethodSpec};
+    pub use weaver_core::context::{CallContext, InitContext};
+    pub use weaver_core::error::WeaverError;
+    pub use weaver_core::registry::{ComponentRegistry, RegistryBuilder};
+    pub use weaver_runtime::{
+        DeploymentConfig, MultiProcess, SingleMode, SingleProcess, SpawnSpec,
+    };
+}

@@ -1,0 +1,127 @@
+//! Stateful rollouts (paper §5.4, experiment A10).
+//!
+//! Atomic rollouts keep RPC traffic within one version, but "if an
+//! application updates state in a persistent storage system … different
+//! versions of an application will indirectly influence each other via the
+//! data they read and write." This test plays that scenario out with the
+//! actual codecs: naive non-versioned persistence corrupts across versions,
+//! while `weaver_codec::persist` makes the cross-version interaction an
+//! explicit, testable migration.
+
+use weaver_codec::persist::{open_with_migrations, Record};
+use weaver_codec::{decode_from_slice, encode_to_vec, DecodeError};
+use weaver_macros::WeaverData;
+
+/// v1 of the persisted cart state.
+#[derive(Debug, Clone, Default, PartialEq, WeaverData)]
+struct CartStateV1 {
+    user_id: String,
+    product_ids: Vec<String>,
+}
+
+/// v2 added quantities (the schema change shipped by the rollout).
+#[derive(Debug, Clone, Default, PartialEq, WeaverData)]
+struct CartStateV2 {
+    user_id: String,
+    items: Vec<(String, u32)>,
+}
+
+fn v1_state() -> CartStateV1 {
+    CartStateV1 {
+        user_id: "alice".into(),
+        product_ids: vec!["OLJCESPC7Z".into(), "6E92ZMYYFZ".into()],
+    }
+}
+
+#[test]
+fn naive_persistence_breaks_across_versions() {
+    // v1 wrote its state with the bare non-versioned format (as is correct
+    // for RPC). v2 reads it back with the new schema.
+    let persisted_by_v1 = encode_to_vec(&v1_state());
+    let read_by_v2 = decode_from_slice::<CartStateV2>(&persisted_by_v1);
+    // Best case it errors; it must never silently produce a valid-looking
+    // wrong value. (For these schemas, the old Vec<String> bytes do not
+    // parse as Vec<(String, u32)>.)
+    assert!(
+        read_by_v2.is_err(),
+        "non-versioned bytes silently decoded across schemas: {read_by_v2:?}"
+    );
+}
+
+#[test]
+fn versioned_records_migrate_explicitly() {
+    // v1 persisted through the §5.4 envelope instead.
+    let persisted_by_v1 = Record::seal(1, &v1_state()).to_bytes();
+
+    // v2's read path declares how to lift v1 state.
+    let migrate_v1: &dyn Fn(&[u8]) -> Result<CartStateV2, DecodeError> = &|payload| {
+        let old: CartStateV1 = decode_from_slice(payload)?;
+        Ok(CartStateV2 {
+            user_id: old.user_id,
+            // v1 had no quantities; the migration defines the default.
+            items: old.product_ids.into_iter().map(|id| (id, 1)).collect(),
+        })
+    };
+
+    let migrated: CartStateV2 =
+        open_with_migrations(&persisted_by_v1, 2, &[(1, migrate_v1)]).unwrap();
+    assert_eq!(migrated.user_id, "alice");
+    assert_eq!(
+        migrated.items,
+        vec![("OLJCESPC7Z".to_string(), 1), ("6E92ZMYYFZ".to_string(), 1)]
+    );
+
+    // v2's own writes round-trip directly.
+    let persisted_by_v2 = Record::seal(2, &migrated).to_bytes();
+    let reread: CartStateV2 =
+        open_with_migrations(&persisted_by_v2, 2, &[(1, migrate_v1)]).unwrap();
+    assert_eq!(reread, migrated);
+}
+
+#[test]
+fn rollback_sees_future_state_loudly() {
+    // The rollout rolled back: v1 is serving again but v2 already wrote
+    // state. v1 has no migration for schema 2 — it must refuse loudly
+    // (the open question §5.4 wants surfaced early), not misread.
+    let persisted_by_v2 = Record::seal(
+        2,
+        &CartStateV2 {
+            user_id: "bob".into(),
+            items: vec![("L9ECAV7KIM".into(), 2)],
+        },
+    )
+    .to_bytes();
+
+    let read_by_v1 = open_with_migrations::<CartStateV1>(&persisted_by_v2, 1, &[]);
+    assert!(matches!(
+        read_by_v1,
+        Err(DecodeError::UnknownVariant { .. })
+    ));
+}
+
+#[test]
+fn blast_radius_of_a_bad_stateful_rollout_is_the_canary() {
+    // Combine the pieces: a v2 whose *persistence* is broken fails its
+    // health gate at the canary stage, before most state is written in the
+    // new schema.
+    use weaver_rollout::{Rollout, RolloutConfig, RolloutPhase};
+
+    let mut rollout = Rollout::new(1, 2, RolloutConfig::default());
+    let split = rollout.split();
+    let mut v2_writes = 0u64;
+    let mut total = 0u64;
+    for key in 0..10_000u64 {
+        total += 1;
+        if split.version_for(weaver_core::routing_key(&key)) == 2 {
+            v2_writes += 1;
+        }
+    }
+    // v2's persistence errors surface as request errors → gate trips.
+    let phase = rollout.tick(1.0);
+    assert_eq!(phase, RolloutPhase::RolledBack);
+    // Only the canary fraction of state was ever written by v2.
+    assert!(
+        (v2_writes as f64 / total as f64) < 0.03,
+        "canary wrote too much state: {v2_writes}/{total}"
+    );
+}

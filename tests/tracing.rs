@@ -1,0 +1,130 @@
+//! Distributed tracing over the marshaled deployer (paper §5.1: the
+//! runtime's bird's-eye view — call trees, critical paths).
+
+use boutique::components::Frontend;
+use boutique::loadgen::test_address;
+use boutique::logic::payment::test_card;
+use boutique::types::PlaceOrderRequest;
+use weaver_metrics::trace::{call_tree, critical_path};
+use weaver_runtime::{SingleMode, SingleProcess};
+
+#[test]
+fn checkout_trace_reconstructs_the_call_tree() {
+    let app = SingleProcess::deploy(boutique::registry(), SingleMode::Marshaled, 1);
+    let frontend = app.get::<dyn Frontend>().unwrap();
+    let ctx = app.root_context();
+
+    frontend
+        .add_to_cart(&ctx, "tracer".into(), "OLJCESPC7Z".into(), 1)
+        .unwrap();
+    // Fresh trace for just the checkout.
+    let _ = app.drain_traces();
+    let order_ctx = app.root_context();
+    frontend
+        .place_order(
+            &order_ctx,
+            PlaceOrderRequest {
+                user_id: "tracer".into(),
+                user_currency: "USD".into(),
+                address: test_address(),
+                email: "tracer@example.com".into(),
+                credit_card: test_card(),
+            },
+        )
+        .unwrap();
+
+    let spans = app.drain_traces();
+    assert!(!spans.is_empty(), "no spans recorded");
+    // Every span belongs to the checkout's trace.
+    assert!(spans.iter().all(|s| s.trace_id == order_ctx.trace_id));
+
+    let tree = call_tree(&spans, order_ctx.trace_id);
+    assert_eq!(tree.len(), spans.len(), "tree lost spans");
+
+    // Root: the frontend's place_order, at depth 0.
+    let (root, depth) = &tree[0];
+    assert_eq!(depth, &0);
+    assert_eq!(root.component, "boutique.Frontend");
+    assert_eq!(root.method, "place_order");
+
+    // The checkout orchestration appears beneath the frontend, and its
+    // fan-out beneath it.
+    let depth_of = |component: &str, method: &str| {
+        tree.iter()
+            .find(|(s, _)| s.component == component && s.method == method)
+            .map(|(_, d)| *d)
+    };
+    assert_eq!(depth_of("boutique.CheckoutService", "place_order"), Some(1));
+    assert_eq!(depth_of("boutique.PaymentService", "charge"), Some(2));
+    assert_eq!(depth_of("boutique.CartService", "get_cart"), Some(2));
+    assert_eq!(depth_of("boutique.EmailService", "send_order_confirmation"), Some(2));
+
+    // The critical path runs frontend → checkout → (its slowest child).
+    let path = critical_path(&spans, order_ctx.trace_id);
+    assert!(path.len() >= 3, "critical path too short: {path:?}");
+    assert_eq!(path[0].component, "boutique.Frontend");
+    assert_eq!(path[1].component, "boutique.CheckoutService");
+    // Parent durations include their children on the path.
+    assert!(path[0].duration_nanos >= path[1].duration_nanos);
+    assert!(path[1].duration_nanos >= path[2].duration_nanos);
+}
+
+#[test]
+fn traces_capture_errors() {
+    let app = SingleProcess::deploy(boutique::registry(), SingleMode::Marshaled, 1);
+    let frontend = app.get::<dyn Frontend>().unwrap();
+    let ctx = app.root_context();
+    let _ = app.drain_traces();
+
+    let _ = frontend
+        .browse_product(&ctx, "u".into(), "NO-SUCH-PRODUCT".into(), "USD".into())
+        .unwrap_err();
+    let spans = app.drain_traces();
+    let failed: Vec<_> = spans.iter().filter(|s| s.error).collect();
+    assert!(
+        failed
+            .iter()
+            .any(|s| s.component == "boutique.ProductCatalog"),
+        "catalog failure not visible in trace: {failed:?}"
+    );
+    // The failure propagates to the frontend span too.
+    assert!(failed.iter().any(|s| s.component == "boutique.Frontend"));
+}
+
+#[test]
+fn concurrent_traces_do_not_mix() {
+    let app = SingleProcess::deploy(boutique::registry(), SingleMode::Marshaled, 1);
+    let frontend = app.get::<dyn Frontend>().unwrap();
+    let _ = app.drain_traces();
+
+    let mut trace_ids = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let frontend = frontend.clone();
+            let ctx = app.root_context();
+            handles.push(scope.spawn(move || {
+                frontend
+                    .home(&ctx, format!("user-{i}"), "USD".into())
+                    .unwrap();
+                ctx.trace_id
+            }));
+        }
+        for handle in handles {
+            trace_ids.push(handle.join().unwrap());
+        }
+    });
+
+    let spans = app.drain_traces();
+    for &trace_id in &trace_ids {
+        let tree = call_tree(&spans, trace_id);
+        // Each home() touches catalog + currency + cart + ads beneath one
+        // frontend root.
+        assert_eq!(
+            tree.iter().filter(|(_, d)| *d == 0).count(),
+            1,
+            "trace {trace_id} has multiple roots"
+        );
+        assert!(tree.len() >= 4, "trace {trace_id} too small: {}", tree.len());
+    }
+}
