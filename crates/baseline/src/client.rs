@@ -5,9 +5,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use boutique::components::Frontend;
-use boutique::types::{
-    CartItem, CartView, HomeView, OrderResult, PlaceOrderRequest, ProductView,
-};
+use boutique::types::{CartItem, CartView, HomeView, OrderResult, PlaceOrderRequest, ProductView};
 use weaver_codec::tagged::{decode_message, encode_message, TaggedDecode, TaggedEncode};
 use weaver_core::context::CallContext;
 use weaver_core::error::WeaverError;
@@ -304,9 +302,7 @@ impl Frontend for BaselineFrontend {
         ctx: &CallContext,
         request: PlaceOrderRequest,
     ) -> Result<OrderResult, WeaverError> {
-        let resp: PlaceOrderResponse =
-            self.stub
-                .call(ctx, 4, &PlaceOrderRpcRequest { request })?;
+        let resp: PlaceOrderResponse = self.stub.call(ctx, 4, &PlaceOrderRpcRequest { request })?;
         Ok(resp.order)
     }
 }

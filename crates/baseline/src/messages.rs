@@ -7,8 +7,8 @@
 //! declaration order, defaults elided, unknown fields skipped.
 
 use boutique::types::{
-    Ad, Address, CartItem, CartView, CreditCard, HomeView, Money, OrderResult,
-    PlaceOrderRequest, Product, ProductView,
+    Ad, Address, CartItem, CartView, CreditCard, HomeView, Money, OrderResult, PlaceOrderRequest,
+    Product, ProductView,
 };
 use weaver_macros::WeaverData;
 

@@ -63,10 +63,7 @@ fn weaver_error_to_status(e: &WeaverError) -> RpcStatus {
 }
 
 /// Wraps one unary method: decode, run, encode — with gRPC-status errors.
-fn unary<Req, Resp>(
-    args: &[u8],
-    f: impl FnOnce(Req) -> Result<Resp, WeaverError>,
-) -> ResponseBody
+fn unary<Req, Resp>(args: &[u8], f: impl FnOnce(Req) -> Result<Resp, WeaverError>) -> ResponseBody
 where
     Req: TaggedDecode,
     Resp: TaggedEncode,
@@ -439,7 +436,9 @@ impl RpcHandler for CheckoutHandler {
     fn handle(&self, header: RequestHeader, args: &[u8]) -> ResponseBody {
         let ctx = ctx_from_header(&header);
         match header.method {
-            0 => unary(args, |req: PlaceOrderRpcRequest| self.place_order(&ctx, req)),
+            0 => unary(args, |req: PlaceOrderRpcRequest| {
+                self.place_order(&ctx, req)
+            }),
             m => unknown_method("checkout", m),
         }
     }
@@ -483,8 +482,7 @@ impl FrontendHandler {
             .list_products(ctx, &ListProductsRequest {})?
             .products;
         for product in &mut products {
-            product.price =
-                self.convert(ctx, std::mem::take(&mut product.price), &req.currency)?;
+            product.price = self.convert(ctx, std::mem::take(&mut product.price), &req.currency)?;
         }
         let cart = cart_items(&self.cart, ctx, &req.user_id)?;
         let ad = self
@@ -674,16 +672,15 @@ impl BaselineDeployment {
         let mut servers = Vec::new();
         let mut addrs = std::collections::HashMap::new();
 
-        let mut bind = |service: ServiceId,
-                        handler: Arc<dyn RpcHandler>|
-         -> Result<SocketAddr, WeaverError> {
-            let server = Server::<GrpcLikeFraming>::bind("127.0.0.1:0", workers, handler)
-                .map_err(WeaverError::from)?;
-            let addr = server.local_addr();
-            servers.push(server);
-            addrs.insert(service as u32, addr);
-            Ok(addr)
-        };
+        let mut bind =
+            |service: ServiceId, handler: Arc<dyn RpcHandler>| -> Result<SocketAddr, WeaverError> {
+                let server = Server::<GrpcLikeFraming>::bind("127.0.0.1:0", workers, handler)
+                    .map_err(WeaverError::from)?;
+                let addr = server.local_addr();
+                servers.push(server);
+                addrs.insert(service as u32, addr);
+                Ok(addr)
+            };
 
         // Leaf services first.
         let catalog_addr = bind(
@@ -729,9 +726,8 @@ impl BaselineDeployment {
             }),
         )?;
 
-        let stub = |addr: SocketAddr, service: ServiceId| {
-            Stub::new(Arc::clone(&pool), addr, service)
-        };
+        let stub =
+            |addr: SocketAddr, service: ServiceId| Stub::new(Arc::clone(&pool), addr, service);
 
         // Recommendation depends on catalog.
         let recommendation_addr = bind(

@@ -55,10 +55,7 @@ fn bench_get_product(c: &mut Criterion) {
     let live = Arc::new(LiveComponents::new(Arc::clone(&registry)));
     struct NoDeps;
     impl weaver_core::context::ComponentGetter for NoDeps {
-        fn acquire(
-            &self,
-            name: &str,
-        ) -> Result<weaver_core::context::Acquired, WeaverError> {
+        fn acquire(&self, name: &str) -> Result<weaver_core::context::Acquired, WeaverError> {
             Err(WeaverError::UnknownComponent { name: name.into() })
         }
     }
@@ -68,9 +65,8 @@ fn bench_get_product(c: &mut Criterion) {
         1,
         Arc::new(weaver_metrics::MetricsRegistry::new()),
     ));
-    let server =
-        weaver_transport::Server::<WeaverFraming>::bind("127.0.0.1:0", 2, dispatcher)
-            .expect("bind");
+    let server = weaver_transport::Server::<WeaverFraming>::bind("127.0.0.1:0", 2, dispatcher)
+        .expect("bind");
     let conn = Connection::<WeaverFraming>::connect(server.local_addr()).expect("connect");
     let component_id = registry.id_of(<dyn ProductCatalog>::NAME).expect("id");
     let args = weaver_codec::encode_to_vec(&"OLJCESPC7Z".to_string());

@@ -12,8 +12,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use weaver_transport::inproc::InprocNetwork;
 use weaver_transport::{
-    Connection, Framing, GrpcLikeFraming, RequestHeader, ResponseBody, RpcHandler, Server,
-    Status, WeaverFraming,
+    Connection, Framing, GrpcLikeFraming, RequestHeader, ResponseBody, RpcHandler, Server, Status,
+    WeaverFraming,
 };
 
 fn echo_handler(response_bytes: usize) -> Arc<dyn RpcHandler> {

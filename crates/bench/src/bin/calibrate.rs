@@ -132,8 +132,7 @@ fn main() {
     });
     println!("  weaver framing:    {:>8.1} µs", rtt.as_secs_f64() * 1e6);
 
-    let grpc_server =
-        Server::<GrpcLikeFraming>::bind("127.0.0.1:0", 2, handler).expect("bind");
+    let grpc_server = Server::<GrpcLikeFraming>::bind("127.0.0.1:0", 2, handler).expect("bind");
     let conn = Connection::<GrpcLikeFraming>::connect(grpc_server.local_addr()).expect("connect");
     let rtt_grpc = time_per_op(5_000, || {
         conn.call(&header, &[0u8; 128], Some(Duration::from_secs(5)))

@@ -18,19 +18,52 @@ fn fusion_order() -> Vec<Vec<usize>> {
     use weaver_sim::boutique_model::services::*;
     // Each entry is the colocate set at that sweep step.
     vec![
-        vec![],                                        // 0 fused
-        vec![FRONTEND, CURRENCY],                      // currency is the chattiest peer
+        vec![],                   // 0 fused
+        vec![FRONTEND, CURRENCY], // currency is the chattiest peer
         vec![FRONTEND, CURRENCY, CATALOG],
         vec![FRONTEND, CURRENCY, CATALOG, CHECKOUT],
         vec![FRONTEND, CURRENCY, CATALOG, CHECKOUT, CART],
         vec![FRONTEND, CURRENCY, CATALOG, CHECKOUT, CART, RECOMMENDATION],
-        vec![FRONTEND, CURRENCY, CATALOG, CHECKOUT, CART, RECOMMENDATION, ADS],
-        vec![FRONTEND, CURRENCY, CATALOG, CHECKOUT, CART, RECOMMENDATION, ADS, SHIPPING],
         vec![
-            FRONTEND, CURRENCY, CATALOG, CHECKOUT, CART, RECOMMENDATION, ADS, SHIPPING, PAYMENT,
+            FRONTEND,
+            CURRENCY,
+            CATALOG,
+            CHECKOUT,
+            CART,
+            RECOMMENDATION,
+            ADS,
         ],
         vec![
-            FRONTEND, CURRENCY, CATALOG, CHECKOUT, CART, RECOMMENDATION, ADS, SHIPPING, PAYMENT,
+            FRONTEND,
+            CURRENCY,
+            CATALOG,
+            CHECKOUT,
+            CART,
+            RECOMMENDATION,
+            ADS,
+            SHIPPING,
+        ],
+        vec![
+            FRONTEND,
+            CURRENCY,
+            CATALOG,
+            CHECKOUT,
+            CART,
+            RECOMMENDATION,
+            ADS,
+            SHIPPING,
+            PAYMENT,
+        ],
+        vec![
+            FRONTEND,
+            CURRENCY,
+            CATALOG,
+            CHECKOUT,
+            CART,
+            RECOMMENDATION,
+            ADS,
+            SHIPPING,
+            PAYMENT,
             EMAIL,
         ],
     ]
@@ -75,12 +108,11 @@ fn main() {
     // Show that the placement optimizer, fed the boutique call graph from a
     // real (marshaled) run, picks the chatty pairs this sweep fuses first.
     let registry = boutique::registry();
-    let app = weaver_runtime::SingleProcess::deploy(
-        registry,
-        weaver_runtime::SingleMode::Marshaled,
-        1,
-    );
-    let frontend = app.get::<dyn boutique::components::Frontend>().expect("frontend");
+    let app =
+        weaver_runtime::SingleProcess::deploy(registry, weaver_runtime::SingleMode::Marshaled, 1);
+    let frontend = app
+        .get::<dyn boutique::components::Frontend>()
+        .expect("frontend");
     let report = boutique::loadgen::run_load(
         frontend,
         &boutique::loadgen::LoadOptions {

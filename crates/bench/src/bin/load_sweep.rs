@@ -34,11 +34,11 @@ fn sweep(stack: StackModel, colocate_all: bool, qps: f64) -> weaver_sim::SimRepo
 }
 
 fn main() {
-    let loads = [500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0, 32_000.0];
+    let loads = [
+        500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0, 32_000.0,
+    ];
 
-    println!(
-        "A7: median latency (ms) vs offered QPS, per-group pod quota = {MAX_PODS}"
-    );
+    println!("A7: median latency (ms) vs offered QPS, per-group pod quota = {MAX_PODS}");
     println!(
         "{:>8} {:>16} {:>16} {:>16}",
         "QPS", "weaver", "grpc-like", "colocated"

@@ -136,7 +136,10 @@ fn main() {
         "totals: rolling update {total_rolling_errors} decode failures, \
          atomic rollout {total_atomic_errors}"
     );
-    assert_eq!(total_atomic_errors, 0, "atomic rollouts must never mix versions");
+    assert_eq!(
+        total_atomic_errors, 0,
+        "atomic rollouts must never mix versions"
+    );
     assert!(
         total_rolling_errors > 0,
         "rolling updates over a non-versioned format must fail"

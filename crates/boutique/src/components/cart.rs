@@ -19,8 +19,12 @@ use crate::types::CartItem;
 pub trait CartService {
     /// Adds an item to the user's cart, merging quantities.
     #[routed]
-    fn add_item(&self, ctx: &CallContext, user_id: String, item: CartItem)
-        -> Result<(), WeaverError>;
+    fn add_item(
+        &self,
+        ctx: &CallContext,
+        user_id: String,
+        item: CartItem,
+    ) -> Result<(), WeaverError>;
 
     /// The user's current cart.
     #[routed]

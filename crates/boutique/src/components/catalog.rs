@@ -20,8 +20,11 @@ pub trait ProductCatalog {
     fn get_product(&self, ctx: &CallContext, id: String) -> Result<Product, WeaverError>;
 
     /// Substring search over names and descriptions.
-    fn search_products(&self, ctx: &CallContext, query: String)
-        -> Result<Vec<Product>, WeaverError>;
+    fn search_products(
+        &self,
+        ctx: &CallContext,
+        query: String,
+    ) -> Result<Vec<Product>, WeaverError>;
 }
 
 /// Implementation backed by the seeded in-memory catalog.

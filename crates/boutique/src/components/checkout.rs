@@ -55,7 +55,9 @@ impl CheckoutService for CheckoutServiceImpl {
         let mut items = Vec::with_capacity(cart_items.len());
         let mut items_total = Money::new(request.user_currency.clone(), 0, 0);
         for cart_item in &cart_items {
-            let product = self.catalog.get_product(ctx, cart_item.product_id.clone())?;
+            let product = self
+                .catalog
+                .get_product(ctx, cart_item.product_id.clone())?;
             let unit = self
                 .currency
                 .convert(ctx, product.price, request.user_currency.clone())?;
@@ -70,9 +72,9 @@ impl CheckoutService for CheckoutServiceImpl {
         }
 
         // Shipping, quoted in USD then converted.
-        let quote_usd = self
-            .shipping
-            .get_quote(ctx, request.address.clone(), cart_items.clone())?;
+        let quote_usd =
+            self.shipping
+                .get_quote(ctx, request.address.clone(), cart_items.clone())?;
         let shipping_cost = self
             .currency
             .convert(ctx, quote_usd, request.user_currency.clone())?;

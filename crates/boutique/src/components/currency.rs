@@ -17,8 +17,12 @@ pub trait CurrencyService {
     fn get_supported_currencies(&self, ctx: &CallContext) -> Result<Vec<String>, WeaverError>;
 
     /// Converts an amount into `to_code`.
-    fn convert(&self, ctx: &CallContext, from: Money, to_code: String)
-        -> Result<Money, WeaverError>;
+    fn convert(
+        &self,
+        ctx: &CallContext,
+        from: Money,
+        to_code: String,
+    ) -> Result<Money, WeaverError>;
 }
 
 /// Implementation over the fixed EUR-pivot rate table.
@@ -37,14 +41,12 @@ impl CurrencyService for CurrencyServiceImpl {
         from: Money,
         to_code: String,
     ) -> Result<Money, WeaverError> {
-        self.converter
-            .convert(&from, &to_code)
-            .ok_or_else(|| {
-                WeaverError::app(format!(
-                    "cannot convert {} to {to_code}",
-                    from.currency_code
-                ))
-            })
+        self.converter.convert(&from, &to_code).ok_or_else(|| {
+            WeaverError::app(format!(
+                "cannot convert {} to {to_code}",
+                from.currency_code
+            ))
+        })
     }
 }
 

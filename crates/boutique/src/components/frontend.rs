@@ -24,8 +24,12 @@ use super::shipping::Shipping;
 #[component(name = "boutique.Frontend")]
 pub trait Frontend {
     /// Home page: catalog in the user's currency, an ad, cart size.
-    fn home(&self, ctx: &CallContext, user_id: String, currency: String)
-        -> Result<HomeView, WeaverError>;
+    fn home(
+        &self,
+        ctx: &CallContext,
+        user_id: String,
+        currency: String,
+    ) -> Result<HomeView, WeaverError>;
 
     /// Product page: the product, recommendations, a contextual ad.
     fn browse_product(
@@ -174,16 +178,18 @@ impl Frontend for FrontendImpl {
         let shipping_cost = if cart.is_empty() {
             Money::new(currency.clone(), 0, 0)
         } else {
-            let quote_usd = self.shipping.get_quote(ctx, Default::default(), cart.clone())?;
+            let quote_usd = self
+                .shipping
+                .get_quote(ctx, Default::default(), cart.clone())?;
             self.convert_price(ctx, quote_usd, &currency)?
         };
         total = total
             .checked_add(&shipping_cost)
             .ok_or_else(|| WeaverError::internal("currency mismatch adding shipping"))?;
         let product_ids = cart.into_iter().map(|i| i.product_id).collect();
-        let recommendations = self
-            .recommendations
-            .list_recommendations(ctx, user_id, product_ids)?;
+        let recommendations =
+            self.recommendations
+                .list_recommendations(ctx, user_id, product_ids)?;
         Ok(CartView {
             items,
             shipping_cost,

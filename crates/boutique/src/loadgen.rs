@@ -229,9 +229,7 @@ pub fn run_load(frontend: Arc<dyn Frontend>, options: &LoadOptions) -> LoadRepor
     let deadline = started + options.duration;
 
     // Open-loop arrival schedule: each worker claims the next arrival slot.
-    let arrival_interval_nanos = options
-        .target_qps
-        .map(|qps| (1e9 / qps.max(0.001)) as u64);
+    let arrival_interval_nanos = options.target_qps.map(|qps| (1e9 / qps.max(0.001)) as u64);
     let next_arrival = Arc::new(AtomicU64::new(0));
 
     std::thread::scope(|scope| {
@@ -271,8 +269,7 @@ pub fn run_load(frontend: Arc<dyn Frontend>, options: &LoadOptions) -> LoadRepor
                         None => now,
                     };
                     let ctx = CallContext::root(version);
-                    let (result, ordered) =
-                        one_op(&*frontend, &ctx, &mut rng, &mix, users, worker);
+                    let (result, ordered) = one_op(&*frontend, &ctx, &mut rng, &mix, users, worker);
                     histogram.record(
                         measured_from
                             .elapsed()

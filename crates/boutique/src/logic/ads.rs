@@ -29,15 +29,51 @@ impl AdServer {
     pub fn seeded() -> AdServer {
         AdServer {
             ads: vec![
-                ad("clothing", "/product/66VCHSJNUP", "Tank top for sale. 20% off."),
-                ad("accessories", "/product/1YMWWN1N4O", "Watch for sale. Buy one, get second kit for free"),
-                ad("footwear", "/product/L9ECAV7KIM", "Loafers for sale. Buy one, get second one for free"),
-                ad("hair", "/product/2ZYFJ3GM2N", "Hairdryer for sale. 50% off."),
-                ad("decor", "/product/0PUK6V6EV0", "Candle holder for sale. 30% off."),
-                ad("kitchen", "/product/9SIQT8TOJO", "Bamboo glass jar for sale. 10% off."),
-                ad("kitchen", "/product/6E92ZMYYFZ", "Mug for sale. Buy two, get third one for free"),
-                ad("cycling", "/product/OBTPVJ3HM1", "City Bike for sale. 10% off."),
-                ad("gardening", "/product/HQTGWGPNH4", "Air plants for sale. Buy two, get third one for free"),
+                ad(
+                    "clothing",
+                    "/product/66VCHSJNUP",
+                    "Tank top for sale. 20% off.",
+                ),
+                ad(
+                    "accessories",
+                    "/product/1YMWWN1N4O",
+                    "Watch for sale. Buy one, get second kit for free",
+                ),
+                ad(
+                    "footwear",
+                    "/product/L9ECAV7KIM",
+                    "Loafers for sale. Buy one, get second one for free",
+                ),
+                ad(
+                    "hair",
+                    "/product/2ZYFJ3GM2N",
+                    "Hairdryer for sale. 50% off.",
+                ),
+                ad(
+                    "decor",
+                    "/product/0PUK6V6EV0",
+                    "Candle holder for sale. 30% off.",
+                ),
+                ad(
+                    "kitchen",
+                    "/product/9SIQT8TOJO",
+                    "Bamboo glass jar for sale. 10% off.",
+                ),
+                ad(
+                    "kitchen",
+                    "/product/6E92ZMYYFZ",
+                    "Mug for sale. Buy two, get third one for free",
+                ),
+                ad(
+                    "cycling",
+                    "/product/OBTPVJ3HM1",
+                    "City Bike for sale. 10% off.",
+                ),
+                ad(
+                    "gardening",
+                    "/product/HQTGWGPNH4",
+                    "Air plants for sale. Buy two, get third one for free",
+                ),
             ],
         }
     }

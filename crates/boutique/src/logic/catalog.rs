@@ -27,7 +27,10 @@ fn product(
         id: id.to_string(),
         name: name.to_string(),
         description: description.to_string(),
-        picture: format!("/static/img/products/{}.jpg", name.to_lowercase().replace(' ', "-")),
+        picture: format!(
+            "/static/img/products/{}.jpg",
+            name.to_lowercase().replace(' ', "-")
+        ),
         price: Money::new("USD", units, nanos),
         categories: categories.iter().map(|c| c.to_string()).collect(),
     }

@@ -65,7 +65,7 @@ pub fn luhn_valid(number: &str) -> bool {
             d
         })
         .sum();
-    sum % 10 == 0
+    sum.is_multiple_of(10)
 }
 
 impl PaymentProcessor {

@@ -318,8 +318,7 @@ impl<'a> Parser<'a> {
                                 if !(0xdc00..0xe000).contains(&lo) {
                                     return Err(self.err("valid low surrogate"));
                                 }
-                                let code =
-                                    0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
                                 char::from_u32(code).ok_or(DecodeError::InvalidUtf8)?
                             } else if (0xdc00..0xe000).contains(&hi) {
                                 return Err(self.err("high surrogate first"));
@@ -549,11 +548,7 @@ impl<T: FromJson> FromJson for Option<T> {
 
 impl<V: ToJson> ToJson for HashMap<String, V> {
     fn to_json(&self) -> JsonValue {
-        JsonValue::Object(
-            self.iter()
-                .map(|(k, v)| (k.clone(), v.to_json()))
-                .collect(),
-        )
+        JsonValue::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
     }
 }
 
@@ -568,11 +563,7 @@ impl<V: FromJson> FromJson for HashMap<String, V> {
 
 impl<V: ToJson> ToJson for BTreeMap<String, V> {
     fn to_json(&self) -> JsonValue {
-        JsonValue::Object(
-            self.iter()
-                .map(|(k, v)| (k.clone(), v.to_json()))
-                .collect(),
-        )
+        JsonValue::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
     }
 }
 
@@ -674,8 +665,8 @@ mod tests {
     #[test]
     fn syntax_errors() {
         for bad in [
-            "", "{", "[1,", "[1 2]", "{\"a\"}", "{\"a\":}", "tru", "01", "1.",
-            "1e", "+1", "'x'", "[1,]", "{,}", "\"\x01\"",
+            "", "{", "[1,", "[1 2]", "{\"a\"}", "{\"a\":}", "tru", "01", "1.", "1e", "+1", "'x'",
+            "[1,]", "{,}", "\"\x01\"",
         ] {
             assert!(JsonValue::parse(bad).is_err(), "should reject {bad:?}");
         }
@@ -691,19 +682,13 @@ mod tests {
 
     #[test]
     fn whitespace_tolerated() {
-        assert_eq!(
-            parse(" \t\n{ \"a\" : 1 } \r\n"),
-            parse(r#"{"a":1}"#)
-        );
+        assert_eq!(parse(" \t\n{ \"a\" : 1 } \r\n"), parse(r#"{"a":1}"#));
     }
 
     #[test]
     fn deep_nesting_rejected() {
         let s = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
-        assert_eq!(
-            JsonValue::parse(&s),
-            Err(DecodeError::DepthLimitExceeded)
-        );
+        assert_eq!(JsonValue::parse(&s), Err(DecodeError::DepthLimitExceeded));
         let ok = "[".repeat(MAX_DEPTH - 1) + &"]".repeat(MAX_DEPTH - 1);
         assert!(JsonValue::parse(&ok).is_ok());
     }
@@ -718,10 +703,7 @@ mod tests {
     #[test]
     fn nonfinite_numbers_become_null() {
         assert_eq!(JsonValue::Number(f64::NAN).to_string_compact(), "null");
-        assert_eq!(
-            JsonValue::Number(f64::INFINITY).to_string_compact(),
-            "null"
-        );
+        assert_eq!(JsonValue::Number(f64::INFINITY).to_string_compact(), "null");
     }
 
     #[test]

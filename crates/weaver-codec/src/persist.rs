@@ -98,6 +98,10 @@ impl Record {
     }
 }
 
+/// One schema migration: the old version number paired with a function
+/// that decodes the old payload and converts it to the current type.
+pub type Migration<'a, T> = (u32, &'a dyn Fn(&[u8]) -> Result<T, DecodeError>);
+
 /// Reads a record written at *any* known schema version, migrating it to
 /// the current type via the supplied per-version migrations.
 ///
@@ -108,7 +112,7 @@ impl Record {
 pub fn open_with_migrations<T: Decode>(
     bytes: &[u8],
     current_schema: u32,
-    migrations: &[(u32, &dyn Fn(&[u8]) -> Result<T, DecodeError>)],
+    migrations: &[Migration<'_, T>],
 ) -> Result<T, DecodeError> {
     let record = Record::from_bytes(bytes)?;
     if record.schema == current_schema {

@@ -73,7 +73,7 @@ pub fn read_ivarint(r: &mut Reader<'_>) -> Result<i64, DecodeError> {
 #[inline]
 pub fn uvarint_len(value: u64) -> usize {
     // Bits needed, rounded up to a multiple of 7; zero still takes one byte.
-    ((64 - (value | 1).leading_zeros() as usize) + 6) / 7
+    (64 - (value | 1).leading_zeros() as usize).div_ceil(7)
 }
 
 #[cfg(test)]

@@ -614,9 +614,9 @@ mod tests {
         // JSON-like self-recursion instead: vectors of unit are enough to hit
         // the reader depth counter because decode() calls enter() per level.
         // 12 < MAX_DEPTH so this decodes fine (and proves enter/leave pair).
-        let nested: Deep = vec![vec![vec![vec![vec![vec![vec![vec![vec![vec![vec![vec![
-            1u8,
-        ]]]]]]]]]]]];
+        let nested: Deep = vec![vec![vec![vec![vec![vec![vec![vec![vec![vec![vec![
+            vec![1u8],
+        ]]]]]]]]]]];
         roundtrip(nested);
         let _ = bytes;
     }

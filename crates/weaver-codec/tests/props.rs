@@ -6,9 +6,7 @@ use proptest::prelude::*;
 use weaver_codec::json::{FromJson, JsonValue, ToJson};
 use weaver_codec::prelude::*;
 use weaver_codec::tagged::{self, read_key, skip_value, TaggedField};
-use weaver_codec::varint::{
-    read_ivarint, read_uvarint, uvarint_len, write_ivarint, write_uvarint,
-};
+use weaver_codec::varint::{read_ivarint, read_uvarint, uvarint_len, write_ivarint, write_uvarint};
 
 fn roundtrip_wire<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: &T) {
     let bytes = encode_to_vec(v);

@@ -179,11 +179,10 @@ mod tests {
 
     impl ComponentInterface for dyn Echo {
         const NAME: &'static str = "test.Echo";
-        const METHODS: &'static [crate::component::MethodSpec] =
-            &[crate::component::MethodSpec {
-                name: "echo",
-                routed: false,
-            }];
+        const METHODS: &'static [crate::component::MethodSpec] = &[crate::component::MethodSpec {
+            name: "echo",
+            routed: false,
+        }];
         fn client(handle: ClientHandle) -> Arc<Self> {
             Arc::new(EchoClient { handle })
         }
@@ -241,11 +240,10 @@ mod tests {
 
     impl ComponentInterface for dyn Doubler {
         const NAME: &'static str = "test.Doubler";
-        const METHODS: &'static [crate::component::MethodSpec] =
-            &[crate::component::MethodSpec {
-                name: "double_plus",
-                routed: false,
-            }];
+        const METHODS: &'static [crate::component::MethodSpec] = &[crate::component::MethodSpec {
+            name: "double_plus",
+            routed: false,
+        }];
         fn client(_handle: ClientHandle) -> Arc<Self> {
             Arc::new(DoublerClient)
         }
@@ -337,10 +335,7 @@ mod tests {
         assert_eq!(crate::client::decode_reply::<u64>(&reply).unwrap(), 42);
 
         // Typed local access (what a co-located caller gets).
-        let iface = instance
-            .iface_any
-            .downcast_ref::<Arc<dyn Echo>>()
-            .unwrap();
+        let iface = instance.iface_any.downcast_ref::<Arc<dyn Echo>>().unwrap();
         assert_eq!(iface.echo(&CallContext::test(), 1).unwrap(), 2);
     }
 
@@ -402,10 +397,14 @@ mod tests {
         assert_eq!(ECHO_INITS.load(Ordering::SeqCst), 2);
     }
 
-    // Mutually recursive components to prove cycle detection.
+    // Mutually recursive components to prove cycle detection. The methods
+    // exist only to give the traits a component-shaped shape; nothing calls
+    // them because init itself is what cycles.
+    #[allow(dead_code)]
     trait CycleA: Send + Sync + 'static {
         fn a(&self, ctx: &CallContext, v: u64) -> Result<u64, WeaverError>;
     }
+    #[allow(dead_code)]
     trait CycleB: Send + Sync + 'static {
         fn b(&self, ctx: &CallContext, v: u64) -> Result<u64, WeaverError>;
     }
@@ -498,12 +497,6 @@ mod tests {
 
     #[test]
     fn failed_init_is_sticky_until_restart() {
-        struct FailingImpl;
-        impl Echo for FailingImpl {
-            fn echo(&self, _: &CallContext, v: u64) -> Result<u64, WeaverError> {
-                Ok(v)
-            }
-        }
         // Reuse the Echo interface with an impl that fails to init.
         struct Flaky;
         impl Echo for Flaky {

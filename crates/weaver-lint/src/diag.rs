@@ -1,0 +1,129 @@
+//! Diagnostics and their text/JSON renderings.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// How bad a finding is. Errors fail the lint run (exit 1); warnings
+/// are reported but don't.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// A violated invariant.
+    Error,
+    /// A suspicious-but-tolerable finding (e.g. a stale lock entry).
+    Warning,
+}
+
+impl Severity {
+    fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One lint finding, anchored to a source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule identifier (`L1`…`L5`).
+    pub rule: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// File the finding is anchored to.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// What's wrong.
+    pub message: String,
+    /// How to fix it.
+    pub help: String,
+}
+
+impl Diagnostic {
+    /// Renders rustc-style:
+    ///
+    /// ```text
+    /// error[L2]: component call graph contains a cycle: a -> b -> a
+    ///   --> crates/app/src/a.rs:10
+    ///   = help: break the cycle ...
+    /// ```
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}[{}]: {}",
+            self.severity.as_str(),
+            self.rule,
+            self.message
+        );
+        let _ = writeln!(out, "  --> {}:{}", self.file.display(), self.line);
+        let _ = writeln!(out, "  = help: {}", self.help);
+        out
+    }
+
+    /// Renders one JSON object (no trailing newline).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"rule\":{},\"severity\":{},\"file\":{},\"line\":{},\"message\":{},\"help\":{}}}",
+            json_str(self.rule),
+            json_str(self.severity.as_str()),
+            json_str(&self.file.display().to_string()),
+            self.line,
+            json_str(&self.message),
+            json_str(&self.help),
+        )
+    }
+}
+
+/// Renders a full diagnostic list as a JSON array.
+pub fn render_json_report(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags.iter().map(Diagnostic::render_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn text_rendering_is_rustc_shaped() {
+        let d = Diagnostic {
+            rule: "L2",
+            severity: Severity::Error,
+            file: PathBuf::from("src/a.rs"),
+            line: 7,
+            message: "cycle".to_string(),
+            help: "break it".to_string(),
+        };
+        let text = d.render_text();
+        assert!(text.starts_with("error[L2]: cycle"));
+        assert!(text.contains("--> src/a.rs:7"));
+        assert!(text.contains("= help: break it"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Builds a *static* call-graph snapshot from scanned facts.
+//!
+//! The runtime records the same structure dynamically
+//! (`weaver_metrics::CallGraph`); emitting the identical shape here means
+//! everything downstream of a snapshot — `weaver_placement::colocate`,
+//! the manager's aggregation, the routing planner — works before the
+//! application has served a single request. Paper §5.1's "the framework
+//! knows the component graph" becomes checkable at build time.
+
+use std::collections::BTreeMap;
+
+use weaver_metrics::{CallEdge, CallGraphSnapshot, EdgeStats};
+
+use crate::model::Model;
+
+/// A resolved static call edge, pre-aggregation (one per call site).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedCall {
+    /// Caller component name.
+    pub caller: String,
+    /// Callee component name.
+    pub callee: String,
+    /// Callee method.
+    pub method: String,
+    /// Index into [`Model::calls`] of the originating call site.
+    pub site: usize,
+}
+
+/// Resolves every scanned call site against the component model: the
+/// impl struct must register a component interface, the field must be an
+/// `Arc<dyn T>` dependency on a known component trait, and the method
+/// must be declared on that trait (this filters `Arc` plumbing like
+/// `.clone()` and calls through non-component fields).
+pub fn resolve_calls(model: &Model) -> Vec<ResolvedCall> {
+    let mut out = Vec::new();
+    for (site, call) in model.calls.iter().enumerate() {
+        let Some(caller) = model.trait_for_struct(&call.struct_name) else {
+            continue;
+        };
+        let deps = model.dep_fields(&call.struct_name);
+        let Some(callee_trait) = deps.get(&call.field) else {
+            continue;
+        };
+        let Some(callee) = model.trait_named(callee_trait) else {
+            continue;
+        };
+        if !callee.methods.iter().any(|m| m.name == call.method) {
+            continue;
+        }
+        out.push(ResolvedCall {
+            caller: caller.component_name.clone(),
+            callee: callee.component_name.clone(),
+            method: call.method.clone(),
+            site,
+        });
+    }
+    out
+}
+
+/// Builds the static [`CallGraphSnapshot`]: one edge per distinct
+/// (caller, callee, method), `calls` = number of source call sites, byte
+/// counters zero (unknown statically — `traffic_between` still weights
+/// edges through its per-call overhead term). Components nobody calls
+/// get a synthetic ingress edge from `""`, the runtime's convention for
+/// external traffic, so they appear in the graph and in placement.
+pub fn build_graph(model: &Model) -> CallGraphSnapshot {
+    let resolved = resolve_calls(model);
+    let mut counts: BTreeMap<(String, String, String), u64> = BTreeMap::new();
+    for r in &resolved {
+        *counts
+            .entry((r.caller.clone(), r.callee.clone(), r.method.clone()))
+            .or_default() += 1;
+    }
+    for t in &model.traits {
+        let called = resolved.iter().any(|r| r.callee == t.component_name);
+        if !called {
+            counts.insert(
+                (
+                    String::new(),
+                    t.component_name.clone(),
+                    "ingress".to_string(),
+                ),
+                1,
+            );
+        }
+    }
+    let edges = counts
+        .into_iter()
+        .map(|((caller, callee, method), calls)| {
+            (
+                CallEdge {
+                    caller,
+                    callee,
+                    method,
+                },
+                EdgeStats {
+                    calls,
+                    ..EdgeStats::default()
+                },
+            )
+        })
+        .collect();
+    // BTreeMap iteration order == the snapshot's (caller, callee, method)
+    // sort contract, so the edges arrive pre-sorted.
+    CallGraphSnapshot { edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn model(src: &str) -> Model {
+        let mut m = Model::default();
+        crate::scan::scan_source(&mut m, Path::new("test.rs"), src);
+        m
+    }
+
+    const TWO_COMPONENTS: &str = r#"
+        #[component(name = "app.A")]
+        trait A { fn go(&self, ctx: &CallContext) -> Result<(), WeaverError>; }
+        #[component(name = "app.B")]
+        trait B { fn serve(&self, ctx: &CallContext) -> Result<(), WeaverError>; }
+        struct AImpl { b: Arc<dyn B> }
+        impl Component for AImpl { type Interface = dyn A; }
+        impl A for AImpl {
+            fn go(&self, ctx: &CallContext) -> Result<(), WeaverError> {
+                self.b.serve(ctx)?;
+                self.b.serve(ctx)?;
+                self.b.clone();
+                Ok(())
+            }
+        }
+        struct BImpl;
+        impl Component for BImpl { type Interface = dyn B; }
+    "#;
+
+    #[test]
+    fn edges_count_call_sites_and_skip_non_component_methods() {
+        let g = build_graph(&model(TWO_COMPONENTS));
+        let serve = g
+            .edges
+            .iter()
+            .find(|(e, _)| e.caller == "app.A" && e.callee == "app.B")
+            .expect("edge");
+        assert_eq!(serve.0.method, "serve");
+        assert_eq!(serve.1.calls, 2);
+        assert!(!g.edges.iter().any(|(e, _)| e.method == "clone"));
+    }
+
+    #[test]
+    fn uncalled_components_get_ingress_edges() {
+        let g = build_graph(&model(TWO_COMPONENTS));
+        assert!(g
+            .edges
+            .iter()
+            .any(|(e, _)| e.caller.is_empty() && e.callee == "app.A" && e.method == "ingress"));
+        assert!(!g
+            .edges
+            .iter()
+            .any(|(e, _)| e.caller.is_empty() && e.callee == "app.B"));
+        assert_eq!(
+            g.components(),
+            vec!["app.A".to_string(), "app.B".to_string()]
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! L5: API-fingerprint drift detection via `weaver-api.lock`.
+//!
+//! The lock file records, per component, an API version and a hash of
+//! every method's normalized signature. Changing a component method
+//! without regenerating the lock (which bumps the component's version)
+//! fails the lint — the moral equivalent of the paper's atomic-rollout
+//! prerequisite: the runtime can only serve mixed versions safely when
+//! version changes are *declared*, never silent (§4, §5.3).
+//!
+//! Format (line-oriented, diff-friendly, hand-mergeable):
+//!
+//! ```text
+//! # weaver-api.lock — component API fingerprints (weaver-lint rule L5)
+//! component boutique.CartService version 1
+//!   method add_item 9f86d081884c7d65
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Diagnostic, Severity};
+use crate::model::Model;
+
+/// One component's recorded fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LockEntry {
+    /// Declared API version; bumped by `--update-lock` when any method
+    /// hash changes.
+    pub version: u32,
+    /// Method name → 16-hex-digit FNV-1a signature hash.
+    pub methods: BTreeMap<String, String>,
+}
+
+/// The parsed lock file: component name → entry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LockFile {
+    /// Entries keyed by component name.
+    pub components: BTreeMap<String, LockEntry>,
+}
+
+/// FNV-1a (64-bit) of a normalized signature, as fixed-width hex.
+pub fn signature_hash(sig: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in sig.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Computes the current fingerprints from a scanned model (all versions
+/// 1 — versions only move via [`update`]).
+pub fn fingerprint(model: &Model) -> LockFile {
+    let mut components = BTreeMap::new();
+    for t in &model.traits {
+        let methods = t
+            .methods
+            .iter()
+            .map(|m| (m.name.clone(), signature_hash(&m.signature)))
+            .collect();
+        components.insert(
+            t.component_name.clone(),
+            LockEntry {
+                version: 1,
+                methods,
+            },
+        );
+    }
+    LockFile { components }
+}
+
+/// Produces the lock that `--update-lock` writes: current fingerprints,
+/// with versions carried over from `old` and bumped by one wherever the
+/// method set or any hash changed. Components gone from the source are
+/// dropped; new ones start at version 1.
+pub fn update(old: Option<&LockFile>, model: &Model) -> LockFile {
+    let mut fresh = fingerprint(model);
+    if let Some(old) = old {
+        for (name, entry) in &mut fresh.components {
+            if let Some(prev) = old.components.get(name) {
+                entry.version = if prev.methods == entry.methods {
+                    prev.version
+                } else {
+                    prev.version + 1
+                };
+            }
+        }
+    }
+    fresh
+}
+
+/// Compares the scanned model against a checked-in lock.
+pub fn check(lock: &LockFile, model: &Model) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let current = fingerprint(model);
+    for t in &model.traits {
+        let cur = &current.components[&t.component_name];
+        let Some(prev) = lock.components.get(&t.component_name) else {
+            diags.push(Diagnostic {
+                rule: "L5",
+                severity: Severity::Error,
+                file: t.file.clone(),
+                line: t.line,
+                message: format!(
+                    "component `{}` is not recorded in weaver-api.lock",
+                    t.component_name
+                ),
+                help: "run `weaver-lint --update-lock` to record its API fingerprint".to_string(),
+            });
+            continue;
+        };
+        if prev.methods == cur.methods {
+            continue;
+        }
+        for m in &t.methods {
+            let cur_hash = &cur.methods[&m.name];
+            match prev.methods.get(&m.name) {
+                None => diags.push(Diagnostic {
+                    rule: "L5",
+                    severity: Severity::Error,
+                    file: t.file.clone(),
+                    line: m.line,
+                    message: format!(
+                        "method `{}` was added to `{}` but weaver-api.lock still records \
+                         version {}",
+                        m.name, t.component_name, prev.version
+                    ),
+                    help: "run `weaver-lint --update-lock` to record the new API surface \
+                           and bump the component version"
+                        .to_string(),
+                }),
+                Some(h) if h != cur_hash => diags.push(Diagnostic {
+                    rule: "L5",
+                    severity: Severity::Error,
+                    file: t.file.clone(),
+                    line: m.line,
+                    message: format!(
+                        "signature of `{}::{}` changed (fingerprint {} -> {}) without a \
+                         version bump (lock still records version {})",
+                        t.component_name, m.name, h, cur_hash, prev.version
+                    ),
+                    help: "run `weaver-lint --update-lock`; mixed-version rollouts need \
+                           every API change declared"
+                        .to_string(),
+                }),
+                Some(_) => {}
+            }
+        }
+        for gone in prev
+            .methods
+            .keys()
+            .filter(|k| !cur.methods.contains_key(*k))
+        {
+            diags.push(Diagnostic {
+                rule: "L5",
+                severity: Severity::Error,
+                file: t.file.clone(),
+                line: t.line,
+                message: format!(
+                    "method `{}` was removed from `{}` but weaver-api.lock still records \
+                     version {}",
+                    gone, t.component_name, prev.version
+                ),
+                help: "run `weaver-lint --update-lock` to drop it and bump the component \
+                       version"
+                    .to_string(),
+            });
+        }
+    }
+    for stale in lock
+        .components
+        .keys()
+        .filter(|k| !current.components.contains_key(*k))
+    {
+        diags.push(Diagnostic {
+            rule: "L5",
+            severity: Severity::Warning,
+            file: "weaver-api.lock".into(),
+            line: 0,
+            message: format!("lock records component `{stale}`, which no longer exists"),
+            help: "run `weaver-lint --update-lock` to prune it".to_string(),
+        });
+    }
+    diags
+}
+
+/// Renders the lock file deterministically.
+pub fn render(lock: &LockFile) -> String {
+    let mut out = String::from(
+        "# weaver-api.lock — component API fingerprints (weaver-lint rule L5).\n\
+         # Regenerate with: cargo run -p weaver-lint -- --update-lock\n",
+    );
+    for (name, entry) in &lock.components {
+        out.push_str(&format!("component {} version {}\n", name, entry.version));
+        for (method, hash) in &entry.methods {
+            out.push_str(&format!("  method {method} {hash}\n"));
+        }
+    }
+    out
+}
+
+/// Parses a lock file. Unknown lines are errors — the file is
+/// tool-owned.
+pub fn parse(text: &str) -> Result<LockFile, String> {
+    let mut lock = LockFile::default();
+    let mut current: Option<String> = None;
+    for (n, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = trimmed.split_whitespace().collect();
+        match parts.as_slice() {
+            ["component", name, "version", v] => {
+                let version: u32 = v
+                    .parse()
+                    .map_err(|_| format!("line {}: bad version `{v}`", n + 1))?;
+                lock.components.insert(
+                    name.to_string(),
+                    LockEntry {
+                        version,
+                        methods: BTreeMap::new(),
+                    },
+                );
+                current = Some(name.to_string());
+            }
+            ["method", method, hash] => {
+                let Some(name) = &current else {
+                    return Err(format!("line {}: method before any component", n + 1));
+                };
+                lock.components
+                    .get_mut(name)
+                    .expect("current entry exists")
+                    .methods
+                    .insert(method.to_string(), hash.to_string());
+            }
+            _ => return Err(format!("line {}: unrecognized `{trimmed}`", n + 1)),
+        }
+    }
+    Ok(lock)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn model(src: &str) -> Model {
+        let mut m = Model::default();
+        crate::scan::scan_source(&mut m, Path::new("test.rs"), src);
+        m
+    }
+
+    const V1: &str = r#"
+        #[component(name = "app.S")]
+        trait S { fn put(&self, ctx: &CallContext, n: u32) -> Result<(), WeaverError>; }
+    "#;
+    const V2: &str = r#"
+        #[component(name = "app.S")]
+        trait S { fn put(&self, ctx: &CallContext, n: u64) -> Result<(), WeaverError>; }
+    "#;
+
+    #[test]
+    fn roundtrip_and_stability() {
+        let lock = fingerprint(&model(V1));
+        let parsed = parse(&render(&lock)).expect("parse");
+        assert_eq!(parsed, lock);
+        // Reformatting the source must not change the fingerprint.
+        let reformatted = fingerprint(&model(
+            "#[component(name = \"app.S\")]\ntrait S {\n    fn put(\n        &self,\n        ctx: &CallContext,\n        n: u32,\n    ) -> Result<(), WeaverError>;\n}\n",
+        ));
+        assert_eq!(lock, reformatted);
+    }
+
+    #[test]
+    fn signature_change_without_bump_is_flagged_and_update_bumps() {
+        let lock = fingerprint(&model(V1));
+        assert!(check(&lock, &model(V1)).is_empty());
+        let diags = check(&lock, &model(V2));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "L5");
+        let bumped = update(Some(&lock), &model(V2));
+        assert_eq!(bumped.components["app.S"].version, 2);
+        assert!(check(&bumped, &model(V2)).is_empty());
+    }
+}

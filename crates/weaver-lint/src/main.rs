@@ -1,0 +1,134 @@
+//! The `weaver-lint` CLI.
+//!
+//! ```text
+//! weaver-lint [--root DIR] [--lock FILE] [--format text|json]
+//!             [--graph] [--update-lock]
+//! ```
+//!
+//! Exit codes: 0 = clean (warnings allowed), 1 = at least one error
+//! diagnostic, 2 = usage or I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use weaver_lint::{diag, graph, lockfile, scan};
+
+struct Options {
+    root: PathBuf,
+    lock: Option<PathBuf>,
+    json: bool,
+    print_graph: bool,
+    update_lock: bool,
+}
+
+const USAGE: &str = "usage: weaver-lint [--root DIR] [--lock FILE] [--format text|json] \
+                     [--graph] [--update-lock]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        lock: None,
+        json: false,
+        print_graph: false,
+        update_lock: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a value")?);
+            }
+            "--lock" => {
+                opts.lock = Some(PathBuf::from(args.next().ok_or("--lock needs a value")?));
+            }
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                _ => return Err("--format needs `text` or `json`".to_string()),
+            },
+            "--graph" => opts.print_graph = true,
+            "--update-lock" => opts.update_lock = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+    let model = scan::scan_root(&opts.root)
+        .map_err(|e| format!("scanning {}: {e}", opts.root.display()))?;
+    let lock_path = opts
+        .lock
+        .clone()
+        .unwrap_or_else(|| opts.root.join("weaver-api.lock"));
+
+    if opts.update_lock {
+        let old = match std::fs::read_to_string(&lock_path) {
+            Ok(text) => Some(lockfile::parse(&text)?),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(format!("reading {}: {e}", lock_path.display())),
+        };
+        let fresh = lockfile::update(old.as_ref(), &model);
+        std::fs::write(&lock_path, lockfile::render(&fresh))
+            .map_err(|e| format!("writing {}: {e}", lock_path.display()))?;
+        eprintln!(
+            "weaver-lint: wrote {} ({} components)",
+            lock_path.display(),
+            fresh.components.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let lock = match std::fs::read_to_string(&lock_path) {
+        Ok(text) => Some(lockfile::parse(&text)?),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None, // L5 skipped
+        Err(e) => return Err(format!("reading {}: {e}", lock_path.display())),
+    };
+
+    let diags = weaver_lint::lint(&model, lock.as_ref());
+
+    if opts.print_graph {
+        let snapshot = graph::build_graph(&model);
+        println!("{}", weaver_lint::graph_json(&snapshot));
+    }
+    if opts.json {
+        println!("{}", diag::render_json_report(&diags));
+    } else {
+        for d in &diags {
+            print!("{}", d.render_text());
+        }
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == diag::Severity::Error)
+            .count();
+        eprintln!(
+            "weaver-lint: {} files, {} components, {} diagnostics ({} errors)",
+            model.files_scanned,
+            model.traits.len(),
+            diags.len(),
+            errors
+        );
+    }
+    let failed = diags.iter().any(|d| d.severity == diag::Severity::Error);
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("weaver-lint: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

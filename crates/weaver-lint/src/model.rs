@@ -1,0 +1,198 @@
+//! The facts the scanner extracts from source text.
+//!
+//! Everything here is resolved *statically*: no macro expansion, no type
+//! checking. The scanner records surface facts (a trait carried
+//! `#[component]`, a struct field's type text contains `Arc<dyn Foo>`, a
+//! method body contains `self.cart.get_cart(`), and the rules and graph
+//! builder join them by identifier.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// One method declared on a `#[component]` trait.
+#[derive(Debug, Clone)]
+pub struct ComponentMethod {
+    /// Method name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True when the declaration carried `#[routed]`.
+    pub routed: bool,
+    /// Rendered types of the payload arguments (everything after the
+    /// receiver and the `ctx` argument).
+    pub arg_types: Vec<String>,
+    /// Rendered return type (`Result<T, WeaverError>` as written).
+    pub ret: String,
+    /// Normalized signature text used for API fingerprints: arg types
+    /// and return type only, so renames of bindings don't churn hashes.
+    pub signature: String,
+}
+
+/// One trait annotated with `#[component]`.
+#[derive(Debug, Clone)]
+pub struct ComponentTrait {
+    /// The Rust trait identifier (e.g. `CartService`).
+    pub trait_name: String,
+    /// The registered component name (e.g. `"boutique.CartService"`);
+    /// falls back to the trait identifier when the attribute has no
+    /// `name = "…"` argument.
+    pub component_name: String,
+    /// File the trait is declared in.
+    pub file: PathBuf,
+    /// 1-based line of the `trait` keyword.
+    pub line: u32,
+    /// Declared methods in source order.
+    pub methods: Vec<ComponentMethod>,
+}
+
+/// A struct or enum definition with its derive list — the raw material
+/// for the wire-format (L1) and routability (L3) rules.
+#[derive(Debug, Clone)]
+pub struct TypeDef {
+    /// The type identifier.
+    pub name: String,
+    /// File of the definition.
+    pub file: PathBuf,
+    /// 1-based line of the `struct`/`enum` keyword.
+    pub line: u32,
+    /// Identifiers listed in `#[derive(...)]` attributes.
+    pub derives: Vec<String>,
+    /// Named fields: binding → rendered type text. Empty for enums and
+    /// tuple/unit structs.
+    pub fields: BTreeMap<String, String>,
+}
+
+impl TypeDef {
+    /// True when the derive list names `ident`.
+    pub fn derives(&self, ident: &str) -> bool {
+        self.derives.iter().any(|d| d == ident)
+    }
+}
+
+/// A `self.<field>.<method>(…)` expression inside an impl block — a
+/// candidate component call site, resolved against the impl struct's
+/// dependency fields later.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The impl block's self type (e.g. `FrontendImpl`).
+    pub struct_name: String,
+    /// The field the call goes through (e.g. `cart`).
+    pub field: String,
+    /// The method invoked (e.g. `get_cart`).
+    pub method: String,
+    /// File containing the call.
+    pub file: PathBuf,
+    /// 1-based line of the call.
+    pub line: u32,
+    /// Lock guards (binding name, binding line) still live at the call,
+    /// innermost-scope last. Used by L4.
+    pub live_guards: Vec<(String, u32)>,
+    /// Name of the enclosing function.
+    pub in_fn: String,
+}
+
+/// An `impl Component for X { type Interface = dyn T; }` registration
+/// linking an implementation struct to its component trait.
+#[derive(Debug, Clone)]
+pub struct InterfaceLink {
+    /// The implementation struct.
+    pub struct_name: String,
+    /// The component trait identifier.
+    pub trait_name: String,
+}
+
+/// Everything extracted from one scan of a source tree.
+#[derive(Debug, Default)]
+pub struct Model {
+    /// `#[component]` traits, in discovery order.
+    pub traits: Vec<ComponentTrait>,
+    /// Struct/enum definitions by identifier. Duplicate identifiers
+    /// across modules keep the first definition seen; good enough for
+    /// lint-level resolution.
+    pub types: BTreeMap<String, TypeDef>,
+    /// Component registrations.
+    pub links: Vec<InterfaceLink>,
+    /// All `self.<field>.<method>(` call sites.
+    pub calls: Vec<CallSite>,
+    /// Files scanned (for reporting).
+    pub files_scanned: usize,
+}
+
+impl Model {
+    /// The component trait declared with identifier `name`, if any.
+    pub fn trait_named(&self, name: &str) -> Option<&ComponentTrait> {
+        self.traits.iter().find(|t| t.trait_name == name)
+    }
+
+    /// Maps an impl struct's dependency fields to component trait
+    /// identifiers: every field whose type text reads `Arc<dyn T>` (for
+    /// any path spelling) where `T` is a known component trait.
+    pub fn dep_fields(&self, struct_name: &str) -> BTreeMap<String, String> {
+        let mut out = BTreeMap::new();
+        let Some(def) = self.types.get(struct_name) else {
+            return out;
+        };
+        for (field, ty) in &def.fields {
+            if let Some(t) = dyn_trait_ident(ty) {
+                if self.trait_named(&t).is_some() {
+                    out.insert(field.clone(), t);
+                }
+            }
+        }
+        out
+    }
+
+    /// The component trait an impl struct registers as, via its
+    /// `impl Component for … { type Interface = dyn T; }` block.
+    pub fn trait_for_struct(&self, struct_name: &str) -> Option<&ComponentTrait> {
+        self.links
+            .iter()
+            .find(|l| l.struct_name == struct_name)
+            .and_then(|l| self.trait_named(&l.trait_name))
+    }
+}
+
+/// Extracts the trait identifier from a rendered `Arc<dyn Trait>` type,
+/// tolerating path qualifications on both the `Arc` and the trait.
+pub fn dyn_trait_ident(ty: &str) -> Option<String> {
+    let toks = weaver_syntax::lex(ty).ok()?;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("dyn") {
+            // Take the last identifier of the following path.
+            let mut last = None;
+            let mut j = i + 1;
+            while j < toks.len() {
+                if toks[j].kind == weaver_syntax::TokKind::Ident {
+                    last = Some(toks[j].text.clone());
+                    j += 1;
+                } else if toks[j].is_punct(":") {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            return last;
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dyn_trait_ident_handles_paths() {
+        assert_eq!(
+            dyn_trait_ident("Arc<dyn CartService>").as_deref(),
+            Some("CartService")
+        );
+        assert_eq!(
+            dyn_trait_ident("std::sync::Arc<dyn crate::components::AdService>").as_deref(),
+            Some("AdService")
+        );
+        assert_eq!(dyn_trait_ident("RwLock<HashMap<String, Cart>>"), None);
+    }
+}

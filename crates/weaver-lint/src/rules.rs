@@ -1,0 +1,433 @@
+//! The paper-invariant lints (L1–L4; L5 lives in [`crate::lockfile`]).
+//!
+//! Each rule encodes a constraint the paper's runtime model imposes but
+//! the Rust compiler cannot check on its own:
+//!
+//! - **L1** — everything crossing a component boundary must be wire
+//!   data (serializable in all three formats), or the same binary that
+//!   works co-located fails when split across processes (§3, §4).
+//! - **L2** — the component call graph must be acyclic, or placement
+//!   and rollout have no topological order and a co-located deadlock
+//!   becomes a distributed one (§5.1).
+//! - **L3** — `#[routed]` methods need a hashable routing key in their
+//!   first payload argument, or sticky-routing silently degrades to
+//!   random (§5.2).
+//! - **L4** — holding a lock guard across a component call turns into
+//!   holding it across an RPC once the callee is placed remotely: a
+//!   latency cliff and a deadlock risk invisible in local testing (§2).
+
+use crate::diag::{Diagnostic, Severity};
+use crate::graph::resolve_calls;
+use crate::model::Model;
+use weaver_syntax::TokKind;
+
+/// Types that are wire-encodable without a `WeaverData` derive: the
+/// primitives and std containers the codec provides built-in impls for.
+const WIRE_BUILTINS: &[&str] = &[
+    "bool",
+    "char",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "u128",
+    "usize",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "i128",
+    "isize",
+    "f32",
+    "f64",
+    "String",
+    "str",
+    "Vec",
+    "Option",
+    "Box",
+    "HashMap",
+    "BTreeMap",
+    "HashSet",
+    "BTreeSet",
+    "Result",
+    "WeaverError",
+];
+
+/// Types whose values can feed `weaver_core::routing_key` (a `Hash`
+/// bound) without a derive.
+const HASHABLE_BUILTINS: &[&str] = &[
+    "bool", "char", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+    "isize", "String", "str", "Vec", "Option", "Box", "BTreeMap", "BTreeSet",
+];
+
+/// Types that can never produce a routing key.
+const NEVER_HASHABLE: &[&str] = &["f32", "f64", "HashMap", "HashSet"];
+
+/// Path segments and keywords ignored when collecting type identifiers.
+const PATH_NOISE: &[&str] = &[
+    "std",
+    "core",
+    "alloc",
+    "collections",
+    "string",
+    "vec",
+    "boxed",
+    "sync",
+    "crate",
+    "super",
+    "self",
+    "dyn",
+    "impl",
+    "as",
+    "where",
+];
+
+/// Runs L1–L4 over a scanned model.
+pub fn run_all(model: &Model) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    l1_wire_data(model, &mut diags);
+    l2_acyclic_graph(model, &mut diags);
+    l3_routing_keys(model, &mut diags);
+    l4_guard_across_call(model, &mut diags);
+    diags
+}
+
+/// Collects candidate type identifiers from a rendered type string:
+/// every identifier that isn't path noise.
+fn type_idents(ty: &str) -> Vec<String> {
+    let Ok(toks) = weaver_syntax::lex(ty) else {
+        return Vec::new();
+    };
+    toks.iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .filter(|t| !PATH_NOISE.contains(&t.text.as_str()))
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// Extracts the `Ok` type from a rendered `Result<T, E>` return type.
+/// Falls back to the whole string when it isn't a `Result`.
+fn result_ok_type(ret: &str) -> String {
+    let Ok(toks) = weaver_syntax::lex(ret) else {
+        return ret.to_string();
+    };
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("Result") && toks.get(i + 1).is_some_and(|t| t.is_punct("<")) {
+            let start = i + 2;
+            let mut depth = 1i32;
+            let mut j = start;
+            let mut prev_dash = false;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct(",") && depth == 1 {
+                    break;
+                }
+                if t.is_punct("<") {
+                    depth += 1;
+                } else if t.is_punct(">") && !prev_dash {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                prev_dash = t.is_punct("-");
+                j += 1;
+            }
+            return weaver_syntax::render_tokens(&toks[start..j]);
+        }
+        i += 1;
+    }
+    ret.to_string()
+}
+
+/// L1: every type named in a component method's payload arguments or
+/// `Ok` return that is *defined in the scanned tree* must derive
+/// `WeaverData`. Types defined elsewhere get the benefit of the doubt —
+/// the compiler enforces the codec bounds at the use site anyway; this
+/// lint exists to catch the mistake early with a better message.
+fn l1_wire_data(model: &Model, diags: &mut Vec<Diagnostic>) {
+    for t in &model.traits {
+        for m in &t.methods {
+            let mut positions: Vec<(String, String)> = m
+                .arg_types
+                .iter()
+                .enumerate()
+                .map(|(i, ty)| (format!("argument {}", i + 1), ty.clone()))
+                .collect();
+            positions.push(("return value".to_string(), result_ok_type(&m.ret)));
+            for (pos, ty) in positions {
+                for ident in type_idents(&ty) {
+                    if WIRE_BUILTINS.contains(&ident.as_str()) {
+                        continue;
+                    }
+                    let Some(def) = model.types.get(&ident) else {
+                        continue;
+                    };
+                    if def.derives("WeaverData") {
+                        continue;
+                    }
+                    diags.push(Diagnostic {
+                        rule: "L1",
+                        severity: Severity::Error,
+                        file: t.file.clone(),
+                        line: m.line,
+                        message: format!(
+                            "`{}` in the {pos} of `{}::{}` does not derive `WeaverData`; \
+                             it cannot cross a component boundary once `{}` is placed in \
+                             another process",
+                            ident, t.trait_name, m.name, t.component_name
+                        ),
+                        help: format!(
+                            "add `#[derive(WeaverData)]` to `{}` (defined at {}:{})",
+                            ident,
+                            def.file.display(),
+                            def.line
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// L2: depth-first search for cycles over the component-level edges
+/// (methods collapsed). Each cycle is reported once, canonicalized by
+/// rotating to its lexicographically smallest member.
+fn l2_acyclic_graph(model: &Model, diags: &mut Vec<Diagnostic>) {
+    use std::collections::{BTreeMap, BTreeSet};
+    let resolved = resolve_calls(model);
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for r in &resolved {
+        adj.entry(r.caller.as_str())
+            .or_default()
+            .insert(r.callee.as_str());
+    }
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut path: Vec<&str> = Vec::new();
+        let mut on_path: BTreeSet<&str> = BTreeSet::new();
+        dfs(start, &adj, &mut path, &mut on_path, &mut reported);
+    }
+    for cycle in reported {
+        let display = {
+            let mut c = cycle.clone();
+            c.push(cycle[0].clone());
+            c.join(" -> ")
+        };
+        let anchor = model.traits.iter().find(|t| t.component_name == cycle[0]);
+        let (file, line) = anchor.map(|t| (t.file.clone(), t.line)).unwrap_or_default();
+        diags.push(Diagnostic {
+            rule: "L2",
+            severity: Severity::Error,
+            file,
+            line,
+            message: format!("component call graph contains a cycle: {display}"),
+            help: "break the cycle (e.g. invert one dependency or introduce an event/queue \
+                   component); cyclic components cannot be rolled out or placed in \
+                   dependency order"
+                .to_string(),
+        });
+    }
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    adj: &std::collections::BTreeMap<&'a str, std::collections::BTreeSet<&'a str>>,
+    path: &mut Vec<&'a str>,
+    on_path: &mut std::collections::BTreeSet<&'a str>,
+    reported: &mut std::collections::BTreeSet<Vec<String>>,
+) {
+    if on_path.contains(node) {
+        let pos = path.iter().position(|&n| n == node).unwrap_or(0);
+        let cycle: Vec<&str> = path[pos..].to_vec();
+        // Canonicalize: rotate so the smallest member leads.
+        let min = cycle
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, n)| **n)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let canon: Vec<String> = cycle[min..]
+            .iter()
+            .chain(cycle[..min].iter())
+            .map(|s| s.to_string())
+            .collect();
+        reported.insert(canon);
+        return;
+    }
+    path.push(node);
+    on_path.insert(node);
+    if let Some(next) = adj.get(node) {
+        for &n in next {
+            dfs(n, adj, path, on_path, reported);
+        }
+    }
+    path.pop();
+    on_path.remove(node);
+}
+
+/// L3: a `#[routed]` method's first payload argument must be able to
+/// produce a routing key (`weaver_core::routing_key` needs `Hash`).
+fn l3_routing_keys(model: &Model, diags: &mut Vec<Diagnostic>) {
+    for t in &model.traits {
+        for m in t.methods.iter().filter(|m| m.routed) {
+            let Some(key_ty) = m.arg_types.first() else {
+                diags.push(Diagnostic {
+                    rule: "L3",
+                    severity: Severity::Error,
+                    file: t.file.clone(),
+                    line: m.line,
+                    message: format!(
+                        "`#[routed]` method `{}::{}` has no payload argument to derive \
+                         a routing key from",
+                        t.trait_name, m.name
+                    ),
+                    help: "add a key argument (e.g. the entity id) as the first payload \
+                           parameter, or drop `#[routed]`"
+                        .to_string(),
+                });
+                continue;
+            };
+            for ident in type_idents(key_ty) {
+                if NEVER_HASHABLE.contains(&ident.as_str()) {
+                    diags.push(Diagnostic {
+                        rule: "L3",
+                        severity: Severity::Error,
+                        file: t.file.clone(),
+                        line: m.line,
+                        message: format!(
+                            "`#[routed]` method `{}::{}` routes on `{key_ty}`, but `{ident}` \
+                             cannot produce a stable routing key (no `Hash`)",
+                            t.trait_name, m.name
+                        ),
+                        help: "route on a hashable key (string or integer id); floats and \
+                               unordered maps hash unstably or not at all"
+                            .to_string(),
+                    });
+                    continue;
+                }
+                if HASHABLE_BUILTINS.contains(&ident.as_str()) {
+                    continue;
+                }
+                let Some(def) = model.types.get(&ident) else {
+                    continue;
+                };
+                if !def.derives("Hash") {
+                    diags.push(Diagnostic {
+                        rule: "L3",
+                        severity: Severity::Error,
+                        file: t.file.clone(),
+                        line: m.line,
+                        message: format!(
+                            "`#[routed]` method `{}::{}` routes on `{key_ty}`, but `{ident}` \
+                             does not derive `Hash` — affinity routing needs a stable key",
+                            t.trait_name, m.name
+                        ),
+                        help: format!(
+                            "add `Hash` to the derives of `{}` ({}:{}) or route on a \
+                             hashable field instead",
+                            ident,
+                            def.file.display(),
+                            def.line
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// L4: a resolved component call made while a `lock()`/`read()`/`write()`
+/// guard from an enclosing scope is still live.
+fn l4_guard_across_call(model: &Model, diags: &mut Vec<Diagnostic>) {
+    for r in resolve_calls(model) {
+        let call = &model.calls[r.site];
+        for (guard, guard_line) in &call.live_guards {
+            diags.push(Diagnostic {
+                rule: "L4",
+                severity: Severity::Error,
+                file: call.file.clone(),
+                line: call.line,
+                message: format!(
+                    "component call `{}::{}` (edge {} -> {}) is made while lock guard \
+                     `{guard}` (acquired at line {guard_line}) is still held",
+                    call.field, call.method, r.caller, r.callee
+                ),
+                help: format!(
+                    "drop `{guard}` before the call (`drop({guard})` or a narrower block): \
+                     when `{}` is placed in another process this call is an RPC, and the \
+                     guard becomes a cross-network critical section",
+                    r.callee
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let mut m = Model::default();
+        crate::scan::scan_source(&mut m, Path::new("test.rs"), src);
+        run_all(&m)
+    }
+
+    #[test]
+    fn result_ok_extraction() {
+        assert_eq!(
+            result_ok_type("Result<Vec<Cart>, WeaverError>"),
+            "Vec<Cart>"
+        );
+        assert_eq!(result_ok_type("Result<(), WeaverError>"), "()");
+        assert_eq!(result_ok_type("u64"), "u64");
+    }
+
+    #[test]
+    fn clean_source_has_no_findings() {
+        let diags = lint(
+            r#"
+            #[derive(Debug, Clone, Hash, WeaverData)]
+            struct OrderId { id: String }
+            #[component(name = "app.Orders")]
+            trait Orders {
+                #[routed]
+                fn get(&self, ctx: &CallContext, id: OrderId) -> Result<Vec<String>, WeaverError>;
+            }
+        "#,
+        );
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn l1_fires_on_underivd_payload() {
+        let diags = lint(
+            r#"
+            struct Plain { n: u32 }
+            #[component(name = "app.S")]
+            trait S { fn put(&self, ctx: &CallContext, p: Plain) -> Result<(), WeaverError>; }
+        "#,
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "L1");
+    }
+
+    #[test]
+    fn l3_fires_on_unhashable_key() {
+        let diags = lint(
+            r#"
+            #[component(name = "app.S")]
+            trait S {
+                #[routed]
+                fn put(&self, ctx: &CallContext, amount: f64) -> Result<(), WeaverError>;
+            }
+        "#,
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "L3");
+    }
+}

@@ -1,0 +1,822 @@
+//! Source scanning: walks a tree of `.rs` files and extracts the
+//! component facts in [`crate::model`].
+//!
+//! The scan is token-level (via `weaver-syntax`), not a full parse: it
+//! recognizes the handful of shapes the weaver component model is built
+//! from — `#[component]` traits, implementation structs with
+//! `Arc<dyn Trait>` dependency fields, `impl Component for X` interface
+//! registrations, and `self.<field>.<method>(…)` stub calls inside impl
+//! bodies — and ignores everything else. Lock-guard liveness for rule L4
+//! is tracked during the same walk.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use weaver_syntax::{lex, parse_fn_sig, render_tokens, Cursor, Tok, TokKind};
+
+use crate::model::{CallSite, ComponentMethod, ComponentTrait, InterfaceLink, Model, TypeDef};
+
+/// Directory names never descended into: build output, vendored shims,
+/// VCS metadata, and test trees (lint fixtures contain *intentional*
+/// violations and must not pollute a workspace scan).
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    "vendor",
+    ".git",
+    "tests",
+    "benches",
+    "node_modules",
+];
+
+/// Scans every `.rs` file under `root` (skipping [`SKIP_DIRS`]) into a
+/// [`Model`]. Files that fail to lex are skipped — the compiler, not the
+/// linter, owns syntax errors.
+pub fn scan_root(root: &Path) -> io::Result<Model> {
+    let mut model = Model::default();
+    let mut files = Vec::new();
+    collect_files(root, &mut files)?;
+    files.sort();
+    for file in files {
+        let src = fs::read_to_string(&file)?;
+        scan_source(&mut model, &file, &src);
+        model.files_scanned += 1;
+    }
+    Ok(model)
+}
+
+fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans one file's source text into the model.
+pub fn scan_source(model: &mut Model, file: &Path, src: &str) {
+    let Ok(toks) = lex(src) else {
+        return;
+    };
+    scan_items(model, file, &toks);
+}
+
+/// One parsed outer attribute: `#[name(...)]`.
+struct Attr<'a> {
+    name: String,
+    body: &'a [Tok],
+}
+
+/// Walks a token slice at item level, recursing into inline modules.
+fn scan_items(model: &mut Model, file: &Path, toks: &[Tok]) {
+    let mut c = Cursor::new(toks);
+    let mut attrs: Vec<Attr<'_>> = Vec::new();
+    while let Some(t) = c.peek() {
+        if t.is_punct("#") {
+            c.next();
+            c.eat_punct("!"); // inner attribute: parsed the same, attached the same
+            match c.take_group() {
+                Some(body) => {
+                    let name = body
+                        .first()
+                        .filter(|t| t.kind == TokKind::Ident)
+                        .map(|t| t.text.clone())
+                        .unwrap_or_default();
+                    attrs.push(Attr { name, body });
+                }
+                None => {
+                    c.next();
+                }
+            }
+            continue;
+        }
+        if t.is_ident("pub") {
+            c.next();
+            if c.peek().is_some_and(|t| t.is_punct("(")) {
+                c.skip_balanced();
+            }
+            continue;
+        }
+        if t.is_ident("trait") {
+            parse_trait(model, file, &mut c, &attrs);
+            attrs.clear();
+            continue;
+        }
+        if t.is_ident("struct") {
+            parse_struct(model, file, &mut c, &attrs);
+            attrs.clear();
+            continue;
+        }
+        if t.is_ident("enum") || t.is_ident("union") {
+            parse_enum(model, file, &mut c, &attrs);
+            attrs.clear();
+            continue;
+        }
+        if t.is_ident("impl") {
+            parse_impl(model, file, &mut c);
+            attrs.clear();
+            continue;
+        }
+        if t.is_ident("mod") {
+            c.next();
+            c.eat_any_ident();
+            if c.peek().is_some_and(|t| t.is_punct("{")) {
+                if let Some(body) = c.take_group() {
+                    scan_items(model, file, body);
+                }
+            } else {
+                c.eat_punct(";");
+            }
+            attrs.clear();
+            continue;
+        }
+        // Anything else (use, fn, const, macro invocations, …): advance,
+        // skipping whole groups so braces inside don't confuse item
+        // detection. Free functions cannot contain `self.…` call sites.
+        if t.kind == TokKind::Open {
+            c.skip_balanced();
+        } else {
+            c.next();
+        }
+        attrs.clear();
+    }
+}
+
+/// Finds an attr by name in a pending list.
+fn find_attr<'a, 'b>(attrs: &'a [Attr<'b>], name: &str) -> Option<&'a Attr<'b>> {
+    attrs.iter().find(|a| a.name == name)
+}
+
+/// Extracts the `name = "…"` value from a `component` attribute body:
+/// `component ( name = "boutique.Cart" )`.
+fn component_name_from_attr(attr: &Attr<'_>) -> Option<String> {
+    let mut c = Cursor::new(attr.body);
+    c.eat_ident("component");
+    let args = c.take_group()?;
+    let mut a = Cursor::new(args);
+    while !a.at_end() {
+        if a.eat_ident("name") && a.eat_punct("=") {
+            if let Some(t) = a.next() {
+                if t.kind == TokKind::Str {
+                    return Some(t.text.trim_matches('"').to_string());
+                }
+            }
+            return None;
+        }
+        a.next();
+    }
+    None
+}
+
+/// Collects every identifier inside `#[derive(...)]` attributes.
+fn derive_idents(attrs: &[Attr<'_>]) -> Vec<String> {
+    let mut out = Vec::new();
+    for attr in attrs.iter().filter(|a| a.name == "derive") {
+        let mut c = Cursor::new(attr.body);
+        c.eat_ident("derive");
+        if let Some(args) = c.take_group() {
+            for t in args {
+                if t.kind == TokKind::Ident {
+                    out.push(t.text.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Skips a `<...>` generic-argument list if the cursor sits on `<`.
+/// Tracks angle depth; `->` never closes a list.
+fn skip_angles(c: &mut Cursor<'_>) {
+    if !c.peek().is_some_and(|t| t.is_punct("<")) {
+        return;
+    }
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    while let Some(t) = c.peek() {
+        if t.kind == TokKind::Open {
+            c.skip_balanced();
+            prev_dash = false;
+            continue;
+        }
+        if t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(">") && !prev_dash {
+            depth -= 1;
+            if depth == 0 {
+                c.next();
+                return;
+            }
+        }
+        prev_dash = t.is_punct("-");
+        c.next();
+    }
+}
+
+/// Parses a trait item; records it when a `component` attribute is
+/// pending. Cursor sits on the `trait` keyword.
+fn parse_trait(model: &mut Model, file: &Path, c: &mut Cursor<'_>, attrs: &[Attr<'_>]) {
+    let line = c.peek().map_or(0, |t| t.line);
+    c.next(); // trait
+    let Some(name) = c.eat_any_ident().map(|t| t.text.clone()) else {
+        return;
+    };
+    skip_angles(c);
+    if !c.skip_to_punct("{") {
+        return;
+    }
+    let Some(body) = c.take_group() else {
+        return;
+    };
+    let Some(attr) = find_attr(attrs, "component") else {
+        return;
+    };
+    let component_name = component_name_from_attr(attr).unwrap_or_else(|| name.clone());
+    let methods = parse_trait_methods(body);
+    model.traits.push(ComponentTrait {
+        trait_name: name,
+        component_name,
+        file: file.to_path_buf(),
+        line,
+        methods,
+    });
+}
+
+fn parse_trait_methods(body: &[Tok]) -> Vec<ComponentMethod> {
+    let mut out = Vec::new();
+    let mut c = Cursor::new(body);
+    let mut routed = false;
+    while let Some(t) = c.peek() {
+        if t.is_punct("#") {
+            c.next();
+            c.eat_punct("!");
+            if let Some(attr) = c.take_group() {
+                if attr.first().is_some_and(|t| t.is_ident("routed")) {
+                    routed = true;
+                }
+            }
+            continue;
+        }
+        if t.is_ident("fn") {
+            if let Some(sig) = parse_fn_sig(&mut c) {
+                let payload = sig.non_receiver_args();
+                // The first non-receiver argument is the call context by
+                // convention; the payload starts after it.
+                let arg_types: Vec<String> = payload.iter().skip(1).map(|a| a.ty.clone()).collect();
+                let ret = sig.ret.clone().unwrap_or_else(|| "()".to_string());
+                let all_types: Vec<&str> = payload.iter().map(|a| a.ty.as_str()).collect();
+                let signature = format!("fn {}({}) -> {}", sig.name, all_types.join(", "), ret);
+                out.push(ComponentMethod {
+                    name: sig.name,
+                    line: sig.line,
+                    routed,
+                    arg_types,
+                    ret,
+                    signature,
+                });
+            }
+            routed = false;
+            // Past the signature: skip a default body or the trailing `;`.
+            if c.peek().is_some_and(|t| t.is_punct("{")) {
+                c.skip_balanced();
+            } else if c.skip_to_punct(";") {
+                c.next();
+            }
+            continue;
+        }
+        c.next();
+    }
+    out
+}
+
+/// Parses a struct definition into a [`TypeDef`]. Cursor sits on
+/// `struct`.
+fn parse_struct(model: &mut Model, file: &Path, c: &mut Cursor<'_>, attrs: &[Attr<'_>]) {
+    let line = c.peek().map_or(0, |t| t.line);
+    c.next(); // struct
+    let Some(name) = c.eat_any_ident().map(|t| t.text.clone()) else {
+        return;
+    };
+    skip_angles(c);
+    let mut fields = BTreeMap::new();
+    loop {
+        match c.peek() {
+            Some(t) if t.is_punct("{") => {
+                if let Some(body) = c.take_group() {
+                    fields = parse_named_fields(body);
+                }
+                break;
+            }
+            Some(t) if t.is_punct("(") => {
+                c.skip_balanced(); // tuple struct: fields unnamed, no deps
+                c.skip_to_punct(";");
+                c.next();
+                break;
+            }
+            Some(t) if t.is_punct(";") => {
+                c.next();
+                break;
+            }
+            Some(_) => {
+                c.next(); // where clause etc.
+            }
+            None => break,
+        }
+    }
+    record_type(model, name, file, line, derive_idents(attrs), fields);
+}
+
+/// Parses an enum/union header for its derive list; variants carry no
+/// dependency fields, so the body is skipped. Cursor sits on the keyword.
+fn parse_enum(model: &mut Model, file: &Path, c: &mut Cursor<'_>, attrs: &[Attr<'_>]) {
+    let line = c.peek().map_or(0, |t| t.line);
+    c.next();
+    let Some(name) = c.eat_any_ident().map(|t| t.text.clone()) else {
+        return;
+    };
+    skip_angles(c);
+    if c.skip_to_punct("{") {
+        c.skip_balanced();
+    }
+    record_type(
+        model,
+        name,
+        file,
+        line,
+        derive_idents(attrs),
+        BTreeMap::new(),
+    );
+}
+
+fn record_type(
+    model: &mut Model,
+    name: String,
+    file: &Path,
+    line: u32,
+    derives: Vec<String>,
+    fields: BTreeMap<String, String>,
+) {
+    // First definition wins; shadowed test-module duplicates are rare
+    // and lint-irrelevant.
+    model.types.entry(name.clone()).or_insert(TypeDef {
+        name,
+        file: file.to_path_buf(),
+        line,
+        derives,
+        fields,
+    });
+}
+
+/// Parses `name: Type, …` from a struct body, with angle-aware type
+/// extents so `HashMap<String, Cart>` keeps its inner comma.
+fn parse_named_fields(body: &[Tok]) -> BTreeMap<String, String> {
+    let mut fields = BTreeMap::new();
+    let mut c = Cursor::new(body);
+    while let Some(t) = c.peek() {
+        if t.is_punct("#") {
+            c.next();
+            c.eat_punct("!");
+            if !c.skip_balanced() {
+                c.next();
+            }
+            continue;
+        }
+        if t.is_ident("pub") {
+            c.next();
+            if c.peek().is_some_and(|t| t.is_punct("(")) {
+                c.skip_balanced();
+            }
+            continue;
+        }
+        let Some(name) = c.eat_any_ident().map(|t| t.text.clone()) else {
+            c.next();
+            continue;
+        };
+        if !c.eat_punct(":") {
+            continue;
+        }
+        let start = c.pos();
+        skip_type_to_comma(&mut c);
+        let ty = render_tokens(&body[start..c.pos()]);
+        fields.insert(name, ty);
+        c.eat_punct(",");
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,` (angle depth 0)
+/// or end of input.
+fn skip_type_to_comma(c: &mut Cursor<'_>) {
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    while let Some(t) = c.peek() {
+        if t.is_punct(",") && angle == 0 {
+            return;
+        }
+        if t.kind == TokKind::Open {
+            c.skip_balanced();
+            prev_dash = false;
+            continue;
+        }
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") && !prev_dash {
+            angle -= 1;
+        }
+        prev_dash = t.is_punct("-");
+        c.next();
+    }
+}
+
+/// Parses an impl block: registrations (`impl Component for X`) and
+/// method bodies (call sites + guard liveness). Cursor sits on `impl`.
+fn parse_impl(model: &mut Model, file: &Path, c: &mut Cursor<'_>) {
+    c.next(); // impl
+    skip_angles(c);
+    let (first, saw_for) = read_impl_path(c);
+    let self_ty = if saw_for {
+        let (second, _) = read_impl_path(c);
+        second
+    } else {
+        first.clone()
+    };
+    let trait_name = if saw_for { first } else { None };
+    let Some(self_ty) = self_ty else {
+        if c.peek().is_some_and(|t| t.is_punct("{")) {
+            c.skip_balanced();
+        }
+        return;
+    };
+    if !c.skip_to_punct("{") {
+        return;
+    }
+    let Some(body) = c.take_group() else {
+        return;
+    };
+    if trait_name.as_deref() == Some("Component") {
+        if let Some(t) = interface_of(body) {
+            model.links.push(InterfaceLink {
+                struct_name: self_ty,
+                trait_name: t,
+            });
+        }
+        return;
+    }
+    scan_impl_body(model, file, &self_ty, body);
+}
+
+/// Reads a type path up to `for`, `where`, or `{`, returning the last
+/// plain identifier (the type/trait name) and whether `for` terminated
+/// the path (and was consumed).
+fn read_impl_path(c: &mut Cursor<'_>) -> (Option<String>, bool) {
+    let mut last = None;
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    while let Some(t) = c.peek() {
+        if angle == 0 {
+            if t.is_ident("for") {
+                c.next();
+                return (last, true);
+            }
+            if t.is_ident("where") || t.is_punct("{") {
+                return (last, false);
+            }
+        }
+        if t.kind == TokKind::Open {
+            c.skip_balanced();
+            prev_dash = false;
+            continue;
+        }
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") && !prev_dash {
+            angle -= 1;
+        } else if t.kind == TokKind::Ident && angle == 0 {
+            last = Some(t.text.clone());
+        }
+        prev_dash = t.is_punct("-");
+        c.next();
+    }
+    (last, false)
+}
+
+/// Extracts `T` from `type Interface = dyn T;` in a Component impl body.
+fn interface_of(body: &[Tok]) -> Option<String> {
+    let mut c = Cursor::new(body);
+    while !c.at_end() {
+        if c.eat_ident("type") {
+            if c.eat_ident("Interface") && c.eat_punct("=") {
+                let start = c.pos();
+                c.skip_to_punct(";");
+                return crate::model::dyn_trait_ident(&render_tokens(&body[start..c.pos()]));
+            }
+            continue;
+        }
+        c.next();
+    }
+    None
+}
+
+/// Walks an impl body, analyzing each `fn`'s body for call sites.
+fn scan_impl_body(model: &mut Model, file: &Path, self_ty: &str, body: &[Tok]) {
+    let mut c = Cursor::new(body);
+    while let Some(t) = c.peek() {
+        if t.is_punct("#") {
+            c.next();
+            c.eat_punct("!");
+            if !c.skip_balanced() {
+                c.next();
+            }
+            continue;
+        }
+        if t.is_ident("fn") {
+            let fn_name = parse_fn_sig(&mut c).map(|s| s.name).unwrap_or_default();
+            if c.skip_to_punct("{") {
+                if let Some(fn_body) = c.take_group() {
+                    analyze_fn_body(model, file, self_ty, &fn_name, fn_body);
+                }
+            }
+            continue;
+        }
+        if t.kind == TokKind::Open {
+            c.skip_balanced();
+        } else {
+            c.next();
+        }
+    }
+}
+
+/// A lock guard binding being tracked through a function body.
+struct Guard {
+    name: String,
+    depth: u32,
+    line: u32,
+    /// Token index from which the binding is in scope (just past the
+    /// `let` statement's `;`) — calls inside the initializer itself run
+    /// before the guard exists.
+    active_from: usize,
+}
+
+/// Linear walk of a function body: records `self.<field>.<method>(`
+/// call sites with the set of lock guards live at each, tracking block
+/// scopes and explicit `drop(guard)` calls.
+fn analyze_fn_body(model: &mut Model, file: &Path, self_ty: &str, fn_name: &str, toks: &[Tok]) {
+    let mut depth: u32 = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("{") && t.kind == TokKind::Open {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct("}") && t.kind == TokKind::Close {
+            guards.retain(|g| g.depth != depth);
+            depth = depth.saturating_sub(1);
+            i += 1;
+            continue;
+        }
+        if t.is_ident("let") {
+            if let Some((name, line, end)) = guard_binding(toks, i) {
+                guards.push(Guard {
+                    name,
+                    depth,
+                    line,
+                    active_from: end,
+                });
+            }
+            i += 1; // keep walking into the initializer for call sites
+            continue;
+        }
+        if t.is_ident("drop")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(")"))
+        {
+            let dropped = &toks[i + 2].text;
+            guards.retain(|g| &g.name != dropped);
+            i += 4;
+            continue;
+        }
+        if t.is_ident("self")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("."))
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(i + 3).is_some_and(|t| t.is_punct("."))
+            && toks.get(i + 4).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(i + 5).is_some_and(|t| t.is_punct("("))
+        {
+            let live_guards = guards
+                .iter()
+                .filter(|g| g.active_from <= i)
+                .map(|g| (g.name.clone(), g.line))
+                .collect();
+            model.calls.push(CallSite {
+                struct_name: self_ty.to_string(),
+                field: toks[i + 2].text.clone(),
+                method: toks[i + 4].text.clone(),
+                file: file.to_path_buf(),
+                line: toks[i + 4].line,
+                live_guards,
+                in_fn: fn_name.to_string(),
+            });
+            i += 5; // leave `(` for normal traversal
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// If the `let` statement starting at `toks[at]` binds a plain
+/// identifier to an expression whose final call is `.lock()`, `.read()`,
+/// or `.write()` (optionally followed by `.unwrap()`/`.expect(…)`),
+/// returns `(name, line, index_past_semicolon)`.
+fn guard_binding(toks: &[Tok], at: usize) -> Option<(String, u32, usize)> {
+    let mut j = at + 1;
+    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let name_tok = toks.get(j)?;
+    if name_tok.kind != TokKind::Ident {
+        return None; // destructuring / `if let` patterns: not a guard
+    }
+    let name = name_tok.text.clone();
+    j += 1;
+    if !toks.get(j).is_some_and(|t| t.is_punct(":"))
+        && !toks.get(j).is_some_and(|t| t.is_punct("="))
+    {
+        return None;
+    }
+    // Walk to the statement's `;`, collapsing balanced groups to a `()`
+    // marker, and remember the trailing shape of the initializer.
+    let mut tail: Vec<String> = Vec::new();
+    let mut c = Cursor::new(toks);
+    c.set_pos(j);
+    while let Some(t) = c.peek() {
+        if t.is_punct(";") {
+            c.next();
+            break;
+        }
+        if t.kind == TokKind::Open {
+            if !c.skip_balanced() {
+                return None;
+            }
+            tail.push("()".to_string());
+        } else {
+            tail.push(t.text.clone());
+            c.next();
+        }
+    }
+    let end = c.pos();
+    // Strip one trailing `.unwrap()` / `.expect(…)` (std::sync guards).
+    if tail.len() >= 3
+        && tail[tail.len() - 1] == "()"
+        && (tail[tail.len() - 2] == "unwrap" || tail[tail.len() - 2] == "expect")
+        && tail[tail.len() - 3] == "."
+    {
+        tail.truncate(tail.len() - 3);
+    }
+    let is_guard = tail.len() >= 3
+        && tail[tail.len() - 1] == "()"
+        && matches!(tail[tail.len() - 2].as_str(), "lock" | "read" | "write")
+        && tail[tail.len() - 3] == ".";
+    if is_guard {
+        Some((name, name_tok.line, end))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Model {
+        let mut model = Model::default();
+        scan_source(&mut model, Path::new("test.rs"), src);
+        model
+    }
+
+    #[test]
+    fn component_trait_with_routed_method() {
+        let m = scan(
+            r#"
+            #[component(name = "shop.Cart")]
+            pub trait Cart {
+                #[routed]
+                fn add(&self, ctx: &CallContext, user: String, n: u32) -> Result<u32, WeaverError>;
+                fn total(&self, ctx: &CallContext) -> Result<u64, WeaverError>;
+            }
+        "#,
+        );
+        assert_eq!(m.traits.len(), 1);
+        let t = &m.traits[0];
+        assert_eq!(t.component_name, "shop.Cart");
+        assert_eq!(t.methods.len(), 2);
+        assert!(t.methods[0].routed);
+        assert!(!t.methods[1].routed);
+        assert_eq!(t.methods[0].arg_types, vec!["String", "u32"]);
+        assert_eq!(t.methods[1].arg_types, Vec::<String>::new());
+    }
+
+    #[test]
+    fn struct_fields_and_derives() {
+        let m = scan(
+            r#"
+            #[derive(Debug, Clone, WeaverData)]
+            pub struct Money { pub units: i64, pub nanos: i32 }
+            struct FrontendImpl { cart: Arc<dyn Cart>, hits: u64 }
+        "#,
+        );
+        assert!(m.types["Money"].derives("WeaverData"));
+        assert_eq!(m.types["FrontendImpl"].fields["cart"], "Arc<dyn Cart>");
+    }
+
+    #[test]
+    fn interface_link_and_call_sites() {
+        let m = scan(
+            r#"
+            impl Component for FrontendImpl { type Interface = dyn Frontend; }
+            impl Frontend for FrontendImpl {
+                fn home(&self, ctx: &CallContext) -> Result<u32, WeaverError> {
+                    let n = self.cart.count(ctx)?;
+                    Ok(n)
+                }
+            }
+            impl FrontendImpl {
+                fn helper(&self, ctx: &CallContext) -> Result<u32, WeaverError> {
+                    self.currency.convert(ctx)
+                }
+            }
+        "#,
+        );
+        assert_eq!(m.links.len(), 1);
+        assert_eq!(m.links[0].trait_name, "Frontend");
+        let calls: Vec<(&str, &str)> = m
+            .calls
+            .iter()
+            .map(|c| (c.field.as_str(), c.method.as_str()))
+            .collect();
+        assert_eq!(calls, vec![("cart", "count"), ("currency", "convert")]);
+    }
+
+    #[test]
+    fn guard_liveness_tracks_scopes_and_drop() {
+        let m = scan(
+            r#"
+            impl CheckoutImpl {
+                fn bad(&self, ctx: &CallContext) -> Result<(), WeaverError> {
+                    let g = self.state.lock();
+                    self.cart.get(ctx)?;
+                    drop(g);
+                    self.cart.put(ctx)?;
+                    { let h = self.state.lock(); }
+                    self.cart.del(ctx)
+                }
+            }
+        "#,
+        );
+        let live: Vec<(&str, usize)> = m
+            .calls
+            .iter()
+            .map(|c| (c.method.as_str(), c.live_guards.len()))
+            .collect();
+        // `self.state.lock()` itself is a recorded call site (resolved
+        // away later since `state` is no component dep) with no guard.
+        assert_eq!(
+            live,
+            vec![("lock", 0), ("get", 1), ("put", 0), ("lock", 0), ("del", 0)]
+        );
+    }
+
+    #[test]
+    fn initializer_calls_happen_before_guard_activates() {
+        let m = scan(
+            r#"
+            impl A {
+                fn f(&self, ctx: &CallContext) {
+                    let g = self.lookup(self.cart.get(ctx)).lock();
+                    self.cart.put(ctx);
+                }
+            }
+        "#,
+        );
+        let by_method: Vec<(&str, usize)> = m
+            .calls
+            .iter()
+            .map(|c| (c.method.as_str(), c.live_guards.len()))
+            .collect();
+        assert!(by_method.contains(&("get", 0)));
+        assert!(by_method.contains(&("put", 1)));
+    }
+}

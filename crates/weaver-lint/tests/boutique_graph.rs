@@ -1,0 +1,131 @@
+//! The static call graph of the boutique demo must match its known
+//! topology, and the snapshot must be directly consumable by the
+//! placement optimizer — the paper's "plan the deployment from the
+//! component graph" loop, run entirely at build time.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use weaver_lint::{graph, scan};
+use weaver_placement::{colocate, ColocationConfig};
+
+const COMPONENTS: [&str; 10] = [
+    "boutique.AdService",
+    "boutique.CartService",
+    "boutique.CheckoutService",
+    "boutique.CurrencyService",
+    "boutique.EmailService",
+    "boutique.Frontend",
+    "boutique.PaymentService",
+    "boutique.ProductCatalog",
+    "boutique.RecommendationService",
+    "boutique.Shipping",
+];
+
+fn boutique_snapshot() -> weaver_metrics::CallGraphSnapshot {
+    let model = scan::scan_root(Path::new("../boutique/src")).expect("scan boutique");
+    graph::build_graph(&model)
+}
+
+/// The demo's topology: ten registered components plus the external
+/// ingress pseudo-node `""` — the "eleven services" of the original
+/// microservice demo, with the load generator/ingress as the eleventh.
+#[test]
+fn boutique_topology_matches_known_shape() {
+    let snapshot = boutique_snapshot();
+    assert_eq!(snapshot.components(), COMPONENTS.map(String::from).to_vec());
+
+    let nodes: BTreeSet<&str> = snapshot
+        .edges
+        .iter()
+        .flat_map(|(e, _)| [e.caller.as_str(), e.callee.as_str()])
+        .collect();
+    assert_eq!(nodes.len(), 11, "10 components + ingress: {nodes:?}");
+
+    // Only the frontend takes external traffic.
+    let ingress: Vec<&str> = snapshot
+        .edges
+        .iter()
+        .filter(|(e, _)| e.caller.is_empty())
+        .map(|(e, _)| e.callee.as_str())
+        .collect();
+    assert_eq!(ingress, vec!["boutique.Frontend"]);
+
+    let pairs: BTreeSet<(String, String)> = snapshot
+        .edges
+        .iter()
+        .map(|(e, _)| (e.caller.clone(), e.callee.clone()))
+        .collect();
+    let expect = |a: &str, b: &str| (format!("boutique.{a}"), format!("boutique.{b}"));
+    for frontend_dep in [
+        "AdService",
+        "CartService",
+        "CheckoutService",
+        "CurrencyService",
+        "ProductCatalog",
+        "RecommendationService",
+        "Shipping",
+    ] {
+        assert!(
+            pairs.contains(&expect("Frontend", frontend_dep)),
+            "missing Frontend -> {frontend_dep}"
+        );
+    }
+    for checkout_dep in [
+        "CartService",
+        "CurrencyService",
+        "EmailService",
+        "PaymentService",
+        "ProductCatalog",
+        "Shipping",
+    ] {
+        assert!(
+            pairs.contains(&expect("CheckoutService", checkout_dep)),
+            "missing CheckoutService -> {checkout_dep}"
+        );
+    }
+    assert!(pairs.contains(&expect("RecommendationService", "ProductCatalog")));
+    // 1 ingress + 7 frontend + 6 checkout + 1 recommendation = 15 pairs.
+    assert_eq!(pairs.len(), 15, "unexpected extra edges: {pairs:?}");
+}
+
+/// The cross-component `convert_price` helper lives in an *inherent*
+/// impl block on `FrontendImpl`; its call must still be attributed.
+#[test]
+fn inherent_impl_call_sites_are_attributed() {
+    let snapshot = boutique_snapshot();
+    assert!(snapshot.edges.iter().any(|(e, _)| {
+        e.caller == "boutique.Frontend"
+            && e.callee == "boutique.CurrencyService"
+            && e.method == "convert"
+    }));
+}
+
+/// The static snapshot feeds `weaver_placement::colocate` unchanged:
+/// every component lands in exactly one group, before any traffic runs.
+#[test]
+fn static_snapshot_drives_placement() {
+    let snapshot = boutique_snapshot();
+    let groups = colocate(&snapshot, &ColocationConfig::default());
+    let mut placed: Vec<String> = groups.into_iter().flatten().collect();
+    placed.sort();
+    assert_eq!(placed, COMPONENTS.map(String::from).to_vec());
+
+    // The chattiest pair must share a group under a permissive budget.
+    let roomy = ColocationConfig {
+        max_group_size: 10,
+        max_group_cpu: 100.0,
+        ..ColocationConfig::default()
+    };
+    let groups = colocate(&snapshot, &roomy);
+    let frontend_group = groups
+        .iter()
+        .find(|g| g.iter().any(|c| c == "boutique.Frontend"))
+        .expect("frontend placed");
+    assert!(
+        frontend_group
+            .iter()
+            .any(|c| c == "boutique.ProductCatalog"),
+        "chattiest edge not co-located: {groups:?}"
+    );
+}

@@ -1,0 +1,15 @@
+//! L1 fixture: a component method whose payload type lacks `WeaverData`.
+
+use std::sync::Arc;
+
+/// Not wire data: no `WeaverData` derive.
+#[derive(Debug, Clone)]
+pub struct Coupon {
+    pub code: String,
+    pub percent: u8,
+}
+
+#[component(name = "fixture.Promotions")]
+pub trait Promotions {
+    fn apply(&self, ctx: &CallContext, coupon: Coupon) -> Result<u64, WeaverError>;
+}

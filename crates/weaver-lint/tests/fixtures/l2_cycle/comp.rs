@@ -1,0 +1,41 @@
+//! L2 fixture: two components that call each other.
+
+use std::sync::Arc;
+
+#[component(name = "fixture.Orders")]
+pub trait Orders {
+    fn submit(&self, ctx: &CallContext, id: String) -> Result<(), WeaverError>;
+}
+
+#[component(name = "fixture.Billing")]
+pub trait Billing {
+    fn invoice(&self, ctx: &CallContext, id: String) -> Result<(), WeaverError>;
+}
+
+pub struct OrdersImpl {
+    billing: Arc<dyn Billing>,
+}
+
+impl Component for OrdersImpl {
+    type Interface = dyn Orders;
+}
+
+impl Orders for OrdersImpl {
+    fn submit(&self, ctx: &CallContext, id: String) -> Result<(), WeaverError> {
+        self.billing.invoice(ctx, id)
+    }
+}
+
+pub struct BillingImpl {
+    orders: Arc<dyn Orders>,
+}
+
+impl Component for BillingImpl {
+    type Interface = dyn Billing;
+}
+
+impl Billing for BillingImpl {
+    fn invoice(&self, ctx: &CallContext, id: String) -> Result<(), WeaverError> {
+        self.orders.submit(ctx, id)
+    }
+}

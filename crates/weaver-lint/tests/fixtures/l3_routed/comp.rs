@@ -1,0 +1,16 @@
+//! L3 fixture: `#[routed]` methods without a viable routing key.
+
+/// Wire data, but not hashable: no `Hash` derive.
+#[derive(Debug, Clone, WeaverData)]
+pub struct Basket {
+    pub items: Vec<String>,
+}
+
+#[component(name = "fixture.Carts")]
+pub trait Carts {
+    #[routed]
+    fn checkout(&self, ctx: &CallContext, basket: Basket) -> Result<(), WeaverError>;
+
+    #[routed]
+    fn tip(&self, ctx: &CallContext, amount: f64) -> Result<(), WeaverError>;
+}

@@ -1,0 +1,39 @@
+//! L4 fixture: a lock guard held across a component stub call.
+
+use std::sync::{Arc, Mutex};
+
+#[component(name = "fixture.Inventory")]
+pub trait Inventory {
+    fn reserve(&self, ctx: &CallContext, sku: String) -> Result<(), WeaverError>;
+}
+
+#[component(name = "fixture.Warehouse")]
+pub trait Warehouse {
+    fn pick(&self, ctx: &CallContext, sku: String) -> Result<(), WeaverError>;
+}
+
+pub struct InventoryImpl {
+    warehouse: Arc<dyn Warehouse>,
+    reserved: Mutex<Vec<String>>,
+}
+
+impl Component for InventoryImpl {
+    type Interface = dyn Inventory;
+}
+
+impl Inventory for InventoryImpl {
+    fn reserve(&self, ctx: &CallContext, sku: String) -> Result<(), WeaverError> {
+        let mut held = self.reserved.lock().unwrap();
+        held.push(sku.clone());
+        // BUG: the guard is still live across this component call.
+        self.warehouse.pick(ctx, sku)?;
+        drop(held);
+        Ok(())
+    }
+}
+
+pub struct WarehouseImpl;
+
+impl Component for WarehouseImpl {
+    type Interface = dyn Warehouse;
+}

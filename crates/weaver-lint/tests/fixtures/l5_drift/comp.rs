@@ -1,0 +1,7 @@
+//! L5 fixture: the signature below no longer matches the checked-in
+//! lock (which was recorded when `quote` took a `u32`).
+
+#[component(name = "fixture.Rates")]
+pub trait Rates {
+    fn quote(&self, ctx: &CallContext, amount: u64) -> Result<u64, WeaverError>;
+}

@@ -1,0 +1,80 @@
+//! Golden-diagnostic tests: each rule L1–L5 must fire on its fixture,
+//! producing exactly the checked-in rendering.
+//!
+//! Regenerate the expectations after an intentional change with:
+//! `UPDATE_GOLDEN=1 cargo test -p weaver-lint --test golden`
+
+use std::fs;
+use std::path::Path;
+
+use weaver_lint::{lockfile, scan};
+
+/// Lints one fixture directory (using its `weaver-api.lock` if present)
+/// and compares the rendered diagnostics against `expected.txt`.
+fn check_fixture(name: &str, expected_rule: &str) {
+    let dir = Path::new("tests/fixtures").join(name);
+    let model = scan::scan_root(&dir).expect("scan fixture");
+    let lock_path = dir.join("weaver-api.lock");
+    let lock = fs::read_to_string(&lock_path)
+        .ok()
+        .map(|text| lockfile::parse(&text).expect("parse fixture lock"));
+    let diags = weaver_lint::lint(&model, lock.as_ref());
+
+    assert!(
+        !diags.is_empty(),
+        "fixture {name}: expected {expected_rule} diagnostics, got none"
+    );
+    assert!(
+        diags.iter().all(|d| d.rule == expected_rule),
+        "fixture {name}: expected only {expected_rule}, got {diags:?}"
+    );
+
+    let actual: String = diags.iter().map(|d| d.render_text()).collect();
+    let golden = dir.join("expected.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&golden, &actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&golden)
+        .unwrap_or_else(|e| panic!("fixture {name}: read {}: {e}", golden.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "fixture {name}: diagnostics drifted from {}",
+        golden.display()
+    );
+}
+
+#[test]
+fn l1_wire_data_fixture() {
+    check_fixture("l1_wire", "L1");
+}
+
+#[test]
+fn l2_cycle_fixture() {
+    check_fixture("l2_cycle", "L2");
+}
+
+#[test]
+fn l3_routed_fixture() {
+    check_fixture("l3_routed", "L3");
+}
+
+#[test]
+fn l4_guard_fixture() {
+    check_fixture("l4_guard", "L4");
+}
+
+#[test]
+fn l5_drift_fixture() {
+    check_fixture("l5_drift", "L5");
+}
+
+/// The workspace's own sources must stay lint-clean: scan this crate
+/// and the application crates the way the CLI does and expect silence.
+#[test]
+fn workspace_is_clean() {
+    let model = scan::scan_root(Path::new("..")).expect("scan crates/");
+    let diags = weaver_lint::lint(&model, None);
+    assert!(diags.is_empty(), "workspace lint findings: {diags:?}");
+}

@@ -8,292 +8,441 @@
 //! * `impl weaver_core::component::ComponentInterface for dyn Hello`, which
 //!   carries the component name, the method table, the client factory, and
 //!   the server-side dispatcher.
+//!
+//! Implementation note: this crate deliberately has no dependency on `syn`.
+//! The component grammar is restricted enough (trait + `fn` signatures, no
+//! default bodies) that the shared scanner in `weaver-syntax` covers it, and
+//! the trait itself is re-emitted by splicing the original source text —
+//! only the supertrait list and `#[routed]` markers are edited.
 
-use proc_macro2::TokenStream;
-use quote::{format_ident, quote};
-use syn::{
-    parse2, FnArg, Ident, ItemTrait, LitStr, Pat, Result, ReturnType, TraitItem, TraitItemFn,
-    Type,
-};
+use crate::error::MacroError;
+use proc_macro::TokenStream;
+use weaver_syntax::{lex, parse_fn_sig, Cursor, FnSig, TokKind};
 
 struct Method {
-    ident: Ident,
-    /// Payload arguments (excluding `&self` and the context argument).
-    args: Vec<(Ident, Type)>,
+    name: String,
+    /// Payload arguments (excluding `&self` and the context argument):
+    /// `(name, type)` pairs.
+    args: Vec<(String, String)>,
     /// `T` from `Result<T, WeaverError>`.
-    ok_type: Type,
+    ok_type: String,
     routed: bool,
 }
 
-pub fn expand(attr_args: TokenStream, input: TokenStream) -> Result<TokenStream> {
-    let mut item: ItemTrait = parse2(input)?;
-    let trait_ident = item.ident.clone();
+pub fn expand(attr_args: TokenStream, input: TokenStream) -> Result<TokenStream, MacroError> {
+    let src = input.to_string();
+    let toks = lex(&src).map_err(|e| MacroError::new(format!("#[component]: {e}")))?;
 
-    // Optional `name = "..."` attribute argument.
-    let mut explicit_name: Option<String> = None;
-    if !attr_args.is_empty() {
-        let parser = syn::meta::parser(|meta| {
-            if meta.path.is_ident("name") {
-                let lit: LitStr = meta.value()?.parse()?;
-                explicit_name = Some(lit.value());
-                Ok(())
-            } else {
-                Err(meta.error("unsupported #[component] argument; expected `name = \"…\"`"))
+    let explicit_name = parse_attr_args(attr_args)?;
+
+    let mut c = Cursor::new(&toks);
+
+    // Skip outer attributes and visibility to the `trait` keyword.
+    loop {
+        match c.peek() {
+            Some(t) if t.is_punct("#") => {
+                c.next();
+                if !c.skip_balanced() {
+                    return Err(MacroError::new("#[component]: malformed attribute"));
+                }
             }
-        });
-        syn::parse::Parser::parse2(parser, attr_args)?;
-    }
-
-    // Add `Send + Sync + 'static` supertraits so `Arc<dyn Trait>` is shareable.
-    item.supertraits.push(syn::parse_quote!(::std::marker::Send));
-    item.supertraits.push(syn::parse_quote!(::std::marker::Sync));
-    item.supertraits.push(syn::parse_quote!('static));
-
-    let mut methods = Vec::new();
-    for entry in &mut item.items {
-        if let TraitItem::Fn(f) = entry {
-            methods.push(parse_method(f)?);
+            Some(t) if t.is_ident("pub") => {
+                c.next();
+                // `pub(crate)` etc.
+                if c.peek().is_some_and(|t| t.is_punct("(")) {
+                    c.skip_balanced();
+                }
+            }
+            Some(t) if t.is_ident("unsafe") || t.is_ident("auto") => {
+                return Err(MacroError::new(
+                    "#[component] traits must be plain safe traits",
+                ));
+            }
+            Some(t) if t.is_ident("trait") => break,
+            _ => {
+                return Err(MacroError::new(
+                    "#[component] can only be applied to a trait",
+                ))
+            }
         }
     }
+    c.next(); // `trait`
+    let trait_ident = c
+        .eat_any_ident()
+        .ok_or_else(|| MacroError::new("#[component]: expected a trait name"))?
+        .text
+        .clone();
+    if c.peek().is_some_and(|t| t.is_punct("<")) {
+        return Err(MacroError::new(
+            "#[component] traits cannot have generic parameters",
+        ));
+    }
+
+    // Everything up to `{` is the (possibly empty) supertrait list.
+    let has_supertraits = c.peek().is_some_and(|t| t.is_punct(":"));
+    if !c.skip_to_punct("{") {
+        return Err(MacroError::new("#[component]: expected a trait body"));
+    }
+    let body_open = c.pos();
+    let body = c
+        .take_group()
+        .ok_or_else(|| MacroError::new("#[component]: unbalanced trait body"))?;
+
+    // Parse the trait items, recording which byte ranges hold `#[routed]`
+    // attributes so they can be stripped from the re-emitted source.
+    let mut methods = Vec::new();
+    let mut routed_spans: Vec<(usize, usize)> = Vec::new();
+    let mut b = Cursor::new(body);
+    while !b.at_end() {
+        let mut routed = false;
+        // Item attributes (doc comments arrive as `#[doc = "…"]`).
+        while b.peek().is_some_and(|t| t.is_punct("#")) {
+            let attr_start = b.peek().map(|t| t.lo).unwrap_or(0);
+            b.next();
+            let group = b
+                .take_group()
+                .ok_or_else(|| MacroError::new("#[component]: malformed attribute"))?;
+            if group.len() == 1 && group[0].is_ident("routed") {
+                routed = true;
+                let attr_end = b.peek_at(0).map(|t| t.lo).unwrap_or(src.len());
+                // Remove from `#` through just before the next token.
+                routed_spans.push((attr_start, attr_end.min(src.len())));
+            }
+        }
+        let Some(t) = b.peek() else { break };
+        if !t.is_ident("fn") {
+            return Err(MacroError::new(format!(
+                "#[component] traits may only contain methods (unexpected `{}`)",
+                t.text
+            )));
+        }
+        let sig = parse_fn_sig(&mut b).ok_or_else(|| {
+            MacroError::new("#[component]: could not parse method signature (arguments must be simple identifiers)")
+        })?;
+        match b.peek() {
+            Some(t) if t.is_punct(";") => {
+                b.next();
+            }
+            Some(t) if t.is_punct("{") => {
+                return Err(MacroError::new(format!(
+                    "#[component] trait methods cannot have default bodies (`{}`)",
+                    sig.name
+                )));
+            }
+            _ => {
+                return Err(MacroError::new(format!(
+                    "#[component]: expected `;` after method `{}`",
+                    sig.name
+                )))
+            }
+        }
+        methods.push(validate_method(sig, routed)?);
+    }
+
     if methods.is_empty() {
-        return Err(syn::Error::new_spanned(
-            &trait_ident,
+        return Err(MacroError::new(
             "a #[component] trait must declare at least one method",
         ));
     }
 
-    let client_ident = format_ident!("{trait_ident}Client");
-    let trait_name_str = trait_ident.to_string();
-
-    let name_expr = match explicit_name {
-        Some(n) => quote!(#n),
-        None => quote!(::std::concat!(::std::module_path!(), ".", #trait_name_str)),
+    // Re-emit the trait: original source with `#[routed]` spans removed and
+    // the supertraits spliced in before the body brace.
+    let brace_lo = toks[body_open].lo;
+    let supertrait_text = if has_supertraits {
+        "+ ::std::marker::Send + ::std::marker::Sync + 'static "
+    } else {
+        ": ::std::marker::Send + ::std::marker::Sync + 'static "
     };
-
-    let method_specs = methods.iter().map(|m| {
-        let name = m.ident.to_string();
-        let routed = m.routed;
-        quote! {
-            ::weaver_core::component::MethodSpec {
-                name: #name,
-                routed: #routed,
-            }
+    let mut trait_text = String::new();
+    let mut pos = 0usize;
+    for &(lo, hi) in &routed_spans {
+        if lo >= brace_lo {
+            break;
         }
-    });
-
-    let client_methods = methods.iter().enumerate().map(|(idx, m)| {
-        let idx = idx as u32;
-        let ident = &m.ident;
-        let ok_type = &m.ok_type;
-        let arg_pairs = m.args.iter().map(|(name, ty)| quote!(#name: #ty));
-        let encodes = m.args.iter().map(|(name, _)| {
-            quote!(::weaver_codec::wire::Encode::encode(&#name, &mut args);)
-        });
-        let routing = if m.routed {
-            let first = &m.args[0].0;
-            quote!(::std::option::Option::Some(::weaver_core::routing_key(&#first)))
-        } else {
-            quote!(::std::option::Option::None)
-        };
-        quote! {
-            fn #ident(
-                &self,
-                ctx: &::weaver_core::context::CallContext,
-                #(#arg_pairs),*
-            ) -> ::std::result::Result<#ok_type, ::weaver_core::error::WeaverError> {
-                let mut args = ::std::vec::Vec::new();
-                #(#encodes)*
-                let reply = self.handle.call(ctx, #idx, #routing, args)?;
-                ::weaver_core::client::decode_reply::<#ok_type>(&reply)
-            }
+        trait_text.push_str(&src[pos..lo]);
+        pos = hi;
+    }
+    trait_text.push_str(&src[pos..brace_lo]);
+    trait_text.push_str(supertrait_text);
+    pos = brace_lo;
+    for &(lo, hi) in &routed_spans {
+        if lo < brace_lo {
+            continue;
         }
-    });
+        trait_text.push_str(&src[pos..lo]);
+        pos = hi;
+    }
+    trait_text.push_str(&src[pos..]);
 
-    let dispatch_arms = methods.iter().enumerate().map(|(idx, m)| {
-        let idx = idx as u32;
-        let ident = &m.ident;
-        let arg_names: Vec<&Ident> = m.args.iter().map(|(name, _)| name).collect();
-        let decodes = m.args.iter().map(|(name, ty)| {
-            quote! {
-                let #name = <#ty as ::weaver_codec::wire::Decode>::decode(&mut r)
-                    .map_err(::weaver_core::error::WeaverError::from)?;
-            }
-        });
-        quote! {
-            #idx => {
-                let mut r = ::weaver_codec::reader::Reader::new(args);
-                #(#decodes)*
-                let ret = this.#ident(ctx, #(#arg_names),*);
-                ::std::result::Result::Ok(::weaver_core::client::encode_reply(&ret))
-            }
-        }
-    });
+    let generated = generate(&trait_ident, explicit_name.as_deref(), &methods);
+    let output = format!("{trait_text}\n{generated}");
+    output
+        .parse()
+        .map_err(|e| MacroError::new(format!("#[component]: generated code failed to parse: {e}")))
+}
 
-    let vis = &item.vis;
-
-    let generated = quote! {
-        #item
-
-        /// Generated client stub: marshals arguments and calls through the
-        /// runtime. Local (co-located) calls never construct one of these —
-        /// the runtime hands out the implementation `Arc` directly.
-        #[doc(hidden)]
-        #vis struct #client_ident {
-            handle: ::weaver_core::client::ClientHandle,
-        }
-
-        impl #trait_ident for #client_ident {
-            #(#client_methods)*
-        }
-
-        impl ::weaver_core::component::ComponentInterface for dyn #trait_ident {
-            const NAME: &'static str = #name_expr;
-
-            const METHODS: &'static [::weaver_core::component::MethodSpec] = &[
-                #(#method_specs),*
-            ];
-
-            fn client(handle: ::weaver_core::client::ClientHandle) -> ::std::sync::Arc<Self> {
-                ::std::sync::Arc::new(#client_ident { handle })
-            }
-
-            fn dispatch(
-                this: &Self,
-                method: u32,
-                ctx: &::weaver_core::context::CallContext,
-                args: &[u8],
-            ) -> ::std::result::Result<::std::vec::Vec<u8>, ::weaver_core::error::WeaverError>
-            {
-                match method {
-                    #(#dispatch_arms)*
-                    other => ::std::result::Result::Err(
-                        ::weaver_core::error::WeaverError::UnknownMethod {
-                            component: <Self as ::weaver_core::component::ComponentInterface>::NAME
-                                .to_string(),
-                            method: other,
-                        },
-                    ),
+/// Parses the attribute arguments: empty or `name = "pkg.Hello"`.
+fn parse_attr_args(args: TokenStream) -> Result<Option<String>, MacroError> {
+    let src = args.to_string();
+    if src.trim().is_empty() {
+        return Ok(None);
+    }
+    let toks = lex(&src).map_err(|e| MacroError::new(format!("#[component] arguments: {e}")))?;
+    let mut c = Cursor::new(&toks);
+    if c.eat_ident("name") && c.eat_punct("=") {
+        if let Some(t) = c.peek() {
+            if t.kind == TokKind::Str && c.peek_at(1).is_none() {
+                let text = &t.text;
+                if text.starts_with('"') && text.ends_with('"') && text.len() >= 2 {
+                    return Ok(Some(text[1..text.len() - 1].to_string()));
                 }
             }
         }
-    };
-
-    Ok(generated)
+    }
+    Err(MacroError::new(
+        "unsupported #[component] argument; expected `name = \"…\"`",
+    ))
 }
 
-fn parse_method(f: &mut TraitItemFn) -> Result<Method> {
-    if f.default.is_some() {
-        return Err(syn::Error::new_spanned(
-            &f.sig.ident,
-            "#[component] trait methods cannot have default bodies",
-        ));
+fn validate_method(sig: FnSig, routed: bool) -> Result<Method, MacroError> {
+    if sig.receiver() != Some("&self") {
+        return Err(MacroError::new(format!(
+            "component methods must take `&self` (components are shared, replicated agents): `{}`",
+            sig.name
+        )));
     }
-
-    // Strip and record the #[routed] marker.
-    let mut routed = false;
-    f.attrs.retain(|attr| {
-        if attr.path().is_ident("routed") {
-            routed = true;
-            false
-        } else {
-            true
-        }
-    });
-
-    let mut inputs = f.sig.inputs.iter();
-
-    // Receiver must be `&self`.
-    match inputs.next() {
-        Some(FnArg::Receiver(recv)) if recv.reference.is_some() && recv.mutability.is_none() => {}
+    let rest = sig.non_receiver_args();
+    match rest.first() {
+        Some(ctx) if ctx.by_ref => {}
         _ => {
-            return Err(syn::Error::new_spanned(
-                &f.sig.ident,
-                "component methods must take `&self` (components are shared, replicated agents)",
-            ))
+            return Err(MacroError::new(format!(
+                "component methods must take `ctx: &CallContext` as their first argument: `{}`",
+                sig.name
+            )))
         }
     }
-
-    // Context argument: any by-reference parameter, conventionally
-    // `ctx: &CallContext`.
-    match inputs.next() {
-        Some(FnArg::Typed(pat)) if matches!(*pat.ty, Type::Reference(_)) => {}
-        _ => {
-            return Err(syn::Error::new_spanned(
-                &f.sig.ident,
-                "component methods must take `ctx: &CallContext` as their first argument",
-            ))
-        }
-    }
-
-    // Remaining arguments are the owned payload.
     let mut args = Vec::new();
-    for arg in inputs {
-        let FnArg::Typed(pat) = arg else {
-            return Err(syn::Error::new_spanned(
-                &f.sig.ident,
-                "unexpected receiver after the first position",
-            ));
-        };
-        let Pat::Ident(pat_ident) = &*pat.pat else {
-            return Err(syn::Error::new_spanned(
-                &pat.pat,
-                "component method arguments must be simple identifiers",
-            ));
-        };
-        if matches!(*pat.ty, Type::Reference(_)) {
-            return Err(syn::Error::new_spanned(
-                &pat.ty,
+    for arg in &rest[1..] {
+        if arg.by_ref {
+            return Err(MacroError::new(format!(
                 "component method arguments must be owned values (they may cross a process \
-                 boundary)",
-            ));
+                 boundary): `{}: {}`",
+                arg.name, arg.ty
+            )));
         }
-        args.push((pat_ident.ident.clone(), (*pat.ty).clone()));
+        args.push((arg.name.clone(), arg.ty.clone()));
     }
-
     if routed && args.is_empty() {
-        return Err(syn::Error::new_spanned(
-            &f.sig.ident,
-            "#[routed] methods need at least one argument to use as the routing key",
-        ));
+        return Err(MacroError::new(format!(
+            "#[routed] methods need at least one argument to use as the routing key: `{}`",
+            sig.name
+        )));
     }
-
-    // Return type must be Result<T, …>.
-    let ok_type = match &f.sig.output {
-        ReturnType::Type(_, ty) => extract_result_ok(ty).ok_or_else(|| {
-            syn::Error::new_spanned(
-                ty,
-                "component methods must return Result<T, WeaverError>",
-            )
-        })?,
-        ReturnType::Default => {
-            return Err(syn::Error::new_spanned(
-                &f.sig.ident,
-                "component methods must return Result<T, WeaverError>",
+    let ok_type = sig
+        .ret
+        .as_deref()
+        .and_then(extract_result_ok)
+        .ok_or_else(|| {
+            MacroError::new(format!(
+                "component methods must return Result<T, WeaverError>: `{}`",
+                sig.name
             ))
-        }
-    };
-
+        })?;
     Ok(Method {
-        ident: f.sig.ident.clone(),
+        name: sig.name,
         args,
         ok_type,
         routed,
     })
 }
 
-/// Extracts `T` from a `Result<T, E>` return type.
-fn extract_result_ok(ty: &Type) -> Option<Type> {
-    let Type::Path(path) = ty else { return None };
-    let last = path.path.segments.last()?;
-    if last.ident != "Result" {
+/// Extracts `T` from a rendered `Result<T, E>` return type.
+fn extract_result_ok(ty: &str) -> Option<String> {
+    let toks = lex(ty).ok()?;
+    // Find the `Result` path segment followed by `<`.
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("Result") && toks.get(i + 1).is_some_and(|t| t.is_punct("<")) {
+            break;
+        }
+        // Only path prefixes (`::`, `std`, `result`) may precede it.
+        if !(toks[i].kind == TokKind::Ident || toks[i].is_punct(":")) {
+            return None;
+        }
+        i += 1;
+    }
+    if i >= toks.len() {
         return None;
     }
-    let syn::PathArguments::AngleBracketed(args) = &last.arguments else {
-        return None;
+    // Take the tokens of the first generic argument at angle depth 1.
+    let mut depth = 0i32;
+    let mut start = None;
+    let mut j = i + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("<") {
+            depth += 1;
+            if depth == 1 {
+                start = Some(j + 1);
+            }
+        } else if t.is_punct(">") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(weaver_syntax::render_type(&toks[start?..j]));
+            }
+        } else if t.is_punct(",") && depth == 1 {
+            return Some(weaver_syntax::render_type(&toks[start?..j]));
+        } else if t.kind == TokKind::Open {
+            // Balanced `()`/`[]` inside the type: skip whole.
+            let mut d = 0usize;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokKind::Open => d += 1,
+                    TokKind::Close => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Emits the client struct, its trait impl, and the `ComponentInterface`
+/// impl, mirroring the layout documented at the top of this module.
+fn generate(trait_ident: &str, explicit_name: Option<&str>, methods: &[Method]) -> String {
+    let client_ident = format!("{trait_ident}Client");
+    let name_expr = match explicit_name {
+        Some(n) => format!("{n:?}"),
+        None => format!("::std::concat!(::std::module_path!(), \".\", {trait_ident:?})",),
     };
-    let mut type_args = args.args.iter().filter_map(|a| match a {
-        syn::GenericArgument::Type(t) => Some(t.clone()),
-        _ => None,
-    });
-    type_args.next()
+
+    let method_specs: String = methods
+        .iter()
+        .map(|m| {
+            format!(
+                "::weaver_core::component::MethodSpec {{ name: {:?}, routed: {} }},\n",
+                m.name, m.routed
+            )
+        })
+        .collect();
+
+    let client_methods: String = methods
+        .iter()
+        .enumerate()
+        .map(|(idx, m)| {
+            let arg_pairs: String = m
+                .args
+                .iter()
+                .map(|(name, ty)| format!(", {name}: {ty}"))
+                .collect();
+            let encodes: String = m
+                .args
+                .iter()
+                .map(|(name, _)| {
+                    format!("::weaver_codec::wire::Encode::encode(&{name}, &mut args);\n")
+                })
+                .collect();
+            let routing = if m.routed {
+                format!(
+                    "::std::option::Option::Some(::weaver_core::routing_key(&{}))",
+                    m.args[0].0
+                )
+            } else {
+                "::std::option::Option::None".to_string()
+            };
+            format!(
+                "fn {name}(
+                    &self,
+                    ctx: &::weaver_core::context::CallContext{arg_pairs}
+                ) -> ::std::result::Result<{ok}, ::weaver_core::error::WeaverError> {{
+                    let mut args = ::std::vec::Vec::new();
+                    {encodes}
+                    let reply = self.handle.call(ctx, {idx}u32, {routing}, args)?;
+                    ::weaver_core::client::decode_reply::<{ok}>(&reply)
+                }}\n",
+                name = m.name,
+                ok = m.ok_type,
+            )
+        })
+        .collect();
+
+    let dispatch_arms: String = methods
+        .iter()
+        .enumerate()
+        .map(|(idx, m)| {
+            let decodes: String = m
+                .args
+                .iter()
+                .map(|(name, ty)| {
+                    format!(
+                        "let {name} = <{ty} as ::weaver_codec::wire::Decode>::decode(&mut r)
+                            .map_err(::weaver_core::error::WeaverError::from)?;\n"
+                    )
+                })
+                .collect();
+            let arg_names: String = m.args.iter().map(|(name, _)| format!(", {name}")).collect();
+            format!(
+                "{idx}u32 => {{
+                    let mut r = ::weaver_codec::reader::Reader::new(args);
+                    let _ = &mut r;
+                    {decodes}
+                    let ret = this.{name}(ctx{arg_names});
+                    ::std::result::Result::Ok(::weaver_core::client::encode_reply(&ret))
+                }}\n",
+                name = m.name,
+            )
+        })
+        .collect();
+
+    format!(
+        "/// Generated client stub: marshals arguments and calls through the
+/// runtime. Local (co-located) calls never construct one of these —
+/// the runtime hands out the implementation `Arc` directly.
+#[doc(hidden)]
+pub struct {client_ident} {{
+    handle: ::weaver_core::client::ClientHandle,
+}}
+
+impl {trait_ident} for {client_ident} {{
+    {client_methods}
+}}
+
+impl ::weaver_core::component::ComponentInterface for dyn {trait_ident} {{
+    const NAME: &'static str = {name_expr};
+
+    const METHODS: &'static [::weaver_core::component::MethodSpec] = &[
+        {method_specs}
+    ];
+
+    fn client(handle: ::weaver_core::client::ClientHandle) -> ::std::sync::Arc<Self> {{
+        ::std::sync::Arc::new({client_ident} {{ handle }})
+    }}
+
+    fn dispatch(
+        this: &Self,
+        method: u32,
+        ctx: &::weaver_core::context::CallContext,
+        args: &[u8],
+    ) -> ::std::result::Result<::std::vec::Vec<u8>, ::weaver_core::error::WeaverError>
+    {{
+        match method {{
+            {dispatch_arms}
+            other => ::std::result::Result::Err(
+                ::weaver_core::error::WeaverError::UnknownMethod {{
+                    component: <Self as ::weaver_core::component::ComponentInterface>::NAME
+                        .to_string(),
+                    method: other,
+                }},
+            ),
+        }}
+    }}
+}}\n"
+    )
 }

@@ -1,29 +1,932 @@
 //! Expansion of `#[derive(WeaverData)]`.
+//!
+//! Parses the type definition with the shared `weaver-syntax` scanner (no
+//! `syn` dependency) and emits the eight codec impls as source text.
 
-use proc_macro2::TokenStream;
-use quote::{format_ident, quote};
-use syn::{
-    parse2, Data, DataEnum, DataStruct, DeriveInput, Fields, GenericParam, Generics, Ident,
-    Index, Result,
-};
+use crate::error::MacroError;
+use proc_macro::TokenStream;
+use weaver_syntax::{lex, render_type, Cursor, Tok, TokKind};
 
-pub fn expand(input: TokenStream) -> Result<TokenStream> {
-    let input: DeriveInput = parse2(input)?;
-    let name = &input.ident;
-    let generics = add_bounds(input.generics.clone());
-    let (impl_generics, ty_generics, where_clause) = generics.split_for_impl();
+/// One field of a struct or variant.
+struct Field {
+    /// `None` for tuple fields.
+    name: Option<String>,
+    ty: String,
+}
 
-    let body = match &input.data {
-        Data::Struct(s) => expand_struct(name, s)?,
-        Data::Enum(e) => expand_enum(name, e)?,
-        Data::Union(_) => {
-            return Err(syn::Error::new_spanned(
-                &input.ident,
-                "WeaverData cannot be derived for unions",
+impl Field {
+    /// `self.name` / `self.0`.
+    fn access(&self, i: usize) -> String {
+        match &self.name {
+            Some(n) => format!("self.{n}"),
+            None => format!("self.{i}"),
+        }
+    }
+    /// Local binding used in decode paths.
+    fn binding(&self, i: usize) -> String {
+        match &self.name {
+            Some(n) => n.clone(),
+            None => format!("f{i}"),
+        }
+    }
+    /// JSON object key.
+    fn json_key(&self, i: usize) -> String {
+        match &self.name {
+            Some(n) => n.clone(),
+            None => format!("{i}"),
+        }
+    }
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Shape {
+    Named,
+    Tuple,
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+    fields: Vec<Field>,
+}
+
+/// One parsed generic type parameter: `T` plus its original bounds text.
+struct TypeParam {
+    name: String,
+    bounds: String,
+}
+
+pub fn expand(input: TokenStream) -> Result<TokenStream, MacroError> {
+    let src = input.to_string();
+    let toks = lex(&src).map_err(|e| MacroError::new(format!("derive(WeaverData): {e}")))?;
+    let mut c = Cursor::new(&toks);
+
+    // Attributes and visibility.
+    loop {
+        match c.peek() {
+            Some(t) if t.is_punct("#") => {
+                c.next();
+                if !c.skip_balanced() {
+                    return Err(MacroError::new("derive(WeaverData): malformed attribute"));
+                }
+            }
+            Some(t) if t.is_ident("pub") => {
+                c.next();
+                if c.peek().is_some_and(|t| t.is_punct("(")) {
+                    c.skip_balanced();
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let is_enum = match c.peek() {
+        Some(t) if t.is_ident("struct") => false,
+        Some(t) if t.is_ident("enum") => true,
+        Some(t) if t.is_ident("union") => {
+            return Err(MacroError::new("WeaverData cannot be derived for unions"))
+        }
+        _ => {
+            return Err(MacroError::new(
+                "WeaverData can only be derived for structs and enums",
             ))
         }
     };
+    c.next();
+    let name = c
+        .eat_any_ident()
+        .ok_or_else(|| MacroError::new("derive(WeaverData): expected a type name"))?
+        .text
+        .clone();
 
+    let params = parse_generics(&mut c)?;
+    if c.peek().is_some_and(|t| t.is_ident("where")) {
+        return Err(MacroError::new(
+            "derive(WeaverData): `where` clauses are not supported; put bounds on the parameters",
+        ));
+    }
+
+    let impls = if is_enum {
+        let body = c
+            .take_group()
+            .ok_or_else(|| MacroError::new("derive(WeaverData): expected an enum body"))?;
+        let variants = parse_variants(body)?;
+        if variants.is_empty() {
+            return Err(MacroError::new(
+                "WeaverData cannot be derived for empty enums",
+            ));
+        }
+        expand_enum(&name, &variants)
+    } else {
+        let (shape, fields) = match c.peek() {
+            Some(t) if t.is_punct("{") => {
+                let body = c
+                    .take_group()
+                    .ok_or_else(|| MacroError::new("derive(WeaverData): unbalanced struct body"))?;
+                (Shape::Named, parse_fields(body, Shape::Named)?)
+            }
+            Some(t) if t.is_punct("(") => {
+                let body = c
+                    .take_group()
+                    .ok_or_else(|| MacroError::new("derive(WeaverData): unbalanced struct body"))?;
+                (Shape::Tuple, parse_fields(body, Shape::Tuple)?)
+            }
+            Some(t) if t.is_punct(";") => (Shape::Unit, Vec::new()),
+            _ => {
+                return Err(MacroError::new(
+                    "derive(WeaverData): expected a struct body",
+                ))
+            }
+        };
+        expand_struct(&name, shape, &fields)
+    };
+
+    let output = render_impls(&name, &params, &impls);
+    output.parse().map_err(|e| {
+        MacroError::new(format!(
+            "derive(WeaverData): generated code failed to parse: {e}"
+        ))
+    })
+}
+
+/// Parses `<T, U: Clone>` after the type name, if present.
+fn parse_generics(c: &mut Cursor<'_>) -> Result<Vec<TypeParam>, MacroError> {
+    let mut params = Vec::new();
+    if !c.peek().is_some_and(|t| t.is_punct("<")) {
+        return Ok(params);
+    }
+    c.next();
+    loop {
+        match c.peek() {
+            None => return Err(MacroError::new("derive(WeaverData): unbalanced generics")),
+            Some(t) if t.is_punct(">") => {
+                c.next();
+                break;
+            }
+            Some(t) if t.kind == TokKind::Lifetime => {
+                return Err(MacroError::new(
+                    "derive(WeaverData): lifetime parameters are not supported (wire data is owned)",
+                ));
+            }
+            Some(t) if t.is_ident("const") => {
+                return Err(MacroError::new(
+                    "derive(WeaverData): const generics are not supported",
+                ));
+            }
+            Some(_) => {
+                let pname = c
+                    .eat_any_ident()
+                    .ok_or_else(|| {
+                        MacroError::new("derive(WeaverData): expected a type parameter")
+                    })?
+                    .text
+                    .clone();
+                let mut bound_toks: Vec<Tok> = Vec::new();
+                if c.eat_punct(":") {
+                    let mut angle = 0i32;
+                    while let Some(t) = c.peek() {
+                        if angle == 0 && (t.is_punct(",") || t.is_punct(">")) {
+                            break;
+                        }
+                        if t.is_punct("<") {
+                            angle += 1;
+                        } else if t.is_punct(">") {
+                            angle -= 1;
+                        }
+                        bound_toks.push(t.clone());
+                        c.next();
+                    }
+                }
+                c.eat_punct(",");
+                params.push(TypeParam {
+                    name: pname,
+                    bounds: render_type(&bound_toks),
+                });
+            }
+        }
+    }
+    Ok(params)
+}
+
+/// Skips any `#[...]` attributes (doc comments included) at the cursor.
+fn skip_attrs(c: &mut Cursor<'_>) -> Result<(), MacroError> {
+    while c.peek().is_some_and(|t| t.is_punct("#")) {
+        c.next();
+        if !c.skip_balanced() {
+            return Err(MacroError::new("derive(WeaverData): malformed attribute"));
+        }
+    }
+    Ok(())
+}
+
+/// Parses the fields of a named or tuple body (delimiters already removed).
+fn parse_fields(body: &[Tok], shape: Shape) -> Result<Vec<Field>, MacroError> {
+    let mut fields = Vec::new();
+    let mut c = Cursor::new(body);
+    while !c.at_end() {
+        skip_attrs(&mut c)?;
+        if c.at_end() {
+            break;
+        }
+        if c.eat_ident("pub") && c.peek().is_some_and(|t| t.is_punct("(")) {
+            c.skip_balanced();
+        }
+        let name = if shape == Shape::Named {
+            let n = c
+                .eat_any_ident()
+                .ok_or_else(|| MacroError::new("derive(WeaverData): expected a field name"))?
+                .text
+                .clone();
+            if !c.eat_punct(":") {
+                return Err(MacroError::new(
+                    "derive(WeaverData): expected `:` after field name",
+                ));
+            }
+            Some(n)
+        } else {
+            None
+        };
+        // Type runs to the next top-level comma.
+        let start = c.pos();
+        let mut angle = 0i32;
+        while let Some(t) = c.peek() {
+            if angle == 0 && t.is_punct(",") {
+                break;
+            }
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle -= 1;
+            }
+            if t.kind == TokKind::Open {
+                c.skip_balanced();
+            } else {
+                c.next();
+            }
+        }
+        let ty_toks = &body[start..c.pos()];
+        if ty_toks.is_empty() {
+            return Err(MacroError::new("derive(WeaverData): expected a field type"));
+        }
+        fields.push(Field {
+            name,
+            ty: render_type(ty_toks),
+        });
+        c.eat_punct(",");
+    }
+    Ok(fields)
+}
+
+/// Parses the variants of an enum body (delimiters already removed).
+fn parse_variants(body: &[Tok]) -> Result<Vec<Variant>, MacroError> {
+    let mut variants = Vec::new();
+    let mut c = Cursor::new(body);
+    while !c.at_end() {
+        skip_attrs(&mut c)?;
+        if c.at_end() {
+            break;
+        }
+        let vname = c
+            .eat_any_ident()
+            .ok_or_else(|| MacroError::new("derive(WeaverData): expected a variant name"))?
+            .text
+            .clone();
+        let (shape, fields) = match c.peek() {
+            Some(t) if t.is_punct("(") => {
+                let inner = c
+                    .take_group()
+                    .ok_or_else(|| MacroError::new("derive(WeaverData): unbalanced variant"))?;
+                (Shape::Tuple, parse_fields(inner, Shape::Tuple)?)
+            }
+            Some(t) if t.is_punct("{") => {
+                let inner = c
+                    .take_group()
+                    .ok_or_else(|| MacroError::new("derive(WeaverData): unbalanced variant"))?;
+                (Shape::Named, parse_fields(inner, Shape::Named)?)
+            }
+            _ => (Shape::Unit, Vec::new()),
+        };
+        if c.peek().is_some_and(|t| t.is_punct("=")) {
+            return Err(MacroError::new(
+                "derive(WeaverData): explicit discriminants are not supported \
+                 (wire discriminants come from declaration order)",
+            ));
+        }
+        c.eat_punct(",");
+        variants.push(Variant {
+            name: vname,
+            shape,
+            fields,
+        });
+    }
+    Ok(variants)
+}
+
+struct StructImpls {
+    wire_encode: String,
+    wire_decode: String,
+    tagged_encode: String,
+    tagged_decode: String,
+    to_json: String,
+    from_json: String,
+}
+
+/// Builds `Name { a: a, b: b }`, `Name(f0, f1)`, or `Name`.
+fn construct_expr(path: &str, shape: Shape, fields: &[Field]) -> String {
+    match shape {
+        Shape::Named => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| format!("{}: {}", f.json_key(i), f.binding(i)))
+                .collect();
+            format!("{path} {{ {} }}", pairs.join(", "))
+        }
+        Shape::Tuple => {
+            let bindings: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| f.binding(i))
+                .collect();
+            format!("{path}({})", bindings.join(", "))
+        }
+        Shape::Unit => path.to_string(),
+    }
+}
+
+/// Builds a match pattern binding every field.
+fn pattern_expr(path: &str, shape: Shape, fields: &[Field]) -> String {
+    match shape {
+        Shape::Named => {
+            let names: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| f.binding(i))
+                .collect();
+            format!("{path} {{ {} }}", names.join(", "))
+        }
+        Shape::Tuple => {
+            let bindings: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| f.binding(i))
+                .collect();
+            format!("{path}({})", bindings.join(", "))
+        }
+        Shape::Unit => path.to_string(),
+    }
+}
+
+fn expand_struct(name: &str, shape: Shape, fields: &[Field]) -> StructImpls {
+    let is_named = shape == Shape::Named;
+
+    let wire_encode: String = fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            format!(
+                "::weaver_codec::wire::Encode::encode(&{}, buf);\n",
+                f.access(i)
+            )
+        })
+        .collect();
+
+    let wire_decode = {
+        let reads: String = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                format!(
+                    "let {} = <{} as ::weaver_codec::wire::Decode>::decode(r)?;\n",
+                    f.binding(i),
+                    f.ty
+                )
+            })
+            .collect();
+        let construct = construct_expr(name, shape, fields);
+        format!("{reads}::std::result::Result::Ok({construct})")
+    };
+
+    let tagged_encode: String = fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            format!(
+                "::weaver_codec::tagged::TaggedField::emit(&{}, {}u32, buf);\n",
+                f.access(i),
+                i + 1
+            )
+        })
+        .collect();
+
+    let tagged_decode = {
+        let inits: String = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                format!(
+                    "let mut {}: {} = ::std::default::Default::default();\n",
+                    f.binding(i),
+                    f.ty
+                )
+            })
+            .collect();
+        let arms: String = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                format!(
+                    "{}u32 => ::weaver_codec::tagged::TaggedField::merge(&mut {}, key, r)?,\n",
+                    i + 1,
+                    f.binding(i)
+                )
+            })
+            .collect();
+        let construct = construct_expr(name, shape, fields);
+        format!(
+            "{inits}
+            while !r.is_empty() {{
+                let key = ::weaver_codec::tagged::read_key(r)?;
+                match key.field {{
+                    {arms}
+                    _ => ::weaver_codec::tagged::skip_value(r, key.wire_type)?,
+                }}
+            }}
+            ::std::result::Result::Ok({construct})"
+        )
+    };
+
+    let to_json = if is_named {
+        let inserts: String = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                format!(
+                    "map.insert({:?}.to_string(), ::weaver_codec::json::ToJson::to_json(&{}));\n",
+                    f.json_key(i),
+                    f.access(i)
+                )
+            })
+            .collect();
+        format!(
+            "let mut map = ::std::collections::BTreeMap::new();
+            {inserts}
+            ::weaver_codec::json::JsonValue::Object(map)"
+        )
+    } else if fields.is_empty() {
+        "::weaver_codec::json::JsonValue::Array(::std::vec::Vec::new())".to_string()
+    } else {
+        let items: Vec<String> = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| format!("::weaver_codec::json::ToJson::to_json(&{})", f.access(i)))
+            .collect();
+        format!(
+            "::weaver_codec::json::JsonValue::Array(vec![{}])",
+            items.join(", ")
+        )
+    };
+
+    let from_json = if is_named {
+        let reads: String = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let key = f.json_key(i);
+                format!(
+                    "let {} = <{} as ::weaver_codec::json::FromJson>::from_json_field(
+                        obj.get({key:?}), {key:?},
+                    )?;\n",
+                    f.binding(i),
+                    f.ty
+                )
+            })
+            .collect();
+        let construct = construct_expr(name, shape, fields);
+        format!(
+            "let obj = v.as_object()?;
+            {reads}
+            ::std::result::Result::Ok({construct})"
+        )
+    } else {
+        let n = fields.len();
+        let reads: String = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                format!(
+                    "let {} = <{} as ::weaver_codec::json::FromJson>::from_json(&arr[{i}])?;\n",
+                    f.binding(i),
+                    f.ty
+                )
+            })
+            .collect();
+        let construct = construct_expr(name, shape, fields);
+        format!(
+            "let arr = v.as_array()?;
+            if arr.len() != {n}usize {{
+                return ::std::result::Result::Err(
+                    ::weaver_codec::error::DecodeError::JsonType {{
+                        expected: \"tuple array of matching arity\",
+                    }},
+                );
+            }}
+            {reads}
+            ::std::result::Result::Ok({construct})"
+        )
+    };
+
+    StructImpls {
+        wire_encode,
+        wire_decode,
+        tagged_encode,
+        tagged_decode,
+        to_json,
+        from_json,
+    }
+}
+
+fn expand_enum(name: &str, variants: &[Variant]) -> StructImpls {
+    let wire_encode = {
+        let arms: String = variants
+            .iter()
+            .enumerate()
+            .map(|(idx, v)| {
+                let pat = pattern_expr(&format!("{name}::{}", v.name), v.shape, &v.fields);
+                let writes: String = v
+                    .fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        format!(
+                            "::weaver_codec::wire::Encode::encode({}, buf);\n",
+                            f.binding(i)
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{pat} => {{
+                        ::weaver_codec::varint::write_uvarint(buf, {idx}u64);
+                        {writes}
+                    }}\n"
+                )
+            })
+            .collect();
+        format!("match self {{ {arms} }}")
+    };
+
+    let wire_decode = {
+        let arms: String = variants
+            .iter()
+            .enumerate()
+            .map(|(idx, v)| {
+                let reads: String = v
+                    .fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        format!(
+                            "let {} = <{} as ::weaver_codec::wire::Decode>::decode(r)?;\n",
+                            f.binding(i),
+                            f.ty
+                        )
+                    })
+                    .collect();
+                let construct = construct_expr(&format!("{name}::{}", v.name), v.shape, &v.fields);
+                format!(
+                    "{idx}u64 => {{
+                        {reads}
+                        ::std::result::Result::Ok({construct})
+                    }}\n"
+                )
+            })
+            .collect();
+        format!(
+            "let disc = ::weaver_codec::varint::read_uvarint(r)?;
+            match disc {{
+                {arms}
+                other => ::std::result::Result::Err(
+                    ::weaver_codec::error::DecodeError::UnknownVariant {{
+                        type_name: {name:?},
+                        discriminant: other,
+                    }},
+                ),
+            }}"
+        )
+    };
+
+    // Tagged layout for enums: field 1 = discriminant (always present),
+    // field 2 = length-delimited payload carrying the variant's own fields
+    // as a nested message numbered from 1.
+    let tagged_encode = {
+        let arms: String = variants
+            .iter()
+            .enumerate()
+            .map(|(idx, v)| {
+                let pat = pattern_expr(&format!("{name}::{}", v.name), v.shape, &v.fields);
+                let emits: String = v
+                    .fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        format!(
+                            "::weaver_codec::tagged::TaggedField::emit({}, {}u32, &mut payload);\n",
+                            f.binding(i),
+                            i + 1
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{pat} => {{
+                        ::weaver_codec::tagged::write_key(
+                            buf, 1, ::weaver_codec::tagged::WireType::Varint,
+                        );
+                        ::weaver_codec::varint::write_uvarint(buf, {idx}u64);
+                        let mut payload = ::std::vec::Vec::new();
+                        let _ = &mut payload;
+                        {emits}
+                        ::weaver_codec::tagged::write_key(
+                            buf, 2, ::weaver_codec::tagged::WireType::LengthDelimited,
+                        );
+                        ::weaver_codec::varint::write_uvarint(buf, payload.len() as u64);
+                        buf.extend_from_slice(&payload);
+                    }}\n"
+                )
+            })
+            .collect();
+        format!("match self {{ {arms} }}")
+    };
+
+    let tagged_decode = {
+        let arms: String = variants
+            .iter()
+            .enumerate()
+            .map(|(idx, v)| {
+                let inits: String = v
+                    .fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        format!(
+                            "let mut {}: {} = ::std::default::Default::default();\n",
+                            f.binding(i),
+                            f.ty
+                        )
+                    })
+                    .collect();
+                let field_arms: String = v
+                    .fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        format!(
+                            "{}u32 => ::weaver_codec::tagged::TaggedField::merge(&mut {}, key, r)?,\n",
+                            i + 1,
+                            f.binding(i)
+                        )
+                    })
+                    .collect();
+                let construct =
+                    construct_expr(&format!("{name}::{}", v.name), v.shape, &v.fields);
+                format!(
+                    "{idx}u64 => {{
+                        {inits}
+                        let mut r = ::weaver_codec::reader::Reader::new(&payload);
+                        let r = &mut r;
+                        while !r.is_empty() {{
+                            let key = ::weaver_codec::tagged::read_key(r)?;
+                            match key.field {{
+                                {field_arms}
+                                _ => ::weaver_codec::tagged::skip_value(r, key.wire_type)?,
+                            }}
+                        }}
+                        ::std::result::Result::Ok({construct})
+                    }}\n"
+                )
+            })
+            .collect();
+        format!(
+            "let mut disc: u64 = 0;
+            let mut payload: ::std::vec::Vec<u8> = ::std::vec::Vec::new();
+            while !r.is_empty() {{
+                let key = ::weaver_codec::tagged::read_key(r)?;
+                match key.field {{
+                    1 => ::weaver_codec::tagged::TaggedField::merge(&mut disc, key, r)?,
+                    2 => {{
+                        if key.wire_type != ::weaver_codec::tagged::WireType::LengthDelimited {{
+                            return ::std::result::Result::Err(
+                                ::weaver_codec::error::DecodeError::WireTypeMismatch {{
+                                    field: 2,
+                                    found: key.wire_type as u8,
+                                }},
+                            );
+                        }}
+                        let len = r.read_len()?;
+                        payload = r.read_bytes(len)?.to_vec();
+                    }}
+                    _ => ::weaver_codec::tagged::skip_value(r, key.wire_type)?,
+                }}
+            }}
+            match disc {{
+                {arms}
+                other => ::std::result::Result::Err(
+                    ::weaver_codec::error::DecodeError::UnknownVariant {{
+                        type_name: {name:?},
+                        discriminant: other,
+                    }},
+                ),
+            }}"
+        )
+    };
+
+    let to_json = {
+        let arms: String = variants
+            .iter()
+            .map(|v| {
+                let vname = &v.name;
+                let pat = pattern_expr(&format!("{name}::{vname}"), v.shape, &v.fields);
+                let tag_insert = format!(
+                    "let mut map = ::std::collections::BTreeMap::new();
+                     map.insert(
+                        \"$type\".to_string(),
+                        ::weaver_codec::json::JsonValue::String({vname:?}.to_string()),
+                     );"
+                );
+                match v.shape {
+                    Shape::Unit => format!(
+                        "{pat} => {{
+                            {tag_insert}
+                            ::weaver_codec::json::JsonValue::Object(map)
+                        }}\n"
+                    ),
+                    Shape::Named => {
+                        let inserts: String = v
+                            .fields
+                            .iter()
+                            .enumerate()
+                            .map(|(i, f)| {
+                                format!(
+                                    "map.insert({:?}.to_string(), \
+                                     ::weaver_codec::json::ToJson::to_json({}));\n",
+                                    f.json_key(i),
+                                    f.binding(i)
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{pat} => {{
+                                {tag_insert}
+                                {inserts}
+                                ::weaver_codec::json::JsonValue::Object(map)
+                            }}\n"
+                        )
+                    }
+                    Shape::Tuple => {
+                        let items: Vec<String> = v
+                            .fields
+                            .iter()
+                            .enumerate()
+                            .map(|(i, f)| {
+                                format!("::weaver_codec::json::ToJson::to_json({})", f.binding(i))
+                            })
+                            .collect();
+                        format!(
+                            "{pat} => {{
+                                {tag_insert}
+                                map.insert(
+                                    \"$fields\".to_string(),
+                                    ::weaver_codec::json::JsonValue::Array(vec![{}]),
+                                );
+                                ::weaver_codec::json::JsonValue::Object(map)
+                            }}\n",
+                            items.join(", ")
+                        )
+                    }
+                }
+            })
+            .collect();
+        format!("match self {{ {arms} }}")
+    };
+
+    let from_json = {
+        let arms: String = variants
+            .iter()
+            .map(|v| {
+                let vname = &v.name;
+                let construct =
+                    construct_expr(&format!("{name}::{vname}"), v.shape, &v.fields);
+                match v.shape {
+                    Shape::Unit => {
+                        format!("{vname:?} => ::std::result::Result::Ok({construct}),\n")
+                    }
+                    Shape::Named => {
+                        let reads: String = v
+                            .fields
+                            .iter()
+                            .enumerate()
+                            .map(|(i, f)| {
+                                let key = f.json_key(i);
+                                format!(
+                                    "let {} = <{} as ::weaver_codec::json::FromJson>::from_json_field(
+                                        obj.get({key:?}), {key:?},
+                                    )?;\n",
+                                    f.binding(i),
+                                    f.ty
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{vname:?} => {{
+                                {reads}
+                                ::std::result::Result::Ok({construct})
+                            }}\n"
+                        )
+                    }
+                    Shape::Tuple => {
+                        let n = v.fields.len();
+                        let reads: String = v
+                            .fields
+                            .iter()
+                            .enumerate()
+                            .map(|(i, f)| {
+                                format!(
+                                    "let {} = <{} as ::weaver_codec::json::FromJson>::from_json(&arr[{i}])?;\n",
+                                    f.binding(i),
+                                    f.ty
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{vname:?} => {{
+                                let arr = v.get(\"$fields\")?.as_array()?;
+                                if arr.len() != {n}usize {{
+                                    return ::std::result::Result::Err(
+                                        ::weaver_codec::error::DecodeError::JsonType {{
+                                            expected: \"variant field array of matching arity\",
+                                        }},
+                                    );
+                                }}
+                                {reads}
+                                ::std::result::Result::Ok({construct})
+                            }}\n"
+                        )
+                    }
+                }
+            })
+            .collect();
+        format!(
+            "let obj = v.as_object()?;
+            let tag = v.get(\"$type\")?.as_str()?;
+            let _ = obj;
+            match tag {{
+                {arms}
+                _ => ::std::result::Result::Err(
+                    ::weaver_codec::error::DecodeError::JsonType {{
+                        expected: \"a known enum variant name in $type\",
+                    }},
+                ),
+            }}"
+        )
+    };
+
+    StructImpls {
+        wire_encode,
+        wire_decode,
+        tagged_encode,
+        tagged_decode,
+        to_json,
+        from_json,
+    }
+}
+
+/// Assembles the eight trait impls with the codec bounds added to every
+/// type parameter (`Default` included: the tagged decoder pre-initializes
+/// fields before merging).
+fn render_impls(name: &str, params: &[TypeParam], impls: &StructImpls) -> String {
+    const BOUNDS: &str = "::weaver_codec::wire::Encode + ::weaver_codec::wire::Decode \
+                          + ::weaver_codec::tagged::TaggedField + ::weaver_codec::json::ToJson \
+                          + ::weaver_codec::json::FromJson + ::std::default::Default";
+    let (impl_generics, ty_generics) = if params.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let decls: Vec<String> = params
+            .iter()
+            .map(|p| {
+                if p.bounds.is_empty() {
+                    format!("{}: {BOUNDS}", p.name)
+                } else {
+                    format!("{}: {} + {BOUNDS}", p.name, p.bounds)
+                }
+            })
+            .collect();
+        let names: Vec<&str> = params.iter().map(|p| p.name.as_str()).collect();
+        (
+            format!("<{}>", decls.join(", ")),
+            format!("<{}>", names.join(", ")),
+        )
+    };
+    let this = format!("{name}{ty_generics}");
     let StructImpls {
         wire_encode,
         wire_decode,
@@ -31,51 +934,55 @@ pub fn expand(input: TokenStream) -> Result<TokenStream> {
         tagged_decode,
         to_json,
         from_json,
-    } = body;
+    } = impls;
 
-    Ok(quote! {
-        impl #impl_generics ::weaver_codec::wire::Encode for #name #ty_generics #where_clause {
-            fn encode(&self, buf: &mut ::std::vec::Vec<u8>) {
-                #wire_encode
-            }
-        }
+    format!(
+        "impl{impl_generics} ::weaver_codec::wire::Encode for {this} {{
+            fn encode(&self, buf: &mut ::std::vec::Vec<u8>) {{
+                let _ = buf;
+                {wire_encode}
+            }}
+        }}
 
-        impl #impl_generics ::weaver_codec::wire::Decode for #name #ty_generics #where_clause {
+        impl{impl_generics} ::weaver_codec::wire::Decode for {this} {{
             fn decode(
                 r: &mut ::weaver_codec::reader::Reader<'_>,
-            ) -> ::std::result::Result<Self, ::weaver_codec::error::DecodeError> {
-                #wire_decode
-            }
-        }
+            ) -> ::std::result::Result<Self, ::weaver_codec::error::DecodeError> {{
+                let _ = &r;
+                {wire_decode}
+            }}
+        }}
 
-        impl #impl_generics ::weaver_codec::tagged::TaggedEncode for #name #ty_generics #where_clause {
-            fn encode_tagged(&self, buf: &mut ::std::vec::Vec<u8>) {
-                #tagged_encode
-            }
-        }
+        impl{impl_generics} ::weaver_codec::tagged::TaggedEncode for {this} {{
+            fn encode_tagged(&self, buf: &mut ::std::vec::Vec<u8>) {{
+                let _ = buf;
+                {tagged_encode}
+            }}
+        }}
 
-        impl #impl_generics ::weaver_codec::tagged::TaggedDecode for #name #ty_generics #where_clause {
+        impl{impl_generics} ::weaver_codec::tagged::TaggedDecode for {this} {{
             fn decode_tagged(
                 r: &mut ::weaver_codec::reader::Reader<'_>,
-            ) -> ::std::result::Result<Self, ::weaver_codec::error::DecodeError> {
-                #tagged_decode
-            }
-        }
+            ) -> ::std::result::Result<Self, ::weaver_codec::error::DecodeError> {{
+                let _ = &r;
+                {tagged_decode}
+            }}
+        }}
 
-        impl #impl_generics ::weaver_codec::tagged::TaggedValue for #name #ty_generics #where_clause {
+        impl{impl_generics} ::weaver_codec::tagged::TaggedValue for {this} {{
             const WIRE: ::weaver_codec::tagged::WireType =
                 ::weaver_codec::tagged::WireType::LengthDelimited;
 
-            fn write_value(&self, buf: &mut ::std::vec::Vec<u8>) {
+            fn write_value(&self, buf: &mut ::std::vec::Vec<u8>) {{
                 let mut body = ::std::vec::Vec::new();
                 ::weaver_codec::tagged::TaggedEncode::encode_tagged(self, &mut body);
                 ::weaver_codec::varint::write_uvarint(buf, body.len() as u64);
                 buf.extend_from_slice(&body);
-            }
+            }}
 
             fn read_value(
                 r: &mut ::weaver_codec::reader::Reader<'_>,
-            ) -> ::std::result::Result<Self, ::weaver_codec::error::DecodeError> {
+            ) -> ::std::result::Result<Self, ::weaver_codec::error::DecodeError> {{
                 r.enter()?;
                 let len = r.read_len()?;
                 let body = r.read_bytes(len)?;
@@ -83,651 +990,55 @@ pub fn expand(input: TokenStream) -> Result<TokenStream> {
                 let out = <Self as ::weaver_codec::tagged::TaggedDecode>::decode_tagged(&mut inner)?;
                 r.leave();
                 ::std::result::Result::Ok(out)
-            }
+            }}
 
-            fn is_default_value(&self) -> bool {
+            fn is_default_value(&self) -> bool {{
                 // Message-typed values always use explicit presence.
                 false
-            }
-        }
+            }}
+        }}
 
-        impl #impl_generics ::weaver_codec::tagged::TaggedField for #name #ty_generics #where_clause {
-            fn emit(&self, field: u32, buf: &mut ::std::vec::Vec<u8>) {
+        impl{impl_generics} ::weaver_codec::tagged::TaggedField for {this} {{
+            fn emit(&self, field: u32, buf: &mut ::std::vec::Vec<u8>) {{
                 ::weaver_codec::tagged::write_key(
                     buf,
                     field,
                     ::weaver_codec::tagged::WireType::LengthDelimited,
                 );
                 ::weaver_codec::tagged::TaggedValue::write_value(self, buf);
-            }
+            }}
 
             fn merge(
                 &mut self,
                 key: ::weaver_codec::tagged::FieldKey,
                 r: &mut ::weaver_codec::reader::Reader<'_>,
-            ) -> ::std::result::Result<(), ::weaver_codec::error::DecodeError> {
-                if key.wire_type != ::weaver_codec::tagged::WireType::LengthDelimited {
+            ) -> ::std::result::Result<(), ::weaver_codec::error::DecodeError> {{
+                if key.wire_type != ::weaver_codec::tagged::WireType::LengthDelimited {{
                     return ::std::result::Result::Err(
-                        ::weaver_codec::error::DecodeError::WireTypeMismatch {
+                        ::weaver_codec::error::DecodeError::WireTypeMismatch {{
                             field: key.field,
                             found: key.wire_type as u8,
-                        },
+                        }},
                     );
-                }
+                }}
                 *self = <Self as ::weaver_codec::tagged::TaggedValue>::read_value(r)?;
                 ::std::result::Result::Ok(())
-            }
-        }
+            }}
+        }}
 
-        impl #impl_generics ::weaver_codec::json::ToJson for #name #ty_generics #where_clause {
-            fn to_json(&self) -> ::weaver_codec::json::JsonValue {
-                #to_json
-            }
-        }
+        impl{impl_generics} ::weaver_codec::json::ToJson for {this} {{
+            fn to_json(&self) -> ::weaver_codec::json::JsonValue {{
+                {to_json}
+            }}
+        }}
 
-        impl #impl_generics ::weaver_codec::json::FromJson for #name #ty_generics #where_clause {
+        impl{impl_generics} ::weaver_codec::json::FromJson for {this} {{
             fn from_json(
                 v: &::weaver_codec::json::JsonValue,
-            ) -> ::std::result::Result<Self, ::weaver_codec::error::DecodeError> {
-                #from_json
-            }
-        }
-    })
-}
-
-/// Adds the codec bounds to every type parameter.
-fn add_bounds(mut generics: Generics) -> Generics {
-    for param in &mut generics.params {
-        if let GenericParam::Type(ty) = param {
-            ty.bounds.push(syn::parse_quote!(::weaver_codec::wire::Encode));
-            ty.bounds.push(syn::parse_quote!(::weaver_codec::wire::Decode));
-            ty.bounds
-                .push(syn::parse_quote!(::weaver_codec::tagged::TaggedField));
-            ty.bounds.push(syn::parse_quote!(::weaver_codec::json::ToJson));
-            ty.bounds
-                .push(syn::parse_quote!(::weaver_codec::json::FromJson));
-        }
-    }
-    generics
-}
-
-struct StructImpls {
-    wire_encode: TokenStream,
-    wire_decode: TokenStream,
-    tagged_encode: TokenStream,
-    tagged_decode: TokenStream,
-    to_json: TokenStream,
-    from_json: TokenStream,
-}
-
-enum FieldRef {
-    Named(Ident),
-    Indexed(Index),
-}
-
-impl FieldRef {
-    fn access(&self) -> TokenStream {
-        match self {
-            FieldRef::Named(id) => quote!(self.#id),
-            FieldRef::Indexed(ix) => quote!(self.#ix),
-        }
-    }
-    fn binding(&self, i: usize) -> Ident {
-        match self {
-            FieldRef::Named(id) => id.clone(),
-            FieldRef::Indexed(_) => format_ident!("f{i}"),
-        }
-    }
-    fn json_key(&self, i: usize) -> String {
-        match self {
-            FieldRef::Named(id) => id.to_string(),
-            FieldRef::Indexed(_) => format!("{i}"),
-        }
-    }
-}
-
-fn field_refs(fields: &Fields) -> Vec<(FieldRef, syn::Type)> {
-    match fields {
-        Fields::Named(named) => named
-            .named
-            .iter()
-            .map(|f| {
-                (
-                    FieldRef::Named(f.ident.clone().expect("named field has ident")),
-                    f.ty.clone(),
-                )
-            })
-            .collect(),
-        Fields::Unnamed(unnamed) => unnamed
-            .unnamed
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (FieldRef::Indexed(Index::from(i)), f.ty.clone()))
-            .collect(),
-        Fields::Unit => Vec::new(),
-    }
-}
-
-fn expand_struct(name: &Ident, s: &DataStruct) -> Result<StructImpls> {
-    let fields = field_refs(&s.fields);
-    let is_named = matches!(s.fields, Fields::Named(_));
-
-    let wire_encode = {
-        let parts = fields.iter().map(|(fr, _)| {
-            let access = fr.access();
-            quote!(::weaver_codec::wire::Encode::encode(&#access, buf);)
-        });
-        quote!(#(#parts)*)
-    };
-
-    let wire_decode = {
-        let bindings: Vec<Ident> = fields
-            .iter()
-            .enumerate()
-            .map(|(i, (fr, _))| fr.binding(i))
-            .collect();
-        let reads = fields.iter().enumerate().map(|(i, (_, ty))| {
-            let b = &bindings[i];
-            quote!(let #b = <#ty as ::weaver_codec::wire::Decode>::decode(r)?;)
-        });
-        let construct = construct_expr(name, None, &s.fields, &bindings);
-        quote! {
-            #(#reads)*
-            ::std::result::Result::Ok(#construct)
-        }
-    };
-
-    let tagged_encode = {
-        let parts = fields.iter().enumerate().map(|(i, (fr, _))| {
-            let access = fr.access();
-            let num = (i + 1) as u32;
-            quote!(::weaver_codec::tagged::TaggedField::emit(&#access, #num, buf);)
-        });
-        quote!(#(#parts)*)
-    };
-
-    let tagged_decode = {
-        let bindings: Vec<Ident> = fields
-            .iter()
-            .enumerate()
-            .map(|(i, (fr, _))| fr.binding(i))
-            .collect();
-        let inits = fields.iter().enumerate().map(|(i, (_, ty))| {
-            let b = &bindings[i];
-            quote!(let mut #b: #ty = ::std::default::Default::default();)
-        });
-        let arms = fields.iter().enumerate().map(|(i, _)| {
-            let b = &bindings[i];
-            let num = (i + 1) as u32;
-            quote!(#num => ::weaver_codec::tagged::TaggedField::merge(&mut #b, key, r)?,)
-        });
-        let construct = construct_expr(name, None, &s.fields, &bindings);
-        quote! {
-            #(#inits)*
-            while !r.is_empty() {
-                let key = ::weaver_codec::tagged::read_key(r)?;
-                match key.field {
-                    #(#arms)*
-                    _ => ::weaver_codec::tagged::skip_value(r, key.wire_type)?,
-                }
-            }
-            ::std::result::Result::Ok(#construct)
-        }
-    };
-
-    let to_json = if is_named {
-        let inserts = fields.iter().map(|(fr, _)| {
-            let access = fr.access();
-            let key = fr.json_key(0);
-            quote! {
-                map.insert(
-                    #key.to_string(),
-                    ::weaver_codec::json::ToJson::to_json(&#access),
-                );
-            }
-        });
-        quote! {
-            let mut map = ::std::collections::BTreeMap::new();
-            #(#inserts)*
-            ::weaver_codec::json::JsonValue::Object(map)
-        }
-    } else if fields.is_empty() {
-        quote!(::weaver_codec::json::JsonValue::Array(::std::vec::Vec::new()))
-    } else {
-        let items = fields.iter().map(|(fr, _)| {
-            let access = fr.access();
-            quote!(::weaver_codec::json::ToJson::to_json(&#access))
-        });
-        quote!(::weaver_codec::json::JsonValue::Array(vec![#(#items),*]))
-    };
-
-    let from_json = if is_named {
-        let bindings: Vec<Ident> = fields
-            .iter()
-            .enumerate()
-            .map(|(i, (fr, _))| fr.binding(i))
-            .collect();
-        let reads = fields.iter().enumerate().map(|(i, (fr, ty))| {
-            let b = &bindings[i];
-            let key = fr.json_key(0);
-            quote! {
-                let #b = <#ty as ::weaver_codec::json::FromJson>::from_json_field(
-                    obj.get(#key),
-                    #key,
-                )?;
-            }
-        });
-        let construct = construct_expr(name, None, &s.fields, &bindings);
-        quote! {
-            let obj = v.as_object()?;
-            #(#reads)*
-            ::std::result::Result::Ok(#construct)
-        }
-    } else {
-        let bindings: Vec<Ident> = fields
-            .iter()
-            .enumerate()
-            .map(|(i, (fr, _))| fr.binding(i))
-            .collect();
-        let n = fields.len();
-        let reads = fields.iter().enumerate().map(|(i, (_, ty))| {
-            let b = &bindings[i];
-            quote! {
-                let #b = <#ty as ::weaver_codec::json::FromJson>::from_json(&arr[#i])?;
-            }
-        });
-        let construct = construct_expr(name, None, &s.fields, &bindings);
-        quote! {
-            let arr = v.as_array()?;
-            if arr.len() != #n {
-                return ::std::result::Result::Err(
-                    ::weaver_codec::error::DecodeError::JsonType {
-                        expected: "tuple array of matching arity",
-                    },
-                );
-            }
-            #(#reads)*
-            ::std::result::Result::Ok(#construct)
-        }
-    };
-
-    Ok(StructImpls {
-        wire_encode,
-        wire_decode,
-        tagged_encode,
-        tagged_decode,
-        to_json,
-        from_json,
-    })
-}
-
-/// Builds `Name { a, b }`, `Name(a, b)`, or `Name` / with a variant path.
-fn construct_expr(
-    name: &Ident,
-    variant: Option<&Ident>,
-    fields: &Fields,
-    bindings: &[Ident],
-) -> TokenStream {
-    let path = match variant {
-        Some(v) => quote!(#name::#v),
-        None => quote!(#name),
-    };
-    match fields {
-        Fields::Named(named) => {
-            let names = named.named.iter().map(|f| f.ident.as_ref().expect("named"));
-            let pairs = names.zip(bindings).map(|(n, b)| quote!(#n: #b));
-            quote!(#path { #(#pairs),* })
-        }
-        Fields::Unnamed(_) => quote!(#path(#(#bindings),*)),
-        Fields::Unit => quote!(#path),
-    }
-}
-
-/// Builds a match pattern `Name::Variant { a, b }` binding every field.
-fn pattern_expr(name: &Ident, variant: &Ident, fields: &Fields, bindings: &[Ident]) -> TokenStream {
-    match fields {
-        Fields::Named(named) => {
-            let names = named.named.iter().map(|f| f.ident.as_ref().expect("named"));
-            // Bindings equal the field names for named fields: shorthand.
-            let pairs = names.zip(bindings).map(|(n, b)| {
-                if n == b {
-                    quote!(#n)
-                } else {
-                    quote!(#n: #b)
-                }
-            });
-            quote!(#name::#variant { #(#pairs),* })
-        }
-        Fields::Unnamed(_) => quote!(#name::#variant(#(#bindings),*)),
-        Fields::Unit => quote!(#name::#variant),
-    }
-}
-
-fn expand_enum(name: &Ident, e: &DataEnum) -> Result<StructImpls> {
-    if e.variants.is_empty() {
-        return Err(syn::Error::new_spanned(
-            name,
-            "WeaverData cannot be derived for empty enums",
-        ));
-    }
-    let name_str = name.to_string();
-
-    struct VariantInfo {
-        ident: Ident,
-        fields: Fields,
-        bindings: Vec<Ident>,
-        types: Vec<syn::Type>,
-    }
-
-    let variants: Vec<VariantInfo> = e
-        .variants
-        .iter()
-        .map(|v| {
-            let frs = field_refs(&v.fields);
-            let bindings = frs
-                .iter()
-                .enumerate()
-                .map(|(i, (fr, _))| fr.binding(i))
-                .collect();
-            let types = frs.into_iter().map(|(_, ty)| ty).collect();
-            VariantInfo {
-                ident: v.ident.clone(),
-                fields: v.fields.clone(),
-                bindings,
-                types,
-            }
-        })
-        .collect();
-
-    let wire_encode = {
-        let arms = variants.iter().enumerate().map(|(idx, v)| {
-            let idx = idx as u64;
-            let pat = pattern_expr(name, &v.ident, &v.fields, &v.bindings);
-            let writes = v.bindings.iter().map(|b| {
-                quote!(::weaver_codec::wire::Encode::encode(#b, buf);)
-            });
-            quote! {
-                #pat => {
-                    ::weaver_codec::varint::write_uvarint(buf, #idx);
-                    #(#writes)*
-                }
-            }
-        });
-        quote! {
-            match self {
-                #(#arms)*
-            }
-        }
-    };
-
-    let wire_decode = {
-        let arms = variants.iter().enumerate().map(|(idx, v)| {
-            let idx = idx as u64;
-            let reads = v.bindings.iter().zip(&v.types).map(|(b, ty)| {
-                quote!(let #b = <#ty as ::weaver_codec::wire::Decode>::decode(r)?;)
-            });
-            let construct = construct_expr(name, Some(&v.ident), &v.fields, &v.bindings);
-            quote! {
-                #idx => {
-                    #(#reads)*
-                    ::std::result::Result::Ok(#construct)
-                }
-            }
-        });
-        quote! {
-            let disc = ::weaver_codec::varint::read_uvarint(r)?;
-            match disc {
-                #(#arms)*
-                other => ::std::result::Result::Err(
-                    ::weaver_codec::error::DecodeError::UnknownVariant {
-                        type_name: #name_str,
-                        discriminant: other,
-                    },
-                ),
-            }
-        }
-    };
-
-    // Tagged layout for enums: field 1 = discriminant (always present),
-    // field 2 = length-delimited payload carrying the variant's own fields
-    // as a nested message numbered from 1.
-    let tagged_encode = {
-        let arms = variants.iter().enumerate().map(|(idx, v)| {
-            let idx = idx as u64;
-            let pat = pattern_expr(name, &v.ident, &v.fields, &v.bindings);
-            let emits = v.bindings.iter().enumerate().map(|(i, b)| {
-                let num = (i + 1) as u32;
-                quote!(::weaver_codec::tagged::TaggedField::emit(#b, #num, &mut payload);)
-            });
-            quote! {
-                #pat => {
-                    ::weaver_codec::tagged::write_key(
-                        buf, 1, ::weaver_codec::tagged::WireType::Varint,
-                    );
-                    ::weaver_codec::varint::write_uvarint(buf, #idx);
-                    let mut payload = ::std::vec::Vec::new();
-                    #(#emits)*
-                    ::weaver_codec::tagged::write_key(
-                        buf, 2, ::weaver_codec::tagged::WireType::LengthDelimited,
-                    );
-                    ::weaver_codec::varint::write_uvarint(buf, payload.len() as u64);
-                    buf.extend_from_slice(&payload);
-                }
-            }
-        });
-        quote! {
-            match self {
-                #(#arms)*
-            }
-        }
-    };
-
-    let tagged_decode = {
-        let arms = variants.iter().enumerate().map(|(idx, v)| {
-            let idx = idx as u64;
-            let inits = v.bindings.iter().zip(&v.types).map(|(b, ty)| {
-                quote!(let mut #b: #ty = ::std::default::Default::default();)
-            });
-            let field_arms = v.bindings.iter().enumerate().map(|(i, b)| {
-                let num = (i + 1) as u32;
-                quote!(#num => ::weaver_codec::tagged::TaggedField::merge(&mut #b, key, r)?,)
-            });
-            let construct = construct_expr(name, Some(&v.ident), &v.fields, &v.bindings);
-            quote! {
-                #idx => {
-                    #(#inits)*
-                    let mut r = ::weaver_codec::reader::Reader::new(&payload);
-                    let r = &mut r;
-                    while !r.is_empty() {
-                        let key = ::weaver_codec::tagged::read_key(r)?;
-                        match key.field {
-                            #(#field_arms)*
-                            _ => ::weaver_codec::tagged::skip_value(r, key.wire_type)?,
-                        }
-                    }
-                    ::std::result::Result::Ok(#construct)
-                }
-            }
-        });
-        quote! {
-            let mut disc: u64 = 0;
-            let mut payload: ::std::vec::Vec<u8> = ::std::vec::Vec::new();
-            while !r.is_empty() {
-                let key = ::weaver_codec::tagged::read_key(r)?;
-                match key.field {
-                    1 => ::weaver_codec::tagged::TaggedField::merge(&mut disc, key, r)?,
-                    2 => {
-                        if key.wire_type != ::weaver_codec::tagged::WireType::LengthDelimited {
-                            return ::std::result::Result::Err(
-                                ::weaver_codec::error::DecodeError::WireTypeMismatch {
-                                    field: 2,
-                                    found: key.wire_type as u8,
-                                },
-                            );
-                        }
-                        let len = r.read_len()?;
-                        payload = r.read_bytes(len)?.to_vec();
-                    }
-                    _ => ::weaver_codec::tagged::skip_value(r, key.wire_type)?,
-                }
-            }
-            match disc {
-                #(#arms)*
-                other => ::std::result::Result::Err(
-                    ::weaver_codec::error::DecodeError::UnknownVariant {
-                        type_name: #name_str,
-                        discriminant: other,
-                    },
-                ),
-            }
-        }
-    };
-
-    let to_json = {
-        let arms = variants.iter().map(|v| {
-            let vname = v.ident.to_string();
-            let pat = pattern_expr(name, &v.ident, &v.fields, &v.bindings);
-            match &v.fields {
-                Fields::Unit => quote! {
-                    #pat => {
-                        let mut map = ::std::collections::BTreeMap::new();
-                        map.insert(
-                            "$type".to_string(),
-                            ::weaver_codec::json::JsonValue::String(#vname.to_string()),
-                        );
-                        ::weaver_codec::json::JsonValue::Object(map)
-                    }
-                },
-                Fields::Named(named) => {
-                    let inserts =
-                        named.named.iter().zip(&v.bindings).map(|(f, b)| {
-                            let key = f.ident.as_ref().expect("named").to_string();
-                            quote! {
-                                map.insert(
-                                    #key.to_string(),
-                                    ::weaver_codec::json::ToJson::to_json(#b),
-                                );
-                            }
-                        });
-                    quote! {
-                        #pat => {
-                            let mut map = ::std::collections::BTreeMap::new();
-                            map.insert(
-                                "$type".to_string(),
-                                ::weaver_codec::json::JsonValue::String(#vname.to_string()),
-                            );
-                            #(#inserts)*
-                            ::weaver_codec::json::JsonValue::Object(map)
-                        }
-                    }
-                }
-                Fields::Unnamed(_) => {
-                    let items = v.bindings.iter().map(|b| {
-                        quote!(::weaver_codec::json::ToJson::to_json(#b))
-                    });
-                    quote! {
-                        #pat => {
-                            let mut map = ::std::collections::BTreeMap::new();
-                            map.insert(
-                                "$type".to_string(),
-                                ::weaver_codec::json::JsonValue::String(#vname.to_string()),
-                            );
-                            map.insert(
-                                "$fields".to_string(),
-                                ::weaver_codec::json::JsonValue::Array(vec![#(#items),*]),
-                            );
-                            ::weaver_codec::json::JsonValue::Object(map)
-                        }
-                    }
-                }
-            }
-        });
-        quote! {
-            match self {
-                #(#arms)*
-            }
-        }
-    };
-
-    let from_json = {
-        let arms = variants.iter().map(|v| {
-            let vname = v.ident.to_string();
-            match &v.fields {
-                Fields::Unit => {
-                    let construct =
-                        construct_expr(name, Some(&v.ident), &v.fields, &v.bindings);
-                    quote!(#vname => ::std::result::Result::Ok(#construct),)
-                }
-                Fields::Named(named) => {
-                    let reads = named.named.iter().zip(&v.bindings).map(|(f, b)| {
-                        let key = f.ident.as_ref().expect("named").to_string();
-                        let ty = &f.ty;
-                        quote! {
-                            let #b = <#ty as ::weaver_codec::json::FromJson>::from_json_field(
-                                obj.get(#key),
-                                #key,
-                            )?;
-                        }
-                    });
-                    let construct =
-                        construct_expr(name, Some(&v.ident), &v.fields, &v.bindings);
-                    quote! {
-                        #vname => {
-                            #(#reads)*
-                            ::std::result::Result::Ok(#construct)
-                        }
-                    }
-                }
-                Fields::Unnamed(_) => {
-                    let n = v.bindings.len();
-                    let reads = v.bindings.iter().zip(&v.types).enumerate().map(
-                        |(i, (b, ty))| {
-                            quote! {
-                                let #b =
-                                    <#ty as ::weaver_codec::json::FromJson>::from_json(&arr[#i])?;
-                            }
-                        },
-                    );
-                    let construct =
-                        construct_expr(name, Some(&v.ident), &v.fields, &v.bindings);
-                    quote! {
-                        #vname => {
-                            let arr = v.get("$fields")?.as_array()?;
-                            if arr.len() != #n {
-                                return ::std::result::Result::Err(
-                                    ::weaver_codec::error::DecodeError::JsonType {
-                                        expected: "variant field array of matching arity",
-                                    },
-                                );
-                            }
-                            #(#reads)*
-                            ::std::result::Result::Ok(#construct)
-                        }
-                    }
-                }
-            }
-        });
-        quote! {
-            let obj = v.as_object()?;
-            let tag = v.get("$type")?.as_str()?;
-            let _ = obj;
-            match tag {
-                #(#arms)*
-                _ => ::std::result::Result::Err(
-                    ::weaver_codec::error::DecodeError::JsonType {
-                        expected: "a known enum variant name in $type",
-                    },
-                ),
-            }
-        }
-    };
-
-    Ok(StructImpls {
-        wire_encode,
-        wire_decode,
-        tagged_encode,
-        tagged_decode,
-        to_json,
-        from_json,
-    })
+            ) -> ::std::result::Result<Self, ::weaver_codec::error::DecodeError> {{
+                let _ = v;
+                {from_json}
+            }}
+        }}"
+    )
 }

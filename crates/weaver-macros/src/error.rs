@@ -1,0 +1,25 @@
+//! Macro-expansion errors, reported as `compile_error!` invocations.
+
+use proc_macro::TokenStream;
+
+/// An expansion failure with a human-readable message.
+pub struct MacroError {
+    message: String,
+}
+
+impl MacroError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        MacroError {
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error as a `compile_error!("…")` token stream so the
+    /// message surfaces as a normal rustc diagnostic.
+    pub fn to_compile_error(&self) -> TokenStream {
+        format!("::std::compile_error!({:?});", self.message)
+            .parse()
+            .expect("compile_error! invocation always parses")
+    }
+}

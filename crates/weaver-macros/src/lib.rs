@@ -34,6 +34,7 @@
 
 mod component;
 mod data;
+mod error;
 
 use proc_macro::TokenStream;
 
@@ -51,9 +52,7 @@ use proc_macro::TokenStream;
 /// variant).
 #[proc_macro_derive(WeaverData)]
 pub fn derive_weaver_data(input: TokenStream) -> TokenStream {
-    data::expand(input.into())
-        .unwrap_or_else(|e| e.to_compile_error())
-        .into()
+    data::expand(input).unwrap_or_else(|e| e.to_compile_error())
 }
 
 /// Declares a trait as a component interface.
@@ -80,7 +79,5 @@ pub fn derive_weaver_data(input: TokenStream) -> TokenStream {
 ///   routing, §5.2). The first argument must implement `Hash`.
 #[proc_macro_attribute]
 pub fn component(args: TokenStream, input: TokenStream) -> TokenStream {
-    component::expand(args.into(), input.into())
-        .unwrap_or_else(|e| e.to_compile_error())
-        .into()
+    component::expand(args, input).unwrap_or_else(|e| e.to_compile_error())
 }

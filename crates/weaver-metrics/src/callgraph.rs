@@ -144,8 +144,9 @@ impl CallGraph {
                 )
             })
             .collect();
-        out.sort_by(|a, b| (&a.0.caller, &a.0.callee, &a.0.method)
-            .cmp(&(&b.0.caller, &b.0.callee, &b.0.method)));
+        out.sort_by(|a, b| {
+            (&a.0.caller, &a.0.callee, &a.0.method).cmp(&(&b.0.caller, &b.0.callee, &b.0.method))
+        });
         CallGraphSnapshot { edges: out }
     }
 }
@@ -177,9 +178,7 @@ impl CallGraphSnapshot {
     pub fn traffic_between(&self, a: &str, b: &str) -> u64 {
         self.edges
             .iter()
-            .filter(|(e, _)| {
-                (e.caller == a && e.callee == b) || (e.caller == b && e.callee == a)
-            })
+            .filter(|(e, _)| (e.caller == a && e.callee == b) || (e.caller == b && e.callee == a))
             .map(|(_, s)| s.total_bytes() + s.calls * 64)
             .sum()
     }
@@ -203,10 +202,8 @@ impl CallGraphSnapshot {
         for (e, s) in &self.edges {
             *agg.entry((e.caller.clone(), e.callee.clone())).or_default() += s.calls;
         }
-        let mut out: Vec<(String, String, u64)> = agg
-            .into_iter()
-            .map(|((a, b), c)| (a, b, c))
-            .collect();
+        let mut out: Vec<(String, String, u64)> =
+            agg.into_iter().map(|((a, b), c)| (a, b, c)).collect();
         out.sort();
         out
     }
@@ -252,7 +249,10 @@ mod tests {
         g.record(edge("a", "b", "m"), 1000, 0, 1, false);
         g.record(edge("b", "a", "n"), 0, 500, 1, false);
         let snap = g.snapshot();
-        assert_eq!(snap.traffic_between("a", "b"), snap.traffic_between("b", "a"));
+        assert_eq!(
+            snap.traffic_between("a", "b"),
+            snap.traffic_between("b", "a")
+        );
         assert!(snap.traffic_between("a", "b") >= 1500);
         assert_eq!(snap.traffic_between("a", "zzz"), 0);
     }

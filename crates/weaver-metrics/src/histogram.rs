@@ -132,7 +132,10 @@ impl HistogramSnapshot {
     /// Merges another snapshot into this one (manager-side aggregation).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         let mut merged: Vec<(u32, u64)> = Vec::with_capacity(self.buckets.len());
-        let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter().peekable());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
         loop {
             match (a.peek(), b.peek()) {
                 (Some(&&(ai, ac)), Some(&&(bi, bc))) => {

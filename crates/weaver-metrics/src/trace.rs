@@ -83,12 +83,7 @@ pub fn call_tree(spans: &[Span], trace_id: u64) -> Vec<(Span, usize)> {
     let mut in_trace: Vec<&Span> = spans.iter().filter(|s| s.trace_id == trace_id).collect();
     in_trace.sort_by_key(|s| s.start_nanos);
 
-    fn visit<'a>(
-        span: &'a Span,
-        all: &[&'a Span],
-        depth: usize,
-        out: &mut Vec<(Span, usize)>,
-    ) {
+    fn visit<'a>(span: &'a Span, all: &[&'a Span], depth: usize, out: &mut Vec<(Span, usize)>) {
         out.push((span.clone(), depth));
         for child in all.iter().filter(|s| s.parent_id == span.span_id) {
             visit(child, all, depth + 1, out);

@@ -100,12 +100,7 @@ impl Autoscaler {
             desired
         } else {
             // Scale down conservatively: the max over the window.
-            let stabilized = self
-                .recent_desired
-                .iter()
-                .copied()
-                .max()
-                .unwrap_or(desired);
+            let stabilized = self.recent_desired.iter().copied().max().unwrap_or(desired);
             stabilized.min(current)
         }
     }

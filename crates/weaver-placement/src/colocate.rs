@@ -86,7 +86,7 @@ pub fn colocate(graph: &CallGraphSnapshot, config: &ColocationConfig) -> Vec<Vec
         })
         .collect();
 
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]]; // Path halving.
             x = parent[x];
@@ -110,7 +110,11 @@ pub fn colocate(graph: &CallGraphSnapshot, config: &ColocationConfig) -> Vec<Vec
             continue;
         }
         // Union by size.
-        let (big, small) = if size[ra] >= size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if size[ra] >= size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         parent[small] = big;
         size[big] += size[small];
         cpu[big] += cpu[small];
@@ -142,7 +146,10 @@ pub fn residual_traffic(graph: &CallGraphSnapshot, groups: &[Vec<String>]) -> u6
         .edges
         .iter()
         .filter(|(e, _)| {
-            match (group_of.get(e.caller.as_str()), group_of.get(e.callee.as_str())) {
+            match (
+                group_of.get(e.caller.as_str()),
+                group_of.get(e.callee.as_str()),
+            ) {
                 (Some(a), Some(b)) => a != b,
                 // Ingress edges always cross the boundary.
                 _ => true,

@@ -81,7 +81,10 @@ impl Rollout {
     /// Panics on a malformed stage list (empty, out of range, or not
     /// ascending) — a configuration bug caught at deploy time.
     pub fn new(old_version: u64, new_version: u64, config: RolloutConfig) -> Self {
-        assert!(!config.stages.is_empty(), "rollout needs at least one stage");
+        assert!(
+            !config.stages.is_empty(),
+            "rollout needs at least one stage"
+        );
         let mut prev = 0.0;
         for &s in &config.stages {
             assert!(s > 0.0 && s <= 1.0, "stage fraction {s} out of range");
@@ -201,9 +204,7 @@ mod tests {
         };
         let n = 100_000u64;
         let step = u64::MAX / n;
-        let to_new = (0..n)
-            .filter(|i| split.version_for(i * step) == 2)
-            .count();
+        let to_new = (0..n).filter(|i| split.version_for(i * step) == 2).count();
         let frac = to_new as f64 / n as f64;
         assert!((frac - 0.25).abs() < 0.01, "observed {frac}");
     }
@@ -226,11 +227,15 @@ mod tests {
 
     #[test]
     fn stage_list_without_final_one_still_completes() {
-        let mut r = Rollout::new(1, 2, RolloutConfig {
-            stages: vec![0.5],
-            ticks_per_stage: 1,
-            max_error_rate: 0.1,
-        });
+        let mut r = Rollout::new(
+            1,
+            2,
+            RolloutConfig {
+                stages: vec![0.5],
+                ticks_per_stage: 1,
+                max_error_rate: 0.1,
+            },
+        );
         r.tick(0.0); // 0.5 passed → implied 1.0 stage.
         assert_eq!(r.split().new_fraction, 1.0);
         r.tick(0.0);
@@ -240,19 +245,27 @@ mod tests {
     #[test]
     #[should_panic(expected = "ascend")]
     fn non_ascending_stages_rejected() {
-        let _ = Rollout::new(1, 2, RolloutConfig {
-            stages: vec![0.5, 0.1],
-            ..Default::default()
-        });
+        let _ = Rollout::new(
+            1,
+            2,
+            RolloutConfig {
+                stages: vec![0.5, 0.1],
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_stage_rejected() {
-        let _ = Rollout::new(1, 2, RolloutConfig {
-            stages: vec![1.5],
-            ..Default::default()
-        });
+        let _ = Rollout::new(
+            1,
+            2,
+            RolloutConfig {
+                stages: vec![1.5],
+                ..Default::default()
+            },
+        );
     }
 
     #[test]

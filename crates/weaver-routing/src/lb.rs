@@ -59,7 +59,9 @@ impl PowerOfTwo {
     /// Creates a balancer able to track up to `max_replicas` replicas.
     pub fn new(max_replicas: usize) -> Self {
         PowerOfTwo {
-            inflight: (0..max_replicas.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            inflight: (0..max_replicas.max(1))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             seed: AtomicU64::new(0x243f_6a88_85a3_08d3),
         }
     }

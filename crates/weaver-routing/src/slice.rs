@@ -49,7 +49,11 @@ impl SliceAssignment {
         let slices = (0..n)
             .map(|i| Slice {
                 start: i * width,
-                end: if i == n - 1 { u64::MAX } else { (i + 1) * width },
+                end: if i == n - 1 {
+                    u64::MAX
+                } else {
+                    (i + 1) * width
+                },
                 replica: (i % u64::from(replica_count)) as u32,
             })
             .collect();
@@ -103,11 +107,7 @@ impl SliceAssignment {
         if last.end != u64::MAX {
             return Err(format!("last slice ends at {:#x}", last.end));
         }
-        if let Some(s) = self
-            .slices
-            .iter()
-            .find(|s| s.replica >= self.replica_count)
-        {
+        if let Some(s) = self.slices.iter().find(|s| s.replica >= self.replica_count) {
             return Err(format!(
                 "slice assigned to replica {} of {}",
                 s.replica, self.replica_count

@@ -123,7 +123,10 @@ impl TomlDoc {
             Some(TomlValue::String(s)) => Ok(Some(s)),
             Some(other) => Err(err(
                 0,
-                format!("{section}.{key}: expected string, found {}", other.type_name()),
+                format!(
+                    "{section}.{key}: expected string, found {}",
+                    other.type_name()
+                ),
             )),
         }
     }
@@ -151,7 +154,10 @@ impl TomlDoc {
             Some(TomlValue::Int(v)) => Ok(Some(*v as f64)),
             Some(other) => Err(err(
                 0,
-                format!("{section}.{key}: expected float, found {}", other.type_name()),
+                format!(
+                    "{section}.{key}: expected float, found {}",
+                    other.type_name()
+                ),
             )),
         }
     }
@@ -251,8 +257,8 @@ impl Scanner<'_> {
                 Some(_) => {
                     // Multi-byte UTF-8: copy the full character.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| err(self.lineno, "invalid UTF-8"))?;
+                    let s =
+                        std::str::from_utf8(rest).map_err(|_| err(self.lineno, "invalid UTF-8"))?;
                     let c = s.chars().next().expect("non-empty by construction");
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -385,8 +391,8 @@ impl DeploymentConfig {
             config.name = name.to_string();
         }
         if let Some(v) = doc.get_int("deployment", "version")? {
-            config.version = u64::try_from(v)
-                .map_err(|_| err(0, "deployment.version must be non-negative"))?;
+            config.version =
+                u64::try_from(v).map_err(|_| err(0, "deployment.version must be non-negative"))?;
         }
         if let Some(TomlValue::Array(groups)) = doc.get("placement", "colocate") {
             let mut out = Vec::new();

@@ -43,10 +43,7 @@ impl ProcletDispatcher {
                     .methods
                     .iter()
                     .map(|m| {
-                        metrics.histogram(&format!(
-                            "{}/{}/handle_nanos",
-                            registration.name, m.name
-                        ))
+                        metrics.histogram(&format!("{}/{}/handle_nanos", registration.name, m.name))
                     })
                     .collect()
             })

@@ -103,14 +103,10 @@ impl Envelope {
                 .name(format!("weaver-envelope-{id}"))
                 .spawn(move || {
                     let mut reader = BufReader::new(stdout);
-                    loop {
-                        match read_message::<ProcletMessage, _>(&mut reader) {
-                            Ok(Some(msg)) => {
-                                if events.send(EnvelopeEvent::Message(id, msg)).is_err() {
-                                    break;
-                                }
-                            }
-                            Ok(None) | Err(_) => break,
+                    // Ends on pipe EOF (`Ok(None)`) or a read error alike.
+                    while let Ok(Some(msg)) = read_message::<ProcletMessage, _>(&mut reader) {
+                        if events.send(EnvelopeEvent::Message(id, msg)).is_err() {
+                            break;
                         }
                     }
                     let _ = events.send(EnvelopeEvent::Exited(id));

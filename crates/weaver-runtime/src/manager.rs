@@ -392,7 +392,7 @@ impl MultiProcess {
                         }
                         // HPA evaluation once per second, on the reports
                         // collected since the last one.
-                        if shared.config.autoscale && tick % 4 == 0 {
+                        if shared.config.autoscale && tick.is_multiple_of(4) {
                             shared.autoscale_tick(&mut state);
                         }
                     }
@@ -437,10 +437,9 @@ impl MultiProcess {
     /// Returns a typed client for component `I` (the paper's `Get[T]`),
     /// calling into the deployment from the manager process.
     pub fn get<I: ComponentInterface + ?Sized>(&self) -> Result<Arc<I>, WeaverError> {
-        let handle = self
-            .shared
-            .registry
-            .client_handle::<I>(Arc::clone(&self.router) as Arc<dyn weaver_core::client::CallRouter>)?;
+        let handle = self.shared.registry.client_handle::<I>(
+            Arc::clone(&self.router) as Arc<dyn weaver_core::client::CallRouter>
+        )?;
         Ok(I::client(handle))
     }
 

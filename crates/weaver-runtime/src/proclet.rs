@@ -16,7 +16,6 @@ use std::collections::HashSet;
 use std::io::Write;
 use std::sync::Arc;
 
-
 use weaver_core::client::{ClientHandle, TargetInfo};
 use weaver_core::context::{Acquired, ComponentGetter};
 use weaver_core::error::WeaverError;
@@ -77,7 +76,10 @@ impl ProcletGetter {
     pub fn hosts(&self, id: u32) -> Result<bool, WeaverError> {
         let mut hosted = self.hosted.lock();
         let deadline = std::time::Instant::now() + HOSTED_WAIT;
-        while hosted.is_none() {
+        loop {
+            if let Some(set) = hosted.as_ref() {
+                return Ok(set.contains(&id));
+            }
             if self
                 .hosted_set
                 .wait_until(&mut hosted, deadline)
@@ -88,7 +90,6 @@ impl ProcletGetter {
                 });
             }
         }
-        Ok(hosted.as_ref().expect("checked above").contains(&id))
     }
 }
 

@@ -24,7 +24,7 @@ pub const MAX_PIPE_MESSAGE: usize = 4 << 20;
 
 /// Messages sent by the proclet to its envelope (the Table 1 API; the
 /// caller of the API is the proclet).
-#[derive(Debug, Clone, PartialEq, WeaverData)]
+#[derive(Debug, Clone, Default, PartialEq, WeaverData)]
 pub enum ProcletMessage {
     /// "Register a proclet as alive and ready."
     RegisterReplica {
@@ -38,6 +38,7 @@ pub enum ProcletMessage {
         pid: u64,
     },
     /// "Get components a proclet should host."
+    #[default]
     ComponentsToHost,
     /// "Start a component, potentially in another process."
     StartComponent {
@@ -65,14 +66,8 @@ pub enum ProcletMessage {
     ShuttingDown,
 }
 
-impl Default for ProcletMessage {
-    fn default() -> Self {
-        ProcletMessage::ComponentsToHost
-    }
-}
-
 /// Messages sent by the envelope (runtime) to the proclet.
-#[derive(Debug, Clone, PartialEq, WeaverData)]
+#[derive(Debug, Clone, Default, PartialEq, WeaverData)]
 pub enum EnvelopeMessage {
     /// Reply to `ComponentsToHost`: the registry ids to host.
     HostComponents {
@@ -91,15 +86,10 @@ pub enum EnvelopeMessage {
         assignments: Vec<(u32, SliceAssignment)>,
     },
     /// Liveness probe; the proclet answers with a `LoadReport`.
+    #[default]
     HealthCheck,
     /// Ask the proclet to exit cleanly.
     Shutdown,
-}
-
-impl Default for EnvelopeMessage {
-    fn default() -> Self {
-        EnvelopeMessage::HealthCheck
-    }
 }
 
 /// Writes one length-prefixed message.
@@ -185,7 +175,10 @@ mod tests {
             let got: ProcletMessage = read_message(&mut cursor).unwrap().unwrap();
             assert_eq!(&got, expected);
         }
-        assert_eq!(read_message::<ProcletMessage, _>(&mut cursor).unwrap(), None);
+        assert_eq!(
+            read_message::<ProcletMessage, _>(&mut cursor).unwrap(),
+            None
+        );
     }
 
     #[test]

@@ -71,11 +71,12 @@ impl RoutingTable {
         balancer: &dyn Balancer,
     ) -> Result<(SocketAddr, usize), WeaverError> {
         let state = self.state.read();
-        let replicas = state.routes.get(&component).ok_or_else(|| {
-            WeaverError::Unavailable {
+        let replicas = state
+            .routes
+            .get(&component)
+            .ok_or_else(|| WeaverError::Unavailable {
                 detail: format!("no routes for component #{component}"),
-            }
-        })?;
+            })?;
         if replicas.is_empty() {
             return Err(WeaverError::Unavailable {
                 detail: format!("zero replicas for component #{component}"),
@@ -84,7 +85,11 @@ impl RoutingTable {
         let index = match routing {
             Some(key) => {
                 // Affinity routing: the slice assignment owns the choice.
-                match state.assignments.get(&component).and_then(|a| a.replica_for(key)) {
+                match state
+                    .assignments
+                    .get(&component)
+                    .and_then(|a| a.replica_for(key))
+                {
                     Some(r) => r as usize % replicas.len(),
                     // No assignment yet: fall back to modulo, still sticky.
                     None => (key % replicas.len() as u64) as usize,
@@ -92,7 +97,18 @@ impl RoutingTable {
             }
             None => balancer.pick(replicas.len()).unwrap_or(0),
         };
-        Ok((replicas[index], index))
+        // Never index unchecked on the call path: a balancer or assignment
+        // bug must surface as a routable error, not a proclet panic.
+        let addr = replicas
+            .get(index)
+            .copied()
+            .ok_or_else(|| WeaverError::Unavailable {
+                detail: format!(
+                    "replica index {index} out of range ({} replicas) for component #{component}",
+                    replicas.len()
+                ),
+            })?;
+        Ok((addr, index))
     }
 
     /// Current epoch.
@@ -159,14 +175,17 @@ impl CallRouter for RemoteRouter {
         let mut last_err: Option<WeaverError> = None;
         let mut result: Option<Result<ResponseBody, WeaverError>> = None;
         for _ in 0..attempts {
-            let (addr, replica) = match self.table.pick(target.component_id, routing, &self.balancer)
-            {
-                Ok(x) => x,
-                Err(e) => {
-                    last_err = Some(e);
-                    break;
-                }
-            };
+            let (addr, replica) =
+                match self
+                    .table
+                    .pick(target.component_id, routing, &self.balancer)
+                {
+                    Ok(x) => x,
+                    Err(e) => {
+                        last_err = Some(e);
+                        break;
+                    }
+                };
             self.balancer.on_start(replica);
             let outcome = self
                 .pool
@@ -203,10 +222,7 @@ impl CallRouter for RemoteRouter {
             })),
         };
 
-        let method_name = target
-            .methods
-            .get(method as usize)
-            .map_or("?", |m| m.name);
+        let method_name = target.methods.get(method as usize).map_or("?", |m| m.name);
         let is_error = match &outcome {
             Ok(reply) => weaver_core::client::reply_is_err(reply),
             Err(_) => true,
@@ -288,9 +304,7 @@ mod tests {
             state
                 .routes
                 .insert(0, vec![addr(1001), addr(1002), addr(1003), addr(1004)]);
-            state
-                .assignments
-                .insert(0, SliceAssignment::uniform(4, 8));
+            state.assignments.insert(0, SliceAssignment::uniform(4, 8));
             table.update(state);
         }
         let balancer = PowerOfTwo::new(8);

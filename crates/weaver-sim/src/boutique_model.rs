@@ -58,8 +58,12 @@ fn currency_convert() -> CallNode {
 }
 
 fn recommendation_call() -> CallNode {
-    CallNode::leaf(RECOMMENDATION, 80 * US, 96, 1_800)
-        .with_children(vec![CallNode::leaf(CATALOG, 100 * US, 16, 4_200)])
+    CallNode::leaf(RECOMMENDATION, 80 * US, 96, 1_800).with_children(vec![CallNode::leaf(
+        CATALOG,
+        100 * US,
+        16,
+        4_200,
+    )])
 }
 
 /// The home-page operation: catalog list, 12 currency conversions (one per
@@ -140,9 +144,13 @@ pub fn op_checkout() -> Operation {
     Operation {
         name: "checkout",
         weight: 10,
-        tree: CallNode::leaf(FRONTEND, 200 * US, 700, 1_400).with_children(vec![
-            CallNode::leaf(CHECKOUT, 260 * US, 680, 1_300).with_children(checkout_children),
-        ]),
+        tree: CallNode::leaf(FRONTEND, 200 * US, 700, 1_400).with_children(vec![CallNode::leaf(
+            CHECKOUT,
+            260 * US,
+            680,
+            1_300,
+        )
+        .with_children(checkout_children)]),
     }
 }
 
@@ -188,7 +196,9 @@ mod tests {
             }
         }
         visit(&op.tree, &mut seen);
-        for service in [FRONTEND, CHECKOUT, CART, CATALOG, CURRENCY, SHIPPING, PAYMENT, EMAIL] {
+        for service in [
+            FRONTEND, CHECKOUT, CART, CATALOG, CURRENCY, SHIPPING, PAYMENT, EMAIL,
+        ] {
             assert!(seen.contains(&service), "missing service {service}");
         }
     }

@@ -225,7 +225,11 @@ enum Event {
     /// A request finished a wire delay; advance it.
     Advance { request: u64 },
     /// A pod finished its running slice.
-    SliceDone { group: usize, pod: usize, request: u64 },
+    SliceDone {
+        group: usize,
+        pod: usize,
+        request: u64,
+    },
     /// HPA evaluation.
     HpaTick,
 }
@@ -260,9 +264,9 @@ pub fn run(config: &SimConfig) -> SimReport {
         group_names.push(names.join("+"));
         group_services.push(group.clone());
     }
-    for service in 0..service_count {
-        if group_of[service] == usize::MAX {
-            group_of[service] = group_names.len();
+    for (service, slot) in group_of.iter_mut().enumerate() {
+        if *slot == usize::MAX {
+            *slot = group_names.len();
             group_names.push(config.service_names[service].clone());
             group_services.push(vec![service]);
         }
@@ -272,15 +276,17 @@ pub fn run(config: &SimConfig) -> SimReport {
         .iter()
         .zip(&group_services)
         .map(|(name, services)| {
-            let routing = if services
-                .iter()
-                .any(|s| config.routed_services.contains(s))
-            {
+            let routing = if services.iter().any(|s| config.routed_services.contains(s)) {
                 GroupRouting::Affinity
             } else {
                 GroupRouting::RoundRobin
             };
-            ServiceGroup::new(name.clone(), config.initial_pods, routing, config.hpa.clone())
+            ServiceGroup::new(
+                name.clone(),
+                config.initial_pods,
+                routing,
+                config.hpa.clone(),
+            )
         })
         .collect();
 
@@ -323,39 +329,41 @@ pub fn run(config: &SimConfig) -> SimReport {
         histogram: &Histogram,
         measured: &mut u64,
     ) {
-        loop {
-            let request = &mut requests[request_id as usize];
-            match request.steps.clone().get(request.next_step) {
-                None => {
-                    if request.measured {
-                        histogram.record(now - request.started);
-                        *measured += 1;
-                    }
-                    return;
+        // Every step kind either schedules a follow-up event or finishes
+        // the request, so one pass is enough.
+        let request = &mut requests[request_id as usize];
+        match request.steps.clone().get(request.next_step) {
+            None => {
+                if request.measured {
+                    histogram.record(now - request.started);
+                    *measured += 1;
                 }
-                Some(Step::Wire(d)) => {
-                    request.next_step += 1;
-                    queue.push(now + d, Event::Advance { request: request_id });
-                    return;
+            }
+            Some(Step::Wire(d)) => {
+                request.next_step += 1;
+                queue.push(
+                    now + d,
+                    Event::Advance {
+                        request: request_id,
+                    },
+                );
+            }
+            Some(Step::Slice { group, cpu, routed }) => {
+                request.next_step += 1;
+                let key = routed.then_some(request.routing_key);
+                let pod = groups[*group].pick(key);
+                if let Some(done) = groups[*group].pods[pod].offer(now, request_id, *cpu) {
+                    queue.push(
+                        done,
+                        Event::SliceDone {
+                            group: *group,
+                            pod,
+                            request: request_id,
+                        },
+                    );
                 }
-                Some(Step::Slice { group, cpu, routed }) => {
-                    request.next_step += 1;
-                    let key = routed.then_some(request.routing_key);
-                    let pod = groups[*group].pick(key);
-                    if let Some(done) = groups[*group].pods[pod].offer(now, request_id, *cpu) {
-                        queue.push(
-                            done,
-                            Event::SliceDone {
-                                group: *group,
-                                pod,
-                                request: request_id,
-                            },
-                        );
-                    }
-                    // If queued, SliceDone for the running slice will start
-                    // ours later.
-                    return;
-                }
+                // If queued, SliceDone for the running slice will start
+                // ours later.
             }
         }
     }
@@ -392,7 +400,9 @@ pub fn run(config: &SimConfig) -> SimReport {
                     });
                     queue.push(
                         now + config.ingress_rtt / 2,
-                        Event::Advance { request: request_id },
+                        Event::Advance {
+                            request: request_id,
+                        },
                     );
                 }
             }
@@ -407,7 +417,11 @@ pub fn run(config: &SimConfig) -> SimReport {
                     &mut requests_measured,
                 );
             }
-            Event::SliceDone { group, pod, request } => {
+            Event::SliceDone {
+                group,
+                pod,
+                request,
+            } => {
                 // Start the next queued slice on this pod, if any.
                 if let Some((next_request, done)) = groups[group].pods[pod].finish(now) {
                     queue.push(
@@ -424,7 +438,7 @@ pub fn run(config: &SimConfig) -> SimReport {
                 // when the request records. Here we just advance.
                 advance(
                     request,
-                    now + 0,
+                    now,
                     &mut requests,
                     &mut groups,
                     &mut queue,
@@ -458,7 +472,7 @@ pub fn run(config: &SimConfig) -> SimReport {
                     queue.push(now + config.hpa_interval, Event::HpaTick);
                 }
                 // Stop condition: past the end with no live requests left.
-                if now >= end && queue.len() == 0 {
+                if now >= end && queue.is_empty() {
                     break;
                 }
             }
@@ -516,7 +530,11 @@ mod tests {
         let stack = StackModel::colocated();
         let mut steps = Vec::new();
         compile(&ops[0].tree, None, &group_of, &stack, &mut steps);
-        assert_eq!(steps.len(), 1, "colocated tree should be one slice: {steps:?}");
+        assert_eq!(
+            steps.len(),
+            1,
+            "colocated tree should be one slice: {steps:?}"
+        );
         match &steps[0] {
             Step::Slice { cpu, .. } => assert_eq!(*cpu, ops[0].tree.total_cpu()),
             other => panic!("unexpected {other:?}"),
@@ -537,10 +555,7 @@ mod tests {
             .iter()
             .filter(|s| matches!(s, Step::Slice { .. }))
             .count();
-        let wires = steps
-            .iter()
-            .filter(|s| matches!(s, Step::Wire(_)))
-            .count();
+        let wires = steps.iter().filter(|s| matches!(s, Step::Wire(_))).count();
         assert_eq!(slices, 3, "{steps:?}");
         assert_eq!(wires, 6, "{steps:?}");
     }

@@ -124,7 +124,8 @@ impl StackModel {
             0
         } else {
             // bytes / (KiB/µs) → µs → ns.
-            self.wire_bytes(payload_bytes) * 1_000 / (self.bandwidth_kb_per_us * 1024 / 1_000)
+            self.wire_bytes(payload_bytes) * 1_000
+                / (self.bandwidth_kb_per_us * 1024 / 1_000)
                 / 1_000
                 * 1_000
         };

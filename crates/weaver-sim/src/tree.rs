@@ -24,12 +24,7 @@ pub struct CallNode {
 
 impl CallNode {
     /// A leaf call.
-    pub fn leaf(
-        service: usize,
-        cpu: SimTime,
-        request_bytes: u64,
-        response_bytes: u64,
-    ) -> CallNode {
+    pub fn leaf(service: usize, cpu: SimTime, request_bytes: u64, response_bytes: u64) -> CallNode {
         CallNode {
             service,
             cpu,
@@ -54,12 +49,21 @@ impl CallNode {
 
     /// Total RPC count in the tree (including this node).
     pub fn call_count(&self) -> usize {
-        1 + self.children.iter().map(CallNode::call_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(CallNode::call_count)
+            .sum::<usize>()
     }
 
     /// Total handler CPU in the tree.
     pub fn total_cpu(&self) -> SimTime {
-        self.cpu + self.children.iter().map(CallNode::total_cpu).sum::<SimTime>()
+        self.cpu
+            + self
+                .children
+                .iter()
+                .map(CallNode::total_cpu)
+                .sum::<SimTime>()
     }
 
     /// Total payload bytes moved (requests + responses, whole tree).

@@ -1,0 +1,191 @@
+//! A peekable walk over a token slice with delimiter-aware skipping.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A position in a token slice, with helpers for the navigation every
+/// consumer of [`crate::lex`] needs: peeking, matching expected tokens,
+/// and skipping balanced `(..)`/`[..]`/`{..}` groups.
+#[derive(Clone)]
+pub struct Cursor<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Starts a cursor at the beginning of `toks`.
+    pub fn new(toks: &'a [Tok]) -> Self {
+        Cursor { toks, pos: 0 }
+    }
+
+    /// The current index into the underlying slice.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Rewinds (or fast-forwards) to an absolute index.
+    pub fn set_pos(&mut self, pos: usize) {
+        self.pos = pos.min(self.toks.len());
+    }
+
+    /// True when no tokens remain.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// The token `n` places ahead, if any (`0` = current).
+    pub fn peek_at(&self, n: usize) -> Option<&'a Tok> {
+        self.toks.get(self.pos + n)
+    }
+
+    /// The current token, if any.
+    pub fn peek(&self) -> Option<&'a Tok> {
+        self.peek_at(0)
+    }
+
+    /// Consumes and returns the current token.
+    ///
+    /// Deliberately named like `Iterator::next`, but `Cursor` cannot be
+    /// an `Iterator`: consumers rewind it (`set_pos`) mid-walk.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes the current token if it is punctuation `s`.
+    pub fn eat_punct(&mut self, s: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_punct(s)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the current token if it is the identifier `s`.
+    pub fn eat_ident(&mut self, s: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_ident(s)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the current token if it is *any* identifier, returning it.
+    pub fn eat_any_ident(&mut self) -> Option<&'a Tok> {
+        if self.peek().is_some_and(|t| t.kind == TokKind::Ident) {
+            self.next()
+        } else {
+            None
+        }
+    }
+
+    /// Skips a balanced group. The current token must be the opening
+    /// delimiter (`(`, `[`, or `{`); on return the cursor is just past the
+    /// matching close. Returns `false` (cursor unmoved) if the current
+    /// token is not an open delimiter or the group never closes.
+    pub fn skip_balanced(&mut self) -> bool {
+        let start = self.pos;
+        let Some(open) = self.peek() else {
+            return false;
+        };
+        if open.kind != TokKind::Open {
+            return false;
+        }
+        let mut depth = 0usize;
+        while let Some(t) = self.next() {
+            match t.kind {
+                TokKind::Open => depth += 1,
+                TokKind::Close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.pos = start;
+        false
+    }
+
+    /// Returns the tokens of a balanced group *without* its outer
+    /// delimiters, advancing past the group. `None` if the current token
+    /// is not an open delimiter or the group never closes.
+    pub fn take_group(&mut self) -> Option<&'a [Tok]> {
+        let start = self.pos;
+        if !self.skip_balanced() {
+            return None;
+        }
+        Some(&self.toks[start + 1..self.pos - 1])
+    }
+
+    /// Advances until the current token is `s` at the *top* nesting level
+    /// (balanced groups are skipped whole). The matching token is not
+    /// consumed. Returns `false` (cursor at end) when `s` never appears.
+    pub fn skip_to_punct(&mut self, s: &str) -> bool {
+        while let Some(t) = self.peek() {
+            if t.is_punct(s) {
+                return true;
+            }
+            if t.kind == TokKind::Open {
+                if !self.skip_balanced() {
+                    return false;
+                }
+            } else {
+                self.pos += 1;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn balanced_skipping() {
+        let toks = lex("fn f(a: Vec<(u8, u8)>) -> u8 { (1) } next").expect("lex");
+        let mut c = Cursor::new(&toks);
+        assert!(c.eat_ident("fn"));
+        assert!(c.eat_ident("f"));
+        assert!(c.skip_balanced()); // (a: Vec<(u8, u8)>)
+        assert!(c.peek().expect("tok").is_punct("-"));
+        assert!(c.skip_to_punct("{"));
+        assert!(c.skip_balanced()); // { (1) }
+        assert!(c.peek().expect("tok").is_ident("next"));
+    }
+
+    #[test]
+    fn take_group_strips_delims() {
+        let toks = lex("(a, b)").expect("lex");
+        let mut c = Cursor::new(&toks);
+        let inner = c.take_group().expect("group");
+        let texts: Vec<&str> = inner.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["a", ",", "b"]);
+        assert!(c.at_end());
+    }
+
+    #[test]
+    fn skip_to_punct_ignores_nested() {
+        let toks = lex("A<{ B; }> ; tail").expect("lex");
+        let mut c = Cursor::new(&toks);
+        assert!(c.skip_to_punct(";"));
+        c.next();
+        assert!(c.peek().expect("tok").is_ident("tail"));
+    }
+
+    #[test]
+    fn unclosed_group_restores_position() {
+        let toks = lex("( a b").expect("lex");
+        let mut c = Cursor::new(&toks);
+        assert!(!c.skip_balanced());
+        assert_eq!(c.pos(), 0);
+    }
+}

@@ -1,0 +1,400 @@
+//! The token scanner.
+
+use std::fmt;
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `cart_items`, `Result`).
+    Ident,
+    /// A lifetime (`'static`).
+    Lifetime,
+    /// An integer or float literal.
+    Number,
+    /// A string literal (text includes the quotes).
+    Str,
+    /// A char literal (text includes the quotes).
+    Char,
+    /// Any punctuation character that is not a delimiter.
+    Punct,
+    /// `(`, `[`, or `{`.
+    Open,
+    /// `)`, `]`, or `}`.
+    Close,
+}
+
+/// One token, with its source text and position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Byte offset of the token start in the input.
+    pub lo: usize,
+    /// Byte offset just past the token end.
+    pub hi: usize,
+}
+
+impl Tok {
+    /// True when this is an identifier with the given text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this is punctuation (or a delimiter) with the given text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        matches!(self.kind, TokKind::Punct | TokKind::Open | TokKind::Close) && self.text == s
+    }
+}
+
+/// A scan failure, with the line it happened on.
+#[derive(Debug, Clone)]
+pub struct SyntaxError {
+    /// 1-based line of the failure.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+/// Tokenizes Rust source, skipping whitespace and comments.
+///
+/// Raw strings, nested block comments, char-vs-lifetime disambiguation,
+/// and byte/raw-identifier prefixes are handled; everything else
+/// surfaces as single-character punctuation.
+pub fn lex(src: &str) -> Result<Vec<Tok>, SyntaxError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    let err = |line: u32, message: &str| SyntaxError {
+        line,
+        message: message.to_string(),
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            match bytes[i + 1] as char {
+                '/' => {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                '*' => {
+                    let mut depth = 1;
+                    i += 2;
+                    while i < bytes.len() && depth > 0 {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                            depth += 1;
+                            i += 2;
+                        } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    if depth > 0 {
+                        return Err(err(line, "unterminated block comment"));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        let lo = i;
+        // Raw strings: r"..." / r#"..."# / br#"..."#.
+        if (c == 'r' || c == 'b') && is_raw_string_start(bytes, i) {
+            let start = if c == 'b' { i + 1 } else { i };
+            let mut hashes = 0;
+            let mut j = start + 1;
+            while j < bytes.len() && bytes[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j >= bytes.len() || bytes[j] != b'"' {
+                return Err(err(line, "malformed raw string"));
+            }
+            j += 1;
+            let closing: Vec<u8> = std::iter::once(b'"')
+                .chain(std::iter::repeat_n(b'#', hashes))
+                .collect();
+            loop {
+                if j >= bytes.len() {
+                    return Err(err(line, "unterminated raw string"));
+                }
+                if bytes[j] == b'\n' {
+                    line += 1;
+                }
+                if bytes[j..].starts_with(&closing) {
+                    j += closing.len();
+                    break;
+                }
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: src[lo..j].to_string(),
+                line,
+                lo,
+                hi: j,
+            });
+            i = j;
+            continue;
+        }
+        // Identifiers and keywords (including r# raw identifiers).
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut j = i + 1;
+            if c == 'r' && j < bytes.len() && bytes[j] == b'#' {
+                j += 1;
+            }
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: src[lo..j].to_string(),
+                line,
+                lo,
+                hi: j,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers (integers, floats, suffixed literals).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            let mut seen_dot = false;
+            while j < bytes.len() {
+                let b = bytes[j] as char;
+                if b.is_ascii_alphanumeric() || b == '_' {
+                    j += 1;
+                } else if b == '.'
+                    && !seen_dot
+                    && j + 1 < bytes.len()
+                    && (bytes[j + 1] as char).is_ascii_digit()
+                {
+                    seen_dot = true;
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Number,
+                text: src[lo..j].to_string(),
+                line,
+                lo,
+                hi: j,
+            });
+            i = j;
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            let mut j = i + 1;
+            loop {
+                if j >= bytes.len() {
+                    return Err(err(line, "unterminated string"));
+                }
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'"' => {
+                        j += 1;
+                        break;
+                    }
+                    b'\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: src[lo..j].to_string(),
+                line,
+                lo,
+                hi: j,
+            });
+            i = j;
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not followed by a closing quote.
+            let mut j = i + 1;
+            let mut is_lifetime = false;
+            if j < bytes.len() && ((bytes[j] as char).is_ascii_alphabetic() || bytes[j] == b'_') {
+                let mut k = j + 1;
+                while k < bytes.len() && (bytes[k].is_ascii_alphanumeric() || bytes[k] == b'_') {
+                    k += 1;
+                }
+                if k >= bytes.len() || bytes[k] != b'\'' {
+                    is_lifetime = true;
+                    j = k;
+                }
+            }
+            if is_lifetime {
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: src[lo..j].to_string(),
+                    line,
+                    lo,
+                    hi: j,
+                });
+                i = j;
+                continue;
+            }
+            // Char literal: consume to the closing quote, honoring escapes.
+            loop {
+                if j >= bytes.len() {
+                    return Err(err(line, "unterminated char literal"));
+                }
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'\'' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Char,
+                text: src[lo..j].to_string(),
+                line,
+                lo,
+                hi: j,
+            });
+            i = j;
+            continue;
+        }
+        // Delimiters and punctuation.
+        let kind = match c {
+            '(' | '[' | '{' => TokKind::Open,
+            ')' | ']' | '}' => TokKind::Close,
+            _ => TokKind::Punct,
+        };
+        let j = i + c.len_utf8();
+        toks.push(Tok {
+            kind,
+            text: src[lo..j].to_string(),
+            line,
+            lo,
+            hi: j,
+        });
+        i = j;
+    }
+    Ok(toks)
+}
+
+/// `r"`, `r#`, `br"`, `br#` start a raw string; plain `r`/`b` identifiers
+/// do not.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if j >= bytes.len() || bytes[j] != b'r' {
+            // b"..." byte string: treat as a plain string by reusing the
+            // raw-string check failing; handled by the '"' branch only if
+            // the caller sees it. Simplest: claim it here.
+            return j < bytes.len() && bytes[j] == b'"';
+        }
+    }
+    if bytes[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).expect("lex").into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(
+            texts("fn add(a: u32) -> u32 {}"),
+            vec!["fn", "add", "(", "a", ":", "u32", ")", "-", ">", "u32", "{", "}"]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_lines_counted() {
+        let toks = lex("// hello\n/* multi\nline */ fn x() {}").expect("lex");
+        assert_eq!(toks[0].text, "fn");
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("&'static str 'x' '\\n'").expect("lex");
+        assert_eq!(toks[1].kind, TokKind::Lifetime);
+        assert_eq!(toks[1].text, "'static");
+        assert_eq!(toks[3].kind, TokKind::Char);
+        assert_eq!(toks[4].kind, TokKind::Char);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let toks = lex(r#"let s = "a\"b";"#).expect("lex");
+        assert_eq!(toks[3].kind, TokKind::Str);
+        assert_eq!(toks[3].text, r#""a\"b""#);
+    }
+
+    #[test]
+    fn raw_strings() {
+        let toks = lex(r##"let s = r#"quote " inside"#;"##).expect("lex");
+        assert_eq!(toks[3].kind, TokKind::Str);
+    }
+
+    #[test]
+    fn numbers_with_suffixes() {
+        assert_eq!(
+            texts("1_000u64 0.5f64 0x1f"),
+            vec!["1_000u64", "0.5f64", "0x1f"]
+        );
+    }
+
+    #[test]
+    fn offsets_allow_splicing() {
+        let src = "trait X { }";
+        let toks = lex(src).expect("lex");
+        let open = toks.iter().find(|t| t.text == "{").expect("open");
+        assert_eq!(&src[..open.lo], "trait X ");
+    }
+}

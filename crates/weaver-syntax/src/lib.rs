@@ -1,0 +1,26 @@
+//! A small, dependency-free Rust token scanner shared by the code
+//! generator (`weaver-macros`) and the static analyzer (`weaver-lint`).
+//!
+//! The paper's runtime "inspects the `Implements[T]` embeddings in a
+//! program's source code" (§4.2); in this reproduction two tools need that
+//! inspection: the proc macros (which receive token streams) and the
+//! lint pass (which reads source files). Both parse the same restricted
+//! grammar — component traits, method signatures, derives — so the lexer
+//! and signature parser live here once.
+//!
+//! This is deliberately *not* a full Rust parser: it tokenizes and
+//! understands balanced delimiters, attributes, and `fn` signatures. That
+//! subset is exactly what the component model constrains interfaces to,
+//! which is what makes hand-rolled parsing viable where general Rust
+//! would demand `syn`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cursor;
+mod lexer;
+mod sig;
+
+pub use cursor::Cursor;
+pub use lexer::{lex, SyntaxError, Tok, TokKind};
+pub use sig::{parse_fn_sig, render_tokens, render_type, FnArg, FnSig};

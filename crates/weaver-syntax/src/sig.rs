@@ -1,0 +1,300 @@
+//! `fn` signature parsing and deterministic token rendering.
+
+use crate::cursor::Cursor;
+use crate::lexer::{Tok, TokKind};
+
+/// One parsed function argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnArg {
+    /// The binding name (pattern identifier). `self` for receivers.
+    pub name: String,
+    /// Rendered type text (for `self` receivers: `&self`, `&mut self`,
+    /// or `self`).
+    pub ty: String,
+    /// True when the type starts with `&`.
+    pub by_ref: bool,
+}
+
+/// One parsed function signature. The body (or trailing `;`) is *not*
+/// consumed; the cursor stops at `{`, `;`, or `where`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSig {
+    /// The function name.
+    pub name: String,
+    /// 1-based source line of the `fn` keyword.
+    pub line: u32,
+    /// Arguments in declaration order, the receiver (if any) first.
+    pub args: Vec<FnArg>,
+    /// Rendered return type, `None` for `()`-returning signatures
+    /// written without `->`.
+    pub ret: Option<String>,
+}
+
+impl FnSig {
+    /// Arguments excluding any `self` receiver.
+    pub fn non_receiver_args(&self) -> &[FnArg] {
+        if self.args.first().is_some_and(|a| a.name == "self") {
+            &self.args[1..]
+        } else {
+            &self.args
+        }
+    }
+
+    /// The receiver's rendered form (`&self`, `&mut self`, `self`), if
+    /// the signature has one.
+    pub fn receiver(&self) -> Option<&str> {
+        self.args
+            .first()
+            .filter(|a| a.name == "self")
+            .map(|a| a.ty.as_str())
+    }
+}
+
+/// True when a token needs a space before another wordy token to avoid
+/// gluing into a single identifier/literal on re-parse.
+fn wordy(kind: TokKind) -> bool {
+    matches!(
+        kind,
+        TokKind::Ident | TokKind::Number | TokKind::Lifetime | TokKind::Char | TokKind::Str
+    )
+}
+
+/// Joins token texts into a deterministic, re-parseable string: a single
+/// space between adjacent wordy tokens (idents, literals, lifetimes),
+/// nothing elsewhere. Used for API fingerprints and diagnostics, so the
+/// output must not depend on source formatting.
+pub fn render_tokens(toks: &[Tok]) -> String {
+    let mut out = String::new();
+    let mut prev_wordy = false;
+    for t in toks {
+        let w = wordy(t.kind);
+        if w && prev_wordy {
+            out.push(' ');
+        }
+        out.push_str(&t.text);
+        // Closing delimiters (including `>`, which lexes as punct) count
+        // as wordy on the left so `Vec<u8> where` keeps its space while
+        // `Vec<Vec<u8>>` stays glued.
+        prev_wordy = w || t.kind == TokKind::Close || t.text == ">";
+        if matches!(t.text.as_str(), "," | ";") {
+            out.push(' ');
+            prev_wordy = false;
+        }
+    }
+    out.trim_end().to_string()
+}
+
+/// Renders a type's tokens. Identical to [`render_tokens`]; named
+/// separately so call sites state intent.
+pub fn render_type(toks: &[Tok]) -> String {
+    render_tokens(toks)
+}
+
+/// Splits a token slice on top-level occurrences of punctuation `sep`
+/// (nested `()`/`[]`/`{}` groups are opaque). Empty segments are dropped.
+fn split_top_level<'a>(toks: &'a [Tok], sep: &str) -> Vec<&'a [Tok]> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    // Angle brackets lex as plain punctuation, so generic arguments need
+    // their own depth counter; `->` must not count as a closer.
+    let mut angle = 0usize;
+    let mut start = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        let after_dash = i > 0 && toks[i - 1].is_punct("-");
+        match t.kind {
+            TokKind::Open => depth += 1,
+            TokKind::Close => depth = depth.saturating_sub(1),
+            _ if t.is_punct("<") => angle += 1,
+            _ if t.is_punct(">") && !after_dash => angle = angle.saturating_sub(1),
+            _ if depth == 0 && angle == 0 && t.is_punct(sep) => {
+                if i > start {
+                    parts.push(&toks[start..i]);
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < toks.len() {
+        parts.push(&toks[start..]);
+    }
+    parts
+}
+
+/// Parses one argument's tokens into an [`FnArg`].
+fn parse_arg(toks: &[Tok]) -> Option<FnArg> {
+    // Receiver forms.
+    let rendered = render_tokens(toks);
+    if matches!(
+        rendered.as_str(),
+        "self" | "&self" | "&mut self" | "mut self"
+    ) {
+        return Some(FnArg {
+            name: "self".to_string(),
+            by_ref: rendered.starts_with('&'),
+            ty: if rendered == "mut self" {
+                "self".to_string()
+            } else {
+                rendered
+            },
+        });
+    }
+    // `name: Type`, with optional leading `mut`.
+    let mut c = Cursor::new(toks);
+    c.eat_ident("mut");
+    let name = c.eat_any_ident()?.text.clone();
+    if !c.eat_punct(":") {
+        return None;
+    }
+    let ty_toks = &toks[c.pos()..];
+    if ty_toks.is_empty() {
+        return None;
+    }
+    Some(FnArg {
+        name,
+        ty: render_type(ty_toks),
+        by_ref: ty_toks[0].is_punct("&"),
+    })
+}
+
+/// Parses a `fn` signature starting at the cursor's current token, which
+/// must be the `fn` keyword. On success the cursor is left at the body
+/// `{`, a trailing `;`, or a `where` clause — whichever follows the
+/// signature. Generic parameter lists on the function are skipped.
+///
+/// Returns `None` (cursor position unspecified) on anything that does not
+/// look like a well-formed signature.
+pub fn parse_fn_sig(c: &mut Cursor<'_>) -> Option<FnSig> {
+    let fn_tok = c.peek()?;
+    if !fn_tok.is_ident("fn") {
+        return None;
+    }
+    let line = fn_tok.line;
+    c.next();
+    let name = c.eat_any_ident()?.text.clone();
+    // Generics: `fn get<K: Hash>(...)`.
+    if c.peek().is_some_and(|t| t.is_punct("<")) {
+        let mut depth = 0i32;
+        loop {
+            let t = c.next()?;
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    let arg_toks = c.take_group()?;
+    let args: Vec<FnArg> = split_top_level(arg_toks, ",")
+        .into_iter()
+        .map(parse_arg)
+        .collect::<Option<Vec<_>>>()?;
+    // Return type.
+    let mut ret = None;
+    if c.peek().is_some_and(|t| t.is_punct("-")) && c.peek_at(1).is_some_and(|t| t.is_punct(">")) {
+        c.next();
+        c.next();
+        let start = c.pos();
+        loop {
+            match c.peek() {
+                None => break,
+                Some(t) if t.is_punct("{") || t.is_punct(";") || t.is_ident("where") => break,
+                Some(t) if t.kind == TokKind::Open => {
+                    if !c.skip_balanced() {
+                        return None;
+                    }
+                }
+                Some(_) => {
+                    c.next();
+                }
+            }
+        }
+        // Distinguish `-> Type {` from the `{` that opens the body: the
+        // loop above only treats `{` as a stop, which is correct because
+        // types in this grammar never contain bare braces at top level.
+        let ty_slice_start = start;
+        let ty_slice_end = c.pos();
+        if ty_slice_end == ty_slice_start {
+            return None;
+        }
+        let all = {
+            // Re-borrow the token range via positions.
+            let mut probe = c.clone();
+            probe.set_pos(ty_slice_start);
+            let mut v = Vec::new();
+            while probe.pos() < ty_slice_end {
+                v.push(probe.next()?.clone());
+            }
+            v
+        };
+        ret = Some(render_type(&all));
+    }
+    Some(FnSig {
+        name,
+        line,
+        args,
+        ret,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn sig(src: &str) -> FnSig {
+        let toks = lex(src).expect("lex");
+        let mut c = Cursor::new(&toks);
+        parse_fn_sig(&mut c).expect("sig")
+    }
+
+    #[test]
+    fn component_method_shape() {
+        let s = sig("fn add_item(&self, ctx: &CallContext, user_id: String, item: CartItem) -> Result<(), WeaverError>;");
+        assert_eq!(s.name, "add_item");
+        assert_eq!(s.receiver(), Some("&self"));
+        let rest = s.non_receiver_args();
+        assert_eq!(rest.len(), 3);
+        assert_eq!(rest[0].name, "ctx");
+        assert!(rest[0].by_ref);
+        assert_eq!(rest[1].ty, "String");
+        assert!(!rest[1].by_ref);
+        assert_eq!(s.ret.as_deref(), Some("Result<(), WeaverError>"));
+    }
+
+    #[test]
+    fn generic_args_survive_commas() {
+        let s = sig("fn f(&self, m: HashMap<String, Vec<u8>>) -> Result<u8, E> {}");
+        assert_eq!(s.non_receiver_args()[0].ty, "HashMap<String, Vec<u8>>");
+    }
+
+    #[test]
+    fn no_return_type() {
+        let s = sig("fn ping(&self);");
+        assert_eq!(s.ret, None);
+        assert_eq!(s.args.len(), 1);
+    }
+
+    #[test]
+    fn fn_generics_are_skipped() {
+        let s = sig("fn route<K: Hash + ?Sized>(&self, key: &K) -> u64;");
+        assert_eq!(s.name, "route");
+        assert_eq!(s.non_receiver_args()[0].ty, "&K");
+    }
+
+    #[test]
+    fn rendering_is_format_independent() {
+        let a = sig("fn f(&self, x: Result < Vec<u8> , WeaverError >) -> u8;");
+        let b = sig("fn f(&self, x: Result<Vec<u8>, WeaverError>) -> u8;");
+        assert_eq!(a.args, b.args);
+    }
+
+    #[test]
+    fn mut_self_receiver_normalizes() {
+        let s = sig("fn f(mut self) -> u8;");
+        assert_eq!(s.receiver(), Some("self"));
+    }
+}

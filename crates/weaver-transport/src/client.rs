@@ -107,7 +107,12 @@ mod tests {
         let header = RequestHeader::default();
         for _ in 0..5 {
             let resp = pool
-                .call(server.local_addr(), &header, &[9], Some(Duration::from_secs(5)))
+                .call(
+                    server.local_addr(),
+                    &header,
+                    &[9],
+                    Some(Duration::from_secs(5)),
+                )
                 .unwrap();
             assert_eq!(resp.payload, vec![9]);
         }

@@ -39,9 +39,7 @@ impl std::error::Error for TransportError {}
 impl From<io::Error> for TransportError {
     fn from(e: io::Error) -> Self {
         match e.kind() {
-            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => {
-                TransportError::DeadlineExceeded
-            }
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => TransportError::DeadlineExceeded,
             io::ErrorKind::UnexpectedEof
             | io::ErrorKind::ConnectionReset
             | io::ErrorKind::BrokenPipe => TransportError::ConnectionClosed,

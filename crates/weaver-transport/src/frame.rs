@@ -223,9 +223,7 @@ impl Framing for WeaverFraming {
                 let status = match status {
                     0 => Status::Ok,
                     1 => Status::Error,
-                    other => {
-                        return Err(TransportError::Protocol(format!("bad status {other}")))
-                    }
+                    other => return Err(TransportError::Protocol(format!("bad status {other}"))),
                 };
                 Ok(Some(Message::Response {
                     stream,
@@ -299,7 +297,7 @@ impl GrpcLikeFraming {
         if header.deadline_nanos > 0 {
             block.push_str(&format!("grpc-timeout: {}n\r\n", header.deadline_nanos));
         }
-        if header.trace_id != 0 {
+        if header.trace_id != 0 || header.span_id != 0 {
             block.push_str(&format!(
                 "trace-bin: {:016x}{:016x}\r\n",
                 header.trace_id, header.span_id
@@ -322,12 +320,12 @@ impl GrpcLikeFraming {
                 .ok_or_else(|| TransportError::Protocol(format!("bad header line {line:?}")))?;
             match key {
                 ":path" => {
-                    let rest = value.strip_prefix("/weaver.c").ok_or_else(|| {
-                        TransportError::Protocol(format!("bad path {value:?}"))
-                    })?;
-                    let (c, m) = rest.split_once("/m").ok_or_else(|| {
-                        TransportError::Protocol(format!("bad path {value:?}"))
-                    })?;
+                    let rest = value
+                        .strip_prefix("/weaver.c")
+                        .ok_or_else(|| TransportError::Protocol(format!("bad path {value:?}")))?;
+                    let (c, m) = rest
+                        .split_once("/m")
+                        .ok_or_else(|| TransportError::Protocol(format!("bad path {value:?}")))?;
                     header.component = c
                         .parse()
                         .map_err(|_| TransportError::Protocol("bad component id".into()))?;
@@ -347,13 +345,11 @@ impl GrpcLikeFraming {
                         .parse()
                         .map_err(|_| TransportError::Protocol("bad timeout".into()))?;
                 }
-                "trace-bin" => {
-                    if value.len() == 32 {
-                        header.trace_id = u64::from_str_radix(&value[..16], 16)
-                            .map_err(|_| TransportError::Protocol("bad trace id".into()))?;
-                        header.span_id = u64::from_str_radix(&value[16..], 16)
-                            .map_err(|_| TransportError::Protocol("bad span id".into()))?;
-                    }
+                "trace-bin" if value.len() == 32 => {
+                    header.trace_id = u64::from_str_radix(&value[..16], 16)
+                        .map_err(|_| TransportError::Protocol("bad trace id".into()))?;
+                    header.span_id = u64::from_str_radix(&value[16..], 16)
+                        .map_err(|_| TransportError::Protocol("bad span id".into()))?;
                 }
                 "routing-key" => {
                     header.routing = Some(
@@ -446,11 +442,10 @@ impl Framing for GrpcLikeFraming {
             }
             let ty = head[3];
             let flags = head[4];
-            let stream = u64::from(u32::from_be_bytes(
-                head[5..9]
-                    .try_into()
-                    .map_err(|_| TransportError::Protocol("short frame head".into()))?,
-            ));
+            let stream =
+                u64::from(u32::from_be_bytes(head[5..9].try_into().map_err(|_| {
+                    TransportError::Protocol("short frame head".into())
+                })?));
             let mut payload = vec![0u8; len];
             if len > 0 && read_exact_or_eof(r, &mut payload)?.is_none() {
                 return Err(TransportError::ConnectionClosed);
@@ -473,9 +468,9 @@ impl Framing for GrpcLikeFraming {
                     } else if text.starts_with("grpc-status") {
                         // Trailers: finish the response.
                         let ok = text.contains("grpc-status: 0");
-                        let mut body = self.pending_trailers.remove(&stream).ok_or_else(
-                            || TransportError::Protocol("trailers without data".into()),
-                        )?;
+                        let mut body = self.pending_trailers.remove(&stream).ok_or_else(|| {
+                            TransportError::Protocol("trailers without data".into())
+                        })?;
                         if !ok {
                             body.status = Status::Error;
                         }
@@ -508,9 +503,7 @@ impl Framing for GrpcLikeFraming {
                     }
                     return Err(TransportError::Protocol("DATA without HEADERS".into()));
                 }
-                other => {
-                    return Err(TransportError::Protocol(format!("bad frame type {other}")))
-                }
+                other => return Err(TransportError::Protocol(format!("bad frame type {other}"))),
             }
         }
     }

@@ -3,7 +3,9 @@
 use std::io::Cursor;
 
 use proptest::prelude::*;
-use weaver_transport::{Framing, GrpcLikeFraming, Message, RequestHeader, ResponseBody, Status, WeaverFraming};
+use weaver_transport::{
+    Framing, GrpcLikeFraming, Message, RequestHeader, ResponseBody, Status, WeaverFraming,
+};
 
 fn arbitrary_header() -> impl Strategy<Value = RequestHeader> {
     (
@@ -30,10 +32,7 @@ fn arbitrary_header() -> impl Strategy<Value = RequestHeader> {
         )
 }
 
-fn roundtrip_request<F: Framing>(
-    header: &RequestHeader,
-    args: &[u8],
-) -> Result<(), TestCaseError> {
+fn roundtrip_request<F: Framing>(header: &RequestHeader, args: &[u8]) -> Result<(), TestCaseError> {
     let mut wire = Vec::new();
     F::write_request(&mut wire, 42, header, args);
     let mut framing = F::default();

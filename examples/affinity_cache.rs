@@ -94,7 +94,10 @@ replicas = 2
     pids.sort_unstable();
     pids.dedup();
     println!("16 keys × 10 bumps, all counts perfectly monotone (affinity holds)");
-    println!("keys are owned by {} distinct replica process(es): {pids:?}", pids.len());
+    println!(
+        "keys are owned by {} distinct replica process(es): {pids:?}",
+        pids.len()
+    );
     for key in keys.iter().take(6) {
         println!("  {key:<8} → pid {}", owner_of[key]);
     }

@@ -54,19 +54,11 @@ fn main() -> Result<(), WeaverError> {
     match deploy.as_str() {
         "single" => {
             // Both placements, like the paper's co-location comparison.
-            let colocated = SingleProcess::deploy(
-                boutique::registry(),
-                SingleMode::Colocated,
-                1,
-            );
+            let colocated = SingleProcess::deploy(boutique::registry(), SingleMode::Colocated, 1);
             let r = run_load(colocated.get::<dyn Frontend>()?, &options);
             report("single (colocated)", &r);
 
-            let marshaled = SingleProcess::deploy(
-                boutique::registry(),
-                SingleMode::Marshaled,
-                1,
-            );
+            let marshaled = SingleProcess::deploy(boutique::registry(), SingleMode::Marshaled, 1);
             let r = run_load(marshaled.get::<dyn Frontend>()?, &options);
             report("single (marshaled)", &r);
 
@@ -74,7 +66,11 @@ fn main() -> Result<(), WeaverError> {
             let graph = marshaled.callgraph();
             println!("\nobserved call graph (calls per edge):");
             for (caller, callee, calls) in graph.edge_call_counts() {
-                let caller = if caller.is_empty() { "<ingress>" } else { &caller };
+                let caller = if caller.is_empty() {
+                    "<ingress>"
+                } else {
+                    &caller
+                };
                 println!("  {caller:<34} -> {callee:<34} {calls:>8}");
             }
             let groups = colocate(
@@ -116,7 +112,10 @@ server_workers = 8
 
             // Aggregated from proclet LoadReports over the pipe protocol.
             let graph = deployment.callgraph();
-            println!("\nmanager-aggregated call graph edges: {}", graph.edges.len());
+            println!(
+                "\nmanager-aggregated call graph edges: {}",
+                graph.edges.len()
+            );
             deployment.shutdown();
         }
         "baseline" => {

@@ -133,9 +133,11 @@ replicas = 2
     )
     .map_err(|e| WeaverError::internal(e.to_string()))?;
 
-    let deployment = MultiProcess::deploy(registry, config, SpawnSpec::current_exe().map_err(
-        |e| WeaverError::internal(e.to_string()),
-    )?)?;
+    let deployment = MultiProcess::deploy(
+        registry,
+        config,
+        SpawnSpec::current_exe().map_err(|e| WeaverError::internal(e.to_string()))?,
+    )?;
     println!("deployed groups: {:?}", deployment.groups());
 
     let ctx = deployment.root_context();

@@ -73,11 +73,15 @@ fn main() -> Result<(), WeaverError> {
     let blue_greeter = blue.get::<dyn Greeter>()?;
     let green_greeter = green.get::<dyn Greeter>()?;
 
-    let mut rollout = Rollout::new(1, 2, RolloutConfig {
-        stages: vec![0.01, 0.25, 1.0],
-        ticks_per_stage: 1,
-        max_error_rate: 0.01,
-    });
+    let mut rollout = Rollout::new(
+        1,
+        2,
+        RolloutConfig {
+            stages: vec![0.01, 0.25, 1.0],
+            ticks_per_stage: 1,
+            max_error_rate: 0.01,
+        },
+    );
 
     println!("rolling v1 → v2 with health gates:");
     let mut request_no = 0u64;

@@ -146,10 +146,7 @@ fn transient_failures_do_not_corrupt_state() {
             },
         )
         .expect_err("payment was injected to fail");
-    assert!(matches!(
-        err,
-        weaver_core::WeaverError::Unavailable { .. }
-    ));
+    assert!(matches!(err, weaver_core::WeaverError::Unavailable { .. }));
     let cart = frontend.view_cart(&ctx, "tf".into(), "USD".into()).unwrap();
     assert_eq!(cart.items.len(), 1, "failed checkout lost the cart");
 

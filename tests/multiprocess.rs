@@ -106,9 +106,8 @@ fn pipe_protocol_conformance() {
 
     // The data plane serves real RPCs now (StartComponent semantics: the
     // call starts the component).
-    let conn =
-        weaver_transport::Connection::<weaver_transport::WeaverFraming>::connect(addr)
-            .expect("dial proclet");
+    let conn = weaver_transport::Connection::<weaver_transport::WeaverFraming>::connect(addr)
+        .expect("dial proclet");
     let args = weaver_codec::encode_to_vec(&"OLJCESPC7Z".to_string());
     let header = weaver_transport::RequestHeader {
         component: catalog_id,
@@ -171,7 +170,11 @@ fn pipe_protocol_conformance() {
 #[weaver_macros::component(name = "test.SlowWorker")]
 pub trait SlowWorker {
     /// Burns ~2 ms of wall time per call.
-    fn work(&self, ctx: &weaver_core::CallContext, units: u32) -> Result<u32, weaver_core::WeaverError>;
+    fn work(
+        &self,
+        ctx: &weaver_core::CallContext,
+        units: u32,
+    ) -> Result<u32, weaver_core::WeaverError>;
 }
 
 struct SlowWorkerImpl;
@@ -198,8 +201,8 @@ impl weaver_core::Component for SlowWorkerImpl {
 }
 
 fn test_registry() -> Arc<weaver_core::ComponentRegistry> {
-    use weaver_core::registry::RegistryBuilder;
     use boutique::components::*;
+    use weaver_core::registry::RegistryBuilder;
     Arc::new(
         RegistryBuilder::new()
             .register::<ProductCatalogImpl>()
@@ -414,7 +417,9 @@ fn scale_group_up_and_down() {
             .expect("call with 3 replicas");
     }
 
-    deployment.scale_group(catalog_group, 1).expect("scale down");
+    deployment
+        .scale_group(catalog_group, 1)
+        .expect("scale down");
     let deadline = Instant::now() + Duration::from_secs(5);
     while deployment.registered_replicas(catalog_group) > 1 {
         assert!(Instant::now() < deadline, "scale-down never completed");

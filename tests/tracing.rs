@@ -57,7 +57,10 @@ fn checkout_trace_reconstructs_the_call_tree() {
     assert_eq!(depth_of("boutique.CheckoutService", "place_order"), Some(1));
     assert_eq!(depth_of("boutique.PaymentService", "charge"), Some(2));
     assert_eq!(depth_of("boutique.CartService", "get_cart"), Some(2));
-    assert_eq!(depth_of("boutique.EmailService", "send_order_confirmation"), Some(2));
+    assert_eq!(
+        depth_of("boutique.EmailService", "send_order_confirmation"),
+        Some(2)
+    );
 
     // The critical path runs frontend → checkout → (its slowest child).
     let path = critical_path(&spans, order_ctx.trace_id);
@@ -125,6 +128,10 @@ fn concurrent_traces_do_not_mix() {
             1,
             "trace {trace_id} has multiple roots"
         );
-        assert!(tree.len() >= 4, "trace {trace_id} too small: {}", tree.len());
+        assert!(
+            tree.len() >= 4,
+            "trace {trace_id} too small: {}",
+            tree.len()
+        );
     }
 }

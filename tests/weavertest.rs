@@ -80,9 +80,7 @@ fn component_interfaces_behave_identically() {
         let recommendations = recs
             .list_recommendations(&ctx, "same-user".into(), vec!["L9ECAV7KIM".into()])
             .expect(placement);
-        let ads = ads
-            .get_ads(&ctx, vec!["footwear".into()])
-            .expect(placement);
+        let ads = ads.get_ads(&ctx, vec!["footwear".into()]).expect(placement);
 
         answers.push(format!(
             "{}|{}|{:?}|{:?}",
@@ -119,11 +117,7 @@ fn error_paths_survive_marshaling() {
         let mut card = test_card();
         card.number = "0000".into();
         let e = payment
-            .charge(
-                &ctx,
-                boutique::types::Money::new("USD", 10, 0),
-                card,
-            )
+            .charge(&ctx, boutique::types::Money::new("USD", 10, 0), card)
             .expect_err("bad card must error");
         errors.push(e.to_string());
     });
@@ -154,7 +148,10 @@ fn routed_methods_and_cart_isolation() {
             assert_eq!(items[0].product_id, format!("P-{user}"));
         }
         cart.empty_cart(&ctx, "u2".into()).expect(placement);
-        assert!(cart.get_cart(&ctx, "u2".into()).expect(placement).is_empty());
+        assert!(cart
+            .get_cart(&ctx, "u2".into())
+            .expect(placement)
+            .is_empty());
         assert_eq!(cart.get_cart(&ctx, "u1".into()).expect(placement).len(), 1);
     });
 }

@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the benchmark-group API the `bench` crate uses, with a simple
+//! mean-of-batches timer instead of criterion's statistical machinery.
+//! Numbers printed here are indicative, not publication-grade: the value
+//! of keeping the benches compiling offline is comparing *relative* costs
+//! (weaver vs tagged vs json codecs, inproc vs tcp transports).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, value: Duration) -> Self {
+        self.warm_up_time = value;
+        self
+    }
+
+    /// Sets the measurement duration per benchmark.
+    pub fn measurement_time(mut self, value: Duration) -> Self {
+        self.measurement_time = value;
+        self
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, value: usize) -> Self {
+        self.sample_size = value;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, rendered `function/parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Throughput annotation for a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, value: usize) -> &mut Self {
+        self.sample_size = value;
+        self
+    }
+
+    /// Annotates per-iteration throughput (reported as MB/s for bytes).
+    pub fn throughput(&mut self, value: Throughput) -> &mut Self {
+        self.throughput = Some(value);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size.max(1),
+            mean_nanos: 0.0,
+        };
+        f(&mut bencher);
+        let mean = bencher.mean_nanos;
+        let label = format!("{}/{}", self.name, id.label);
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) if mean > 0.0 => {
+                let mbps = bytes as f64 / mean * 1e9 / (1024.0 * 1024.0);
+                println!("bench {label:<48} {mean:>12.1} ns/iter  {mbps:>9.1} MiB/s");
+            }
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                let eps = n as f64 / mean * 1e9;
+                println!("bench {label:<48} {mean:>12.1} ns/iter  {eps:>9.0} elem/s");
+            }
+            _ => println!("bench {label:<48} {mean:>12.1} ns/iter"),
+        }
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing left to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    mean_nanos: f64,
+}
+
+impl Bencher {
+    /// Benchmarks `f`, storing the mean per-iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up, also calibrating iterations per sample batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up_time.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((self.measurement_time.as_secs_f64() / self.sample_size as f64 / per_iter)
+            .ceil() as u64)
+            .max(1);
+
+        let mut total_nanos = 0.0;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_nanos += start.elapsed().as_nanos() as f64;
+            total_iters += batch;
+        }
+        self.mean_nanos = total_nanos / total_iters.max(1) as f64;
+    }
+}
+
+/// Declares a group of benchmark functions plus its configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // When cargo runs bench targets under `cargo test`, skip the
+            // actual measurement: compile coverage is what matters there.
+            if ::std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,113 @@
+//! `any::<T>()` and the [`Arbitrary`] trait for primitive shapes.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Any;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain generator.
+pub trait Arbitrary {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias towards edge values now and then: full-domain random
+                // bits rarely hit boundaries on wide types.
+                match rng.index(16) {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.index(16) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::NAN,
+            3 => f64::INFINITY,
+            4 => f64::NEG_INFINITY,
+            5 => f64::EPSILON,
+            6 => f64::MIN_POSITIVE,
+            // Random bit patterns cover subnormals, huge exponents, NaNs.
+            _ => f64::from_bits(rng.next_u64()),
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Printable ASCII most of the time, plus a sprinkling of multi-byte
+        // code points so UTF-8 handling gets exercised.
+        const SPECIALS: &[char] = &['é', 'ß', '中', '🎉', '\u{7f}', '\u{80}', '\u{7ff}', '\t'];
+        match rng.index(8) {
+            0 => SPECIALS[rng.index(SPECIALS.len())],
+            _ => char::from_u32(0x20 + rng.index(0x5f) as u32).unwrap_or('?'),
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.index(33);
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if rng.index(4) == 0 {
+            None
+        } else {
+            Some(T::arbitrary(rng))
+        }
+    }
+}
+
+macro_rules! impl_arbitrary_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+
+impl_arbitrary_tuple!(A);
+impl_arbitrary_tuple!(A, B);
+impl_arbitrary_tuple!(A, B, C);
+impl_arbitrary_tuple!(A, B, C, D);
+impl_arbitrary_tuple!(A, B, C, D, E);
+impl_arbitrary_tuple!(A, B, C, D, E, F);

@@ -1,0 +1,100 @@
+//! Collection strategies: `vec`, `hash_map`, `btree_map`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy for `Vec<T>` with length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors whose elements come from `element` and whose length
+/// is uniform in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = sample_len(rng, &self.size);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy for `HashMap<K, V>`.
+pub struct HashMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+/// Generates hash maps; key collisions may produce fewer entries than
+/// drawn, matching real proptest's behavior loosely.
+pub fn hash_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: Range<usize>,
+) -> HashMapStrategy<K, V> {
+    HashMapStrategy { key, value, size }
+}
+
+impl<K, V> Strategy for HashMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Eq + Hash,
+    V: Strategy,
+{
+    type Value = HashMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = sample_len(rng, &self.size);
+        (0..len)
+            .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+            .collect()
+    }
+}
+
+/// A strategy for `BTreeMap<K, V>`.
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+/// Generates ordered maps; key collisions may produce fewer entries than
+/// drawn.
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: Range<usize>,
+) -> BTreeMapStrategy<K, V> {
+    BTreeMapStrategy { key, value, size }
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = sample_len(rng, &self.size);
+        (0..len)
+            .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+            .collect()
+    }
+}
+
+fn sample_len(rng: &mut TestRng, size: &Range<usize>) -> usize {
+    assert!(
+        size.start < size.end,
+        "collection strategy: empty size range"
+    );
+    size.start + rng.index(size.end - size.start)
+}

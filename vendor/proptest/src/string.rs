@@ -1,0 +1,226 @@
+//! Regex-lite string strategies: `"[a-z]{1,24}"`, `".*"`, and friends.
+//!
+//! Supports exactly the subset this workspace's tests use: concatenations
+//! of `.` / literal chars / character classes (with ranges, negation, and
+//! `&&[...]` intersection), each with an optional `*`, `+`, `?`, `{n}`,
+//! `{m,n}`, or `{m,}` quantifier. No groups or alternation.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Unbounded quantifiers (`*`, `+`, `{m,}`) cap repetition here.
+const UNBOUNDED_MAX: usize = 32;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// `&'static str` literals act as regex-lite string strategies.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let span = atom.max - atom.min + 1;
+            let count = atom.min + rng.index(span);
+            for _ in 0..count {
+                out.push(atom.choices[rng.index(atom.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// The sample universe for `.` and negated classes: printable ASCII plus a
+/// few multi-byte code points so UTF-8 paths get exercised.
+fn dot_universe() -> Vec<char> {
+    let mut set: Vec<char> = (0x20u32..=0x7e).filter_map(char::from_u32).collect();
+    set.extend(['\t', 'é', 'ß', '中', '🎉', '\u{80}', '\u{7ff}']);
+    set
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '.' => {
+                i += 1;
+                dot_universe()
+            }
+            '[' => {
+                let (set, next) = parse_class(&chars, i);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).unwrap_or_else(|| panic_bad(pattern));
+                i += 1;
+                vec![unescape(c)]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i);
+        i = next;
+        if choices.is_empty() {
+            assert!(max == 0 || min == 0, "regex-lite: empty class {pattern:?}");
+            continue;
+        }
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+/// Parses `[...]` starting at `start` (which must index the `[`); returns
+/// the resolved character set and the index just past the closing `]`.
+fn parse_class(chars: &[char], start: usize) -> (Vec<char>, usize) {
+    let mut i = start + 1;
+    let negated = chars.get(i) == Some(&'^');
+    if negated {
+        i += 1;
+    }
+    let mut set: Vec<char> = Vec::new();
+    let mut intersect: Option<Vec<char>> = None;
+    while i < chars.len() && chars[i] != ']' {
+        // Class intersection: `base&&[inner]`.
+        if chars[i] == '&' && chars.get(i + 1) == Some(&'&') && chars.get(i + 2) == Some(&'[') {
+            let (inner, next) = parse_class(chars, i + 2);
+            intersect = Some(match intersect {
+                None => inner,
+                Some(prev) => prev.into_iter().filter(|c| inner.contains(c)).collect(),
+            });
+            i = next;
+            continue;
+        }
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            unescape(chars[i])
+        } else {
+            chars[i]
+        };
+        i += 1;
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+            i += 1;
+            let hi = if chars[i] == '\\' {
+                i += 1;
+                unescape(chars[i])
+            } else {
+                chars[i]
+            };
+            i += 1;
+            set.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+        } else {
+            set.push(lo);
+        }
+    }
+    assert!(chars.get(i) == Some(&']'), "regex-lite: unterminated class");
+    i += 1;
+    let mut resolved = if negated {
+        dot_universe()
+            .into_iter()
+            .filter(|c| !set.contains(c))
+            .collect()
+    } else {
+        set
+    };
+    if let Some(allow) = intersect {
+        resolved.retain(|c| allow.contains(c));
+    }
+    (resolved, i)
+}
+
+fn parse_quantifier(chars: &[char], start: usize) -> (usize, usize, usize) {
+    match chars.get(start) {
+        Some('*') => (0, UNBOUNDED_MAX, start + 1),
+        Some('+') => (1, UNBOUNDED_MAX, start + 1),
+        Some('?') => (0, 1, start + 1),
+        Some('{') => {
+            let close = chars[start..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| start + p)
+                .expect("regex-lite: unterminated quantifier");
+            let body: String = chars[start + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                None => {
+                    let n = body.parse().expect("regex-lite: bad repeat count");
+                    (n, n)
+                }
+                Some((m, "")) => {
+                    let m: usize = m.parse().expect("regex-lite: bad repeat count");
+                    (m, m + UNBOUNDED_MAX)
+                }
+                Some((m, n)) => (
+                    m.parse().expect("regex-lite: bad repeat count"),
+                    n.parse().expect("regex-lite: bad repeat count"),
+                ),
+            };
+            (min, max, close + 1)
+        }
+        _ => (1, 1, start),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn panic_bad(pattern: &str) -> ! {
+    panic!("regex-lite: trailing escape in {pattern:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn gen_one(pattern: &'static str, rng: &mut TestRng) -> String {
+        Strategy::generate(&pattern, rng)
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::deterministic("class");
+        for _ in 0..200 {
+            let s = gen_one("[a-z]{1,24}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 24);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn intersection_excludes_chars() {
+        let mut rng = TestRng::deterministic("intersect");
+        for _ in 0..200 {
+            let s = gen_one("[ -~&&[^\"\\\\#]]{0,32}", &mut rng);
+            assert!(
+                s.chars()
+                    .all(|c| (' '..='~').contains(&c) && c != '"' && c != '\\' && c != '#'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_star_bounded() {
+        let mut rng = TestRng::deterministic("dot");
+        for _ in 0..50 {
+            let s = gen_one(".*", &mut rng);
+            assert!(s.chars().count() <= UNBOUNDED_MAX);
+        }
+    }
+}

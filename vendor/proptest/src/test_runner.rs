@@ -1,0 +1,102 @@
+//! Deterministic RNG and error plumbing for generated test cases.
+
+use std::fmt;
+
+/// Error type a property body can return (real proptest supports
+/// rejecting/failing cases; here failures are reported via panics, but the
+/// type keeps `Result<(), TestCaseError>` helper signatures compiling).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+    rejected: bool,
+}
+
+impl TestCaseError {
+    /// A failed test case with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            rejected: false,
+        }
+    }
+
+    /// A rejected (skipped, not failed) test case — produced by
+    /// `prop_assume!` when its precondition does not hold.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            rejected: true,
+        }
+    }
+
+    /// True for rejections, which skip the case instead of failing it.
+    pub fn is_rejection(&self) -> bool {
+        self.rejected
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result alias mirroring `proptest::test_runner::TestCaseResult`.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The deterministic generator driving every strategy (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Builds a generator whose stream is a pure function of `name` — each
+    /// property gets its own deterministic sequence, so failures reproduce.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name, then SplitMix64 to expand the state.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut x = h;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform index in `[0, n)`; `n` must be nonzero.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
