@@ -74,11 +74,11 @@ where
     match outcome {
         Ok(resp) => ResponseBody {
             status: Status::Ok,
-            payload: encode_message(&resp),
+            payload: encode_message(&resp).into(),
         },
         Err(e) => ResponseBody {
             status: Status::Error,
-            payload: encode_message(&weaver_error_to_status(&e)),
+            payload: encode_message(&weaver_error_to_status(&e)).into(),
         },
     }
 }
@@ -89,7 +89,8 @@ fn unknown_method(service: &str, method: u32) -> ResponseBody {
         payload: encode_message(&RpcStatus {
             code: 12, // UNIMPLEMENTED
             message: format!("unknown method {method} on {service}"),
-        }),
+        })
+        .into(),
     }
 }
 
@@ -114,7 +115,7 @@ struct CatalogHandler {
 }
 
 impl RpcHandler for CatalogHandler {
-    fn handle(&self, header: RequestHeader, args: &[u8]) -> ResponseBody {
+    fn handle(&self, header: &RequestHeader, args: &[u8]) -> ResponseBody {
         match header.method {
             0 => unary(args, |_req: ListProductsRequest| {
                 Ok(ListProductsResponse {
@@ -141,7 +142,7 @@ struct CurrencyHandler {
 }
 
 impl RpcHandler for CurrencyHandler {
-    fn handle(&self, header: RequestHeader, args: &[u8]) -> ResponseBody {
+    fn handle(&self, header: &RequestHeader, args: &[u8]) -> ResponseBody {
         match header.method {
             0 => unary(args, |_req: GetSupportedRequest| {
                 Ok(GetSupportedResponse {
@@ -167,7 +168,7 @@ struct CartHandler {
 }
 
 impl RpcHandler for CartHandler {
-    fn handle(&self, header: RequestHeader, args: &[u8]) -> ResponseBody {
+    fn handle(&self, header: &RequestHeader, args: &[u8]) -> ResponseBody {
         match header.method {
             0 => unary(args, |req: AddItemRequest| {
                 if req.item.product_id.is_empty() {
@@ -198,7 +199,7 @@ struct ShippingHandler {
 }
 
 impl RpcHandler for ShippingHandler {
-    fn handle(&self, header: RequestHeader, args: &[u8]) -> ResponseBody {
+    fn handle(&self, header: &RequestHeader, args: &[u8]) -> ResponseBody {
         match header.method {
             0 => unary(args, |req: GetQuoteRequest| {
                 Ok(GetQuoteResponse {
@@ -226,7 +227,7 @@ struct PaymentHandler {
 }
 
 impl RpcHandler for PaymentHandler {
-    fn handle(&self, header: RequestHeader, args: &[u8]) -> ResponseBody {
+    fn handle(&self, header: &RequestHeader, args: &[u8]) -> ResponseBody {
         match header.method {
             0 => unary(args, |req: ChargeRequest| {
                 self.processor
@@ -247,7 +248,7 @@ struct EmailHandler {
 }
 
 impl RpcHandler for EmailHandler {
-    fn handle(&self, header: RequestHeader, args: &[u8]) -> ResponseBody {
+    fn handle(&self, header: &RequestHeader, args: &[u8]) -> ResponseBody {
         match header.method {
             0 => unary(args, |req: SendConfirmationRequest| {
                 if !req.email.contains('@') {
@@ -270,7 +271,7 @@ struct AdsHandler {
 }
 
 impl RpcHandler for AdsHandler {
-    fn handle(&self, header: RequestHeader, args: &[u8]) -> ResponseBody {
+    fn handle(&self, header: &RequestHeader, args: &[u8]) -> ResponseBody {
         match header.method {
             0 => unary(args, |req: GetAdsRequest| {
                 Ok(GetAdsResponse {
@@ -291,8 +292,8 @@ struct RecommendationHandler {
 }
 
 impl RpcHandler for RecommendationHandler {
-    fn handle(&self, header: RequestHeader, args: &[u8]) -> ResponseBody {
-        let ctx = ctx_from_header(&header);
+    fn handle(&self, header: &RequestHeader, args: &[u8]) -> ResponseBody {
+        let ctx = ctx_from_header(header);
         match header.method {
             0 => unary(args, |req: ListRecommendationsRequest| {
                 let catalog = self
@@ -433,8 +434,8 @@ impl CheckoutHandler {
 }
 
 impl RpcHandler for CheckoutHandler {
-    fn handle(&self, header: RequestHeader, args: &[u8]) -> ResponseBody {
-        let ctx = ctx_from_header(&header);
+    fn handle(&self, header: &RequestHeader, args: &[u8]) -> ResponseBody {
+        let ctx = ctx_from_header(header);
         match header.method {
             0 => unary(args, |req: PlaceOrderRpcRequest| {
                 self.place_order(&ctx, req)
@@ -613,8 +614,8 @@ impl FrontendHandler {
 }
 
 impl RpcHandler for FrontendHandler {
-    fn handle(&self, header: RequestHeader, args: &[u8]) -> ResponseBody {
-        let ctx = ctx_from_header(&header);
+    fn handle(&self, header: &RequestHeader, args: &[u8]) -> ResponseBody {
+        let ctx = ctx_from_header(header);
         match header.method {
             0 => unary(args, |req: HomeRequest| self.home(&ctx, req)),
             1 => unary(args, |req: BrowseProductRequest| self.browse(&ctx, req)),

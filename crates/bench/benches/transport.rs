@@ -13,12 +13,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use weaver_transport::inproc::InprocNetwork;
 use weaver_transport::{
     Connection, Framing, GrpcLikeFraming, RequestHeader, ResponseBody, RpcHandler, Server, Status,
-    WeaverFraming,
+    WeaverFraming, WireBuf,
 };
 
 fn echo_handler(response_bytes: usize) -> Arc<dyn RpcHandler> {
-    let payload = vec![7u8; response_bytes];
-    Arc::new(move |_h: RequestHeader, _a: &[u8]| ResponseBody {
+    // WireBuf clone is a refcount bump: the response payload is shared, not
+    // copied, matching how real handlers return encoded replies.
+    let payload: WireBuf = vec![7u8; response_bytes].into();
+    Arc::new(move |_h: &RequestHeader, _a: &[u8]| ResponseBody {
         status: Status::Ok,
         payload: payload.clone(),
     })
@@ -80,6 +82,43 @@ fn bench_rtt(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_pipelined(c: &mut Criterion) {
+    // The coalescing path: 8 caller threads pipeline calls over one shared
+    // connection, so the writer loop batches frames into shared syscalls.
+    const CALLERS: usize = 8;
+    const CALLS_PER_ITER: usize = 4;
+    let mut group = c.benchmark_group("transport/pipelined");
+    let server = Server::<WeaverFraming>::bind("127.0.0.1:0", 4, echo_handler(128))
+        .expect("bind weaver server");
+    let conn =
+        Arc::new(Connection::<WeaverFraming>::connect(server.local_addr()).expect("connect"));
+    let h = header();
+    group.throughput(Throughput::Elements((CALLERS * CALLS_PER_ITER) as u64));
+    group.bench_function("weaver/8x4", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for _ in 0..CALLERS {
+                    let conn = Arc::clone(&conn);
+                    let h = &h;
+                    s.spawn(move || {
+                        for _ in 0..CALLS_PER_ITER {
+                            conn.call(h, &[1u8; 64], Some(Duration::from_secs(5)))
+                                .expect("pipelined call");
+                        }
+                    });
+                }
+            })
+        })
+    });
+    group.finish();
+    let (frames, flushes) = conn.writer_counters();
+    println!(
+        "pipelined writer counters — frames: {frames}, flushes: {flushes} \
+         ({:.2} frames/syscall)",
+        frames as f64 / flushes.max(1) as f64
+    );
+}
+
 fn bench_frame_sizes(c: &mut Criterion) {
     // Not a timing bench: measures bytes-on-wire per call for both
     // framings (encode only, no I/O).
@@ -125,6 +164,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_rtt, bench_frame_sizes
+    targets = bench_rtt, bench_pipelined, bench_frame_sizes
 }
 criterion_main!(benches);

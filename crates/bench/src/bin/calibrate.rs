@@ -114,9 +114,9 @@ fn main() {
     // Transport round trips over loopback.
     println!();
     println!("calibration: loopback RPC round-trip (4 KiB response)");
-    let handler: Arc<dyn RpcHandler> = Arc::new(|_h: RequestHeader, _a: &[u8]| ResponseBody {
+    let handler: Arc<dyn RpcHandler> = Arc::new(|_h: &RequestHeader, _a: &[u8]| ResponseBody {
         status: Status::Ok,
-        payload: vec![7u8; 4096],
+        payload: vec![7u8; 4096].into(),
     });
 
     let weaver_server =

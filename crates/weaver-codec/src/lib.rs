@@ -38,7 +38,7 @@ pub mod wire;
 
 pub use error::DecodeError;
 pub use reader::Reader;
-pub use wire::{decode_from_slice, encode_to_vec, Decode, Encode};
+pub use wire::{decode_from_slice, encode_into, encode_to_vec, Decode, Encode};
 
 /// Convenience prelude for generated code and downstream crates.
 pub mod prelude {
@@ -47,5 +47,5 @@ pub mod prelude {
     pub use crate::reader::Reader;
     pub use crate::tagged::{FieldKey, TaggedDecode, TaggedEncode, WireType};
     pub use crate::varint::{read_uvarint, write_uvarint};
-    pub use crate::wire::{decode_from_slice, encode_to_vec, Decode, Encode};
+    pub use crate::wire::{decode_from_slice, encode_into, encode_to_vec, Decode, Encode};
 }

@@ -49,6 +49,14 @@ pub fn encode_to_vec<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
     buf
 }
 
+/// Encodes a value into an existing buffer (appending), reserving its size
+/// hint up front. The buffer is typically recycled through a pool, making
+/// the steady-state encode path allocation-free.
+pub fn encode_into<T: Encode + ?Sized>(buf: &mut Vec<u8>, value: &T) {
+    buf.reserve(value.size_hint());
+    value.encode(buf);
+}
+
 /// Decodes a value from `bytes`, requiring that all input is consumed.
 pub fn decode_from_slice<T: Decode>(bytes: &[u8]) -> Result<T, DecodeError> {
     let mut r = Reader::new(bytes);

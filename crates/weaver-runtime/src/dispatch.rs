@@ -7,7 +7,7 @@ use weaver_core::context::{CallContext, ComponentGetter};
 use weaver_core::error::WeaverError;
 use weaver_core::instance::LiveComponents;
 use weaver_metrics::MetricsRegistry;
-use weaver_transport::{RequestHeader, ResponseBody, RpcHandler, Status};
+use weaver_transport::{BufferPool, RequestHeader, ResponseBody, RpcHandler, Status, WireBuf};
 
 /// The RPC handler a proclet installs on its data-plane server.
 ///
@@ -25,6 +25,8 @@ pub struct ProcletDispatcher {
     /// Busy-time accounting feeding the proclet's load reports (and thus
     /// the manager's autoscaler).
     busy: Arc<BusyTracker>,
+    /// Recycled buffers for encoding error payloads without allocating.
+    pool: BufferPool,
 }
 
 impl ProcletDispatcher {
@@ -54,6 +56,7 @@ impl ProcletDispatcher {
             version,
             handle_nanos,
             busy: Arc::new(BusyTracker::new()),
+            pool: BufferPool::global().clone(),
         }
     }
 
@@ -86,9 +89,9 @@ impl ProcletDispatcher {
 }
 
 impl RpcHandler for ProcletDispatcher {
-    fn handle(&self, header: RequestHeader, args: &[u8]) -> ResponseBody {
+    fn handle(&self, header: &RequestHeader, args: &[u8]) -> ResponseBody {
         let started = Instant::now();
-        let outcome = self.handle_inner(&header, args);
+        let outcome = self.handle_inner(header, args);
         let elapsed = started.elapsed();
         self.busy.record(elapsed);
         if let Some(histogram) = self
@@ -101,12 +104,16 @@ impl RpcHandler for ProcletDispatcher {
         match outcome {
             Ok(payload) => ResponseBody {
                 status: Status::Ok,
-                payload,
+                payload: WireBuf::from_vec(payload),
             },
-            Err(e) => ResponseBody {
-                status: Status::Error,
-                payload: weaver_codec::encode_to_vec(&e),
-            },
+            Err(e) => {
+                let mut buf = self.pool.get(64);
+                weaver_codec::encode_into(&mut buf, &e);
+                ResponseBody {
+                    status: Status::Error,
+                    payload: buf.freeze(),
+                }
+            }
         }
     }
 }
@@ -257,7 +264,7 @@ mod tests {
     fn dispatches_and_replies() {
         let d = dispatcher(1);
         let args = weaver_codec::encode_to_vec(&(2u64, 40u64));
-        let resp = d.handle(header(1, 0, 0), &args);
+        let resp = d.handle(&header(1, 0, 0), &args);
         assert_eq!(resp.status, Status::Ok);
         assert_eq!(
             weaver_core::client::decode_reply::<u64>(&resp.payload).unwrap(),
@@ -269,7 +276,7 @@ mod tests {
     fn version_mismatch_rejected() {
         let d = dispatcher(2);
         let args = weaver_codec::encode_to_vec(&(1u64, 1u64));
-        let resp = d.handle(header(1, 0, 0), &args);
+        let resp = d.handle(&header(1, 0, 0), &args);
         assert_eq!(resp.status, Status::Error);
         let e: WeaverError = weaver_codec::decode_from_slice(&resp.payload).unwrap();
         assert_eq!(
@@ -284,9 +291,9 @@ mod tests {
     #[test]
     fn unknown_component_and_method() {
         let d = dispatcher(1);
-        let resp = d.handle(header(1, 9, 0), &[]);
+        let resp = d.handle(&header(1, 9, 0), &[]);
         assert_eq!(resp.status, Status::Error);
-        let resp = d.handle(header(1, 0, 9), &[]);
+        let resp = d.handle(&header(1, 0, 9), &[]);
         assert_eq!(resp.status, Status::Error);
         let e: WeaverError = weaver_codec::decode_from_slice(&resp.payload).unwrap();
         assert!(matches!(e, WeaverError::UnknownMethod { .. }));
@@ -295,7 +302,7 @@ mod tests {
     #[test]
     fn corrupt_args_are_codec_error_not_crash() {
         let d = dispatcher(1);
-        let resp = d.handle(header(1, 0, 0), &[0xff]);
+        let resp = d.handle(&header(1, 0, 0), &[0xff]);
         assert_eq!(resp.status, Status::Error);
         let e: WeaverError = weaver_codec::decode_from_slice(&resp.payload).unwrap();
         assert!(matches!(e, WeaverError::Codec { .. }));
@@ -308,7 +315,7 @@ mod tests {
         let metrics = Arc::new(MetricsRegistry::new());
         let d = ProcletDispatcher::new(live, Arc::new(NoDeps), 1, Arc::clone(&metrics));
         let args = weaver_codec::encode_to_vec(&(1u64, 2u64));
-        d.handle(header(1, 0, 0), &args);
+        d.handle(&header(1, 0, 0), &args);
         let snap = metrics.snapshot();
         assert!(snap.get("test.Adder/add/handle_nanos").is_some());
     }

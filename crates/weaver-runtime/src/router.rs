@@ -207,7 +207,11 @@ impl CallRouter for RemoteRouter {
 
         let outcome: Result<Vec<u8>, WeaverError> = match result {
             Some(Ok(body)) => match body.status {
-                Status::Ok => Ok(body.payload),
+                // One copy at the ownership boundary: CallRouter returns an
+                // owned Vec (weaver-core is transport-agnostic), so the
+                // zero-copy WireBuf materializes here and the receive buffer
+                // recycles immediately.
+                Status::Ok => Ok(body.payload.to_vec()),
                 Status::Error => {
                     let e: WeaverError = weaver_codec::decode_from_slice(&body.payload)
                         .unwrap_or_else(|decode_err| WeaverError::Codec {

@@ -94,9 +94,9 @@ mod tests {
     use crate::server::{RpcHandler, Server};
 
     fn echo() -> Arc<dyn RpcHandler> {
-        Arc::new(|_h: RequestHeader, args: &[u8]| ResponseBody {
+        Arc::new(|_h: &RequestHeader, args: &[u8]| ResponseBody {
             status: Status::Ok,
-            payload: args.to_vec(),
+            payload: args.to_vec().into(),
         })
     }
 

@@ -2,16 +2,21 @@
 //!
 //! A [`Connection`] owns two threads:
 //!
-//! * a **writer** draining a channel of pre-encoded byte buffers, so many
-//!   caller threads can pipeline requests without contending on the socket;
-//! * a **reader** parsing inbound messages and completing the pending call
-//!   matching each response's stream id.
+//! * a **writer** running the shared coalescing loop ([`crate::writer`]):
+//!   many caller threads pipeline pre-encoded pooled frames through a
+//!   channel, and the writer drains whatever is queued into one syscall;
+//! * a **reader** parsing inbound messages into zero-copy [`ResponseBody`]
+//!   views and completing the pending call matching each stream id.
+//!
+//! Request encoding uses buffers recycled through a [`BufferPool`], so the
+//! steady-state call path performs no heap allocation for framing.
 //!
 //! Deadlines are enforced caller-side: a call that times out sends a cancel
 //! message (best effort) and returns [`TransportError::DeadlineExceeded`].
 //! When the socket dies, every in-flight call fails with
-//! [`TransportError::ConnectionClosed`] and the connection is marked dead so
-//! the pool replaces it.
+//! [`TransportError::ConnectionClosed`], the connection is marked dead so
+//! the pool replaces it, and the writer drops anything still queued rather
+//! than spinning on an unbounded channel.
 
 use std::collections::HashMap;
 use std::marker::PhantomData;
@@ -20,54 +25,74 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 
+use crate::buf::BufferPool;
 use crate::error::TransportError;
 use crate::frame::{Framing, Message, RequestHeader, ResponseBody};
+use crate::writer::{writer_loop, OutFrame, WriteOp, WriterStats};
 
 type PendingMap = Arc<Mutex<HashMap<u64, Sender<Result<ResponseBody, TransportError>>>>>;
 
 /// A multiplexing client connection using framing `F`.
 pub struct Connection<F: Framing> {
-    writer_tx: Sender<Vec<u8>>,
+    writer_tx: Sender<WriteOp>,
     pending: PendingMap,
     next_stream: AtomicU64,
     dead: Arc<AtomicBool>,
+    pool: BufferPool,
+    writer_stats: Arc<WriterStats>,
     _marker: PhantomData<F>,
 }
 
 impl<F: Framing> Connection<F> {
-    /// Connects to `addr` and spawns the reader and writer threads.
+    /// Connects to `addr` and spawns the reader and writer threads, using
+    /// the process-wide [`BufferPool::global`].
     pub fn connect<A: ToSocketAddrs + std::fmt::Debug>(addr: A) -> Result<Self, TransportError> {
+        Self::connect_with_pool(addr, BufferPool::global().clone())
+    }
+
+    /// Like [`Connection::connect`] with an explicit buffer pool (tests use
+    /// a private pool to observe hit/miss counters in isolation).
+    pub fn connect_with_pool<A: ToSocketAddrs + std::fmt::Debug>(
+        addr: A,
+        pool: BufferPool,
+    ) -> Result<Self, TransportError> {
         let stream = TcpStream::connect(&addr)
             .map_err(|e| TransportError::Unreachable(format!("{addr:?}: {e}")))?;
         // The whole point of the custom protocol is small latency-sensitive
         // messages; Nagle would serialize them behind ACKs.
         stream.set_nodelay(true)?;
-        Self::from_stream(stream)
+        Self::from_stream_with_pool(stream, pool)
     }
 
     /// Builds a connection over an already-established stream.
     pub fn from_stream(stream: TcpStream) -> Result<Self, TransportError> {
+        Self::from_stream_with_pool(stream, BufferPool::global().clone())
+    }
+
+    /// Builds a connection over an already-established stream with an
+    /// explicit buffer pool.
+    pub fn from_stream_with_pool(
+        stream: TcpStream,
+        pool: BufferPool,
+    ) -> Result<Self, TransportError> {
         let read_half = stream.try_clone()?;
-        let (writer_tx, writer_rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = unbounded();
+        let (writer_tx, writer_rx) = unbounded::<WriteOp>();
         let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
         let dead = Arc::new(AtomicBool::new(false));
+        let writer_stats = Arc::new(WriterStats::default());
 
         {
             let mut write_half = stream;
             let dead = Arc::clone(&dead);
+            let pool = pool.clone();
+            let stats = Arc::clone(&writer_stats);
             std::thread::Builder::new()
                 .name("weaver-conn-writer".into())
                 .spawn(move || {
-                    use std::io::Write;
-                    while let Ok(buf) = writer_rx.recv() {
-                        if write_half.write_all(&buf).is_err() {
-                            dead.store(true, Ordering::SeqCst);
-                            break;
-                        }
-                    }
+                    writer_loop(&writer_rx, &mut write_half, &pool, &dead, &stats);
                     let _ = write_half.shutdown(std::net::Shutdown::Both);
                 })
                 .expect("failed to spawn connection writer");
@@ -77,13 +102,14 @@ impl<F: Framing> Connection<F> {
             let pending = Arc::clone(&pending);
             let dead = Arc::clone(&dead);
             let writer_tx = writer_tx.clone();
+            let pool = pool.clone();
             std::thread::Builder::new()
                 .name("weaver-conn-reader".into())
                 .spawn(move || {
                     let mut read_half = read_half;
                     let mut framing = F::default();
                     loop {
-                        match framing.read_message(&mut read_half) {
+                        match framing.read_message(&mut read_half, &pool) {
                             Ok(Some(Message::Response { stream, body })) => {
                                 if let Some(tx) = pending.lock().remove(&stream) {
                                     let _ = tx.send(Ok(body));
@@ -92,9 +118,10 @@ impl<F: Framing> Connection<F> {
                                 // cancelled or timed out: drop it.
                             }
                             Ok(Some(Message::Ping)) => {
-                                let mut buf = Vec::with_capacity(16);
+                                let mut buf = pool.get(32);
                                 F::write_ping(&mut buf, true);
-                                let _ = writer_tx.send(buf);
+                                let _ =
+                                    writer_tx.send(WriteOp::Frame(OutFrame::single(buf.freeze())));
                             }
                             Ok(Some(Message::Pong)) => {}
                             Ok(Some(Message::Cancel { .. } | Message::Request { .. })) => {
@@ -104,6 +131,10 @@ impl<F: Framing> Connection<F> {
                         }
                     }
                     dead.store(true, Ordering::SeqCst);
+                    // Wake the writer so it notices the death immediately
+                    // and drops its queue instead of writing to a dead
+                    // socket (or blocking forever on recv).
+                    let _ = writer_tx.send(WriteOp::Shutdown);
                     // Fail everything still in flight.
                     for (_, tx) in pending.lock().drain() {
                         let _ = tx.send(Err(TransportError::ConnectionClosed));
@@ -117,6 +148,8 @@ impl<F: Framing> Connection<F> {
             pending,
             next_stream: AtomicU64::new(1),
             dead,
+            pool,
+            writer_stats,
             _marker: PhantomData,
         })
     }
@@ -125,6 +158,15 @@ impl<F: Framing> Connection<F> {
     /// connections.
     pub fn is_dead(&self) -> bool {
         self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Writer-side counters: `(frames sent, syscall flushes)`. The gap
+    /// between the two is the coalescing win.
+    pub fn writer_counters(&self) -> (u64, u64) {
+        (
+            self.writer_stats.frames.load(Ordering::Relaxed),
+            self.writer_stats.flushes.load(Ordering::Relaxed),
+        )
     }
 
     /// Performs one call and waits for its response.
@@ -144,9 +186,13 @@ impl<F: Framing> Connection<F> {
         let (tx, rx) = crossbeam::channel::bounded(1);
         self.pending.lock().insert(stream, tx);
 
-        let mut buf = Vec::with_capacity(64 + args.len());
+        let mut buf = self.pool.get(64 + args.len());
         F::write_request(&mut buf, stream, header, args);
-        if self.writer_tx.send(buf).is_err() {
+        if self
+            .writer_tx
+            .send(WriteOp::Frame(OutFrame::single(buf.freeze())))
+            .is_err()
+        {
             self.pending.lock().remove(&stream);
             return Err(TransportError::ConnectionClosed);
         }
@@ -161,9 +207,11 @@ impl<F: Framing> Connection<F> {
                 // Timed out (or the channel vanished with the reader): stop
                 // tracking the stream and tell the server to give up.
                 self.pending.lock().remove(&stream);
-                let mut cancel = Vec::with_capacity(16);
+                let mut cancel = self.pool.get(32);
                 F::write_cancel(&mut cancel, stream);
-                let _ = self.writer_tx.send(cancel);
+                let _ = self
+                    .writer_tx
+                    .send(WriteOp::Frame(OutFrame::single(cancel.freeze())));
                 if self.is_dead() {
                     Err(TransportError::ConnectionClosed)
                 } else {
@@ -178,10 +226,10 @@ impl<F: Framing> Connection<F> {
         if self.is_dead() {
             return Err(TransportError::ConnectionClosed);
         }
-        let mut buf = Vec::with_capacity(16);
+        let mut buf = self.pool.get(32);
         F::write_ping(&mut buf, false);
         self.writer_tx
-            .send(buf)
+            .send(WriteOp::Frame(OutFrame::single(buf.freeze())))
             .map_err(|_| TransportError::ConnectionClosed)
     }
 

@@ -1,5 +1,11 @@
 //! Wire framings: the streamlined weaver protocol and the gRPC-like
 //! baseline.
+//!
+//! The hot path is allocation-free in steady state: writers encode frames
+//! *directly* into pooled buffers (no intermediate payload `Vec`), and the
+//! reader parses each frame into [`WireBuf`] slices of the pooled receive
+//! buffer — request args and response payloads are zero-copy views, not
+//! copies.
 
 use std::collections::HashMap;
 use std::io::{self, Read};
@@ -7,6 +13,7 @@ use std::io::{self, Read};
 use weaver_codec::prelude::*;
 use weaver_macros::WeaverData;
 
+use crate::buf::{BufferPool, WireBuf};
 use crate::error::TransportError;
 
 /// Sanity bound on any single message (16 MiB), protecting against corrupt
@@ -46,15 +53,20 @@ pub enum Status {
 }
 
 /// A complete response.
+///
+/// The payload is a [`WireBuf`]: on the server it is the encoded reply
+/// handed to the writer without copying; on the client it is a zero-copy
+/// slice of the receive buffer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResponseBody {
     /// Whether the payload is a reply or an error.
     pub status: Status,
     /// Encoded reply or error.
-    pub payload: Vec<u8>,
+    pub payload: WireBuf,
 }
 
-/// One decoded protocol message.
+/// One decoded protocol message. Byte payloads are zero-copy slices into
+/// the pooled receive buffer.
 #[derive(Debug, PartialEq)]
 pub enum Message {
     /// A call request.
@@ -63,8 +75,8 @@ pub enum Message {
         stream: u64,
         /// Call metadata.
         header: RequestHeader,
-        /// Marshaled arguments.
-        args: Vec<u8>,
+        /// Marshaled arguments (borrowed view of the receive buffer).
+        args: WireBuf,
     },
     /// A call response.
     Response {
@@ -88,15 +100,34 @@ pub enum Message {
 ///
 /// Implementations may keep per-connection reader state (`&mut self` in
 /// [`Framing::read_message`]); one instance serves one connection direction.
+/// The `write_*` methods append to any `Vec<u8>` — in the hot path that Vec
+/// is a pooled buffer (`PooledBuf` dereferences to `Vec<u8>`), so encoding
+/// allocates nothing once the pool is warm.
 pub trait Framing: Default + Send + 'static {
     /// Human-readable protocol name (used in benchmark output).
     const NAME: &'static str;
 
-    /// Appends an encoded request to `out`.
+    /// Appends an encoded request to `out`. Encodes the header directly
+    /// into `out`; no intermediate payload buffer.
     fn write_request(out: &mut Vec<u8>, stream: u64, header: &RequestHeader, args: &[u8]);
 
     /// Appends an encoded response to `out`.
     fn write_response(out: &mut Vec<u8>, stream: u64, body: &ResponseBody);
+
+    /// Appends a response as a frame prefix in `out` plus an optional
+    /// borrowed payload tail to be written verbatim right after it.
+    ///
+    /// Framings whose layout ends with the raw payload override this to
+    /// return `Some(payload)` (a refcount bump, no copy); the default
+    /// copies the payload into `out` and returns `None`.
+    fn write_response_parts(
+        out: &mut Vec<u8>,
+        stream: u64,
+        body: &ResponseBody,
+    ) -> Option<WireBuf> {
+        Self::write_response(out, stream, body);
+        None
+    }
 
     /// Appends an encoded cancel message to `out`.
     fn write_cancel(out: &mut Vec<u8>, stream: u64);
@@ -104,10 +135,15 @@ pub trait Framing: Default + Send + 'static {
     /// Appends an encoded ping (`pong = false`) or pong to `out`.
     fn write_ping(out: &mut Vec<u8>, pong: bool);
 
-    /// Blocks until one complete message is read from `r`.
+    /// Blocks until one complete message is read from `r`, using `pool`
+    /// for the receive buffer that zero-copy payloads will reference.
     ///
     /// Returns `Ok(None)` on clean EOF at a message boundary.
-    fn read_message(&mut self, r: &mut dyn Read) -> Result<Option<Message>, TransportError>;
+    fn read_message(
+        &mut self,
+        r: &mut dyn Read,
+        pool: &BufferPool,
+    ) -> Result<Option<Message>, TransportError>;
 }
 
 fn read_exact_or_eof(r: &mut dyn Read, buf: &mut [u8]) -> Result<Option<()>, TransportError> {
@@ -146,13 +182,31 @@ const KIND_CANCEL: u8 = 2;
 const KIND_PING: u8 = 3;
 const KIND_PONG: u8 = 4;
 
+/// Bytes of frame payload preceding the length prefix: kind + stream.
+const FRAME_META: usize = 1 + 8;
+
 impl WeaverFraming {
-    fn write_frame(out: &mut Vec<u8>, kind: u8, stream: u64, payload: &[u8]) {
-        let len = (1 + 8 + payload.len()) as u32;
-        out.extend_from_slice(&len.to_le_bytes());
+    /// Writes the fixed frame prelude with a length placeholder; returns
+    /// the placeholder's offset for [`Self::end_frame`].
+    fn begin_frame(out: &mut Vec<u8>, kind: u8, stream: u64) -> usize {
+        let len_at = out.len();
+        out.extend_from_slice(&[0u8; 4]);
         out.push(kind);
         out.extend_from_slice(&stream.to_le_bytes());
-        out.extend_from_slice(payload);
+        len_at
+    }
+
+    /// Backfills the length prefix once the payload has been appended.
+    fn end_frame(out: &mut [u8], len_at: usize) {
+        let len = (out.len() - len_at - 4) as u32;
+        out[len_at..len_at + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    fn status_byte(status: Status) -> u8 {
+        match status {
+            Status::Ok => 0,
+            Status::Error => 1,
+        }
     }
 }
 
@@ -160,56 +214,81 @@ impl Framing for WeaverFraming {
     const NAME: &'static str = "weaver";
 
     fn write_request(out: &mut Vec<u8>, stream: u64, header: &RequestHeader, args: &[u8]) {
-        let mut payload = Vec::with_capacity(40 + args.len());
-        header.encode(&mut payload);
-        payload.extend_from_slice(args);
-        Self::write_frame(out, KIND_REQUEST, stream, &payload);
+        out.reserve(4 + FRAME_META + 40 + args.len());
+        let len_at = Self::begin_frame(out, KIND_REQUEST, stream);
+        header.encode(out);
+        out.extend_from_slice(args);
+        Self::end_frame(out, len_at);
     }
 
     fn write_response(out: &mut Vec<u8>, stream: u64, body: &ResponseBody) {
-        let mut payload = Vec::with_capacity(1 + body.payload.len());
-        payload.push(match body.status {
-            Status::Ok => 0,
-            Status::Error => 1,
-        });
-        payload.extend_from_slice(&body.payload);
-        Self::write_frame(out, KIND_RESPONSE, stream, &payload);
+        out.reserve(4 + FRAME_META + 1 + body.payload.len());
+        let len_at = Self::begin_frame(out, KIND_RESPONSE, stream);
+        out.push(Self::status_byte(body.status));
+        out.extend_from_slice(&body.payload);
+        Self::end_frame(out, len_at);
+    }
+
+    fn write_response_parts(
+        out: &mut Vec<u8>,
+        stream: u64,
+        body: &ResponseBody,
+    ) -> Option<WireBuf> {
+        // The weaver response layout ends with the raw payload, so the
+        // payload rides along as a borrowed tail: no copy here at all.
+        let len = (FRAME_META + 1 + body.payload.len()) as u32;
+        out.reserve(4 + FRAME_META + 1);
+        out.extend_from_slice(&len.to_le_bytes());
+        out.push(KIND_RESPONSE);
+        out.extend_from_slice(&stream.to_le_bytes());
+        out.push(Self::status_byte(body.status));
+        Some(body.payload.clone())
     }
 
     fn write_cancel(out: &mut Vec<u8>, stream: u64) {
-        Self::write_frame(out, KIND_CANCEL, stream, &[]);
+        let len_at = Self::begin_frame(out, KIND_CANCEL, stream);
+        Self::end_frame(out, len_at);
     }
 
     fn write_ping(out: &mut Vec<u8>, pong: bool) {
-        Self::write_frame(out, if pong { KIND_PONG } else { KIND_PING }, 0, &[]);
+        let len_at = Self::begin_frame(out, if pong { KIND_PONG } else { KIND_PING }, 0);
+        Self::end_frame(out, len_at);
     }
 
-    fn read_message(&mut self, r: &mut dyn Read) -> Result<Option<Message>, TransportError> {
+    fn read_message(
+        &mut self,
+        r: &mut dyn Read,
+        pool: &BufferPool,
+    ) -> Result<Option<Message>, TransportError> {
         let mut len_buf = [0u8; 4];
         if read_exact_or_eof(r, &mut len_buf)?.is_none() {
             return Ok(None);
         }
         let len = u32::from_le_bytes(len_buf) as usize;
-        if !(9..=MAX_MESSAGE_SIZE).contains(&len) {
+        if !(FRAME_META..=MAX_MESSAGE_SIZE).contains(&len) {
             return Err(TransportError::Protocol(format!("bad frame length {len}")));
         }
-        let mut frame = vec![0u8; len];
+        let mut frame = pool.get(len);
+        frame.resize(len, 0);
         if read_exact_or_eof(r, &mut frame)?.is_none() {
             return Err(TransportError::ConnectionClosed);
         }
         let kind = frame[0];
         let stream = u64::from_le_bytes(
-            frame[1..9]
+            frame[1..FRAME_META]
                 .try_into()
                 .map_err(|_| TransportError::Protocol("short frame".into()))?,
         );
-        let payload = &frame[9..];
         match kind {
             KIND_REQUEST => {
+                let buf = frame.freeze();
+                let payload = &buf[FRAME_META..];
                 let mut rd = Reader::new(payload);
                 let header = RequestHeader::decode(&mut rd)
                     .map_err(|e| TransportError::Protocol(e.to_string()))?;
-                let args = payload[rd.position()..].to_vec();
+                // Args are whatever follows the header: a zero-copy slice
+                // of the receive buffer, not a Vec.
+                let args = buf.slice(FRAME_META + rd.position()..);
                 Ok(Some(Message::Request {
                     stream,
                     header,
@@ -217,19 +296,20 @@ impl Framing for WeaverFraming {
                 }))
             }
             KIND_RESPONSE => {
-                let (&status, rest) = payload
-                    .split_first()
+                let status = *frame
+                    .get(FRAME_META)
                     .ok_or_else(|| TransportError::Protocol("empty response".into()))?;
                 let status = match status {
                     0 => Status::Ok,
                     1 => Status::Error,
                     other => return Err(TransportError::Protocol(format!("bad status {other}"))),
                 };
+                let buf = frame.freeze();
                 Ok(Some(Message::Response {
                     stream,
                     body: ResponseBody {
                         status,
-                        payload: rest.to_vec(),
+                        payload: buf.slice(FRAME_META + 1..),
                     },
                 }))
             }
@@ -367,16 +447,16 @@ impl GrpcLikeFraming {
         Ok(header)
     }
 
-    fn grpc_message(payload: &[u8]) -> Vec<u8> {
+    fn write_grpc_message(out: &mut Vec<u8>, payload: &[u8]) {
         // gRPC length-prefixed message: 1-byte compressed flag + u32 length.
-        let mut out = Vec::with_capacity(5 + payload.len());
         out.push(0);
         out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
         out.extend_from_slice(payload);
-        out
     }
 
-    fn parse_grpc_message(data: &[u8]) -> Result<Vec<u8>, TransportError> {
+    /// Validates the 5-byte gRPC prefix of `data`; the message body is
+    /// `data[5..]`.
+    fn check_grpc_message(data: &[u8]) -> Result<(), TransportError> {
         if data.len() < 5 {
             return Err(TransportError::Protocol("short gRPC message".into()));
         }
@@ -388,7 +468,7 @@ impl GrpcLikeFraming {
         if data.len() != 5 + len {
             return Err(TransportError::Protocol("gRPC length mismatch".into()));
         }
-        Ok(data[5..].to_vec())
+        Ok(())
     }
 }
 
@@ -398,25 +478,35 @@ impl Framing for GrpcLikeFraming {
     fn write_request(out: &mut Vec<u8>, stream: u64, header: &RequestHeader, args: &[u8]) {
         let block = Self::header_block_for_request(header);
         Self::write_h2_frame(out, H2_HEADERS, H2_FLAG_END_HEADERS, stream, &block);
-        let msg = Self::grpc_message(args);
-        Self::write_h2_frame(out, H2_DATA, H2_FLAG_END_STREAM, stream, &msg);
+        // DATA frame: h2 header, then the 5-byte gRPC prefix + args encoded
+        // in place (no intermediate message Vec).
+        let len = (5 + args.len()) as u32;
+        out.extend_from_slice(&len.to_be_bytes()[1..4]);
+        out.push(H2_DATA);
+        out.push(H2_FLAG_END_STREAM);
+        out.extend_from_slice(&(stream as u32).to_be_bytes());
+        Self::write_grpc_message(out, args);
     }
 
     fn write_response(out: &mut Vec<u8>, stream: u64, body: &ResponseBody) {
         let head = b":status: 200\r\ncontent-type: application/grpc+proto\r\n";
         Self::write_h2_frame(out, H2_HEADERS, H2_FLAG_END_HEADERS, stream, head);
-        let msg = Self::grpc_message(&body.payload);
-        Self::write_h2_frame(out, H2_DATA, 0, stream, &msg);
-        let trailer = match body.status {
-            Status::Ok => "grpc-status: 0\r\n".to_string(),
-            Status::Error => "grpc-status: 2\r\n".to_string(),
+        let len = (5 + body.payload.len()) as u32;
+        out.extend_from_slice(&len.to_be_bytes()[1..4]);
+        out.push(H2_DATA);
+        out.push(0);
+        out.extend_from_slice(&(stream as u32).to_be_bytes());
+        Self::write_grpc_message(out, &body.payload);
+        let trailer: &[u8] = match body.status {
+            Status::Ok => b"grpc-status: 0\r\n",
+            Status::Error => b"grpc-status: 2\r\n",
         };
         Self::write_h2_frame(
             out,
             H2_HEADERS,
             H2_FLAG_END_HEADERS | H2_FLAG_END_STREAM,
             stream,
-            trailer.as_bytes(),
+            trailer,
         );
     }
 
@@ -430,7 +520,11 @@ impl Framing for GrpcLikeFraming {
         Self::write_h2_frame(out, H2_PING, flags, 0, &[0u8; 8]);
     }
 
-    fn read_message(&mut self, r: &mut dyn Read) -> Result<Option<Message>, TransportError> {
+    fn read_message(
+        &mut self,
+        r: &mut dyn Read,
+        pool: &BufferPool,
+    ) -> Result<Option<Message>, TransportError> {
         loop {
             let mut head = [0u8; 9];
             if read_exact_or_eof(r, &mut head)?.is_none() {
@@ -446,7 +540,8 @@ impl Framing for GrpcLikeFraming {
                 u64::from(u32::from_be_bytes(head[5..9].try_into().map_err(|_| {
                     TransportError::Protocol("short frame head".into())
                 })?));
-            let mut payload = vec![0u8; len];
+            let mut payload = pool.get(len);
+            payload.resize(len, 0);
             if len > 0 && read_exact_or_eof(r, &mut payload)?.is_none() {
                 return Err(TransportError::ConnectionClosed);
             }
@@ -482,7 +577,10 @@ impl Framing for GrpcLikeFraming {
                     }
                 }
                 H2_DATA => {
-                    let msg = Self::parse_grpc_message(&payload)?;
+                    Self::check_grpc_message(&payload)?;
+                    // Zero-copy: the message body is a slice of the pooled
+                    // frame, past the 5-byte gRPC prefix.
+                    let msg = payload.freeze().slice(5..);
                     if let Some(header) = self.pending_requests.remove(&stream) {
                         return Ok(Some(Message::Request {
                             stream,
@@ -514,6 +612,10 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
+    fn pool() -> BufferPool {
+        BufferPool::new()
+    }
+
     fn sample_header() -> RequestHeader {
         RequestHeader {
             component: 3,
@@ -532,13 +634,16 @@ mod tests {
         let mut wire = Vec::new();
         F::write_request(&mut wire, 9, &header, &args);
         let mut f = F::default();
-        let msg = f.read_message(&mut Cursor::new(&wire)).unwrap().unwrap();
+        let msg = f
+            .read_message(&mut Cursor::new(&wire), &pool())
+            .unwrap()
+            .unwrap();
         assert_eq!(
             msg,
             Message::Request {
                 stream: 9,
                 header,
-                args,
+                args: args.into(),
             }
         );
     }
@@ -546,12 +651,15 @@ mod tests {
     fn roundtrip_response<F: Framing>(status: Status) {
         let body = ResponseBody {
             status,
-            payload: vec![9u8; 100],
+            payload: vec![9u8; 100].into(),
         };
         let mut wire = Vec::new();
         F::write_response(&mut wire, 4, &body);
         let mut f = F::default();
-        let msg = f.read_message(&mut Cursor::new(&wire)).unwrap().unwrap();
+        let msg = f
+            .read_message(&mut Cursor::new(&wire), &pool())
+            .unwrap()
+            .unwrap();
         assert_eq!(msg, Message::Response { stream: 4, body });
     }
 
@@ -562,13 +670,20 @@ mod tests {
         F::write_cancel(&mut wire, 11);
         let mut cursor = Cursor::new(&wire);
         let mut f = F::default();
-        assert_eq!(f.read_message(&mut cursor).unwrap(), Some(Message::Ping));
-        assert_eq!(f.read_message(&mut cursor).unwrap(), Some(Message::Pong));
+        let p = pool();
         assert_eq!(
-            f.read_message(&mut cursor).unwrap(),
+            f.read_message(&mut cursor, &p).unwrap(),
+            Some(Message::Ping)
+        );
+        assert_eq!(
+            f.read_message(&mut cursor, &p).unwrap(),
+            Some(Message::Pong)
+        );
+        assert_eq!(
+            f.read_message(&mut cursor, &p).unwrap(),
             Some(Message::Cancel { stream: 11 })
         );
-        assert_eq!(f.read_message(&mut cursor).unwrap(), None);
+        assert_eq!(f.read_message(&mut cursor, &p).unwrap(), None);
     }
 
     #[test]
@@ -588,6 +703,51 @@ mod tests {
     }
 
     #[test]
+    fn response_parts_concatenate_to_whole_frame() {
+        // write_response_parts(prefix) + payload tail must equal
+        // write_response byte-for-byte, for any framing that opts in.
+        let body = ResponseBody {
+            status: Status::Error,
+            payload: vec![5u8; 333].into(),
+        };
+        let mut whole = Vec::new();
+        WeaverFraming::write_response(&mut whole, 21, &body);
+        let mut prefix = Vec::new();
+        let tail = WeaverFraming::write_response_parts(&mut prefix, 21, &body)
+            .expect("weaver framing returns a tail");
+        prefix.extend_from_slice(&tail);
+        assert_eq!(whole, prefix);
+
+        // The default implementation copies and returns no tail.
+        let mut grpc_whole = Vec::new();
+        GrpcLikeFraming::write_response(&mut grpc_whole, 21, &body);
+        let mut grpc_parts = Vec::new();
+        assert!(GrpcLikeFraming::write_response_parts(&mut grpc_parts, 21, &body).is_none());
+        assert_eq!(grpc_whole, grpc_parts);
+    }
+
+    #[test]
+    fn request_args_are_zero_copy_views() {
+        // Parsing a request must not allocate a fresh args Vec: the args
+        // WireBuf shares the pooled receive buffer, which returns to the
+        // pool only when the args are dropped.
+        let p = pool();
+        let mut wire = Vec::new();
+        WeaverFraming::write_request(&mut wire, 1, &sample_header(), &[7u8; 64]);
+        let mut f = WeaverFraming;
+        let msg = f
+            .read_message(&mut Cursor::new(&wire), &p)
+            .unwrap()
+            .unwrap();
+        let Message::Request { args, .. } = msg else {
+            panic!("expected request");
+        };
+        assert_eq!(p.stats().recycled, 0, "receive buffer still referenced");
+        drop(args);
+        assert_eq!(p.stats().recycled, 1, "dropping args recycles the frame");
+    }
+
+    #[test]
     fn minimal_header_roundtrips_grpc_like() {
         // No deadline, no trace, no routing.
         let header = RequestHeader {
@@ -599,7 +759,10 @@ mod tests {
         let mut wire = Vec::new();
         GrpcLikeFraming::write_request(&mut wire, 1, &header, &[]);
         let mut f = GrpcLikeFraming::default();
-        let msg = f.read_message(&mut Cursor::new(&wire)).unwrap().unwrap();
+        let msg = f
+            .read_message(&mut Cursor::new(&wire), &pool())
+            .unwrap()
+            .unwrap();
         match msg {
             Message::Request { header: h, .. } => assert_eq!(h, header),
             other => panic!("unexpected {other:?}"),
@@ -630,13 +793,14 @@ mod tests {
         WeaverFraming::write_request(&mut wire, 2, &sample_header(), &[2]);
         let mut cursor = Cursor::new(&wire);
         let mut f = WeaverFraming;
-        let m1 = f.read_message(&mut cursor).unwrap().unwrap();
-        let m2 = f.read_message(&mut cursor).unwrap().unwrap();
+        let p = pool();
+        let m1 = f.read_message(&mut cursor, &p).unwrap().unwrap();
+        let m2 = f.read_message(&mut cursor, &p).unwrap().unwrap();
         match (m1, m2) {
             (Message::Request { stream: 1, .. }, Message::Request { stream: 2, .. }) => {}
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(f.read_message(&mut cursor).unwrap(), None);
+        assert_eq!(f.read_message(&mut cursor, &p).unwrap(), None);
     }
 
     #[test]
@@ -646,7 +810,7 @@ mod tests {
         wire.truncate(wire.len() - 2);
         let mut f = WeaverFraming;
         assert_eq!(
-            f.read_message(&mut Cursor::new(&wire)),
+            f.read_message(&mut Cursor::new(&wire), &pool()),
             Err(TransportError::ConnectionClosed)
         );
     }
@@ -658,7 +822,7 @@ mod tests {
         wire.extend_from_slice(&[0u8; 16]);
         let mut f = WeaverFraming;
         assert!(matches!(
-            f.read_message(&mut Cursor::new(&wire)),
+            f.read_message(&mut Cursor::new(&wire), &pool()),
             Err(TransportError::Protocol(_))
         ));
     }
@@ -666,20 +830,22 @@ mod tests {
     #[test]
     fn garbage_rejected_not_panicked() {
         let wire: Vec<u8> = (0..64u8).collect();
+        let p = pool();
         let mut f = WeaverFraming;
-        let _ = f.read_message(&mut Cursor::new(&wire));
+        let _ = f.read_message(&mut Cursor::new(&wire), &p);
         let mut g = GrpcLikeFraming::default();
-        let _ = g.read_message(&mut Cursor::new(&wire));
+        let _ = g.read_message(&mut Cursor::new(&wire), &p);
     }
 
     #[test]
     fn grpc_data_without_headers_is_protocol_error() {
         let mut wire = Vec::new();
-        let msg = GrpcLikeFraming::grpc_message(&[1, 2, 3]);
+        let mut msg = Vec::new();
+        GrpcLikeFraming::write_grpc_message(&mut msg, &[1, 2, 3]);
         GrpcLikeFraming::write_h2_frame(&mut wire, H2_DATA, 0, 5, &msg);
         let mut f = GrpcLikeFraming::default();
         assert!(matches!(
-            f.read_message(&mut Cursor::new(&wire)),
+            f.read_message(&mut Cursor::new(&wire), &pool()),
             Err(TransportError::Protocol(_))
         ));
     }

@@ -115,7 +115,8 @@ impl InprocNetwork {
             }
             std::thread::sleep(endpoint.fault.delay);
         }
-        Ok(endpoint.handler.handle(header.clone(), args))
+        // Borrowed straight through: no header clone, no args copy.
+        Ok(endpoint.handler.handle(header, args))
     }
 
     /// Names of all registered endpoints, sorted.
@@ -132,9 +133,9 @@ mod tests {
     use crate::frame::Status;
 
     fn echo() -> Arc<dyn RpcHandler> {
-        Arc::new(|_h: RequestHeader, args: &[u8]| ResponseBody {
+        Arc::new(|_h: &RequestHeader, args: &[u8]| ResponseBody {
             status: Status::Ok,
-            payload: args.to_vec(),
+            payload: args.to_vec().into(),
         })
     }
 

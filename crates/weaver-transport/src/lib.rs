@@ -24,10 +24,17 @@
 //! writer thread), [`Server`] (accept loop + worker pool), [`Pool`]
 //! (connection reuse per address), and [`inproc`] (a loopback transport used
 //! by tests and the single-process deployer's RPC-mode).
+//!
+//! The hot path is zero-copy and allocation-free in steady state: encode
+//! buffers and receive buffers come from a size-classed [`BufferPool`],
+//! parsed payloads are refcounted [`WireBuf`] views of the receive buffer,
+//! and each connection's writer thread coalesces queued frames into single
+//! syscalls (see [`buf`] and the module docs on [`conn`]/[`server`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buf;
 pub mod client;
 pub mod conn;
 pub mod error;
@@ -35,7 +42,9 @@ pub mod frame;
 pub mod inproc;
 pub mod pool;
 pub mod server;
+mod writer;
 
+pub use buf::{BufferPool, PoolStats, PooledBuf, WireBuf};
 pub use client::Pool;
 pub use conn::Connection;
 pub use error::TransportError;

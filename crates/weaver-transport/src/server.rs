@@ -1,4 +1,11 @@
 //! Server side: accept loop, per-connection reader, shared worker pool.
+//!
+//! The response path is zero-copy end to end: handlers receive request args
+//! as a borrowed slice of the pooled receive buffer and return a
+//! [`ResponseBody`] whose payload is a [`crate::buf::WireBuf`]; the framing
+//! hands the payload to the per-connection writer as a borrowed tail
+//! (see [`Framing::write_response_parts`]), where the coalescing loop
+//! batches back-to-back responses into single syscalls.
 
 use std::collections::HashSet;
 use std::marker::PhantomData;
@@ -9,24 +16,28 @@ use std::sync::Arc;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 
+use crate::buf::BufferPool;
 use crate::error::TransportError;
 use crate::frame::{Framing, Message, RequestHeader, ResponseBody};
 use crate::pool::WorkerPool;
+use crate::writer::{writer_loop, OutFrame, WriteOp, WriterStats};
 
 /// The server-side request handler installed by the runtime.
 ///
-/// Returns a complete [`ResponseBody`]; application errors are encoded into
-/// the body rather than surfaced as transport failures.
+/// `args` borrows the connection's receive buffer — no copy is made between
+/// the socket and the handler. Returns a complete [`ResponseBody`];
+/// application errors are encoded into the body rather than surfaced as
+/// transport failures.
 pub trait RpcHandler: Send + Sync + 'static {
     /// Handles one request.
-    fn handle(&self, header: RequestHeader, args: &[u8]) -> ResponseBody;
+    fn handle(&self, header: &RequestHeader, args: &[u8]) -> ResponseBody;
 }
 
 impl<F> RpcHandler for F
 where
-    F: Fn(RequestHeader, &[u8]) -> ResponseBody + Send + Sync + 'static,
+    F: Fn(&RequestHeader, &[u8]) -> ResponseBody + Send + Sync + 'static,
 {
-    fn handle(&self, header: RequestHeader, args: &[u8]) -> ResponseBody {
+    fn handle(&self, header: &RequestHeader, args: &[u8]) -> ResponseBody {
         self(header, args)
     }
 }
@@ -44,11 +55,23 @@ pub struct Server<F: Framing> {
 
 impl<F: Framing> Server<F> {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts
-    /// serving requests on a pool of `workers` threads.
+    /// serving requests on a pool of `workers` threads, using the
+    /// process-wide [`BufferPool::global`].
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         workers: usize,
         handler: Arc<dyn RpcHandler>,
+    ) -> Result<Self, TransportError> {
+        Self::bind_with_pool(addr, workers, handler, BufferPool::global().clone())
+    }
+
+    /// Like [`Server::bind`] with an explicit buffer pool (tests use a
+    /// private pool to observe hit/miss counters in isolation).
+    pub fn bind_with_pool<A: ToSocketAddrs>(
+        addr: A,
+        workers: usize,
+        handler: Arc<dyn RpcHandler>,
+        buf_pool: BufferPool,
     ) -> Result<Self, TransportError> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
@@ -70,6 +93,7 @@ impl<F: Framing> Server<F> {
                             Ok(stream) => {
                                 let handler = Arc::clone(&handler);
                                 let pool = Arc::clone(&pool);
+                                let buf_pool = buf_pool.clone();
                                 if stream.set_nodelay(true).is_err() {
                                     continue;
                                 }
@@ -79,7 +103,7 @@ impl<F: Framing> Server<F> {
                                 std::thread::Builder::new()
                                     .name("weaver-server-conn".into())
                                     .spawn(move || {
-                                        serve_connection::<F>(stream, handler, pool);
+                                        serve_connection::<F>(stream, handler, pool, buf_pool);
                                     })
                                     .ok();
                             }
@@ -136,6 +160,7 @@ fn serve_connection<F: Framing>(
     stream: TcpStream,
     handler: Arc<dyn RpcHandler>,
     pool: Arc<WorkerPool>,
+    buf_pool: BufferPool,
 ) {
     let mut read_half = match stream.try_clone() {
         Ok(s) => s,
@@ -143,19 +168,19 @@ fn serve_connection<F: Framing>(
     };
 
     // All worker responses for this connection funnel through one writer
-    // thread, keeping frame writes atomic.
-    let (writer_tx, writer_rx) = unbounded::<Vec<u8>>();
+    // thread running the coalescing loop: frame writes stay atomic and
+    // back-to-back responses share syscalls.
+    let (writer_tx, writer_rx) = unbounded::<WriteOp>();
+    let dead = Arc::new(AtomicBool::new(false));
     {
         let mut write_half = stream;
+        let buf_pool = buf_pool.clone();
+        let dead = Arc::clone(&dead);
         std::thread::Builder::new()
             .name("weaver-server-writer".into())
             .spawn(move || {
-                use std::io::Write;
-                while let Ok(buf) = writer_rx.recv() {
-                    if write_half.write_all(&buf).is_err() {
-                        break;
-                    }
-                }
+                let stats = WriterStats::default();
+                writer_loop(&writer_rx, &mut write_half, &buf_pool, &dead, &stats);
                 let _ = write_half.shutdown(std::net::Shutdown::Both);
             })
             .ok();
@@ -167,37 +192,48 @@ fn serve_connection<F: Framing>(
 
     let mut framing = F::default();
     loop {
-        match framing.read_message(&mut read_half) {
+        match framing.read_message(&mut read_half, &buf_pool) {
             Ok(Some(Message::Request {
                 stream,
                 header,
                 args,
             })) => {
                 let handler = Arc::clone(&handler);
-                let writer_tx: Sender<Vec<u8>> = writer_tx.clone();
+                let writer_tx: Sender<WriteOp> = writer_tx.clone();
                 let cancelled = Arc::clone(&cancelled);
+                let buf_pool = buf_pool.clone();
                 pool.execute(move || {
-                    let body = handler.handle(header, &args);
+                    let body = handler.handle(&header, &args);
+                    // `args` still references the pooled receive buffer;
+                    // drop it before encoding so a warm pool can reuse it.
+                    drop(args);
                     if cancelled.lock().remove(&stream) {
                         return;
                     }
-                    let mut buf = Vec::with_capacity(32 + body.payload.len());
-                    F::write_response(&mut buf, stream, &body);
-                    let _ = writer_tx.send(buf);
+                    let mut buf = buf_pool.get(64);
+                    let tail = F::write_response_parts(&mut buf, stream, &body);
+                    let _ = writer_tx.send(WriteOp::Frame(OutFrame {
+                        head: buf.freeze(),
+                        tail,
+                    }));
                 });
             }
             Ok(Some(Message::Cancel { stream })) => {
                 cancelled.lock().insert(stream);
             }
             Ok(Some(Message::Ping)) => {
-                let mut buf = Vec::with_capacity(16);
+                let mut buf = buf_pool.get(32);
                 F::write_ping(&mut buf, true);
-                let _ = writer_tx.send(buf);
+                let _ = writer_tx.send(WriteOp::Frame(OutFrame::single(buf.freeze())));
             }
             Ok(Some(Message::Pong | Message::Response { .. })) => {}
             Ok(None) | Err(_) => break,
         }
     }
+    // Reader is done (EOF or socket error): mark the connection dead and
+    // wake the writer so queued responses are dropped, not written.
+    dead.store(true, Ordering::SeqCst);
+    let _ = writer_tx.send(WriteOp::Shutdown);
 }
 
 #[cfg(test)]
@@ -208,12 +244,12 @@ mod tests {
     use std::time::Duration;
 
     fn echo_handler() -> Arc<dyn RpcHandler> {
-        Arc::new(|header: RequestHeader, args: &[u8]| {
+        Arc::new(|header: &RequestHeader, args: &[u8]| {
             let mut payload = args.to_vec();
             payload.push(header.method as u8);
             ResponseBody {
                 status: Status::Ok,
-                payload,
+                payload: payload.into(),
             }
         })
     }
@@ -272,11 +308,11 @@ mod tests {
 
     #[test]
     fn slow_handler_hits_deadline() {
-        let handler: Arc<dyn RpcHandler> = Arc::new(|_h: RequestHeader, _a: &[u8]| {
+        let handler: Arc<dyn RpcHandler> = Arc::new(|_h: &RequestHeader, _a: &[u8]| {
             std::thread::sleep(Duration::from_millis(500));
             ResponseBody {
                 status: Status::Ok,
-                payload: vec![],
+                payload: vec![].into(),
             }
         });
         let server = Server::<WeaverFraming>::bind("127.0.0.1:0", 1, handler).unwrap();

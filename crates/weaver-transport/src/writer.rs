@@ -1,0 +1,335 @@
+//! The shared socket-writer loop: greedy drain, write coalescing, one
+//! syscall per batch.
+//!
+//! Both the client connection and the server connection funnel outbound
+//! frames through a dedicated writer thread. The loop blocks for the first
+//! frame, then drains everything already queued (up to a byte budget) and
+//! flushes the whole batch with a single `write` — so pipelined callers
+//! share syscalls. The drain is non-blocking (`try_recv`), which is the
+//! idle-flush rule: a lone in-flight message is written immediately and
+//! never waits for company.
+
+use std::io::{self, IoSlice, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crossbeam::channel::Receiver;
+
+use crate::buf::{BufferPool, WireBuf};
+
+/// Stop draining the queue once a batch holds this many bytes. Large enough
+/// to amortize a syscall over dozens of typical frames, small enough to keep
+/// the coalescing scratch buffer within the pool's largest size class.
+pub(crate) const COALESCE_BUDGET: usize = 64 * 1024;
+
+/// One outbound frame: an encoded prefix (or a whole frame) plus an
+/// optional zero-copy payload tail written contiguously after it.
+#[derive(Debug)]
+pub(crate) struct OutFrame {
+    /// Frame header bytes (and payload too, when the framing interleaves).
+    pub head: WireBuf,
+    /// Borrowed payload appended verbatim after `head`, if any.
+    pub tail: Option<WireBuf>,
+}
+
+impl OutFrame {
+    /// A frame that is entirely contained in one buffer.
+    pub fn single(head: WireBuf) -> Self {
+        OutFrame { head, tail: None }
+    }
+
+    /// Total bytes this frame puts on the wire.
+    pub fn len(&self) -> usize {
+        self.head.len() + self.tail.as_ref().map_or(0, WireBuf::len)
+    }
+}
+
+/// Commands accepted by a writer thread.
+#[derive(Debug)]
+pub(crate) enum WriteOp {
+    /// Write this frame (possibly coalesced with its queue neighbours).
+    Frame(OutFrame),
+    /// The connection is dead: stop immediately, dropping queued frames.
+    Shutdown,
+}
+
+/// Counters a writer loop maintains, observable for tests and diagnostics.
+#[derive(Default)]
+pub(crate) struct WriterStats {
+    /// Frames accepted for writing.
+    pub frames: AtomicU64,
+    /// Syscall batches flushed (`flushes <= frames`; the gap is coalescing).
+    pub flushes: AtomicU64,
+}
+
+/// Runs until the channel closes, a [`WriteOp::Shutdown`] arrives, `dead`
+/// is observed set, or a write fails (which sets `dead`). Queued frames are
+/// dropped — not written — once the connection is known dead, so a dead
+/// socket cannot accumulate memory behind a blocked writer.
+pub(crate) fn writer_loop<W: Write>(
+    rx: &Receiver<WriteOp>,
+    w: &mut W,
+    pool: &BufferPool,
+    dead: &AtomicBool,
+    stats: &WriterStats,
+) {
+    let mut batch: Vec<OutFrame> = Vec::new();
+    'outer: loop {
+        let first = match rx.recv() {
+            Ok(WriteOp::Frame(f)) => f,
+            Ok(WriteOp::Shutdown) | Err(_) => break,
+        };
+        // Fail fast: once the reader (or a previous write) declared the
+        // socket dead, everything queued is undeliverable.
+        if dead.load(Ordering::SeqCst) {
+            break;
+        }
+        batch.clear();
+        let mut bytes = first.len();
+        batch.push(first);
+        while bytes < COALESCE_BUDGET {
+            match rx.try_recv() {
+                Ok(WriteOp::Frame(f)) => {
+                    bytes += f.len();
+                    batch.push(f);
+                }
+                Ok(WriteOp::Shutdown) => break 'outer,
+                Err(_) => break,
+            }
+        }
+        stats
+            .frames
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        stats.flushes.fetch_add(1, Ordering::Relaxed);
+        let result = if let [only] = batch.as_slice() {
+            match &only.tail {
+                // The common single-message case: no copy, one syscall.
+                None => w.write_all(&only.head),
+                Some(tail) => write_all_pair(w, &only.head, tail),
+            }
+        } else {
+            // Pipelined: concatenate into one pooled scratch buffer and
+            // flush the batch with a single write.
+            let mut scratch = pool.get(bytes);
+            for frame in &batch {
+                scratch.extend_from_slice(&frame.head);
+                if let Some(tail) = &frame.tail {
+                    scratch.extend_from_slice(tail);
+                }
+            }
+            w.write_all(&scratch)
+        };
+        if result.is_err() {
+            dead.store(true, Ordering::SeqCst);
+            break;
+        }
+    }
+    dead.store(true, Ordering::SeqCst);
+}
+
+/// Writes two slices back-to-back, preferring one vectored syscall.
+fn write_all_pair<W: Write>(w: &mut W, a: &[u8], b: &[u8]) -> io::Result<()> {
+    let total = a.len() + b.len();
+    let mut written = 0;
+    while written < total {
+        let result = if written < a.len() {
+            let slices = [IoSlice::new(&a[written..]), IoSlice::new(b)];
+            w.write_vectored(&slices)
+        } else {
+            w.write(&b[written - a.len()..])
+        };
+        match result {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Framing, Message, RequestHeader, WeaverFraming};
+    use crossbeam::channel::unbounded;
+    use std::io::Cursor;
+
+    /// A sink recording the byte ranges of each `write`/`write_vectored`
+    /// call, so tests can observe syscall batching.
+    #[derive(Default)]
+    struct RecordingSink {
+        bytes: Vec<u8>,
+        writes: usize,
+    }
+
+    impl Write for RecordingSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.writes += 1;
+            self.bytes.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn request_frame(pool: &BufferPool, stream: u64, args: &[u8]) -> OutFrame {
+        let mut buf = pool.get(64 + args.len());
+        WeaverFraming::write_request(&mut buf, stream, &RequestHeader::default(), args);
+        OutFrame::single(buf.freeze())
+    }
+
+    #[test]
+    fn queued_frames_coalesce_into_one_write() {
+        let pool = BufferPool::new();
+        let (tx, rx) = unbounded();
+        for i in 0..20u64 {
+            tx.send(WriteOp::Frame(request_frame(&pool, i, &[i as u8; 32])))
+                .unwrap();
+        }
+        drop(tx);
+        let mut sink = RecordingSink::default();
+        let dead = AtomicBool::new(false);
+        let stats = WriterStats::default();
+        writer_loop(&rx, &mut sink, &pool, &dead, &stats);
+
+        // All 20 frames were pre-queued, so the greedy drain should flush
+        // them in a single syscall.
+        assert_eq!(stats.frames.load(Ordering::Relaxed), 20);
+        assert_eq!(stats.flushes.load(Ordering::Relaxed), 1);
+        assert_eq!(sink.writes, 1);
+
+        // And the stream parses back into exactly the frames we sent.
+        let mut framing = WeaverFraming;
+        let mut cursor = Cursor::new(&sink.bytes);
+        for i in 0..20u64 {
+            let msg = framing.read_message(&mut cursor, &pool).unwrap().unwrap();
+            match msg {
+                Message::Request { stream, args, .. } => {
+                    assert_eq!(stream, i);
+                    assert_eq!(&*args, &[i as u8; 32]);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(framing.read_message(&mut cursor, &pool).unwrap(), None);
+    }
+
+    #[test]
+    fn tail_is_written_contiguously() {
+        let pool = BufferPool::new();
+        let (tx, rx) = unbounded();
+        // A frame split into prefix + payload tail (the server response
+        // shape) must still arrive as one contiguous valid frame.
+        let payload: WireBuf = vec![9u8; 300].into();
+        let mut head = pool.get(32);
+        let len = (1 + 8 + 1 + payload.len()) as u32;
+        head.extend_from_slice(&len.to_le_bytes());
+        head.push(1); // KIND_RESPONSE
+        head.extend_from_slice(&7u64.to_le_bytes());
+        head.push(0); // Status::Ok
+        tx.send(WriteOp::Frame(OutFrame {
+            head: head.freeze(),
+            tail: Some(payload),
+        }))
+        .unwrap();
+        drop(tx);
+        let mut sink = RecordingSink::default();
+        let dead = AtomicBool::new(false);
+        let stats = WriterStats::default();
+        writer_loop(&rx, &mut sink, &pool, &dead, &stats);
+
+        let mut framing = WeaverFraming;
+        let msg = framing
+            .read_message(&mut Cursor::new(&sink.bytes), &pool)
+            .unwrap()
+            .unwrap();
+        match msg {
+            Message::Response { stream, body } => {
+                assert_eq!(stream, 7);
+                assert_eq!(&*body.payload, &[9u8; 300][..]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_splits_giant_batches() {
+        let pool = BufferPool::new();
+        let (tx, rx) = unbounded();
+        // 40 KiB frames: the 64 KiB budget admits at most two per batch.
+        for i in 0..6u64 {
+            tx.send(WriteOp::Frame(request_frame(&pool, i, &[0u8; 40 << 10])))
+                .unwrap();
+        }
+        drop(tx);
+        let mut sink = RecordingSink::default();
+        let dead = AtomicBool::new(false);
+        let stats = WriterStats::default();
+        writer_loop(&rx, &mut sink, &pool, &dead, &stats);
+        assert_eq!(stats.frames.load(Ordering::Relaxed), 6);
+        let flushes = stats.flushes.load(Ordering::Relaxed);
+        assert!((3..=6).contains(&flushes), "flushes {flushes}");
+        // Correctness is unconditional on the batching boundaries.
+        let mut framing = WeaverFraming;
+        let mut cursor = Cursor::new(&sink.bytes);
+        for _ in 0..6 {
+            assert!(framing.read_message(&mut cursor, &pool).unwrap().is_some());
+        }
+        assert_eq!(framing.read_message(&mut cursor, &pool).unwrap(), None);
+    }
+
+    #[test]
+    fn dead_flag_drops_queued_frames() {
+        let pool = BufferPool::new();
+        let (tx, rx) = unbounded();
+        for i in 0..10u64 {
+            tx.send(WriteOp::Frame(request_frame(&pool, i, &[1, 2, 3])))
+                .unwrap();
+        }
+        drop(tx);
+        let mut sink = RecordingSink::default();
+        let dead = AtomicBool::new(true); // socket already declared dead
+        let stats = WriterStats::default();
+        writer_loop(&rx, &mut sink, &pool, &dead, &stats);
+        assert_eq!(sink.writes, 0, "dead connection must not write");
+        assert_eq!(stats.flushes.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn shutdown_op_stops_the_loop() {
+        let pool = BufferPool::new();
+        let (tx, rx) = unbounded();
+        tx.send(WriteOp::Shutdown).unwrap();
+        tx.send(WriteOp::Frame(request_frame(&pool, 1, &[])))
+            .unwrap();
+        let mut sink = RecordingSink::default();
+        let dead = AtomicBool::new(false);
+        let stats = WriterStats::default();
+        writer_loop(&rx, &mut sink, &pool, &dead, &stats);
+        assert_eq!(sink.writes, 0);
+        assert!(dead.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn partial_vectored_writes_still_complete() {
+        /// A writer that accepts at most 7 bytes per call.
+        struct Dribble(Vec<u8>);
+        impl Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                let n = buf.len().min(7);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut w = Dribble(Vec::new());
+        write_all_pair(&mut w, &[1u8; 10], &[2u8; 10]).unwrap();
+        let mut expect = vec![1u8; 10];
+        expect.extend_from_slice(&[2u8; 10]);
+        assert_eq!(w.0, expect);
+    }
+}

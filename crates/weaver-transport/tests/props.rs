@@ -4,7 +4,8 @@ use std::io::Cursor;
 
 use proptest::prelude::*;
 use weaver_transport::{
-    Framing, GrpcLikeFraming, Message, RequestHeader, ResponseBody, Status, WeaverFraming,
+    BufferPool, Framing, GrpcLikeFraming, Message, RequestHeader, ResponseBody, Status,
+    WeaverFraming,
 };
 
 fn arbitrary_header() -> impl Strategy<Value = RequestHeader> {
@@ -37,7 +38,7 @@ fn roundtrip_request<F: Framing>(header: &RequestHeader, args: &[u8]) -> Result<
     F::write_request(&mut wire, 42, header, args);
     let mut framing = F::default();
     let msg = framing
-        .read_message(&mut Cursor::new(&wire))
+        .read_message(&mut Cursor::new(&wire), &BufferPool::new())
         .expect("read")
         .expect("one message");
     prop_assert_eq!(
@@ -45,7 +46,7 @@ fn roundtrip_request<F: Framing>(header: &RequestHeader, args: &[u8]) -> Result<
         Message::Request {
             stream: 42,
             header: header.clone(),
-            args: args.to_vec(),
+            args: args.into(),
         }
     );
     Ok(())
@@ -76,21 +77,45 @@ proptest! {
     ) {
         let body = ResponseBody {
             status: if ok { Status::Ok } else { Status::Error },
-            payload,
+            payload: payload.into(),
         };
         let stream = u64::from(stream);
+        let pool = BufferPool::new();
 
         let mut wire = Vec::new();
         WeaverFraming::write_response(&mut wire, stream, &body);
         let mut f = WeaverFraming;
-        let msg = f.read_message(&mut Cursor::new(&wire)).unwrap().unwrap();
+        let msg = f.read_message(&mut Cursor::new(&wire), &pool).unwrap().unwrap();
         prop_assert_eq!(msg, Message::Response { stream, body: body.clone() });
 
         let mut wire = Vec::new();
         GrpcLikeFraming::write_response(&mut wire, stream, &body);
         let mut f = GrpcLikeFraming::default();
-        let msg = f.read_message(&mut Cursor::new(&wire)).unwrap().unwrap();
+        let msg = f.read_message(&mut Cursor::new(&wire), &pool).unwrap().unwrap();
         prop_assert_eq!(msg, Message::Response { stream, body });
+    }
+
+    #[test]
+    fn response_parts_equal_whole_frame(
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+        ok in any::<bool>(),
+        stream in any::<u32>(),
+    ) {
+        // prefix + borrowed tail must be byte-identical to the monolithic
+        // encoding, for every payload and status.
+        let body = ResponseBody {
+            status: if ok { Status::Ok } else { Status::Error },
+            payload: payload.into(),
+        };
+        let stream = u64::from(stream);
+        let mut whole = Vec::new();
+        WeaverFraming::write_response(&mut whole, stream, &body);
+        let mut parts = Vec::new();
+        let tail = WeaverFraming::write_response_parts(&mut parts, stream, &body);
+        if let Some(tail) = tail {
+            parts.extend_from_slice(&tail);
+        }
+        prop_assert_eq!(whole, parts);
     }
 
     #[test]
@@ -109,13 +134,14 @@ proptest! {
     fn fuzz_bytes_never_panic_either_framing(
         bytes in proptest::collection::vec(any::<u8>(), 0..512),
     ) {
+        let pool = BufferPool::new();
         let mut f = WeaverFraming;
         let mut cursor = Cursor::new(&bytes);
-        while let Ok(Some(_)) = f.read_message(&mut cursor) {}
+        while let Ok(Some(_)) = f.read_message(&mut cursor, &pool) {}
 
         let mut g = GrpcLikeFraming::default();
         let mut cursor = Cursor::new(&bytes);
-        while let Ok(Some(_)) = g.read_message(&mut cursor) {}
+        while let Ok(Some(_)) = g.read_message(&mut cursor, &pool) {}
     }
 
     #[test]
@@ -127,18 +153,19 @@ proptest! {
             WeaverFraming::write_request(&mut wire, i as u64, h, &[i as u8]);
             WeaverFraming::write_ping(&mut wire, false);
         }
+        let pool = BufferPool::new();
         let mut f = WeaverFraming;
         let mut cursor = Cursor::new(&wire);
         for (i, h) in headers.iter().enumerate() {
-            let msg = f.read_message(&mut cursor).unwrap().unwrap();
+            let msg = f.read_message(&mut cursor, &pool).unwrap().unwrap();
             prop_assert_eq!(msg, Message::Request {
                 stream: i as u64,
                 header: h.clone(),
-                args: vec![i as u8],
+                args: vec![i as u8].into(),
             });
-            let ping = f.read_message(&mut cursor).unwrap().unwrap();
+            let ping = f.read_message(&mut cursor, &pool).unwrap().unwrap();
             prop_assert_eq!(ping, Message::Ping);
         }
-        prop_assert_eq!(f.read_message(&mut cursor).unwrap(), None);
+        prop_assert_eq!(f.read_message(&mut cursor, &pool).unwrap(), None);
     }
 }
