@@ -42,8 +42,10 @@ pub mod proclet;
 pub mod protocol;
 pub mod router;
 pub mod single;
+pub mod tcp;
 
 pub use config::{ConfigError, DeploymentConfig, TomlDoc, TomlValue};
 pub use envelope::{ReplicaId, SpawnSpec};
 pub use manager::MultiProcess;
-pub use single::{ComponentFault, SingleMode, SingleProcess};
+pub use single::{ComponentFault, FaultInjectable, SingleMode, SingleProcess};
+pub use tcp::{TcpOptions, TcpProcess};

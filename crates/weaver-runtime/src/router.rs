@@ -129,9 +129,21 @@ pub struct RemoteRouter {
 impl RemoteRouter {
     /// Builds a router over `table` for deployment `version`.
     pub fn new(table: Arc<RoutingTable>, callgraph: Arc<CallGraph>, version: u64) -> Self {
+        Self::with_pool(table, callgraph, version, Pool::new())
+    }
+
+    /// Like [`RemoteRouter::new`] with an explicit connection pool, so a
+    /// deployer can substitute a fault-injecting dialer (see
+    /// [`weaver_transport::fault`]).
+    pub fn with_pool(
+        table: Arc<RoutingTable>,
+        callgraph: Arc<CallGraph>,
+        version: u64,
+        pool: Pool<WeaverFraming>,
+    ) -> Self {
         RemoteRouter {
             table,
-            pool: Pool::new(),
+            pool,
             balancer: PowerOfTwo::new(64),
             callgraph,
             version,

@@ -49,6 +49,20 @@ pub struct ComponentFault {
     pub down: bool,
 }
 
+/// The fault-injection surface a deployment exposes to chaos tooling.
+///
+/// Both the single-process deployer and the real-TCP deployer
+/// ([`crate::tcp::TcpProcess`]) implement it, so one chaos schedule runs
+/// unchanged against any placement (§5.3's "fault injection is cheap
+/// because the runtime owns placement").
+pub trait FaultInjectable: Send + Sync {
+    /// Installs (or clears, with the default value) a fault on a component.
+    fn inject_fault(&self, component: &str, fault: ComponentFault);
+
+    /// Crashes a component instance so the next call restarts it.
+    fn crash_component(&self, component: &str) -> Result<(), WeaverError>;
+}
+
 /// The single-process deployment.
 pub struct SingleProcess {
     live: Arc<LiveComponents>,
@@ -169,6 +183,16 @@ impl SingleProcess {
     }
 }
 
+impl FaultInjectable for SingleProcess {
+    fn inject_fault(&self, component: &str, fault: ComponentFault) {
+        SingleProcess::inject_fault(self, component, fault);
+    }
+
+    fn crash_component(&self, component: &str) -> Result<(), WeaverError> {
+        SingleProcess::crash_component(self, component)
+    }
+}
+
 impl ComponentGetter for SingleProcess {
     fn acquire(&self, name: &str) -> Result<Acquired, WeaverError> {
         let id = self.live.registry().id_of(name)?;
@@ -206,18 +230,23 @@ impl CallRouter for SingleProcess {
         // This call gets its own span; the caller's span becomes its parent.
         let span_id = weaver_core::context::next_span_id();
 
-        let outcome = self.check_fault(target.name).and_then(|()| {
+        // The §4.4 backstop, mirrored from the transport dispatcher: a
+        // request stamped with another deployment's version never reaches a
+        // handler. Checked before injected faults — version admission is
+        // the deployment boundary, component failures live inside it, so a
+        // mis-stamped request is rejected as such even while chaos has the
+        // target component down.
+        let outcome = if ctx.version != self.version {
+            Err(WeaverError::VersionMismatch {
+                caller_version: ctx.version,
+                callee_version: self.version,
+            })
+        } else {
+            self.check_fault(target.name)
+        }
+        .and_then(|()| {
             if ctx.expired() {
                 return Err(WeaverError::DeadlineExceeded);
-            }
-            // The §4.4 backstop, mirrored from the transport dispatcher: a
-            // request stamped with another deployment's version never
-            // reaches a handler.
-            if ctx.version != self.version {
-                return Err(WeaverError::VersionMismatch {
-                    caller_version: ctx.version,
-                    callee_version: self.version,
-                });
             }
             let instance = self.live.get_or_start(target.component_id, self)?;
             let registration = self.live.registry().get(target.component_id)?;

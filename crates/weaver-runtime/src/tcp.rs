@@ -1,0 +1,539 @@
+//! The loopback-TCP deployer: real sockets, one OS process.
+//!
+//! [`TcpProcess`] places every component behind a real
+//! [`weaver_transport::Server`] on `127.0.0.1`, optionally replicated, with
+//! a shared [`RoutingTable`] carrying routed-key slice assignments — the
+//! full multiprocess data plane (framing, coalescing writer, buffer-pool
+//! recycling, replica routing) without spawning child processes. It is the
+//! third and fourth column of the weavertest deployment matrix: the same
+//! test body that runs colocated and marshaled also runs over sockets and
+//! over multiple replicas with routed keys, which is how the paper's "the
+//! same application binary runs under every placement" claim is enforced
+//! rather than sampled.
+//!
+//! Chaos hooks mirror [`SingleProcess`]: [`ComponentFault`]s are checked on
+//! the server side before dispatch, and [`TcpProcess::crash_component`]
+//! restarts instances on every replica. Additionally, the deployer can
+//! wrap every dialed client socket in a
+//! [`weaver_transport::fault::FaultStream`], injecting seeded
+//! transport-level faults (delay, corrupt, duplicate, truncate, sever)
+//! underneath the connection machinery.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use weaver_core::client::{CallRouter, TargetInfo};
+use weaver_core::component::ComponentInterface;
+use weaver_core::context::{Acquired, CallContext, ComponentGetter};
+use weaver_core::error::WeaverError;
+use weaver_core::instance::LiveComponents;
+use weaver_core::registry::ComponentRegistry;
+use weaver_metrics::{CallGraph, CallGraphSnapshot, MetricsRegistry};
+use weaver_routing::SliceAssignment;
+use weaver_transport::fault::{FaultInjector, FaultSpec, FaultStream};
+use weaver_transport::{
+    BufferPool, Connection, Pool, RequestHeader, ResponseBody, RpcHandler, Server, Status,
+    TransportError, WeaverFraming,
+};
+
+use crate::dispatch::ProcletDispatcher;
+use crate::router::{RemoteRouter, RoutingState, RoutingTable};
+use crate::single::{ComponentFault, FaultInjectable};
+
+/// Options for a [`TcpProcess`] deployment.
+#[derive(Debug, Clone)]
+pub struct TcpOptions {
+    /// Replicas per component (each replica is a server hosting every
+    /// component, like one proclet of an all-colocated multiprocess
+    /// deployment).
+    pub replicas: usize,
+    /// Worker threads per replica server. Must exceed the deepest nested
+    /// call chain times the concurrency, or nested calls can starve the
+    /// pool.
+    pub workers: usize,
+    /// When set, every dialed client socket is wrapped in a
+    /// [`FaultStream`] drawing from this spec; the *n*-th connection uses
+    /// `seed + n` so connections have distinct but deterministic fault
+    /// sequences.
+    pub fault_spec: Option<FaultSpec>,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            replicas: 1,
+            workers: 16,
+            fault_spec: None,
+        }
+    }
+}
+
+type SharedFaults = Arc<RwLock<HashMap<String, ComponentFault>>>;
+
+/// Checks an injected component fault, mirroring the single-process
+/// semantics: `down` beats everything, delays apply to successes and
+/// failures alike, `fail_next` decrements per call.
+fn check_fault(faults: &SharedFaults, component: &str) -> Result<(), WeaverError> {
+    let (down, delay, fail) = {
+        let mut faults = faults.write();
+        let Some(fault) = faults.get_mut(component) else {
+            return Ok(());
+        };
+        let fail = if fault.fail_next > 0 {
+            fault.fail_next -= 1;
+            true
+        } else {
+            false
+        };
+        (fault.down, fault.delay, fail)
+    };
+    if down {
+        return Err(WeaverError::Unavailable {
+            detail: format!("{component} is down (injected)"),
+        });
+    }
+    // Sleep outside the lock so a delayed component does not serialize the
+    // whole deployment's fault checks.
+    if !delay.is_zero() {
+        std::thread::sleep(delay);
+    }
+    if fail {
+        return Err(WeaverError::Unavailable {
+            detail: format!("{component} failed (injected)"),
+        });
+    }
+    Ok(())
+}
+
+/// Server-side handler: component-level fault check, then real dispatch.
+struct FaultingHandler {
+    inner: ProcletDispatcher,
+    registry: Arc<ComponentRegistry>,
+    faults: SharedFaults,
+    pool: BufferPool,
+    version: u64,
+}
+
+impl RpcHandler for FaultingHandler {
+    fn handle(&self, header: &RequestHeader, args: &[u8]) -> ResponseBody {
+        // The §4.4 version backstop is the deployment boundary and injected
+        // faults are component failures inside it: a mis-stamped request is
+        // rejected as such even while chaos has the target down. The inner
+        // dispatcher re-checks, but this check must come first.
+        if header.version != self.version {
+            return self.inner.handle(header, args);
+        }
+        let name = self
+            .registry
+            .get(header.component)
+            .map(|r| r.name)
+            .unwrap_or("?");
+        if let Err(e) = check_fault(&self.faults, name) {
+            let mut buf = self.pool.get(64);
+            weaver_codec::encode_into(&mut buf, &e);
+            return ResponseBody {
+                status: Status::Error,
+                payload: buf.freeze(),
+            };
+        }
+        self.inner.handle(header, args)
+    }
+}
+
+/// A getter whose every acquisition is remote: server-side nested calls
+/// (component A calling component B while handling a request) also cross
+/// the TCP data plane instead of short-circuiting in-process.
+struct RemoteGetter {
+    registry: Arc<ComponentRegistry>,
+    router: Arc<RemoteRouter>,
+}
+
+impl ComponentGetter for RemoteGetter {
+    fn acquire(&self, name: &str) -> Result<Acquired, WeaverError> {
+        let id = self.registry.id_of(name)?;
+        let registration = self.registry.get(id)?;
+        Ok(Acquired::Remote(weaver_core::client::ClientHandle::new(
+            TargetInfo {
+                component_id: id,
+                name: registration.name,
+                methods: registration.methods,
+            },
+            Arc::clone(&self.router) as Arc<dyn CallRouter>,
+        )))
+    }
+}
+
+struct Replica {
+    live: Arc<LiveComponents>,
+    // Held for its Drop: shutting the server down severs live connections.
+    _server: Server<WeaverFraming>,
+}
+
+/// A deployment whose data plane is real TCP on loopback.
+pub struct TcpProcess {
+    registry: Arc<ComponentRegistry>,
+    version: u64,
+    router: Arc<RemoteRouter>,
+    replicas: Vec<Replica>,
+    faults: SharedFaults,
+    /// One injector per dialed connection, in dial order (empty unless
+    /// [`TcpOptions::fault_spec`] was set).
+    injectors: Arc<Mutex<Vec<FaultInjector>>>,
+}
+
+impl TcpProcess {
+    /// Deploys `registry` across `options.replicas` loopback TCP servers.
+    pub fn deploy(
+        registry: Arc<ComponentRegistry>,
+        options: TcpOptions,
+        version: u64,
+    ) -> Result<Arc<Self>, WeaverError> {
+        assert!(options.replicas > 0, "at least one replica");
+        let table = RoutingTable::new();
+        let callgraph = Arc::new(CallGraph::new());
+        let faults: SharedFaults = Arc::new(RwLock::new(HashMap::new()));
+        let injectors: Arc<Mutex<Vec<FaultInjector>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let pool = match options.fault_spec.clone() {
+            None => Pool::new(),
+            Some(spec) => {
+                let injectors = Arc::clone(&injectors);
+                Pool::with_dialer(Arc::new(move |addr| {
+                    let stream = TcpStream::connect(addr)
+                        .map_err(|e| TransportError::Unreachable(format!("{addr:?}: {e}")))?;
+                    stream.set_nodelay(true)?;
+                    let mut held = injectors.lock();
+                    let injector = FaultInjector::new(FaultSpec {
+                        seed: spec.seed.wrapping_add(held.len() as u64),
+                        ..spec.clone()
+                    });
+                    held.push(injector.clone());
+                    drop(held);
+                    Connection::from_duplex(FaultStream::new(stream, injector))
+                }))
+            }
+        };
+        let router = Arc::new(RemoteRouter::with_pool(
+            Arc::clone(&table),
+            callgraph,
+            version,
+            pool,
+        ));
+
+        let mut replicas = Vec::with_capacity(options.replicas);
+        let mut addrs = Vec::with_capacity(options.replicas);
+        for _ in 0..options.replicas {
+            let live = Arc::new(LiveComponents::new(Arc::clone(&registry)));
+            let getter = Arc::new(RemoteGetter {
+                registry: Arc::clone(&registry),
+                router: Arc::clone(&router),
+            });
+            let dispatcher = ProcletDispatcher::new(
+                Arc::clone(&live),
+                getter,
+                version,
+                Arc::new(MetricsRegistry::new()),
+            );
+            let handler = Arc::new(FaultingHandler {
+                inner: dispatcher,
+                registry: Arc::clone(&registry),
+                faults: Arc::clone(&faults),
+                pool: BufferPool::global().clone(),
+                version,
+            });
+            let server = Server::<WeaverFraming>::bind("127.0.0.1:0", options.workers, handler)
+                .map_err(WeaverError::from)?;
+            addrs.push(server.local_addr());
+            replicas.push(Replica {
+                live,
+                _server: server,
+            });
+        }
+
+        // Every component is hosted on every replica; routed components
+        // additionally get a slice assignment so affine keys stick to one
+        // replica (the same shape the multiprocess manager broadcasts).
+        let mut routes = HashMap::new();
+        let mut assignments = HashMap::new();
+        for (id, registration) in registry.iter() {
+            routes.insert(id, addrs.clone());
+            if registration.methods.iter().any(|m| m.routed) {
+                assignments.insert(id, SliceAssignment::uniform(options.replicas as u32, 8));
+            }
+        }
+        table.update(RoutingState {
+            epoch: 1,
+            routes,
+            assignments,
+        });
+
+        Ok(Arc::new(TcpProcess {
+            registry,
+            version,
+            router,
+            replicas,
+            faults,
+            injectors,
+        }))
+    }
+
+    /// The deployment version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// A root call context for driving requests into the deployment.
+    pub fn root_context(&self) -> CallContext {
+        CallContext::root(self.version)
+    }
+
+    /// Returns a client for interface `I`; every call crosses TCP.
+    pub fn get<I: ComponentInterface + ?Sized>(&self) -> Result<Arc<I>, WeaverError> {
+        let handle = self
+            .registry
+            .client_handle::<I>(Arc::clone(&self.router) as Arc<dyn CallRouter>)?;
+        Ok(I::client(handle))
+    }
+
+    /// Number of replica servers.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Client-side call-graph snapshot (edges recorded by the router).
+    pub fn callgraph(&self) -> CallGraphSnapshot {
+        self.router.callgraph().snapshot()
+    }
+
+    /// Transport-fault actions recorded so far, one log per dialed
+    /// connection in dial order (empty without a fault spec).
+    pub fn transport_fault_logs(&self) -> Vec<Vec<weaver_transport::FaultAction>> {
+        self.injectors
+            .lock()
+            .iter()
+            .map(FaultInjector::actions)
+            .collect()
+    }
+
+    /// Installs (or clears, with the default value) a component fault,
+    /// enforced server-side on every replica.
+    pub fn inject_fault(&self, component: &str, fault: ComponentFault) {
+        self.faults.write().insert(component.to_string(), fault);
+    }
+
+    /// Crashes a component on every replica: each next call per replica
+    /// constructs a fresh instance, exercising restart paths under real
+    /// sockets.
+    pub fn crash_component(&self, component: &str) -> Result<(), WeaverError> {
+        let id = self.registry.id_of(component)?;
+        for replica in &self.replicas {
+            replica.live.restart(id);
+        }
+        Ok(())
+    }
+}
+
+impl FaultInjectable for TcpProcess {
+    fn inject_fault(&self, component: &str, fault: ComponentFault) {
+        TcpProcess::inject_fault(self, component, fault);
+    }
+
+    fn crash_component(&self, component: &str) -> Result<(), WeaverError> {
+        TcpProcess::crash_component(self, component)
+    }
+}
+
+impl ComponentGetter for TcpProcess {
+    fn acquire(&self, name: &str) -> Result<Acquired, WeaverError> {
+        let id = self.registry.id_of(name)?;
+        let registration = self.registry.get(id)?;
+        Ok(Acquired::Remote(weaver_core::client::ClientHandle::new(
+            TargetInfo {
+                component_id: id,
+                name: registration.name,
+                methods: registration.methods,
+            },
+            Arc::clone(&self.router) as Arc<dyn CallRouter>,
+        )))
+    }
+}
+
+impl std::fmt::Debug for TcpProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpProcess")
+            .field("version", &self.version)
+            .field("replicas", &self.replicas.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Knob-free helper: one replica, no transport faults.
+pub fn deploy_tcp(
+    registry: Arc<ComponentRegistry>,
+    version: u64,
+) -> Result<Arc<TcpProcess>, WeaverError> {
+    TcpProcess::deploy(registry, TcpOptions::default(), version)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use weaver_core::client::ClientHandle;
+    use weaver_core::component::{Component, MethodSpec};
+    use weaver_core::context::InitContext;
+    use weaver_core::registry::RegistryBuilder;
+
+    /// A stateful routed component: per-key bump counts live in whichever
+    /// replica the key routes to, so affinity violations are observable as
+    /// counts that fail to increment.
+    trait Counter: Send + Sync + 'static {
+        fn bump(&self, ctx: &CallContext, key: u64) -> Result<u64, WeaverError>;
+    }
+
+    struct CounterClient(ClientHandle);
+    impl Counter for CounterClient {
+        fn bump(&self, ctx: &CallContext, key: u64) -> Result<u64, WeaverError> {
+            let reply = self
+                .0
+                .call(ctx, 0, Some(key), weaver_codec::encode_to_vec(&key))?;
+            weaver_core::client::decode_reply(&reply)
+        }
+    }
+
+    impl ComponentInterface for dyn Counter {
+        const NAME: &'static str = "test.Counter";
+        const METHODS: &'static [MethodSpec] = &[MethodSpec {
+            name: "bump",
+            routed: true,
+        }];
+        fn client(handle: ClientHandle) -> Arc<Self> {
+            Arc::new(CounterClient(handle))
+        }
+        fn dispatch(
+            this: &Self,
+            method: u32,
+            ctx: &CallContext,
+            args: &[u8],
+        ) -> Result<Vec<u8>, WeaverError> {
+            match method {
+                0 => {
+                    let key: u64 = weaver_codec::decode_from_slice(args)?;
+                    Ok(weaver_core::client::encode_reply(&this.bump(ctx, key)))
+                }
+                m => Err(WeaverError::UnknownMethod {
+                    component: Self::NAME.into(),
+                    method: m,
+                }),
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct CounterImpl {
+        counts: Mutex<HashMap<u64, u64>>,
+    }
+    impl Counter for CounterImpl {
+        fn bump(&self, _: &CallContext, key: u64) -> Result<u64, WeaverError> {
+            let mut counts = self.counts.lock();
+            let n = counts.entry(key).or_insert(0);
+            *n += 1;
+            Ok(*n)
+        }
+    }
+    impl Component for CounterImpl {
+        type Interface = dyn Counter;
+        fn init(_: &InitContext<'_>) -> Result<Self, WeaverError> {
+            Ok(CounterImpl::default())
+        }
+        fn into_interface(self: Arc<Self>) -> Arc<dyn Counter> {
+            self
+        }
+    }
+
+    fn registry() -> Arc<ComponentRegistry> {
+        Arc::new(RegistryBuilder::new().register::<CounterImpl>().build())
+    }
+
+    #[test]
+    fn roundtrip_and_crash_restart() {
+        let dep = deploy_tcp(registry(), 1).unwrap();
+        let counter = dep.get::<dyn Counter>().unwrap();
+        let ctx = dep.root_context();
+        assert_eq!(counter.bump(&ctx, 5).unwrap(), 1);
+        assert_eq!(counter.bump(&ctx, 5).unwrap(), 2);
+        dep.crash_component("test.Counter").unwrap();
+        // Fresh instance: state is gone, counting restarts.
+        assert_eq!(counter.bump(&ctx, 5).unwrap(), 1);
+    }
+
+    #[test]
+    fn routed_keys_stick_to_one_replica() {
+        let dep = TcpProcess::deploy(
+            registry(),
+            TcpOptions {
+                replicas: 3,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        assert_eq!(dep.replica_count(), 3);
+        let counter = dep.get::<dyn Counter>().unwrap();
+        let ctx = dep.root_context();
+        // If a key ever moved between replicas, its second bump would land
+        // on a replica that never saw the first and return 1 again.
+        for key in 0..24u64 {
+            assert_eq!(counter.bump(&ctx, key).unwrap(), 1, "key {key}");
+            assert_eq!(counter.bump(&ctx, key).unwrap(), 2, "key {key}");
+        }
+    }
+
+    #[test]
+    fn component_fault_enforced_server_side() {
+        let dep = deploy_tcp(registry(), 1).unwrap();
+        let counter = dep.get::<dyn Counter>().unwrap();
+        let ctx = dep.root_context();
+        dep.inject_fault(
+            "test.Counter",
+            ComponentFault {
+                down: true,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(
+            counter.bump(&ctx, 1),
+            Err(WeaverError::Unavailable { .. })
+        ));
+        dep.inject_fault("test.Counter", ComponentFault::default());
+        assert_eq!(counter.bump(&ctx, 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn transport_delays_preserve_correctness() {
+        let dep = TcpProcess::deploy(
+            registry(),
+            TcpOptions {
+                fault_spec: Some(FaultSpec {
+                    delay: 1.0,
+                    max_delay: Duration::from_micros(200),
+                    ..FaultSpec::delays_only(42, 1.0)
+                }),
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        let counter = dep.get::<dyn Counter>().unwrap();
+        let ctx = dep.root_context();
+        for i in 1..=10 {
+            assert_eq!(counter.bump(&ctx, 7).unwrap(), i);
+        }
+        let logs = dep.transport_fault_logs();
+        let total: usize = logs.iter().map(Vec::len).sum();
+        assert!(total > 0, "delay faults should have been recorded");
+    }
+}

@@ -1,4 +1,13 @@
-//! Seeded chaos testing over a marshaled deployment.
+//! Seeded chaos testing over any fault-injectable deployment.
+//!
+//! The action *sequence* is a pure function of [`ChaosOptions`]: the
+//! [`ChaosSchedule`] generator draws from a seeded RNG and nothing else, so
+//! the same options always produce the same actions, in order. The runner
+//! merely applies that sequence on a background thread while the test body
+//! issues requests. Logs serialize to a line-based text format
+//! ([`serialize_log`]/[`parse_log`]) and can be [`replay`]ed verbatim
+//! against a fresh deployment — any chaos-found failure becomes a
+//! deterministic regression test.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -8,10 +17,10 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use weaver_runtime::{ComponentFault, SingleProcess};
+use weaver_runtime::{ComponentFault, FaultInjectable};
 
 /// One chaos action, recorded for post-mortem analysis.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ChaosAction {
     /// The component's instance was dropped; next call re-constructs it.
     Crash(String),
@@ -50,12 +59,207 @@ impl Default for ChaosOptions {
     }
 }
 
+/// The seed for CI chaos runs: `WEAVER_CHAOS_SEED` when set (the chaos job
+/// runs the suite under several fixed seeds), else `default`.
+pub fn seed_from_env(default: u64) -> u64 {
+    std::env::var("WEAVER_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The deterministic action generator behind [`ChaosRunner`].
+///
+/// Separated from the runner so tests (and the replay machinery) can
+/// enumerate the exact sequence a seed produces without a deployment or a
+/// background thread.
+pub struct ChaosSchedule {
+    rng: StdRng,
+    targets: Vec<String>,
+    heal_fraction: f64,
+}
+
+impl ChaosSchedule {
+    /// Builds the generator for `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.targets` is empty — chaos with no targets is a
+    /// test-authoring bug.
+    pub fn new(options: &ChaosOptions) -> Self {
+        assert!(!options.targets.is_empty(), "chaos needs target components");
+        ChaosSchedule {
+            rng: StdRng::seed_from_u64(options.seed),
+            targets: options.targets.clone(),
+            heal_fraction: options.heal_fraction,
+        }
+    }
+
+    /// Draws the next action.
+    pub fn next_action(&mut self) -> ChaosAction {
+        let target = self.targets[self.rng.gen_range(0..self.targets.len())].clone();
+        if self.rng.gen_bool(self.heal_fraction) {
+            return ChaosAction::Heal(target);
+        }
+        match self.rng.gen_range(0..4u8) {
+            0 => ChaosAction::Crash(target),
+            1 => ChaosAction::Down(target),
+            2 => ChaosAction::Delay(target, Duration::from_micros(self.rng.gen_range(50..500))),
+            _ => ChaosAction::FailNext(target),
+        }
+    }
+
+    /// The first `n` actions `options` would produce.
+    pub fn generate(options: &ChaosOptions, n: usize) -> Vec<ChaosAction> {
+        let mut schedule = Self::new(options);
+        (0..n).map(|_| schedule.next_action()).collect()
+    }
+}
+
+/// Applies one action to a deployment.
+pub fn apply(deployment: &dyn FaultInjectable, action: &ChaosAction) {
+    match action {
+        ChaosAction::Crash(target) => {
+            let _ = deployment.crash_component(target);
+        }
+        ChaosAction::Down(target) => deployment.inject_fault(
+            target,
+            ComponentFault {
+                down: true,
+                ..Default::default()
+            },
+        ),
+        ChaosAction::Delay(target, delay) => deployment.inject_fault(
+            target,
+            ComponentFault {
+                delay: *delay,
+                ..Default::default()
+            },
+        ),
+        ChaosAction::FailNext(target) => deployment.inject_fault(
+            target,
+            ComponentFault {
+                fail_next: 1,
+                ..Default::default()
+            },
+        ),
+        ChaosAction::Heal(target) => deployment.inject_fault(target, ComponentFault::default()),
+    }
+}
+
+/// Replays a recorded action log verbatim against `deployment`, pacing by
+/// `interval`, and returns the applied actions (necessarily equal to the
+/// input — the return value exists so regression tests can assert the
+/// byte-for-byte round trip explicitly).
+pub fn replay(
+    deployment: &dyn FaultInjectable,
+    actions: &[ChaosAction],
+    interval: Duration,
+) -> Vec<ChaosAction> {
+    let mut applied = Vec::with_capacity(actions.len());
+    for action in actions {
+        apply(deployment, action);
+        applied.push(action.clone());
+        if !interval.is_zero() {
+            std::thread::sleep(interval);
+        }
+    }
+    applied
+}
+
+/// Serializes an action log to its line-based text form:
+///
+/// ```text
+/// crash boutique.CartService
+/// delay boutique.Frontend 250
+/// down boutique.CheckoutService
+/// fail-next boutique.CartService
+/// heal boutique.Frontend
+/// ```
+///
+/// Delays are in integer microseconds. Component names never contain
+/// whitespace, so the format needs no quoting.
+pub fn serialize_log(actions: &[ChaosAction]) -> String {
+    let mut out = String::new();
+    for action in actions {
+        match action {
+            ChaosAction::Crash(t) => out.push_str(&format!("crash {t}\n")),
+            ChaosAction::Down(t) => out.push_str(&format!("down {t}\n")),
+            ChaosAction::Delay(t, d) => out.push_str(&format!("delay {t} {}\n", d.as_micros())),
+            ChaosAction::FailNext(t) => out.push_str(&format!("fail-next {t}\n")),
+            ChaosAction::Heal(t) => out.push_str(&format!("heal {t}\n")),
+        }
+    }
+    out
+}
+
+/// Parses the [`serialize_log`] format back into actions. Blank lines and
+/// `#` comments are skipped, so fixture files can be annotated.
+pub fn parse_log(text: &str) -> Result<Vec<ChaosAction>, String> {
+    let mut actions = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let verb = parts.next().unwrap_or_default();
+        let target = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing target in {line:?}", lineno + 1))?
+            .to_string();
+        let action = match verb {
+            "crash" => ChaosAction::Crash(target),
+            "down" => ChaosAction::Down(target),
+            "fail-next" => ChaosAction::FailNext(target),
+            "heal" => ChaosAction::Heal(target),
+            "delay" => {
+                let micros: u64 = parts
+                    .next()
+                    .ok_or_else(|| format!("line {}: delay needs micros", lineno + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: bad micros: {e}", lineno + 1))?;
+                ChaosAction::Delay(target, Duration::from_micros(micros))
+            }
+            other => return Err(format!("line {}: unknown verb {other:?}", lineno + 1)),
+        };
+        if let Some(extra) = parts.next() {
+            return Err(format!(
+                "line {}: trailing token {extra:?} in {line:?}",
+                lineno + 1
+            ));
+        }
+        actions.push(action);
+    }
+    Ok(actions)
+}
+
+/// Writes an action log under `target/chaos-logs/<name>.log` so CI can
+/// upload it as an artifact when a chaos test fails. Best effort: returns
+/// the path on success, `None` if the filesystem refused.
+pub fn write_log_artifact(name: &str, actions: &[ChaosAction]) -> Option<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)?
+        .join("target")
+        .join("chaos-logs");
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{name}.log"));
+    std::fs::write(&path, serialize_log(actions)).ok()?;
+    Some(path)
+}
+
 /// Drives chaos actions against a deployment on a background thread.
+///
+/// Dropping the runner (including via a panicking test body) stops the loop
+/// **and heals every target**, so a failed chaos test cannot leak injected
+/// faults into later tests sharing the deployment. `stop()` additionally
+/// returns the action log.
 pub struct ChaosRunner {
     stop: Arc<AtomicBool>,
     log: Arc<Mutex<Vec<ChaosAction>>>,
     thread: Option<std::thread::JoinHandle<()>>,
-    deployment: Arc<SingleProcess>,
+    deployment: Arc<dyn FaultInjectable>,
     targets: Vec<String>,
 }
 
@@ -66,66 +270,23 @@ impl ChaosRunner {
     ///
     /// Panics if `options.targets` is empty — chaos with no targets is a
     /// test-authoring bug.
-    pub fn start(deployment: Arc<SingleProcess>, options: ChaosOptions) -> ChaosRunner {
-        assert!(!options.targets.is_empty(), "chaos needs target components");
+    pub fn start(deployment: Arc<dyn FaultInjectable>, options: ChaosOptions) -> ChaosRunner {
+        let mut schedule = ChaosSchedule::new(&options);
         let stop = Arc::new(AtomicBool::new(false));
         let log = Arc::new(Mutex::new(Vec::new()));
         let thread = {
             let stop = Arc::clone(&stop);
             let log = Arc::clone(&log);
             let deployment = Arc::clone(&deployment);
-            let options = options.clone();
+            let interval = options.interval;
             std::thread::Builder::new()
                 .name("weaver-chaos".into())
                 .spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(options.seed);
                     while !stop.load(Ordering::SeqCst) {
-                        let target =
-                            options.targets[rng.gen_range(0..options.targets.len())].clone();
-                        let action = if rng.gen_bool(options.heal_fraction) {
-                            deployment.inject_fault(&target, ComponentFault::default());
-                            ChaosAction::Heal(target)
-                        } else {
-                            match rng.gen_range(0..4u8) {
-                                0 => {
-                                    let _ = deployment.crash_component(&target);
-                                    ChaosAction::Crash(target)
-                                }
-                                1 => {
-                                    deployment.inject_fault(
-                                        &target,
-                                        ComponentFault {
-                                            down: true,
-                                            ..Default::default()
-                                        },
-                                    );
-                                    ChaosAction::Down(target)
-                                }
-                                2 => {
-                                    let delay = Duration::from_micros(rng.gen_range(50..500));
-                                    deployment.inject_fault(
-                                        &target,
-                                        ComponentFault {
-                                            delay,
-                                            ..Default::default()
-                                        },
-                                    );
-                                    ChaosAction::Delay(target, delay)
-                                }
-                                _ => {
-                                    deployment.inject_fault(
-                                        &target,
-                                        ComponentFault {
-                                            fail_next: 1,
-                                            ..Default::default()
-                                        },
-                                    );
-                                    ChaosAction::FailNext(target)
-                                }
-                            }
-                        };
+                        let action = schedule.next_action();
+                        apply(&*deployment, &action);
                         log.lock().push(action);
-                        std::thread::sleep(options.interval);
+                        std::thread::sleep(interval);
                     }
                 })
                 .expect("failed to spawn chaos thread")
@@ -141,6 +302,16 @@ impl ChaosRunner {
 
     /// Stops the chaos loop, heals every target, and returns the action log.
     pub fn stop(mut self) -> Vec<ChaosAction> {
+        self.halt_and_heal();
+        std::mem::take(&mut *self.log.lock())
+    }
+
+    /// Actions taken so far (the loop keeps running).
+    pub fn actions_so_far(&self) -> usize {
+        self.log.lock().len()
+    }
+
+    fn halt_and_heal(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
@@ -149,38 +320,116 @@ impl ChaosRunner {
             self.deployment
                 .inject_fault(target, ComponentFault::default());
         }
-        std::mem::take(&mut *self.log.lock())
-    }
-
-    /// Actions taken so far (the loop keeps running).
-    pub fn actions_so_far(&self) -> usize {
-        self.log.lock().len()
     }
 }
 
 impl Drop for ChaosRunner {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+        // Heal on drop too: a panicking test body must not leak `down`
+        // faults into subsequent tests sharing the deployment.
+        self.halt_and_heal();
     }
 }
 
 /// Retries `op` until it succeeds or `deadline` passes — the standard
-/// "system recovers after chaos" assertion.
+/// "system recovers after chaos" assertion. Polls with exponential backoff
+/// from 2 ms up to a 50 ms cap; the failure message carries the attempt
+/// count and the last error.
 pub fn eventually<T, E: std::fmt::Display>(
     deadline: Duration,
     mut op: impl FnMut() -> Result<T, E>,
 ) -> Result<T, String> {
     let end = std::time::Instant::now() + deadline;
+    let mut backoff = Duration::from_millis(2);
+    let mut attempts = 0u32;
     loop {
+        attempts += 1;
         match op() {
             Ok(v) => return Ok(v),
             Err(e) if std::time::Instant::now() >= end => {
-                return Err(format!("did not recover within {deadline:?}: {e}"));
+                return Err(format!(
+                    "did not recover within {deadline:?} ({attempts} attempts; last error: {e})"
+                ));
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            Err(_) => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(50));
+            }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn options(seed: u64) -> ChaosOptions {
+        ChaosOptions {
+            seed,
+            targets: vec!["a.X".into(), "b.Y".into(), "c.Z".into()],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let a = ChaosSchedule::generate(&options(7), 200);
+        let b = ChaosSchedule::generate(&options(7), 200);
+        assert_eq!(a, b);
+        assert_ne!(a, ChaosSchedule::generate(&options(8), 200));
+    }
+
+    #[test]
+    fn log_round_trips_through_text() {
+        let actions = ChaosSchedule::generate(&options(0xC4A05), 100);
+        let text = serialize_log(&actions);
+        assert_eq!(parse_log(&text).unwrap(), actions);
+        // Round trip is byte-for-byte stable.
+        assert_eq!(serialize_log(&parse_log(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_rejects_junk() {
+        let parsed = parse_log("# fixture\n\ncrash a.X\ndelay b.Y 250\n").unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                ChaosAction::Crash("a.X".into()),
+                ChaosAction::Delay("b.Y".into(), Duration::from_micros(250)),
+            ]
+        );
+        assert!(parse_log("explode a.X\n").is_err());
+        assert!(parse_log("crash\n").is_err());
+        assert!(parse_log("delay a.X\n").is_err());
+        assert!(parse_log("crash a.X trailing\n").is_err());
+    }
+
+    #[test]
+    fn eventually_reports_attempts_and_last_error() {
+        let mut calls = 0;
+        let err = eventually(Duration::from_millis(30), || -> Result<(), String> {
+            calls += 1;
+            Err(format!("attempt {calls} failed"))
+        })
+        .unwrap_err();
+        assert!(err.contains("attempts"), "{err}");
+        assert!(err.contains("failed"), "{err}");
+        assert!(calls >= 2, "should have retried, got {calls} calls");
+    }
+
+    #[test]
+    fn eventually_succeeds_mid_backoff() {
+        let mut calls = 0;
+        let v = eventually(Duration::from_secs(5), || {
+            calls += 1;
+            if calls < 4 {
+                Err("not yet")
+            } else {
+                Ok(42)
+            }
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+        assert_eq!(calls, 4);
     }
 }

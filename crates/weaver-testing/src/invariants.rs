@@ -1,0 +1,306 @@
+//! Invariant checkers for chaos workloads.
+//!
+//! Chaos without invariants only finds crashes. These checkers give the
+//! boutique workload and the rollout machinery something falsifiable to
+//! assert *while* faults are being injected:
+//!
+//! * [`CartConsistency`] — a model-based checker for cart-shaped state:
+//!   every item a deployment reports back must correspond to an add the
+//!   test saw acknowledged for that same user. Crashes are allowed to
+//!   *lose* state (a crashed cart component forgets), but may never invent
+//!   items, inflate quantities, or leak one user's cart into another's.
+//! * [`RolloutHarness`] — drives keyed requests through a blue/green
+//!   [`Rollout`] across two live deployments and enforces the paper's §4.4
+//!   invariant: a request pinned to a version by the traffic split is never
+//!   answered by the other version, and a deliberately mis-stamped request
+//!   is *always* rejected with `VersionMismatch` — even while chaos is
+//!   crashing components of the new version.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use weaver_core::context::CallContext;
+use weaver_core::error::WeaverError;
+use weaver_core::registry::ComponentRegistry;
+use weaver_rollout::{Rollout, RolloutConfig, RolloutPhase};
+use weaver_runtime::{SingleMode, SingleProcess};
+
+/// Model-based cart checker: observed state must be a subset of
+/// acknowledged writes.
+#[derive(Default)]
+pub struct CartConsistency {
+    /// user → item → total acknowledged quantity.
+    acked: Mutex<HashMap<u64, HashMap<String, u64>>>,
+}
+
+impl CartConsistency {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an add the deployment acknowledged (call only on `Ok`).
+    pub fn record_add(&self, user: u64, item: &str, quantity: u64) {
+        *self
+            .acked
+            .lock()
+            .entry(user)
+            .or_default()
+            .entry(item.to_string())
+            .or_insert(0) += quantity;
+    }
+
+    /// Checks an observed cart against the model. Missing items are fine
+    /// (chaos crashes lose state); phantom items, inflated quantities, and
+    /// cross-user leakage are violations.
+    pub fn check(&self, user: u64, observed: &[(String, u64)]) -> Result<(), String> {
+        let acked = self.acked.lock();
+        let mine = acked.get(&user);
+        for (item, quantity) in observed {
+            let limit = mine.and_then(|m| m.get(item)).copied().unwrap_or(0);
+            if limit == 0 {
+                // Distinguish leakage from pure phantoms in the message —
+                // both are the same class of bug, but the former points at
+                // routing, the latter at state corruption.
+                let leaked = acked
+                    .iter()
+                    .any(|(u, items)| *u != user && items.contains_key(item));
+                return Err(if leaked {
+                    format!("user {user} observed item {item:?} acked only for another user")
+                } else {
+                    format!("user {user} observed phantom item {item:?} (never acked)")
+                });
+            }
+            if *quantity > limit {
+                return Err(format!(
+                    "user {user} observed {quantity} of {item:?} but only {limit} were acked"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total acknowledged adds across all users (sanity for workloads).
+    pub fn acked_adds(&self) -> u64 {
+        self.acked.lock().values().flat_map(HashMap::values).sum()
+    }
+}
+
+/// What one [`RolloutHarness::run`] observed.
+#[derive(Debug)]
+pub struct RolloutReport {
+    /// Terminal (or last) rollout phase.
+    pub phase: RolloutPhase,
+    /// Health ticks executed.
+    pub ticks: usize,
+    /// Total keyed requests issued.
+    pub requests: usize,
+    /// Correctly-routed requests that were answered with `VersionMismatch`
+    /// anyway — §4.4 violations. Must be zero.
+    pub mismatches_on_correct_route: usize,
+    /// Deliberately mis-stamped probes that were **not** rejected with
+    /// `VersionMismatch` — backstop leaks. Must be zero.
+    pub probe_leaks: usize,
+    /// Non-version errors observed on the new version (fed to the health
+    /// gate; chaos makes these expected).
+    pub new_version_errors: usize,
+}
+
+impl RolloutReport {
+    /// Asserts the §4.4 invariant held throughout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any correctly-routed request saw `VersionMismatch` or any
+    /// cross-version probe was not rejected.
+    pub fn assert_invariant(&self) {
+        assert_eq!(
+            self.mismatches_on_correct_route, 0,
+            "§4.4 violated: {} correctly-routed requests saw VersionMismatch",
+            self.mismatches_on_correct_route
+        );
+        assert_eq!(
+            self.probe_leaks, 0,
+            "§4.4 backstop leaked: {} mis-stamped probes were not rejected",
+            self.probe_leaks
+        );
+    }
+}
+
+/// Two live deployments (old and new version) under one blue/green
+/// [`Rollout`], with an ingress that pins requests by key.
+pub struct RolloutHarness {
+    old: Arc<SingleProcess>,
+    new: Arc<SingleProcess>,
+    rollout: Rollout,
+}
+
+/// SplitMix64: spreads sequential request indices over the key space so
+/// [`weaver_rollout::TrafficSplit::version_for`]'s uniform mapping sees
+/// uniform keys.
+fn spread(i: u64) -> u64 {
+    let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RolloutHarness {
+    /// Version the old deployment runs.
+    pub const OLD_VERSION: u64 = 1;
+    /// Version the new deployment runs.
+    pub const NEW_VERSION: u64 = 2;
+
+    /// Deploys `registry` twice (marshaled, versions 1 and 2) and starts a
+    /// rollout between them.
+    pub fn new(registry: Arc<ComponentRegistry>, config: RolloutConfig) -> Self {
+        let old = SingleProcess::deploy(
+            Arc::clone(&registry),
+            SingleMode::Marshaled,
+            Self::OLD_VERSION,
+        );
+        let new = SingleProcess::deploy(registry, SingleMode::Marshaled, Self::NEW_VERSION);
+        RolloutHarness {
+            old,
+            new,
+            rollout: Rollout::new(Self::OLD_VERSION, Self::NEW_VERSION, config),
+        }
+    }
+
+    /// The new-version deployment — the chaos target during a rollout
+    /// (new code is what health gates are watching).
+    pub fn new_deployment(&self) -> Arc<SingleProcess> {
+        Arc::clone(&self.new)
+    }
+
+    /// The old-version deployment.
+    pub fn old_deployment(&self) -> Arc<SingleProcess> {
+        Arc::clone(&self.old)
+    }
+
+    /// Drives the rollout to a terminal phase (or `max_ticks`), issuing
+    /// `requests_per_tick` keyed requests per health tick through
+    /// `workload` and verifying the §4.4 invariant on every one.
+    ///
+    /// `workload` receives the deployment the split pinned the key to, a
+    /// context stamped with that deployment's version, and the key. For
+    /// every keyed request the harness additionally sends one mis-stamped
+    /// probe (same call, other version's stamp) and requires the backstop
+    /// to reject it.
+    pub fn run<W>(
+        mut self,
+        max_ticks: usize,
+        requests_per_tick: usize,
+        mut workload: W,
+    ) -> RolloutReport
+    where
+        W: FnMut(&Arc<SingleProcess>, &CallContext, u64) -> Result<(), WeaverError>,
+    {
+        let mut report = RolloutReport {
+            phase: self.rollout.phase(),
+            ticks: 0,
+            requests: 0,
+            mismatches_on_correct_route: 0,
+            probe_leaks: 0,
+            new_version_errors: 0,
+        };
+        let mut sequence = 0u64;
+        for _ in 0..max_ticks {
+            let split = self.rollout.split();
+            let mut new_requests = 0usize;
+            let mut new_errors = 0usize;
+            for _ in 0..requests_per_tick {
+                let key = spread(sequence);
+                sequence += 1;
+                let version = split.version_for(key);
+                let (dep, other_version) = if version == Self::NEW_VERSION {
+                    (&self.new, Self::OLD_VERSION)
+                } else {
+                    (&self.old, Self::NEW_VERSION)
+                };
+
+                // Correct route: stamped with the pinned deployment's
+                // version; VersionMismatch here is a §4.4 violation.
+                let ctx = dep.root_context();
+                match workload(dep, &ctx, key) {
+                    Ok(()) => {}
+                    Err(WeaverError::VersionMismatch { .. }) => {
+                        report.mismatches_on_correct_route += 1;
+                    }
+                    Err(_) => {
+                        if version == Self::NEW_VERSION {
+                            new_errors += 1;
+                        }
+                    }
+                }
+                report.requests += 1;
+                if version == Self::NEW_VERSION {
+                    new_requests += 1;
+                }
+
+                // Cross-version probe: same call, mis-stamped. The §4.4
+                // backstop must reject it no matter what chaos is doing.
+                let mut probe_ctx = dep.root_context();
+                probe_ctx.version = other_version;
+                match workload(dep, &probe_ctx, key) {
+                    Err(WeaverError::VersionMismatch { .. }) => {}
+                    _ => report.probe_leaks += 1,
+                }
+            }
+            let error_rate = if new_requests == 0 {
+                0.0
+            } else {
+                new_errors as f64 / new_requests as f64
+            };
+            report.new_version_errors += new_errors;
+            report.phase = self.rollout.tick(error_rate);
+            report.ticks += 1;
+            if report.phase != RolloutPhase::Shifting {
+                break;
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cart_model_accepts_subsets_rejects_phantoms() {
+        let model = CartConsistency::new();
+        model.record_add(1, "shirt", 2);
+        model.record_add(1, "mug", 1);
+        model.record_add(2, "hat", 1);
+
+        // Exact and lossy observations are both fine.
+        model
+            .check(1, &[("shirt".into(), 2), ("mug".into(), 1)])
+            .unwrap();
+        model.check(1, &[("shirt".into(), 1)]).unwrap();
+        model.check(1, &[]).unwrap();
+
+        // Phantom item.
+        let err = model.check(1, &[("car".into(), 1)]).unwrap_err();
+        assert!(err.contains("phantom"), "{err}");
+        // Inflated quantity.
+        let err = model.check(1, &[("shirt".into(), 3)]).unwrap_err();
+        assert!(err.contains("only 2"), "{err}");
+        // Cross-user leakage.
+        let err = model.check(1, &[("hat".into(), 1)]).unwrap_err();
+        assert!(err.contains("another user"), "{err}");
+
+        assert_eq!(model.acked_adds(), 4);
+    }
+
+    #[test]
+    fn spread_covers_the_key_space() {
+        // The split maps keys linearly onto [0,1); sequential indices must
+        // not cluster or the 1% stage would see 0% or 100% of traffic.
+        let low = (0..1000).filter(|&i| spread(i) < u64::MAX / 2).count();
+        assert!((400..=600).contains(&low), "skewed spread: {low}/1000 low");
+    }
+}

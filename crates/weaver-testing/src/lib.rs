@@ -6,20 +6,39 @@
 //! to automated fault tolerance testing, akin to chaos testing, Jepsen
 //! testing, and model checking."
 //!
-//! * [`weavertest`] — runs the same test body under **every** deployment
-//!   shape that matters: fully co-located (plain calls) and fully marshaled
-//!   (every cross-component call encodes/dispatches/decodes). A test that
-//!   passes both ways cannot be depending on address-space sharing — the
-//!   property the programming model demands of components.
-//! * [`chaos`] — a seeded fault-injection loop over a marshaled deployment:
-//!   crash components, take them down, inject latency, heal — while the
-//!   test body keeps issuing requests and asserting invariants.
+//! * [`matrix`] — runs one test body under **every** placement that
+//!   matters: co-located (plain calls), marshaled (full
+//!   encode/dispatch/decode), real loopback TCP through `weaver-transport`,
+//!   and multi-replica TCP with routed-key affinity. A test that passes all
+//!   four cannot be depending on address-space sharing, marshaling quirks,
+//!   or single-replica accidents. ([`weavertest`] keeps the original
+//!   two-placement helpers.)
+//! * [`chaos`] — a seeded fault-injection loop over any fault-injectable
+//!   deployment: crash components, take them down, inject latency, heal —
+//!   while the test body keeps issuing requests and asserting invariants.
+//!   Action sequences are a pure function of the seed; logs serialize to
+//!   text and replay verbatim, so any chaos-found failure becomes a
+//!   deterministic regression test.
+//! * [`invariants`] — what chaos asserts: a model-based cart-consistency
+//!   checker and a blue/green rollout harness enforcing the §4.4
+//!   no-cross-version-communication invariant under fire.
+//!
+//! Transport-level fault injection (delay/corrupt/duplicate/truncate/sever
+//! at the socket boundary) lives in `weaver_transport::fault` and is wired
+//! in via `TcpOptions::fault_spec`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod invariants;
+pub mod matrix;
 pub mod weavertest;
 
-pub use chaos::{ChaosAction, ChaosOptions, ChaosRunner};
+pub use chaos::{
+    apply, eventually, parse_log, replay, seed_from_env, serialize_log, write_log_artifact,
+    ChaosAction, ChaosOptions, ChaosRunner, ChaosSchedule,
+};
+pub use invariants::{CartConsistency, RolloutHarness, RolloutReport};
+pub use matrix::{run_matrix, run_matrix_with, MatrixDeployment, MatrixOptions, Placement};
 pub use weavertest::{run_both, run_colocated, run_marshaled};

@@ -1,0 +1,209 @@
+//! The deployment matrix: one test body, every placement.
+//!
+//! The paper's claim is that placement is a runtime decision the
+//! application cannot observe (§3: "components … may be hosted on the same
+//! OS process or on different machines"). [`run_matrix`] enforces that
+//! claim instead of sampling it: the same closure runs against
+//!
+//! 1. **colocated** — plain method calls, zero marshaling;
+//! 2. **marshaled** — every cross-component call encodes/dispatches/decodes
+//!    in-process (the classic weavertest mode);
+//! 3. **tcp** — every call crosses a real loopback socket through
+//!    `weaver-transport` (coalescing writer, buffer pool, framing — the
+//!    PR 3 hot path);
+//! 4. **replicated** — three TCP replicas per component with routed-key
+//!    slice assignments, so affinity routing and replica fan-out are
+//!    exercised too.
+//!
+//! A test that passes all four cannot be depending on address-space
+//! sharing, marshaling quirks, connection reuse, or single-replica
+//! accidents.
+
+use std::sync::Arc;
+
+use weaver_core::component::ComponentInterface;
+use weaver_core::context::CallContext;
+use weaver_core::error::WeaverError;
+use weaver_core::registry::ComponentRegistry;
+use weaver_runtime::{
+    ComponentFault, FaultInjectable, SingleMode, SingleProcess, TcpOptions, TcpProcess,
+};
+
+/// One cell of the deployment matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// All components in one process, plain method calls.
+    Colocated,
+    /// One process, full marshal/dispatch per call.
+    Marshaled,
+    /// Real loopback TCP through `weaver-transport`, one replica.
+    Tcp,
+    /// Real loopback TCP, multiple replicas, routed-key affinity.
+    Replicated,
+}
+
+impl Placement {
+    /// Every placement, in increasing order of realism.
+    pub const ALL: [Placement; 4] = [
+        Placement::Colocated,
+        Placement::Marshaled,
+        Placement::Tcp,
+        Placement::Replicated,
+    ];
+
+    /// Short label for failure attribution.
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::Colocated => "colocated",
+            Placement::Marshaled => "marshaled",
+            Placement::Tcp => "tcp",
+            Placement::Replicated => "replicated",
+        }
+    }
+}
+
+/// Matrix tunables.
+#[derive(Debug, Clone)]
+pub struct MatrixOptions {
+    /// Placements to run (defaults to all four).
+    pub placements: Vec<Placement>,
+    /// Replica count for [`Placement::Replicated`].
+    pub replicas: usize,
+    /// Worker threads per TCP replica server.
+    pub workers: usize,
+}
+
+impl Default for MatrixOptions {
+    fn default() -> Self {
+        MatrixOptions {
+            placements: Placement::ALL.to_vec(),
+            replicas: 3,
+            workers: 16,
+        }
+    }
+}
+
+enum Inner {
+    Single(Arc<SingleProcess>),
+    Tcp(Arc<TcpProcess>),
+}
+
+/// A deployment under test: one cell of the matrix, presented uniformly so
+/// a single test body works against every placement.
+pub struct MatrixDeployment {
+    placement: Placement,
+    inner: Inner,
+}
+
+impl MatrixDeployment {
+    /// Deploys `registry` under `placement`.
+    pub fn deploy(
+        registry: Arc<ComponentRegistry>,
+        placement: Placement,
+        options: &MatrixOptions,
+    ) -> Result<Self, WeaverError> {
+        let inner = match placement {
+            Placement::Colocated => {
+                Inner::Single(SingleProcess::deploy(registry, SingleMode::Colocated, 1))
+            }
+            Placement::Marshaled => {
+                Inner::Single(SingleProcess::deploy(registry, SingleMode::Marshaled, 1))
+            }
+            Placement::Tcp => Inner::Tcp(TcpProcess::deploy(
+                registry,
+                TcpOptions {
+                    replicas: 1,
+                    workers: options.workers,
+                    fault_spec: None,
+                },
+                1,
+            )?),
+            Placement::Replicated => Inner::Tcp(TcpProcess::deploy(
+                registry,
+                TcpOptions {
+                    replicas: options.replicas,
+                    workers: options.workers,
+                    fault_spec: None,
+                },
+                1,
+            )?),
+        };
+        Ok(MatrixDeployment { placement, inner })
+    }
+
+    /// The cell this deployment realizes.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Short label for failure attribution.
+    pub fn label(&self) -> &'static str {
+        self.placement.label()
+    }
+
+    /// Returns the component with interface `I` (the paper's `Get[T]`).
+    pub fn get<I: ComponentInterface + ?Sized>(&self) -> Result<Arc<I>, WeaverError> {
+        match &self.inner {
+            Inner::Single(d) => d.get::<I>(),
+            Inner::Tcp(d) => d.get::<I>(),
+        }
+    }
+
+    /// A root call context for driving requests into the deployment.
+    pub fn root_context(&self) -> CallContext {
+        match &self.inner {
+            Inner::Single(d) => d.root_context(),
+            Inner::Tcp(d) => d.root_context(),
+        }
+    }
+
+    /// Installs (or clears) a component fault.
+    ///
+    /// Note: under [`Placement::Colocated`] calls bypass the fault check
+    /// (they are plain method calls), mirroring `SingleProcess` semantics.
+    pub fn inject_fault(&self, component: &str, fault: ComponentFault) {
+        match &self.inner {
+            Inner::Single(d) => d.inject_fault(component, fault),
+            Inner::Tcp(d) => d.inject_fault(component, fault),
+        }
+    }
+
+    /// Crashes a component so its next call restarts it.
+    pub fn crash_component(&self, component: &str) -> Result<(), WeaverError> {
+        match &self.inner {
+            Inner::Single(d) => d.crash_component(component),
+            Inner::Tcp(d) => d.crash_component(component),
+        }
+    }
+
+    /// The deployment as a chaos target (for [`crate::ChaosRunner`]).
+    pub fn fault_injectable(&self) -> Arc<dyn FaultInjectable> {
+        match &self.inner {
+            Inner::Single(d) => Arc::clone(d) as Arc<dyn FaultInjectable>,
+            Inner::Tcp(d) => Arc::clone(d) as Arc<dyn FaultInjectable>,
+        }
+    }
+}
+
+/// Runs `body` once per placement (all four by default). Panics and
+/// assertion failures inside `body` carry the placement in scope via
+/// [`MatrixDeployment::label`]; prefer `assert!(cond, "[{}] ...",
+/// dep.label())` in bodies for instant attribution.
+pub fn run_matrix<F>(registry: Arc<ComponentRegistry>, body: F)
+where
+    F: FnMut(&MatrixDeployment),
+{
+    run_matrix_with(registry, &MatrixOptions::default(), body);
+}
+
+/// [`run_matrix`] with explicit options (placement subset, replica count).
+pub fn run_matrix_with<F>(registry: Arc<ComponentRegistry>, options: &MatrixOptions, mut body: F)
+where
+    F: FnMut(&MatrixDeployment),
+{
+    for &placement in &options.placements {
+        let deployment = MatrixDeployment::deploy(Arc::clone(&registry), placement, options)
+            .unwrap_or_else(|e| panic!("[{}] deploy failed: {e}", placement.label()));
+        body(&deployment);
+    }
+}

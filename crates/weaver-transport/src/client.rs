@@ -11,6 +11,11 @@ use crate::conn::Connection;
 use crate::error::TransportError;
 use crate::frame::{Framing, RequestHeader, ResponseBody};
 
+/// How a [`Pool`] establishes a connection to an address. The default dials
+/// plain TCP; tests substitute a dialer that wraps the socket in a
+/// fault-injecting shim (see [`crate::fault::FaultStream`]).
+pub type Dialer<F> = Arc<dyn Fn(SocketAddr) -> Result<Connection<F>, TransportError> + Send + Sync>;
+
 /// A pool of client connections keyed by address.
 ///
 /// The paper's data plane is proclet-to-proclet over persistent connections
@@ -19,6 +24,7 @@ use crate::frame::{Framing, RequestHeader, ResponseBody};
 /// multiplexed connection per peer, replacing it transparently when it dies.
 pub struct Pool<F: Framing> {
     conns: Mutex<HashMap<SocketAddr, Arc<Connection<F>>>>,
+    dialer: Dialer<F>,
 }
 
 impl<F: Framing> Default for Pool<F> {
@@ -28,10 +34,17 @@ impl<F: Framing> Default for Pool<F> {
 }
 
 impl<F: Framing> Pool<F> {
-    /// Creates an empty pool.
+    /// Creates an empty pool dialing plain TCP.
     pub fn new() -> Self {
+        Self::with_dialer(Arc::new(|addr| Connection::<F>::connect(addr)))
+    }
+
+    /// Creates an empty pool with a custom dialer (e.g. one that wraps every
+    /// socket in a [`crate::fault::FaultStream`]).
+    pub fn with_dialer(dialer: Dialer<F>) -> Self {
         Pool {
             conns: Mutex::new(HashMap::new()),
+            dialer,
         }
     }
 
@@ -44,7 +57,7 @@ impl<F: Framing> Pool<F> {
             }
             conns.remove(&addr);
         }
-        let conn = Arc::new(Connection::<F>::connect(addr)?);
+        let conn = Arc::new((self.dialer)(addr)?);
         conns.insert(addr, Arc::clone(&conn));
         Ok(conn)
     }

@@ -30,6 +30,7 @@ use parking_lot::Mutex;
 
 use crate::buf::BufferPool;
 use crate::error::TransportError;
+use crate::fault::DuplexStream;
 use crate::frame::{Framing, Message, RequestHeader, ResponseBody};
 use crate::writer::{writer_loop, OutFrame, WriteOp, WriterStats};
 
@@ -78,7 +79,22 @@ impl<F: Framing> Connection<F> {
         stream: TcpStream,
         pool: BufferPool,
     ) -> Result<Self, TransportError> {
-        let read_half = stream.try_clone()?;
+        Self::from_duplex_with_pool(stream, pool)
+    }
+
+    /// Builds a connection over any duplex stream — in particular a
+    /// [`crate::fault::FaultStream`], which injects deterministic faults
+    /// underneath the reader and writer threads.
+    pub fn from_duplex<S: DuplexStream>(stream: S) -> Result<Self, TransportError> {
+        Self::from_duplex_with_pool(stream, BufferPool::global().clone())
+    }
+
+    /// [`Connection::from_duplex`] with an explicit buffer pool.
+    pub fn from_duplex_with_pool<S: DuplexStream>(
+        stream: S,
+        pool: BufferPool,
+    ) -> Result<Self, TransportError> {
+        let read_half = stream.split_read()?;
         let (writer_tx, writer_rx) = unbounded::<WriteOp>();
         let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
         let dead = Arc::new(AtomicBool::new(false));
@@ -93,7 +109,7 @@ impl<F: Framing> Connection<F> {
                 .name("weaver-conn-writer".into())
                 .spawn(move || {
                     writer_loop(&writer_rx, &mut write_half, &pool, &dead, &stats);
-                    let _ = write_half.shutdown(std::net::Shutdown::Both);
+                    write_half.shutdown_both();
                 })
                 .expect("failed to spawn connection writer");
         }

@@ -38,6 +38,7 @@ pub mod buf;
 pub mod client;
 pub mod conn;
 pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod inproc;
 pub mod pool;
@@ -45,9 +46,10 @@ pub mod server;
 mod writer;
 
 pub use buf::{BufferPool, PoolStats, PooledBuf, WireBuf};
-pub use client::Pool;
+pub use client::{Dialer, Pool};
 pub use conn::Connection;
 pub use error::TransportError;
+pub use fault::{DuplexStream, FaultAction, FaultInjector, FaultSpec, FaultStream, Side};
 pub use frame::{
     Framing, GrpcLikeFraming, Message, RequestHeader, ResponseBody, Status, WeaverFraming,
 };

@@ -1,0 +1,160 @@
+//! The deployment matrix (paper §3 + §5.3): one test body, every
+//! placement. The same checkout flow must pass whether components share an
+//! address space, marshal in-process, cross real loopback TCP, or run as
+//! three routed replicas — placement is a runtime decision the application
+//! cannot observe.
+
+use boutique::components::*;
+use boutique::loadgen::test_address;
+use boutique::logic::payment::test_card;
+use boutique::types::{CartItem, PlaceOrderRequest};
+use weaver_testing::{run_matrix, run_matrix_with, MatrixOptions, Placement};
+
+#[test]
+fn checkout_flow_under_every_placement() {
+    run_matrix(boutique::registry(), |dep| {
+        let label = dep.label();
+        let ctx = dep.root_context();
+        let frontend = dep.get::<dyn Frontend>().expect(label);
+
+        let home = frontend
+            .home(&ctx, "mx-user".into(), "EUR".into())
+            .expect(label);
+        assert!(home.products.len() >= 12, "[{label}] thin catalog");
+
+        frontend
+            .add_to_cart(&ctx, "mx-user".into(), "OLJCESPC7Z".into(), 2)
+            .expect(label);
+        let cart = frontend
+            .view_cart(&ctx, "mx-user".into(), "USD".into())
+            .expect(label);
+        assert_eq!(cart.items.len(), 1, "[{label}] cart contents");
+        assert_eq!(cart.items[0].item.quantity, 2, "[{label}] quantity");
+
+        let order = frontend
+            .place_order(
+                &ctx,
+                PlaceOrderRequest {
+                    user_id: "mx-user".into(),
+                    user_currency: "USD".into(),
+                    address: test_address(),
+                    email: "mx@example.com".into(),
+                    credit_card: test_card(),
+                },
+            )
+            .expect(label);
+        assert_eq!(order.items.len(), 1, "[{label}] order items");
+        assert!(!order.order_id.is_empty(), "[{label}] missing order id");
+
+        let cart = frontend
+            .view_cart(&ctx, "mx-user".into(), "USD".into())
+            .expect(label);
+        assert!(cart.items.is_empty(), "[{label}] checkout left the cart");
+    });
+}
+
+#[test]
+fn pure_components_answer_identically_across_placements() {
+    // Determinism across the whole matrix: placement may change latency and
+    // failure modes, never answers.
+    let mut answers: Vec<String> = Vec::new();
+    run_matrix(boutique::registry(), |dep| {
+        let label = dep.label();
+        let ctx = dep.root_context();
+        let catalog = dep.get::<dyn ProductCatalog>().expect(label);
+        let currency = dep.get::<dyn CurrencyService>().expect(label);
+
+        let product = catalog.get_product(&ctx, "L9ECAV7KIM".into()).expect(label);
+        let converted = currency
+            .convert(&ctx, product.price.clone(), "JPY".into())
+            .expect(label);
+        answers.push(format!("{}|{}", product.name, converted.total_nanos()));
+    });
+    assert_eq!(answers.len(), 4);
+    for pair in answers.windows(2) {
+        assert_eq!(pair[0], pair[1], "placements disagreed: {answers:?}");
+    }
+}
+
+#[test]
+fn routed_cart_sticks_to_one_replica() {
+    // Under three replicas, cart state only coheres if every call for a
+    // given user lands on the same replica (routed-key affinity). If
+    // routing sprayed calls, the second add_item would miss the first's
+    // replica and quantities would not merge.
+    let options = MatrixOptions {
+        placements: vec![Placement::Replicated],
+        replicas: 3,
+        ..Default::default()
+    };
+    run_matrix_with(boutique::registry(), &options, |dep| {
+        let ctx = dep.root_context();
+        let cart = dep.get::<dyn CartService>().unwrap();
+        for user in ["alfa", "bravo", "charlie", "delta", "echo", "foxtrot"] {
+            for _ in 0..2 {
+                cart.add_item(
+                    &ctx,
+                    user.into(),
+                    CartItem {
+                        product_id: "66VCHSJNUP".into(),
+                        quantity: 3,
+                    },
+                )
+                .unwrap();
+            }
+        }
+        for user in ["alfa", "bravo", "charlie", "delta", "echo", "foxtrot"] {
+            let items = cart.get_cart(&ctx, user.into()).unwrap();
+            assert_eq!(items.len(), 1, "{user}: cart split across replicas");
+            assert_eq!(
+                items[0].quantity, 6,
+                "{user}: adds landed on different replicas"
+            );
+        }
+    });
+}
+
+#[test]
+fn faults_and_crashes_work_under_tcp_placements() {
+    // Server-side fault injection and crash-restart must behave the same
+    // across the wire as in-process (the chaos harness depends on it).
+    let options = MatrixOptions {
+        placements: vec![Placement::Marshaled, Placement::Tcp, Placement::Replicated],
+        ..Default::default()
+    };
+    run_matrix_with(boutique::registry(), &options, |dep| {
+        let label = dep.label();
+        let ctx = dep.root_context();
+        let frontend = dep.get::<dyn Frontend>().expect(label);
+
+        dep.inject_fault(
+            "boutique.ProductCatalog",
+            weaver_runtime::ComponentFault {
+                down: true,
+                ..Default::default()
+            },
+        );
+        let err = frontend
+            .home(&ctx, "fx".into(), "USD".into())
+            .expect_err("catalog is down");
+        assert!(
+            matches!(err, weaver_core::WeaverError::Unavailable { .. }),
+            "[{label}] wrong error class: {err}"
+        );
+        dep.inject_fault("boutique.ProductCatalog", Default::default());
+        frontend
+            .home(&ctx, "fx".into(), "USD".into())
+            .unwrap_or_else(|e| panic!("[{label}] did not heal: {e}"));
+
+        frontend
+            .add_to_cart(&ctx, "fx".into(), "OLJCESPC7Z".into(), 1)
+            .expect(label);
+        dep.crash_component("boutique.CartService").expect(label);
+        // Cart state is a per-replica cache: a crash empties it, but the
+        // component must answer again immediately (restart-on-demand).
+        let cart = frontend
+            .view_cart(&ctx, "fx".into(), "USD".into())
+            .unwrap_or_else(|e| panic!("[{label}] no restart after crash: {e}"));
+        assert!(cart.items.is_empty(), "[{label}] crash kept state");
+    });
+}

@@ -19,7 +19,7 @@ fn app_survives_chaos_and_recovers() {
     let frontend = app.get::<dyn Frontend>().unwrap();
 
     let chaos = ChaosRunner::start(
-        Arc::clone(&app),
+        app.clone(),
         ChaosOptions {
             seed: 1234,
             targets: vec![
