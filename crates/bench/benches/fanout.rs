@@ -1,0 +1,195 @@
+//! Scatter-gather fan-out vs. sequential blocking calls.
+//!
+//! The concurrent call futures exist so a caller with N independent
+//! downstream calls pays ~one round trip instead of N. This bench pins
+//! that down at two layers:
+//!
+//! * **call_path/checkout_fanout** — the checkout pricing pattern
+//!   (shipping quote + per-line product lookup + per-line currency
+//!   conversion) over a real loopback-TCP deployment, written once as
+//!   blocking stub calls and once as `_start` + `join_all` gathers.
+//! * **transport/concurrent** — N raw in-flight `call_begin`s on one
+//!   multiplexed connection vs. N sequential `call`s, plus the writer's
+//!   frames-per-syscall under the concurrent load.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use boutique::components::{CurrencyService, ProductCatalog, Shipping};
+use boutique::types::CartItem;
+use weaver_core::fanout::join_all;
+use weaver_runtime::tcp::deploy_tcp;
+use weaver_transport::{
+    Connection, RequestHeader, ResponseBody, RpcHandler, Server, Status, WeaverFraming, WireBuf,
+};
+
+/// The cart being priced: six distinct lines, like a busy demo cart.
+const CART_PRODUCTS: &[&str] = &[
+    "OLJCESPC7Z",
+    "66VCHSJNUP",
+    "1YMWWN1N4O",
+    "L9ECAV7KIM",
+    "2ZYFJ3GM2N",
+    "0PUK6V6EV0",
+];
+
+fn bench_checkout_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("call_path/checkout_fanout");
+    group.sample_size(30);
+
+    let app = deploy_tcp(boutique::registry(), 1).expect("deploy tcp");
+    let catalog = app.get::<dyn ProductCatalog>().expect("catalog");
+    let currency = app.get::<dyn CurrencyService>().expect("currency");
+    let shipping = app.get::<dyn Shipping>().expect("shipping");
+    let ctx = app.root_context();
+    let address = boutique::loadgen::test_address();
+    let cart: Vec<CartItem> = CART_PRODUCTS
+        .iter()
+        .map(|id| CartItem {
+            product_id: (*id).to_string(),
+            quantity: 2,
+        })
+        .collect();
+
+    // Sequential twin: the pre-futures checkout pricing loop — every
+    // round trip waits for the previous one.
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let quote_usd = shipping
+                .get_quote(&ctx, address.clone(), cart.clone())
+                .expect("quote");
+            let mut units = Vec::with_capacity(cart.len());
+            for item in &cart {
+                let product = catalog
+                    .get_product(&ctx, item.product_id.clone())
+                    .expect("product");
+                units.push(
+                    currency
+                        .convert(&ctx, product.price, "EUR".to_string())
+                        .expect("convert"),
+                );
+            }
+            let quote = currency
+                .convert(&ctx, quote_usd, "EUR".to_string())
+                .expect("convert quote");
+            (units, quote)
+        })
+    });
+
+    // Concurrent: the same calls, scattered. The quote overlaps both
+    // pricing waves; each wave's calls share the multiplexed connection.
+    group.bench_function("concurrent", |b| {
+        b.iter(|| {
+            let quote_fut = shipping.get_quote_start(&ctx, address.clone(), cart.clone());
+            let products = join_all(
+                cart.iter()
+                    .map(|item| catalog.get_product_start(&ctx, item.product_id.clone()))
+                    .collect(),
+            )
+            .expect("products");
+            let units = join_all(
+                products
+                    .into_iter()
+                    .map(|p| currency.convert_start(&ctx, p.price, "EUR".to_string()))
+                    .collect(),
+            )
+            .expect("units");
+            let quote_usd = quote_fut.wait().expect("quote");
+            let quote = currency
+                .convert(&ctx, quote_usd, "EUR".to_string())
+                .expect("convert quote");
+            (units, quote)
+        })
+    });
+
+    group.finish();
+    assert_eq!(
+        app.client_in_flight(),
+        0,
+        "bench left pending-map entries behind"
+    );
+}
+
+fn echo_handler(response_bytes: usize) -> Arc<dyn RpcHandler> {
+    let payload: WireBuf = vec![7u8; response_bytes].into();
+    Arc::new(move |_h: &RequestHeader, _a: &[u8]| ResponseBody {
+        status: Status::Ok,
+        payload: payload.clone(),
+    })
+}
+
+fn header() -> RequestHeader {
+    RequestHeader {
+        component: 3,
+        method: 1,
+        version: 1,
+        deadline_nanos: 5_000_000_000,
+        trace_id: 0xfeed,
+        span_id: 0xbeef,
+        routing: None,
+    }
+}
+
+fn bench_transport_concurrent(c: &mut Criterion) {
+    // N in-flight call_begins on one connection, M-byte payloads, against
+    // the same N issued as blocking sequential calls.
+    const PAYLOAD: usize = 256;
+    let mut group = c.benchmark_group("transport/concurrent");
+    let server =
+        Server::<WeaverFraming>::bind("127.0.0.1:0", 4, echo_handler(PAYLOAD)).expect("bind");
+    let conn =
+        Arc::new(Connection::<WeaverFraming>::connect(server.local_addr()).expect("connect"));
+    let h = header();
+    let args = vec![1u8; PAYLOAD];
+
+    for &n in &[4usize, 16] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(
+            BenchmarkId::new("sequential", format!("{n}x{PAYLOAD}")),
+            |b| {
+                b.iter(|| {
+                    for _ in 0..n {
+                        conn.call(&h, &args, Some(Duration::from_secs(5)))
+                            .expect("call");
+                    }
+                })
+            },
+        );
+        group.bench_function(BenchmarkId::new("scatter", format!("{n}x{PAYLOAD}")), |b| {
+            b.iter(|| {
+                let futures: Vec<_> = (0..n)
+                    .map(|_| Connection::call_begin(&conn, &h, &args).expect("begin"))
+                    .collect();
+                for fut in futures {
+                    fut.wait(Some(Duration::from_secs(5))).expect("wait");
+                }
+            })
+        });
+    }
+
+    group.finish();
+    let (frames, flushes) = conn.writer_counters();
+    println!(
+        "concurrent writer counters — frames: {frames}, flushes: {flushes} \
+         ({:.2} frames/syscall)",
+        frames as f64 / flushes.max(1) as f64
+    );
+    assert_eq!(conn.in_flight(), 0, "bench left pending-map entries behind");
+}
+
+fn quick() -> Criterion {
+    // Bounded runtimes: CI-friendly while still statistically useful.
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_checkout_fanout, bench_transport_concurrent
+}
+criterion_main!(benches);

@@ -51,16 +51,36 @@ impl CheckoutService for CheckoutServiceImpl {
             return Err(WeaverError::app("cart is empty"));
         }
 
-        // Price every line in the user's currency.
+        // Scatter: the shipping quote and every product lookup are
+        // independent, so they all go on the wire before any reply is
+        // gathered. On the multiplexed transport the whole batch shares one
+        // connection (and often one coalesced syscall); co-located they
+        // resolve eagerly and this reads as the sequential loop it replaces.
+        let quote_fut =
+            self.shipping
+                .get_quote_start(ctx, request.address.clone(), cart_items.clone());
+        let products = weaver_core::fanout::join_all(
+            cart_items
+                .iter()
+                .map(|item| self.catalog.get_product_start(ctx, item.product_id.clone()))
+                .collect(),
+        )?;
+
+        // Second wave: per-line currency conversions, also independent.
+        let units = weaver_core::fanout::join_all(
+            products
+                .into_iter()
+                .map(|product| {
+                    self.currency
+                        .convert_start(ctx, product.price, request.user_currency.clone())
+                })
+                .collect(),
+        )?;
+
+        // Gather into priced order lines.
         let mut items = Vec::with_capacity(cart_items.len());
         let mut items_total = Money::new(request.user_currency.clone(), 0, 0);
-        for cart_item in &cart_items {
-            let product = self
-                .catalog
-                .get_product(ctx, cart_item.product_id.clone())?;
-            let unit = self
-                .currency
-                .convert(ctx, product.price, request.user_currency.clone())?;
+        for (cart_item, unit) in cart_items.iter().zip(units) {
             let line = unit.times(cart_item.quantity);
             items_total = items_total
                 .checked_add(&line)
@@ -71,10 +91,9 @@ impl CheckoutService for CheckoutServiceImpl {
             });
         }
 
-        // Shipping, quoted in USD then converted.
-        let quote_usd =
-            self.shipping
-                .get_quote(ctx, request.address.clone(), cart_items.clone())?;
+        // The shipping quote overlapped all of the pricing above; convert
+        // it now that it has landed.
+        let quote_usd = quote_fut.wait()?;
         let shipping_cost = self
             .currency
             .convert(ctx, quote_usd, request.user_currency.clone())?;

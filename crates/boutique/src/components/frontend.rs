@@ -88,6 +88,22 @@ impl FrontendImpl {
         }
         self.currency.convert(ctx, price, currency.to_string())
     }
+
+    /// Non-blocking twin of [`FrontendImpl::convert_price`]: same-currency
+    /// prices resolve without a call; everything else goes on the wire
+    /// immediately and is gathered by the caller.
+    fn convert_price_start(
+        &self,
+        ctx: &CallContext,
+        price: Money,
+        currency: &str,
+    ) -> weaver_core::fanout::CallFuture<Money> {
+        if price.currency_code == currency {
+            return weaver_core::fanout::CallFuture::ready(Ok(price));
+        }
+        self.currency
+            .convert_start(ctx, price, currency.to_string())
+    }
 }
 
 impl Frontend for FrontendImpl {
@@ -97,13 +113,24 @@ impl Frontend for FrontendImpl {
         user_id: String,
         currency: String,
     ) -> Result<HomeView, WeaverError> {
+        // Catalog, cart, and ad are independent: scatter all three, then
+        // fan the per-product conversions out while the others land.
+        let cart_fut = self.cart.get_cart_start(ctx, user_id);
+        let ads_fut = self.ads.get_ads_start(ctx, vec![]);
         let mut products = self.catalog.list_products(ctx)?;
-        for product in &mut products {
-            product.price =
-                self.convert_price(ctx, std::mem::take(&mut product.price), &currency)?;
+        let prices = weaver_core::fanout::join_all(
+            products
+                .iter_mut()
+                .map(|product| {
+                    self.convert_price_start(ctx, std::mem::take(&mut product.price), &currency)
+                })
+                .collect(),
+        )?;
+        for (product, price) in products.iter_mut().zip(prices) {
+            product.price = price;
         }
-        let cart = self.cart.get_cart(ctx, user_id)?;
-        let ad = self.ads.get_ads(ctx, vec![])?.into_iter().next();
+        let cart = cart_fut.wait()?;
+        let ad = ads_fut.wait()?.into_iter().next();
         Ok(HomeView {
             products,
             ad,
@@ -119,16 +146,19 @@ impl Frontend for FrontendImpl {
         product_id: String,
         currency: String,
     ) -> Result<ProductView, WeaverError> {
-        let mut product = self.catalog.get_product(ctx, product_id.clone())?;
-        product.price = self.convert_price(ctx, std::mem::take(&mut product.price), &currency)?;
-        let recommendations =
+        // Recommendations only need the product id, so they overlap the
+        // catalog lookup; the price conversion and the contextual ad both
+        // need the product, so they launch together as a second wave.
+        let recommendations_fut =
             self.recommendations
-                .list_recommendations(ctx, user_id, vec![product_id])?;
-        let ad = self
-            .ads
-            .get_ads(ctx, product.categories.clone())?
-            .into_iter()
-            .next();
+                .list_recommendations_start(ctx, user_id, vec![product_id.clone()]);
+        let mut product = self.catalog.get_product(ctx, product_id)?;
+        let price_fut =
+            self.convert_price_start(ctx, std::mem::take(&mut product.price), &currency);
+        let ads_fut = self.ads.get_ads_start(ctx, product.categories.clone());
+        product.price = price_fut.wait()?;
+        let ad = ads_fut.wait()?.into_iter().next();
+        let recommendations = recommendations_fut.wait()?;
         Ok(ProductView {
             product,
             recommendations,

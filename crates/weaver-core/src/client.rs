@@ -7,6 +7,7 @@ use weaver_codec::prelude::*;
 use crate::component::MethodSpec;
 use crate::context::CallContext;
 use crate::error::WeaverError;
+use crate::fanout::{ReadyRoute, RouteFuture};
 
 /// Static facts about a call target, baked in by the code generator.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +36,26 @@ pub trait CallRouter: Send + Sync {
         routing: Option<u64>,
         args: Vec<u8>,
     ) -> Result<Vec<u8>, WeaverError>;
+
+    /// Starts one call without waiting for the reply.
+    ///
+    /// The default resolves eagerly through [`CallRouter::route_call`] —
+    /// correct (if unoverlapped) for any router. Deployers with a real wire
+    /// underneath override this to put the request in flight and return a
+    /// future that resolves when the reply frame lands, so callers can
+    /// scatter many calls before gathering any replies.
+    fn route_begin(
+        &self,
+        target: &TargetInfo,
+        ctx: &CallContext,
+        method: u32,
+        routing: Option<u64>,
+        args: Vec<u8>,
+    ) -> Box<dyn RouteFuture> {
+        Box::new(ReadyRoute::new(
+            self.route_call(target, ctx, method, routing, args),
+        ))
+    }
 }
 
 /// What a generated client stub holds: the target identity plus the
@@ -69,6 +90,23 @@ impl ClientHandle {
         }
         self.router
             .route_call(&self.target, ctx, method, routing, args)
+    }
+
+    /// Starts one call without waiting; used by generated `<method>_start`
+    /// stubs. The expired-deadline check happens here, at begin time, so a
+    /// dead context never puts bytes on the wire.
+    pub fn call_start(
+        &self,
+        ctx: &CallContext,
+        method: u32,
+        routing: Option<u64>,
+        args: Vec<u8>,
+    ) -> Box<dyn RouteFuture> {
+        if ctx.expired() {
+            return Box::new(ReadyRoute::new(Err(WeaverError::DeadlineExceeded)));
+        }
+        self.router
+            .route_begin(&self.target, ctx, method, routing, args)
     }
 }
 
@@ -160,6 +198,45 @@ mod tests {
             .unwrap();
         assert_eq!(decode_reply::<u32>(&reply).unwrap(), 7);
         assert_eq!(*router.calls.lock(), vec![(3, 0, Some(99))]);
+    }
+
+    #[test]
+    fn call_start_defaults_to_eager_route_call() {
+        let router = Arc::new(RecordingRouter {
+            calls: Mutex::new(Vec::new()),
+        });
+        let handle = ClientHandle::new(
+            TargetInfo {
+                component_id: 5,
+                name: "t",
+                methods: &[],
+            },
+            Arc::clone(&router) as Arc<dyn CallRouter>,
+        );
+        let fut = handle.call_start(&CallContext::test(), 2, None, vec![]);
+        // Default route_begin resolves at begin time; the reply is waiting.
+        assert_eq!(decode_reply::<u32>(&fut.wait().unwrap()).unwrap(), 7);
+        assert_eq!(*router.calls.lock(), vec![(5, 2, None)]);
+    }
+
+    #[test]
+    fn call_start_with_expired_deadline_never_routes() {
+        let router = Arc::new(RecordingRouter {
+            calls: Mutex::new(Vec::new()),
+        });
+        let handle = ClientHandle::new(
+            TargetInfo {
+                component_id: 0,
+                name: "t",
+                methods: &[],
+            },
+            Arc::clone(&router) as Arc<dyn CallRouter>,
+        );
+        let ctx = CallContext::test().with_timeout(std::time::Duration::ZERO);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let fut = handle.call_start(&ctx, 0, None, vec![]);
+        assert_eq!(fut.wait().unwrap_err(), WeaverError::DeadlineExceeded);
+        assert!(router.calls.lock().is_empty());
     }
 
     #[test]

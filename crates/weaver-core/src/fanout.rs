@@ -1,0 +1,229 @@
+//! Scatter-gather over component calls: typed call futures and `join_all`.
+//!
+//! Generated stubs expose a `<method>_start` variant for every component
+//! method (see `weaver-macros`), returning a [`CallFuture`] instead of
+//! blocking. On a multiplexed transport the started calls share one
+//! connection — and, via the coalescing writer, often one syscall — so a
+//! fan-out of N independent calls costs roughly max-of-RTTs instead of
+//! sum-of-RTTs (the paper's C1 overhead tax, §5).
+//!
+//! The trait itself carries a default `<method>_start` that simply runs the
+//! blocking method eagerly, which is exactly right for co-located
+//! placements: there is no wire to overlap on, and a plain method call is
+//! the whole point (§3.1). Placement transparency is preserved — callers
+//! written against the begin/wait API behave identically everywhere.
+
+use std::time::Duration;
+
+use crate::error::WeaverError;
+
+/// The deployer-side half of a started call: resolves to reply bytes.
+///
+/// Implemented by routers that can overlap calls (the TCP router), and by
+/// [`ReadyRoute`] for paths that resolve eagerly (single-process, expired
+/// deadlines, begin-time failures).
+pub trait RouteFuture: Send {
+    /// Waits for the reply bytes.
+    fn wait(self: Box<Self>) -> Result<Vec<u8>, WeaverError>;
+
+    /// Waits up to `timeout` without abandoning the call: `None` means
+    /// still in flight (the caller may hedge and come back), `Some` is the
+    /// final outcome. After `Some`, further calls return `Cancelled`.
+    fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<Vec<u8>, WeaverError>>;
+}
+
+/// A [`RouteFuture`] that already has its outcome.
+pub struct ReadyRoute(Option<Result<Vec<u8>, WeaverError>>);
+
+impl ReadyRoute {
+    /// Wraps an eagerly-computed outcome.
+    pub fn new(outcome: Result<Vec<u8>, WeaverError>) -> Self {
+        ReadyRoute(Some(outcome))
+    }
+}
+
+impl RouteFuture for ReadyRoute {
+    fn wait(mut self: Box<Self>) -> Result<Vec<u8>, WeaverError> {
+        self.0.take().unwrap_or(Err(WeaverError::Cancelled))
+    }
+
+    fn wait_timeout(&mut self, _timeout: Duration) -> Option<Result<Vec<u8>, WeaverError>> {
+        Some(self.0.take().unwrap_or(Err(WeaverError::Cancelled)))
+    }
+}
+
+enum State<T> {
+    Ready(Result<T, WeaverError>),
+    Pending {
+        route: Box<dyn RouteFuture>,
+        decode: fn(&[u8]) -> Result<T, WeaverError>,
+    },
+    Taken,
+}
+
+/// A typed in-flight component call, returned by generated
+/// `<method>_start` stubs.
+///
+/// Dropping an unresolved future cancels the underlying call (the
+/// transport removes its pending-map entry and sends a best-effort cancel);
+/// siblings started on the same connection are unaffected.
+#[must_use = "an unawaited call future cancels the call when dropped"]
+pub struct CallFuture<T> {
+    state: State<T>,
+}
+
+impl<T> CallFuture<T> {
+    /// A future that already has its result (co-located calls, eager
+    /// failures).
+    pub fn ready(result: Result<T, WeaverError>) -> Self {
+        CallFuture {
+            state: State::Ready(result),
+        }
+    }
+
+    /// A future over reply bytes still in flight, decoded on resolution.
+    pub fn from_route(
+        route: Box<dyn RouteFuture>,
+        decode: fn(&[u8]) -> Result<T, WeaverError>,
+    ) -> Self {
+        CallFuture {
+            state: State::Pending { route, decode },
+        }
+    }
+
+    /// Waits for the call's result.
+    pub fn wait(mut self) -> Result<T, WeaverError> {
+        match std::mem::replace(&mut self.state, State::Taken) {
+            State::Ready(result) => result,
+            State::Pending { route, decode } => route.wait().and_then(|bytes| decode(&bytes)),
+            State::Taken => Err(WeaverError::Cancelled),
+        }
+    }
+
+    /// Waits up to `timeout` without abandoning the call: `None` means the
+    /// call is still in flight — the caller may hedge (start another
+    /// attempt elsewhere) and wait again later. `Some` is the final
+    /// outcome; after it, the future is spent.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<T, WeaverError>> {
+        match &mut self.state {
+            State::Ready(_) => match std::mem::replace(&mut self.state, State::Taken) {
+                State::Ready(result) => Some(result),
+                _ => unreachable!("state checked above"),
+            },
+            State::Pending { route, decode } => {
+                let decode = *decode;
+                let outcome = route.wait_timeout(timeout)?;
+                self.state = State::Taken;
+                Some(outcome.and_then(|bytes| decode(&bytes)))
+            }
+            State::Taken => Some(Err(WeaverError::Cancelled)),
+        }
+    }
+}
+
+/// Waits for *every* future, then returns the collected values — or the
+/// first error encountered, in argument order.
+///
+/// The crucial property for fault semantics: an early failure does **not**
+/// abandon in-flight siblings. Every call runs to completion (success,
+/// error, or fail-fast on a severed connection), so no request is silently
+/// cancelled server-side and no pending-map entry outlives the join.
+pub fn join_all<T>(futures: Vec<CallFuture<T>>) -> Result<Vec<T>, WeaverError> {
+    let mut values = Vec::with_capacity(futures.len());
+    let mut first_err: Option<WeaverError> = None;
+    for future in futures {
+        match future.wait() {
+            Ok(v) => values.push(v),
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(values),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn ready_future_resolves() {
+        let f = CallFuture::ready(Ok(7u32));
+        assert_eq!(f.wait().unwrap(), 7);
+        let mut f = CallFuture::ready(Ok(8u32));
+        assert_eq!(f.wait_timeout(Duration::ZERO), Some(Ok(8)));
+        assert_eq!(
+            f.wait_timeout(Duration::ZERO),
+            Some(Err(WeaverError::Cancelled))
+        );
+    }
+
+    #[test]
+    fn route_future_decodes_on_resolution() {
+        let bytes = crate::client::encode_reply::<u32>(&Ok(41));
+        let f = CallFuture::from_route(
+            Box::new(ReadyRoute::new(Ok(bytes))),
+            crate::client::decode_reply::<u32>,
+        );
+        assert_eq!(f.wait().unwrap(), 41);
+    }
+
+    #[test]
+    fn join_all_collects_in_order() {
+        let futures = (0..5u32).map(|i| CallFuture::ready(Ok(i))).collect();
+        assert_eq!(join_all(futures).unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn join_all_surfaces_first_error_without_abandoning_siblings() {
+        /// A route that counts resolutions, so the test can prove the
+        /// sibling after the failure was still waited.
+        struct Counting(Arc<AtomicUsize>, Result<Vec<u8>, WeaverError>);
+        impl RouteFuture for Counting {
+            fn wait(self: Box<Self>) -> Result<Vec<u8>, WeaverError> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                self.1
+            }
+            fn wait_timeout(&mut self, _t: Duration) -> Option<Result<Vec<u8>, WeaverError>> {
+                unimplemented!("join_all uses wait")
+            }
+        }
+
+        let waited = Arc::new(AtomicUsize::new(0));
+        let ok = crate::client::encode_reply::<u32>(&Ok(1));
+        let futures: Vec<CallFuture<u32>> = vec![
+            CallFuture::from_route(
+                Box::new(Counting(Arc::clone(&waited), Ok(ok.clone()))),
+                crate::client::decode_reply::<u32>,
+            ),
+            CallFuture::from_route(
+                Box::new(Counting(
+                    Arc::clone(&waited),
+                    Err(WeaverError::app("boom-1")),
+                )),
+                crate::client::decode_reply::<u32>,
+            ),
+            CallFuture::from_route(
+                Box::new(Counting(
+                    Arc::clone(&waited),
+                    Err(WeaverError::app("boom-2")),
+                )),
+                crate::client::decode_reply::<u32>,
+            ),
+            CallFuture::from_route(
+                Box::new(Counting(Arc::clone(&waited), Ok(ok))),
+                crate::client::decode_reply::<u32>,
+            ),
+        ];
+        let err = join_all(futures).unwrap_err();
+        assert_eq!(err, WeaverError::app("boom-1"), "first error wins");
+        assert_eq!(waited.load(Ordering::SeqCst), 4, "every sibling waited");
+    }
+}

@@ -44,13 +44,25 @@ pub fn resolve_calls(model: &Model) -> Vec<ResolvedCall> {
         let Some(callee) = model.trait_named(callee_trait) else {
             continue;
         };
-        if !callee.methods.iter().any(|m| m.name == call.method) {
+        // The macro generates a non-blocking `<method>_start` twin for
+        // every declared method; call sites through either spelling are
+        // the same logical edge, so record the base method name.
+        let declared = |name: &str| callee.methods.iter().any(|m| m.name == name);
+        let method = if declared(&call.method) {
+            call.method.clone()
+        } else if let Some(base) = call
+            .method
+            .strip_suffix("_start")
+            .filter(|base| declared(base))
+        {
+            base.to_string()
+        } else {
             continue;
-        }
+        };
         out.push(ResolvedCall {
             caller: caller.component_name.clone(),
             callee: callee.component_name.clone(),
-            method: call.method.clone(),
+            method,
             site,
         });
     }

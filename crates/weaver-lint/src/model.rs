@@ -91,6 +91,27 @@ pub struct CallSite {
     pub in_fn: String,
 }
 
+/// A future-gather site inside an impl block: a zero-argument `.wait()`,
+/// a `.wait_timeout(…)`, or a `join_all(…)` call. The launch half of a
+/// concurrent call is an ordinary [`CallSite`] (the `<method>_start`
+/// stub); the gather half is where the caller actually blocks, so L4
+/// must check guard liveness here too.
+#[derive(Debug, Clone)]
+pub struct WaitSite {
+    /// The impl block's self type (e.g. `CheckoutServiceImpl`).
+    pub struct_name: String,
+    /// Rendered form of the gather expression (e.g. `quote_fut.wait()`).
+    pub expr: String,
+    /// File containing the wait.
+    pub file: PathBuf,
+    /// 1-based line of the wait.
+    pub line: u32,
+    /// Lock guards (binding name, binding line) still live at the wait.
+    pub live_guards: Vec<(String, u32)>,
+    /// Name of the enclosing function.
+    pub in_fn: String,
+}
+
 /// An `impl Component for X { type Interface = dyn T; }` registration
 /// linking an implementation struct to its component trait.
 #[derive(Debug, Clone)]
@@ -114,6 +135,8 @@ pub struct Model {
     pub links: Vec<InterfaceLink>,
     /// All `self.<field>.<method>(` call sites.
     pub calls: Vec<CallSite>,
+    /// All future-gather sites (`.wait()` / `.wait_timeout(` / `join_all(`).
+    pub waits: Vec<WaitSite>,
     /// Files scanned (for reporting).
     pub files_scanned: usize,
 }

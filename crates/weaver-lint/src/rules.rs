@@ -340,7 +340,11 @@ fn l3_routing_keys(model: &Model, diags: &mut Vec<Diagnostic>) {
 }
 
 /// L4: a resolved component call made while a `lock()`/`read()`/`write()`
-/// guard from an enclosing scope is still live.
+/// guard from an enclosing scope is still live — or a future *gather*
+/// (`CallFuture::wait` / `wait_timeout` / `join_all`) under the same
+/// condition. A `<method>_start` launch returns immediately, so the
+/// blocking moved to the gather site; holding a guard there is the same
+/// cross-network critical section the blocking form would create.
 fn l4_guard_across_call(model: &Model, diags: &mut Vec<Diagnostic>) {
     for r in resolve_calls(model) {
         let call = &model.calls[r.site];
@@ -360,6 +364,31 @@ fn l4_guard_across_call(model: &Model, diags: &mut Vec<Diagnostic>) {
                      when `{}` is placed in another process this call is an RPC, and the \
                      guard becomes a cross-network critical section",
                     r.callee
+                ),
+            });
+        }
+    }
+    for w in &model.waits {
+        // Only component implementations: `Child::wait()` in a deployer
+        // or a bare `Receiver` poll elsewhere is not a component gather.
+        let Some(caller) = model.trait_for_struct(&w.struct_name) else {
+            continue;
+        };
+        for (guard, guard_line) in &w.live_guards {
+            diags.push(Diagnostic {
+                rule: "L4",
+                severity: Severity::Error,
+                file: w.file.clone(),
+                line: w.line,
+                message: format!(
+                    "future gather `{}` in `{}::{}` blocks while lock guard `{guard}` \
+                     (acquired at line {guard_line}) is still held",
+                    w.expr, caller.component_name, w.in_fn
+                ),
+                help: format!(
+                    "drop `{guard}` before gathering (`drop({guard})` or a narrower \
+                     block): the in-flight calls resolve over the network once the \
+                     callees are placed remotely, and the guard spans that whole wait"
                 ),
             });
         }
@@ -414,6 +443,76 @@ mod tests {
         );
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, "L1");
+    }
+
+    const GATHER_COMPONENT: &str = r#"
+        #[component(name = "app.A")]
+        trait A { fn go(&self, ctx: &CallContext) -> Result<u64, WeaverError>; }
+        #[component(name = "app.B")]
+        trait B { fn serve(&self, ctx: &CallContext) -> Result<u64, WeaverError>; }
+        struct AImpl { b: Arc<dyn B>, state: Mutex<u64> }
+        impl Component for AImpl { type Interface = dyn A; }
+        impl A for AImpl {
+            fn go(&self, ctx: &CallContext) -> Result<u64, WeaverError> {
+                let fut = self.b.serve_start(ctx);
+                let g = self.state.lock();
+                let n = fut.wait()?;
+                drop(g);
+                Ok(n)
+            }
+        }
+    "#;
+
+    #[test]
+    fn l4_fires_on_guard_across_gather() {
+        let diags = lint(GATHER_COMPONENT);
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert_eq!(diags[0].rule, "L4");
+        assert!(
+            diags[0].message.contains("fut.wait"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn l4_ignores_gathers_outside_component_impls() {
+        // Same wait-under-guard shape, but the struct registers no
+        // component interface (a deployer reaping a child process, say).
+        let diags = lint(
+            r#"
+            struct Envelope { state: Mutex<u64> }
+            impl Envelope {
+                fn reap(&self, child: Child) -> u64 {
+                    let g = self.state.lock();
+                    let status = child.wait();
+                    drop(g);
+                    status
+                }
+            }
+        "#,
+        );
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn l4_ignores_condvar_wait_with_arguments() {
+        let diags = lint(
+            r#"
+            #[component(name = "app.A")]
+            trait A { fn go(&self, ctx: &CallContext) -> Result<u64, WeaverError>; }
+            struct AImpl { cv: Condvar, state: Mutex<u64> }
+            impl Component for AImpl { type Interface = dyn A; }
+            impl A for AImpl {
+                fn go(&self, ctx: &CallContext) -> Result<u64, WeaverError> {
+                    let mut g = self.state.lock();
+                    self.cv.wait(&mut g);
+                    Ok(0)
+                }
+            }
+        "#,
+        );
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
     }
 
     #[test]

@@ -16,7 +16,9 @@ use std::path::{Path, PathBuf};
 
 use weaver_syntax::{lex, parse_fn_sig, render_tokens, Cursor, Tok, TokKind};
 
-use crate::model::{CallSite, ComponentMethod, ComponentTrait, InterfaceLink, Model, TypeDef};
+use crate::model::{
+    CallSite, ComponentMethod, ComponentTrait, InterfaceLink, Model, TypeDef, WaitSite,
+};
 
 /// Directory names never descended into: build output, vendored shims,
 /// VCS metadata, and test trees (lint fixtures contain *intentional*
@@ -633,8 +635,86 @@ fn analyze_fn_body(model: &mut Model, file: &Path, self_ty: &str, fn_name: &str,
             i += 5; // leave `(` for normal traversal
             continue;
         }
+        // Future-gather sites. A zero-argument `.wait()` or any
+        // `.wait_timeout(` is a `CallFuture` gather (the argument
+        // requirement excludes `Condvar::wait(&mut g)`); `join_all(`
+        // gathers a whole scatter (the `fn` check excludes the
+        // definition itself). L4 checks guard liveness at these just
+        // like at launch sites: the block happens *here*.
+        if t.is_punct(".")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.is_ident("wait") || t.is_ident("wait_timeout"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct("("))
+        {
+            let method = &toks[i + 1].text;
+            let zero_arg = toks.get(i + 3).is_some_and(|t| t.is_punct(")"));
+            if method == "wait_timeout" || zero_arg {
+                let receiver = if i > 0 && toks[i - 1].kind == TokKind::Ident {
+                    toks[i - 1].text.clone()
+                } else {
+                    "<expr>".to_string()
+                };
+                record_wait(
+                    model,
+                    file,
+                    self_ty,
+                    fn_name,
+                    &guards,
+                    i,
+                    format!("{receiver}.{method}(…)"),
+                    toks[i + 1].line,
+                );
+            }
+            i += 3;
+            continue;
+        }
+        if t.is_ident("join_all")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && !(i > 0 && toks[i - 1].is_ident("fn"))
+        {
+            record_wait(
+                model,
+                file,
+                self_ty,
+                fn_name,
+                &guards,
+                i,
+                "join_all(…)".to_string(),
+                t.line,
+            );
+            i += 2;
+            continue;
+        }
         i += 1;
     }
+}
+
+/// Records one future-gather site with the guards live at it.
+#[allow(clippy::too_many_arguments)]
+fn record_wait(
+    model: &mut Model,
+    file: &Path,
+    self_ty: &str,
+    fn_name: &str,
+    guards: &[Guard],
+    at: usize,
+    expr: String,
+    line: u32,
+) {
+    let live_guards = guards
+        .iter()
+        .filter(|g| g.active_from <= at)
+        .map(|g| (g.name.clone(), g.line))
+        .collect();
+    model.waits.push(WaitSite {
+        struct_name: self_ty.to_string(),
+        expr,
+        file: file.to_path_buf(),
+        line,
+        live_guards,
+        in_fn: fn_name.to_string(),
+    });
 }
 
 /// If the `let` statement starting at `toks[at]` binds a plain

@@ -1,0 +1,48 @@
+//! L4 fixture: a lock guard held across a future *gather*. The scatter
+//! half (`price_start`) runs before the guard exists, so only the
+//! `join_all(…)` and `.wait()` sites are findings.
+
+use std::sync::{Arc, Mutex};
+
+#[component(name = "fixture.Pricer")]
+pub trait Pricer {
+    fn price(&self, ctx: &CallContext, sku: String) -> Result<u64, WeaverError>;
+}
+
+#[component(name = "fixture.Quoter")]
+pub trait Quoter {
+    fn total(&self, ctx: &CallContext, skus: Vec<String>) -> Result<u64, WeaverError>;
+}
+
+pub struct QuoterImpl {
+    pricer: Arc<dyn Pricer>,
+    cache: Mutex<Vec<u64>>,
+}
+
+impl Component for QuoterImpl {
+    type Interface = dyn Quoter;
+}
+
+impl Quoter for QuoterImpl {
+    fn total(&self, ctx: &CallContext, skus: Vec<String>) -> Result<u64, WeaverError> {
+        // The scatter happens before the guard is taken: not a finding.
+        let futures: Vec<_> = skus
+            .iter()
+            .map(|sku| self.pricer.price_start(ctx, sku.clone()))
+            .collect();
+        let anchor_fut = self.pricer.price_start(ctx, "anchor".to_string());
+        let mut cache = self.cache.lock().unwrap();
+        // BUG: both gathers block while `cache` is still held.
+        let prices = weaver_core::fanout::join_all(futures)?;
+        let anchor = anchor_fut.wait()?;
+        cache.extend(prices);
+        cache.push(anchor);
+        Ok(cache.iter().sum())
+    }
+}
+
+pub struct PricerImpl;
+
+impl Component for PricerImpl {
+    type Interface = dyn Pricer;
+}

@@ -66,6 +66,11 @@ fn l4_guard_fixture() {
 }
 
 #[test]
+fn l4_wait_fixture() {
+    check_fixture("l4_wait", "L4");
+}
+
+#[test]
 fn l5_drift_fixture() {
     check_fixture("l5_drift", "L5");
 }

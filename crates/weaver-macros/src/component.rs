@@ -174,6 +174,17 @@ pub fn expand(attr_args: TokenStream, input: TokenStream) -> Result<TokenStream,
     }
     trait_text.push_str(&src[pos..]);
 
+    // Splice the `<method>_start` scatter-gather variants into the trait
+    // body, just before its closing brace. Each default runs the blocking
+    // method eagerly — correct for co-located implementations, overridden
+    // by the generated client stub to put the call on the wire without
+    // waiting. They are provided methods, not wire methods: they do not
+    // appear in METHODS or the dispatcher.
+    let close = trait_text
+        .rfind('}')
+        .ok_or_else(|| MacroError::new("#[component]: malformed trait body"))?;
+    trait_text.insert_str(close, &start_defaults(&methods));
+
     let generated = generate(&trait_ident, explicit_name.as_deref(), &methods);
     let output = format!("{trait_text}\n{generated}");
     output
@@ -314,6 +325,40 @@ fn extract_result_ok(ty: &str) -> Option<String> {
     None
 }
 
+/// Emits the provided `<method>_start` trait methods spliced into the
+/// re-emitted trait body: non-blocking variants returning a typed
+/// `CallFuture`, defaulting to eager (local) execution.
+fn start_defaults(methods: &[Method]) -> String {
+    methods
+        .iter()
+        .map(|m| {
+            let arg_pairs: String = m
+                .args
+                .iter()
+                .map(|(name, ty)| format!(", {name}: {ty}"))
+                .collect();
+            let arg_names: String = m.args.iter().map(|(name, _)| format!(", {name}")).collect();
+            format!(
+                "\n    /// Starts `{name}` without waiting for the result.\n\
+                 \x20   ///\n\
+                 \x20   /// Remote placements put the request in flight and return \
+                 immediately;\n\
+                 \x20   /// this default (used for co-located calls) runs the method \
+                 eagerly.\n\
+                 \x20   /// Gather with `CallFuture::wait` or `weaver_core::fanout::join_all`.\n\
+                 \x20   fn {name}_start(
+        &self,
+        ctx: &::weaver_core::context::CallContext{arg_pairs}
+    ) -> ::weaver_core::fanout::CallFuture<{ok}> {{
+        ::weaver_core::fanout::CallFuture::ready(self.{name}(ctx{arg_names}))
+    }}\n",
+                name = m.name,
+                ok = m.ok_type,
+            )
+        })
+        .collect()
+}
+
 /// Emits the client struct, its trait impl, and the `ComponentInterface`
 /// impl, mirroring the layout documented at the top of this module.
 fn generate(trait_ident: &str, explicit_name: Option<&str>, methods: &[Method]) -> String {
@@ -366,6 +411,19 @@ fn generate(trait_ident: &str, explicit_name: Option<&str>, methods: &[Method]) 
                     {encodes}
                     let reply = self.handle.call(ctx, {idx}u32, {routing}, args)?;
                     ::weaver_core::client::decode_reply::<{ok}>(&reply)
+                }}
+
+                fn {name}_start(
+                    &self,
+                    ctx: &::weaver_core::context::CallContext{arg_pairs}
+                ) -> ::weaver_core::fanout::CallFuture<{ok}> {{
+                    let mut args = ::std::vec::Vec::new();
+                    {encodes}
+                    let route = self.handle.call_start(ctx, {idx}u32, {routing}, args);
+                    ::weaver_core::fanout::CallFuture::from_route(
+                        route,
+                        ::weaver_core::client::decode_reply::<{ok}>,
+                    )
                 }}\n",
                 name = m.name,
                 ok = m.ok_type,

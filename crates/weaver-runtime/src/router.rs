@@ -10,9 +10,10 @@ use parking_lot::RwLock;
 use weaver_core::client::{CallRouter, TargetInfo};
 use weaver_core::context::CallContext;
 use weaver_core::error::WeaverError;
-use weaver_metrics::{CallEdge, CallGraph};
+use weaver_core::fanout::RouteFuture;
+use weaver_metrics::{CallEdge, CallGraph, Histogram, MetricsRegistry};
 use weaver_routing::{Balancer, PowerOfTwo, SliceAssignment};
-use weaver_transport::{Pool, RequestHeader, ResponseBody, Status, WeaverFraming};
+use weaver_transport::{CallFuture, Pool, RequestHeader, ResponseBody, Status, WeaverFraming};
 
 /// Default per-call timeout when the caller set no deadline. Generous: the
 /// point is to bound hangs, not to police slow handlers.
@@ -117,13 +118,73 @@ impl RoutingTable {
     }
 }
 
+/// Per-(component, method) cache of latency-histogram handles.
+///
+/// Naming a histogram costs a `format!` and a write-locked registry
+/// lookup; at marshaled-call speeds (~1µs) that is measurable. The ids
+/// are stable for a deployment's lifetime, so after the first call each
+/// record is a read-locked map hit on integer keys.
+pub(crate) struct LatencyHistograms {
+    registry: Arc<MetricsRegistry>,
+    placement: &'static str,
+    cache: RwLock<HashMap<(u32, u32), Arc<Histogram>>>,
+}
+
+impl LatencyHistograms {
+    /// Wraps `registry`, labeling every histogram with `placement`.
+    pub(crate) fn new(registry: Arc<MetricsRegistry>, placement: &'static str) -> Self {
+        LatencyHistograms {
+            registry,
+            placement,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying registry (for snapshots).
+    pub(crate) fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Records one call's latency under
+    /// `component/method/placement/call_nanos`.
+    pub(crate) fn record(
+        &self,
+        component_id: u32,
+        component: &str,
+        method_id: u32,
+        method: &str,
+        nanos: u64,
+    ) {
+        if let Some(h) = self.cache.read().get(&(component_id, method_id)) {
+            h.record(nanos);
+            return;
+        }
+        let h = self.registry.histogram(&format!(
+            "{component}/{method}/{}/call_nanos",
+            self.placement
+        ));
+        h.record(nanos);
+        self.cache.write().insert((component_id, method_id), h);
+    }
+}
+
 /// The remote call path: resolve → call → record.
+///
+/// Internally `Arc`-shared so in-flight [`RemoteFuture`]s (returned by
+/// [`CallRouter::route_begin`]) can outlive the borrow that started them:
+/// a future pins the routing table, connection pool, and balancer it needs
+/// to finish — and to retry once — no matter when the caller gathers it.
 pub struct RemoteRouter {
+    inner: Arc<RouterInner>,
+}
+
+struct RouterInner {
     table: Arc<RoutingTable>,
     pool: Pool<WeaverFraming>,
     balancer: PowerOfTwo,
     callgraph: Arc<CallGraph>,
     version: u64,
+    latency: LatencyHistograms,
 }
 
 impl RemoteRouter {
@@ -141,18 +202,327 @@ impl RemoteRouter {
         version: u64,
         pool: Pool<WeaverFraming>,
     ) -> Self {
-        RemoteRouter {
+        Self::with_metrics(
             table,
-            pool,
-            balancer: PowerOfTwo::new(64),
             callgraph,
             version,
+            pool,
+            Arc::new(MetricsRegistry::new()),
+            "tcp",
+        )
+    }
+
+    /// Full-control constructor: the deployer supplies the client-side
+    /// metrics registry and its placement label, so per-call latency
+    /// histograms land as `component/method/placement/call_nanos`.
+    pub fn with_metrics(
+        table: Arc<RoutingTable>,
+        callgraph: Arc<CallGraph>,
+        version: u64,
+        pool: Pool<WeaverFraming>,
+        metrics: Arc<MetricsRegistry>,
+        placement: &'static str,
+    ) -> Self {
+        RemoteRouter {
+            inner: Arc::new(RouterInner {
+                table,
+                pool,
+                balancer: PowerOfTwo::new(64),
+                callgraph,
+                version,
+                latency: LatencyHistograms::new(metrics, placement),
+            }),
         }
     }
 
     /// The call graph edges this router has recorded.
     pub fn callgraph(&self) -> &Arc<CallGraph> {
-        &self.callgraph
+        &self.inner.callgraph
+    }
+
+    /// The client-side metrics registry (per-call latency histograms).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.inner.latency.registry()
+    }
+
+    /// Calls in flight right now across the router's connection pool
+    /// (pending-map entries). Zero in steady state; chaos tests assert it
+    /// returns to zero after fault storms.
+    pub fn in_flight(&self) -> usize {
+        self.inner.pool.total_in_flight()
+    }
+}
+
+impl RouterInner {
+    fn header_for(
+        &self,
+        target: &TargetInfo,
+        ctx: &CallContext,
+        method: u32,
+        routing: Option<u64>,
+    ) -> RequestHeader {
+        RequestHeader {
+            component: target.component_id,
+            method,
+            version: self.version,
+            deadline_nanos: ctx
+                .remaining()
+                .map_or(0, |d| d.as_nanos().min(u128::from(u64::MAX)) as u64),
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            routing,
+        }
+    }
+}
+
+/// Decodes a transport-level success into the call's outcome.
+fn body_to_outcome(body: ResponseBody) -> Result<Vec<u8>, WeaverError> {
+    match body.status {
+        // One copy at the ownership boundary: CallRouter returns an owned
+        // Vec (weaver-core is transport-agnostic), so the zero-copy WireBuf
+        // materializes here and the receive buffer recycles immediately.
+        Status::Ok => Ok(body.payload.to_vec()),
+        Status::Error => {
+            let e: WeaverError =
+                weaver_codec::decode_from_slice(&body.payload).unwrap_or_else(|decode_err| {
+                    WeaverError::Codec {
+                        detail: format!("undecodable remote error: {decode_err}"),
+                    }
+                });
+            Err(e)
+        }
+    }
+}
+
+enum RemoteState {
+    /// The request is on the wire; the transport future resolves it.
+    InFlight(CallFuture<WeaverFraming>),
+    /// Resolved at begin time (pick failure, dead pool, unretryable dial
+    /// error). Recorded when the caller gathers, like any other outcome.
+    Ready(Result<Vec<u8>, WeaverError>),
+    Done,
+}
+
+/// One remote call in flight: owns its transport future plus everything
+/// needed to retry once, record the call-graph edge, and time the call at
+/// resolution — so blocking and scatter-gather calls share one accounting
+/// path.
+struct RemoteFuture {
+    inner: Arc<RouterInner>,
+    header: RequestHeader,
+    args: Vec<u8>,
+    component: u32,
+    routing: Option<u64>,
+    caller: &'static str,
+    callee: &'static str,
+    method_name: &'static str,
+    request_bytes: usize,
+    started: Instant,
+    deadline: Instant,
+    state: RemoteState,
+    /// Replica index charged on the balancer, released exactly once.
+    active_replica: Option<usize>,
+    active_addr: Option<SocketAddr>,
+    retried: bool,
+}
+
+impl RemoteFuture {
+    fn start(
+        inner: Arc<RouterInner>,
+        target: &TargetInfo,
+        ctx: &CallContext,
+        method: u32,
+        routing: Option<u64>,
+        args: Vec<u8>,
+    ) -> RemoteFuture {
+        let started = Instant::now();
+        let timeout = ctx.remaining().unwrap_or(DEFAULT_CALL_TIMEOUT);
+        let header = inner.header_for(target, ctx, method, routing);
+        let method_name = target.methods.get(method as usize).map_or("?", |m| m.name);
+        let mut fut = RemoteFuture {
+            inner,
+            header,
+            request_bytes: args.len(),
+            args,
+            component: target.component_id,
+            routing,
+            caller: ctx.caller,
+            callee: target.name,
+            method_name,
+            started,
+            deadline: started + timeout,
+            state: RemoteState::Done,
+            active_replica: None,
+            active_addr: None,
+            retried: false,
+        };
+        fut.launch();
+        fut
+    }
+
+    /// Picks a replica and puts the request in flight. Retryable begin-time
+    /// failures relaunch once through [`RemoteFuture::may_retry`].
+    fn launch(&mut self) {
+        let (addr, replica) =
+            match self
+                .inner
+                .table
+                .pick(self.component, self.routing, &self.inner.balancer)
+            {
+                Ok(x) => x,
+                Err(e) => {
+                    self.state = RemoteState::Ready(Err(e));
+                    return;
+                }
+            };
+        self.inner.balancer.on_start(replica);
+        self.active_replica = Some(replica);
+        self.active_addr = Some(addr);
+        match self.inner.pool.call_begin(addr, &self.header, &self.args) {
+            Ok(fut) => self.state = RemoteState::InFlight(fut),
+            Err(e) => {
+                self.release_balancer();
+                let e = WeaverError::from(e);
+                if self.may_retry(&e) {
+                    self.inner.pool.evict(addr);
+                    self.launch();
+                } else {
+                    self.state = RemoteState::Ready(Err(e));
+                }
+            }
+        }
+    }
+
+    /// Whether `e` warrants the single move-to-another-replica retry.
+    /// Routed calls are not retried elsewhere — affinity means another
+    /// replica is a cache miss at best.
+    fn may_retry(&mut self, e: &WeaverError) -> bool {
+        if e.is_retryable() && self.routing.is_none() && !self.retried {
+            self.retried = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn release_balancer(&mut self) {
+        if let Some(replica) = self.active_replica.take() {
+            self.inner.balancer.on_finish(replica);
+        }
+    }
+
+    fn remaining(&self) -> Duration {
+        self.deadline.saturating_duration_since(Instant::now())
+    }
+
+    /// Turns the transport outcome of the in-flight attempt into the call's
+    /// final outcome, running the blocking retry if warranted, and records
+    /// the edge + latency exactly once.
+    fn conclude(
+        &mut self,
+        outcome: Result<ResponseBody, weaver_transport::TransportError>,
+    ) -> Result<Vec<u8>, WeaverError> {
+        self.release_balancer();
+        let outcome = match outcome.map_err(WeaverError::from) {
+            Ok(body) => body_to_outcome(body),
+            Err(e) if self.may_retry(&e) => {
+                if let Some(addr) = self.active_addr.take() {
+                    self.inner.pool.evict(addr);
+                }
+                self.retry_blocking()
+            }
+            Err(e) => Err(e),
+        };
+        self.record(&outcome);
+        outcome
+    }
+
+    /// The second attempt, synchronous: by the time the caller gathers a
+    /// failed future there is nothing left to overlap with.
+    fn retry_blocking(&mut self) -> Result<Vec<u8>, WeaverError> {
+        let (addr, replica) =
+            self.inner
+                .table
+                .pick(self.component, self.routing, &self.inner.balancer)?;
+        self.inner.balancer.on_start(replica);
+        self.active_replica = Some(replica);
+        let outcome = self
+            .inner
+            .pool
+            .call(addr, &self.header, &self.args, Some(self.remaining()));
+        self.release_balancer();
+        match outcome.map_err(WeaverError::from) {
+            Ok(body) => body_to_outcome(body),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn record(&self, outcome: &Result<Vec<u8>, WeaverError>) {
+        let elapsed = self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let is_error = match outcome {
+            Ok(reply) => weaver_core::client::reply_is_err(reply),
+            Err(_) => true,
+        };
+        self.inner.callgraph.record(
+            CallEdge {
+                caller: self.caller.to_string(),
+                callee: self.callee.to_string(),
+                method: self.method_name.to_string(),
+            },
+            self.request_bytes,
+            outcome.as_ref().map_or(0, Vec::len),
+            elapsed,
+            is_error,
+        );
+        self.inner.latency.record(
+            self.component,
+            self.callee,
+            self.header.method,
+            self.method_name,
+            elapsed,
+        );
+    }
+}
+
+impl RouteFuture for RemoteFuture {
+    fn wait(mut self: Box<Self>) -> Result<Vec<u8>, WeaverError> {
+        match std::mem::replace(&mut self.state, RemoteState::Done) {
+            RemoteState::Ready(outcome) => {
+                self.record(&outcome);
+                outcome
+            }
+            RemoteState::InFlight(fut) => {
+                let timeout = self.remaining();
+                self.conclude(fut.wait(Some(timeout)))
+            }
+            RemoteState::Done => Err(WeaverError::Cancelled),
+        }
+    }
+
+    fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<Vec<u8>, WeaverError>> {
+        match &mut self.state {
+            RemoteState::Ready(_) => match std::mem::replace(&mut self.state, RemoteState::Done) {
+                RemoteState::Ready(outcome) => {
+                    self.record(&outcome);
+                    Some(outcome)
+                }
+                _ => unreachable!("state checked above"),
+            },
+            RemoteState::InFlight(fut) => {
+                let outcome = fut.wait_timeout(timeout)?;
+                self.state = RemoteState::Done;
+                Some(self.conclude(outcome))
+            }
+            RemoteState::Done => Some(Err(WeaverError::Cancelled)),
+        }
+    }
+}
+
+impl Drop for RemoteFuture {
+    fn drop(&mut self) {
+        // An abandoned future still releases its balancer charge; the
+        // transport future's own Drop cancels the wire call.
+        self.release_balancer();
     }
 }
 
@@ -165,96 +535,35 @@ impl CallRouter for RemoteRouter {
         routing: Option<u64>,
         args: Vec<u8>,
     ) -> Result<Vec<u8>, WeaverError> {
-        let started = Instant::now();
-        let request_bytes = args.len();
-        let timeout = ctx.remaining().unwrap_or(DEFAULT_CALL_TIMEOUT);
-        let header = RequestHeader {
-            component: target.component_id,
+        // The blocking path is begin + immediate gather: one code path for
+        // retries, call-graph edges, and latency histograms.
+        Box::new(RemoteFuture::start(
+            Arc::clone(&self.inner),
+            target,
+            ctx,
             method,
-            version: self.version,
-            deadline_nanos: ctx
-                .remaining()
-                .map_or(0, |d| d.as_nanos().min(u128::from(u64::MAX)) as u64),
-            trace_id: ctx.trace_id,
-            span_id: ctx.span_id,
             routing,
-        };
+            args,
+        ))
+        .wait()
+    }
 
-        // Up to two attempts on *retryable* failures, moving to another
-        // replica. Routed calls are not retried elsewhere — affinity means
-        // another replica is a cache miss at best.
-        let attempts = if routing.is_some() { 1 } else { 2 };
-        let mut last_err: Option<WeaverError> = None;
-        let mut result: Option<Result<ResponseBody, WeaverError>> = None;
-        for _ in 0..attempts {
-            let (addr, replica) =
-                match self
-                    .table
-                    .pick(target.component_id, routing, &self.balancer)
-                {
-                    Ok(x) => x,
-                    Err(e) => {
-                        last_err = Some(e);
-                        break;
-                    }
-                };
-            self.balancer.on_start(replica);
-            let outcome = self
-                .pool
-                .call(addr, &header, &args, Some(timeout))
-                .map_err(WeaverError::from);
-            self.balancer.on_finish(replica);
-            match outcome {
-                Err(e) if e.is_retryable() => {
-                    self.pool.evict(addr);
-                    last_err = Some(e);
-                    continue;
-                }
-                other => {
-                    result = Some(other);
-                    break;
-                }
-            }
-        }
-
-        let outcome: Result<Vec<u8>, WeaverError> = match result {
-            Some(Ok(body)) => match body.status {
-                // One copy at the ownership boundary: CallRouter returns an
-                // owned Vec (weaver-core is transport-agnostic), so the
-                // zero-copy WireBuf materializes here and the receive buffer
-                // recycles immediately.
-                Status::Ok => Ok(body.payload.to_vec()),
-                Status::Error => {
-                    let e: WeaverError = weaver_codec::decode_from_slice(&body.payload)
-                        .unwrap_or_else(|decode_err| WeaverError::Codec {
-                            detail: format!("undecodable remote error: {decode_err}"),
-                        });
-                    Err(e)
-                }
-            },
-            Some(Err(e)) => Err(e),
-            None => Err(last_err.unwrap_or_else(|| WeaverError::Unavailable {
-                detail: "no attempt possible".into(),
-            })),
-        };
-
-        let method_name = target.methods.get(method as usize).map_or("?", |m| m.name);
-        let is_error = match &outcome {
-            Ok(reply) => weaver_core::client::reply_is_err(reply),
-            Err(_) => true,
-        };
-        self.callgraph.record(
-            CallEdge {
-                caller: ctx.caller.to_string(),
-                callee: target.name.to_string(),
-                method: method_name.to_string(),
-            },
-            request_bytes,
-            outcome.as_ref().map_or(0, Vec::len),
-            started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
-            is_error,
-        );
-        outcome
+    fn route_begin(
+        &self,
+        target: &TargetInfo,
+        ctx: &CallContext,
+        method: u32,
+        routing: Option<u64>,
+        args: Vec<u8>,
+    ) -> Box<dyn RouteFuture> {
+        Box::new(RemoteFuture::start(
+            Arc::clone(&self.inner),
+            target,
+            ctx,
+            method,
+            routing,
+            args,
+        ))
     }
 }
 

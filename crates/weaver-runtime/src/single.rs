@@ -70,6 +70,7 @@ pub struct SingleProcess {
     version: u64,
     callgraph: Arc<CallGraph>,
     metrics: Arc<MetricsRegistry>,
+    latency: crate::router::LatencyHistograms,
     traces: Arc<TraceSink>,
     faults: RwLock<HashMap<String, ComponentFault>>,
     self_ref: RwLock<std::sync::Weak<SingleProcess>>,
@@ -78,12 +79,18 @@ pub struct SingleProcess {
 impl SingleProcess {
     /// Deploys `registry` in this process.
     pub fn deploy(registry: Arc<ComponentRegistry>, mode: SingleMode, version: u64) -> Arc<Self> {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let placement = match mode {
+            SingleMode::Colocated => "colocated",
+            SingleMode::Marshaled => "marshaled",
+        };
         let deployment = Arc::new(SingleProcess {
             live: Arc::new(LiveComponents::new(registry)),
             mode,
             version,
             callgraph: Arc::new(CallGraph::new()),
-            metrics: Arc::new(MetricsRegistry::new()),
+            metrics: Arc::clone(&metrics),
+            latency: crate::router::LatencyHistograms::new(metrics, placement),
             traces: TraceSink::new(),
             faults: RwLock::new(HashMap::new()),
             self_ref: RwLock::new(std::sync::Weak::new()),
@@ -281,6 +288,7 @@ impl CallRouter for SingleProcess {
                 started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
             );
         }
+        let elapsed = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         self.callgraph.record(
             CallEdge {
                 caller: ctx.caller.to_string(),
@@ -289,8 +297,18 @@ impl CallRouter for SingleProcess {
             },
             request_bytes,
             outcome.as_ref().map_or(0, Vec::len),
-            started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            elapsed,
             is_error,
+        );
+        // Per-call latency, keyed the same way the TCP router keys it —
+        // one histogram name scheme across placements, recorded at call
+        // resolution whether the caller blocked or gathered a future.
+        self.latency.record(
+            target.component_id,
+            target.name,
+            method,
+            method_name,
+            elapsed,
         );
         outcome
     }

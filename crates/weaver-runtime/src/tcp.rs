@@ -216,11 +216,13 @@ impl TcpProcess {
                 }))
             }
         };
-        let router = Arc::new(RemoteRouter::with_pool(
+        let router = Arc::new(RemoteRouter::with_metrics(
             Arc::clone(&table),
             callgraph,
             version,
             pool,
+            Arc::new(MetricsRegistry::new()),
+            "tcp",
         ));
 
         let mut replicas = Vec::with_capacity(options.replicas);
@@ -306,6 +308,19 @@ impl TcpProcess {
     /// Client-side call-graph snapshot (edges recorded by the router).
     pub fn callgraph(&self) -> CallGraphSnapshot {
         self.router.callgraph().snapshot()
+    }
+
+    /// Client-side metrics snapshot: per-call latency histograms keyed
+    /// `component/method/tcp/call_nanos`, recorded at call resolution.
+    pub fn client_metrics(&self) -> weaver_metrics::MetricsSnapshot {
+        self.router.metrics().snapshot()
+    }
+
+    /// Calls in flight right now on the client data plane (pending-map
+    /// entries across pooled connections). Chaos tests assert this drains
+    /// to zero after fault storms — a steady nonzero value is a leak.
+    pub fn client_in_flight(&self) -> usize {
+        self.router.in_flight()
     }
 
     /// Transport-fault actions recorded so far, one log per dialed

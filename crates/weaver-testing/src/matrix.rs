@@ -176,6 +176,17 @@ impl MatrixDeployment {
         }
     }
 
+    /// Calls in flight right now on the client data plane (pending-map
+    /// entries across pooled connections). Always zero for in-process
+    /// placements, which have no wire; for the TCP placements a steady
+    /// nonzero value after the workload drains is a leaked pending entry.
+    pub fn client_in_flight(&self) -> usize {
+        match &self.inner {
+            Inner::Single(_) => 0,
+            Inner::Tcp(d) => d.client_in_flight(),
+        }
+    }
+
     /// The deployment as a chaos target (for [`crate::ChaosRunner`]).
     pub fn fault_injectable(&self) -> Arc<dyn FaultInjectable> {
         match &self.inner {

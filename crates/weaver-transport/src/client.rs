@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use crate::conn::Connection;
+use crate::conn::{CallFuture, Connection};
 use crate::error::TransportError;
 use crate::frame::{Framing, RequestHeader, ResponseBody};
 
@@ -84,9 +84,39 @@ impl<F: Framing> Pool<F> {
         }
     }
 
+    /// Starts a call to `addr` without waiting, retrying once through a
+    /// fresh connection if the cached one is already dead at begin time.
+    ///
+    /// The returned future pins its connection alive until resolved or
+    /// dropped, so an eviction (or replacement) of the pooled entry cannot
+    /// strand an in-flight call.
+    pub fn call_begin(
+        &self,
+        addr: SocketAddr,
+        header: &RequestHeader,
+        args: &[u8],
+    ) -> Result<CallFuture<F>, TransportError> {
+        let conn = self.get(addr)?;
+        match Connection::call_begin(&conn, header, args) {
+            Err(TransportError::ConnectionClosed) => {
+                self.conns.lock().remove(&addr);
+                let conn = self.get(addr)?;
+                Connection::call_begin(&conn, header, args)
+            }
+            other => other,
+        }
+    }
+
     /// Drops the cached connection to `addr` (e.g. on re-placement).
     pub fn evict(&self, addr: SocketAddr) {
         self.conns.lock().remove(&addr);
+    }
+
+    /// Total pending-map entries across every cached connection: calls in
+    /// flight right now. Chaos tests assert this returns to zero after a
+    /// fault storm — a nonzero steady-state value is a leaked entry.
+    pub fn total_in_flight(&self) -> usize {
+        self.conns.lock().values().map(|c| c.in_flight()).sum()
     }
 
     /// Number of currently cached connections.

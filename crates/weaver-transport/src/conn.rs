@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::buf::BufferPool;
@@ -185,16 +185,16 @@ impl<F: Framing> Connection<F> {
         )
     }
 
-    /// Performs one call and waits for its response.
+    /// Enqueues one request and hands back the pending receive half.
     ///
-    /// `timeout` of `None` waits indefinitely (used only by tests; real
-    /// callers always carry a deadline).
-    pub fn call(
+    /// The returned stream id is already registered in the pending map when
+    /// this returns `Ok`; the caller owns cleanup (via [`CallFuture`] or the
+    /// blocking receive in [`Connection::call`]).
+    fn begin(
         &self,
         header: &RequestHeader,
         args: &[u8],
-        timeout: Option<Duration>,
-    ) -> Result<ResponseBody, TransportError> {
+    ) -> Result<(u64, Receiver<Result<ResponseBody, TransportError>>), TransportError> {
         if self.is_dead() {
             return Err(TransportError::ConnectionClosed);
         }
@@ -212,28 +212,75 @@ impl<F: Framing> Connection<F> {
             self.pending.lock().remove(&stream);
             return Err(TransportError::ConnectionClosed);
         }
+        // Close the leak window: the reader drains the pending map *after*
+        // setting `dead`, so an entry inserted above may have raced past the
+        // drain (and the frame may sit in a writer queue that will never
+        // flush). Re-checking `dead` (SeqCst) afterwards makes the race
+        // benign — if this load reads `false`, the drain had not started
+        // when we inserted and will observe our entry; if it reads `true`,
+        // we remove our own entry (a no-op when the drain got there first)
+        // and fail fast instead of leaving a stream pending forever.
+        if self.is_dead() {
+            self.pending.lock().remove(&stream);
+            return Err(TransportError::ConnectionClosed);
+        }
+        Ok((stream, rx))
+    }
 
+    /// Starts one call without waiting: the request is queued to the
+    /// coalescing writer (so a burst of `call_begin`s becomes one syscall)
+    /// and the returned [`CallFuture`] resolves when the reader thread
+    /// completes the matching stream id — or fails fast when the connection
+    /// dies, per the dead-flag semantics.
+    pub fn call_begin(
+        conn: &Arc<Self>,
+        header: &RequestHeader,
+        args: &[u8],
+    ) -> Result<CallFuture<F>, TransportError> {
+        let (stream, rx) = conn.begin(header, args)?;
+        Ok(CallFuture {
+            conn: Arc::clone(conn),
+            stream,
+            rx,
+            done: false,
+        })
+    }
+
+    /// Performs one call and waits for its response.
+    ///
+    /// `timeout` of `None` waits indefinitely (used only by tests; real
+    /// callers always carry a deadline).
+    pub fn call(
+        &self,
+        header: &RequestHeader,
+        args: &[u8],
+        timeout: Option<Duration>,
+    ) -> Result<ResponseBody, TransportError> {
+        let (stream, rx) = self.begin(header, args)?;
         let outcome = match timeout {
             Some(t) => rx.recv_timeout(t).map_err(|_| ()),
             None => rx.recv().map_err(|_| ()),
         };
         match outcome {
             Ok(result) => result,
-            Err(()) => {
-                // Timed out (or the channel vanished with the reader): stop
-                // tracking the stream and tell the server to give up.
-                self.pending.lock().remove(&stream);
-                let mut cancel = self.pool.get(32);
-                F::write_cancel(&mut cancel, stream);
-                let _ = self
-                    .writer_tx
-                    .send(WriteOp::Frame(OutFrame::single(cancel.freeze())));
-                if self.is_dead() {
-                    Err(TransportError::ConnectionClosed)
-                } else {
-                    Err(TransportError::DeadlineExceeded)
-                }
-            }
+            Err(()) => self.abandon(stream),
+        }
+    }
+
+    /// Stops tracking a stream that timed out (or whose channel vanished)
+    /// and tells the server to give up on it. Returns the error the caller
+    /// should surface.
+    fn abandon(&self, stream: u64) -> Result<ResponseBody, TransportError> {
+        self.pending.lock().remove(&stream);
+        let mut cancel = self.pool.get(32);
+        F::write_cancel(&mut cancel, stream);
+        let _ = self
+            .writer_tx
+            .send(WriteOp::Frame(OutFrame::single(cancel.freeze())));
+        if self.is_dead() {
+            Err(TransportError::ConnectionClosed)
+        } else {
+            Err(TransportError::DeadlineExceeded)
         }
     }
 
@@ -252,5 +299,82 @@ impl<F: Framing> Connection<F> {
     /// Number of calls currently awaiting a response.
     pub fn in_flight(&self) -> usize {
         self.pending.lock().len()
+    }
+}
+
+/// An in-flight call started with [`Connection::call_begin`].
+///
+/// The future holds an `Arc` of its connection, so a pooled connection
+/// stays alive (and its reader keeps completing streams) until the last
+/// outstanding future is resolved or dropped — even if the pool has since
+/// evicted it. Dropping an unresolved future removes its pending-map entry
+/// and sends a best-effort cancel, so abandoned calls never leak.
+#[must_use = "an unawaited call future cancels the call when dropped"]
+pub struct CallFuture<F: Framing> {
+    conn: Arc<Connection<F>>,
+    stream: u64,
+    rx: Receiver<Result<ResponseBody, TransportError>>,
+    done: bool,
+}
+
+impl<F: Framing> CallFuture<F> {
+    /// The multiplexing stream id this call occupies on the wire.
+    pub fn stream_id(&self) -> u64 {
+        self.stream
+    }
+
+    /// The connection the call is in flight on.
+    pub fn connection(&self) -> &Arc<Connection<F>> {
+        &self.conn
+    }
+
+    /// Waits for the response. `timeout` of `None` waits indefinitely; on
+    /// timeout the stream is cancelled and [`TransportError::DeadlineExceeded`]
+    /// is returned (or [`TransportError::ConnectionClosed`] if the socket
+    /// died while waiting).
+    pub fn wait(mut self, timeout: Option<Duration>) -> Result<ResponseBody, TransportError> {
+        self.done = true;
+        let outcome = match timeout {
+            Some(t) => self.rx.recv_timeout(t).map_err(|_| ()),
+            None => self.rx.recv().map_err(|_| ()),
+        };
+        match outcome {
+            Ok(result) => result,
+            Err(()) => self.conn.abandon(self.stream),
+        }
+    }
+
+    /// Waits up to `timeout` *without* giving up on the call: `None` means
+    /// the call is still in flight (the caller may hedge — issue a second
+    /// attempt elsewhere — and come back), `Some` is the final outcome.
+    pub fn wait_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Option<Result<ResponseBody, TransportError>> {
+        if self.done {
+            return Some(Err(TransportError::Cancelled));
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => {
+                self.done = true;
+                Some(result)
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                // The sender vanished without a value: the reader died
+                // mid-drain. Clean up our entry and report the death.
+                self.done = true;
+                self.conn.pending.lock().remove(&self.stream);
+                Some(Err(TransportError::ConnectionClosed))
+            }
+        }
+    }
+}
+
+impl<F: Framing> Drop for CallFuture<F> {
+    fn drop(&mut self) {
+        if !self.done {
+            let _ = self.conn.abandon(self.stream);
+        }
     }
 }

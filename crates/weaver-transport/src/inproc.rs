@@ -119,11 +119,51 @@ impl InprocNetwork {
         Ok(endpoint.handler.handle(header, args))
     }
 
+    /// Begin/wait counterpart of [`InprocNetwork::call`], mirroring
+    /// [`crate::Connection::call_begin`]'s shape for the loopback
+    /// transport. Dispatch is synchronous (there is no socket to overlap
+    /// with), so the handler runs *now* — including its injected faults —
+    /// and the returned future is already resolved; callers written
+    /// against the begin/wait API work unchanged in-process.
+    pub fn call_begin(
+        &self,
+        name: &str,
+        header: &RequestHeader,
+        args: &[u8],
+        timeout: Option<Duration>,
+    ) -> InprocFuture {
+        InprocFuture {
+            outcome: Some(self.call(name, header, args, timeout)),
+        }
+    }
+
     /// Names of all registered endpoints, sorted.
     pub fn endpoints(&self) -> Vec<String> {
         let mut names: Vec<String> = self.endpoints.read().keys().cloned().collect();
         names.sort();
         names
+    }
+}
+
+/// An already-resolved call started with [`InprocNetwork::call_begin`].
+#[must_use = "a call future does nothing unless waited"]
+pub struct InprocFuture {
+    outcome: Option<Result<ResponseBody, TransportError>>,
+}
+
+impl InprocFuture {
+    /// Returns the call's outcome.
+    pub fn wait(mut self) -> Result<ResponseBody, TransportError> {
+        self.outcome.take().expect("inproc future waited once")
+    }
+
+    /// Deadline-shaped wait: inproc calls resolve at begin time, so this
+    /// always returns `Some` on first use.
+    pub fn wait_timeout(
+        &mut self,
+        _timeout: Duration,
+    ) -> Option<Result<ResponseBody, TransportError>> {
+        self.outcome.take()
     }
 }
 
@@ -214,6 +254,29 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err, TransportError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn begin_wait_resolves_eagerly() {
+        let net = InprocNetwork::new();
+        net.register("a", echo());
+        let fut = net.call_begin("a", &RequestHeader::default(), &[3, 4], None);
+        assert_eq!(fut.wait().unwrap().payload, vec![3, 4]);
+
+        // Faults injected at begin time surface through wait, like the
+        // socket transport's fail-fast semantics.
+        net.inject_fault(
+            "a",
+            Fault {
+                down: true,
+                ..Default::default()
+            },
+        );
+        let mut fut = net.call_begin("a", &RequestHeader::default(), &[], None);
+        assert_eq!(
+            fut.wait_timeout(Duration::ZERO),
+            Some(Err(TransportError::ConnectionClosed))
+        );
     }
 
     #[test]

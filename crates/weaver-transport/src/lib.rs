@@ -47,7 +47,7 @@ mod writer;
 
 pub use buf::{BufferPool, PoolStats, PooledBuf, WireBuf};
 pub use client::{Dialer, Pool};
-pub use conn::Connection;
+pub use conn::{CallFuture, Connection};
 pub use error::TransportError;
 pub use fault::{DuplexStream, FaultAction, FaultInjector, FaultSpec, FaultStream, Side};
 pub use frame::{

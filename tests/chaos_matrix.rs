@@ -22,6 +22,28 @@ use weaver_transport::FaultSpec;
 const CART: &str = "boutique.CartService";
 const CATALOG: &str = "boutique.ProductCatalog";
 const PAYMENT: &str = "boutique.PaymentService";
+const CURRENCY: &str = "boutique.CurrencyService";
+const SHIPPING: &str = "boutique.Shipping";
+
+/// Real catalog ids: checkout's fan-out looks every line up, so the cart
+/// must hold products the catalog actually knows.
+const PRODUCTS: &[&str] = &[
+    "OLJCESPC7Z",
+    "66VCHSJNUP",
+    "1YMWWN1N4O",
+    "L9ECAV7KIM",
+    "2ZYFJ3GM2N",
+];
+
+fn order_request(user: &str) -> boutique::types::PlaceOrderRequest {
+    boutique::types::PlaceOrderRequest {
+        user_id: user.to_string(),
+        user_currency: "EUR".into(),
+        address: boutique::loadgen::test_address(),
+        email: "chaos@example.com".into(),
+        credit_card: boutique::logic::payment::test_card(),
+    }
+}
 
 /// Cart consistency under chaos, under every placement where faults bite:
 /// while components crash, go down, and lag, no observed cart may ever
@@ -198,6 +220,161 @@ fn recorded_chaos_log_replays_byte_for_byte() {
     frontend
         .home(&fresh.root_context(), "post-replay".into(), "USD".into())
         .expect("deployment unusable after replayed chaos + heal");
+}
+
+/// Checkout's scatter-gather fan-out under component chaos, across every
+/// placement. `place_order` launches the shipping quote and all per-line
+/// product lookups as concurrent futures; while the fan-out callees go
+/// down, lag, and crash, every gather must come back (errors are fine,
+/// wedging is not), and the client data plane must end with zero pending
+/// entries — an abandoned future that leaked its pending-map slot would
+/// show up here as a counter that never drains.
+#[test]
+fn checkout_fanout_survives_chaos_across_placements() {
+    let options = MatrixOptions::default(); // all four placements
+    run_matrix_with(boutique::registry(), &options, |dep| {
+        let label = dep.label();
+        let frontend = dep.get::<dyn Frontend>().expect(label);
+        let cart = dep.get::<dyn CartService>().expect(label);
+
+        let chaos = ChaosRunner::start(
+            dep.fault_injectable(),
+            ChaosOptions {
+                seed: seed_from_env(0xFA_09),
+                // The components checkout's fan-out scatters to — never the
+                // cart, so order attempts always reach the scatter itself.
+                targets: vec![CATALOG.into(), CURRENCY.into(), SHIPPING.into()],
+                interval: Duration::from_millis(1),
+                heal_fraction: 0.5,
+            },
+        );
+
+        let mut ok = 0usize;
+        for round in 0..30u64 {
+            for user in 0..4u64 {
+                let uid = format!("fanout-u{user}");
+                // Populate directly through the cart (chaos never targets
+                // it), then drive the concurrent pricing fan-out. The
+                // deadline bounds every gather: a hung future fails the
+                // call here instead of wedging the test.
+                let ctx = dep.root_context().with_timeout(Duration::from_secs(2));
+                for line in 0..3u64 {
+                    let _ = cart.add_item(
+                        &ctx,
+                        uid.clone(),
+                        CartItem {
+                            product_id: PRODUCTS[((round + line) % 5) as usize].to_string(),
+                            quantity: 1,
+                        },
+                    );
+                }
+                if frontend.place_order(&ctx, order_request(&uid)).is_ok() {
+                    ok += 1;
+                }
+            }
+            // Let the chaos thread (1ms cadence) genuinely interleave: the
+            // colocated cell would otherwise finish before it acts twice.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let actions = chaos.stop();
+        assert!(
+            actions.len() > 10,
+            "[{label}] chaos barely ran: {} actions",
+            actions.len()
+        );
+
+        // Healed, checkout must serve again...
+        for target in [CATALOG, CURRENCY, SHIPPING] {
+            dep.inject_fault(target, Default::default());
+        }
+        eventually(Duration::from_secs(5), || {
+            let ctx = dep.root_context().with_timeout(Duration::from_secs(2));
+            cart.add_item(
+                &ctx,
+                "fanout-heal".into(),
+                CartItem {
+                    product_id: PRODUCTS[0].to_string(),
+                    quantity: 1,
+                },
+            )?;
+            frontend.place_order(&ctx, order_request("fanout-heal"))
+        })
+        .unwrap_or_else(|e| panic!("[{label}] checkout never recovered: {e}"));
+        // ...and chaos-era orders must have landed at all (the colocated
+        // cell sees no injected faults, so there `ok` is the full count).
+        assert!(ok > 0, "[{label}] no order ever succeeded under chaos");
+
+        // The pool's pending-map accounting must balance: every future —
+        // resolved, failed, or abandoned at deadline — gave its slot back.
+        eventually(Duration::from_secs(5), || match dep.client_in_flight() {
+            0 => Ok(()),
+            n => Err(format!("{n} pending entries still outstanding")),
+        })
+        .unwrap_or_else(|e| panic!("[{label}] leaked pending-map entries: {e}"));
+    });
+}
+
+/// Checkout's fan-out under *transport* faults: every socket randomly
+/// severed, truncated, or duplicated while concurrent futures are in
+/// flight on it. A severed connection must fail its outstanding futures
+/// fast (the dead-flag path), never strand them until the deadline, and
+/// the pending-map accounting must balance to zero afterwards.
+#[test]
+fn checkout_fanout_survives_transport_fault_storm() {
+    let app = TcpProcess::deploy(
+        boutique::registry(),
+        TcpOptions {
+            replicas: 2,
+            workers: 16,
+            fault_spec: Some(FaultSpec {
+                seed: seed_from_env(0xFA_07),
+                sever: 0.002,
+                truncate: 0.002,
+                duplicate: 0.002,
+                delay: 0.02,
+                ..Default::default()
+            }),
+        },
+        1,
+    )
+    .expect("deploy under storm");
+    let frontend = app.get::<dyn Frontend>().expect("frontend");
+    let cart = app.get::<dyn CartService>().expect("cart");
+
+    let mut ok = 0usize;
+    for i in 0..150usize {
+        let ctx = app.root_context().with_timeout(Duration::from_secs(2));
+        for line in 0..3usize {
+            let _ = cart.add_item(
+                &ctx,
+                format!("storm-u{i}"),
+                CartItem {
+                    product_id: PRODUCTS[(i + line) % 5].to_string(),
+                    quantity: 1,
+                },
+            );
+        }
+        if frontend
+            .place_order(&ctx, order_request(&format!("storm-u{i}")))
+            .is_ok()
+        {
+            ok += 1;
+        }
+    }
+    // Liveness, not perfection: the storm may fail orders, but a fan-out
+    // that deadlocks or leaks would push this toward zero (or hang the
+    // test outright).
+    assert!(ok > 30, "storm killed checkout: {ok}/150 orders succeeded");
+
+    let injected: usize = app.transport_fault_logs().iter().map(Vec::len).sum();
+    assert!(injected > 0, "storm injected nothing — shim not wired?");
+
+    // Zero leaked pending-map entries once the workload drains.
+    eventually(Duration::from_secs(5), || match app.client_in_flight() {
+        0 => Ok(()),
+        n => Err(format!("{n} pending entries still outstanding")),
+    })
+    .expect("pending-map entries leaked after the storm");
 }
 
 /// Transport-level chaos: every socket under the deployment runs through a
