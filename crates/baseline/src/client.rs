@@ -54,6 +54,10 @@ impl Stub {
             trace_id: ctx.trace_id,
             span_id: ctx.span_id,
             routing: None,
+            // The gRPC-shaped baseline has no retry layer, so it never
+            // keys requests.
+            idempotency: None,
+            attempt: 0,
         };
         let args = encode_message(request);
         let timeout = ctx.remaining().unwrap_or(CALL_TIMEOUT);

@@ -35,6 +35,8 @@ fn header() -> RequestHeader {
         trace_id: 0xfeed,
         span_id: 0xbeef,
         routing: None,
+        idempotency: None,
+        attempt: 0,
     }
 }
 

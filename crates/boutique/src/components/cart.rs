@@ -7,7 +7,7 @@ use weaver_core::context::{CallContext, InitContext};
 use weaver_core::error::WeaverError;
 use weaver_macros::component;
 
-use crate::logic::cart::CartStore;
+use crate::logic::cart::{CartJournal, CartStore};
 use crate::types::CartItem;
 
 /// Per-user shopping carts (the demo's `cartservice`).
@@ -33,6 +33,28 @@ pub trait CartService {
     /// Empties the user's cart.
     #[routed]
     fn empty_cart(&self, ctx: &CallContext, user_id: String) -> Result<(), WeaverError>;
+
+    /// Empties the user's cart under a journal key: idempotent per key,
+    /// and the removed items are journaled so the emptying can be
+    /// undone. The saga's forward step.
+    #[routed]
+    fn empty_cart_keyed(
+        &self,
+        ctx: &CallContext,
+        user_id: String,
+        journal_key: String,
+    ) -> Result<(), WeaverError>;
+
+    /// Restores the cart emptied under `journal_key`. Idempotent; a
+    /// no-op when the emptying never happened. The saga's compensation
+    /// for [`CartService::empty_cart_keyed`].
+    #[routed]
+    fn restore_cart(
+        &self,
+        ctx: &CallContext,
+        user_id: String,
+        journal_key: String,
+    ) -> Result<(), WeaverError>;
 }
 
 /// Implementation over the in-memory store.
@@ -60,6 +82,26 @@ impl CartService for CartServiceImpl {
 
     fn empty_cart(&self, _ctx: &CallContext, user_id: String) -> Result<(), WeaverError> {
         self.store.empty_cart(&user_id);
+        Ok(())
+    }
+
+    fn empty_cart_keyed(
+        &self,
+        _ctx: &CallContext,
+        user_id: String,
+        journal_key: String,
+    ) -> Result<(), WeaverError> {
+        CartJournal::empty_cart_keyed(&self.store, &user_id, &journal_key);
+        Ok(())
+    }
+
+    fn restore_cart(
+        &self,
+        _ctx: &CallContext,
+        user_id: String,
+        journal_key: String,
+    ) -> Result<(), WeaverError> {
+        CartJournal::restore_cart(&self.store, &user_id, &journal_key);
         Ok(())
     }
 }

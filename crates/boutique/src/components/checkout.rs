@@ -1,13 +1,27 @@
-//! The checkout orchestrator — the boutique's busiest caller.
+//! The checkout orchestrator — the boutique's busiest caller, now a saga.
+//!
+//! Checkout straddles failure domains: it charges a real card, books a
+//! shipment, and destroys the cart — three components, three places a
+//! crash or a severed connection can strand money. The workflow therefore
+//! runs as a `weaver_saga::Saga`: every forward call is paired with a
+//! compensation (`charge_idem` ⇄ `refund`, `empty_cart_keyed` ⇄
+//! `restore_cart`), and every transition is persisted to a step log
+//! before the next side effect. A forward failure pivots to compensation
+//! — never a retry, since a failed call may have executed — and a crash
+//! leaves a log from which [`CheckoutService::recover_sagas`] finishes
+//! the job.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use weaver_core::component::Component;
 use weaver_core::context::{CallContext, InitContext};
 use weaver_core::error::WeaverError;
 use weaver_macros::component;
+use weaver_saga::{
+    recover_with, unique_key, FileStore, LogStore, MemStore, Saga, SagaLog, SagaOutcome,
+};
 
+use crate::logic::audit::{AuditEvent, AuditLog};
 use crate::types::{Money, OrderItem, OrderResult, PlaceOrderRequest};
 
 use super::cart::CartService;
@@ -17,16 +31,27 @@ use super::email::EmailService;
 use super::payment::PaymentService;
 use super::shipping::Shipping;
 
+/// The shared [`MemStore`] name used when no `WEAVER_SAGA_DIR` is set —
+/// the durable-volume stand-in every checkout instance in the process
+/// shares, so a restarted instance recovers its predecessor's sagas.
+pub const SAGA_STORE: &str = "boutique.checkout";
+
 /// Order placement (the demo's `checkoutservice`).
 #[component(name = "boutique.CheckoutService")]
 pub trait CheckoutService {
-    /// Runs the full checkout: price the cart, quote shipping, charge,
-    /// ship, empty the cart, send the confirmation.
+    /// Runs the full checkout: price the cart, quote shipping, then a
+    /// saga of charge → ship → empty-cart, then the confirmation email.
     fn place_order(
         &self,
         ctx: &CallContext,
         request: PlaceOrderRequest,
     ) -> Result<OrderResult, WeaverError>;
+
+    /// Replays the saga step log and finishes every checkout a crash
+    /// interrupted: sagas whose steps all committed are completed,
+    /// the rest are compensated (refund + cart restore). Returns how
+    /// many sagas were finished either way.
+    fn recover_sagas(&self, ctx: &CallContext) -> Result<u32, WeaverError>;
 }
 
 /// Implementation orchestrating six other components.
@@ -37,7 +62,37 @@ pub struct CheckoutServiceImpl {
     shipping: Arc<dyn Shipping>,
     payment: Arc<dyn PaymentService>,
     email: Arc<dyn EmailService>,
-    orders: AtomicU64,
+    saga_log: SagaLog,
+}
+
+/// The per-saga idempotency key the charge runs under, derived from the
+/// order id so recovery can reconstruct it from the log alone.
+fn charge_key(order_id: &str) -> String {
+    format!("{order_id}:charge")
+}
+
+/// The per-saga journal key the cart-emptying runs under.
+fn cart_key(order_id: &str) -> String {
+    format!("{order_id}:cart")
+}
+
+/// Step indices in the checkout saga (shared by run and recovery).
+const STEP_CHARGE: u32 = 0;
+const STEP_SHIP: u32 = 1;
+const STEP_EMPTY_CART: u32 = 2;
+
+fn saga_store() -> Arc<dyn LogStore> {
+    match std::env::var("WEAVER_SAGA_DIR") {
+        Ok(dir) if !dir.is_empty() => {
+            match FileStore::open(std::path::Path::new(&dir).join("checkout.log")) {
+                Ok(store) => Arc::new(store),
+                // An unwritable dir must not brick checkout; fall back to
+                // the shared in-memory store.
+                Err(_) => MemStore::shared(SAGA_STORE),
+            }
+        }
+        _ => MemStore::shared(SAGA_STORE),
+    }
 }
 
 impl CheckoutService for CheckoutServiceImpl {
@@ -102,21 +157,75 @@ impl CheckoutService for CheckoutServiceImpl {
             .checked_add(&shipping_cost)
             .ok_or_else(|| WeaverError::internal("currency mismatch totaling order"))?;
 
-        // Charge before shipping: a failed charge must leave the cart
-        // intact and nothing shipped.
-        let _txn_id = self
-            .payment
-            .charge(ctx, total.clone(), request.credit_card.clone())?;
+        // Everything read-only is done; the side effects run as a saga.
+        // The order id doubles as the saga id and seeds every per-step
+        // idempotency key, so a recovered log is enough to reconstruct
+        // them — no counter whose value dies with the process.
+        let order_id = format!("order-{:016x}", unique_key());
+        let user_id = request.user_id.clone();
+        let outcome = Saga::new(
+            self.saga_log.clone(),
+            order_id.clone(),
+            "checkout",
+            weaver_codec::encode_to_vec(&user_id),
+        )
+        .step(
+            "charge",
+            || {
+                let txn = self.payment.charge_idem(
+                    ctx,
+                    charge_key(&order_id),
+                    total.clone(),
+                    request.credit_card.clone(),
+                )?;
+                Ok(weaver_codec::encode_to_vec(&txn))
+            },
+            |_| {
+                self.payment.refund(ctx, charge_key(&order_id))?;
+                Ok(())
+            },
+        )
+        .step(
+            "ship",
+            || {
+                let tracking =
+                    self.shipping
+                        .ship_order(ctx, request.address.clone(), cart_items.clone())?;
+                Ok(weaver_codec::encode_to_vec(&tracking))
+            },
+            // The mock carrier has no cancellation: a booked label that
+            // never ships simply lapses, so the undo is a no-op.
+            |_| Ok(()),
+        )
+        .step(
+            "empty-cart",
+            || {
+                self.cart
+                    .empty_cart_keyed(ctx, user_id.clone(), cart_key(&order_id))?;
+                Ok(Vec::new())
+            },
+            |_| {
+                self.cart
+                    .restore_cart(ctx, user_id.clone(), cart_key(&order_id))?;
+                Ok(())
+            },
+        )
+        .run()?;
 
-        let tracking_id =
-            self.shipping
-                .ship_order(ctx, request.address.clone(), cart_items.clone())?;
+        let outputs = match outcome {
+            SagaOutcome::Completed { outputs } => outputs,
+            // Fully compensated: the caller sees the original failure,
+            // with no residual side effects to worry about.
+            SagaOutcome::Compensated { failure } => return Err(failure),
+        };
+        let tracking_id: String = weaver_codec::decode_from_slice(&outputs[STEP_SHIP as usize])?;
 
-        self.cart.empty_cart(ctx, request.user_id.clone())?;
-
-        let seq = self.orders.fetch_add(1, Ordering::Relaxed);
+        AuditLog::record(AuditEvent::OrderPlaced {
+            key: order_id.clone(),
+            order_id: order_id.clone(),
+        });
         let order = OrderResult {
-            order_id: format!("order-{seq:010}"),
+            order_id,
             shipping_tracking_id: tracking_id,
             shipping_cost,
             shipping_address: request.address,
@@ -132,6 +241,41 @@ impl CheckoutService for CheckoutServiceImpl {
 
         Ok(order)
     }
+
+    fn recover_sagas(&self, ctx: &CallContext) -> Result<u32, WeaverError> {
+        let report = recover_with(
+            &self.saga_log,
+            |saga| {
+                // Every forward step committed before the crash: the order
+                // stands. (The confirmation email is lost with the crash —
+                // it was best-effort even on the happy path.)
+                AuditLog::record(AuditEvent::OrderPlaced {
+                    key: saga.id.clone(),
+                    order_id: saga.id.clone(),
+                });
+                Ok(())
+            },
+            |saga, step, _output| {
+                let user_id: String = weaver_codec::decode_from_slice(&saga.context)?;
+                match step {
+                    STEP_CHARGE => {
+                        self.payment.refund(ctx, charge_key(&saga.id))?;
+                    }
+                    STEP_SHIP => {}
+                    STEP_EMPTY_CART => {
+                        self.cart.restore_cart(ctx, user_id, cart_key(&saga.id))?;
+                    }
+                    other => {
+                        return Err(WeaverError::internal(format!(
+                            "checkout saga has no step {other}"
+                        )))
+                    }
+                }
+                Ok(())
+            },
+        )?;
+        Ok((report.resumed.len() + report.compensated.len()) as u32)
+    }
 }
 
 impl Component for CheckoutServiceImpl {
@@ -145,7 +289,11 @@ impl Component for CheckoutServiceImpl {
             shipping: ctx.component::<dyn Shipping>()?,
             payment: ctx.component::<dyn PaymentService>()?,
             email: ctx.component::<dyn EmailService>()?,
-            orders: AtomicU64::new(0),
+            // Recovery is NOT run here: other replicas may still be
+            // mid-saga, and init runs on every replica of every
+            // deployment. The operator (or a test) calls `recover_sagas`
+            // once the previous deployment is known dead.
+            saga_log: SagaLog::new(saga_store()),
         })
     }
 

@@ -23,7 +23,7 @@ mod shipping;
 pub use ads::{AdService, AdServiceImpl};
 pub use cart::{CartService, CartServiceImpl};
 pub use catalog::{ProductCatalog, ProductCatalogImpl};
-pub use checkout::{CheckoutService, CheckoutServiceImpl};
+pub use checkout::{CheckoutService, CheckoutServiceImpl, SAGA_STORE};
 pub use currency::{CurrencyService, CurrencyServiceImpl};
 pub use email::{EmailService, EmailServiceImpl};
 pub use frontend::{Frontend, FrontendImpl};

@@ -7,7 +7,7 @@ use weaver_core::context::{CallContext, InitContext};
 use weaver_core::error::WeaverError;
 use weaver_macros::component;
 
-use crate::logic::payment::PaymentProcessor;
+use crate::logic::payment::{PaymentLedger, PaymentProcessor};
 use crate::types::{CreditCard, Money};
 
 /// Payment processing (the demo's `paymentservice`).
@@ -20,6 +20,27 @@ pub trait PaymentService {
         amount: Money,
         card: CreditCard,
     ) -> Result<String, WeaverError>;
+
+    /// Charges the card under a gateway idempotency key: repeats replay
+    /// the recorded transaction instead of charging again. The saga's
+    /// forward step.
+    fn charge_idem(
+        &self,
+        ctx: &CallContext,
+        idempotency_key: String,
+        amount: Money,
+        card: CreditCard,
+    ) -> Result<String, WeaverError>;
+
+    /// Refunds the charge made under `idempotency_key`. Idempotent;
+    /// `Ok(None)` when no charge was recorded under the key (the charge
+    /// may never have executed). The saga's compensation for
+    /// [`PaymentService::charge_idem`].
+    fn refund(
+        &self,
+        ctx: &CallContext,
+        idempotency_key: String,
+    ) -> Result<Option<String>, WeaverError>;
 }
 
 /// Implementation over the Luhn-validating processor.
@@ -40,6 +61,28 @@ impl PaymentService for PaymentServiceImpl {
                 code: 402,
                 message: e.to_string(),
             })
+    }
+
+    fn charge_idem(
+        &self,
+        _ctx: &CallContext,
+        idempotency_key: String,
+        amount: Money,
+        card: CreditCard,
+    ) -> Result<String, WeaverError> {
+        PaymentLedger::charge_idem(&idempotency_key, || self.processor.charge(&amount, &card))
+            .map_err(|e| WeaverError::App {
+                code: 402,
+                message: e.to_string(),
+            })
+    }
+
+    fn refund(
+        &self,
+        _ctx: &CallContext,
+        idempotency_key: String,
+    ) -> Result<Option<String>, WeaverError> {
+        Ok(PaymentLedger::refund(&idempotency_key))
     }
 }
 

@@ -1,0 +1,107 @@
+//! A process-global audit ledger of money- and cart-moving events.
+//!
+//! The boutique's side-effecting services (payment gateway, cart journal)
+//! record every externally visible effect here, exactly once per effect.
+//! Tests read the ledger to check end-to-end invariants — e.g. that under
+//! chaos every charge is matched by exactly one order or one refund —
+//! without instrumenting the components themselves.
+//!
+//! The ledger is global (like the external systems it stands in for), so
+//! concurrent deployments in one test process interleave: readers take a
+//! [`AuditLog::mark`] first and filter [`AuditLog::since`] by their own
+//! users/keys.
+
+use std::sync::{Mutex, OnceLock};
+
+/// One externally visible effect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditEvent {
+    /// The payment gateway accepted a charge under `key`.
+    Charged {
+        /// Idempotency key the charge was made under.
+        key: String,
+        /// Gateway transaction id.
+        txn: String,
+    },
+    /// The payment gateway refunded the charge made under `key`.
+    Refunded {
+        /// Idempotency key of the original charge.
+        key: String,
+        /// Refund transaction id.
+        txn: String,
+    },
+    /// A user's cart was emptied under journal `key`.
+    CartEmptied {
+        /// Journal key the emptying was made under.
+        key: String,
+        /// The cart's owner.
+        user: String,
+    },
+    /// The cart emptied under `key` was restored.
+    CartRestored {
+        /// Journal key of the original emptying.
+        key: String,
+        /// The cart's owner.
+        user: String,
+    },
+    /// An order reached its terminal, confirmed state.
+    OrderPlaced {
+        /// The saga/idempotency key family the order ran under.
+        key: String,
+        /// The order id handed to the user.
+        order_id: String,
+    },
+}
+
+fn events() -> &'static Mutex<Vec<AuditEvent>> {
+    static EVENTS: OnceLock<Mutex<Vec<AuditEvent>>> = OnceLock::new();
+    EVENTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The global audit ledger; see module docs.
+pub struct AuditLog;
+
+impl AuditLog {
+    /// Appends one event.
+    pub fn record(event: AuditEvent) {
+        events()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event);
+    }
+
+    /// A cursor for [`AuditLog::since`]: everything recorded so far.
+    pub fn mark() -> usize {
+        events().lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Events recorded after `mark`, in order.
+    pub fn since(mark: usize) -> Vec<AuditEvent> {
+        let events = events().lock().unwrap_or_else(|e| e.into_inner());
+        events
+            .get(mark..)
+            .map(<[AuditEvent]>::to_vec)
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_returns_only_events_after_the_mark() {
+        let mark = AuditLog::mark();
+        AuditLog::record(AuditEvent::OrderPlaced {
+            key: "audit-test".into(),
+            order_id: "order-x".into(),
+        });
+        let seen = AuditLog::since(mark);
+        assert!(seen.contains(&AuditEvent::OrderPlaced {
+            key: "audit-test".into(),
+            order_id: "order-x".into(),
+        }));
+        // A fresh mark sees nothing new.
+        assert!(AuditLog::since(AuditLog::mark()).is_empty());
+    }
+}

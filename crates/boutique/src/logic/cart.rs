@@ -1,9 +1,11 @@
 //! Cart storage logic.
 
 use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 use parking_lot::RwLock;
 
+use crate::logic::audit::{AuditEvent, AuditLog};
 use crate::types::CartItem;
 
 /// In-memory per-user carts.
@@ -49,6 +51,77 @@ impl CartStore {
     /// Number of users with non-empty carts (diagnostics/affinity metrics).
     pub fn user_count(&self) -> usize {
         self.carts.read().len()
+    }
+}
+
+/// One journaled cart-emptying.
+#[derive(Debug, Clone)]
+struct JournalEntry {
+    user: String,
+    items: Vec<CartItem>,
+    restored: bool,
+}
+
+fn journal() -> &'static Mutex<HashMap<String, JournalEntry>> {
+    static JOURNAL: OnceLock<Mutex<HashMap<String, JournalEntry>>> = OnceLock::new();
+    JOURNAL.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// A keyed journal of cart emptyings — process-global, modeling the
+/// durable journal a real cart service would keep next to its store.
+///
+/// Emptying a cart destroys state, which makes it unsafe to retry or
+/// compensate without a record of what was destroyed. The journal gives
+/// both: `empty_cart_keyed` is idempotent per key (a replayed empty does
+/// nothing and destroys nothing) and remembers the removed items so
+/// `restore_cart` can undo it — also idempotently, and as a no-op when
+/// the emptying never actually happened.
+pub struct CartJournal;
+
+impl CartJournal {
+    /// Empties `user`'s cart in `store` under `key`. The first call
+    /// journals the removed items and audits `CartEmptied`; repeats are
+    /// no-ops.
+    pub fn empty_cart_keyed(store: &CartStore, user: &str, key: &str) {
+        let mut journal = journal().lock().unwrap_or_else(|e| e.into_inner());
+        if journal.contains_key(key) {
+            return;
+        }
+        let items = store.get_cart(user);
+        store.empty_cart(user);
+        journal.insert(
+            key.to_string(),
+            JournalEntry {
+                user: user.to_string(),
+                items,
+                restored: false,
+            },
+        );
+        AuditLog::record(AuditEvent::CartEmptied {
+            key: key.to_string(),
+            user: user.to_string(),
+        });
+    }
+
+    /// Restores the cart emptied under `key` into `store`. Idempotent;
+    /// a no-op (recording nothing) when no emptying was journaled — the
+    /// forward step may never have executed.
+    pub fn restore_cart(store: &CartStore, user: &str, key: &str) {
+        let mut journal = journal().lock().unwrap_or_else(|e| e.into_inner());
+        let Some(entry) = journal.get_mut(key) else {
+            return;
+        };
+        if entry.restored {
+            return;
+        }
+        entry.restored = true;
+        for item in entry.items.clone() {
+            store.add_item(user, item);
+        }
+        AuditLog::record(AuditEvent::CartRestored {
+            key: key.to_string(),
+            user: entry.user.clone(),
+        });
     }
 }
 
@@ -105,6 +178,55 @@ mod tests {
         assert_eq!(store.user_count(), 0);
         // Emptying a missing cart is a no-op.
         store.empty_cart("nobody");
+    }
+
+    #[test]
+    fn keyed_empty_is_idempotent_and_journals_once() {
+        let store = CartStore::new();
+        store.add_item("journal-user", item("P1", 2));
+        let mark = AuditLog::mark();
+        CartJournal::empty_cart_keyed(&store, "journal-user", "cj-test-empty");
+        assert!(store.get_cart("journal-user").is_empty());
+        // A replay after the user refilled the cart must not empty again.
+        store.add_item("journal-user", item("P2", 1));
+        CartJournal::empty_cart_keyed(&store, "journal-user", "cj-test-empty");
+        assert_eq!(store.get_cart("journal-user"), vec![item("P2", 1)]);
+        let emptied = AuditLog::since(mark)
+            .into_iter()
+            .filter(|e| matches!(e, AuditEvent::CartEmptied { key, .. } if key == "cj-test-empty"))
+            .count();
+        assert_eq!(emptied, 1);
+    }
+
+    #[test]
+    fn restore_undoes_a_journaled_empty_idempotently() {
+        let store = CartStore::new();
+        store.add_item("restore-user", item("P1", 3));
+        CartJournal::empty_cart_keyed(&store, "restore-user", "cj-test-restore");
+        let mark = AuditLog::mark();
+        CartJournal::restore_cart(&store, "restore-user", "cj-test-restore");
+        assert_eq!(store.get_cart("restore-user"), vec![item("P1", 3)]);
+        // Replayed restore must not double the items.
+        CartJournal::restore_cart(&store, "restore-user", "cj-test-restore");
+        assert_eq!(store.get_cart("restore-user"), vec![item("P1", 3)]);
+        let restored = AuditLog::since(mark)
+            .into_iter()
+            .filter(
+                |e| matches!(e, AuditEvent::CartRestored { key, .. } if key == "cj-test-restore"),
+            )
+            .count();
+        assert_eq!(restored, 1);
+    }
+
+    #[test]
+    fn restore_of_a_never_journaled_key_is_a_noop() {
+        let store = CartStore::new();
+        let mark = AuditLog::mark();
+        CartJournal::restore_cart(&store, "ghost-user", "cj-test-ghost");
+        assert!(store.get_cart("ghost-user").is_empty());
+        assert!(!AuditLog::since(mark)
+            .iter()
+            .any(|e| matches!(e, AuditEvent::CartRestored { key, .. } if key == "cj-test-ghost")));
     }
 
     #[test]

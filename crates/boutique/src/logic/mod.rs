@@ -3,6 +3,7 @@
 //! architecture comparisons hold the application constant.
 
 pub mod ads;
+pub mod audit;
 pub mod cart;
 pub mod catalog;
 pub mod currency;

@@ -1,7 +1,10 @@
 //! Payment processing logic: card validation and charging.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
+use crate::logic::audit::{AuditEvent, AuditLog};
 use crate::types::{CreditCard, Money};
 
 /// Why a charge was declined.
@@ -116,6 +119,76 @@ impl PaymentProcessor {
     }
 }
 
+/// One charge recorded in the gateway's idempotency ledger.
+#[derive(Debug, Clone)]
+struct LedgerEntry {
+    txn: String,
+    refund_txn: Option<String>,
+}
+
+fn ledger() -> &'static Mutex<HashMap<String, LedgerEntry>> {
+    static LEDGER: OnceLock<Mutex<HashMap<String, LedgerEntry>>> = OnceLock::new();
+    LEDGER.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The payment *gateway's* keyed ledger — process-global, like the
+/// external system it models.
+///
+/// Real gateways accept an idempotency key per charge and replay the
+/// original result for repeats; refunds reference the key and are
+/// themselves idempotent. The ledger is shared by every payment replica
+/// in the process (replicas front one gateway), which is what makes
+/// charge retries and saga compensations safe no matter which replica
+/// they land on.
+pub struct PaymentLedger;
+
+impl PaymentLedger {
+    /// Charges under `key`: the first call mints a transaction via
+    /// `mint`; repeats replay the recorded transaction without charging
+    /// again. Exactly one `Charged` audit event per key, ever.
+    pub fn charge_idem(
+        key: &str,
+        mint: impl FnOnce() -> Result<String, ChargeError>,
+    ) -> Result<String, ChargeError> {
+        let mut ledger = ledger().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = ledger.get(key) {
+            return Ok(entry.txn.clone());
+        }
+        let txn = mint()?;
+        ledger.insert(
+            key.to_string(),
+            LedgerEntry {
+                txn: txn.clone(),
+                refund_txn: None,
+            },
+        );
+        AuditLog::record(AuditEvent::Charged {
+            key: key.to_string(),
+            txn: txn.clone(),
+        });
+        Ok(txn)
+    }
+
+    /// Refunds the charge made under `key`. Idempotent: repeats replay
+    /// the recorded refund. `Ok(None)` when no charge was ever recorded
+    /// under the key — the caller's charge may never have executed, which
+    /// is exactly the case saga compensations must tolerate.
+    pub fn refund(key: &str) -> Option<String> {
+        let mut ledger = ledger().lock().unwrap_or_else(|e| e.into_inner());
+        let entry = ledger.get_mut(key)?;
+        if let Some(existing) = &entry.refund_txn {
+            return Some(existing.clone());
+        }
+        let refund_txn = format!("refund-{}", entry.txn);
+        entry.refund_txn = Some(refund_txn.clone());
+        AuditLog::record(AuditEvent::Refunded {
+            key: key.to_string(),
+            txn: refund_txn.clone(),
+        });
+        Some(refund_txn)
+    }
+}
+
 /// A valid test card (the demo's default).
 pub fn test_card() -> CreditCard {
     CreditCard {
@@ -211,6 +284,40 @@ mod tests {
         assert!(p.charge(&usd(1), &card).is_ok());
         card.number = "2223003122003222".into(); // 2-series MC.
         assert!(p.charge(&usd(1), &card).is_ok());
+    }
+
+    #[test]
+    fn charge_idem_replays_without_recharging() {
+        let p = PaymentProcessor::new();
+        let mark = AuditLog::mark();
+        let first =
+            PaymentLedger::charge_idem("pl-test-replay", || p.charge(&usd(5), &test_card()))
+                .unwrap();
+        let second =
+            PaymentLedger::charge_idem("pl-test-replay", || panic!("must not re-mint")).unwrap();
+        assert_eq!(first, second);
+        let charges = AuditLog::since(mark)
+            .into_iter()
+            .filter(|e| matches!(e, AuditEvent::Charged { key, .. } if key == "pl-test-replay"))
+            .count();
+        assert_eq!(charges, 1, "one audit event per key");
+    }
+
+    #[test]
+    fn refund_is_idempotent_and_tolerates_never_charged_keys() {
+        let p = PaymentProcessor::new();
+        assert_eq!(PaymentLedger::refund("pl-test-never-charged"), None);
+        PaymentLedger::charge_idem("pl-test-refund", || p.charge(&usd(5), &test_card())).unwrap();
+        let mark = AuditLog::mark();
+        let first = PaymentLedger::refund("pl-test-refund").unwrap();
+        let second = PaymentLedger::refund("pl-test-refund").unwrap();
+        assert_eq!(first, second);
+        assert!(first.starts_with("refund-txn-"));
+        let refunds = AuditLog::since(mark)
+            .into_iter()
+            .filter(|e| matches!(e, AuditEvent::Refunded { key, .. } if key == "pl-test-refund"))
+            .count();
+        assert_eq!(refunds, 1);
     }
 
     #[test]

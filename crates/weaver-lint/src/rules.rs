@@ -141,11 +141,29 @@ fn result_ok_type(ret: &str) -> String {
     ret.to_string()
 }
 
+/// Method names that mark a saga compensation (`refund`, `restore_*`,
+/// `cancel_*`, `undo_*`). Compensations run during crash recovery —
+/// often from a *different* process than the one that ran the forward
+/// step — so their payloads crossing the wire is not hypothetical, and
+/// a non-wire type here strands a half-done saga with no way to undo it.
+fn is_compensation(name: &str) -> bool {
+    name == "refund"
+        || name == "compensate"
+        || name.starts_with("restore_")
+        || name.starts_with("cancel_")
+        || name.starts_with("undo_")
+}
+
 /// L1: every type named in a component method's payload arguments or
 /// `Ok` return that is *defined in the scanned tree* must derive
 /// `WeaverData`. Types defined elsewhere get the benefit of the doubt —
 /// the compiler enforces the codec bounds at the use site anyway; this
 /// lint exists to catch the mistake early with a better message.
+///
+/// Compensation-named methods (see [`is_compensation`]) get a tailored
+/// diagnostic: recovery replays them cross-process from the persisted
+/// step log, so the wire-data requirement is load-bearing even when the
+/// app only ever deploys co-located.
 fn l1_wire_data(model: &Model, diags: &mut Vec<Diagnostic>) {
     for t in &model.traits {
         for m in &t.methods {
@@ -167,23 +185,49 @@ fn l1_wire_data(model: &Model, diags: &mut Vec<Diagnostic>) {
                     if def.derives("WeaverData") {
                         continue;
                     }
+                    let (message, help) = if is_compensation(&m.name) {
+                        (
+                            format!(
+                                "`{}` in the {pos} of compensation method `{}::{}` does \
+                                 not derive `WeaverData`; saga recovery replays \
+                                 compensations from the persisted step log — possibly \
+                                 from a different process than the forward step — so \
+                                 this payload crosses the wire even in deployments that \
+                                 co-locate `{}`",
+                                ident, t.trait_name, m.name, t.component_name
+                            ),
+                            format!(
+                                "add `#[derive(WeaverData)]` to `{}` (defined at {}:{}), \
+                                 then re-run `weaver-lint --update-lock` so the \
+                                 compensation's fingerprint lands in weaver-api.lock",
+                                ident,
+                                def.file.display(),
+                                def.line
+                            ),
+                        )
+                    } else {
+                        (
+                            format!(
+                                "`{}` in the {pos} of `{}::{}` does not derive \
+                                 `WeaverData`; it cannot cross a component boundary once \
+                                 `{}` is placed in another process",
+                                ident, t.trait_name, m.name, t.component_name
+                            ),
+                            format!(
+                                "add `#[derive(WeaverData)]` to `{}` (defined at {}:{})",
+                                ident,
+                                def.file.display(),
+                                def.line
+                            ),
+                        )
+                    };
                     diags.push(Diagnostic {
                         rule: "L1",
                         severity: Severity::Error,
                         file: t.file.clone(),
                         line: m.line,
-                        message: format!(
-                            "`{}` in the {pos} of `{}::{}` does not derive `WeaverData`; \
-                             it cannot cross a component boundary once `{}` is placed in \
-                             another process",
-                            ident, t.trait_name, m.name, t.component_name
-                        ),
-                        help: format!(
-                            "add `#[derive(WeaverData)]` to `{}` (defined at {}:{})",
-                            ident,
-                            def.file.display(),
-                            def.line
-                        ),
+                        message,
+                        help,
                     });
                 }
             }
@@ -443,6 +487,46 @@ mod tests {
         );
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, "L1");
+    }
+
+    #[test]
+    fn l1_tailors_the_diagnostic_for_compensation_methods() {
+        let diags = lint(
+            r#"
+            struct CartSnapshot { items: Vec<String> }
+            #[component(name = "app.Cart")]
+            trait Cart {
+                fn restore_cart(&self, ctx: &CallContext, snap: CartSnapshot) -> Result<(), WeaverError>;
+            }
+        "#,
+        );
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert_eq!(diags[0].rule, "L1");
+        assert!(
+            diags[0].message.contains("compensation method"),
+            "{}",
+            diags[0].message
+        );
+        assert!(
+            diags[0].message.contains("step log"),
+            "{}",
+            diags[0].message
+        );
+        assert!(diags[0].help.contains("--update-lock"), "{}", diags[0].help);
+    }
+
+    #[test]
+    fn l1_compensation_with_wire_types_is_clean() {
+        let diags = lint(
+            r#"
+            #[component(name = "app.Pay")]
+            trait Pay {
+                fn refund(&self, ctx: &CallContext, key: String) -> Result<Option<String>, WeaverError>;
+                fn cancel_shipment(&self, ctx: &CallContext, id: u64) -> Result<(), WeaverError>;
+            }
+        "#,
+        );
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
     }
 
     const GATHER_COMPONENT: &str = r#"

@@ -9,12 +9,14 @@ use weaver_core::instance::LiveComponents;
 use weaver_metrics::MetricsRegistry;
 use weaver_transport::{BufferPool, RequestHeader, ResponseBody, RpcHandler, Status, WireBuf};
 
+use crate::dedup::DedupCache;
+
 /// The RPC handler a proclet installs on its data-plane server.
 ///
 /// Responsibilities, in order: enforce the atomic-rollout version invariant
-/// (§4.4), ensure the target component is started (Table 1:
-/// `StartComponent` semantics), rebuild the [`CallContext`], dispatch, and
-/// record server-side latency.
+/// (§4.4), replay idempotent repeats from the dedup cache, ensure the
+/// target component is started (Table 1: `StartComponent` semantics),
+/// rebuild the [`CallContext`], dispatch, and record server-side latency.
 pub struct ProcletDispatcher {
     live: Arc<LiveComponents>,
     getter: Arc<dyn ComponentGetter>,
@@ -25,17 +27,34 @@ pub struct ProcletDispatcher {
     /// Busy-time accounting feeding the proclet's load reports (and thus
     /// the manager's autoscaler).
     busy: Arc<BusyTracker>,
+    /// Completed keyed responses, replayed for retried requests instead of
+    /// re-executing (shared across replicas of one process).
+    dedup: Arc<DedupCache>,
     /// Recycled buffers for encoding error payloads without allocating.
     pool: BufferPool,
 }
 
 impl ProcletDispatcher {
-    /// Builds a dispatcher for deployment `version`.
+    /// Builds a dispatcher for deployment `version` with its own dedup
+    /// cache (single-replica processes).
     pub fn new(
         live: Arc<LiveComponents>,
         getter: Arc<dyn ComponentGetter>,
         version: u64,
         metrics: Arc<MetricsRegistry>,
+    ) -> Self {
+        Self::with_dedup(live, getter, version, metrics, Arc::new(DedupCache::new()))
+    }
+
+    /// Builds a dispatcher sharing `dedup` with sibling replicas, so an
+    /// unrouted retry that lands on a different replica still finds the
+    /// recorded response.
+    pub fn with_dedup(
+        live: Arc<LiveComponents>,
+        getter: Arc<dyn ComponentGetter>,
+        version: u64,
+        metrics: Arc<MetricsRegistry>,
+        dedup: Arc<DedupCache>,
     ) -> Self {
         let handle_nanos = live
             .registry()
@@ -56,8 +75,14 @@ impl ProcletDispatcher {
             version,
             handle_nanos,
             busy: Arc::new(BusyTracker::new()),
+            dedup,
             pool: BufferPool::global().clone(),
         }
+    }
+
+    /// The dedup cache this dispatcher consults (tests/observability).
+    pub fn dedup_cache(&self) -> Arc<DedupCache> {
+        Arc::clone(&self.dedup)
     }
 
     /// The dispatcher's busy tracker (shared with the proclet main loop).
@@ -90,6 +115,14 @@ impl ProcletDispatcher {
 
 impl RpcHandler for ProcletDispatcher {
     fn handle(&self, header: &RequestHeader, args: &[u8]) -> ResponseBody {
+        // Replay completed keyed requests instead of re-executing. Strictly
+        // after the version gate: a stale caller must still see
+        // VersionMismatch, never a response recorded under the old version.
+        if header.idempotency.is_some() && header.version == self.version {
+            if let Some(replayed) = self.dedup.replay(header) {
+                return replayed;
+            }
+        }
         let started = Instant::now();
         let outcome = self.handle_inner(header, args);
         let elapsed = started.elapsed();
@@ -102,10 +135,18 @@ impl RpcHandler for ProcletDispatcher {
             histogram.record(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
         }
         match outcome {
-            Ok(payload) => ResponseBody {
-                status: Status::Ok,
-                payload: WireBuf::from_vec(payload),
-            },
+            Ok(payload) => {
+                let body = ResponseBody {
+                    status: Status::Ok,
+                    payload: WireBuf::from_vec(payload),
+                };
+                // Only completed executions are recorded (an Ok payload may
+                // still carry an application-level error — that *is* the
+                // method's answer and must replay identically). Runtime
+                // errors below mean the method never ran: don't cache them.
+                self.dedup.record(header, &body);
+                body
+            }
             Err(e) => {
                 let mut buf = self.pool.get(64);
                 weaver_codec::encode_into(&mut buf, &e);
@@ -306,6 +347,60 @@ mod tests {
         assert_eq!(resp.status, Status::Error);
         let e: WeaverError = weaver_codec::decode_from_slice(&resp.payload).unwrap();
         assert!(matches!(e, WeaverError::Codec { .. }));
+    }
+
+    #[test]
+    fn keyed_repeat_replays_without_reexecuting() {
+        let d = dispatcher(1);
+        let mut h = header(1, 0, 0);
+        h.idempotency = Some(99);
+        let first = d.handle(&h, &weaver_codec::encode_to_vec(&(2u64, 40u64)));
+        assert_eq!(first.status, Status::Ok);
+        // Same key, *different* args: a replay must return the recorded
+        // answer — proof the method did not run again.
+        h.attempt = 1;
+        let second = d.handle(&h, &weaver_codec::encode_to_vec(&(1u64, 1u64)));
+        assert_eq!(
+            weaver_core::client::decode_reply::<u64>(&second.payload).unwrap(),
+            42
+        );
+        assert_eq!(d.dedup_cache().hits(), 1);
+    }
+
+    #[test]
+    fn keyless_requests_always_execute() {
+        let d = dispatcher(1);
+        let h = header(1, 0, 0);
+        let a = d.handle(&h, &weaver_codec::encode_to_vec(&(2u64, 40u64)));
+        let b = d.handle(&h, &weaver_codec::encode_to_vec(&(1u64, 1u64)));
+        assert_eq!(
+            weaver_core::client::decode_reply::<u64>(&a.payload).unwrap(),
+            42
+        );
+        assert_eq!(
+            weaver_core::client::decode_reply::<u64>(&b.payload).unwrap(),
+            2
+        );
+        assert_eq!(d.dedup_cache().entries(), 0);
+    }
+
+    #[test]
+    fn version_mismatch_is_not_replayed_or_cached() {
+        let d = dispatcher(2);
+        let mut h = header(1, 0, 0);
+        h.idempotency = Some(7);
+        let resp = d.handle(&h, &weaver_codec::encode_to_vec(&(1u64, 1u64)));
+        assert_eq!(resp.status, Status::Error);
+        assert_eq!(d.dedup_cache().entries(), 0);
+        // A correctly-stamped request with the same key must execute, not
+        // replay the mismatch.
+        h.version = 2;
+        let resp = d.handle(&h, &weaver_codec::encode_to_vec(&(20u64, 1u64)));
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(
+            weaver_core::client::decode_reply::<u64>(&resp.payload).unwrap(),
+            21
+        );
     }
 
     #[test]

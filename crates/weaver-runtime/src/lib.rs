@@ -18,6 +18,7 @@
 //! | [`single`] | the single-process deployer (co-located / weavertest) |
 //! | [`router`] | the data plane: proclet-to-proclet calls |
 //! | [`dispatch`] | server-side dispatch with the §4.4 version backstop |
+//! | [`dedup`] | idempotency-key replay: retries never double-execute |
 //!
 //! A binary using the runtime starts with:
 //!
@@ -35,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dedup;
 pub mod dispatch;
 pub mod envelope;
 pub mod manager;
@@ -45,6 +47,7 @@ pub mod single;
 pub mod tcp;
 
 pub use config::{ConfigError, DeploymentConfig, TomlDoc, TomlValue};
+pub use dedup::DedupCache;
 pub use envelope::{ReplicaId, SpawnSpec};
 pub use manager::MultiProcess;
 pub use single::{ComponentFault, FaultInjectable, SingleMode, SingleProcess};

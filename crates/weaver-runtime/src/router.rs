@@ -19,6 +19,31 @@ use weaver_transport::{CallFuture, Pool, RequestHeader, ResponseBody, Status, We
 /// point is to bound hangs, not to police slow handlers.
 pub const DEFAULT_CALL_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Mints a process-unique idempotency key: a per-process random base
+/// (different clients of one deployment must not collide on the callee's
+/// dedup cache) xor a SplitMix64-spread counter (keys from one process
+/// never repeat and don't cluster).
+pub fn next_idempotency_key() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+    static BASE: OnceLock<u64> = OnceLock::new();
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let base = *BASE.get_or_init(|| {
+        // RandomState is seeded per process; hashing a constant extracts
+        // that seed as a stable per-process value.
+        let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+        h.write_u64(0x57EA_4E6B);
+        h.finish()
+    });
+    let mut z = NEXT
+        .fetch_add(1, Ordering::Relaxed)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    base ^ z ^ (z >> 31)
+}
+
 /// The routing state a proclet receives from its envelope
 /// (`EnvelopeMessage::RoutingInfo`) or the single-process deployer builds
 /// directly.
@@ -185,6 +210,10 @@ struct RouterInner {
     callgraph: Arc<CallGraph>,
     version: u64,
     latency: LatencyHistograms,
+    /// Attach a fresh idempotency key to every call (the default). Off,
+    /// retries are begin-time-only — the pre-dedup behavior, kept as a
+    /// test hook so the double-execution hazard stays demonstrable.
+    auto_idempotency: std::sync::atomic::AtomicBool,
 }
 
 impl RemoteRouter {
@@ -231,8 +260,18 @@ impl RemoteRouter {
                 callgraph,
                 version,
                 latency: LatencyHistograms::new(metrics, placement),
+                auto_idempotency: std::sync::atomic::AtomicBool::new(true),
             }),
         }
+    }
+
+    /// Enables or disables automatic idempotency keys (on by default).
+    /// Disabling is a test hook: it reverts in-flight failures to
+    /// non-retryable, since an unkeyed retry could double-execute.
+    pub fn set_auto_idempotency(&self, enabled: bool) {
+        self.inner
+            .auto_idempotency
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// The call graph edges this router has recorded.
@@ -271,6 +310,11 @@ impl RouterInner {
             trace_id: ctx.trace_id,
             span_id: ctx.span_id,
             routing,
+            idempotency: self
+                .auto_idempotency
+                .load(std::sync::atomic::Ordering::Relaxed)
+                .then(next_idempotency_key),
+            attempt: 0,
         }
     }
 }
@@ -383,8 +427,9 @@ impl RemoteFuture {
             Err(e) => {
                 self.release_balancer();
                 let e = WeaverError::from(e);
-                if self.may_retry(&e) {
+                if self.may_retry(&e, false) {
                     self.inner.pool.evict(addr);
+                    self.header.attempt += 1;
                     self.launch();
                 } else {
                     self.state = RemoteState::Ready(Err(e));
@@ -396,13 +441,22 @@ impl RemoteFuture {
     /// Whether `e` warrants the single move-to-another-replica retry.
     /// Routed calls are not retried elsewhere — affinity means another
     /// replica is a cache miss at best.
-    fn may_retry(&mut self, e: &WeaverError) -> bool {
-        if e.is_retryable() && self.routing.is_none() && !self.retried {
-            self.retried = true;
-            true
-        } else {
-            false
+    ///
+    /// `in_flight` distinguishes the two failure points. A begin-time
+    /// failure (the request never hit the wire) is always safe to retry.
+    /// A post-write failure is *ambiguous* — the callee may have executed —
+    /// so the retry only fires when the request carries an idempotency
+    /// key: the callee's dedup cache then replays instead of re-executing,
+    /// and a non-idempotent method cannot run twice.
+    fn may_retry(&mut self, e: &WeaverError, in_flight: bool) -> bool {
+        if !e.is_retryable() || self.routing.is_some() || self.retried {
+            return false;
         }
+        if in_flight && self.header.idempotency.is_none() {
+            return false;
+        }
+        self.retried = true;
+        true
     }
 
     fn release_balancer(&mut self) {
@@ -425,10 +479,13 @@ impl RemoteFuture {
         self.release_balancer();
         let outcome = match outcome.map_err(WeaverError::from) {
             Ok(body) => body_to_outcome(body),
-            Err(e) if self.may_retry(&e) => {
+            Err(e) if self.may_retry(&e, true) => {
                 if let Some(addr) = self.active_addr.take() {
                     self.inner.pool.evict(addr);
                 }
+                // Same header, same key, bumped attempt: the callee can
+                // dedup the ambiguous first attempt.
+                self.header.attempt += 1;
                 self.retry_blocking()
             }
             Err(e) => Err(e),
@@ -656,5 +713,14 @@ mod tests {
     fn replicas_of_unknown_is_empty() {
         let table = RoutingTable::new();
         assert!(table.replicas_of(3).is_empty());
+    }
+
+    #[test]
+    fn idempotency_keys_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let key = next_idempotency_key();
+            assert!(seen.insert(key), "duplicate idempotency key {key:#x}");
+        }
     }
 }

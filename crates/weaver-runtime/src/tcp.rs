@@ -39,6 +39,7 @@ use weaver_transport::{
     TransportError, WeaverFraming,
 };
 
+use crate::dedup::DedupCache;
 use crate::dispatch::ProcletDispatcher;
 use crate::router::{RemoteRouter, RoutingState, RoutingTable};
 use crate::single::{ComponentFault, FaultInjectable};
@@ -227,17 +228,22 @@ impl TcpProcess {
 
         let mut replicas = Vec::with_capacity(options.replicas);
         let mut addrs = Vec::with_capacity(options.replicas);
+        // One dedup cache for the whole deployment (the stand-in for a
+        // shared dedup store): an unrouted retry may land on a different
+        // replica than the attempt that executed, and must still replay.
+        let dedup = Arc::new(DedupCache::new());
         for _ in 0..options.replicas {
             let live = Arc::new(LiveComponents::new(Arc::clone(&registry)));
             let getter = Arc::new(RemoteGetter {
                 registry: Arc::clone(&registry),
                 router: Arc::clone(&router),
             });
-            let dispatcher = ProcletDispatcher::new(
+            let dispatcher = ProcletDispatcher::with_dedup(
                 Arc::clone(&live),
                 getter,
                 version,
                 Arc::new(MetricsRegistry::new()),
+                Arc::clone(&dedup),
             );
             let handler = Arc::new(FaultingHandler {
                 inner: dispatcher,

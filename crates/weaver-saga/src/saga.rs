@@ -1,0 +1,513 @@
+//! The saga builder: forward steps paired with compensations, driven
+//! through the step log.
+//!
+//! A saga turns a multi-component workflow into a crash-consistent unit:
+//! each forward call is paired with a compensation that semantically
+//! undoes it, and every transition is logged *before* the next side
+//! effect. Forward steps are **never retried** here — a failed forward
+//! call may or may not have executed, and retrying it is the
+//! double-execution hazard this PR exists to remove. Instead the saga
+//! pivots to compensation: committed steps (plus the possibly-executed
+//! failed one) are undone in reverse. Compensations must therefore be
+//! idempotent and tolerate "the forward call never actually happened" —
+//! they receive `None` for a step with no committed output.
+
+use std::time::Duration;
+
+use weaver_core::error::WeaverError;
+
+use crate::log::{EntryKind, LogEntry, PendingSaga, SagaLog};
+
+/// How many times a compensation is retried before the saga is left
+/// pending for recovery.
+const COMPENSATION_ATTEMPTS: u32 = 3;
+/// Pause between compensation attempts.
+const COMPENSATION_BACKOFF: Duration = Duration::from_millis(10);
+
+/// One forward call paired with its undo.
+type Forward<'a> = Box<dyn FnMut() -> Result<Vec<u8>, WeaverError> + 'a>;
+type Compensate<'a> = Box<dyn FnMut(Option<&[u8]>) -> Result<(), WeaverError> + 'a>;
+
+struct Step<'a> {
+    name: &'static str,
+    forward: Forward<'a>,
+    compensate: Compensate<'a>,
+}
+
+/// How a saga run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SagaOutcome {
+    /// Every forward step committed; `outputs[i]` is step `i`'s output.
+    Completed {
+        /// Output bytes of each forward step, in step order.
+        outputs: Vec<Vec<u8>>,
+    },
+    /// A forward step failed and every needed compensation committed.
+    Compensated {
+        /// The forward failure that triggered compensation.
+        failure: WeaverError,
+    },
+}
+
+/// A saga under construction: pair steps with [`Saga::step`], then
+/// [`Saga::run`].
+pub struct Saga<'a> {
+    log: SagaLog,
+    id: String,
+    name: &'static str,
+    context: Vec<u8>,
+    steps: Vec<Step<'a>>,
+}
+
+impl<'a> Saga<'a> {
+    /// Starts building a saga. `context` is opaque recovery state (enough
+    /// for a restarted replica to construct the compensations — e.g. the
+    /// encoded user id).
+    pub fn new(log: SagaLog, id: impl Into<String>, name: &'static str, context: Vec<u8>) -> Self {
+        Saga {
+            log,
+            id: id.into(),
+            name,
+            context,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Adds a forward call paired with the compensation that undoes it.
+    ///
+    /// The compensation receives the forward step's committed output, or
+    /// `None` when the step only *may* have executed (it failed in flight,
+    /// or a crash hid its outcome) — it must handle both, idempotently.
+    pub fn step(
+        mut self,
+        name: &'static str,
+        forward: impl FnMut() -> Result<Vec<u8>, WeaverError> + 'a,
+        compensate: impl FnMut(Option<&[u8]>) -> Result<(), WeaverError> + 'a,
+    ) -> Self {
+        self.steps.push(Step {
+            name,
+            forward: Box::new(forward),
+            compensate: Box::new(compensate),
+        });
+        self
+    }
+
+    /// Runs the saga: forward steps in order, logging each transition
+    /// before the next side effect.
+    ///
+    /// * All steps commit → `Ok(SagaOutcome::Completed)`.
+    /// * A step fails → compensation runs in reverse over the committed
+    ///   steps plus the failed one; if every compensation commits →
+    ///   `Ok(SagaOutcome::Compensated)`.
+    /// * A compensation exhausts its retries → `Err` with the original
+    ///   forward failure; the saga stays pending in the log and recovery
+    ///   finishes the undo later.
+    pub fn run(mut self) -> Result<SagaOutcome, WeaverError> {
+        self.log.append(&LogEntry {
+            saga_id: self.id.clone(),
+            kind: EntryKind::Started {
+                name: self.name.to_string(),
+                steps: self.steps.len() as u32,
+                context: self.context.clone(),
+            },
+        })?;
+
+        let mut outputs: Vec<Vec<u8>> = Vec::with_capacity(self.steps.len());
+        let mut failure: Option<(usize, WeaverError)> = None;
+        for (i, step) in self.steps.iter_mut().enumerate() {
+            match (step.forward)() {
+                Ok(output) => {
+                    self.log.append(&LogEntry {
+                        saga_id: self.id.clone(),
+                        kind: EntryKind::StepDone {
+                            step: i as u32,
+                            output: output.clone(),
+                        },
+                    })?;
+                    outputs.push(output);
+                }
+                Err(e) => {
+                    // No forward retry: the call may have executed on the
+                    // far side. Pivot to compensation.
+                    failure = Some((i, e));
+                    break;
+                }
+            }
+        }
+
+        let (failed_step, failure) = match failure {
+            None => {
+                self.log.append(&LogEntry {
+                    saga_id: self.id.clone(),
+                    kind: EntryKind::Completed,
+                })?;
+                return Ok(SagaOutcome::Completed { outputs });
+            }
+            Some(f) => f,
+        };
+
+        self.log.append(&LogEntry {
+            saga_id: self.id.clone(),
+            kind: EntryKind::Compensating,
+        })?;
+        // Undo in reverse, starting at the failed (possibly-executed) step,
+        // which has no committed output.
+        for i in (0..=failed_step).rev() {
+            let output = outputs.get(i).map(|o| o.as_slice());
+            let step = &mut self.steps[i];
+            retry_compensation(step.name, || (step.compensate)(output))?;
+            self.log.append(&LogEntry {
+                saga_id: self.id.clone(),
+                kind: EntryKind::StepCompensated { step: i as u32 },
+            })?;
+        }
+        self.log.append(&LogEntry {
+            saga_id: self.id.clone(),
+            kind: EntryKind::Compensated,
+        })?;
+        Ok(SagaOutcome::Compensated { failure })
+    }
+}
+
+/// Retries a compensation a few times; the final error propagates (the
+/// saga is then left pending for recovery).
+fn retry_compensation(
+    name: &str,
+    mut attempt: impl FnMut() -> Result<(), WeaverError>,
+) -> Result<(), WeaverError> {
+    let mut last = None;
+    for n in 0..COMPENSATION_ATTEMPTS {
+        match attempt() {
+            Ok(()) => return Ok(()),
+            Err(e) if e.is_retryable() && n + 1 < COMPENSATION_ATTEMPTS => {
+                last = Some(e);
+                std::thread::sleep(COMPENSATION_BACKOFF);
+            }
+            Err(e) => {
+                return Err(WeaverError::Unavailable {
+                    detail: format!("compensation `{name}` failed: {e}"),
+                })
+            }
+        }
+    }
+    Err(WeaverError::Unavailable {
+        detail: format!(
+            "compensation `{name}` failed: {}",
+            last.expect("looped at least once")
+        ),
+    })
+}
+
+/// What recovery did with the pending sagas it found.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sagas whose forward steps had all committed: recovery appended the
+    /// missing `Completed` entry.
+    pub resumed: Vec<String>,
+    /// Sagas recovery finished compensating.
+    pub compensated: Vec<String>,
+    /// Sagas recovery could not finish (a compensation kept failing);
+    /// they remain pending for the next recovery pass.
+    pub abandoned: Vec<String>,
+}
+
+/// Replays the log and finishes every pending saga.
+///
+/// `compensate` is the application's recovery-side undo: given the pending
+/// saga, a step index, and that step's committed output (or `None` for the
+/// possibly-executed frontier step), it must idempotently undo the step.
+/// Sagas whose forward steps all committed are *resumed* (marked
+/// `Completed`) rather than compensated — `on_resume` runs first so the
+/// application can finish any post-commit effects.
+pub fn recover_with(
+    log: &SagaLog,
+    mut on_resume: impl FnMut(&PendingSaga) -> Result<(), WeaverError>,
+    mut compensate: impl FnMut(&PendingSaga, u32, Option<&[u8]>) -> Result<(), WeaverError>,
+) -> Result<RecoveryReport, WeaverError> {
+    let mut report = RecoveryReport::default();
+    for saga in log.pending()? {
+        if saga.all_steps_done() {
+            on_resume(&saga)?;
+            log.append(&LogEntry {
+                saga_id: saga.id.clone(),
+                kind: EntryKind::Completed,
+            })?;
+            report.resumed.push(saga.id);
+            continue;
+        }
+        if !saga.compensating {
+            log.append(&LogEntry {
+                saga_id: saga.id.clone(),
+                kind: EntryKind::Compensating,
+            })?;
+        }
+        let mut abandoned = false;
+        for step in saga.steps_to_compensate() {
+            let output = saga.output_of(step);
+            if retry_compensation("recovery", || compensate(&saga, step, output)).is_err() {
+                abandoned = true;
+                break;
+            }
+            log.append(&LogEntry {
+                saga_id: saga.id.clone(),
+                kind: EntryKind::StepCompensated { step },
+            })?;
+        }
+        if abandoned {
+            report.abandoned.push(saga.id);
+        } else {
+            log.append(&LogEntry {
+                saga_id: saga.id.clone(),
+                kind: EntryKind::Compensated,
+            })?;
+            report.compensated.push(saga.id);
+        }
+    }
+    Ok(report)
+}
+
+/// Mints a process-unique saga id component: random per-process base
+/// spread with a counter, so ids survive restarts without coordination.
+pub fn unique_key() -> u64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+
+    static BASE: OnceLock<u64> = OnceLock::new();
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let base = *BASE.get_or_init(|| {
+        let mut hasher = RandomState::new().build_hasher();
+        hasher.write_u64(0x5A6A_0B0E);
+        hasher.finish() | 1
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    // SplitMix64 spread so consecutive ids differ in every byte.
+    let mut z = n.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    base ^ (z ^ (z >> 31))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::cell::RefCell;
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::store::MemStore;
+
+    fn unavailable() -> WeaverError {
+        WeaverError::Unavailable {
+            detail: "injected".into(),
+        }
+    }
+
+    fn log() -> (Arc<MemStore>, SagaLog) {
+        let store = Arc::new(MemStore::new());
+        (Arc::clone(&store), SagaLog::new(store))
+    }
+
+    #[test]
+    fn happy_path_completes_with_outputs() {
+        let (_, log) = log();
+        let outcome = Saga::new(log.clone(), "s1", "test", vec![])
+            .step("a", || Ok(vec![1]), |_| panic!("no compensation"))
+            .step("b", || Ok(vec![2]), |_| panic!("no compensation"))
+            .run()
+            .unwrap();
+        assert_eq!(
+            outcome,
+            SagaOutcome::Completed {
+                outputs: vec![vec![1], vec![2]]
+            }
+        );
+        assert!(log.pending().unwrap().is_empty());
+    }
+
+    #[test]
+    fn failure_compensates_committed_steps_in_reverse() {
+        let (_, log) = log();
+        type Undone = Vec<(&'static str, Option<Vec<u8>>)>;
+        let undone: RefCell<Undone> = RefCell::new(Vec::new());
+        let outcome = Saga::new(log.clone(), "s2", "test", vec![])
+            .step(
+                "a",
+                || Ok(vec![1]),
+                |out| {
+                    undone.borrow_mut().push(("a", out.map(<[u8]>::to_vec)));
+                    Ok(())
+                },
+            )
+            .step(
+                "b",
+                || Err(unavailable()),
+                |out| {
+                    undone.borrow_mut().push(("b", out.map(<[u8]>::to_vec)));
+                    Ok(())
+                },
+            )
+            .run()
+            .unwrap();
+        assert!(matches!(outcome, SagaOutcome::Compensated { .. }));
+        // Failed step first (no committed output), then committed step a.
+        assert_eq!(undone.into_inner(), vec![("b", None), ("a", Some(vec![1]))]);
+        assert!(log.pending().unwrap().is_empty());
+    }
+
+    #[test]
+    fn forward_steps_are_never_retried() {
+        let (_, log) = log();
+        let calls = RefCell::new(0u32);
+        let _ = Saga::new(log, "s3", "test", vec![])
+            .step(
+                "flaky",
+                || {
+                    *calls.borrow_mut() += 1;
+                    Err(unavailable())
+                },
+                |_| Ok(()),
+            )
+            .run()
+            .unwrap();
+        assert_eq!(*calls.borrow(), 1, "forward step was retried");
+    }
+
+    #[test]
+    fn compensations_are_retried_then_succeed() {
+        let (_, log) = log();
+        let attempts = RefCell::new(0u32);
+        let outcome = Saga::new(log.clone(), "s4", "test", vec![])
+            .step(
+                "a",
+                || Err(unavailable()),
+                |_| {
+                    *attempts.borrow_mut() += 1;
+                    if *attempts.borrow() < 3 {
+                        Err(unavailable())
+                    } else {
+                        Ok(())
+                    }
+                },
+            )
+            .run()
+            .unwrap();
+        assert!(matches!(outcome, SagaOutcome::Compensated { .. }));
+        assert_eq!(*attempts.borrow(), 3);
+        assert!(log.pending().unwrap().is_empty());
+    }
+
+    #[test]
+    fn exhausted_compensation_leaves_saga_pending_for_recovery() {
+        let (_, log) = log();
+        let err = Saga::new(log.clone(), "s5", "test", vec![7])
+            .step("a", || Ok(vec![1]), |_| Ok(()))
+            .step("b", || Err(unavailable()), |_| Err(unavailable()))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, WeaverError::Unavailable { .. }));
+        let pending = log.pending().unwrap();
+        assert_eq!(pending.len(), 1);
+        assert!(pending[0].compensating);
+        assert_eq!(pending[0].context, vec![7]);
+
+        // Recovery finishes the undo: steps 1 (no output) and 0 (vec![1]).
+        let undone = RefCell::new(Vec::new());
+        let report = recover_with(
+            &log,
+            |_| panic!("nothing to resume"),
+            |saga, step, out| {
+                undone
+                    .borrow_mut()
+                    .push((saga.id.clone(), step, out.map(<[u8]>::to_vec)));
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(report.compensated, vec!["s5".to_string()]);
+        assert_eq!(
+            undone.into_inner(),
+            vec![
+                ("s5".to_string(), 1, None),
+                ("s5".to_string(), 0, Some(vec![1]))
+            ]
+        );
+        assert!(log.pending().unwrap().is_empty());
+    }
+
+    #[test]
+    fn recovery_resumes_sagas_whose_steps_all_committed() {
+        let (store, log) = log();
+        // Simulate a crash after the last StepDone but before Completed.
+        log.append(&LogEntry {
+            saga_id: "s6".into(),
+            kind: EntryKind::Started {
+                name: "test".into(),
+                steps: 1,
+                context: vec![],
+            },
+        })
+        .unwrap();
+        log.append(&LogEntry {
+            saga_id: "s6".into(),
+            kind: EntryKind::StepDone {
+                step: 0,
+                output: vec![1],
+            },
+        })
+        .unwrap();
+
+        let resumed = RefCell::new(Vec::new());
+        let report = recover_with(
+            &SagaLog::new(store),
+            |saga| {
+                resumed.borrow_mut().push(saga.id.clone());
+                Ok(())
+            },
+            |_, _, _| panic!("nothing to compensate"),
+        )
+        .unwrap();
+        assert_eq!(report.resumed, vec!["s6".to_string()]);
+        assert_eq!(resumed.into_inner(), vec!["s6".to_string()]);
+        assert!(log.pending().unwrap().is_empty());
+    }
+
+    #[test]
+    fn recovery_abandons_sagas_whose_compensation_keeps_failing() {
+        let (_, log) = log();
+        log.append(&LogEntry {
+            saga_id: "s7".into(),
+            kind: EntryKind::Started {
+                name: "test".into(),
+                steps: 2,
+                context: vec![],
+            },
+        })
+        .unwrap();
+        log.append(&LogEntry {
+            saga_id: "s7".into(),
+            kind: EntryKind::StepDone {
+                step: 0,
+                output: vec![1],
+            },
+        })
+        .unwrap();
+
+        let report = recover_with(&log, |_| Ok(()), |_, _, _| Err(unavailable())).unwrap();
+        assert_eq!(report.abandoned, vec!["s7".to_string()]);
+        // Still pending: the next recovery pass gets another chance.
+        assert_eq!(log.pending().unwrap().len(), 1);
+
+        let report = recover_with(&log, |_| Ok(()), |_, _, _| Ok(())).unwrap();
+        assert_eq!(report.compensated, vec!["s7".to_string()]);
+        assert!(log.pending().unwrap().is_empty());
+    }
+
+    #[test]
+    fn unique_keys_do_not_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(unique_key()));
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Where saga step logs live: an append-only record store.
+//!
+//! The saga layer only needs two operations — append one sealed record,
+//! read them all back — so durability is a small trait with two
+//! implementations:
+//!
+//! * [`FileStore`] — length-prefixed records appended to a file, flushed
+//!   per append. Reading tolerates a *torn tail* (a crash mid-append
+//!   leaves a truncated final record): the complete prefix is returned
+//!   and the torn bytes are ignored, which is exactly the prefix-durable
+//!   contract a write-ahead log needs.
+//! * [`MemStore`] — an in-memory store, plus a process-global *named*
+//!   registry ([`MemStore::shared`]). The named store is the test
+//!   stand-in for a durable volume: component instances are crashed and
+//!   restarted within one test process, and a restarted instance finds
+//!   the log its predecessor wrote.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use weaver_core::error::WeaverError;
+
+/// An append-only store of opaque records (sealed [`weaver_codec::persist::Record`] bytes).
+pub trait LogStore: Send + Sync {
+    /// Appends one record durably (durable to the store's own standard:
+    /// flushed for files, in memory for [`MemStore`]).
+    fn append(&self, record: &[u8]) -> Result<(), WeaverError>;
+
+    /// Reads every complete record, in append order.
+    fn read_all(&self) -> Result<Vec<Vec<u8>>, WeaverError>;
+}
+
+fn store_err(op: &str, detail: impl std::fmt::Display) -> WeaverError {
+    WeaverError::Unavailable {
+        detail: format!("saga log {op}: {detail}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemStore
+// ---------------------------------------------------------------------------
+
+/// In-memory record store; see [`MemStore::shared`] for the named
+/// process-global variant used as a durable-volume stand-in in tests.
+#[derive(Default)]
+pub struct MemStore {
+    records: Mutex<Vec<Vec<u8>>>,
+}
+
+fn shared_stores() -> &'static Mutex<HashMap<String, Arc<MemStore>>> {
+    static STORES: OnceLock<Mutex<HashMap<String, Arc<MemStore>>>> = OnceLock::new();
+    STORES.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+impl MemStore {
+    /// A fresh private store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-global store registered under `name`, created on first
+    /// use. Every caller of the same name — including a component instance
+    /// constructed after a crash — sees the same records, which is what
+    /// makes in-process recovery testable.
+    pub fn shared(name: &str) -> Arc<MemStore> {
+        Arc::clone(shared_stores().lock().entry(name.to_string()).or_default())
+    }
+
+    /// Clears the shared store registered under `name` (test isolation
+    /// between deployments sharing one process).
+    pub fn reset(name: &str) {
+        if let Some(store) = shared_stores().lock().get(name) {
+            store.records.lock().clear();
+        }
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl LogStore for MemStore {
+    fn append(&self, record: &[u8]) -> Result<(), WeaverError> {
+        self.records.lock().push(record.to_vec());
+        Ok(())
+    }
+
+    fn read_all(&self) -> Result<Vec<Vec<u8>>, WeaverError> {
+        Ok(self.records.lock().clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileStore
+// ---------------------------------------------------------------------------
+
+/// File-backed record store: `[len u32 le][record bytes]` appended,
+/// flushed per append.
+pub struct FileStore {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl FileStore {
+    /// Opens (or creates) the store at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<FileStore, WeaverError> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| store_err("mkdir", e))?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| store_err("open", e))?;
+        Ok(FileStore {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl LogStore for FileStore {
+    fn append(&self, record: &[u8]) -> Result<(), WeaverError> {
+        let mut file = self.file.lock();
+        // One buffered write per record so a crash tears at most the final
+        // record, never interleaves two.
+        let mut framed = Vec::with_capacity(4 + record.len());
+        framed.extend_from_slice(&(record.len() as u32).to_le_bytes());
+        framed.extend_from_slice(record);
+        file.write_all(&framed)
+            .map_err(|e| store_err("append", e))?;
+        file.flush().map_err(|e| store_err("flush", e))
+    }
+
+    fn read_all(&self) -> Result<Vec<Vec<u8>>, WeaverError> {
+        let mut bytes = Vec::new();
+        File::open(&self.path)
+            .map_err(|e| store_err("read", e))?
+            .read_to_end(&mut bytes)
+            .map_err(|e| store_err("read", e))?;
+        let mut records = Vec::new();
+        let mut at = 0usize;
+        while bytes.len() - at >= 4 {
+            let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+            let start = at + 4;
+            if bytes.len() - start < len {
+                break; // torn tail: a crash mid-append; the prefix stands
+            }
+            records.push(bytes[start..start + len].to_vec());
+            at = start + len;
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("weaver-saga-store-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn mem_store_roundtrips_in_order() {
+        let store = MemStore::new();
+        store.append(b"one").unwrap();
+        store.append(b"two").unwrap();
+        assert_eq!(
+            store.read_all().unwrap(),
+            vec![b"one".to_vec(), b"two".to_vec()]
+        );
+    }
+
+    #[test]
+    fn shared_stores_are_shared_by_name_and_resettable() {
+        let a = MemStore::shared("store-test-alpha");
+        a.append(b"x").unwrap();
+        let b = MemStore::shared("store-test-alpha");
+        assert_eq!(b.read_all().unwrap(), vec![b"x".to_vec()]);
+        assert!(MemStore::shared("store-test-beta").is_empty());
+        MemStore::reset("store-test-alpha");
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn file_store_appends_and_survives_reopen() {
+        let path = temp_path("reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = FileStore::open(&path).unwrap();
+            store.append(b"alpha").unwrap();
+            store.append(b"beta-longer-record").unwrap();
+        }
+        let store = FileStore::open(&path).unwrap();
+        assert_eq!(
+            store.read_all().unwrap(),
+            vec![b"alpha".to_vec(), b"beta-longer-record".to_vec()]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_prefix_survives() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let store = FileStore::open(&path).unwrap();
+        store.append(b"whole").unwrap();
+        store.append(b"about-to-be-torn").unwrap();
+        // Simulate a crash mid-append: truncate into the final record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let store = FileStore::open(&path).unwrap();
+        assert_eq!(store.read_all().unwrap(), vec![b"whole".to_vec()]);
+        // The log remains appendable after a torn tail is present.
+        store.append(b"after").unwrap();
+        let all = store.read_all().unwrap();
+        assert_eq!(all[0], b"whole".to_vec());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -9,6 +9,11 @@
 //!   test saw acknowledged for that same user. Crashes are allowed to
 //!   *lose* state (a crashed cart component forgets), but may never invent
 //!   items, inflate quantities, or leak one user's cart into another's.
+//! * [`ExactlyOnceCheckout`] — a ledger-based checker for saga-shaped
+//!   workflows: fed the audit trail of charges, refunds, orders, and cart
+//!   movements (keyed by saga), it asserts money conservation — no key
+//!   charged twice, every charge resolved by exactly one order or one
+//!   refund, no cart emptied without its order or a restore.
 //! * [`RolloutHarness`] — drives keyed requests through a blue/green
 //!   [`Rollout`] across two live deployments and enforces the paper's §4.4
 //!   invariant: a request pinned to a version by the traffic split is never
@@ -85,6 +90,175 @@ impl CartConsistency {
     /// Total acknowledged adds across all users (sanity for workloads).
     pub fn acked_adds(&self) -> u64 {
         self.acked.lock().values().flat_map(HashMap::values).sum()
+    }
+}
+
+/// Exactly-once checker for saga-shaped checkouts.
+///
+/// The test feeds it the audit trail — every charge, refund, order, cart
+/// emptying, and cart restore the side-effecting services recorded — all
+/// keyed by the saga (order) that caused them. [`ExactlyOnceCheckout::check`]
+/// then asserts the money-conservation invariant that must hold under any
+/// amount of chaos, across any placement:
+///
+/// 1. no saga charged the card more than once (retries and replays
+///    collapsed onto one gateway transaction);
+/// 2. every charge is resolved by **exactly one** of an order or a refund
+///    — never both (double resolution), never neither (stranded money);
+/// 3. every order was paid for;
+/// 4. every cart emptying is covered by exactly one of its order or a
+///    restore — a user never loses cart contents without getting an order.
+#[derive(Default)]
+pub struct ExactlyOnceCheckout {
+    state: Mutex<CheckoutTrail>,
+}
+
+#[derive(Default)]
+struct CheckoutTrail {
+    /// saga → number of `Charged` audit events.
+    charges: HashMap<String, u64>,
+    /// saga → number of `Refunded` audit events.
+    refunds: HashMap<String, u64>,
+    /// saga → number of `OrderPlaced` audit events.
+    orders: HashMap<String, u64>,
+    /// saga → number of `CartEmptied` audit events.
+    cart_empties: HashMap<String, u64>,
+    /// saga → number of `CartRestored` audit events.
+    cart_restores: HashMap<String, u64>,
+}
+
+impl ExactlyOnceCheckout {
+    /// An empty trail.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a gateway charge made on behalf of `saga`.
+    pub fn record_charge(&self, saga: &str) {
+        *self
+            .state
+            .lock()
+            .charges
+            .entry(saga.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Records a gateway refund made on behalf of `saga`.
+    pub fn record_refund(&self, saga: &str) {
+        *self
+            .state
+            .lock()
+            .refunds
+            .entry(saga.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Records `saga` reaching its confirmed-order terminal state.
+    pub fn record_order(&self, saga: &str) {
+        *self
+            .state
+            .lock()
+            .orders
+            .entry(saga.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Records a cart emptied on behalf of `saga`.
+    pub fn record_cart_emptied(&self, saga: &str) {
+        *self
+            .state
+            .lock()
+            .cart_empties
+            .entry(saga.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Records the cart emptied by `saga` being restored.
+    pub fn record_cart_restored(&self, saga: &str) {
+        *self
+            .state
+            .lock()
+            .cart_restores
+            .entry(saga.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Charges recorded so far (sanity: the workload did something).
+    pub fn charges(&self) -> u64 {
+        self.state.lock().charges.values().sum()
+    }
+
+    /// Orders recorded so far.
+    pub fn orders(&self) -> u64 {
+        self.state.lock().orders.values().sum()
+    }
+
+    /// Refunds recorded so far.
+    pub fn refunds(&self) -> u64 {
+        self.state.lock().refunds.values().sum()
+    }
+
+    /// Verifies the exactly-once invariant over the whole trail.
+    pub fn check(&self) -> Result<(), String> {
+        let state = self.state.lock();
+        for (saga, &count) in &state.charges {
+            if count > 1 {
+                return Err(format!("saga {saga} charged the card {count} times"));
+            }
+            let orders = state.orders.get(saga).copied().unwrap_or(0);
+            let refunds = state.refunds.get(saga).copied().unwrap_or(0);
+            match (orders, refunds) {
+                (1, 0) | (0, 1) => {}
+                (0, 0) => {
+                    return Err(format!(
+                        "saga {saga} charged but produced neither order nor refund (stranded money)"
+                    ))
+                }
+                (o, r) => {
+                    return Err(format!(
+                        "saga {saga} resolved its charge {o} times as order and {r} times as refund"
+                    ))
+                }
+            }
+        }
+        for (saga, &count) in &state.orders {
+            if count > 1 {
+                return Err(format!("saga {saga} placed {count} orders"));
+            }
+            if state.charges.get(saga).copied().unwrap_or(0) == 0 {
+                return Err(format!(
+                    "saga {saga} placed an order that was never paid for"
+                ));
+            }
+        }
+        for (saga, &count) in &state.cart_empties {
+            if count > 1 {
+                return Err(format!("saga {saga} emptied the cart {count} times"));
+            }
+            let orders = state.orders.get(saga).copied().unwrap_or(0);
+            let restores = state.cart_restores.get(saga).copied().unwrap_or(0);
+            match (orders, restores) {
+                (1, 0) | (0, 1) => {}
+                (0, 0) => {
+                    return Err(format!(
+                        "saga {saga} emptied the cart without an order or a restore"
+                    ))
+                }
+                (o, r) => {
+                    return Err(format!(
+                        "saga {saga} covered its cart emptying {o} times as order and {r} times as restore"
+                    ))
+                }
+            }
+        }
+        for saga in state.cart_restores.keys() {
+            if state.cart_empties.get(saga).copied().unwrap_or(0) == 0 {
+                return Err(format!(
+                    "saga {saga} restored a cart that was never emptied"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -294,6 +468,63 @@ mod tests {
         assert!(err.contains("another user"), "{err}");
 
         assert_eq!(model.acked_adds(), 4);
+    }
+
+    #[test]
+    fn exactly_once_accepts_orders_and_refunds_rejects_everything_else() {
+        let model = ExactlyOnceCheckout::new();
+        // Completed saga: charge + order + cart emptied.
+        model.record_charge("s1");
+        model.record_order("s1");
+        model.record_cart_emptied("s1");
+        // Compensated saga: charge + refund, cart emptied then restored.
+        model.record_charge("s2");
+        model.record_refund("s2");
+        model.record_cart_emptied("s2");
+        model.record_cart_restored("s2");
+        // Failed-before-side-effects saga: nothing recorded at all.
+        model.check().unwrap();
+        assert_eq!(model.charges(), 2);
+        assert_eq!(model.orders(), 1);
+        assert_eq!(model.refunds(), 1);
+    }
+
+    #[test]
+    fn exactly_once_catches_each_violation_class() {
+        // Double charge.
+        let m = ExactlyOnceCheckout::new();
+        m.record_charge("s");
+        m.record_charge("s");
+        assert!(m.check().unwrap_err().contains("2 times"));
+
+        // Stranded money: charged, never resolved.
+        let m = ExactlyOnceCheckout::new();
+        m.record_charge("s");
+        assert!(m.check().unwrap_err().contains("stranded"));
+
+        // Double resolution: order AND refund.
+        let m = ExactlyOnceCheckout::new();
+        m.record_charge("s");
+        m.record_order("s");
+        m.record_refund("s");
+        assert!(m.check().unwrap_err().contains("resolved"));
+
+        // Unpaid order.
+        let m = ExactlyOnceCheckout::new();
+        m.record_order("s");
+        assert!(m.check().unwrap_err().contains("never paid"));
+
+        // Cart emptied with neither order nor restore.
+        let m = ExactlyOnceCheckout::new();
+        m.record_charge("s");
+        m.record_refund("s");
+        m.record_cart_emptied("s");
+        assert!(m.check().unwrap_err().contains("without an order"));
+
+        // Restore of a cart that was never emptied.
+        let m = ExactlyOnceCheckout::new();
+        m.record_cart_restored("s");
+        assert!(m.check().unwrap_err().contains("never emptied"));
     }
 
     #[test]

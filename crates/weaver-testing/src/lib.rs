@@ -20,7 +20,9 @@
 //!   text and replay verbatim, so any chaos-found failure becomes a
 //!   deterministic regression test.
 //! * [`invariants`] — what chaos asserts: a model-based cart-consistency
-//!   checker and a blue/green rollout harness enforcing the §4.4
+//!   checker, an exactly-once checkout checker for saga-shaped workflows
+//!   (every charge resolved by exactly one order or refund), and a
+//!   blue/green rollout harness enforcing the §4.4
 //!   no-cross-version-communication invariant under fire.
 //!
 //! Transport-level fault injection (delay/corrupt/duplicate/truncate/sever
@@ -39,6 +41,6 @@ pub use chaos::{
     apply, eventually, parse_log, replay, seed_from_env, serialize_log, write_log_artifact,
     ChaosAction, ChaosOptions, ChaosRunner, ChaosSchedule,
 };
-pub use invariants::{CartConsistency, RolloutHarness, RolloutReport};
+pub use invariants::{CartConsistency, ExactlyOnceCheckout, RolloutHarness, RolloutReport};
 pub use matrix::{run_matrix, run_matrix_with, MatrixDeployment, MatrixOptions, Placement};
 pub use weavertest::{run_both, run_colocated, run_marshaled};

@@ -41,6 +41,16 @@ pub struct RequestHeader {
     pub span_id: u64,
     /// Affinity routing key, if the method is routed (§5.2).
     pub routing: Option<u64>,
+    /// Idempotency key, if the caller wants at-most-once execution: a
+    /// callee that has already executed a request with this key replays the
+    /// recorded response instead of re-executing. `None` costs one byte on
+    /// the wire. Trailing position keeps the prefix layout of older
+    /// headers byte-identical (atomic rollouts recompile both sides, so
+    /// both ends always agree on the full layout).
+    pub idempotency: Option<u64>,
+    /// Retry attempt counter (0 = first send). Diagnostic: lets the callee
+    /// distinguish a replayed retry from a duplicate delivery.
+    pub attempt: u32,
 }
 
 /// Response status discriminant.
@@ -386,6 +396,12 @@ impl GrpcLikeFraming {
         if let Some(key) = header.routing {
             block.push_str(&format!("routing-key: {key}\r\n"));
         }
+        if let Some(key) = header.idempotency {
+            block.push_str(&format!("idempotency-key: {key}\r\n"));
+        }
+        if header.attempt > 0 {
+            block.push_str(&format!("weaver-attempt: {}\r\n", header.attempt));
+        }
         block.into_bytes()
     }
 
@@ -437,6 +453,18 @@ impl GrpcLikeFraming {
                             .parse()
                             .map_err(|_| TransportError::Protocol("bad routing key".into()))?,
                     );
+                }
+                "idempotency-key" => {
+                    header.idempotency = Some(
+                        value
+                            .parse()
+                            .map_err(|_| TransportError::Protocol("bad idempotency key".into()))?,
+                    );
+                }
+                "weaver-attempt" => {
+                    header.attempt = value
+                        .parse()
+                        .map_err(|_| TransportError::Protocol("bad attempt".into()))?;
                 }
                 _ => {}
             }
@@ -625,6 +653,8 @@ mod tests {
             trace_id: 0xdead,
             span_id: 0xbeef,
             routing: Some(77),
+            idempotency: Some(0x1234_5678_9abc_def0),
+            attempt: 1,
         }
     }
 
@@ -767,6 +797,31 @@ mod tests {
             Message::Request { header: h, .. } => assert_eq!(h, header),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn idempotency_key_rides_both_framings() {
+        // A retried request keeps its key and bumps the attempt counter;
+        // both framings must carry them faithfully — they are what makes
+        // the retry safe to dedup on the far side.
+        fn check<F: Framing>() {
+            let mut header = sample_header();
+            header.idempotency = Some(u64::MAX);
+            header.attempt = 2;
+            let mut wire = Vec::new();
+            F::write_request(&mut wire, 7, &header, &[0xAB]);
+            let mut f = F::default();
+            let msg = f
+                .read_message(&mut Cursor::new(&wire), &pool())
+                .unwrap()
+                .unwrap();
+            match msg {
+                Message::Request { header: h, .. } => assert_eq!(h, header, "{}", F::NAME),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        check::<WeaverFraming>();
+        check::<GrpcLikeFraming>();
     }
 
     #[test]

@@ -10,16 +10,20 @@ use weaver_transport::{
 
 fn arbitrary_header() -> impl Strategy<Value = RequestHeader> {
     (
-        any::<u32>(),
-        0u32..64,
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<Option<u64>>(),
+        (any::<u32>(), 0u32..64, any::<u64>(), any::<u64>()),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<Option<u64>>(),
+            any::<Option<u64>>(),
+            any::<u32>(),
+        ),
     )
         .prop_map(
-            |(component, method, version, deadline_nanos, trace_id, span_id, routing)| {
+            |(
+                (component, method, version, deadline_nanos),
+                (trace_id, span_id, routing, idempotency, attempt),
+            )| {
                 RequestHeader {
                     component,
                     method,
@@ -28,6 +32,8 @@ fn arbitrary_header() -> impl Strategy<Value = RequestHeader> {
                     trace_id,
                     span_id,
                     routing,
+                    idempotency,
+                    attempt,
                 }
             },
         )

@@ -1,0 +1,333 @@
+//! The checkout saga under fire: exactly-once money movement across the
+//! whole deployment matrix, and crash recovery from the persisted step
+//! log.
+//!
+//! The invariant (checked by `ExactlyOnceCheckout` over the audit trail
+//! the gateway/journal stand-ins record): no saga charges the card twice,
+//! every charge is resolved by exactly one order or one refund, every
+//! order was paid for, and no cart is emptied without its order or a
+//! restore. Seeds honor `WEAVER_CHAOS_SEED` so CI can sweep them; the
+//! saga step log is written to `target/saga-logs/` for post-mortems.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use boutique::components::{CartService, CheckoutService, Frontend};
+use boutique::logic::audit::{AuditEvent, AuditLog};
+use boutique::types::CartItem;
+use weaver_runtime::{SingleMode, SingleProcess};
+use weaver_saga::{serialize_entries, EntryKind, LogEntry, MemStore, SagaLog};
+use weaver_testing::{
+    eventually, run_matrix, seed_from_env, ChaosOptions, ChaosRunner, ExactlyOnceCheckout,
+};
+
+const CART: &str = "boutique.CartService";
+const CATALOG: &str = "boutique.ProductCatalog";
+const PAYMENT: &str = "boutique.PaymentService";
+const CURRENCY: &str = "boutique.CurrencyService";
+const SHIPPING: &str = "boutique.Shipping";
+
+/// Real catalog ids: checkout's fan-out looks every line up.
+const PRODUCTS: &[&str] = &[
+    "OLJCESPC7Z",
+    "66VCHSJNUP",
+    "1YMWWN1N4O",
+    "L9ECAV7KIM",
+    "2ZYFJ3GM2N",
+];
+
+/// The tests in this binary share the process-global saga store, payment
+/// ledger, cart journal, and audit log; they must not interleave.
+static EXCLUSIVE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn order_request(user: &str) -> boutique::types::PlaceOrderRequest {
+    boutique::types::PlaceOrderRequest {
+        user_id: user.to_string(),
+        user_currency: "EUR".into(),
+        address: boutique::loadgen::test_address(),
+        email: "saga@example.com".into(),
+        credit_card: boutique::logic::payment::test_card(),
+    }
+}
+
+fn checkout_log() -> SagaLog {
+    SagaLog::new(MemStore::shared(boutique::components::SAGA_STORE))
+}
+
+/// Resolves any saga left pending by earlier test binaries, so this
+/// test's audit window contains only its own effects.
+fn drain_pending_sagas() {
+    let app = SingleProcess::deploy(boutique::registry(), SingleMode::Colocated, 1);
+    let checkout = app.get::<dyn CheckoutService>().expect("checkout");
+    let _ = checkout.recover_sagas(&app.root_context());
+}
+
+/// The audit trail keys charges as `{saga}:charge` and cart movements as
+/// `{saga}:cart`; map everything back to the owning saga.
+fn saga_of(key: &str) -> &str {
+    key.strip_suffix(":charge")
+        .or_else(|| key.strip_suffix(":cart"))
+        .unwrap_or(key)
+}
+
+fn write_saga_artifact(name: &str, text: &str) -> Option<PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("saga-logs");
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{name}.log"));
+    std::fs::write(&path, text).ok()?;
+    Some(path)
+}
+
+/// Exactly-once checkout under seeded chaos, across all four placements.
+/// Orders may fail — chaos makes that routine — but the audit trail must
+/// balance: each charge resolves to exactly one order or one refund, and
+/// nobody's cart vanishes without an order or a restore.
+#[test]
+fn checkout_is_exactly_once_under_chaos_across_placements() {
+    let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    drain_pending_sagas();
+    let mark = AuditLog::mark();
+
+    run_matrix(boutique::registry(), |dep| {
+        let label = dep.label();
+        let frontend = dep.get::<dyn Frontend>().expect(label);
+        let cart = dep.get::<dyn CartService>().expect(label);
+        let checkout = dep.get::<dyn CheckoutService>().expect(label);
+
+        let chaos = ChaosRunner::start(
+            dep.fault_injectable(),
+            ChaosOptions {
+                seed: seed_from_env(0xC4A05),
+                targets: vec![
+                    PAYMENT.into(),
+                    SHIPPING.into(),
+                    CURRENCY.into(),
+                    CATALOG.into(),
+                    CART.into(),
+                ],
+                interval: Duration::from_millis(1),
+                heal_fraction: 0.5,
+            },
+        );
+
+        let mut attempts = 0usize;
+        let mut ok = 0usize;
+        for round in 0..25u64 {
+            for user in 0..4u64 {
+                let uid = format!("saga-{label}-u{user}");
+                let ctx = dep.root_context().with_timeout(Duration::from_secs(2));
+                for line in 0..2u64 {
+                    let _ = cart.add_item(
+                        &ctx,
+                        uid.clone(),
+                        CartItem {
+                            product_id: PRODUCTS[((round + line) % 5) as usize].to_string(),
+                            quantity: 1,
+                        },
+                    );
+                }
+                attempts += 1;
+                if frontend.place_order(&ctx, order_request(&uid)).is_ok() {
+                    ok += 1;
+                }
+            }
+            // Let the chaos thread (1ms cadence) genuinely interleave.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let actions = chaos.stop();
+        assert!(
+            actions.len() > 10,
+            "[{label}] chaos barely ran: {} actions",
+            actions.len()
+        );
+        assert!(
+            ok > 0,
+            "[{label}] no order ever succeeded ({attempts} attempts)"
+        );
+
+        // Healed, any saga whose compensation was interrupted mid-undo must
+        // be finishable from the log alone.
+        eventually(Duration::from_secs(5), || {
+            checkout.recover_sagas(&dep.root_context())
+        })
+        .unwrap_or_else(|e| panic!("[{label}] saga recovery never succeeded: {e}"));
+        assert!(
+            checkout_log().pending().expect(label).is_empty(),
+            "[{label}] sagas still pending after recovery"
+        );
+    });
+
+    // The saga step log is the post-mortem artifact CI uploads on failure;
+    // write it before checking so a violation still leaves the evidence.
+    let entries = checkout_log().entries().expect("readable step log");
+    write_saga_artifact("saga-matrix-exactly-once", &serialize_entries(&entries))
+        .expect("saga log artifact");
+
+    // Fold the audit trail into the checker and verify the invariant.
+    let checker = ExactlyOnceCheckout::new();
+    for event in AuditLog::since(mark) {
+        match event {
+            AuditEvent::Charged { key, .. } => checker.record_charge(saga_of(&key)),
+            AuditEvent::Refunded { key, .. } => checker.record_refund(saga_of(&key)),
+            AuditEvent::CartEmptied { key, .. } => checker.record_cart_emptied(saga_of(&key)),
+            AuditEvent::CartRestored { key, .. } => checker.record_cart_restored(saga_of(&key)),
+            AuditEvent::OrderPlaced { key, .. } => checker.record_order(saga_of(&key)),
+        }
+    }
+    assert!(checker.charges() > 0, "workload never charged anything");
+    assert!(checker.orders() > 0, "workload never completed an order");
+    checker.check().expect("exactly-once invariant violated");
+}
+
+/// Crash recovery from the persisted step log: a checkout replica dies
+/// after charging but before shipping; the restarted replica must refund
+/// from the log alone. A second saga dies with every step committed; the
+/// restarted replica must complete it, not refund it.
+#[test]
+fn killed_replica_recovers_in_flight_sagas_from_the_log() {
+    let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    drain_pending_sagas();
+
+    let app = SingleProcess::deploy(boutique::registry(), SingleMode::Marshaled, 1);
+    let checkout = app.get::<dyn CheckoutService>().expect("checkout");
+    let ctx = app.root_context();
+    assert_eq!(
+        checkout.recover_sagas(&ctx).unwrap(),
+        0,
+        "store not drained"
+    );
+
+    // Saga A: charged, then the replica died before shipping. The charge
+    // is real — it sits in the gateway ledger — but only the step log
+    // knows it belongs to an unfinished checkout.
+    let id_a = format!("order-{:016x}", weaver_saga::unique_key());
+    let charge_key = format!("{id_a}:charge");
+    let txn = boutique::logic::payment::PaymentLedger::charge_idem(&charge_key, || {
+        Ok("txn-killed-replica".into())
+    })
+    .expect("seed charge");
+    let log = checkout_log();
+    log.append(&LogEntry {
+        saga_id: id_a.clone(),
+        kind: EntryKind::Started {
+            name: "checkout".into(),
+            steps: 3,
+            context: weaver_codec::encode_to_vec(&"crash-user".to_string()),
+        },
+    })
+    .unwrap();
+    log.append(&LogEntry {
+        saga_id: id_a.clone(),
+        kind: EntryKind::StepDone {
+            step: 0,
+            output: weaver_codec::encode_to_vec(&txn),
+        },
+    })
+    .unwrap();
+
+    // Saga B: every step committed, the replica died before logging
+    // `Completed`. Recovery must finish it — refunding here would yank a
+    // delivered order back.
+    let id_b = format!("order-{:016x}", weaver_saga::unique_key());
+    let charge_key_b = format!("{id_b}:charge");
+    boutique::logic::payment::PaymentLedger::charge_idem(&charge_key_b, || {
+        Ok("txn-completed-but-unlogged".into())
+    })
+    .expect("seed charge");
+    log.append(&LogEntry {
+        saga_id: id_b.clone(),
+        kind: EntryKind::Started {
+            name: "checkout".into(),
+            steps: 1,
+            context: weaver_codec::encode_to_vec(&"crash-user".to_string()),
+        },
+    })
+    .unwrap();
+    log.append(&LogEntry {
+        saga_id: id_b.clone(),
+        kind: EntryKind::StepDone {
+            step: 0,
+            output: weaver_codec::encode_to_vec(&"txn-completed-but-unlogged".to_string()),
+        },
+    })
+    .unwrap();
+
+    // Kill the replica. The step log (durable volume) survives; the
+    // component instance does not.
+    app.crash_component("boutique.CheckoutService").unwrap();
+
+    let mark = AuditLog::mark();
+    let finished = checkout.recover_sagas(&ctx).expect("recovery on restart");
+    assert_eq!(finished, 2, "both in-flight sagas must be finished");
+
+    let events = AuditLog::since(mark);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, AuditEvent::Refunded { key, .. } if *key == charge_key)),
+        "saga A's charge was not refunded: {events:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, AuditEvent::OrderPlaced { key, .. } if *key == id_b)),
+        "saga B was not resumed to completion: {events:?}"
+    );
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, AuditEvent::Refunded { key, .. } if *key == charge_key_b)),
+        "saga B was wrongly refunded: {events:?}"
+    );
+
+    // Both sagas are terminal in the log; a second recovery finds nothing.
+    assert!(checkout_log().pending().unwrap().is_empty());
+    assert_eq!(checkout.recover_sagas(&ctx).unwrap(), 0);
+}
+
+/// With `WEAVER_SAGA_DIR` set, the step log goes to disk: a completed
+/// checkout leaves a `Started → StepDone×3 → Completed` trail in the
+/// file, and a fresh `FileStore` reader (a restarted process) sees it.
+#[test]
+fn checkout_saga_log_persists_to_disk_when_configured() {
+    let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join(format!("weaver-saga-dir-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("WEAVER_SAGA_DIR", &dir);
+
+    // Deploy *after* the env var is set: the checkout component opens its
+    // store at init.
+    let app = SingleProcess::deploy(boutique::registry(), SingleMode::Marshaled, 1);
+    let frontend = app.get::<dyn Frontend>().expect("frontend");
+    let cart = app.get::<dyn CartService>().expect("cart");
+    let ctx = app.root_context();
+    cart.add_item(
+        &ctx,
+        "disk-user".into(),
+        CartItem {
+            product_id: PRODUCTS[0].to_string(),
+            quantity: 1,
+        },
+    )
+    .unwrap();
+    let order = frontend
+        .place_order(&ctx, order_request("disk-user"))
+        .expect("clean checkout");
+    std::env::remove_var("WEAVER_SAGA_DIR");
+
+    // A restarted process would open the same file fresh.
+    let store = weaver_saga::FileStore::open(dir.join("checkout.log")).unwrap();
+    let log = SagaLog::new(std::sync::Arc::new(store));
+    let entries = log.entries().unwrap();
+    let mine: Vec<_> = entries
+        .iter()
+        .filter(|e| e.saga_id == order.order_id)
+        .collect();
+    assert_eq!(mine.len(), 5, "Started + 3 StepDone + Completed: {mine:?}");
+    assert!(matches!(mine[0].kind, EntryKind::Started { steps: 3, .. }));
+    assert!(matches!(mine[4].kind, EntryKind::Completed));
+    assert!(log.pending().unwrap().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -55,7 +55,7 @@ fn checkout_trace_reconstructs_the_call_tree() {
             .map(|(_, d)| *d)
     };
     assert_eq!(depth_of("boutique.CheckoutService", "place_order"), Some(1));
-    assert_eq!(depth_of("boutique.PaymentService", "charge"), Some(2));
+    assert_eq!(depth_of("boutique.PaymentService", "charge_idem"), Some(2));
     assert_eq!(depth_of("boutique.CartService", "get_cart"), Some(2));
     assert_eq!(
         depth_of("boutique.EmailService", "send_order_confirmation"),
