@@ -185,18 +185,14 @@ impl CheckoutService for CheckoutServiceImpl {
                 Ok(())
             },
         )
-        .step(
-            "ship",
-            || {
-                let tracking =
-                    self.shipping
-                        .ship_order(ctx, request.address.clone(), cart_items.clone())?;
-                Ok(weaver_codec::encode_to_vec(&tracking))
-            },
-            // The mock carrier has no cancellation: a booked label that
-            // never ships simply lapses, so the undo is a no-op.
-            |_| Ok(()),
-        )
+        // The mock carrier has no cancellation: a booked label that
+        // never ships simply lapses, so the step declares no undo.
+        .forward_only("ship", || {
+            let tracking =
+                self.shipping
+                    .ship_order(ctx, request.address.clone(), cart_items.clone())?;
+            Ok(weaver_codec::encode_to_vec(&tracking))
+        })
         .step(
             "empty-cart",
             || {

@@ -1,0 +1,893 @@
+//! Per-method control-flow summaries: each `fn` body inside an impl
+//! block is abstracted into a linear stream of *events* — lock
+//! acquisitions and releases, component stub calls, future gathers —
+//! each stamped with the set of lock guards held at that point and,
+//! for calls, with the saga closure (forward or compensation half of a
+//! `Saga::new(…).step(…)….run()` chain) the call occurs in.
+//!
+//! The summaries are the unit of the interprocedural passes: L4 reads
+//! the held-lock stamps directly, L6 propagates may-acquire sets over
+//! the call graph (`crate::dataflow`) and orders lock identities
+//! (`crate::locks`), and L7 pairs saga forward calls with registered
+//! compensations (`crate::rules`). Extraction stays token-level — block
+//! scoping comes from brace matching, not a parse tree — which is
+//! exactly the trade the rest of the linter makes: sound enough for the
+//! restricted shapes the component model allows, zero dependency on a
+//! full Rust front end.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use weaver_syntax::{Cursor, Tok, TokKind};
+
+use crate::model::{HeldLock, SagaRole};
+
+/// Lock wrapper types whose associated `lock`/`read`/`write` functions
+/// produce guards. Both `std::sync` and the vendored `parking_lot` shim
+/// use these names.
+const LOCK_TYPES: &[&str] = &["Mutex", "RwLock", "ReentrantMutex"];
+
+/// Per-file `use` alias map: `use std::sync::Mutex as Mu;` records
+/// `Mu -> Mutex` so UFCS guard acquisitions through the alias
+/// (`Mu::lock(&self.state)`) are still recognized as lock operations.
+///
+/// Collection is deliberately shallow: any `A as B` identifier pair
+/// inside a `use` statement is recorded, which handles plain renames,
+/// grouped imports (`use std::sync::{Mutex as Mu, Arc};`), and nested
+/// groups without modeling the path tree.
+#[derive(Debug, Default, Clone)]
+pub struct Aliases {
+    map: BTreeMap<String, String>,
+}
+
+impl Aliases {
+    /// Scans a token stream (typically a whole file) for `use` aliases.
+    pub fn collect(toks: &[Tok]) -> Aliases {
+        let mut map = BTreeMap::new();
+        let mut i = 0;
+        while i < toks.len() {
+            if !toks[i].is_ident("use") {
+                i += 1;
+                continue;
+            }
+            // Within the statement (up to `;`), record every
+            // `Original as Alias` identifier pair.
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_punct(";") {
+                if toks[j].is_ident("as")
+                    && j >= 1
+                    && toks[j - 1].kind == TokKind::Ident
+                    && toks.get(j + 1).is_some_and(|t| t.kind == TokKind::Ident)
+                {
+                    map.insert(toks[j + 1].text.clone(), toks[j - 1].text.clone());
+                    j += 2;
+                    continue;
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        Aliases { map }
+    }
+
+    /// Resolves an identifier through the alias map (bounded chase, so a
+    /// pathological `use A as A;` cannot loop).
+    pub fn resolve<'a>(&'a self, name: &'a str) -> &'a str {
+        let mut cur = name;
+        for _ in 0..4 {
+            match self.map.get(cur) {
+                Some(next) if next != cur => cur = next,
+                _ => break,
+            }
+        }
+        cur
+    }
+
+    /// True when `name` (after alias resolution) is a known lock type.
+    pub fn is_lock_type(&self, name: &str) -> bool {
+        LOCK_TYPES.contains(&self.resolve(name))
+    }
+}
+
+/// One abstract event in a function body, in source order.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// A lock guard came into scope (`let g = self.state.lock();` or
+    /// the UFCS form `let g = Mutex::lock(&self.state);`).
+    Acquire {
+        /// The guard's binding name.
+        binding: String,
+        /// The lock's `self`-rooted field path, when it has one.
+        lock: Option<String>,
+        /// Guards already held when this one is acquired — the source
+        /// of intra-method lock-order edges.
+        held: Vec<HeldLock>,
+    },
+    /// A guard left scope: explicit `drop(g)` or its block closed.
+    Release {
+        /// The guard's binding name.
+        binding: String,
+    },
+    /// A `self.<field>.<method>(…)` expression — a candidate component
+    /// stub call (resolution against dependency fields happens later).
+    Call {
+        /// The field the call goes through.
+        field: String,
+        /// The method invoked.
+        method: String,
+        /// Guards held across the call.
+        held: Vec<HeldLock>,
+        /// The saga closure this call occurs in, if any.
+        saga: Option<SagaRole>,
+    },
+    /// A future gather: zero-argument `.wait()`, `.wait_timeout(…)`, or
+    /// `join_all(…)` — where a scattered call actually blocks.
+    Gather {
+        /// Rendered form of the gather expression.
+        expr: String,
+        /// Guards held across the block.
+        held: Vec<HeldLock>,
+    },
+}
+
+/// An event with its source line.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One step of a `Saga::new(…)` builder chain, as declared.
+#[derive(Debug, Clone)]
+pub struct SagaStepInfo {
+    /// The step's name literal (first argument), `?` when non-literal.
+    pub name: String,
+    /// 1-based line of the `.step(` / `.forward_only(` call.
+    pub line: u32,
+    /// True for `.forward_only(…)` steps (no compensation registered).
+    pub forward_only: bool,
+}
+
+/// One `Saga::new(…)….run()` chain found in a function body.
+#[derive(Debug, Clone)]
+pub struct SagaChainInfo {
+    /// 1-based line of the `Saga::new` call.
+    pub line: u32,
+    /// Steps in declaration order.
+    pub steps: Vec<SagaStepInfo>,
+}
+
+/// The summary of one `fn` body: its event stream plus saga-chain
+/// declarations. `struct_name`/`fn_name` key the summary into the call
+/// graph; component membership is resolved via the model's links.
+#[derive(Debug, Clone)]
+pub struct FnSummary {
+    /// The impl block's self type.
+    pub struct_name: String,
+    /// The function's name.
+    pub fn_name: String,
+    /// File the body lives in.
+    pub file: PathBuf,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Abstract events in source order.
+    pub events: Vec<Event>,
+    /// Saga chains declared in this body.
+    pub sagas: Vec<SagaChainInfo>,
+}
+
+/// A guard being tracked through the linear walk.
+struct Guard {
+    name: String,
+    lock: Option<String>,
+    depth: u32,
+    line: u32,
+    /// Token index from which the binding is in scope (past the `let`
+    /// statement's `;`) — calls inside the initializer run before the
+    /// guard exists.
+    active_from: usize,
+}
+
+fn held_at(guards: &[Guard], i: usize) -> Vec<HeldLock> {
+    guards
+        .iter()
+        .filter(|g| g.active_from <= i)
+        .map(|g| HeldLock {
+            binding: g.name.clone(),
+            lock: g.lock.clone(),
+            line: g.line,
+        })
+        .collect()
+}
+
+/// Summarizes one function body (the tokens *inside* its `{ … }`).
+pub fn summarize(
+    file: &Path,
+    struct_name: &str,
+    fn_name: &str,
+    fn_line: u32,
+    toks: &[Tok],
+    aliases: &Aliases,
+) -> FnSummary {
+    let (sagas, roles) = saga_chains(toks);
+    let role_at = |i: usize| {
+        roles
+            .iter()
+            .find(|(lo, hi, _)| *lo <= i && i < *hi)
+            .map(|(_, _, r)| *r)
+    };
+    let mut events: Vec<Event> = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: u32 = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Open && t.is_punct("{") {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.kind == TokKind::Close && t.is_punct("}") {
+            let line = t.line;
+            guards.retain(|g| {
+                if g.depth == depth {
+                    events.push(Event {
+                        kind: EventKind::Release {
+                            binding: g.name.clone(),
+                        },
+                        line,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            depth = depth.saturating_sub(1);
+            i += 1;
+            continue;
+        }
+        if t.is_ident("let") {
+            if let Some(bind) = guard_binding(toks, i, aliases) {
+                events.push(Event {
+                    kind: EventKind::Acquire {
+                        binding: bind.name.clone(),
+                        lock: bind.lock.clone(),
+                        held: held_at(&guards, i),
+                    },
+                    line: bind.line,
+                });
+                guards.push(Guard {
+                    name: bind.name,
+                    lock: bind.lock,
+                    depth,
+                    line: bind.line,
+                    active_from: bind.end,
+                });
+            }
+            i += 1; // keep walking into the initializer for call sites
+            continue;
+        }
+        if t.is_ident("drop")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(")"))
+        {
+            let dropped = &toks[i + 2].text;
+            guards.retain(|g| {
+                if &g.name == dropped {
+                    events.push(Event {
+                        kind: EventKind::Release {
+                            binding: g.name.clone(),
+                        },
+                        line: t.line,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            i += 4;
+            continue;
+        }
+        if t.is_ident("self")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("."))
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(i + 3).is_some_and(|t| t.is_punct("."))
+            && toks.get(i + 4).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(i + 5).is_some_and(|t| t.is_punct("("))
+        {
+            events.push(Event {
+                kind: EventKind::Call {
+                    field: toks[i + 2].text.clone(),
+                    method: toks[i + 4].text.clone(),
+                    held: held_at(&guards, i),
+                    saga: role_at(i),
+                },
+                line: toks[i + 4].line,
+            });
+            i += 5; // leave `(` for normal traversal
+            continue;
+        }
+        // Future-gather sites. A zero-argument `.wait()` or any
+        // `.wait_timeout(` is a `CallFuture` gather (the argument
+        // requirement excludes `Condvar::wait(&mut g)`); `join_all(`
+        // gathers a whole scatter (the `fn` check excludes the
+        // definition itself).
+        if t.is_punct(".")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.is_ident("wait") || t.is_ident("wait_timeout"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct("("))
+        {
+            let method = &toks[i + 1].text;
+            let zero_arg = toks.get(i + 3).is_some_and(|t| t.is_punct(")"));
+            if method == "wait_timeout" || zero_arg {
+                let receiver = if i > 0 && toks[i - 1].kind == TokKind::Ident {
+                    toks[i - 1].text.clone()
+                } else {
+                    "<expr>".to_string()
+                };
+                events.push(Event {
+                    kind: EventKind::Gather {
+                        expr: format!("{receiver}.{method}(…)"),
+                        held: held_at(&guards, i),
+                    },
+                    line: toks[i + 1].line,
+                });
+            }
+            i += 3;
+            continue;
+        }
+        if t.is_ident("join_all")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && !(i > 0 && toks[i - 1].is_ident("fn"))
+        {
+            events.push(Event {
+                kind: EventKind::Gather {
+                    expr: "join_all(…)".to_string(),
+                    held: held_at(&guards, i),
+                },
+                line: t.line,
+            });
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    FnSummary {
+        struct_name: struct_name.to_string(),
+        fn_name: fn_name.to_string(),
+        file: file.to_path_buf(),
+        line: fn_line,
+        events,
+        sagas,
+    }
+}
+
+/// The result of parsing one guard-producing `let` statement.
+struct GuardBind {
+    name: String,
+    lock: Option<String>,
+    line: u32,
+    /// Token index just past the statement's `;`.
+    end: usize,
+}
+
+/// The trailing shape of a `let` initializer: literal tokens with
+/// balanced groups collapsed (their token range kept for UFCS argument
+/// inspection).
+enum TailItem {
+    Tok(usize),
+    Group(usize, usize),
+}
+
+/// If the `let` statement starting at `toks[at]` binds a plain
+/// identifier to an expression whose final call acquires a lock guard —
+/// a `.lock()` / `.read()` / `.write()` method call, or the UFCS form
+/// `LockType::lock(…)` through a known (possibly aliased) lock type —
+/// returns the binding, the lock's `self`-rooted field path when
+/// derivable, and the statement extent. One trailing `.unwrap()` /
+/// `.expect(…)` is tolerated (std::sync guards).
+fn guard_binding(toks: &[Tok], at: usize, aliases: &Aliases) -> Option<GuardBind> {
+    let mut j = at + 1;
+    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let name_tok = toks.get(j)?;
+    if name_tok.kind != TokKind::Ident {
+        return None; // destructuring / `if let` patterns: not a guard
+    }
+    let name = name_tok.text.clone();
+    let line = name_tok.line;
+    j += 1;
+    if !toks.get(j).is_some_and(|t| t.is_punct(":"))
+        && !toks.get(j).is_some_and(|t| t.is_punct("="))
+    {
+        return None;
+    }
+    // Walk to the statement's `;`, collapsing balanced groups.
+    let mut tail: Vec<TailItem> = Vec::new();
+    let mut c = Cursor::new(toks);
+    c.set_pos(j);
+    while let Some(t) = c.peek() {
+        if t.is_punct(";") {
+            c.next();
+            break;
+        }
+        if t.kind == TokKind::Open {
+            let open = c.pos();
+            if !c.skip_balanced() {
+                return None;
+            }
+            tail.push(TailItem::Group(open, c.pos()));
+        } else {
+            tail.push(TailItem::Tok(c.pos()));
+            c.next();
+        }
+    }
+    let end = c.pos();
+    let text = |item: &TailItem| match item {
+        TailItem::Tok(ix) => Some(toks[*ix].text.as_str()),
+        TailItem::Group(..) => None,
+    };
+    let is_ident = |item: &TailItem| match item {
+        TailItem::Tok(ix) => toks[*ix].kind == TokKind::Ident,
+        TailItem::Group(..) => false,
+    };
+    // Strip one trailing `.unwrap()` / `.expect(…)`.
+    let n = tail.len();
+    if n >= 3
+        && matches!(tail[n - 1], TailItem::Group(..))
+        && matches!(text(&tail[n - 2]), Some("unwrap") | Some("expect"))
+        && text(&tail[n - 3]) == Some(".")
+    {
+        tail.truncate(n - 3);
+    }
+    let n = tail.len();
+    let lock_method = |s: Option<&str>| matches!(s, Some("lock") | Some("read") | Some("write"));
+    // Method form: `… . lock ( … )`.
+    if n >= 3
+        && matches!(tail[n - 1], TailItem::Group(..))
+        && lock_method(text(&tail[n - 2]))
+        && text(&tail[n - 3]) == Some(".")
+    {
+        // The receiver path, walked backwards: `self . a . b` → `a.b`.
+        let mut segs: Vec<String> = Vec::new();
+        if n >= 4 {
+            let mut k = n - 4;
+            loop {
+                if !is_ident(&tail[k]) {
+                    segs.clear();
+                    break;
+                }
+                if let TailItem::Tok(ix) = tail[k] {
+                    segs.push(toks[ix].text.clone());
+                }
+                if k < 2 || text(&tail[k - 1]) != Some(".") {
+                    break;
+                }
+                k -= 2;
+            }
+        }
+        let lock = if segs.last().is_some_and(|s| s == "self") && segs.len() > 1 {
+            segs.pop();
+            segs.reverse();
+            Some(segs.join("."))
+        } else {
+            None
+        };
+        return Some(GuardBind {
+            name,
+            lock,
+            line,
+            end,
+        });
+    }
+    // UFCS form: `LockType :: lock ( &self.path )`, possibly through an
+    // alias or a longer module path (the type name sits right before
+    // the final `:: lock`).
+    if n >= 5
+        && matches!(tail[n - 1], TailItem::Group(..))
+        && lock_method(text(&tail[n - 2]))
+        && text(&tail[n - 3]) == Some(":")
+        && text(&tail[n - 4]) == Some(":")
+        && is_ident(&tail[n - 5])
+        && text(&tail[n - 5]).is_some_and(|ty| aliases.is_lock_type(ty))
+    {
+        let lock = match tail[n - 1] {
+            TailItem::Group(open, close) => self_path_in(toks, open + 1, close.saturating_sub(1)),
+            _ => None,
+        };
+        return Some(GuardBind {
+            name,
+            lock,
+            line,
+            end,
+        });
+    }
+    None
+}
+
+/// Finds the first `self.a.b…` path in `toks[lo..hi]` and renders its
+/// field part (`a.b`). Used to give UFCS-acquired guards a lock
+/// identity from the argument expression.
+fn self_path_in(toks: &[Tok], lo: usize, hi: usize) -> Option<String> {
+    let mut g = lo;
+    while g < hi.min(toks.len()) {
+        if toks[g].is_ident("self") {
+            let mut segs = Vec::new();
+            let mut p = g + 1;
+            while p + 1 < toks.len() && toks[p].is_punct(".") && toks[p + 1].kind == TokKind::Ident
+            {
+                segs.push(toks[p + 1].text.clone());
+                p += 2;
+            }
+            if !segs.is_empty() {
+                return Some(segs.join("."));
+            }
+        }
+        g += 1;
+    }
+    None
+}
+
+/// Finds every `Saga::new(…)` builder chain in a function body and
+/// returns (a) the declared chain/step structure and (b) the token
+/// ranges of each step's forward and compensation closures, labeled
+/// with their [`SagaRole`] — the stamp applied to call events whose
+/// position falls inside a range.
+fn saga_chains(toks: &[Tok]) -> (Vec<SagaChainInfo>, Vec<(usize, usize, SagaRole)>) {
+    let mut chains = Vec::new();
+    let mut roles = Vec::new();
+    let mut i = 0;
+    while i + 4 < toks.len() {
+        let is_new = toks[i].is_ident("Saga")
+            && toks[i + 1].is_punct(":")
+            && toks[i + 2].is_punct(":")
+            && toks[i + 3].is_ident("new")
+            && toks[i + 4].is_punct("(");
+        if !is_new {
+            i += 1;
+            continue;
+        }
+        let chain_line = toks[i].line;
+        let chain_idx = chains.len();
+        let mut steps = Vec::new();
+        let mut c = Cursor::new(toks);
+        c.set_pos(i + 4);
+        if !c.skip_balanced() {
+            break;
+        }
+        // Walk the builder chain: `.step(…)`, `.forward_only(…)`,
+        // terminated by `.run(…)` or anything that isn't a chained call.
+        loop {
+            if !c.peek().is_some_and(|t| t.is_punct(".")) {
+                break;
+            }
+            let Some(m) = c.peek_at(1).filter(|t| t.kind == TokKind::Ident) else {
+                break;
+            };
+            let method = m.text.clone();
+            let line = m.line;
+            c.next(); // .
+            c.next(); // method
+            if !c.peek().is_some_and(|t| t.is_punct("(")) {
+                break;
+            }
+            let open = c.pos();
+            if !c.skip_balanced() {
+                break;
+            }
+            let close = c.pos() - 1; // index of the `)`
+            match method.as_str() {
+                "step" | "forward_only" => {
+                    let forward_only = method == "forward_only";
+                    let parts = split_ranges(toks, open + 1, close);
+                    let step_idx = steps.len();
+                    let name = parts
+                        .first()
+                        .and_then(|&(lo, hi)| toks[lo..hi].iter().find(|t| t.kind == TokKind::Str))
+                        .map(|t| t.text.trim_matches('"').to_string())
+                        .unwrap_or_else(|| "?".to_string());
+                    if let Some(&(lo, hi)) = parts.get(1) {
+                        roles.push((
+                            lo,
+                            hi,
+                            SagaRole::Forward {
+                                chain: chain_idx,
+                                step: step_idx,
+                            },
+                        ));
+                    }
+                    if !forward_only {
+                        if let Some(&(lo, hi)) = parts.get(2) {
+                            roles.push((
+                                lo,
+                                hi,
+                                SagaRole::Compensation {
+                                    chain: chain_idx,
+                                    step: step_idx,
+                                },
+                            ));
+                        }
+                    }
+                    steps.push(SagaStepInfo {
+                        name,
+                        line,
+                        forward_only,
+                    });
+                }
+                "run" => break,
+                _ => {} // other builder methods: skip and continue
+            }
+        }
+        let resume = c.pos().max(i + 1);
+        chains.push(SagaChainInfo {
+            line: chain_line,
+            steps,
+        });
+        i = resume;
+    }
+    (chains, roles)
+}
+
+/// Splits `toks[lo..hi]` on top-level commas (balanced groups are
+/// opaque), returning index ranges. Empty segments are dropped.
+fn split_ranges(toks: &[Tok], lo: usize, hi: usize) -> Vec<(usize, usize)> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = lo;
+    let mut i = lo;
+    while i < hi.min(toks.len()) {
+        match toks[i].kind {
+            TokKind::Open => depth += 1,
+            TokKind::Close => depth = depth.saturating_sub(1),
+            _ if depth == 0 && toks[i].is_punct(",") => {
+                if i > start {
+                    parts.push((start, i));
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if start < hi.min(toks.len()) {
+        parts.push((start, hi.min(toks.len())));
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weaver_syntax::lex;
+
+    fn summary(body: &str) -> FnSummary {
+        let toks = lex(body).expect("lex");
+        let aliases = Aliases::default();
+        summarize(Path::new("test.rs"), "X", "f", 1, &toks, &aliases)
+    }
+
+    fn calls(s: &FnSummary) -> Vec<(String, usize)> {
+        s.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Call { method, held, .. } => Some((method.clone(), held.len())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nested_blocks_scope_guards() {
+        let s = summary(
+            r#"
+            let g = self.state.lock();
+            self.cart.get(ctx);
+            {
+                let h = self.aux.read();
+                self.cart.put(ctx);
+            }
+            self.cart.del(ctx);
+        "#,
+        );
+        assert_eq!(
+            calls(&s),
+            vec![
+                ("lock".to_string(), 0),
+                ("get".to_string(), 1),
+                ("read".to_string(), 1),
+                ("put".to_string(), 2),
+                ("del".to_string(), 1),
+            ]
+        );
+        // The inner guard's release fires at its block close.
+        let releases: Vec<&str> = s
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Release { binding } => Some(binding.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(releases, vec!["h"]);
+    }
+
+    #[test]
+    fn early_return_does_not_leak_guards_across_arms() {
+        // Match arms are blocks: a guard taken in one arm dies at the
+        // arm's close and is not held at calls in later arms.
+        let s = summary(
+            r#"
+            match x {
+                A => {
+                    let g = self.state.lock();
+                    return self.cart.get(ctx);
+                }
+                B => {
+                    self.cart.put(ctx);
+                }
+            }
+        "#,
+        );
+        assert_eq!(
+            calls(&s),
+            vec![
+                ("lock".to_string(), 0),
+                ("get".to_string(), 1),
+                ("put".to_string(), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn acquire_records_lock_identity_and_prior_holds() {
+        let s = summary(
+            r#"
+            let a = self.inner.orders.lock().unwrap();
+            let b = self.index.read();
+            drop(b);
+            drop(a);
+        "#,
+        );
+        let acquires: Vec<(Option<String>, usize)> = s
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Acquire { lock, held, .. } => Some((lock.clone(), held.len())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            acquires,
+            vec![
+                (Some("inner.orders".to_string()), 0),
+                (Some("index".to_string()), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn ufcs_and_aliased_locks_are_detected() {
+        let toks = lex(r#"
+            use std::sync::Mutex as Mu;
+            fn ignored() {}
+        "#)
+        .expect("lex");
+        let aliases = Aliases::collect(&toks);
+        assert_eq!(aliases.resolve("Mu"), "Mutex");
+        assert!(aliases.is_lock_type("Mu"));
+        assert!(!aliases.is_lock_type("Vec"));
+
+        let body = lex(r#"
+            let g = Mu::lock(&self.state).unwrap();
+            self.cart.get(ctx);
+            drop(g);
+            let h = RwLock::read(&self.index);
+            self.cart.put(ctx);
+        "#)
+        .expect("lex");
+        let s = summarize(Path::new("t.rs"), "X", "f", 1, &body, &aliases);
+        assert_eq!(
+            calls(&s),
+            vec![("get".to_string(), 1), ("put".to_string(), 1)]
+        );
+        let acquires: Vec<Option<String>> = s
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Acquire { lock, .. } => Some(lock.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            acquires,
+            vec![Some("state".to_string()), Some("index".to_string())]
+        );
+    }
+
+    #[test]
+    fn non_self_guards_have_no_lock_identity() {
+        let s = summary(
+            r#"
+            let g = table.lock();
+            self.cart.get(ctx);
+        "#,
+        );
+        let acquire = s
+            .events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::Acquire { lock, .. } => Some(lock.clone()),
+                _ => None,
+            })
+            .expect("acquire");
+        assert_eq!(acquire, None);
+        assert_eq!(calls(&s), vec![("get".to_string(), 1)]);
+    }
+
+    #[test]
+    fn saga_chain_roles_stamp_calls() {
+        let s = summary(
+            r#"
+            self.cart.get_cart(ctx)?;
+            let outcome = Saga::new(log, id, "order", ctx.clone())
+                .step(
+                    "charge",
+                    || {
+                        let t = self.payment.charge_idem(ctx, key.clone(), total)?;
+                        Ok(encode(&t))
+                    },
+                    |_| {
+                        self.payment.refund(ctx, key.clone())?;
+                        Ok(())
+                    },
+                )
+                .forward_only("ship", || {
+                    self.shipping.ship_order(ctx, addr.clone())?;
+                    Ok(Vec::new())
+                })
+                .run()?;
+            self.email.send(ctx)?;
+        "#,
+        );
+        assert_eq!(s.sagas.len(), 1);
+        let chain = &s.sagas[0];
+        assert_eq!(chain.steps.len(), 2);
+        assert_eq!(chain.steps[0].name, "charge");
+        assert!(!chain.steps[0].forward_only);
+        assert_eq!(chain.steps[1].name, "ship");
+        assert!(chain.steps[1].forward_only);
+
+        let roles: Vec<(String, Option<SagaRole>)> = s
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Call { method, saga, .. } => Some((method.clone(), *saga)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            roles,
+            vec![
+                ("get_cart".to_string(), None),
+                (
+                    "charge_idem".to_string(),
+                    Some(SagaRole::Forward { chain: 0, step: 0 })
+                ),
+                (
+                    "refund".to_string(),
+                    Some(SagaRole::Compensation { chain: 0, step: 0 })
+                ),
+                (
+                    "ship_order".to_string(),
+                    Some(SagaRole::Forward { chain: 0, step: 1 })
+                ),
+                ("send".to_string(), None),
+            ]
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Whole-program propagation of per-method facts over the static call
+//! graph, to a fixed point.
+//!
+//! The control-flow summaries (`crate::cfg`) are *intra*procedural:
+//! each records what one method body does. The deployment-level
+//! questions — "which locks might this component call end up taking,
+//! transitively?" — are *inter*procedural, so this module joins the
+//! summaries over the call edges: a method's fact set is its own seeds
+//! unioned with the fact sets of everything it calls, iterated until
+//! nothing changes. All sets are monotone and the fact domain is
+//! finite, so the iteration terminates even on cyclic call graphs
+//! (which L2 flags separately but L6 must still analyze).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::EventKind;
+use crate::graph::resolve_target;
+use crate::model::Model;
+
+/// A propagation node: one method body, keyed by impl struct and
+/// function name (finer-grained than `(component, method)` so private
+/// helper methods propagate too).
+pub type Node = (String, String);
+
+/// Monotone set propagation: each node's final fact set is its seed set
+/// unioned with every successor's final set (i.e. facts flow backwards
+/// along call edges, from callee to caller). Nodes mentioned only in
+/// `edges` start with an empty seed set. Terminates on arbitrary
+/// graphs, cycles included.
+pub fn propagate_sets<N: Ord + Clone, F: Ord + Clone>(
+    seeds: BTreeMap<N, BTreeSet<F>>,
+    edges: &BTreeMap<N, BTreeSet<N>>,
+) -> BTreeMap<N, BTreeSet<F>> {
+    let mut out = seeds;
+    for (n, succs) in edges {
+        out.entry(n.clone()).or_default();
+        for s in succs {
+            out.entry(s.clone()).or_default();
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (n, succs) in edges {
+            let mut add: BTreeSet<F> = BTreeSet::new();
+            for s in succs {
+                if let Some(facts) = out.get(s) {
+                    add.extend(facts.iter().cloned());
+                }
+            }
+            let entry = out.entry(n.clone()).or_default();
+            let before = entry.len();
+            entry.extend(add);
+            changed |= entry.len() != before;
+        }
+        if !changed {
+            return out;
+        }
+    }
+}
+
+/// The call edges between summarized method bodies of *component* impl
+/// structs: `(struct, fn)` → every `(impl struct of callee component,
+/// callee method)` its stub calls resolve to.
+pub fn call_edges(model: &Model) -> BTreeMap<Node, BTreeSet<Node>> {
+    // Component name → impl structs registering it.
+    let mut impls: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for link in &model.links {
+        if let Some(t) = model.trait_named(&link.trait_name) {
+            impls
+                .entry(t.component_name.as_str())
+                .or_default()
+                .push(link.struct_name.as_str());
+        }
+    }
+    let mut edges: BTreeMap<Node, BTreeSet<Node>> = BTreeMap::new();
+    for s in &model.summaries {
+        if model.trait_for_struct(&s.struct_name).is_none() {
+            continue;
+        }
+        let node = (s.struct_name.clone(), s.fn_name.clone());
+        let entry = edges.entry(node).or_default();
+        for e in &s.events {
+            if let EventKind::Call { field, method, .. } = &e.kind {
+                if let Some((callee, m)) = resolve_target(model, &s.struct_name, field, method) {
+                    for imp in impls.get(callee.as_str()).into_iter().flatten() {
+                        entry.insert((imp.to_string(), m.clone()));
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// For every summarized method of a component impl: the set of lock
+/// identities (`component::field.path`) it may acquire, directly or
+/// through any chain of component calls. Locks without a `self`-rooted
+/// identity (locals, free expressions) have no cross-call meaning and
+/// are excluded.
+pub fn may_acquire(model: &Model) -> BTreeMap<Node, BTreeSet<String>> {
+    let mut seeds: BTreeMap<Node, BTreeSet<String>> = BTreeMap::new();
+    for s in &model.summaries {
+        let Some(t) = model.trait_for_struct(&s.struct_name) else {
+            continue;
+        };
+        let entry = seeds
+            .entry((s.struct_name.clone(), s.fn_name.clone()))
+            .or_default();
+        for e in &s.events {
+            if let EventKind::Acquire {
+                lock: Some(path), ..
+            } = &e.kind
+            {
+                entry.insert(format!("{}::{}", t.component_name, path));
+            }
+        }
+    }
+    propagate_sets(seeds, &call_edges(model))
+}
+
+/// Every elementary cycle-through-DFS in a string digraph, each
+/// canonicalized by rotating its lexicographically smallest member to
+/// the front. Shared by L2 (component call cycles) and L6 (lock-order
+/// cycles).
+pub fn cycles(adj: &BTreeMap<String, BTreeSet<String>>) -> BTreeSet<Vec<String>> {
+    let mut reported = BTreeSet::new();
+    for start in adj.keys() {
+        let mut path: Vec<&str> = Vec::new();
+        let mut on_path: BTreeSet<&str> = BTreeSet::new();
+        dfs(start, adj, &mut path, &mut on_path, &mut reported);
+    }
+    reported
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    adj: &'a BTreeMap<String, BTreeSet<String>>,
+    path: &mut Vec<&'a str>,
+    on_path: &mut BTreeSet<&'a str>,
+    reported: &mut BTreeSet<Vec<String>>,
+) {
+    if on_path.contains(node) {
+        let pos = path.iter().position(|&n| n == node).unwrap_or(0);
+        let cycle: Vec<&str> = path[pos..].to_vec();
+        let min = cycle
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, n)| **n)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let canon: Vec<String> = cycle[min..]
+            .iter()
+            .chain(cycle[..min].iter())
+            .map(|s| s.to_string())
+            .collect();
+        reported.insert(canon);
+        return;
+    }
+    path.push(node);
+    on_path.insert(node);
+    if let Some(next) = adj.get(node) {
+        for n in next {
+            dfs(n, adj, path, on_path, reported);
+        }
+    }
+    path.pop();
+    on_path.remove(node);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn model(src: &str) -> Model {
+        let mut m = Model::default();
+        crate::scan::scan_source(&mut m, Path::new("test.rs"), src);
+        m
+    }
+
+    #[test]
+    fn may_acquire_propagates_through_calls() {
+        let m = model(
+            r#"
+            #[component(name = "app.A")]
+            trait A { fn go(&self, ctx: &CallContext) -> Result<(), WeaverError>; }
+            #[component(name = "app.B")]
+            trait B { fn serve(&self, ctx: &CallContext) -> Result<(), WeaverError>; }
+            struct AImpl { b: Arc<dyn B> }
+            impl Component for AImpl { type Interface = dyn A; }
+            impl A for AImpl {
+                fn go(&self, ctx: &CallContext) -> Result<(), WeaverError> {
+                    self.b.serve(ctx)
+                }
+            }
+            struct BImpl { state: Mutex<u64> }
+            impl Component for BImpl { type Interface = dyn B; }
+            impl B for BImpl {
+                fn serve(&self, ctx: &CallContext) -> Result<(), WeaverError> {
+                    let g = self.state.lock().unwrap();
+                    Ok(())
+                }
+            }
+        "#,
+        );
+        let facts = may_acquire(&m);
+        let a_go = &facts[&("AImpl".to_string(), "go".to_string())];
+        assert!(a_go.contains("app.B::state"), "facts: {facts:?}");
+        let b_serve = &facts[&("BImpl".to_string(), "serve".to_string())];
+        assert_eq!(b_serve.len(), 1);
+    }
+
+    #[test]
+    fn propagation_terminates_on_cycles() {
+        let mut edges: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+        edges.insert(1, [2].into());
+        edges.insert(2, [1].into());
+        let mut seeds: BTreeMap<u32, BTreeSet<&str>> = BTreeMap::new();
+        seeds.insert(1, ["a"].into());
+        seeds.insert(2, ["b"].into());
+        let out = propagate_sets(seeds, &edges);
+        assert_eq!(out[&1], ["a", "b"].into());
+        assert_eq!(out[&2], ["a", "b"].into());
+    }
+
+    // Property: over any acyclic call graph, propagation reaches the
+    // same fixed point as a plain reachability oracle — node `n`'s
+    // facts are exactly the seeds of every node reachable from it
+    // (itself included). Pairs are normalized to low→high edges, which
+    // makes any random pair set acyclic.
+    proptest::proptest! {
+        #[test]
+        fn propagation_matches_reachability_on_acyclic_graphs(
+            raw in proptest::collection::vec((0..12u8, 0..12u8), 0..40)
+        ) {
+            let mut edges: BTreeMap<u8, BTreeSet<u8>> = BTreeMap::new();
+            for (a, b) in raw {
+                let (lo, hi) = (a.min(b), a.max(b));
+                if lo != hi {
+                    edges.entry(lo).or_default().insert(hi);
+                }
+            }
+            let mut seeds: BTreeMap<u8, BTreeSet<u8>> = BTreeMap::new();
+            for n in 0..12u8 {
+                seeds.insert(n, [n].into());
+            }
+            let out = propagate_sets(seeds, &edges);
+            for n in 0..12u8 {
+                // Oracle: iterative DFS from n over the same edges.
+                let mut reach: BTreeSet<u8> = [n].into();
+                let mut stack = vec![n];
+                while let Some(v) = stack.pop() {
+                    for s in edges.get(&v).into_iter().flatten() {
+                        if reach.insert(*s) {
+                            stack.push(*s);
+                        }
+                    }
+                }
+                proptest::prop_assert_eq!(&out[&n], &reach, "node {}", n);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_finder_canonicalizes() {
+        let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        adj.insert("b".into(), ["c".into()].into());
+        adj.insert("c".into(), ["b".into()].into());
+        let found = cycles(&adj);
+        assert_eq!(found.len(), 1);
+        assert_eq!(
+            found.iter().next().unwrap(),
+            &vec!["b".to_string(), "c".to_string()]
+        );
+    }
+}

@@ -1,7 +1,36 @@
-//! Diagnostics and their text/JSON renderings.
+//! Diagnostics and their text/JSON/SARIF renderings.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+
+/// Every rule the linter can emit, with a one-line description — the
+/// rule metadata block of the SARIF report, and the source of truth for
+/// `--check`'s per-rule exit codes (rule `Ln` exits `10 + n`).
+pub const RULE_INFO: &[(&str, &str)] = &[
+    ("L1", "component boundary payloads must derive WeaverData"),
+    ("L2", "the component call graph must be acyclic"),
+    ("L3", "#[routed] methods need a hashable routing key"),
+    (
+        "L4",
+        "no lock guard may be held across a component call or gather",
+    ),
+    (
+        "L5",
+        "every component must be fingerprinted in weaver-api.lock",
+    ),
+    (
+        "L6",
+        "cross-component lock acquisition must follow one global order",
+    ),
+    (
+        "L7",
+        "saga forward steps need registered, keyed compensations",
+    ),
+    (
+        "L8",
+        "API schema changes must be rollout-safe or version-bumped",
+    ),
+];
 
 /// How bad a finding is. Errors fail the lint run (exit 1); warnings
 /// are reported but don't.
@@ -81,6 +110,53 @@ pub fn render_json_report(diags: &[Diagnostic]) -> String {
     format!("[{}]", items.join(","))
 }
 
+/// Renders the diagnostics as a SARIF 2.1.0 log with one run, so CI can
+/// upload the findings as code-scanning annotations. Hand-rolled like
+/// the JSON renderer (no serializer dependency); the layout follows the
+/// SARIF spec's minimum viable producer.
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let rules: Vec<String> = RULE_INFO
+        .iter()
+        .map(|(id, desc)| {
+            format!(
+                "{{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+                json_str(id),
+                json_str(desc)
+            )
+        })
+        .collect();
+    let results: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            let level = match d.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            // SARIF regions are 1-based; clamp our "whole file" line 0.
+            let line = d.line.max(1);
+            format!(
+                "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\
+                 \"locations\":[{{\"physicalLocation\":{{\
+                 \"artifactLocation\":{{\"uri\":{}}},\
+                 \"region\":{{\"startLine\":{line}}}}}}}]}}",
+                json_str(d.rule),
+                json_str(level),
+                json_str(&format!("{} (help: {})", d.message, d.help)),
+                json_str(&d.file.display().to_string().replace('\\', "/")),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\
+         \"name\":\"weaver-lint\",\"informationUri\":\
+         \"https://example.invalid/weaver-lint\",\"rules\":[{}]}}}},\
+         \"results\":[{}]}}]}}",
+        rules.join(","),
+        results.join(",")
+    )
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -109,6 +185,27 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn sarif_rendering_carries_rules_and_results() {
+        let d = Diagnostic {
+            rule: "L4",
+            severity: Severity::Error,
+            file: PathBuf::from("src/a.rs"),
+            line: 0,
+            message: "guard across call".to_string(),
+            help: "drop it".to_string(),
+        };
+        let sarif = render_sarif(&[d]);
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"ruleId\":\"L4\""));
+        // All eight rules are declared even when only one fired.
+        for (id, _) in RULE_INFO {
+            assert!(sarif.contains(&format!("\"id\":\"{id}\"")), "missing {id}");
+        }
+        // Line 0 (whole-file findings) is clamped to SARIF's 1-based regions.
+        assert!(sarif.contains("\"startLine\":1"));
     }
 
     #[test]

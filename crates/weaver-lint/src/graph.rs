@@ -26,42 +26,52 @@ pub struct ResolvedCall {
     pub site: usize,
 }
 
-/// Resolves every scanned call site against the component model: the
-/// impl struct must register a component interface, the field must be an
-/// `Arc<dyn T>` dependency on a known component trait, and the method
-/// must be declared on that trait (this filters `Arc` plumbing like
-/// `.clone()` and calls through non-component fields).
+/// Resolves one `self.<field>.<method>` reference from an impl struct
+/// to its `(callee component, declared method)` pair: the struct must
+/// register a component interface, the field must be an `Arc<dyn T>`
+/// dependency on a known component trait, and the method must be
+/// declared on that trait (this filters `Arc` plumbing like `.clone()`
+/// and calls through non-component fields). A `<method>_start` spelling
+/// resolves to its base method — the macro-generated non-blocking twin
+/// is the same logical edge.
+pub fn resolve_target(
+    model: &Model,
+    struct_name: &str,
+    field: &str,
+    method: &str,
+) -> Option<(String, String)> {
+    model.trait_for_struct(struct_name)?;
+    let deps = model.dep_fields(struct_name);
+    let callee_trait = deps.get(field)?;
+    let callee = model.trait_named(callee_trait)?;
+    let declared = |name: &str| callee.methods.iter().any(|m| m.name == name);
+    let method = if declared(method) {
+        method.to_string()
+    } else {
+        method
+            .strip_suffix("_start")
+            .filter(|base| declared(base))?
+            .to_string()
+    };
+    Some((callee.component_name.clone(), method))
+}
+
+/// Resolves every scanned call site against the component model via
+/// [`resolve_target`].
 pub fn resolve_calls(model: &Model) -> Vec<ResolvedCall> {
     let mut out = Vec::new();
     for (site, call) in model.calls.iter().enumerate() {
         let Some(caller) = model.trait_for_struct(&call.struct_name) else {
             continue;
         };
-        let deps = model.dep_fields(&call.struct_name);
-        let Some(callee_trait) = deps.get(&call.field) else {
-            continue;
-        };
-        let Some(callee) = model.trait_named(callee_trait) else {
-            continue;
-        };
-        // The macro generates a non-blocking `<method>_start` twin for
-        // every declared method; call sites through either spelling are
-        // the same logical edge, so record the base method name.
-        let declared = |name: &str| callee.methods.iter().any(|m| m.name == name);
-        let method = if declared(&call.method) {
-            call.method.clone()
-        } else if let Some(base) = call
-            .method
-            .strip_suffix("_start")
-            .filter(|base| declared(base))
-        {
-            base.to_string()
-        } else {
+        let Some((callee, method)) =
+            resolve_target(model, &call.struct_name, &call.field, &call.method)
+        else {
             continue;
         };
         out.push(ResolvedCall {
             caller: caller.component_name.clone(),
-            callee: callee.component_name.clone(),
+            callee,
             method,
             site,
         });

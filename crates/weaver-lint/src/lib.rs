@@ -14,21 +14,30 @@
 //!   [`weaver_metrics::CallGraphSnapshot`] the runtime produces, so the
 //!   placement optimizer (`weaver_placement::colocate`) can plan a
 //!   deployment from a build artifact alone;
-//! - [`rules`] and [`lockfile`] check five invariants (L1–L5) the
-//!   deployment model imposes but the compiler can't express.
+//! - [`cfg`] abstracts every scanned method body into a stream of
+//!   events (lock acquire/release, stub call, future gather, saga step
+//!   registration), and [`dataflow`] propagates facts over those
+//!   summaries through the call graph to a fixed point;
+//! - [`rules`], [`locks`], [`schema`], and [`lockfile`] check eight
+//!   invariants (L1–L8) the deployment model imposes but the compiler
+//!   can't express.
 //!
-//! The `weaver-lint` binary fronts all of this with rustc-style and
-//! JSON output.
+//! The `weaver-lint` binary fronts all of this with rustc-style, JSON,
+//! and SARIF output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cfg;
+pub mod dataflow;
 pub mod diag;
 pub mod graph;
 pub mod lockfile;
+pub mod locks;
 pub mod model;
 pub mod rules;
 pub mod scan;
+pub mod schema;
 
 pub use diag::{Diagnostic, Severity};
 pub use graph::build_graph;
@@ -37,12 +46,14 @@ pub use scan::scan_root;
 
 use std::path::Path;
 
-/// Scans `root` and runs every rule, checking L5 against `lock` when
-/// one is supplied. Diagnostics are sorted by rule, then location.
+/// Scans `root` and runs every rule, checking L5 hygiene and the L8
+/// schema diff against `lock` when one is supplied. Diagnostics are
+/// sorted by rule, then location.
 pub fn lint(model: &Model, lock: Option<&lockfile::LockFile>) -> Vec<Diagnostic> {
     let mut diags = rules::run_all(model);
     if let Some(lock) = lock {
         diags.extend(lockfile::check(lock, model));
+        diags.extend(schema::diff(lock, model));
     }
     diags.sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
     diags

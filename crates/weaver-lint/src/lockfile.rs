@@ -1,40 +1,86 @@
-//! L5: API-fingerprint drift detection via `weaver-api.lock`.
+//! The `weaver-api.lock` schema registry (rules L5 and L8).
 //!
-//! The lock file records, per component, an API version and a hash of
-//! every method's normalized signature. Changing a component method
-//! without regenerating the lock (which bumps the component's version)
-//! fails the lint — the moral equivalent of the paper's atomic-rollout
-//! prerequisite: the runtime can only serve mixed versions safely when
-//! version changes are *declared*, never silent (§4, §5.3).
+//! The lock file records, per component, an API version and the
+//! *schema* of every method — signature hash, argument types, return
+//! type — plus the field layout of every `WeaverData` type reachable
+//! from those signatures. Rule L5 (here) checks lock hygiene: every
+//! component recorded, nothing stale. Rule L8 (`crate::schema`) diffs
+//! the recorded schemas against the scanned source and classifies each
+//! change as rollout-safe or rollout-breaking per the paper's atomic-
+//! rollout model (§4.4, §5.3): the runtime can only serve mixed
+//! versions safely when version changes are *declared*, never silent.
 //!
-//! Format (line-oriented, diff-friendly, hand-mergeable):
+//! Format 2 (line-oriented, diff-friendly, hand-mergeable):
 //!
 //! ```text
-//! # weaver-api.lock — component API fingerprints (weaver-lint rule L5)
+//! # weaver-api.lock — component API schemas (weaver-lint rules L5/L8)
+//! format 2
 //! component boutique.CartService version 1
 //!   method add_item 9f86d081884c7d65
+//!     arg String
+//!     arg CartItem
+//!     ret Result<(), WeaverError>
+//! type CartItem
+//!   field product_id String
+//!   field quantity u32
 //! ```
+//!
+//! Format 1 files (fingerprint-only, no `format` header, no `arg`/
+//! `ret`/`type` lines) still parse; L8 warns that their diffs cannot be
+//! classified, and `--update-lock` rewrites them as format 2.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::diag::{Diagnostic, Severity};
 use crate::model::Model;
 
-/// One component's recorded fingerprint.
+/// One method's recorded schema.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MethodSchema {
+    /// 16-hex-digit FNV-1a hash of the normalized signature.
+    pub hash: String,
+    /// Rendered payload argument types (format 2; empty in format 1).
+    pub args: Vec<String>,
+    /// Rendered return type (format 2; empty in format 1).
+    pub ret: String,
+}
+
+/// One component's recorded API.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct LockEntry {
     /// Declared API version; bumped by `--update-lock` when any method
-    /// hash changes.
+    /// or reachable type schema changes.
     pub version: u32,
-    /// Method name → 16-hex-digit FNV-1a signature hash.
-    pub methods: BTreeMap<String, String>,
+    /// Method name → schema.
+    pub methods: BTreeMap<String, MethodSchema>,
 }
 
-/// The parsed lock file: component name → entry.
+/// One wire type's recorded field layout.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TypeSchema {
+    /// Field name → rendered type.
+    pub fields: BTreeMap<String, String>,
+}
+
+/// The parsed lock file.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LockFile {
+    /// File format: 1 (legacy fingerprints) or 2 (schemas).
+    pub format: u32,
     /// Entries keyed by component name.
     pub components: BTreeMap<String, LockEntry>,
+    /// Wire-type schemas keyed by type name (format 2 only).
+    pub types: BTreeMap<String, TypeSchema>,
+}
+
+impl Default for LockFile {
+    fn default() -> Self {
+        LockFile {
+            format: 2,
+            components: BTreeMap::new(),
+            types: BTreeMap::new(),
+        }
+    }
 }
 
 /// FNV-1a (64-bit) of a normalized signature, as fixed-width hex.
@@ -47,54 +93,124 @@ pub fn signature_hash(sig: &str) -> String {
     format!("{h:016x}")
 }
 
-/// Computes the current fingerprints from a scanned model (all versions
-/// 1 — versions only move via [`update`]).
+/// The `WeaverData`-deriving types reachable from a component trait's
+/// method signatures (arguments and returns, then transitively through
+/// struct fields). These are the types whose layout is wire contract.
+pub fn reachable_types(model: &Model, t: &crate::model::ComponentTrait) -> BTreeSet<String> {
+    let mut work: Vec<String> = Vec::new();
+    for m in &t.methods {
+        for ty in m.arg_types.iter().chain(std::iter::once(&m.ret)) {
+            work.extend(crate::schema::type_idents(ty));
+        }
+    }
+    let mut out = BTreeSet::new();
+    while let Some(ident) = work.pop() {
+        if out.contains(&ident) {
+            continue;
+        }
+        let Some(def) = model.types.get(&ident) else {
+            continue;
+        };
+        if !def.derives("WeaverData") {
+            continue;
+        }
+        out.insert(ident);
+        for ty in def.fields.values() {
+            work.extend(crate::schema::type_idents(ty));
+        }
+    }
+    out
+}
+
+/// Computes the current schemas from a scanned model (all versions 1 —
+/// versions only move via [`update`]).
 pub fn fingerprint(model: &Model) -> LockFile {
-    let mut components = BTreeMap::new();
+    let mut lock = LockFile::default();
     for t in &model.traits {
         let methods = t
             .methods
             .iter()
-            .map(|m| (m.name.clone(), signature_hash(&m.signature)))
+            .map(|m| {
+                (
+                    m.name.clone(),
+                    MethodSchema {
+                        hash: signature_hash(&m.signature),
+                        args: m.arg_types.clone(),
+                        ret: m.ret.clone(),
+                    },
+                )
+            })
             .collect();
-        components.insert(
+        lock.components.insert(
             t.component_name.clone(),
             LockEntry {
                 version: 1,
                 methods,
             },
         );
+        for name in reachable_types(model, t) {
+            let def = &model.types[&name];
+            lock.types.insert(
+                name,
+                TypeSchema {
+                    fields: def.fields.clone(),
+                },
+            );
+        }
     }
-    LockFile { components }
+    lock
 }
 
-/// Produces the lock that `--update-lock` writes: current fingerprints,
-/// with versions carried over from `old` and bumped by one wherever the
-/// method set or any hash changed. Components gone from the source are
-/// dropped; new ones start at version 1.
+/// Produces the lock that `--update-lock` writes: current schemas, with
+/// versions carried over from `old` and bumped by one wherever the
+/// method set, any method schema, or any reachable type layout changed.
+/// Components gone from the source are dropped; new ones start at
+/// version 1. Format-1 locks upgrade in place (hash comparison only —
+/// the old file carries no schemas to compare).
 pub fn update(old: Option<&LockFile>, model: &Model) -> LockFile {
     let mut fresh = fingerprint(model);
-    if let Some(old) = old {
-        for (name, entry) in &mut fresh.components {
-            if let Some(prev) = old.components.get(name) {
-                entry.version = if prev.methods == entry.methods {
-                    prev.version
-                } else {
-                    prev.version + 1
-                };
-            }
-        }
+    let Some(old) = old else {
+        return fresh;
+    };
+    for t in &model.traits {
+        let name = &t.component_name;
+        let entry = fresh
+            .components
+            .get_mut(name)
+            .expect("fingerprint covers every trait");
+        let Some(prev) = old.components.get(name) else {
+            continue;
+        };
+        let changed = if old.format < 2 {
+            // Legacy lock: only hashes are comparable.
+            prev.methods.len() != entry.methods.len()
+                || entry
+                    .methods
+                    .iter()
+                    .any(|(m, s)| prev.methods.get(m).map(|p| &p.hash) != Some(&s.hash))
+        } else {
+            prev.methods != entry.methods
+                || reachable_types(model, t)
+                    .iter()
+                    .any(|ty| old.types.get(ty) != fresh.types.get(ty))
+        };
+        entry.version = if changed {
+            prev.version + 1
+        } else {
+            prev.version
+        };
     }
     fresh
 }
 
-/// Compares the scanned model against a checked-in lock.
+/// L5, lock hygiene: every scanned component must be recorded; nothing
+/// recorded may be gone from the source. (Schema *changes* are L8's
+/// job — see [`crate::schema::diff`].)
 pub fn check(lock: &LockFile, model: &Model) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let current = fingerprint(model);
     for t in &model.traits {
-        let cur = &current.components[&t.component_name];
-        let Some(prev) = lock.components.get(&t.component_name) else {
+        if !lock.components.contains_key(&t.component_name) {
             diags.push(Diagnostic {
                 rule: "L5",
                 severity: Severity::Error,
@@ -104,65 +220,7 @@ pub fn check(lock: &LockFile, model: &Model) -> Vec<Diagnostic> {
                     "component `{}` is not recorded in weaver-api.lock",
                     t.component_name
                 ),
-                help: "run `weaver-lint --update-lock` to record its API fingerprint".to_string(),
-            });
-            continue;
-        };
-        if prev.methods == cur.methods {
-            continue;
-        }
-        for m in &t.methods {
-            let cur_hash = &cur.methods[&m.name];
-            match prev.methods.get(&m.name) {
-                None => diags.push(Diagnostic {
-                    rule: "L5",
-                    severity: Severity::Error,
-                    file: t.file.clone(),
-                    line: m.line,
-                    message: format!(
-                        "method `{}` was added to `{}` but weaver-api.lock still records \
-                         version {}",
-                        m.name, t.component_name, prev.version
-                    ),
-                    help: "run `weaver-lint --update-lock` to record the new API surface \
-                           and bump the component version"
-                        .to_string(),
-                }),
-                Some(h) if h != cur_hash => diags.push(Diagnostic {
-                    rule: "L5",
-                    severity: Severity::Error,
-                    file: t.file.clone(),
-                    line: m.line,
-                    message: format!(
-                        "signature of `{}::{}` changed (fingerprint {} -> {}) without a \
-                         version bump (lock still records version {})",
-                        t.component_name, m.name, h, cur_hash, prev.version
-                    ),
-                    help: "run `weaver-lint --update-lock`; mixed-version rollouts need \
-                           every API change declared"
-                        .to_string(),
-                }),
-                Some(_) => {}
-            }
-        }
-        for gone in prev
-            .methods
-            .keys()
-            .filter(|k| !cur.methods.contains_key(*k))
-        {
-            diags.push(Diagnostic {
-                rule: "L5",
-                severity: Severity::Error,
-                file: t.file.clone(),
-                line: t.line,
-                message: format!(
-                    "method `{}` was removed from `{}` but weaver-api.lock still records \
-                     version {}",
-                    gone, t.component_name, prev.version
-                ),
-                help: "run `weaver-lint --update-lock` to drop it and bump the component \
-                       version"
-                    .to_string(),
+                help: "run `weaver-lint --update-lock` to record its API schema".to_string(),
             });
         }
     }
@@ -180,40 +238,80 @@ pub fn check(lock: &LockFile, model: &Model) -> Vec<Diagnostic> {
             help: "run `weaver-lint --update-lock` to prune it".to_string(),
         });
     }
+    for stale in lock
+        .types
+        .keys()
+        .filter(|k| !current.types.contains_key(*k))
+    {
+        diags.push(Diagnostic {
+            rule: "L5",
+            severity: Severity::Warning,
+            file: "weaver-api.lock".into(),
+            line: 0,
+            message: format!(
+                "lock records wire type `{stale}`, which is no longer reachable from any \
+                 component signature"
+            ),
+            help: "run `weaver-lint --update-lock` to prune it".to_string(),
+        });
+    }
     diags
 }
 
-/// Renders the lock file deterministically.
+/// Renders the lock file deterministically (always format 2).
 pub fn render(lock: &LockFile) -> String {
     let mut out = String::from(
-        "# weaver-api.lock — component API fingerprints (weaver-lint rule L5).\n\
-         # Regenerate with: cargo run -p weaver-lint -- --update-lock\n",
+        "# weaver-api.lock — component API schemas (weaver-lint rules L5/L8).\n\
+         # Regenerate with: cargo run -p weaver-lint -- --update-lock\n\
+         format 2\n",
     );
     for (name, entry) in &lock.components {
         out.push_str(&format!("component {} version {}\n", name, entry.version));
-        for (method, hash) in &entry.methods {
-            out.push_str(&format!("  method {method} {hash}\n"));
+        for (method, schema) in &entry.methods {
+            out.push_str(&format!("  method {method} {}\n", schema.hash));
+            for arg in &schema.args {
+                out.push_str(&format!("    arg {arg}\n"));
+            }
+            out.push_str(&format!("    ret {}\n", schema.ret));
+        }
+    }
+    for (name, ty) in &lock.types {
+        out.push_str(&format!("type {name}\n"));
+        for (field, fty) in &ty.fields {
+            out.push_str(&format!("  field {field} {fty}\n"));
         }
     }
     out
 }
 
-/// Parses a lock file. Unknown lines are errors — the file is
-/// tool-owned.
+/// Parses a lock file (either format). Unknown lines are errors — the
+/// file is tool-owned.
 pub fn parse(text: &str) -> Result<LockFile, String> {
-    let mut lock = LockFile::default();
-    let mut current: Option<String> = None;
+    let mut lock = LockFile {
+        format: 1,
+        ..LockFile::default()
+    };
+    let mut component: Option<String> = None;
+    let mut method: Option<String> = None;
+    let mut ty: Option<String> = None;
     for (n, line) in text.lines().enumerate() {
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let parts: Vec<&str> = trimmed.split_whitespace().collect();
-        match parts.as_slice() {
-            ["component", name, "version", v] => {
-                let version: u32 = v
-                    .parse()
-                    .map_err(|_| format!("line {}: bad version `{v}`", n + 1))?;
+        let bad = || format!("line {}: unrecognized `{trimmed}`", n + 1);
+        let (word, rest) = trimmed.split_once(' ').unwrap_or((trimmed, ""));
+        let rest = rest.trim();
+        match word {
+            "format" => {
+                lock.format = rest.parse().map_err(|_| bad())?;
+            }
+            "component" => {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                let [name, "version", v] = parts.as_slice() else {
+                    return Err(bad());
+                };
+                let version: u32 = v.parse().map_err(|_| bad())?;
                 lock.components.insert(
                     name.to_string(),
                     LockEntry {
@@ -221,19 +319,64 @@ pub fn parse(text: &str) -> Result<LockFile, String> {
                         methods: BTreeMap::new(),
                     },
                 );
-                current = Some(name.to_string());
+                component = Some(name.to_string());
+                method = None;
+                ty = None;
             }
-            ["method", method, hash] => {
-                let Some(name) = &current else {
-                    return Err(format!("line {}: method before any component", n + 1));
+            "method" => {
+                let Some((name, hash)) = rest.split_once(' ') else {
+                    return Err(bad());
                 };
+                let comp = component.as_ref().ok_or_else(bad)?;
                 lock.components
-                    .get_mut(name)
+                    .get_mut(comp)
                     .expect("current entry exists")
                     .methods
-                    .insert(method.to_string(), hash.to_string());
+                    .insert(
+                        name.to_string(),
+                        MethodSchema {
+                            hash: hash.trim().to_string(),
+                            args: Vec::new(),
+                            ret: String::new(),
+                        },
+                    );
+                method = Some(name.to_string());
             }
-            _ => return Err(format!("line {}: unrecognized `{trimmed}`", n + 1)),
+            "arg" | "ret" => {
+                let comp = component.as_ref().ok_or_else(bad)?;
+                let m = method.as_ref().ok_or_else(bad)?;
+                let schema = lock
+                    .components
+                    .get_mut(comp)
+                    .and_then(|e| e.methods.get_mut(m))
+                    .ok_or_else(bad)?;
+                if word == "arg" {
+                    schema.args.push(rest.to_string());
+                } else {
+                    schema.ret = rest.to_string();
+                }
+            }
+            "type" => {
+                if rest.is_empty() {
+                    return Err(bad());
+                }
+                lock.types.insert(rest.to_string(), TypeSchema::default());
+                ty = Some(rest.to_string());
+                component = None;
+                method = None;
+            }
+            "field" => {
+                let Some((name, fty)) = rest.split_once(' ') else {
+                    return Err(bad());
+                };
+                let t = ty.as_ref().ok_or_else(bad)?;
+                lock.types
+                    .get_mut(t)
+                    .expect("current type exists")
+                    .fields
+                    .insert(name.to_string(), fty.trim().to_string());
+            }
+            _ => return Err(bad()),
         }
     }
     Ok(lock)
@@ -251,35 +394,86 @@ mod tests {
     }
 
     const V1: &str = r#"
+        #[derive(Debug, Clone, WeaverData)]
+        struct Item { id: String, qty: u32 }
         #[component(name = "app.S")]
-        trait S { fn put(&self, ctx: &CallContext, n: u32) -> Result<(), WeaverError>; }
-    "#;
-    const V2: &str = r#"
-        #[component(name = "app.S")]
-        trait S { fn put(&self, ctx: &CallContext, n: u64) -> Result<(), WeaverError>; }
+        trait S { fn put(&self, ctx: &CallContext, item: Item) -> Result<(), WeaverError>; }
     "#;
 
     #[test]
     fn roundtrip_and_stability() {
         let lock = fingerprint(&model(V1));
+        assert_eq!(lock.format, 2);
+        assert_eq!(lock.types["Item"].fields["qty"], "u32");
+        assert_eq!(lock.components["app.S"].methods["put"].args, vec!["Item"]);
         let parsed = parse(&render(&lock)).expect("parse");
         assert_eq!(parsed, lock);
-        // Reformatting the source must not change the fingerprint.
+        // Reformatting the source must not change the schemas.
         let reformatted = fingerprint(&model(
-            "#[component(name = \"app.S\")]\ntrait S {\n    fn put(\n        &self,\n        ctx: &CallContext,\n        n: u32,\n    ) -> Result<(), WeaverError>;\n}\n",
+            "#[derive(Debug, Clone, WeaverData)]\nstruct Item {\n    id: String,\n    qty: u32,\n}\n#[component(name = \"app.S\")]\ntrait S {\n    fn put(\n        &self,\n        ctx: &CallContext,\n        item: Item,\n    ) -> Result<(), WeaverError>;\n}\n",
         ));
         assert_eq!(lock, reformatted);
     }
 
     #[test]
-    fn signature_change_without_bump_is_flagged_and_update_bumps() {
-        let lock = fingerprint(&model(V1));
-        assert!(check(&lock, &model(V1)).is_empty());
-        let diags = check(&lock, &model(V2));
+    fn v1_format_still_parses_and_upgrades() {
+        let legacy = "# old\ncomponent app.S version 3\n  method put 9f86d081884c7d65\n";
+        let lock = parse(legacy).expect("parse v1");
+        assert_eq!(lock.format, 1);
+        assert_eq!(lock.components["app.S"].version, 3);
+        assert!(lock.components["app.S"].methods["put"].args.is_empty());
+        // Upgrading with an unchanged hash keeps the version; with a
+        // changed one it bumps.
+        let m = model(V1);
+        let cur_hash = fingerprint(&m).components["app.S"].methods["put"]
+            .hash
+            .clone();
+        let same = parse(&format!(
+            "component app.S version 3\n  method put {cur_hash}\n"
+        ))
+        .unwrap();
+        assert_eq!(update(Some(&same), &m).components["app.S"].version, 3);
+        assert_eq!(update(Some(&lock), &m).components["app.S"].version, 4);
+        // Either way the rewritten lock is format 2 with full schemas.
+        let upgraded = update(Some(&lock), &m);
+        assert_eq!(upgraded.format, 2);
+        assert!(!upgraded.components["app.S"].methods["put"].ret.is_empty());
+    }
+
+    #[test]
+    fn type_layout_change_bumps_version() {
+        let old = fingerprint(&model(V1));
+        let changed = model(
+            r#"
+            #[derive(Debug, Clone, WeaverData)]
+            struct Item { id: String, qty: u32, note: Option<String> }
+            #[component(name = "app.S")]
+            trait S { fn put(&self, ctx: &CallContext, item: Item) -> Result<(), WeaverError>; }
+        "#,
+        );
+        let updated = update(Some(&old), &changed);
+        assert_eq!(updated.components["app.S"].version, 2);
+        assert!(updated.types["Item"].fields.contains_key("note"));
+    }
+
+    #[test]
+    fn hygiene_checks_fire_on_missing_and_stale() {
+        let m = model(V1);
+        let empty = LockFile::default();
+        let diags = check(&empty, &m);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, "L5");
-        let bumped = update(Some(&lock), &model(V2));
-        assert_eq!(bumped.components["app.S"].version, 2);
-        assert!(check(&bumped, &model(V2)).is_empty());
+        assert_eq!(diags[0].severity, Severity::Error);
+
+        let mut stale = fingerprint(&m);
+        stale
+            .components
+            .insert("app.Gone".to_string(), LockEntry::default());
+        stale
+            .types
+            .insert("GoneType".to_string(), TypeSchema::default());
+        let diags = check(&stale, &m);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.severity == Severity::Warning));
     }
 }

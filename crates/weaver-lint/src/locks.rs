@@ -1,0 +1,311 @@
+//! L6: distributed lock-order analysis.
+//!
+//! A lock hierarchy that is consistent inside each process can still
+//! deadlock *between* processes: component A takes its lock and calls
+//! component B, whose handler takes B's lock and calls back into A
+//! (directly or transitively) — two requests interleaving across the
+//! boundary now wait on each other over the network, where no runtime
+//! deadlock detector sees both halves (§2's "leaky abstraction" made
+//! concrete). The rule builds a *lock-order graph*: an edge `a → b`
+//! whenever lock `b` may be acquired while `a` is held, where
+//! "may be acquired" includes everything a stub call can reach
+//! transitively ([`crate::dataflow::may_acquire`]). Cycles in that
+//! graph are the deadlock candidates.
+//!
+//! Lock identity is `component::field-path` — only `self`-rooted locks
+//! of component impl structs participate, because only those have a
+//! stable identity across the call graph.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::EventKind;
+use crate::dataflow::{self, Node};
+use crate::diag::{Diagnostic, Severity};
+use crate::graph::resolve_target;
+use crate::model::Model;
+
+/// Where a lock-order edge was observed: the file/line plus a short
+/// description of the acquisition that created it.
+struct Provenance {
+    file: std::path::PathBuf,
+    line: u32,
+    via: String,
+}
+
+/// Runs the lock-order analysis, appending one diagnostic per distinct
+/// cycle in the lock-order graph.
+pub fn l6_lock_order(model: &Model, diags: &mut Vec<Diagnostic>) {
+    let facts = dataflow::may_acquire(model);
+    // Edge (held lock → acquired lock) with first-seen provenance.
+    let mut edges: BTreeMap<(String, String), Provenance> = BTreeMap::new();
+    let mut record = |from: &str, to: &str, p: Provenance| {
+        if from != to {
+            edges.entry((from.to_string(), to.to_string())).or_insert(p);
+        }
+    };
+    for s in &model.summaries {
+        let Some(t) = model.trait_for_struct(&s.struct_name) else {
+            continue;
+        };
+        let comp = &t.component_name;
+        for e in &s.events {
+            match &e.kind {
+                // Nested acquisition in one body: `b` taken under `a`.
+                EventKind::Acquire {
+                    lock: Some(path),
+                    held,
+                    ..
+                } => {
+                    let to = format!("{comp}::{path}");
+                    for h in held {
+                        if let Some(hp) = &h.lock {
+                            record(
+                                &format!("{comp}::{hp}"),
+                                &to,
+                                Provenance {
+                                    file: s.file.clone(),
+                                    line: e.line,
+                                    via: format!("nested acquire in `{}::{}`", comp, s.fn_name),
+                                },
+                            );
+                        }
+                    }
+                }
+                // A stub call under a held lock: everything the callee
+                // may acquire (transitively) is ordered after it.
+                EventKind::Call {
+                    field,
+                    method,
+                    held,
+                    ..
+                } => {
+                    if held.iter().all(|h| h.lock.is_none()) {
+                        continue;
+                    }
+                    let Some((callee, m)) = resolve_target(model, &s.struct_name, field, method)
+                    else {
+                        continue;
+                    };
+                    let reachable = reachable_locks(model, &facts, &callee, &m);
+                    for h in held {
+                        let Some(hp) = &h.lock else { continue };
+                        let from = format!("{comp}::{hp}");
+                        for to in &reachable {
+                            record(
+                                &from,
+                                to,
+                                Provenance {
+                                    file: s.file.clone(),
+                                    line: e.line,
+                                    via: format!(
+                                        "call to `{callee}::{m}` from `{}::{}`",
+                                        comp, s.fn_name
+                                    ),
+                                },
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Cycle detection over the lock-order graph.
+    let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from.clone()).or_default().insert(to.clone());
+    }
+    for cycle in dataflow::cycles(&adj) {
+        let display = {
+            let mut c = cycle.clone();
+            c.push(cycle[0].clone());
+            c.join(" -> ")
+        };
+        // Describe each edge of the cycle from its provenance; anchor
+        // the diagnostic at the first edge's site.
+        let mut vias = Vec::new();
+        let mut anchor: Option<(&std::path::PathBuf, u32)> = None;
+        for w in 0..cycle.len() {
+            let from = &cycle[w];
+            let to = &cycle[(w + 1) % cycle.len()];
+            if let Some(p) = edges.get(&(from.clone(), to.clone())) {
+                vias.push(format!(
+                    "`{to}` is taken under `{from}` via {} ({}:{})",
+                    p.via,
+                    p.file.display(),
+                    p.line
+                ));
+                if anchor.is_none() {
+                    anchor = Some((&p.file, p.line));
+                }
+            }
+        }
+        let (file, line) = anchor.map(|(f, l)| (f.clone(), l)).unwrap_or_default();
+        diags.push(Diagnostic {
+            rule: "L6",
+            severity: Severity::Error,
+            file,
+            line,
+            message: format!("distributed lock-order cycle: {display}"),
+            help: format!(
+                "{}; two requests interleaving these acquisitions deadlock across the \
+                 component boundary once the components are placed in separate processes \
+                 — acquire the locks in one global order, or drop guards before stub calls",
+                vias.join("; ")
+            ),
+        });
+    }
+}
+
+/// The union of may-acquire facts over every impl of `component`'s
+/// `method` (usually one impl; the union keeps multi-impl scans sound).
+fn reachable_locks(
+    model: &Model,
+    facts: &BTreeMap<Node, BTreeSet<String>>,
+    component: &str,
+    method: &str,
+) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for link in &model.links {
+        let Some(t) = model.trait_named(&link.trait_name) else {
+            continue;
+        };
+        if t.component_name != component {
+            continue;
+        }
+        if let Some(set) = facts.get(&(link.struct_name.clone(), method.to_string())) {
+            out.extend(set.iter().cloned());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn lint_l6(src: &str) -> Vec<Diagnostic> {
+        let mut m = Model::default();
+        crate::scan::scan_source(&mut m, Path::new("test.rs"), src);
+        let mut diags = Vec::new();
+        l6_lock_order(&m, &mut diags);
+        diags
+    }
+
+    const INVERTED: &str = r#"
+        #[component(name = "app.Ledger")]
+        trait Ledger {
+            fn credit(&self, ctx: &CallContext) -> Result<(), WeaverError>;
+            fn audit(&self, ctx: &CallContext) -> Result<(), WeaverError>;
+        }
+        #[component(name = "app.Vault")]
+        trait Vault {
+            fn store(&self, ctx: &CallContext) -> Result<(), WeaverError>;
+            fn reconcile(&self, ctx: &CallContext) -> Result<(), WeaverError>;
+        }
+        struct LedgerImpl { vault: Arc<dyn Vault>, entries: Mutex<u64> }
+        impl Component for LedgerImpl { type Interface = dyn Ledger; }
+        impl Ledger for LedgerImpl {
+            fn credit(&self, ctx: &CallContext) -> Result<(), WeaverError> {
+                let entries = self.entries.lock().unwrap();
+                self.vault.store(ctx)?;
+                drop(entries);
+                Ok(())
+            }
+            fn audit(&self, ctx: &CallContext) -> Result<(), WeaverError> {
+                let entries = self.entries.lock().unwrap();
+                drop(entries);
+                Ok(())
+            }
+        }
+        struct VaultImpl { ledger: Arc<dyn Ledger>, slots: Mutex<u64> }
+        impl Component for VaultImpl { type Interface = dyn Vault; }
+        impl Vault for VaultImpl {
+            fn store(&self, ctx: &CallContext) -> Result<(), WeaverError> {
+                let slots = self.slots.lock().unwrap();
+                drop(slots);
+                Ok(())
+            }
+            fn reconcile(&self, ctx: &CallContext) -> Result<(), WeaverError> {
+                let slots = self.slots.lock().unwrap();
+                self.ledger.audit(ctx)?;
+                drop(slots);
+                Ok(())
+            }
+        }
+    "#;
+
+    #[test]
+    fn cross_component_inversion_is_flagged() {
+        let diags = lint_l6(INVERTED);
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert_eq!(diags[0].rule, "L6");
+        assert!(
+            diags[0]
+                .message
+                .contains("app.Ledger::entries -> app.Vault::slots -> app.Ledger::entries"),
+            "{}",
+            diags[0].message
+        );
+        assert!(diags[0].help.contains("call to `app.Vault::store`"));
+    }
+
+    #[test]
+    fn consistent_order_is_silent() {
+        // Both paths take Ledger::entries before Vault::slots: an order
+        // exists, no cycle.
+        let diags = lint_l6(
+            r#"
+            #[component(name = "app.Ledger")]
+            trait Ledger { fn credit(&self, ctx: &CallContext) -> Result<(), WeaverError>; }
+            #[component(name = "app.Vault")]
+            trait Vault { fn store(&self, ctx: &CallContext) -> Result<(), WeaverError>; }
+            struct LedgerImpl { vault: Arc<dyn Vault>, entries: Mutex<u64> }
+            impl Component for LedgerImpl { type Interface = dyn Ledger; }
+            impl Ledger for LedgerImpl {
+                fn credit(&self, ctx: &CallContext) -> Result<(), WeaverError> {
+                    let entries = self.entries.lock().unwrap();
+                    self.vault.store(ctx)?;
+                    drop(entries);
+                    Ok(())
+                }
+            }
+            struct VaultImpl { slots: Mutex<u64> }
+            impl Component for VaultImpl { type Interface = dyn Vault; }
+            impl Vault for VaultImpl {
+                fn store(&self, ctx: &CallContext) -> Result<(), WeaverError> {
+                    let slots = self.slots.lock().unwrap();
+                    drop(slots);
+                    Ok(())
+                }
+            }
+        "#,
+        );
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn guards_without_identity_do_not_order() {
+        // A local (non-self) lock held across a call has no stable
+        // identity: nothing to order, no edge.
+        let diags = lint_l6(
+            r#"
+            #[component(name = "app.A")]
+            trait A { fn go(&self, ctx: &CallContext) -> Result<(), WeaverError>; }
+            #[component(name = "app.B")]
+            trait B { fn serve(&self, ctx: &CallContext) -> Result<(), WeaverError>; }
+            struct AImpl { b: Arc<dyn B> }
+            impl Component for AImpl { type Interface = dyn A; }
+            impl A for AImpl {
+                fn go(&self, ctx: &CallContext) -> Result<(), WeaverError> {
+                    let table = shared();
+                    let g = table.lock();
+                    self.b.serve(ctx)
+                }
+            }
+        "#,
+        );
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+}

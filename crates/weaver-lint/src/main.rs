@@ -1,36 +1,50 @@
 //! The `weaver-lint` CLI.
 //!
 //! ```text
-//! weaver-lint [--root DIR] [--lock FILE] [--format text|json]
-//!             [--graph] [--update-lock]
+//! weaver-lint [--root DIR] [--lock FILE] [--format text|json|sarif]
+//!             [--graph] [--update-lock] [--check]
 //! ```
 //!
 //! Exit codes: 0 = clean (warnings allowed), 1 = at least one error
-//! diagnostic, 2 = usage or I/O failure.
+//! diagnostic, 2 = usage or I/O failure. With `--check` the failure
+//! exit encodes the rule class instead: `10 + n` when every error
+//! belongs to one rule `Ln` (11 = L1 … 18 = L8), 9 when errors span
+//! several rules — so CI scripts can gate differently per invariant
+//! (e.g. treat a lock-file drift as "needs --update-lock", a deadlock
+//! cycle as "page someone").
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use weaver_lint::{diag, graph, lockfile, scan};
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 struct Options {
     root: PathBuf,
     lock: Option<PathBuf>,
-    json: bool,
+    format: Format,
     print_graph: bool,
     update_lock: bool,
+    check: bool,
 }
 
-const USAGE: &str = "usage: weaver-lint [--root DIR] [--lock FILE] [--format text|json] \
-                     [--graph] [--update-lock]";
+const USAGE: &str = "usage: weaver-lint [--root DIR] [--lock FILE] \
+                     [--format text|json|sarif] [--graph] [--update-lock] [--check]";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         root: PathBuf::from("."),
         lock: None,
-        json: false,
+        format: Format::Text,
         print_graph: false,
         update_lock: false,
+        check: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,12 +56,14 @@ fn parse_args() -> Result<Options, String> {
                 opts.lock = Some(PathBuf::from(args.next().ok_or("--lock needs a value")?));
             }
             "--format" => match args.next().as_deref() {
-                Some("json") => opts.json = true,
-                Some("text") => opts.json = false,
-                _ => return Err("--format needs `text` or `json`".to_string()),
+                Some("json") => opts.format = Format::Json,
+                Some("text") => opts.format = Format::Text,
+                Some("sarif") => opts.format = Format::Sarif,
+                _ => return Err("--format needs `text`, `json`, or `sarif`".to_string()),
             },
             "--graph" => opts.print_graph = true,
             "--update-lock" => opts.update_lock = true,
+            "--check" => opts.check = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -56,6 +72,30 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// The `--check` exit code for a diagnostic list: rule class `Ln` maps
+/// to `10 + n` when all errors share one rule, 9 when they span rules.
+fn check_exit_code(diags: &[diag::Diagnostic]) -> ExitCode {
+    let mut error_rules: Vec<&str> = diags
+        .iter()
+        .filter(|d| d.severity == diag::Severity::Error)
+        .map(|d| d.rule)
+        .collect();
+    error_rules.sort_unstable();
+    error_rules.dedup();
+    match error_rules.as_slice() {
+        [] => ExitCode::SUCCESS,
+        [rule] => {
+            let class = diag::RULE_INFO
+                .iter()
+                .position(|(id, _)| id == rule)
+                .map(|i| 11 + i as u8)
+                .unwrap_or(1);
+            ExitCode::from(class)
+        }
+        _ => ExitCode::from(9),
+    }
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -96,23 +136,28 @@ fn run() -> Result<ExitCode, String> {
         let snapshot = graph::build_graph(&model);
         println!("{}", weaver_lint::graph_json(&snapshot));
     }
-    if opts.json {
-        println!("{}", diag::render_json_report(&diags));
-    } else {
-        for d in &diags {
-            print!("{}", d.render_text());
+    match opts.format {
+        Format::Json => println!("{}", diag::render_json_report(&diags)),
+        Format::Sarif => println!("{}", diag::render_sarif(&diags)),
+        Format::Text => {
+            for d in &diags {
+                print!("{}", d.render_text());
+            }
+            let errors = diags
+                .iter()
+                .filter(|d| d.severity == diag::Severity::Error)
+                .count();
+            eprintln!(
+                "weaver-lint: {} files, {} components, {} diagnostics ({} errors)",
+                model.files_scanned,
+                model.traits.len(),
+                diags.len(),
+                errors
+            );
         }
-        let errors = diags
-            .iter()
-            .filter(|d| d.severity == diag::Severity::Error)
-            .count();
-        eprintln!(
-            "weaver-lint: {} files, {} components, {} diagnostics ({} errors)",
-            model.files_scanned,
-            model.traits.len(),
-            diags.len(),
-            errors
-        );
+    }
+    if opts.check {
+        return Ok(check_exit_code(&diags));
     }
     let failed = diags.iter().any(|d| d.severity == diag::Severity::Error);
     Ok(if failed {

@@ -21,11 +21,26 @@ pub struct ComponentMethod {
     /// Rendered types of the payload arguments (everything after the
     /// receiver and the `ctx` argument).
     pub arg_types: Vec<String>,
+    /// Binding names of the payload arguments, parallel to
+    /// [`ComponentMethod::arg_types`]. Names are lint-relevant (not
+    /// fingerprint-relevant): L7 recognizes idempotency keys by them.
+    pub arg_names: Vec<String>,
     /// Rendered return type (`Result<T, WeaverError>` as written).
     pub ret: String,
     /// Normalized signature text used for API fingerprints: arg types
     /// and return type only, so renames of bindings don't churn hashes.
     pub signature: String,
+}
+
+impl ComponentMethod {
+    /// True when some payload argument looks like an idempotency key
+    /// (its binding name contains `key`) or the method name itself is
+    /// spelled as a keyed/idempotent variant (`*_keyed`, `*_idem`).
+    pub fn takes_key(&self) -> bool {
+        self.arg_names.iter().any(|n| n.contains("key"))
+            || self.name.ends_with("_keyed")
+            || self.name.ends_with("_idem")
+    }
 }
 
 /// One trait annotated with `#[component]`.
@@ -69,6 +84,45 @@ impl TypeDef {
     }
 }
 
+/// A lock guard still live at some program point. Produced by the
+/// control-flow summarizer (`crate::cfg`); consumed by L4 (any held
+/// guard across a stub call) and L6 (lock *identity* ordering, which
+/// needs the field path, not just the binding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeldLock {
+    /// The guard's binding name (e.g. `carts`).
+    pub binding: String,
+    /// The lock's field path rooted at `self` (e.g. `state` for
+    /// `self.state.lock()`, `inner.carts` for `self.inner.carts.read()`),
+    /// `None` when the guard came from a local or a free expression and
+    /// therefore has no stable cross-call identity.
+    pub lock: Option<String>,
+    /// 1-based line of the guard binding.
+    pub line: u32,
+}
+
+/// Which half of a saga step a call occurs in. Stamped on [`CallSite`]s
+/// whose token position falls inside a `Saga::new(…)….step(…)….run()`
+/// builder chain; `None` for ordinary calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SagaRole {
+    /// Inside the forward closure of step `step` of chain `chain`
+    /// (both 0-based, chain indices are per enclosing function).
+    Forward {
+        /// 0-based saga chain index within the enclosing function.
+        chain: usize,
+        /// 0-based step index within the chain.
+        step: usize,
+    },
+    /// Inside the compensation closure of step `step` of chain `chain`.
+    Compensation {
+        /// 0-based saga chain index within the enclosing function.
+        chain: usize,
+        /// 0-based step index within the chain.
+        step: usize,
+    },
+}
+
 /// A `self.<field>.<method>(…)` expression inside an impl block — a
 /// candidate component call site, resolved against the impl struct's
 /// dependency fields later.
@@ -84,11 +138,13 @@ pub struct CallSite {
     pub file: PathBuf,
     /// 1-based line of the call.
     pub line: u32,
-    /// Lock guards (binding name, binding line) still live at the call,
-    /// innermost-scope last. Used by L4.
-    pub live_guards: Vec<(String, u32)>,
+    /// Lock guards still live at the call, innermost-scope last. Used
+    /// by L4 (any held guard) and L6 (guards with a lock identity).
+    pub live_guards: Vec<HeldLock>,
     /// Name of the enclosing function.
     pub in_fn: String,
+    /// The saga closure this call occurs in, if any. Used by L7.
+    pub saga: Option<SagaRole>,
 }
 
 /// A future-gather site inside an impl block: a zero-argument `.wait()`,
@@ -106,8 +162,8 @@ pub struct WaitSite {
     pub file: PathBuf,
     /// 1-based line of the wait.
     pub line: u32,
-    /// Lock guards (binding name, binding line) still live at the wait.
-    pub live_guards: Vec<(String, u32)>,
+    /// Lock guards still live at the wait.
+    pub live_guards: Vec<HeldLock>,
     /// Name of the enclosing function.
     pub in_fn: String,
 }
@@ -137,6 +193,10 @@ pub struct Model {
     pub calls: Vec<CallSite>,
     /// All future-gather sites (`.wait()` / `.wait_timeout(` / `join_all(`).
     pub waits: Vec<WaitSite>,
+    /// Per-method control-flow summaries (abstract event streams), one
+    /// per `fn` body scanned inside an impl block. The interprocedural
+    /// passes (L6 lock ordering, L7 saga completeness) run over these.
+    pub summaries: Vec<crate::cfg::FnSummary>,
     /// Files scanned (for reporting).
     pub files_scanned: usize,
 }

@@ -1,4 +1,5 @@
-//! The paper-invariant lints (L1–L4; L5 lives in [`crate::lockfile`]).
+//! The paper-invariant lints (L1–L4 and L7; L5 lives in
+//! [`crate::lockfile`], L6 in [`crate::locks`], L8 in [`crate::schema`]).
 //!
 //! Each rule encodes a constraint the paper's runtime model imposes but
 //! the Rust compiler cannot check on its own:
@@ -15,11 +16,17 @@
 //! - **L4** — holding a lock guard across a component call turns into
 //!   holding it across an RPC once the callee is placed remotely: a
 //!   latency cliff and a deadlock risk invisible in local testing (§2).
+//! - **L7** — saga completeness: forward steps with a compensation
+//!   counterpart must run inside a saga, every such step must register
+//!   its compensation, and compensations must take an idempotency key,
+//!   or crash recovery strands half-done workflows (§3.2's managed
+//!   partial-failure story applied to the checkout saga).
 
+use crate::cfg::EventKind;
 use crate::diag::{Diagnostic, Severity};
-use crate::graph::resolve_calls;
-use crate::model::Model;
-use weaver_syntax::TokKind;
+use crate::graph::{resolve_calls, resolve_target};
+use crate::model::{Model, SagaRole};
+use crate::schema::type_idents;
 
 /// Types that are wire-encodable without a `WeaverData` derive: the
 /// primitives and std containers the codec provides built-in impls for.
@@ -63,46 +70,16 @@ const HASHABLE_BUILTINS: &[&str] = &[
 /// Types that can never produce a routing key.
 const NEVER_HASHABLE: &[&str] = &["f32", "f64", "HashMap", "HashSet"];
 
-/// Path segments and keywords ignored when collecting type identifiers.
-const PATH_NOISE: &[&str] = &[
-    "std",
-    "core",
-    "alloc",
-    "collections",
-    "string",
-    "vec",
-    "boxed",
-    "sync",
-    "crate",
-    "super",
-    "self",
-    "dyn",
-    "impl",
-    "as",
-    "where",
-];
-
-/// Runs L1–L4 over a scanned model.
+/// Runs the model-level rules (L1–L4, L6, L7) over a scanned model.
 pub fn run_all(model: &Model) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     l1_wire_data(model, &mut diags);
     l2_acyclic_graph(model, &mut diags);
     l3_routing_keys(model, &mut diags);
     l4_guard_across_call(model, &mut diags);
+    crate::locks::l6_lock_order(model, &mut diags);
+    l7_saga_completeness(model, &mut diags);
     diags
-}
-
-/// Collects candidate type identifiers from a rendered type string:
-/// every identifier that isn't path noise.
-fn type_idents(ty: &str) -> Vec<String> {
-    let Ok(toks) = weaver_syntax::lex(ty) else {
-        return Vec::new();
-    };
-    toks.iter()
-        .filter(|t| t.kind == TokKind::Ident)
-        .filter(|t| !PATH_NOISE.contains(&t.text.as_str()))
-        .map(|t| t.text.clone())
-        .collect()
 }
 
 /// Extracts the `Ok` type from a rendered `Result<T, E>` return type.
@@ -241,20 +218,13 @@ fn l1_wire_data(model: &Model, diags: &mut Vec<Diagnostic>) {
 fn l2_acyclic_graph(model: &Model, diags: &mut Vec<Diagnostic>) {
     use std::collections::{BTreeMap, BTreeSet};
     let resolved = resolve_calls(model);
-    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     for r in &resolved {
-        adj.entry(r.caller.as_str())
+        adj.entry(r.caller.clone())
             .or_default()
-            .insert(r.callee.as_str());
+            .insert(r.callee.clone());
     }
-    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
-    let nodes: Vec<&str> = adj.keys().copied().collect();
-    for &start in &nodes {
-        let mut path: Vec<&str> = Vec::new();
-        let mut on_path: BTreeSet<&str> = BTreeSet::new();
-        dfs(start, &adj, &mut path, &mut on_path, &mut reported);
-    }
-    for cycle in reported {
+    for cycle in crate::dataflow::cycles(&adj) {
         let display = {
             let mut c = cycle.clone();
             c.push(cycle[0].clone());
@@ -274,42 +244,6 @@ fn l2_acyclic_graph(model: &Model, diags: &mut Vec<Diagnostic>) {
                 .to_string(),
         });
     }
-}
-
-fn dfs<'a>(
-    node: &'a str,
-    adj: &std::collections::BTreeMap<&'a str, std::collections::BTreeSet<&'a str>>,
-    path: &mut Vec<&'a str>,
-    on_path: &mut std::collections::BTreeSet<&'a str>,
-    reported: &mut std::collections::BTreeSet<Vec<String>>,
-) {
-    if on_path.contains(node) {
-        let pos = path.iter().position(|&n| n == node).unwrap_or(0);
-        let cycle: Vec<&str> = path[pos..].to_vec();
-        // Canonicalize: rotate so the smallest member leads.
-        let min = cycle
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, n)| **n)
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        let canon: Vec<String> = cycle[min..]
-            .iter()
-            .chain(cycle[..min].iter())
-            .map(|s| s.to_string())
-            .collect();
-        reported.insert(canon);
-        return;
-    }
-    path.push(node);
-    on_path.insert(node);
-    if let Some(next) = adj.get(node) {
-        for &n in next {
-            dfs(n, adj, path, on_path, reported);
-        }
-    }
-    path.pop();
-    on_path.remove(node);
 }
 
 /// L3: a `#[routed]` method's first payload argument must be able to
@@ -392,7 +326,8 @@ fn l3_routing_keys(model: &Model, diags: &mut Vec<Diagnostic>) {
 fn l4_guard_across_call(model: &Model, diags: &mut Vec<Diagnostic>) {
     for r in resolve_calls(model) {
         let call = &model.calls[r.site];
-        for (guard, guard_line) in &call.live_guards {
+        for held in &call.live_guards {
+            let (guard, guard_line) = (&held.binding, held.line);
             diags.push(Diagnostic {
                 rule: "L4",
                 severity: Severity::Error,
@@ -418,7 +353,8 @@ fn l4_guard_across_call(model: &Model, diags: &mut Vec<Diagnostic>) {
         let Some(caller) = model.trait_for_struct(&w.struct_name) else {
             continue;
         };
-        for (guard, guard_line) in &w.live_guards {
+        for held in &w.live_guards {
+            let (guard, guard_line) = (&held.binding, held.line);
             diags.push(Diagnostic {
                 rule: "L4",
                 severity: Severity::Error,
@@ -435,6 +371,195 @@ fn l4_guard_across_call(model: &Model, diags: &mut Vec<Diagnostic>) {
                      callees are placed remotely, and the guard spans that whole wait"
                 ),
             });
+        }
+    }
+}
+
+/// The set of *paired forward steps*: component methods whose trait
+/// also declares a compensation, that take an idempotency key, and are
+/// not compensations themselves. These are the effects the application
+/// has committed to undoing — `charge_idem` ⇄ `refund`,
+/// `empty_cart_keyed` ⇄ `restore_cart` — and the pairing only works if
+/// the forward step runs where the saga machinery can log it.
+fn paired_forwards(model: &Model) -> std::collections::BTreeSet<(String, String)> {
+    let mut out = std::collections::BTreeSet::new();
+    for t in &model.traits {
+        if !t.methods.iter().any(|m| is_compensation(&m.name)) {
+            continue;
+        }
+        for m in &t.methods {
+            if m.takes_key() && !is_compensation(&m.name) {
+                out.insert((t.component_name.clone(), m.name.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// L7: saga completeness. Three checks over the declared interfaces and
+/// the saga chains the summaries recorded:
+///
+/// 1. a compensation-named method must take an idempotency key —
+///    recovery replays compensations, so an unkeyed one double-undoes;
+/// 2. a paired forward step (see [`paired_forwards`]) must not be
+///    invoked outside a saga — a crash after the bare call leaves no
+///    log entry from which to run the undo;
+/// 3. inside a saga, a step whose forward closure invokes a paired
+///    forward of component `C` must call back into `C` from its
+///    compensation closure (and a step declared `forward_only` must not
+///    invoke a paired forward at all). A compensation closure with no
+///    component calls should be declared `forward_only` instead.
+fn l7_saga_completeness(model: &Model, diags: &mut Vec<Diagnostic>) {
+    // Check 1: unkeyed compensation declarations.
+    for t in &model.traits {
+        for m in &t.methods {
+            if is_compensation(&m.name) && !m.takes_key() {
+                diags.push(Diagnostic {
+                    rule: "L7",
+                    severity: Severity::Error,
+                    file: t.file.clone(),
+                    line: m.line,
+                    message: format!(
+                        "compensation method `{}::{}` takes no idempotency key; saga \
+                         recovery may replay a compensation that already ran, and without \
+                         a key the second run undoes twice",
+                        t.component_name, m.name
+                    ),
+                    help: "add a key argument (e.g. `journal_key: String`) recorded by the \
+                           forward step, and make the compensation a no-op when the key \
+                           was already compensated"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    let paired = paired_forwards(model);
+    // Check 2: paired forwards invoked outside any saga chain.
+    for r in resolve_calls(model) {
+        let call = &model.calls[r.site];
+        if call.saga.is_some() {
+            continue;
+        }
+        if !paired.contains(&(r.callee.clone(), r.method.clone())) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            rule: "L7",
+            severity: Severity::Error,
+            file: call.file.clone(),
+            line: call.line,
+            message: format!(
+                "`{}::{}` is a saga forward step (its component declares a compensation) \
+                 but is invoked here outside any saga",
+                r.callee, r.method
+            ),
+            help: "run the call as a `Saga` step with its compensation registered: a crash \
+                   right after this call leaves no step log from which recovery could undo \
+                   the effect"
+                .to_string(),
+        });
+    }
+    // Check 3: per-step compensation registration inside saga chains.
+    for s in &model.summaries {
+        for (chain_idx, chain) in s.sagas.iter().enumerate() {
+            for (step_idx, step) in chain.steps.iter().enumerate() {
+                let mut forward_paired: Vec<(String, String)> = Vec::new();
+                let mut comp_components: std::collections::BTreeSet<String> =
+                    std::collections::BTreeSet::new();
+                let mut comp_calls = 0usize;
+                for e in &s.events {
+                    let EventKind::Call {
+                        field,
+                        method,
+                        saga: Some(role),
+                        ..
+                    } = &e.kind
+                    else {
+                        continue;
+                    };
+                    let Some((callee, m)) = resolve_target(model, &s.struct_name, field, method)
+                    else {
+                        continue;
+                    };
+                    match role {
+                        SagaRole::Forward { chain: c, step: st }
+                            if *c == chain_idx
+                                && *st == step_idx
+                                && paired.contains(&(callee.clone(), m.clone())) =>
+                        {
+                            forward_paired.push((callee, m));
+                        }
+                        SagaRole::Compensation { chain: c, step: st }
+                            if *c == chain_idx && *st == step_idx =>
+                        {
+                            comp_calls += 1;
+                            comp_components.insert(callee);
+                        }
+                        _ => {}
+                    }
+                }
+                if step.forward_only {
+                    for (callee, m) in &forward_paired {
+                        diags.push(Diagnostic {
+                            rule: "L7",
+                            severity: Severity::Error,
+                            file: s.file.clone(),
+                            line: step.line,
+                            message: format!(
+                                "saga step `{}` is declared `forward_only` but invokes \
+                                 `{callee}::{m}`, which has a compensation counterpart",
+                                step.name
+                            ),
+                            help: format!(
+                                "use `.step(\"{}\", …)` and register the compensation: \
+                                 `forward_only` asserts the effect needs no undo, and \
+                                 `{callee}` says otherwise",
+                                step.name
+                            ),
+                        });
+                    }
+                    continue;
+                }
+                let mut missing = false;
+                for (callee, m) in &forward_paired {
+                    if !comp_components.contains(callee) {
+                        missing = true;
+                        diags.push(Diagnostic {
+                            rule: "L7",
+                            severity: Severity::Error,
+                            file: s.file.clone(),
+                            line: step.line,
+                            message: format!(
+                                "saga step `{}` invokes forward step `{callee}::{m}` but \
+                                 its compensation closure never calls `{callee}`",
+                                step.name
+                            ),
+                            help: format!(
+                                "call the compensation counterpart of `{callee}::{m}` \
+                                 (keyed with the same idempotency key) from the step's \
+                                 compensation closure, or declare the step \
+                                 `.forward_only(…)` if the effect genuinely needs no undo",
+                            ),
+                        });
+                    }
+                }
+                if comp_calls == 0 && !missing {
+                    diags.push(Diagnostic {
+                        rule: "L7",
+                        severity: Severity::Warning,
+                        file: s.file.clone(),
+                        line: step.line,
+                        message: format!(
+                            "compensation closure of saga step `{}` performs no component \
+                             calls",
+                            step.name
+                        ),
+                        help: "declare the step with `.forward_only(…)` so the no-undo \
+                               intent is explicit and auditable"
+                            .to_string(),
+                    });
+                }
+            }
         }
     }
 }
@@ -496,7 +621,7 @@ mod tests {
             struct CartSnapshot { items: Vec<String> }
             #[component(name = "app.Cart")]
             trait Cart {
-                fn restore_cart(&self, ctx: &CallContext, snap: CartSnapshot) -> Result<(), WeaverError>;
+                fn restore_cart(&self, ctx: &CallContext, journal_key: String, snap: CartSnapshot) -> Result<(), WeaverError>;
             }
         "#,
         );
@@ -522,7 +647,7 @@ mod tests {
             #[component(name = "app.Pay")]
             trait Pay {
                 fn refund(&self, ctx: &CallContext, key: String) -> Result<Option<String>, WeaverError>;
-                fn cancel_shipment(&self, ctx: &CallContext, id: u64) -> Result<(), WeaverError>;
+                fn cancel_shipment(&self, ctx: &CallContext, shipment_key: u64) -> Result<(), WeaverError>;
             }
         "#,
         );
@@ -597,6 +722,132 @@ mod tests {
         "#,
         );
         assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    // One saga-shaped component pair; the body is swapped per test.
+    fn saga_src(body: &str) -> String {
+        format!(
+            r#"
+            #[component(name = "app.Pay")]
+            trait Pay {{
+                fn charge_idem(&self, ctx: &CallContext, key: String) -> Result<(), WeaverError>;
+                fn refund(&self, ctx: &CallContext, key: String) -> Result<(), WeaverError>;
+            }}
+            #[component(name = "app.Orders")]
+            trait Orders {{ fn place(&self, ctx: &CallContext) -> Result<(), WeaverError>; }}
+            struct OrdersImpl {{ pay: Arc<dyn Pay>, log: SagaLog }}
+            impl Component for OrdersImpl {{ type Interface = dyn Orders; }}
+            impl Orders for OrdersImpl {{
+                fn place(&self, ctx: &CallContext) -> Result<(), WeaverError> {{
+                    {body}
+                    Ok(())
+                }}
+            }}
+        "#
+        )
+    }
+
+    #[test]
+    fn l7_complete_saga_is_clean() {
+        let diags = lint(&saga_src(
+            r#"Saga::new(self.log.clone(), id, "t", vec![])
+                .step("charge", || { self.pay.charge_idem(ctx, key.clone())?; Ok(vec![]) },
+                      |_| { self.pay.refund(ctx, key.clone())?; Ok(()) })
+                .run()?;"#,
+        ));
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn l7_flags_missing_compensation_registration() {
+        let diags = lint(&saga_src(
+            r#"Saga::new(self.log.clone(), id, "t", vec![])
+                .step("charge", || { self.pay.charge_idem(ctx, key.clone())?; Ok(vec![]) },
+                      |_| Ok(()))
+                .run()?;"#,
+        ));
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert_eq!(diags[0].rule, "L7");
+        assert!(
+            diags[0].message.contains("never calls `app.Pay`"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn l7_flags_paired_forward_outside_saga() {
+        let diags = lint(&saga_src(r#"self.pay.charge_idem(ctx, key.clone())?;"#));
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert_eq!(diags[0].rule, "L7");
+        assert!(
+            diags[0].message.contains("outside any saga"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn l7_flags_forward_only_step_with_paired_forward() {
+        let diags = lint(&saga_src(
+            r#"Saga::new(self.log.clone(), id, "t", vec![])
+                .forward_only("charge", || { self.pay.charge_idem(ctx, key.clone())?; Ok(vec![]) })
+                .run()?;"#,
+        ));
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert_eq!(diags[0].rule, "L7");
+        assert!(
+            diags[0].message.contains("forward_only"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn l7_suggests_forward_only_for_empty_compensation() {
+        // The forward target has no compensation counterpart, so the
+        // no-op compensation is legal — but should be declared.
+        let diags = lint(
+            r#"
+            #[component(name = "app.Ship")]
+            trait Ship { fn send(&self, ctx: &CallContext) -> Result<(), WeaverError>; }
+            #[component(name = "app.Orders")]
+            trait Orders { fn place(&self, ctx: &CallContext) -> Result<(), WeaverError>; }
+            struct OrdersImpl { ship: Arc<dyn Ship>, log: SagaLog }
+            impl Component for OrdersImpl { type Interface = dyn Orders; }
+            impl Orders for OrdersImpl {
+                fn place(&self, ctx: &CallContext) -> Result<(), WeaverError> {
+                    Saga::new(self.log.clone(), id, "t", vec![])
+                        .step("ship", || { self.ship.send(ctx)?; Ok(vec![]) }, |_| Ok(()))
+                        .run()?;
+                    Ok(())
+                }
+            }
+        "#,
+        );
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert_eq!(diags[0].rule, "L7");
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].help.contains("forward_only"), "{}", diags[0].help);
+    }
+
+    #[test]
+    fn l7_flags_unkeyed_compensation() {
+        let diags = lint(
+            r#"
+            #[component(name = "app.Pay")]
+            trait Pay {
+                fn refund(&self, ctx: &CallContext, txn: u64) -> Result<(), WeaverError>;
+            }
+        "#,
+        );
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert_eq!(diags[0].rule, "L7");
+        assert!(
+            diags[0].message.contains("no idempotency key"),
+            "{}",
+            diags[0].message
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::path::{Path, PathBuf};
 
 use weaver_syntax::{lex, parse_fn_sig, render_tokens, Cursor, Tok, TokKind};
 
+use crate::cfg::{Aliases, EventKind};
 use crate::model::{
     CallSite, ComponentMethod, ComponentTrait, InterfaceLink, Model, TypeDef, WaitSite,
 };
@@ -70,7 +71,11 @@ pub fn scan_source(model: &mut Model, file: &Path, src: &str) {
     let Ok(toks) = lex(src) else {
         return;
     };
-    scan_items(model, file, &toks);
+    // `use` aliases are file-scoped facts (`use std::sync::Mutex as Mu;`)
+    // that guard detection must see, or aliased/UFCS lock acquisitions
+    // silently evade L4/L6.
+    let aliases = Aliases::collect(&toks);
+    scan_items(model, file, &toks, &aliases);
 }
 
 /// One parsed outer attribute: `#[name(...)]`.
@@ -80,7 +85,7 @@ struct Attr<'a> {
 }
 
 /// Walks a token slice at item level, recursing into inline modules.
-fn scan_items(model: &mut Model, file: &Path, toks: &[Tok]) {
+fn scan_items(model: &mut Model, file: &Path, toks: &[Tok], aliases: &Aliases) {
     let mut c = Cursor::new(toks);
     let mut attrs: Vec<Attr<'_>> = Vec::new();
     while let Some(t) = c.peek() {
@@ -125,7 +130,7 @@ fn scan_items(model: &mut Model, file: &Path, toks: &[Tok]) {
             continue;
         }
         if t.is_ident("impl") {
-            parse_impl(model, file, &mut c);
+            parse_impl(model, file, &mut c, aliases);
             attrs.clear();
             continue;
         }
@@ -134,7 +139,7 @@ fn scan_items(model: &mut Model, file: &Path, toks: &[Tok]) {
             c.eat_any_ident();
             if c.peek().is_some_and(|t| t.is_punct("{")) {
                 if let Some(body) = c.take_group() {
-                    scan_items(model, file, body);
+                    scan_items(model, file, body, aliases);
                 }
             } else {
                 c.eat_punct(";");
@@ -275,6 +280,8 @@ fn parse_trait_methods(body: &[Tok]) -> Vec<ComponentMethod> {
                 // The first non-receiver argument is the call context by
                 // convention; the payload starts after it.
                 let arg_types: Vec<String> = payload.iter().skip(1).map(|a| a.ty.clone()).collect();
+                let arg_names: Vec<String> =
+                    payload.iter().skip(1).map(|a| a.name.clone()).collect();
                 let ret = sig.ret.clone().unwrap_or_else(|| "()".to_string());
                 let all_types: Vec<&str> = payload.iter().map(|a| a.ty.as_str()).collect();
                 let signature = format!("fn {}({}) -> {}", sig.name, all_types.join(", "), ret);
@@ -283,6 +290,7 @@ fn parse_trait_methods(body: &[Tok]) -> Vec<ComponentMethod> {
                     line: sig.line,
                     routed,
                     arg_types,
+                    arg_names,
                     ret,
                     signature,
                 });
@@ -442,7 +450,7 @@ fn skip_type_to_comma(c: &mut Cursor<'_>) {
 
 /// Parses an impl block: registrations (`impl Component for X`) and
 /// method bodies (call sites + guard liveness). Cursor sits on `impl`.
-fn parse_impl(model: &mut Model, file: &Path, c: &mut Cursor<'_>) {
+fn parse_impl(model: &mut Model, file: &Path, c: &mut Cursor<'_>, aliases: &Aliases) {
     c.next(); // impl
     skip_angles(c);
     let (first, saw_for) = read_impl_path(c);
@@ -474,7 +482,7 @@ fn parse_impl(model: &mut Model, file: &Path, c: &mut Cursor<'_>) {
         }
         return;
     }
-    scan_impl_body(model, file, &self_ty, body);
+    scan_impl_body(model, file, &self_ty, body, aliases);
 }
 
 /// Reads a type path up to `for`, `where`, or `{`, returning the last
@@ -529,8 +537,10 @@ fn interface_of(body: &[Tok]) -> Option<String> {
     None
 }
 
-/// Walks an impl body, analyzing each `fn`'s body for call sites.
-fn scan_impl_body(model: &mut Model, file: &Path, self_ty: &str, body: &[Tok]) {
+/// Walks an impl body, summarizing each `fn`'s body into an event
+/// stream (`crate::cfg`) and deriving the model's call/wait sites from
+/// the summary's events.
+fn scan_impl_body(model: &mut Model, file: &Path, self_ty: &str, body: &[Tok], aliases: &Aliases) {
     let mut c = Cursor::new(body);
     while let Some(t) = c.peek() {
         if t.is_punct("#") {
@@ -542,10 +552,15 @@ fn scan_impl_body(model: &mut Model, file: &Path, self_ty: &str, body: &[Tok]) {
             continue;
         }
         if t.is_ident("fn") {
-            let fn_name = parse_fn_sig(&mut c).map(|s| s.name).unwrap_or_default();
+            let (fn_name, fn_line) = parse_fn_sig(&mut c)
+                .map(|s| (s.name, s.line))
+                .unwrap_or_default();
             if c.skip_to_punct("{") {
                 if let Some(fn_body) = c.take_group() {
-                    analyze_fn_body(model, file, self_ty, &fn_name, fn_body);
+                    let summary =
+                        crate::cfg::summarize(file, self_ty, &fn_name, fn_line, fn_body, aliases);
+                    record_summary(model, &summary);
+                    model.summaries.push(summary);
                 }
             }
             continue;
@@ -558,222 +573,37 @@ fn scan_impl_body(model: &mut Model, file: &Path, self_ty: &str, body: &[Tok]) {
     }
 }
 
-/// A lock guard binding being tracked through a function body.
-struct Guard {
-    name: String,
-    depth: u32,
-    line: u32,
-    /// Token index from which the binding is in scope (just past the
-    /// `let` statement's `;`) — calls inside the initializer itself run
-    /// before the guard exists.
-    active_from: usize,
-}
-
-/// Linear walk of a function body: records `self.<field>.<method>(`
-/// call sites with the set of lock guards live at each, tracking block
-/// scopes and explicit `drop(guard)` calls.
-fn analyze_fn_body(model: &mut Model, file: &Path, self_ty: &str, fn_name: &str, toks: &[Tok]) {
-    let mut depth: u32 = 0;
-    let mut guards: Vec<Guard> = Vec::new();
-    let mut i = 0;
-    while i < toks.len() {
-        let t = &toks[i];
-        if t.is_punct("{") && t.kind == TokKind::Open {
-            depth += 1;
-            i += 1;
-            continue;
+/// Projects a function summary's call and gather events into the flat
+/// [`Model::calls`] / [`Model::waits`] site lists the per-site rules
+/// (L2–L4, graph building) consume.
+fn record_summary(model: &mut Model, summary: &crate::cfg::FnSummary) {
+    for e in &summary.events {
+        match &e.kind {
+            EventKind::Call {
+                field,
+                method,
+                held,
+                saga,
+            } => model.calls.push(CallSite {
+                struct_name: summary.struct_name.clone(),
+                field: field.clone(),
+                method: method.clone(),
+                file: summary.file.clone(),
+                line: e.line,
+                live_guards: held.clone(),
+                in_fn: summary.fn_name.clone(),
+                saga: *saga,
+            }),
+            EventKind::Gather { expr, held } => model.waits.push(WaitSite {
+                struct_name: summary.struct_name.clone(),
+                expr: expr.clone(),
+                file: summary.file.clone(),
+                line: e.line,
+                live_guards: held.clone(),
+                in_fn: summary.fn_name.clone(),
+            }),
+            EventKind::Acquire { .. } | EventKind::Release { .. } => {}
         }
-        if t.is_punct("}") && t.kind == TokKind::Close {
-            guards.retain(|g| g.depth != depth);
-            depth = depth.saturating_sub(1);
-            i += 1;
-            continue;
-        }
-        if t.is_ident("let") {
-            if let Some((name, line, end)) = guard_binding(toks, i) {
-                guards.push(Guard {
-                    name,
-                    depth,
-                    line,
-                    active_from: end,
-                });
-            }
-            i += 1; // keep walking into the initializer for call sites
-            continue;
-        }
-        if t.is_ident("drop")
-            && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
-            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
-            && toks.get(i + 3).is_some_and(|t| t.is_punct(")"))
-        {
-            let dropped = &toks[i + 2].text;
-            guards.retain(|g| &g.name != dropped);
-            i += 4;
-            continue;
-        }
-        if t.is_ident("self")
-            && toks.get(i + 1).is_some_and(|t| t.is_punct("."))
-            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
-            && toks.get(i + 3).is_some_and(|t| t.is_punct("."))
-            && toks.get(i + 4).is_some_and(|t| t.kind == TokKind::Ident)
-            && toks.get(i + 5).is_some_and(|t| t.is_punct("("))
-        {
-            let live_guards = guards
-                .iter()
-                .filter(|g| g.active_from <= i)
-                .map(|g| (g.name.clone(), g.line))
-                .collect();
-            model.calls.push(CallSite {
-                struct_name: self_ty.to_string(),
-                field: toks[i + 2].text.clone(),
-                method: toks[i + 4].text.clone(),
-                file: file.to_path_buf(),
-                line: toks[i + 4].line,
-                live_guards,
-                in_fn: fn_name.to_string(),
-            });
-            i += 5; // leave `(` for normal traversal
-            continue;
-        }
-        // Future-gather sites. A zero-argument `.wait()` or any
-        // `.wait_timeout(` is a `CallFuture` gather (the argument
-        // requirement excludes `Condvar::wait(&mut g)`); `join_all(`
-        // gathers a whole scatter (the `fn` check excludes the
-        // definition itself). L4 checks guard liveness at these just
-        // like at launch sites: the block happens *here*.
-        if t.is_punct(".")
-            && toks
-                .get(i + 1)
-                .is_some_and(|t| t.is_ident("wait") || t.is_ident("wait_timeout"))
-            && toks.get(i + 2).is_some_and(|t| t.is_punct("("))
-        {
-            let method = &toks[i + 1].text;
-            let zero_arg = toks.get(i + 3).is_some_and(|t| t.is_punct(")"));
-            if method == "wait_timeout" || zero_arg {
-                let receiver = if i > 0 && toks[i - 1].kind == TokKind::Ident {
-                    toks[i - 1].text.clone()
-                } else {
-                    "<expr>".to_string()
-                };
-                record_wait(
-                    model,
-                    file,
-                    self_ty,
-                    fn_name,
-                    &guards,
-                    i,
-                    format!("{receiver}.{method}(…)"),
-                    toks[i + 1].line,
-                );
-            }
-            i += 3;
-            continue;
-        }
-        if t.is_ident("join_all")
-            && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
-            && !(i > 0 && toks[i - 1].is_ident("fn"))
-        {
-            record_wait(
-                model,
-                file,
-                self_ty,
-                fn_name,
-                &guards,
-                i,
-                "join_all(…)".to_string(),
-                t.line,
-            );
-            i += 2;
-            continue;
-        }
-        i += 1;
-    }
-}
-
-/// Records one future-gather site with the guards live at it.
-#[allow(clippy::too_many_arguments)]
-fn record_wait(
-    model: &mut Model,
-    file: &Path,
-    self_ty: &str,
-    fn_name: &str,
-    guards: &[Guard],
-    at: usize,
-    expr: String,
-    line: u32,
-) {
-    let live_guards = guards
-        .iter()
-        .filter(|g| g.active_from <= at)
-        .map(|g| (g.name.clone(), g.line))
-        .collect();
-    model.waits.push(WaitSite {
-        struct_name: self_ty.to_string(),
-        expr,
-        file: file.to_path_buf(),
-        line,
-        live_guards,
-        in_fn: fn_name.to_string(),
-    });
-}
-
-/// If the `let` statement starting at `toks[at]` binds a plain
-/// identifier to an expression whose final call is `.lock()`, `.read()`,
-/// or `.write()` (optionally followed by `.unwrap()`/`.expect(…)`),
-/// returns `(name, line, index_past_semicolon)`.
-fn guard_binding(toks: &[Tok], at: usize) -> Option<(String, u32, usize)> {
-    let mut j = at + 1;
-    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
-        j += 1;
-    }
-    let name_tok = toks.get(j)?;
-    if name_tok.kind != TokKind::Ident {
-        return None; // destructuring / `if let` patterns: not a guard
-    }
-    let name = name_tok.text.clone();
-    j += 1;
-    if !toks.get(j).is_some_and(|t| t.is_punct(":"))
-        && !toks.get(j).is_some_and(|t| t.is_punct("="))
-    {
-        return None;
-    }
-    // Walk to the statement's `;`, collapsing balanced groups to a `()`
-    // marker, and remember the trailing shape of the initializer.
-    let mut tail: Vec<String> = Vec::new();
-    let mut c = Cursor::new(toks);
-    c.set_pos(j);
-    while let Some(t) = c.peek() {
-        if t.is_punct(";") {
-            c.next();
-            break;
-        }
-        if t.kind == TokKind::Open {
-            if !c.skip_balanced() {
-                return None;
-            }
-            tail.push("()".to_string());
-        } else {
-            tail.push(t.text.clone());
-            c.next();
-        }
-    }
-    let end = c.pos();
-    // Strip one trailing `.unwrap()` / `.expect(…)` (std::sync guards).
-    if tail.len() >= 3
-        && tail[tail.len() - 1] == "()"
-        && (tail[tail.len() - 2] == "unwrap" || tail[tail.len() - 2] == "expect")
-        && tail[tail.len() - 3] == "."
-    {
-        tail.truncate(tail.len() - 3);
-    }
-    let is_guard = tail.len() >= 3
-        && tail[tail.len() - 1] == "()"
-        && matches!(tail[tail.len() - 2].as_str(), "lock" | "read" | "write")
-        && tail[tail.len() - 3] == ".";
-    if is_guard {
-        Some((name, name_tok.line, end))
-    } else {
-        None
     }
 }
 

@@ -1,0 +1,466 @@
+//! L8: rollout-compatibility classification of API schema changes.
+//!
+//! During an atomic rollout the old and new application versions serve
+//! traffic *simultaneously* (§4.4): an old-version caller may invoke a
+//! new-version callee and vice versa. Whether that mixed window is safe
+//! depends on the *kind* of schema change, not merely its existence —
+//! which is why this rule replaces L5's binary fingerprint diff with a
+//! semantic one against `weaver-api.lock`:
+//!
+//! - **added method** — rollout-safe: old callers never invoke it;
+//! - **added `Option<…>` field on a wire type** — rollout-safe: the
+//!   tagged codec skips unknown fields and decodes missing ones as
+//!   `None`;
+//! - **removed method / changed argument arity / changed argument or
+//!   return type / required field added, removed, or retyped** —
+//!   rollout-breaking: some live version pair cannot talk.
+//!
+//! Safe changes are warnings (record them with `--update-lock`);
+//! breaking changes are errors (they need a declared version bump and a
+//! compatibility shim, or an old-style two-phase rollout).
+
+use weaver_syntax::TokKind;
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lockfile::{fingerprint, LockFile};
+use crate::model::Model;
+
+/// Path segments and keywords ignored when collecting type identifiers.
+const PATH_NOISE: &[&str] = &[
+    "std",
+    "core",
+    "alloc",
+    "collections",
+    "string",
+    "vec",
+    "boxed",
+    "sync",
+    "crate",
+    "super",
+    "self",
+    "dyn",
+    "impl",
+    "as",
+    "where",
+];
+
+/// Collects candidate type identifiers from a rendered type string:
+/// every identifier that isn't path noise.
+pub fn type_idents(ty: &str) -> Vec<String> {
+    let Ok(toks) = weaver_syntax::lex(ty) else {
+        return Vec::new();
+    };
+    toks.iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .filter(|t| !PATH_NOISE.contains(&t.text.as_str()))
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// True for rendered types whose absence decodes cleanly (`Option<…>`).
+fn is_optional(ty: &str) -> bool {
+    ty.trim_start().starts_with("Option<") || ty.trim_start().starts_with("Option <")
+}
+
+/// Diffs the scanned model's schemas against the lock, classifying each
+/// change per the rollout model. See the module docs for the classes.
+pub fn diff(lock: &LockFile, model: &Model) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let current = fingerprint(model);
+    if lock.format < 2 {
+        diags.push(Diagnostic {
+            rule: "L8",
+            severity: Severity::Warning,
+            file: "weaver-api.lock".into(),
+            line: 0,
+            message: "weaver-api.lock uses the legacy fingerprint format (v1): schema \
+                      changes can be detected but not classified as rollout-safe or \
+                      rollout-breaking"
+                .to_string(),
+            help: "run `weaver-lint --update-lock` once to upgrade the lock to the v2 \
+                   schema format"
+                .to_string(),
+        });
+    }
+    for t in &model.traits {
+        let Some(prev) = lock.components.get(&t.component_name) else {
+            continue; // L5 reports the missing component
+        };
+        let cur = &current.components[&t.component_name];
+        for m in &t.methods {
+            let cur_schema = &cur.methods[&m.name];
+            let Some(prev_schema) = prev.methods.get(&m.name) else {
+                diags.push(Diagnostic {
+                    rule: "L8",
+                    severity: Severity::Warning,
+                    file: t.file.clone(),
+                    line: m.line,
+                    message: format!(
+                        "rollout-safe: method `{}` was added to `{}` (lock records version \
+                         {}); old-version callers never invoke it",
+                        m.name, t.component_name, prev.version
+                    ),
+                    help: "run `weaver-lint --update-lock` to record the addition and bump \
+                           the component version"
+                        .to_string(),
+                });
+                continue;
+            };
+            if prev_schema.hash == cur_schema.hash {
+                continue;
+            }
+            if lock.format < 2 {
+                diags.push(Diagnostic {
+                    rule: "L8",
+                    severity: Severity::Error,
+                    file: t.file.clone(),
+                    line: m.line,
+                    message: format!(
+                        "rollout-breaking (unclassified): signature of `{}::{}` changed \
+                         (fingerprint {} -> {}) without a version bump",
+                        t.component_name, m.name, prev_schema.hash, cur_schema.hash
+                    ),
+                    help: "run `weaver-lint --update-lock` to upgrade the lock and declare \
+                           the change; the v1 lock records no schemas to classify against"
+                        .to_string(),
+                });
+                continue;
+            }
+            if prev_schema.args.len() != cur_schema.args.len() {
+                diags.push(Diagnostic {
+                    rule: "L8",
+                    severity: Severity::Error,
+                    file: t.file.clone(),
+                    line: m.line,
+                    message: format!(
+                        "rollout-breaking: `{}::{}` changed argument arity ({} -> {}); \
+                         during a rollout, old-version callers still encode {} argument(s) \
+                         and the new-version handler cannot decode them",
+                        t.component_name,
+                        m.name,
+                        prev_schema.args.len(),
+                        cur_schema.args.len(),
+                        prev_schema.args.len()
+                    ),
+                    help: "add a new method for the new shape instead (rollout-safe) and \
+                           migrate callers, then remove the old one in a later release; \
+                           `weaver-lint --update-lock` declares whichever change you keep"
+                        .to_string(),
+                });
+                continue;
+            }
+            let mut classified = false;
+            for (i, (p, c)) in prev_schema
+                .args
+                .iter()
+                .zip(cur_schema.args.iter())
+                .enumerate()
+            {
+                if p != c {
+                    classified = true;
+                    diags.push(Diagnostic {
+                        rule: "L8",
+                        severity: Severity::Error,
+                        file: t.file.clone(),
+                        line: m.line,
+                        message: format!(
+                            "rollout-breaking: argument {} of `{}::{}` changed type \
+                             (`{}` -> `{}`); old and new versions disagree on the wire \
+                             encoding while both are serving",
+                            i + 1,
+                            t.component_name,
+                            m.name,
+                            p,
+                            c
+                        ),
+                        help: "introduce the new type behind a new method or an added \
+                               optional field; then run `weaver-lint --update-lock`"
+                            .to_string(),
+                    });
+                }
+            }
+            if prev_schema.ret != cur_schema.ret {
+                classified = true;
+                diags.push(Diagnostic {
+                    rule: "L8",
+                    severity: Severity::Error,
+                    file: t.file.clone(),
+                    line: m.line,
+                    message: format!(
+                        "rollout-breaking: return type of `{}::{}` changed (`{}` -> `{}`); \
+                         old-version callers cannot decode the new response",
+                        t.component_name, m.name, prev_schema.ret, cur_schema.ret
+                    ),
+                    help: "return the new data from a new method, or extend the existing \
+                           type with an optional field; then run `weaver-lint --update-lock`"
+                        .to_string(),
+                });
+            }
+            if !classified && prev_schema.ret == cur_schema.ret {
+                // Hash moved but args/ret text didn't: the context
+                // argument or another non-payload detail changed.
+                diags.push(Diagnostic {
+                    rule: "L8",
+                    severity: Severity::Error,
+                    file: t.file.clone(),
+                    line: m.line,
+                    message: format!(
+                        "rollout-breaking: signature of `{}::{}` changed (fingerprint \
+                         {} -> {}) outside the payload schema",
+                        t.component_name, m.name, prev_schema.hash, cur_schema.hash
+                    ),
+                    help: "run `weaver-lint --update-lock` to declare the change".to_string(),
+                });
+            }
+        }
+        for gone in prev
+            .methods
+            .keys()
+            .filter(|k| !cur.methods.contains_key(*k))
+        {
+            diags.push(Diagnostic {
+                rule: "L8",
+                severity: Severity::Error,
+                file: t.file.clone(),
+                line: t.line,
+                message: format!(
+                    "rollout-breaking: method `{}` was removed from `{}` (lock records \
+                     version {}); old-version callers still invoke it during the rollout \
+                     window",
+                    gone, t.component_name, prev.version
+                ),
+                help: "keep the method as a deprecated stub until no serving version calls \
+                       it, then remove it and run `weaver-lint --update-lock`"
+                    .to_string(),
+            });
+        }
+    }
+    // Wire-type layout diffs (format 2 locks only: v1 recorded none).
+    if lock.format >= 2 {
+        for (name, cur_ty) in &current.types {
+            let Some(def) = model.types.get(name) else {
+                continue;
+            };
+            let Some(prev_ty) = lock.types.get(name) else {
+                diags.push(Diagnostic {
+                    rule: "L8",
+                    severity: Severity::Warning,
+                    file: def.file.clone(),
+                    line: def.line,
+                    message: format!(
+                        "rollout-safe: wire type `{name}` is newly reachable from a \
+                         component signature but not yet recorded in weaver-api.lock"
+                    ),
+                    help: "run `weaver-lint --update-lock` to record its layout".to_string(),
+                });
+                continue;
+            };
+            if prev_ty.fields == cur_ty.fields {
+                continue;
+            }
+            for (field, fty) in &cur_ty.fields {
+                match prev_ty.fields.get(field) {
+                    None if is_optional(fty) => diags.push(Diagnostic {
+                        rule: "L8",
+                        severity: Severity::Warning,
+                        file: def.file.clone(),
+                        line: def.line,
+                        message: format!(
+                            "rollout-safe: optional field `{field}` was added to wire type \
+                             `{name}`; old decoders skip the unknown field and old encoders' \
+                             omission decodes as `None`"
+                        ),
+                        help: "run `weaver-lint --update-lock` to record the new layout and \
+                               bump the owning component version(s)"
+                            .to_string(),
+                    }),
+                    None => diags.push(Diagnostic {
+                        rule: "L8",
+                        severity: Severity::Error,
+                        file: def.file.clone(),
+                        line: def.line,
+                        message: format!(
+                            "rollout-breaking: required field `{field}: {fty}` was added to \
+                             wire type `{name}`; values encoded by the old version have no \
+                             `{field}` and fail to decode on the new version"
+                        ),
+                        help: format!(
+                            "make the field `Option<{fty}>` (rollout-safe) or introduce a \
+                             new type; then run `weaver-lint --update-lock`"
+                        ),
+                    }),
+                    Some(prev_fty) if prev_fty != fty => diags.push(Diagnostic {
+                        rule: "L8",
+                        severity: Severity::Error,
+                        file: def.file.clone(),
+                        line: def.line,
+                        message: format!(
+                            "rollout-breaking: field `{field}` of wire type `{name}` changed \
+                             type (`{prev_fty}` -> `{fty}`); the two serving versions \
+                             disagree on its encoding"
+                        ),
+                        help: "add a new optional field for the new representation instead; \
+                               then run `weaver-lint --update-lock`"
+                            .to_string(),
+                    }),
+                    Some(_) => {}
+                }
+            }
+            for gone in prev_ty
+                .fields
+                .keys()
+                .filter(|k| !cur_ty.fields.contains_key(*k))
+            {
+                diags.push(Diagnostic {
+                    rule: "L8",
+                    severity: Severity::Error,
+                    file: def.file.clone(),
+                    line: def.line,
+                    message: format!(
+                        "rollout-breaking: field `{gone}` was removed from wire type \
+                         `{name}`; old decoders require it"
+                    ),
+                    help: "keep the field (possibly as `Option`) until no serving version \
+                           encodes it; then run `weaver-lint --update-lock`"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn model(src: &str) -> Model {
+        let mut m = Model::default();
+        crate::scan::scan_source(&mut m, Path::new("test.rs"), src);
+        m
+    }
+
+    const BASE: &str = r#"
+        #[derive(Debug, Clone, WeaverData)]
+        struct Profile { name: String }
+        #[component(name = "app.Accounts")]
+        trait Accounts {
+            fn get(&self, ctx: &CallContext, id: String) -> Result<Profile, WeaverError>;
+        }
+    "#;
+
+    #[test]
+    fn unchanged_schema_is_silent() {
+        let m = model(BASE);
+        let lock = fingerprint(&m);
+        assert!(diff(&lock, &m).is_empty());
+    }
+
+    #[test]
+    fn added_method_and_optional_field_are_safe_warnings() {
+        let lock = fingerprint(&model(BASE));
+        let evolved = model(
+            r#"
+            #[derive(Debug, Clone, WeaverData)]
+            struct Profile { name: String, nickname: Option<String> }
+            #[component(name = "app.Accounts")]
+            trait Accounts {
+                fn get(&self, ctx: &CallContext, id: String) -> Result<Profile, WeaverError>;
+                fn ping(&self, ctx: &CallContext) -> Result<(), WeaverError>;
+            }
+        "#,
+        );
+        let diags = diff(&lock, &evolved);
+        assert_eq!(diags.len(), 2, "unexpected: {diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "L8"));
+        assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+        assert!(diags.iter().any(|d| d.message.contains("method `ping`")));
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("optional field `nickname`")));
+    }
+
+    #[test]
+    fn arity_and_required_field_changes_are_breaking() {
+        let lock = fingerprint(&model(BASE));
+        let evolved = model(
+            r#"
+            #[derive(Debug, Clone, WeaverData)]
+            struct Profile { name: String, age: u32 }
+            #[component(name = "app.Accounts")]
+            trait Accounts {
+                fn get(&self, ctx: &CallContext, id: String, region: String) -> Result<Profile, WeaverError>;
+            }
+        "#,
+        );
+        let diags = diff(&lock, &evolved);
+        assert_eq!(diags.len(), 2, "unexpected: {diags:?}");
+        assert!(diags.iter().all(|d| d.severity == Severity::Error));
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("changed argument arity (1 -> 2)")));
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("required field `age: u32`")));
+    }
+
+    #[test]
+    fn removed_method_is_breaking() {
+        let two = model(
+            r#"
+            #[component(name = "app.A")]
+            trait A {
+                fn one(&self, ctx: &CallContext) -> Result<(), WeaverError>;
+                fn two(&self, ctx: &CallContext) -> Result<(), WeaverError>;
+            }
+        "#,
+        );
+        let lock = fingerprint(&two);
+        let one = model(
+            r#"
+            #[component(name = "app.A")]
+            trait A {
+                fn one(&self, ctx: &CallContext) -> Result<(), WeaverError>;
+            }
+        "#,
+        );
+        let diags = diff(&lock, &one);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("removed"));
+    }
+
+    #[test]
+    fn v1_lock_warns_and_reports_unclassified_drift() {
+        let m = model(BASE);
+        let cur = fingerprint(&m);
+        let legacy_text = format!(
+            "component app.Accounts version 1\n  method get {}\n",
+            cur.components["app.Accounts"].methods["get"].hash
+        );
+        let legacy = crate::lockfile::parse(&legacy_text).unwrap();
+        assert_eq!(legacy.format, 1);
+        // Unchanged: only the format warning.
+        let diags = diff(&legacy, &m);
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("legacy fingerprint format"));
+        // Changed signature: format warning + unclassified breaking error.
+        let drifted = model(
+            r#"
+            #[derive(Debug, Clone, WeaverData)]
+            struct Profile { name: String }
+            #[component(name = "app.Accounts")]
+            trait Accounts {
+                fn get(&self, ctx: &CallContext, id: u64) -> Result<Profile, WeaverError>;
+            }
+        "#,
+        );
+        let diags = diff(&legacy, &drifted);
+        assert_eq!(diags.len(), 2, "unexpected: {diags:?}");
+        assert!(diags
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.message.contains("unclassified")));
+    }
+}

@@ -1,0 +1,44 @@
+//! L4 fixture (import alias): the lock type is renamed at import and
+//! acquired through fully-qualified call syntax — the evasion that
+//! blinded the old token scanner. `Mu::lock(&self.reserved)` must be
+//! recognized as a guard over `self.reserved` exactly like
+//! `self.reserved.lock()` is.
+
+use std::sync::Arc;
+use std::sync::Mutex as Mu;
+
+#[component(name = "fixture.Inventory")]
+pub trait Inventory {
+    fn reserve(&self, ctx: &CallContext, sku: String) -> Result<(), WeaverError>;
+}
+
+#[component(name = "fixture.Warehouse")]
+pub trait Warehouse {
+    fn pick(&self, ctx: &CallContext, sku: String) -> Result<(), WeaverError>;
+}
+
+pub struct InventoryImpl {
+    warehouse: Arc<dyn Warehouse>,
+    reserved: Mu<Vec<String>>,
+}
+
+impl Component for InventoryImpl {
+    type Interface = dyn Inventory;
+}
+
+impl Inventory for InventoryImpl {
+    fn reserve(&self, ctx: &CallContext, sku: String) -> Result<(), WeaverError> {
+        let mut held = Mu::lock(&self.reserved).unwrap();
+        held.push(sku.clone());
+        // BUG: the guard is still live across this component call.
+        self.warehouse.pick(ctx, sku)?;
+        drop(held);
+        Ok(())
+    }
+}
+
+pub struct WarehouseImpl;
+
+impl Component for WarehouseImpl {
+    type Interface = dyn Warehouse;
+}

@@ -1,0 +1,13 @@
+//! L5 fixture: `fixture.Quotes` was added after the lock was last
+//! regenerated, so it has no fingerprint entry — every component must
+//! be recorded before it can be rolled out.
+
+#[component(name = "fixture.Rates")]
+pub trait Rates {
+    fn quote(&self, ctx: &CallContext, amount: u64) -> Result<u64, WeaverError>;
+}
+
+#[component(name = "fixture.Quotes")]
+pub trait Quotes {
+    fn latest(&self, ctx: &CallContext, symbol: String) -> Result<u64, WeaverError>;
+}

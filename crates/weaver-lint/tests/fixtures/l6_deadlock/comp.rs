@@ -1,0 +1,74 @@
+//! L6 fixture: a cross-component lock-order inversion. `Ledger::credit`
+//! holds `entries` while calling into the vault, whose `reconcile`
+//! handler holds `slots` while calling back into the ledger — each
+//! process-local order is fine, but two interleaved requests deadlock
+//! across the component boundary once the two components are placed in
+//! separate processes. (The same seeded bug also trips L2 — the
+//! call-back edge is a component cycle — and L4, the guards held
+//! across the calls.)
+
+use std::sync::{Arc, Mutex};
+
+#[component(name = "fixture.Ledger")]
+pub trait Ledger {
+    fn credit(&self, ctx: &CallContext, amount: u64) -> Result<(), WeaverError>;
+    fn audit(&self, ctx: &CallContext) -> Result<(), WeaverError>;
+}
+
+#[component(name = "fixture.Vault")]
+pub trait Vault {
+    fn store(&self, ctx: &CallContext, amount: u64) -> Result<(), WeaverError>;
+    fn reconcile(&self, ctx: &CallContext) -> Result<(), WeaverError>;
+}
+
+pub struct LedgerImpl {
+    vault: Arc<dyn Vault>,
+    entries: Mutex<Vec<u64>>,
+}
+
+impl Component for LedgerImpl {
+    type Interface = dyn Ledger;
+}
+
+impl Ledger for LedgerImpl {
+    fn credit(&self, ctx: &CallContext, amount: u64) -> Result<(), WeaverError> {
+        let mut entries = self.entries.lock().unwrap();
+        entries.push(amount);
+        // BUG: vault's handler orders slots -> entries; this call
+        // orders entries -> slots.
+        self.vault.store(ctx, amount)?;
+        drop(entries);
+        Ok(())
+    }
+
+    fn audit(&self, ctx: &CallContext) -> Result<(), WeaverError> {
+        let entries = self.entries.lock().unwrap();
+        drop(entries);
+        Ok(())
+    }
+}
+
+pub struct VaultImpl {
+    ledger: Arc<dyn Ledger>,
+    slots: Mutex<u64>,
+}
+
+impl Component for VaultImpl {
+    type Interface = dyn Vault;
+}
+
+impl Vault for VaultImpl {
+    fn store(&self, ctx: &CallContext, amount: u64) -> Result<(), WeaverError> {
+        let mut slots = self.slots.lock().unwrap();
+        *slots += amount;
+        drop(slots);
+        Ok(())
+    }
+
+    fn reconcile(&self, ctx: &CallContext) -> Result<(), WeaverError> {
+        let slots = self.slots.lock().unwrap();
+        self.ledger.audit(ctx)?;
+        drop(slots);
+        Ok(())
+    }
+}

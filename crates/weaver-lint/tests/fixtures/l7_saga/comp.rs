@@ -1,0 +1,55 @@
+//! L7 fixture: three saga-completeness violations. `cancel_booking`
+//! takes no idempotency key; the saga's charge step registers no
+//! compensation even though the payment component declares one; and
+//! `book_keyed` — a paired forward step — is also invoked bare,
+//! outside any saga.
+
+use std::sync::Arc;
+
+#[component(name = "fixture.Payments")]
+pub trait Payments {
+    fn charge_idem(&self, ctx: &CallContext, key: String) -> Result<String, WeaverError>;
+    fn refund(&self, ctx: &CallContext, key: String) -> Result<(), WeaverError>;
+}
+
+#[component(name = "fixture.Bookings")]
+pub trait Bookings {
+    fn book_keyed(&self, ctx: &CallContext, key: String) -> Result<(), WeaverError>;
+    fn cancel_booking(&self, ctx: &CallContext, id: u64) -> Result<(), WeaverError>;
+}
+
+#[component(name = "fixture.Trips")]
+pub trait Trips {
+    fn plan(&self, ctx: &CallContext, key: String) -> Result<(), WeaverError>;
+}
+
+pub struct TripsImpl {
+    payments: Arc<dyn Payments>,
+    bookings: Arc<dyn Bookings>,
+    log: SagaLog,
+}
+
+impl Component for TripsImpl {
+    type Interface = dyn Trips;
+}
+
+impl Trips for TripsImpl {
+    fn plan(&self, ctx: &CallContext, key: String) -> Result<(), WeaverError> {
+        Saga::new(self.log.clone(), key.clone(), "plan", Vec::new())
+            .step(
+                "charge",
+                || {
+                    self.payments.charge_idem(ctx, key.clone())?;
+                    Ok(Vec::new())
+                },
+                // BUG: fixture.Payments declares `refund`, but this
+                // compensation never calls it.
+                |_| Ok(()),
+            )
+            .run()?;
+        // BUG: a paired forward step invoked outside any saga — a crash
+        // right here leaves no log entry from which to undo it.
+        self.bookings.book_keyed(ctx, key)?;
+        Ok(())
+    }
+}

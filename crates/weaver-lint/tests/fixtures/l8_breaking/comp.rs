@@ -1,0 +1,15 @@
+//! L8 fixture (rollout-breaking change): relative to the checked-in
+//! lock, `get` gained an argument. During an atomic rollout old-version
+//! callers still encode the one-argument form, which the new-version
+//! handler cannot decode — a breaking change that needs a new method or
+//! a declared version bump.
+
+#[derive(Debug, Clone, WeaverData)]
+pub struct Profile {
+    pub name: String,
+}
+
+#[component(name = "fixture.Accounts")]
+pub trait Accounts {
+    fn get(&self, ctx: &CallContext, id: String, region: String) -> Result<Profile, WeaverError>;
+}

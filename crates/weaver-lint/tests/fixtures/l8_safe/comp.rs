@@ -1,0 +1,16 @@
+//! L8 fixture (rollout-safe changes): relative to the checked-in lock,
+//! `Accounts` gained a method (`ping`) and `Profile` gained an
+//! `Option<String>` field — both classified rollout-safe, reported as
+//! warnings that ask for `--update-lock`.
+
+#[derive(Debug, Clone, WeaverData)]
+pub struct Profile {
+    pub name: String,
+    pub nickname: Option<String>,
+}
+
+#[component(name = "fixture.Accounts")]
+pub trait Accounts {
+    fn get(&self, ctx: &CallContext, id: String) -> Result<Profile, WeaverError>;
+    fn ping(&self, ctx: &CallContext) -> Result<(), WeaverError>;
+}

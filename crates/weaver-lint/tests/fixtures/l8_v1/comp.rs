@@ -1,0 +1,12 @@
+//! L8 fixture (legacy lock): the checked-in lock is the old v1
+//! fingerprint format (hashes only, no schemas), and the signature
+//! below no longer matches it (`quote` took a `u32` when it was
+//! recorded). The linter can still see the drift, but without recorded
+//! schemas it cannot say *what kind* of change it was — so it reports
+//! it as rollout-breaking (unclassified) and asks for the one-shot
+//! `--update-lock` migration to the v2 format.
+
+#[component(name = "fixture.Rates")]
+pub trait Rates {
+    fn quote(&self, ctx: &CallContext, amount: u64) -> Result<u64, WeaverError>;
+}

@@ -1,4 +1,4 @@
-//! Golden-diagnostic tests: each rule L1–L5 must fire on its fixture,
+//! Golden-diagnostic tests: each rule L1–L8 must fire on its fixture,
 //! producing exactly the checked-in rendering.
 //!
 //! Regenerate the expectations after an intentional change with:
@@ -11,7 +11,13 @@ use weaver_lint::{lockfile, scan};
 
 /// Lints one fixture directory (using its `weaver-api.lock` if present)
 /// and compares the rendered diagnostics against `expected.txt`.
-fn check_fixture(name: &str, expected_rule: &str) {
+///
+/// `required` must fire at least once; every diagnostic must belong to
+/// `allowed`. The seeded bug in the richer fixtures legitimately trips
+/// several rules at once — the l6 deadlock fixture's call-back edge is
+/// also an L2 cycle and its held guards are also L4 findings — so the
+/// allowed set names them rather than pretending one rule fires alone.
+fn check_fixture(name: &str, allowed: &[&str], required: &str) {
     let dir = Path::new("tests/fixtures").join(name);
     let model = scan::scan_root(&dir).expect("scan fixture");
     let lock_path = dir.join("weaver-api.lock");
@@ -21,12 +27,12 @@ fn check_fixture(name: &str, expected_rule: &str) {
     let diags = weaver_lint::lint(&model, lock.as_ref());
 
     assert!(
-        !diags.is_empty(),
-        "fixture {name}: expected {expected_rule} diagnostics, got none"
+        diags.iter().any(|d| d.rule == required),
+        "fixture {name}: expected a {required} diagnostic, got {diags:?}"
     );
     assert!(
-        diags.iter().all(|d| d.rule == expected_rule),
-        "fixture {name}: expected only {expected_rule}, got {diags:?}"
+        diags.iter().all(|d| allowed.contains(&d.rule)),
+        "fixture {name}: expected only {allowed:?}, got {diags:?}"
     );
 
     let actual: String = diags.iter().map(|d| d.render_text()).collect();
@@ -47,32 +53,62 @@ fn check_fixture(name: &str, expected_rule: &str) {
 
 #[test]
 fn l1_wire_data_fixture() {
-    check_fixture("l1_wire", "L1");
+    check_fixture("l1_wire", &["L1"], "L1");
 }
 
 #[test]
 fn l2_cycle_fixture() {
-    check_fixture("l2_cycle", "L2");
+    check_fixture("l2_cycle", &["L2"], "L2");
 }
 
 #[test]
 fn l3_routed_fixture() {
-    check_fixture("l3_routed", "L3");
+    check_fixture("l3_routed", &["L3"], "L3");
 }
 
 #[test]
 fn l4_guard_fixture() {
-    check_fixture("l4_guard", "L4");
+    check_fixture("l4_guard", &["L4"], "L4");
 }
 
 #[test]
 fn l4_wait_fixture() {
-    check_fixture("l4_wait", "L4");
+    check_fixture("l4_wait", &["L4"], "L4");
 }
 
 #[test]
-fn l5_drift_fixture() {
-    check_fixture("l5_drift", "L5");
+fn l4_alias_fixture() {
+    check_fixture("l4_alias", &["L4"], "L4");
+}
+
+#[test]
+fn l5_missing_fixture() {
+    check_fixture("l5_missing", &["L5"], "L5");
+}
+
+#[test]
+fn l6_deadlock_fixture() {
+    check_fixture("l6_deadlock", &["L2", "L4", "L6"], "L6");
+}
+
+#[test]
+fn l7_saga_fixture() {
+    check_fixture("l7_saga", &["L7"], "L7");
+}
+
+#[test]
+fn l8_safe_fixture() {
+    check_fixture("l8_safe", &["L8"], "L8");
+}
+
+#[test]
+fn l8_breaking_fixture() {
+    check_fixture("l8_breaking", &["L8"], "L8");
+}
+
+#[test]
+fn l8_v1_lock_fixture() {
+    check_fixture("l8_v1", &["L8"], "L8");
 }
 
 /// The workspace's own sources must stay lint-clean: scan this crate

@@ -137,11 +137,19 @@ impl PendingSaga {
 /// v1 `Started` entries had no `context` field.
 #[derive(Debug, Clone, Default, PartialEq, Eq, WeaverData)]
 enum EntryKindV1 {
-    Started { name: String, steps: u32 },
-    StepDone { step: u32, output: Vec<u8> },
+    Started {
+        name: String,
+        steps: u32,
+    },
+    StepDone {
+        step: u32,
+        output: Vec<u8>,
+    },
     #[default]
     Compensating,
-    StepCompensated { step: u32 },
+    StepCompensated {
+        step: u32,
+    },
     Completed,
     Compensated,
 }

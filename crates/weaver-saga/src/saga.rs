@@ -92,6 +92,21 @@ impl<'a> Saga<'a> {
         self
     }
 
+    /// Adds a forward call that needs no undo — a step whose effect
+    /// lapses on its own (an unclaimed shipping label, a best-effort
+    /// notification). Registering the no-op compensation explicitly,
+    /// instead of passing `|_| Ok(())` to [`Saga::step`], makes the
+    /// no-undo decision auditable: `weaver-lint`'s saga-completeness
+    /// rule treats an anonymous empty compensation as a likely mistake
+    /// and a `forward_only` step as a declared one.
+    pub fn forward_only(
+        self,
+        name: &'static str,
+        forward: impl FnMut() -> Result<Vec<u8>, WeaverError> + 'a,
+    ) -> Self {
+        self.step(name, forward, |_| Ok(()))
+    }
+
     /// Runs the saga: forward steps in order, logging each transition
     /// before the next side effect.
     ///

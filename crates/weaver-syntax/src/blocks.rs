@@ -1,0 +1,119 @@
+//! Brace-matched block spans over a token slice.
+//!
+//! The lint's control-flow summaries (`weaver-lint::cfg`) need to know,
+//! for every `{ … }` block in a function body, where it opens and where
+//! it closes — that is what scopes lock guards, delimits match arms, and
+//! bounds closure bodies. Matching is done once per token slice here
+//! instead of being re-derived by every consumer's hand-rolled depth
+//! counter.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One matched delimiter pair (any of `()`, `[]`, `{}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpan {
+    /// Index of the opening delimiter token.
+    pub open: usize,
+    /// Index of the matching closing delimiter token.
+    pub close: usize,
+    /// Nesting depth of this pair (0 = top level of the slice).
+    pub depth: u32,
+}
+
+impl BlockSpan {
+    /// True when token index `i` lies strictly inside the delimiters.
+    pub fn contains(&self, i: usize) -> bool {
+        self.open < i && i < self.close
+    }
+}
+
+/// Matches every delimiter pair in `toks`, in order of their opening
+/// token. Unbalanced closers are ignored; unclosed openers are matched
+/// to `toks.len()` (an imaginary close at end-of-input) so consumers
+/// degrade gracefully on torn input.
+pub fn block_spans(toks: &[Tok]) -> Vec<BlockSpan> {
+    let mut out = Vec::new();
+    let mut stack: Vec<usize> = Vec::new(); // indices into `out`
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Open => {
+                out.push(BlockSpan {
+                    open: i,
+                    close: toks.len(),
+                    depth: stack.len() as u32,
+                });
+                stack.push(out.len() - 1);
+            }
+            TokKind::Close => {
+                if let Some(span) = stack.pop() {
+                    out[span].close = i;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Matches only brace (`{ … }`) pairs — the spans that delimit Rust
+/// block scopes. Same conventions as [`block_spans`].
+pub fn brace_spans(toks: &[Tok]) -> Vec<BlockSpan> {
+    block_spans(toks)
+        .into_iter()
+        .filter(|s| toks[s.open].text == "{")
+        .collect()
+}
+
+/// The innermost span in `spans` containing token index `i`, if any.
+/// `spans` must come from [`block_spans`]/[`brace_spans`] over the same
+/// token slice.
+pub fn innermost_containing(spans: &[BlockSpan], i: usize) -> Option<BlockSpan> {
+    spans
+        .iter()
+        .filter(|s| s.contains(i))
+        .max_by_key(|s| s.depth)
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn nested_blocks_match_inside_out() {
+        let toks = lex("{ a { b } c } ( d )").expect("lex");
+        let spans = block_spans(&toks);
+        assert_eq!(spans.len(), 3);
+        assert_eq!((spans[0].open, spans[0].close, spans[0].depth), (0, 6, 0));
+        assert_eq!((spans[1].open, spans[1].close, spans[1].depth), (2, 4, 1));
+        assert_eq!(spans[2].depth, 0);
+        assert!(spans[0].contains(3));
+        assert!(!spans[1].contains(5));
+    }
+
+    #[test]
+    fn brace_spans_skip_parens() {
+        let toks = lex("( x ) { y }").expect("lex");
+        let spans = brace_spans(&toks);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(toks[spans[0].open].text, "{");
+    }
+
+    #[test]
+    fn unclosed_open_matches_end_of_input() {
+        let toks = lex("{ a ( b").expect("lex");
+        let spans = block_spans(&toks);
+        assert_eq!(spans[0].close, toks.len());
+        assert_eq!(spans[1].close, toks.len());
+    }
+
+    #[test]
+    fn innermost_lookup() {
+        let toks = lex("{ a { b } }").expect("lex");
+        let spans = brace_spans(&toks);
+        let inner = innermost_containing(&spans, 3).expect("span");
+        assert_eq!(inner.depth, 1);
+        assert_eq!(innermost_containing(&spans, 0), None);
+    }
+}

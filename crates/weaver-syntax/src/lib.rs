@@ -17,10 +17,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod blocks;
 mod cursor;
 mod lexer;
 mod sig;
 
+pub use blocks::{block_spans, brace_spans, innermost_containing, BlockSpan};
 pub use cursor::Cursor;
 pub use lexer::{lex, SyntaxError, Tok, TokKind};
-pub use sig::{parse_fn_sig, render_tokens, render_type, FnArg, FnSig};
+pub use sig::{parse_fn_sig, render_tokens, render_type, split_top_level, FnArg, FnSig};

@@ -92,7 +92,7 @@ pub fn render_type(toks: &[Tok]) -> String {
 
 /// Splits a token slice on top-level occurrences of punctuation `sep`
 /// (nested `()`/`[]`/`{}` groups are opaque). Empty segments are dropped.
-fn split_top_level<'a>(toks: &'a [Tok], sep: &str) -> Vec<&'a [Tok]> {
+pub fn split_top_level<'a>(toks: &'a [Tok], sep: &str) -> Vec<&'a [Tok]> {
     let mut parts = Vec::new();
     let mut depth = 0usize;
     // Angle brackets lex as plain punctuation, so generic arguments need
