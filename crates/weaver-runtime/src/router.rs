@@ -193,6 +193,41 @@ impl LatencyHistograms {
     }
 }
 
+/// Refreshes the transport-plane gauges into `registry` so a metrics
+/// snapshot carries the reactor's current readiness-loop state next to
+/// the per-call latency histograms: open reactor connections, registered
+/// epoll interests, poller shards, readiness events delivered per
+/// `epoll_wait` return (×1000, so the gauge keeps three decimal places of
+/// the ratio as an integer), and the RPC dispatch-queue depth (requests
+/// decoded on the poller but not yet picked up by a worker).
+///
+/// On targets without the reactor (or with `WEAVER_REACTOR=0`) only the
+/// dispatch-queue gauge is recorded.
+pub(crate) fn record_transport_gauges(registry: &MetricsRegistry) {
+    if let Some(r) = weaver_transport::reactor_snapshot() {
+        registry
+            .gauge("transport/reactor/connections")
+            .set(r.connections as i64);
+        registry
+            .gauge("transport/reactor/interests")
+            .set(r.interests as i64);
+        registry
+            .gauge("transport/reactor/shards")
+            .set(r.shards as i64);
+        let ratio_x1000 = r
+            .ready_events
+            .saturating_mul(1000)
+            .checked_div(r.wakeups)
+            .unwrap_or(0) as i64;
+        registry
+            .gauge("transport/reactor/ready_events_per_wakeup_x1000")
+            .set(ratio_x1000);
+    }
+    registry
+        .gauge("transport/dispatch_queue_depth")
+        .set(weaver_transport::pool::dispatch_queue_depth() as i64);
+}
+
 /// The remote call path: resolve → call → record.
 ///
 /// Internally `Arc`-shared so in-flight [`RemoteFuture`]s (returned by

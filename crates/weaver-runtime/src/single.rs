@@ -126,8 +126,11 @@ impl SingleProcess {
         self.callgraph.snapshot()
     }
 
-    /// Snapshot of runtime metrics.
+    /// Snapshot of runtime metrics, including the transport-plane gauges
+    /// (reactor readiness-loop state and RPC dispatch-queue depth)
+    /// refreshed at snapshot time.
     pub fn metrics(&self) -> MetricsSnapshot {
+        crate::router::record_transport_gauges(&self.metrics);
         self.metrics.snapshot()
     }
 

@@ -317,8 +317,11 @@ impl TcpProcess {
     }
 
     /// Client-side metrics snapshot: per-call latency histograms keyed
-    /// `component/method/tcp/call_nanos`, recorded at call resolution.
+    /// `component/method/tcp/call_nanos` recorded at call resolution, plus
+    /// the transport-plane gauges (reactor readiness-loop state and the
+    /// RPC dispatch-queue depth) refreshed at snapshot time.
     pub fn client_metrics(&self) -> weaver_metrics::MetricsSnapshot {
+        crate::router::record_transport_gauges(self.router.metrics());
         self.router.metrics().snapshot()
     }
 

@@ -494,15 +494,18 @@ mod tests {
     fn pool_is_shared_across_clones_and_threads() {
         let pool = BufferPool::new();
         let handles: Vec<_> = (0..8)
-            .map(|_| {
+            .map(|i| {
                 let pool = pool.clone();
-                std::thread::spawn(move || {
-                    for _ in 0..100 {
-                        let mut buf = pool.get(128);
-                        buf.extend_from_slice(&[0u8; 64]);
-                        drop(buf.freeze());
-                    }
-                })
+                std::thread::Builder::new()
+                    .name(format!("weaver-test-pool-{i}"))
+                    .spawn(move || {
+                        for _ in 0..100 {
+                            let mut buf = pool.get(128);
+                            buf.extend_from_slice(&[0u8; 64]);
+                            drop(buf.freeze());
+                        }
+                    })
+                    .expect("spawn pool thread")
             })
             .collect();
         for h in handles {

@@ -1,12 +1,17 @@
 //! Client-side connection: one TCP socket, multiplexed calls.
 //!
-//! A [`Connection`] owns two threads:
+//! On Linux a [`Connection`] owns **no threads**: its socket is registered
+//! with the shared readiness reactor ([`crate::reactor`]), whose shard
+//! thread reassembles inbound frames (completing the pending call matching
+//! each stream id) and drains the coalescing outbound queue — many caller
+//! threads pipeline pre-encoded pooled frames, and the shard flushes
+//! whatever is queued into one syscall.
 //!
-//! * a **writer** running the shared coalescing loop ([`crate::writer`]):
-//!   many caller threads pipeline pre-encoded pooled frames through a
-//!   channel, and the writer drains whatever is queued into one syscall;
-//! * a **reader** parsing inbound messages into zero-copy [`ResponseBody`]
-//!   views and completing the pending call matching each stream id.
+//! Streams without a pollable fd (in-memory test streams) and non-Linux
+//! targets take the legacy path instead: a dedicated **writer** thread
+//! running the shared coalescing loop ([`crate::writer`]) and a **reader**
+//! thread parsing inbound messages. Both paths share the pending-map,
+//! dead-flag, and buffer-pool machinery, and expose identical semantics.
 //!
 //! Request encoding uses buffers recycled through a [`BufferPool`], so the
 //! steady-state call path performs no heap allocation for framing.
@@ -15,8 +20,8 @@
 //! message (best effort) and returns [`TransportError::DeadlineExceeded`].
 //! When the socket dies, every in-flight call fails with
 //! [`TransportError::ConnectionClosed`], the connection is marked dead so
-//! the pool replaces it, and the writer drops anything still queued rather
-//! than spinning on an unbounded channel.
+//! the pool replaces it, and queued frames are dropped rather than written
+//! to a dead socket.
 
 use std::collections::HashMap;
 use std::marker::PhantomData;
@@ -36,9 +41,32 @@ use crate::writer::{writer_loop, OutFrame, WriteOp, WriterStats};
 
 type PendingMap = Arc<Mutex<HashMap<u64, Sender<Result<ResponseBody, TransportError>>>>>;
 
+/// Where outbound frames go: the reactor's per-connection queue, or the
+/// legacy writer thread's channel.
+enum FrameSink {
+    /// Reactor path: the shard thread drains the connection's queue.
+    #[cfg(target_os = "linux")]
+    Reactor(Arc<crate::reactor::ConnState>),
+    /// Legacy path: a dedicated writer thread owns the socket.
+    Thread(Sender<WriteOp>),
+}
+
+impl FrameSink {
+    /// Enqueues one frame; `Err` means the connection is closed.
+    fn send(&self, frame: OutFrame) -> Result<(), TransportError> {
+        match self {
+            #[cfg(target_os = "linux")]
+            FrameSink::Reactor(state) => state.send(frame),
+            FrameSink::Thread(tx) => tx
+                .send(WriteOp::Frame(frame))
+                .map_err(|_| TransportError::ConnectionClosed),
+        }
+    }
+}
+
 /// A multiplexing client connection using framing `F`.
 pub struct Connection<F: Framing> {
-    writer_tx: Sender<WriteOp>,
+    sink: FrameSink,
     pending: PendingMap,
     next_stream: AtomicU64,
     dead: Arc<AtomicBool>,
@@ -90,7 +118,50 @@ impl<F: Framing> Connection<F> {
     }
 
     /// [`Connection::from_duplex`] with an explicit buffer pool.
+    ///
+    /// Streams with a pollable fd register with the shared readiness
+    /// reactor (no per-connection threads); others fall back to the
+    /// legacy reader/writer thread pair.
     pub fn from_duplex_with_pool<S: DuplexStream>(
+        stream: S,
+        pool: BufferPool,
+    ) -> Result<Self, TransportError> {
+        #[cfg(target_os = "linux")]
+        if let (Some(fd), Some(reactor)) = (stream.poll_fd(), crate::reactor::Reactor::try_global())
+        {
+            stream.set_nonblocking(true)?;
+            let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
+            let dead = Arc::new(AtomicBool::new(false));
+            let writer_stats = Arc::new(WriterStats::default());
+            let driver = Arc::new(ClientDriver::<F> {
+                pending: Arc::clone(&pending),
+                pool: pool.clone(),
+                framing: Mutex::new(F::default()),
+            });
+            let state = reactor.register_conn(
+                Box::new(stream),
+                fd,
+                driver,
+                Arc::clone(&dead),
+                Arc::clone(&writer_stats),
+                pool.clone(),
+            )?;
+            return Ok(Connection {
+                sink: FrameSink::Reactor(state),
+                pending,
+                next_stream: AtomicU64::new(1),
+                dead,
+                pool,
+                writer_stats,
+                _marker: PhantomData,
+            });
+        }
+        Self::from_duplex_threaded(stream, pool)
+    }
+
+    /// The legacy thread-per-connection path: a writer thread running the
+    /// coalescing loop plus a blocking reader thread.
+    fn from_duplex_threaded<S: DuplexStream>(
         stream: S,
         pool: BufferPool,
     ) -> Result<Self, TransportError> {
@@ -160,7 +231,7 @@ impl<F: Framing> Connection<F> {
         }
 
         Ok(Connection {
-            writer_tx,
+            sink: FrameSink::Thread(writer_tx),
             pending,
             next_stream: AtomicU64::new(1),
             dead,
@@ -204,17 +275,13 @@ impl<F: Framing> Connection<F> {
 
         let mut buf = self.pool.get(64 + args.len());
         F::write_request(&mut buf, stream, header, args);
-        if self
-            .writer_tx
-            .send(WriteOp::Frame(OutFrame::single(buf.freeze())))
-            .is_err()
-        {
+        if self.sink.send(OutFrame::single(buf.freeze())).is_err() {
             self.pending.lock().remove(&stream);
             return Err(TransportError::ConnectionClosed);
         }
-        // Close the leak window: the reader drains the pending map *after*
-        // setting `dead`, so an entry inserted above may have raced past the
-        // drain (and the frame may sit in a writer queue that will never
+        // Close the leak window: connection death drains the pending map
+        // *after* setting `dead`, so an entry inserted above may have raced
+        // past the drain (and the frame may sit in a queue that will never
         // flush). Re-checking `dead` (SeqCst) afterwards makes the race
         // benign — if this load reads `false`, the drain had not started
         // when we inserted and will observe our entry; if it reads `true`,
@@ -274,9 +341,7 @@ impl<F: Framing> Connection<F> {
         self.pending.lock().remove(&stream);
         let mut cancel = self.pool.get(32);
         F::write_cancel(&mut cancel, stream);
-        let _ = self
-            .writer_tx
-            .send(WriteOp::Frame(OutFrame::single(cancel.freeze())));
+        let _ = self.sink.send(OutFrame::single(cancel.freeze()));
         if self.is_dead() {
             Err(TransportError::ConnectionClosed)
         } else {
@@ -291,14 +356,81 @@ impl<F: Framing> Connection<F> {
         }
         let mut buf = self.pool.get(32);
         F::write_ping(&mut buf, false);
-        self.writer_tx
-            .send(WriteOp::Frame(OutFrame::single(buf.freeze())))
-            .map_err(|_| TransportError::ConnectionClosed)
+        self.sink.send(OutFrame::single(buf.freeze()))
     }
 
     /// Number of calls currently awaiting a response.
     pub fn in_flight(&self) -> usize {
         self.pending.lock().len()
+    }
+}
+
+impl<F: Framing> Drop for Connection<F> {
+    fn drop(&mut self) {
+        // Reactor path: deregister the socket so the shard releases the
+        // connection state (fd, buffers, pending map) immediately. The
+        // legacy path needs nothing: dropping the writer channel stops the
+        // writer thread, which severs the socket and unblocks the reader.
+        #[cfg(target_os = "linux")]
+        if let FrameSink::Reactor(state) = &self.sink {
+            state.kill();
+        }
+    }
+}
+
+/// Reactor-path protocol logic for the client side: resolves responses
+/// against the pending map, answers pings, drains on death. Runs on the
+/// owning shard's thread.
+#[cfg(target_os = "linux")]
+struct ClientDriver<F: Framing> {
+    pending: PendingMap,
+    pool: BufferPool,
+    framing: Mutex<F>,
+}
+
+#[cfg(target_os = "linux")]
+impl<F: Framing> crate::reactor::ConnDriver for ClientDriver<F> {
+    fn frame_extent(&self, buf: &[u8]) -> Result<Option<usize>, TransportError> {
+        F::frame_extent(buf)
+    }
+
+    fn on_frame(
+        &self,
+        state: &Arc<crate::reactor::ConnState>,
+        frame: &[u8],
+    ) -> Result<(), TransportError> {
+        let mut cursor: &[u8] = frame;
+        let msg = self.framing.lock().read_message(&mut cursor, &self.pool)?;
+        match msg {
+            Some(Message::Response { stream, body }) => {
+                if let Some(tx) = self.pending.lock().remove(&stream) {
+                    let _ = tx.send(Ok(body));
+                }
+                // A response for an unknown stream was cancelled or timed
+                // out: drop it.
+            }
+            Some(Message::Ping) => {
+                let mut buf = self.pool.get(32);
+                F::write_ping(&mut buf, true);
+                let _ = state.send(OutFrame::single(buf.freeze()));
+            }
+            Some(Message::Pong) => {}
+            Some(Message::Cancel { .. } | Message::Request { .. }) => {
+                // Clients do not serve requests; ignore.
+            }
+            // A stateful framing consumed the frame into pairing state.
+            None => {}
+        }
+        Ok(())
+    }
+
+    fn on_dead(&self) {
+        // Fail everything still in flight. The dead flag was set before
+        // this runs, so `begin`'s recheck makes the insert/drain race
+        // benign (see the comment there).
+        for (_, tx) in self.pending.lock().drain() {
+            let _ = tx.send(Err(TransportError::ConnectionClosed));
+        }
     }
 }
 

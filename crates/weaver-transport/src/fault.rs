@@ -41,6 +41,22 @@ pub trait DuplexStream: Read + Write + Send + Sized + 'static {
 
     /// Severs the stream in both directions (best effort).
     fn shutdown_both(&self);
+
+    /// The raw file descriptor to register with the readiness reactor, if
+    /// the stream is backed by one. `None` routes the connection onto the
+    /// legacy thread-per-connection path (in-memory test streams, non-Linux
+    /// targets). Fault shims delegate to the wrapped stream, so the reactor
+    /// polls the real socket while I/O still flows through the shim.
+    fn poll_fd(&self) -> Option<i32> {
+        None
+    }
+
+    /// Switches the underlying stream between blocking and non-blocking
+    /// mode. Only invoked when [`DuplexStream::poll_fd`] returned `Some`.
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        let _ = nonblocking;
+        Ok(())
+    }
 }
 
 impl DuplexStream for TcpStream {
@@ -52,6 +68,16 @@ impl DuplexStream for TcpStream {
 
     fn shutdown_both(&self) {
         let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+
+    #[cfg(target_os = "linux")]
+    fn poll_fd(&self) -> Option<i32> {
+        use std::os::fd::AsRawFd;
+        Some(self.as_raw_fd())
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        TcpStream::set_nonblocking(self, nonblocking)
     }
 }
 
@@ -444,6 +470,16 @@ impl<S: DuplexStream> DuplexStream for FaultStream<S> {
 
     fn shutdown_both(&self) {
         self.inner.shutdown_both();
+    }
+
+    fn poll_fd(&self) -> Option<i32> {
+        // The reactor polls the real socket; reads and writes still pass
+        // through the fault shim, so chaos runs on the reactor path too.
+        self.inner.poll_fd()
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        self.inner.set_nonblocking(nonblocking)
     }
 }
 

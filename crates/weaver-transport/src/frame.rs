@@ -154,6 +154,17 @@ pub trait Framing: Default + Send + 'static {
         r: &mut dyn Read,
         pool: &BufferPool,
     ) -> Result<Option<Message>, TransportError>;
+
+    /// Total byte length of the first complete wire frame at the start of
+    /// `buf`, or `Ok(None)` if more bytes are needed to tell.
+    ///
+    /// This is the reassembly primitive for readiness-driven readers: the
+    /// reactor accumulates partial reads and hands [`Framing::read_message`]
+    /// exactly one complete wire frame at a time (a stateful framing may
+    /// then return `Ok(None)` from `read_message` for frames that only
+    /// advance its internal pairing state). Length prefixes are validated
+    /// here so a corrupt or hostile prefix fails before any buffering.
+    fn frame_extent(buf: &[u8]) -> Result<Option<usize>, TransportError>;
 }
 
 fn read_exact_or_eof(r: &mut dyn Read, buf: &mut [u8]) -> Result<Option<()>, TransportError> {
@@ -263,6 +274,17 @@ impl Framing for WeaverFraming {
     fn write_ping(out: &mut Vec<u8>, pong: bool) {
         let len_at = Self::begin_frame(out, if pong { KIND_PONG } else { KIND_PING }, 0);
         Self::end_frame(out, len_at);
+    }
+
+    fn frame_extent(buf: &[u8]) -> Result<Option<usize>, TransportError> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if !(FRAME_META..=MAX_MESSAGE_SIZE).contains(&len) {
+            return Err(TransportError::Protocol(format!("bad frame length {len}")));
+        }
+        Ok(Some(4 + len))
     }
 
     fn read_message(
@@ -546,6 +568,17 @@ impl Framing for GrpcLikeFraming {
     fn write_ping(out: &mut Vec<u8>, pong: bool) {
         let flags = if pong { H2_FLAG_ACK } else { 0 };
         Self::write_h2_frame(out, H2_PING, flags, 0, &[0u8; 8]);
+    }
+
+    fn frame_extent(buf: &[u8]) -> Result<Option<usize>, TransportError> {
+        if buf.len() < 9 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([0, buf[0], buf[1], buf[2]]) as usize;
+        if len > MAX_MESSAGE_SIZE {
+            return Err(TransportError::Protocol(format!("bad frame length {len}")));
+        }
+        Ok(Some(9 + len))
     }
 
     fn read_message(
@@ -856,6 +889,89 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(f.read_message(&mut cursor, &p).unwrap(), None);
+    }
+
+    #[test]
+    fn frame_extent_matches_written_frames() {
+        // For every message kind, frame_extent on the encoded bytes must
+        // report exactly the encoded length — and every strict prefix must
+        // report None or an earlier frame boundary, never an error.
+        fn check<F: Framing>(wire: &[u8], frames: usize) {
+            let mut off = 0;
+            for _ in 0..frames {
+                let ext = F::frame_extent(&wire[off..])
+                    .expect("valid frame")
+                    .expect("complete frame");
+                assert!(off + ext <= wire.len());
+                off += ext;
+            }
+            assert_eq!(off, wire.len(), "extents must tile the stream exactly");
+        }
+
+        let mut weaver = Vec::new();
+        WeaverFraming::write_request(&mut weaver, 1, &sample_header(), &[7u8; 64]);
+        WeaverFraming::write_response(
+            &mut weaver,
+            1,
+            &ResponseBody {
+                status: Status::Ok,
+                payload: vec![1, 2, 3].into(),
+            },
+        );
+        WeaverFraming::write_cancel(&mut weaver, 2);
+        WeaverFraming::write_ping(&mut weaver, false);
+        check::<WeaverFraming>(&weaver, 4);
+        // Partial prefixes below the length prefix are indeterminate.
+        assert_eq!(WeaverFraming::frame_extent(&weaver[..3]).unwrap(), None);
+
+        let mut grpc = Vec::new();
+        GrpcLikeFraming::write_request(&mut grpc, 1, &sample_header(), &[7u8; 64]);
+        // A gRPC-like request is HEADERS + DATA: two wire frames.
+        check::<GrpcLikeFraming>(&grpc, 2);
+        assert_eq!(GrpcLikeFraming::frame_extent(&grpc[..8]).unwrap(), None);
+    }
+
+    #[test]
+    fn frame_extent_rejects_corrupt_lengths() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        assert!(WeaverFraming::frame_extent(&wire).is_err());
+        // Zero-length weaver frames are impossible (kind + stream = 9 bytes).
+        assert!(WeaverFraming::frame_extent(&[0u8; 8]).is_err());
+    }
+
+    #[test]
+    fn stateful_framing_consumes_frames_one_at_a_time() {
+        // The reactor feeds read_message one complete wire frame at a time;
+        // a stateful framing must retain pairing state across calls and
+        // yield the message on the final frame.
+        let header = sample_header();
+        let mut wire = Vec::new();
+        GrpcLikeFraming::write_request(&mut wire, 5, &header, &[9u8; 16]);
+        let mut f = GrpcLikeFraming::default();
+        let p = pool();
+        let mut off = 0;
+        let mut messages = Vec::new();
+        while off < wire.len() {
+            let ext = GrpcLikeFraming::frame_extent(&wire[off..])
+                .unwrap()
+                .unwrap();
+            let mut frame = &wire[off..off + ext];
+            if let Some(msg) = f.read_message(&mut frame, &p).unwrap() {
+                messages.push(msg);
+            }
+            off += ext;
+        }
+        assert_eq!(messages.len(), 1);
+        match &messages[0] {
+            Message::Request {
+                stream: 5,
+                header: h,
+                ..
+            } => assert_eq!(h, &header),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -42,6 +42,33 @@ pub mod fault;
 pub mod frame;
 pub mod inproc;
 pub mod pool;
+#[cfg(target_os = "linux")]
+pub mod reactor;
+#[cfg(not(target_os = "linux"))]
+pub mod reactor {
+    //! Stub for targets without epoll: every connection takes the legacy
+    //! thread-per-connection path and there are no reactor counters.
+
+    /// A point-in-time copy of the reactor's counters.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct ReactorSnapshot {
+        /// Open reactor-managed connections.
+        pub connections: u64,
+        /// Registered epoll interests (connections + listeners).
+        pub interests: u64,
+        /// Poller wakeups so far.
+        pub wakeups: u64,
+        /// Readiness events delivered so far.
+        pub ready_events: u64,
+        /// Poller shards serving those connections.
+        pub shards: u64,
+    }
+
+    /// Always `None`: no reactor on this target.
+    pub fn reactor_snapshot() -> Option<ReactorSnapshot> {
+        None
+    }
+}
 pub mod server;
 mod writer;
 
@@ -53,4 +80,5 @@ pub use fault::{DuplexStream, FaultAction, FaultInjector, FaultSpec, FaultStream
 pub use frame::{
     Framing, GrpcLikeFraming, Message, RequestHeader, ResponseBody, Status, WeaverFraming,
 };
+pub use reactor::{reactor_snapshot, ReactorSnapshot};
 pub use server::{RpcHandler, Server};

@@ -1,11 +1,23 @@
 //! A small fixed-size worker pool for server-side request execution.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Sender};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Jobs queued across every [`WorkerPool`] but not yet picked up by a
+/// worker. A process-wide gauge: the runtime surfaces it as the RPC
+/// dispatch-queue depth next to the reactor counters, so a poller that
+/// decodes faster than workers execute shows up as a growing number here.
+static GLOBAL_QUEUE_DEPTH: AtomicU64 = AtomicU64::new(0);
+
+/// Current process-wide dispatch-queue depth (queued, not yet running).
+pub fn dispatch_queue_depth() -> u64 {
+    GLOBAL_QUEUE_DEPTH.load(Ordering::Relaxed)
+}
 
 /// A fixed-size thread pool.
 ///
@@ -14,6 +26,7 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct WorkerPool {
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    queued: Arc<AtomicU64>,
 }
 
 impl WorkerPool {
@@ -21,13 +34,17 @@ impl WorkerPool {
     pub fn new(size: usize, name: &str) -> Arc<Self> {
         let size = size.max(1);
         let (tx, rx) = unbounded::<Job>();
+        let queued = Arc::new(AtomicU64::new(0));
         let workers = (0..size)
             .map(|i| {
                 let rx = rx.clone();
+                let queued = Arc::clone(&queued);
                 std::thread::Builder::new()
                     .name(format!("{name}-worker-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
+                            queued.fetch_sub(1, Ordering::Relaxed);
+                            GLOBAL_QUEUE_DEPTH.fetch_sub(1, Ordering::Relaxed);
                             job();
                         }
                     })
@@ -37,15 +54,31 @@ impl WorkerPool {
         Arc::new(WorkerPool {
             tx: Some(tx),
             workers,
+            queued,
         })
     }
 
     /// Queues a job. Returns `false` if the pool is shutting down.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> bool {
         match &self.tx {
-            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            Some(tx) => {
+                self.queued.fetch_add(1, Ordering::Relaxed);
+                GLOBAL_QUEUE_DEPTH.fetch_add(1, Ordering::Relaxed);
+                if tx.send(Box::new(job)).is_ok() {
+                    true
+                } else {
+                    self.queued.fetch_sub(1, Ordering::Relaxed);
+                    GLOBAL_QUEUE_DEPTH.fetch_sub(1, Ordering::Relaxed);
+                    false
+                }
+            }
             None => false,
         }
+    }
+
+    /// Jobs queued on this pool but not yet picked up by a worker.
+    pub fn queued(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
     }
 }
 

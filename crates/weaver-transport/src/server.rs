@@ -1,10 +1,18 @@
-//! Server side: accept loop, per-connection reader, shared worker pool.
+//! Server side: reactor-registered listener (or legacy accept loop),
+//! poller-thread decode, shared worker pool for handler execution.
+//!
+//! On Linux the listening socket and every accepted connection live on the
+//! shared readiness reactor ([`crate::reactor`]): accepts, frame decode and
+//! response writes all run on the poller shards, and only handler execution
+//! hops to the bounded worker pool. No threads are created per connection.
+//! Elsewhere (or with `WEAVER_REACTOR=0`) the legacy shape is used: an
+//! accept thread plus a reader/writer thread pair per connection.
 //!
 //! The response path is zero-copy end to end: handlers receive request args
 //! as a borrowed slice of the pooled receive buffer and return a
 //! [`ResponseBody`] whose payload is a [`crate::buf::WireBuf`]; the framing
-//! hands the payload to the per-connection writer as a borrowed tail
-//! (see [`Framing::write_response_parts`]), where the coalescing loop
+//! hands the payload to the per-connection write queue as a borrowed tail
+//! (see [`Framing::write_response_parts`]), where the coalescing drain
 //! batches back-to-back responses into single syscalls.
 
 use std::collections::HashSet;
@@ -47,9 +55,17 @@ pub struct Server<F: Framing> {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
-    /// Clones of every accepted socket, so shutdown can sever live
-    /// connections the way a killed proclet's process exit would.
+    /// Clones of every accepted socket (legacy path), so shutdown can sever
+    /// live connections the way a killed proclet's process exit would.
     active: Arc<Mutex<Vec<TcpStream>>>,
+    /// Reactor path: the listener's registration token.
+    #[cfg(target_os = "linux")]
+    listener_token: Option<u64>,
+    /// Reactor path: weak handles to accepted connections, for shutdown.
+    #[cfg(target_os = "linux")]
+    conns: Arc<Mutex<Vec<std::sync::Weak<crate::reactor::ConnState>>>>,
+    /// Kept alive so `Drop` joins the workers after the listener is gone.
+    _workers: Arc<WorkerPool>,
     _marker: PhantomData<F>,
 }
 
@@ -77,7 +93,63 @@ impl<F: Framing> Server<F> {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let pool = WorkerPool::new(workers, "weaver-rpc");
+
+        #[cfg(target_os = "linux")]
+        if let Some(reactor) = crate::reactor::Reactor::try_global() {
+            let conns: Arc<Mutex<Vec<std::sync::Weak<crate::reactor::ConnState>>>> =
+                Arc::new(Mutex::new(Vec::new()));
+            let on_accept: Box<dyn Fn(TcpStream) + Send + Sync> = {
+                let conns = Arc::clone(&conns);
+                let workers = Arc::clone(&pool);
+                let buf_pool = buf_pool.clone();
+                Box::new(move |stream: TcpStream| {
+                    use std::os::fd::AsRawFd;
+                    if stream.set_nonblocking(true).is_err() {
+                        return;
+                    }
+                    let fd = stream.as_raw_fd();
+                    let driver = Arc::new(ServerDriver::<F> {
+                        handler: Arc::clone(&handler),
+                        workers: Arc::clone(&workers),
+                        buf_pool: buf_pool.clone(),
+                        framing: Mutex::new(F::default()),
+                        cancelled: Arc::new(Mutex::new(HashSet::new())),
+                    });
+                    let dead = Arc::new(AtomicBool::new(false));
+                    let stats = Arc::new(WriterStats::default());
+                    if let Ok(state) = reactor.register_conn(
+                        Box::new(stream),
+                        fd,
+                        driver,
+                        dead,
+                        stats,
+                        buf_pool.clone(),
+                    ) {
+                        let mut conns = conns.lock();
+                        // Dead connections deregister themselves; just drop
+                        // the stale weak handles on the next accept.
+                        conns.retain(|w| w.strong_count() > 0);
+                        conns.push(Arc::downgrade(&state));
+                    }
+                })
+            };
+            let token = reactor
+                .register_listener(listener, on_accept)
+                .map_err(TransportError::from)?;
+            return Ok(Server {
+                local_addr,
+                stop,
+                accept_thread: None,
+                active: Arc::new(Mutex::new(Vec::new())),
+                listener_token: Some(token),
+                conns,
+                _workers: pool,
+                _marker: PhantomData,
+            });
+        }
+
         let active: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let workers_keep = Arc::clone(&pool);
 
         let accept_thread = {
             let stop = Arc::clone(&stop);
@@ -123,6 +195,11 @@ impl<F: Framing> Server<F> {
             stop,
             accept_thread: Some(accept_thread),
             active,
+            #[cfg(target_os = "linux")]
+            listener_token: None,
+            #[cfg(target_os = "linux")]
+            conns: Arc::new(Mutex::new(Vec::new())),
+            _workers: workers_keep,
             _marker: PhantomData,
         })
     }
@@ -138,7 +215,19 @@ impl<F: Framing> Server<F> {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop with a throwaway connection.
+        #[cfg(target_os = "linux")]
+        if let Some(token) = self.listener_token {
+            if let Some(reactor) = crate::reactor::Reactor::try_global() {
+                reactor.deregister_listener(token);
+            }
+            for conn in self.conns.lock().drain(..) {
+                if let Some(conn) = conn.upgrade() {
+                    conn.kill();
+                }
+            }
+            return;
+        }
+        // Legacy path: unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
         for stream in self.active.lock().drain(..) {
             let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -236,6 +325,83 @@ fn serve_connection<F: Framing>(
     let _ = writer_tx.send(WriteOp::Shutdown);
 }
 
+/// Reactor-path protocol logic for one accepted connection: decode on the
+/// poller shard, execute on the worker pool, reply through the connection's
+/// coalescing write queue.
+#[cfg(target_os = "linux")]
+struct ServerDriver<F: Framing> {
+    handler: Arc<dyn RpcHandler>,
+    workers: Arc<WorkerPool>,
+    buf_pool: BufferPool,
+    framing: Mutex<F>,
+    /// Streams cancelled before their handler finished; responses for these
+    /// are suppressed. Bounded by in-flight requests.
+    cancelled: Arc<Mutex<HashSet<u64>>>,
+}
+
+#[cfg(target_os = "linux")]
+impl<F: Framing> crate::reactor::ConnDriver for ServerDriver<F> {
+    fn frame_extent(&self, buf: &[u8]) -> Result<Option<usize>, TransportError> {
+        F::frame_extent(buf)
+    }
+
+    fn on_frame(
+        &self,
+        state: &Arc<crate::reactor::ConnState>,
+        frame: &[u8],
+    ) -> Result<(), TransportError> {
+        let mut cursor: &[u8] = frame;
+        match self
+            .framing
+            .lock()
+            .read_message(&mut cursor, &self.buf_pool)?
+        {
+            Some(Message::Request {
+                stream,
+                header,
+                args,
+            }) => {
+                let handler = Arc::clone(&self.handler);
+                let cancelled = Arc::clone(&self.cancelled);
+                let buf_pool = self.buf_pool.clone();
+                let state = Arc::clone(state);
+                self.workers.execute(move || {
+                    let body = handler.handle(&header, &args);
+                    // `args` still references the pooled receive buffer;
+                    // drop it before encoding so a warm pool can reuse it.
+                    drop(args);
+                    if cancelled.lock().remove(&stream) {
+                        return;
+                    }
+                    let mut buf = buf_pool.get(64);
+                    let tail = F::write_response_parts(&mut buf, stream, &body);
+                    let _ = state.send(OutFrame {
+                        head: buf.freeze(),
+                        tail,
+                    });
+                });
+            }
+            Some(Message::Cancel { stream }) => {
+                self.cancelled.lock().insert(stream);
+            }
+            Some(Message::Ping) => {
+                let mut buf = self.buf_pool.get(32);
+                F::write_ping(&mut buf, true);
+                let _ = state.send(OutFrame::single(buf.freeze()));
+            }
+            Some(Message::Pong | Message::Response { .. }) => {}
+            // A stateful framing absorbed the frame (e.g. HEADERS waiting
+            // for its DATA): nothing to dispatch yet.
+            None => {}
+        }
+        Ok(())
+    }
+
+    fn on_dead(&self) {
+        self.cancelled.lock().clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,17 +454,20 @@ mod tests {
         let threads: Vec<_> = (0..16u8)
             .map(|i| {
                 let conn = Arc::clone(&conn);
-                std::thread::spawn(move || {
-                    let header = RequestHeader {
-                        method: u32::from(i),
-                        version: 1,
-                        ..Default::default()
-                    };
-                    let resp = conn
-                        .call(&header, &[i], Some(Duration::from_secs(5)))
-                        .unwrap();
-                    assert_eq!(resp.payload, vec![i, i]);
-                })
+                std::thread::Builder::new()
+                    .name(format!("weaver-test-caller-{i}"))
+                    .spawn(move || {
+                        let header = RequestHeader {
+                            method: u32::from(i),
+                            version: 1,
+                            ..Default::default()
+                        };
+                        let resp = conn
+                            .call(&header, &[i], Some(Duration::from_secs(5)))
+                            .unwrap();
+                        assert_eq!(resp.payload, vec![i, i]);
+                    })
+                    .expect("spawn caller thread")
             })
             .collect();
         for t in threads {

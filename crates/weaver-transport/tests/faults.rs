@@ -193,8 +193,18 @@ fn corrupted_frames_kill_the_connection_cleanly() {
         // design — TCP's suffices for the paper's threat model); errors and
         // timeouts are the expected outcome. What is NOT tolerated: a
         // panic, a wedge, or a leaked buffer — checked below.
+        //
+        // The injector flips the middle byte of each read/write, so large
+        // payloads keep corruption inside the (tolerated) payload bytes.
+        // The later, small calls put the middle of the response frame
+        // inside the frame header — stream id or length prefix — which
+        // MUST break the call, on any read granularity (the reactor pulls
+        // whole frames in one read; the legacy reader reads the prefix
+        // separately).
+        let len = if i < 10 { 128 } else { 4 };
+        let args = vec![i; len];
         if conn
-            .call(&header, &[i; 128], Some(Duration::from_millis(500)))
+            .call(&header, &args, Some(Duration::from_millis(500)))
             .is_err()
         {
             saw_failure = true;

@@ -1,0 +1,318 @@
+//! Offline shim over the Linux `epoll`/`eventfd` syscalls.
+//!
+//! The workspace has no network access, so there is no `libc` or `mio`
+//! crate — but std already links glibc on Linux, so the handful of
+//! symbols the reactor needs can be declared directly. This crate is the
+//! single home for `unsafe` in the workspace: everything above it
+//! (including `weaver-transport`, which carries `#![forbid(unsafe_code)]`)
+//! consumes the safe `Epoll`/`WakeFd` wrappers.
+//!
+//! Only Linux is supported; the reactor's callers fall back to the
+//! thread-per-connection path on other targets.
+
+use std::io;
+
+/// A raw file descriptor, as std's `AsRawFd` hands them out.
+pub type RawFd = i32;
+
+// Event mask bits (uapi/linux/eventpoll.h).
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0x80000;
+const EFD_CLOEXEC: i32 = 0x80000;
+const EFD_NONBLOCK: i32 = 0x800;
+
+/// Kernel's epoll_event layout. On x86/x86-64 the struct is packed (the
+/// kernel ABI predates the alignment rules); other architectures use
+/// natural alignment.
+#[repr(C)]
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+/// Which readiness classes a registration subscribes to. Hangup and
+/// error are always reported; they cannot be masked out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn mask(self) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if self.readable {
+            m |= EPOLLIN;
+        }
+        if self.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// One readiness report from `Epoll::wait`.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token passed at registration (`add`/`modify`).
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// Peer closed (EPOLLHUP | EPOLLRDHUP) — drain then tear down.
+    pub hangup: bool,
+    /// EPOLLERR — the next I/O call surfaces the error.
+    pub error: bool,
+}
+
+/// A level-triggered epoll instance. The fd is owned: dropped on Drop.
+pub struct Epoll {
+    epfd: RawFd,
+}
+
+// An epoll fd is a kernel object; concurrent epoll_ctl/epoll_wait from
+// multiple threads is part of its documented contract.
+unsafe impl Send for Epoll {}
+unsafe impl Sync for Epoll {}
+
+impl Epoll {
+    pub fn new() -> io::Result<Epoll> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest.mask(),
+            data: token,
+        };
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Register `fd` under `token`. Level-triggered.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Re-arm `fd` with a new interest set (e.g. toggling EPOLLOUT).
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Deregister `fd`. Errors from an already-closed fd are reported;
+    /// callers deregistering during teardown may ignore them.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        // The event argument is ignored for DEL on modern kernels but
+        // must be non-null on pre-2.6.9 ones; pass a dummy regardless.
+        self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::READABLE)
+    }
+
+    /// Wait for readiness, appending up to `max` events into `out`
+    /// (cleared first). `timeout_ms` < 0 blocks indefinitely. EINTR
+    /// retries transparently.
+    pub fn wait(&self, out: &mut Vec<Event>, max: usize, timeout_ms: i32) -> io::Result<usize> {
+        out.clear();
+        let max = max.clamp(1, 4096) as i32;
+        let mut raw: Vec<EpollEvent> = vec![EpollEvent { events: 0, data: 0 }; max as usize];
+        loop {
+            let n = unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), max, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            }
+            for ev in raw.iter().take(n as usize) {
+                // Copy out of the (possibly packed) struct before use.
+                let events = ev.events;
+                let data = ev.data;
+                out.push(Event {
+                    token: data,
+                    readable: events & EPOLLIN != 0,
+                    writable: events & EPOLLOUT != 0,
+                    hangup: events & (EPOLLHUP | EPOLLRDHUP) != 0,
+                    error: events & EPOLLERR != 0,
+                });
+            }
+            return Ok(out.len());
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+/// A nonblocking eventfd used to kick an `Epoll::wait` out of its sleep
+/// from another thread. Register its fd readable under a reserved token;
+/// `wake` makes it readable, `drain` resets it.
+pub struct WakeFd {
+    fd: RawFd,
+}
+
+unsafe impl Send for WakeFd {}
+unsafe impl Sync for WakeFd {}
+
+impl WakeFd {
+    pub fn new() -> io::Result<WakeFd> {
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(WakeFd { fd })
+    }
+
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Make the fd readable. Saturation (EAGAIN at u64::MAX - 1) still
+    /// leaves it readable, so the wakeup is never lost.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        unsafe {
+            write(self.fd, &one as *const u64 as *const u8, 8);
+        }
+    }
+
+    /// Reset the counter so level-triggered polling stops reporting it.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe {
+            read(self.fd, buf.as_mut_ptr(), 8);
+        }
+    }
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_fd_round_trip() {
+        let ep = Epoll::new().expect("epoll_create1");
+        let wake = WakeFd::new().expect("eventfd");
+        ep.add(wake.raw_fd(), 7, Interest::READABLE).expect("add");
+
+        let mut events = Vec::new();
+        // Not woken yet: zero-timeout wait reports nothing.
+        assert_eq!(ep.wait(&mut events, 16, 0).expect("wait"), 0);
+
+        wake.wake();
+        assert_eq!(ep.wait(&mut events, 16, 1000).expect("wait"), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: still readable until drained.
+        assert_eq!(ep.wait(&mut events, 16, 0).expect("wait"), 1);
+        wake.drain();
+        assert_eq!(ep.wait(&mut events, 16, 0).expect("wait"), 0);
+    }
+
+    #[test]
+    fn socket_readiness_and_interest_toggle() {
+        use std::io::Write as _;
+        use std::net::{TcpListener, TcpStream};
+        use std::os::fd::AsRawFd;
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let client = TcpStream::connect(listener.local_addr().unwrap()).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        client.set_nonblocking(true).expect("nonblocking");
+
+        let ep = Epoll::new().expect("epoll");
+        let fd = client.as_raw_fd();
+        ep.add(fd, 42, Interest::READABLE).expect("add");
+
+        let mut events = Vec::new();
+        assert_eq!(ep.wait(&mut events, 16, 0).expect("wait"), 0, "no data yet");
+
+        (&server).write_all(b"ping").expect("server write");
+        assert_eq!(ep.wait(&mut events, 16, 1000).expect("wait"), 1);
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].readable);
+        assert!(!events[0].writable, "EPOLLOUT not subscribed");
+
+        // Toggle EPOLLOUT on: an idle socket is immediately writable.
+        ep.modify(fd, 42, Interest::BOTH).expect("modify");
+        assert_eq!(ep.wait(&mut events, 16, 1000).expect("wait"), 1);
+        assert!(events[0].writable);
+
+        ep.delete(fd).expect("delete");
+        assert_eq!(
+            ep.wait(&mut events, 16, 0).expect("wait"),
+            0,
+            "deregistered"
+        );
+        drop(server);
+    }
+
+    #[test]
+    fn hangup_reported() {
+        use std::net::{TcpListener, TcpStream};
+        use std::os::fd::AsRawFd;
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let client = TcpStream::connect(listener.local_addr().unwrap()).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+
+        let ep = Epoll::new().expect("epoll");
+        ep.add(client.as_raw_fd(), 9, Interest::READABLE)
+            .expect("add");
+        drop(server);
+
+        let mut events = Vec::new();
+        assert_eq!(ep.wait(&mut events, 16, 1000).expect("wait"), 1);
+        assert_eq!(events[0].token, 9);
+        assert!(events[0].hangup, "peer close must surface as hangup");
+    }
+}
