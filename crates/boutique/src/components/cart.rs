@@ -7,7 +7,9 @@ use weaver_core::context::{CallContext, InitContext};
 use weaver_core::error::WeaverError;
 use weaver_macros::component;
 
-use crate::logic::cart::{CartJournal, CartStore};
+use weaver_transport::{StateBlob, StateEntry};
+
+use crate::logic::cart::{CartJournal, CartRecord, CartStore};
 use crate::types::CartItem;
 
 /// Per-user shopping carts (the demo's `cartservice`).
@@ -55,6 +57,23 @@ pub trait CartService {
         user_id: String,
         journal_key: String,
     ) -> Result<(), WeaverError>;
+
+    /// Exports — and removes — every cart whose routing hash falls in
+    /// `[range_start, range_end)` as an encoded
+    /// [`weaver_transport::StateBlob`]: the source half of a live slice
+    /// migration. Deliberately *not* `#[routed]`: the migration driver
+    /// addresses the old owner replica directly while the range is frozen.
+    fn export_keys(
+        &self,
+        ctx: &CallContext,
+        range_start: u64,
+        range_end: u64,
+    ) -> Result<Vec<u8>, WeaverError>;
+
+    /// Absorbs a blob produced by [`CartService::export_keys`] — the target
+    /// half of a migration. Returns the number of carts absorbed. Also not
+    /// `#[routed]`, for the same reason.
+    fn import_keys(&self, ctx: &CallContext, blob: Vec<u8>) -> Result<u64, WeaverError>;
 }
 
 /// Implementation over the in-memory store.
@@ -103,6 +122,50 @@ impl CartService for CartServiceImpl {
     ) -> Result<(), WeaverError> {
         CartJournal::restore_cart(&self.store, &user_id, &journal_key);
         Ok(())
+    }
+
+    fn export_keys(
+        &self,
+        _ctx: &CallContext,
+        range_start: u64,
+        range_end: u64,
+    ) -> Result<Vec<u8>, WeaverError> {
+        if range_start >= range_end {
+            return Err(WeaverError::app("empty export range"));
+        }
+        let entries = self
+            .store
+            .export_range(range_start, range_end)
+            .into_iter()
+            .map(|record| StateEntry {
+                key_hash: weaver_core::routing_key(&record.user),
+                payload: weaver_codec::encode_to_vec(&record),
+            })
+            .collect();
+        let blob = StateBlob {
+            // The driver addresses blobs by range; the component id is
+            // informational here (a proclet doesn't know its own id).
+            component: 0,
+            range_start,
+            range_end,
+            entries,
+        };
+        Ok(blob.encode())
+    }
+
+    fn import_keys(&self, _ctx: &CallContext, blob: Vec<u8>) -> Result<u64, WeaverError> {
+        let blob = StateBlob::decode(&blob).map_err(WeaverError::app)?;
+        let mut records = Vec::with_capacity(blob.entries.len());
+        for entry in &blob.entries {
+            let record: CartRecord =
+                weaver_codec::decode_from_slice(&entry.payload).map_err(|e| {
+                    WeaverError::Codec {
+                        detail: format!("undecodable cart record in state blob: {e}"),
+                    }
+                })?;
+            records.push(record);
+        }
+        Ok(self.store.import_entries(records))
     }
 }
 

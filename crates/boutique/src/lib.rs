@@ -34,7 +34,7 @@ pub use components::registry;
 /// Modules of pure business logic.
 pub mod prelude {
     pub use crate::components::*;
-    pub use crate::loadgen::{run_load, LoadOptions, LoadReport, Mix};
+    pub use crate::loadgen::{run_load, LoadOptions, LoadReport, Mix, Zipf};
     pub use crate::types::*;
 }
 
@@ -255,10 +255,15 @@ mod tests {
         let a = weaver_core::routing_key("user-7");
         let b = weaver_core::routing_key("user-7");
         assert_eq!(a, b);
-        // And the cart's routed flag survives code generation.
+        // And the cart's routed flag survives code generation. The state
+        // handoff pair is the deliberate exception: a migration addresses
+        // a specific replica, not the key's current owner.
         use weaver_core::component::ComponentInterface;
         let methods = <dyn CartService as ComponentInterface>::METHODS;
-        assert!(methods.iter().all(|m| m.routed));
+        for m in methods {
+            let handoff = m.name == "export_keys" || m.name == "import_keys";
+            assert_eq!(m.routed, !handoff, "method {} routed flag", m.name);
+        }
         let frontend_methods = <dyn Frontend as ComponentInterface>::METHODS;
         assert!(frontend_methods.iter().all(|m| !m.routed));
     }

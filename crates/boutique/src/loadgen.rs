@@ -63,6 +63,95 @@ impl Mix {
     }
 }
 
+/// A Zipf(s) sampler over ranks `1..=n`, via rejection inversion (Hörmann
+/// & Derflinger). O(1) per sample with no per-rank tables, so populations
+/// of millions of keys cost nothing to set up — exactly what a hot-slice
+/// workload needs: rank 1 alone draws a double-digit share of traffic at
+/// `s = 1.1` while the tail still touches the whole keyspace.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: f64,
+    exponent: f64,
+    h_x1: f64,
+    h_n: f64,
+    shift: f64,
+}
+
+impl Zipf {
+    /// A sampler over ranks `1..=n` with the given exponent (`s > 0`;
+    /// `s = 1.1` is the classic "hot key" shape). `n` is clamped to ≥ 1.
+    pub fn new(n: u64, exponent: f64) -> Zipf {
+        let n = n.max(1) as f64;
+        let h_x1 = Self::h_integral(1.5, exponent) - 1.0;
+        let h_n = Self::h_integral(n + 0.5, exponent);
+        let shift = 2.0
+            - Self::h_integral_inverse(
+                Self::h_integral(2.5, exponent) - Self::h(2.0, exponent),
+                exponent,
+            );
+        Zipf {
+            n,
+            exponent,
+            h_x1,
+            h_n,
+            shift,
+        }
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        loop {
+            let r = rng.gen_range(0.0..1.0f64);
+            let u = self.h_n + r * (self.h_x1 - self.h_n);
+            let x = Self::h_integral_inverse(u, self.exponent);
+            let k = x.round().clamp(1.0, self.n);
+            if k - x <= self.shift
+                || u >= Self::h_integral(k + 0.5, self.exponent) - Self::h(k, self.exponent)
+            {
+                return k as u64;
+            }
+        }
+    }
+
+    /// The unnormalized mass at rank `x`: `x^-s`.
+    fn h(x: f64, exponent: f64) -> f64 {
+        (-exponent * x.ln()).exp()
+    }
+
+    /// `∫ t^-s dt`, in the `(exp(t)-1)/t` form that stays stable near
+    /// `s = 1` (where the closed form degenerates to `ln x`).
+    fn h_integral(x: f64, exponent: f64) -> f64 {
+        let log_x = x.ln();
+        Self::helper2((1.0 - exponent) * log_x) * log_x
+    }
+
+    fn h_integral_inverse(x: f64, exponent: f64) -> f64 {
+        let mut t = x * (1.0 - exponent);
+        if t < -1.0 {
+            t = -1.0;
+        }
+        (Self::helper1(t) * x).exp()
+    }
+
+    /// `ln(1+t)/t`, continuous at 0.
+    fn helper1(t: f64) -> f64 {
+        if t.abs() > 1e-8 {
+            t.ln_1p() / t
+        } else {
+            1.0 - t * (0.5 - t * (1.0 / 3.0 - t * 0.25))
+        }
+    }
+
+    /// `(exp(t)-1)/t`, continuous at 0.
+    fn helper2(t: f64) -> f64 {
+        if t.abs() > 1e-8 {
+            t.exp_m1() / t
+        } else {
+            1.0 + t * 0.5 * (1.0 + t * (1.0 / 3.0) * (1.0 + t * 0.25))
+        }
+    }
+}
+
 /// Load-run options.
 #[derive(Debug, Clone)]
 pub struct LoadOptions {
@@ -78,6 +167,10 @@ pub struct LoadOptions {
     pub users: usize,
     /// Open-loop arrival rate; `None` = closed loop.
     pub target_qps: Option<f64>,
+    /// User-popularity skew: a Zipf exponent over each worker's user
+    /// population (`Some(1.1)` = classic hot-key shape, driving a few
+    /// slices hot for the rebalancer); `None` = uniform.
+    pub zipf: Option<f64>,
     /// Deployment version for root contexts.
     pub version: u64,
 }
@@ -91,6 +184,7 @@ impl Default for LoadOptions {
             seed: 42,
             users: 64,
             target_qps: None,
+            zipf: None,
             version: 1,
         }
     }
@@ -166,12 +260,17 @@ fn one_op(
     rng: &mut StdRng,
     mix: &Mix,
     users: usize,
+    zipf: Option<&Zipf>,
     worker: usize,
 ) -> (Result<(), WeaverError>, bool) {
     // Workers own disjoint user populations, like distinct Locust users:
     // a virtual user never runs two requests concurrently, so checkout
     // cannot race with another of its own adds.
-    let user = format!("user-{worker}-{}", rng.gen_range(0..users.max(1)));
+    let pick_user = match zipf {
+        Some(z) => (z.sample(rng) - 1) as usize,
+        None => rng.gen_range(0..users.max(1)),
+    };
+    let user = format!("user-{worker}-{pick_user}");
     let currency = CURRENCIES[rng.gen_range(0..CURRENCIES.len())].to_string();
     let product = PRODUCT_IDS[rng.gen_range(0..PRODUCT_IDS.len())].to_string();
     let pick = rng.gen_range(0..mix.total().max(1));
@@ -242,6 +341,7 @@ pub fn run_load(frontend: Arc<dyn Frontend>, options: &LoadOptions) -> LoadRepor
             let next_arrival = Arc::clone(&next_arrival);
             let mix = options.mix.clone();
             let users = options.users;
+            let zipf = options.zipf.map(|s| Zipf::new(users.max(1) as u64, s));
             let version = options.version;
             let seed = options
                 .seed
@@ -269,7 +369,15 @@ pub fn run_load(frontend: Arc<dyn Frontend>, options: &LoadOptions) -> LoadRepor
                         None => now,
                     };
                     let ctx = CallContext::root(version);
-                    let (result, ordered) = one_op(&*frontend, &ctx, &mut rng, &mix, users, worker);
+                    let (result, ordered) = one_op(
+                        &*frontend,
+                        &ctx,
+                        &mut rng,
+                        &mix,
+                        users,
+                        zipf.as_ref(),
+                        worker,
+                    );
                     histogram.record(
                         measured_from
                             .elapsed()
@@ -294,5 +402,58 @@ pub fn run_load(frontend: Arc<dyn Frontend>, options: &LoadOptions) -> LoadRepor
         latency: histogram.snapshot(),
         elapsed: started.elapsed(),
         orders: orders.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_stays_in_range_and_is_deterministic() {
+        let zipf = Zipf::new(1_000_000, 1.1);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let r = zipf.sample(&mut a);
+            assert!((1..=1_000_000).contains(&r), "rank {r} out of range");
+            assert_eq!(r, zipf.sample(&mut b), "same seed, same sequence");
+        }
+    }
+
+    #[test]
+    fn zipf_is_head_heavy_at_s_1_1() {
+        // At s = 1.1 over 2M ranks, rank 1 alone carries ≈ 13% of the
+        // mass (1 / H_{2M,1.1}); check the sampler reproduces that and
+        // that frequency decreases down the head.
+        let zipf = Zipf::new(2_000_000, 1.1);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000u64;
+        let mut head = [0u64; 8];
+        for _ in 0..n {
+            let r = zipf.sample(&mut rng);
+            if r <= 8 {
+                head[(r - 1) as usize] += 1;
+            }
+        }
+        let rank1 = head[0] as f64 / n as f64;
+        assert!((0.10..=0.16).contains(&rank1), "rank-1 share {rank1}");
+        // Monotone (with slack for sampling noise on deeper ranks).
+        assert!(head[0] > head[1] && head[1] > head[2], "head {head:?}");
+        // The tail is genuinely long: most mass is *not* in the top 8.
+        let head_total: u64 = head.iter().sum();
+        assert!(
+            head_total < n * 45 / 100,
+            "head too heavy: {head_total}/{n}"
+        );
+    }
+
+    #[test]
+    fn zipf_degenerate_population_of_one() {
+        let zipf = Zipf::new(1, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 1);
+        }
     }
 }

@@ -4,9 +4,20 @@ use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
 use parking_lot::RwLock;
+use weaver_macros::WeaverData;
 
 use crate::logic::audit::{AuditEvent, AuditLog};
 use crate::types::CartItem;
+
+/// One user's cart as it travels inside a migration state blob
+/// ([`CartStore::export_range`] → wire → [`CartStore::import_entries`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, WeaverData)]
+pub struct CartRecord {
+    /// The cart's owner.
+    pub user: String,
+    /// The cart contents.
+    pub items: Vec<CartItem>,
+}
 
 /// In-memory per-user carts.
 ///
@@ -51,6 +62,43 @@ impl CartStore {
     /// Number of users with non-empty carts (diagnostics/affinity metrics).
     pub fn user_count(&self) -> usize {
         self.carts.read().len()
+    }
+
+    /// Removes and returns every cart whose `routing_key(user)` falls in
+    /// `[start, end)` (`end == u64::MAX` inclusive, slice semantics) — the
+    /// source half of a slice migration. Take semantics on purpose: a
+    /// moved-out cart lingering on the old owner would resurrect stale
+    /// state if the range ever moved back.
+    pub fn export_range(&self, start: u64, end: u64) -> Vec<CartRecord> {
+        let in_range = |h: u64| h >= start && (h < end || (end == u64::MAX && h == u64::MAX));
+        let mut carts = self.carts.write();
+        let users: Vec<String> = carts
+            .keys()
+            .filter(|u| in_range(weaver_core::routing_key(*u)))
+            .cloned()
+            .collect();
+        users
+            .into_iter()
+            .map(|user| {
+                let items = carts.remove(&user).unwrap_or_default();
+                CartRecord { user, items }
+            })
+            .collect()
+    }
+
+    /// Absorbs exported carts — the target half of a migration. Items merge
+    /// through [`CartStore::add_item`] semantics, so importing onto a
+    /// replica that somehow already saw the user is additive, not lossy.
+    /// Returns how many carts were absorbed.
+    pub fn import_entries(&self, records: Vec<CartRecord>) -> u64 {
+        let mut imported = 0u64;
+        for record in records {
+            imported += 1;
+            for item in record.items {
+                self.add_item(&record.user, item);
+            }
+        }
+        imported
     }
 }
 
@@ -227,6 +275,35 @@ mod tests {
         assert!(!AuditLog::since(mark)
             .iter()
             .any(|e| matches!(e, AuditEvent::CartRestored { key, .. } if key == "cj-test-ghost")));
+    }
+
+    #[test]
+    fn export_takes_and_import_restores() {
+        let store = CartStore::new();
+        store.add_item("alice", item("P1", 2));
+        store.add_item("bob", item("P2", 3));
+        // The full keyspace exports everything — and removes it.
+        let records = store.export_range(0, u64::MAX);
+        assert_eq!(records.len(), 2);
+        assert_eq!(store.user_count(), 0);
+        let target = CartStore::new();
+        assert_eq!(target.import_entries(records), 2);
+        assert_eq!(target.get_cart("alice"), vec![item("P1", 2)]);
+        assert_eq!(target.get_cart("bob"), vec![item("P2", 3)]);
+    }
+
+    #[test]
+    fn export_respects_the_range() {
+        let store = CartStore::new();
+        store.add_item("alice", item("P1", 1));
+        store.add_item("bob", item("P2", 1));
+        let alice_hash = weaver_core::routing_key("alice");
+        // A range containing only alice's hash moves only alice.
+        let records = store.export_range(alice_hash, alice_hash.saturating_add(1));
+        let users: Vec<&str> = records.iter().map(|r| r.user.as_str()).collect();
+        assert_eq!(users, vec!["alice"]);
+        assert_eq!(store.get_cart("bob"), vec![item("P2", 1)]);
+        assert!(store.get_cart("alice").is_empty());
     }
 
     #[test]

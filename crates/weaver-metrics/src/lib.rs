@@ -13,7 +13,9 @@
 //!   latency sums; the placement optimizer consumes its snapshots to decide
 //!   which components are "chatty" enough to co-locate;
 //! * [`trace`] — minimal distributed trace spans linked by the trace and
-//!   span ids every call context carries.
+//!   span ids every call context carries;
+//! * [`sliceload`] — per-slice request accounting for routed components,
+//!   feeding the Slicer-style rebalance controller in weaver-routing.
 //!
 //! All snapshot types derive `WeaverData`, so they travel over the same wire
 //! formats as application data when proclets report load to the manager.
@@ -25,9 +27,11 @@ pub mod callgraph;
 pub mod histogram;
 pub mod registry;
 pub mod scalar;
+pub mod sliceload;
 pub mod trace;
 
 pub use callgraph::{CallEdge, CallGraph, CallGraphSnapshot, EdgeStats};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{MetricFamily, MetricsRegistry, MetricsSnapshot};
 pub use scalar::{Counter, Gauge};
+pub use sliceload::{SliceLoadReport, SliceLoadTracker};

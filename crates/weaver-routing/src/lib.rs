@@ -9,6 +9,9 @@
 //!   contiguous slices mapped to replicas, with load-driven rebalancing
 //!   (split hot slices, reassign to the least-loaded replica). The manager
 //!   computes assignments; every caller embeds the lookup.
+//! * [`controller`] — the Slicer-style control loop: observed per-slice
+//!   load in, split/move decisions out. Pure and deterministic; decisions
+//!   serialize to replayable text logs.
 //! * [`consistent`] — a classic consistent-hashing ring, kept as the
 //!   baseline the A4 experiment compares slice assignment against.
 //! * [`lb`] — load-balancing policies for *unrouted* methods: round-robin
@@ -18,9 +21,14 @@
 #![warn(missing_docs)]
 
 pub mod consistent;
+pub mod controller;
 pub mod lb;
 pub mod slice;
 
 pub use consistent::ConsistentRing;
+pub use controller::{
+    apply_decisions, parse_decisions, serialize_decisions, write_decision_artifact,
+    ControllerOptions, RebalanceController, RebalanceDecision, RebalancePlan,
+};
 pub use lb::{Balancer, PowerOfTwo, RoundRobin};
 pub use slice::{Slice, SliceAssignment};

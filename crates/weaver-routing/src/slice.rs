@@ -68,6 +68,14 @@ impl SliceAssignment {
     ///
     /// Returns `None` only for an empty assignment.
     pub fn replica_for(&self, key: u64) -> Option<u32> {
+        self.slice_index_for(key).map(|i| self.slices[i].replica)
+    }
+
+    /// Index (into [`SliceAssignment::slices`]) of the slice owning `key`.
+    ///
+    /// The load accountant records per-slice counters under this index, so
+    /// it must match exactly what [`SliceAssignment::replica_for`] resolves.
+    pub fn slice_index_for(&self, key: u64) -> Option<usize> {
         if self.slices.is_empty() {
             return None;
         }
@@ -76,7 +84,22 @@ impl SliceAssignment {
             Err(0) => 0,
             Err(i) => i - 1,
         };
-        Some(self.slices[idx].replica)
+        Some(idx)
+    }
+
+    /// Clamps a desired split point into the interior of `[start, end)`.
+    ///
+    /// A split at `start` (or anything at/under it) would leave a zero-width
+    /// left piece; a split at/over `end` a zero-width right piece. Both arise
+    /// in practice when the median observed key of a hot slice sits on a
+    /// boundary — e.g. one key absorbing all traffic at the very start of
+    /// its slice. Returns `None` when the slice is too narrow to split at
+    /// all (width < 2: no interior point exists).
+    pub fn clamp_split_point(start: u64, end: u64, desired: u64) -> Option<u64> {
+        if end <= start || end - start < 2 {
+            return None;
+        }
+        Some(desired.clamp(start + 1, end - 1))
     }
 
     /// Checks the structural invariants: sorted, contiguous from 0 to MAX,
@@ -107,6 +130,12 @@ impl SliceAssignment {
         if last.end != u64::MAX {
             return Err(format!("last slice ends at {:#x}", last.end));
         }
+        // `windows(2)` only checks pair[0]: a zero-width *final* slice used
+        // to slip through (and a single-slice assignment was never width-
+        // checked at all).
+        if last.start >= last.end {
+            return Err("empty or inverted slice".into());
+        }
         if let Some(s) = self.slices.iter().find(|s| s.replica >= self.replica_count) {
             return Err(format!(
                 "slice assigned to replica {} of {}",
@@ -124,6 +153,25 @@ impl SliceAssignment {
     /// Returns the new assignment (version bumped) and how many slice→replica
     /// mappings changed (the affinity churn the manager wants to minimize).
     pub fn rebalance(&self, load: &[u64]) -> (SliceAssignment, usize) {
+        self.rebalance_hinted(load, &[])
+    }
+
+    /// [`SliceAssignment::rebalance`] with per-slice split hints: when a hot
+    /// slice has a hint (the median *observed* key, from the load
+    /// accountant), it splits there instead of at the geometric midpoint —
+    /// so roughly half the observed traffic lands on each piece even when
+    /// keys cluster. Hints are clamped into the slice interior
+    /// ([`SliceAssignment::clamp_split_point`]); a hint on the boundary of a
+    /// minimum-width slice used to produce a zero-width piece that
+    /// `validate` then rejected.
+    ///
+    /// `hints` is indexed like `self.slices`; missing/`None` entries fall
+    /// back to the midpoint. An empty hint vector means no hints at all.
+    pub fn rebalance_hinted(
+        &self,
+        load: &[u64],
+        hints: &[Option<u64>],
+    ) -> (SliceAssignment, usize) {
         assert_eq!(
             load.len(),
             self.slices.len(),
@@ -135,12 +183,21 @@ impl SliceAssignment {
         let total: u64 = load.iter().sum();
         let mean_per_slice = (total / self.slices.len() as u64).max(1);
 
-        // Pass 1: split slices hotter than 2× the mean into halves.
+        // Pass 1: split slices hotter than 2× the mean, at the hinted
+        // median when one is available, else in half.
         let mut pieces: Vec<(Slice, u64)> = Vec::with_capacity(self.slices.len());
-        for (slice, &l) in self.slices.iter().zip(load) {
+        for (i, (slice, &l)) in self.slices.iter().zip(load).enumerate() {
             let width = slice.end - slice.start;
-            if l > mean_per_slice * 2 && width >= 2 {
-                let mid = slice.start + width / 2;
+            let split = (l > mean_per_slice * 2 && width >= 2).then(|| {
+                let desired = hints
+                    .get(i)
+                    .copied()
+                    .flatten()
+                    .unwrap_or(slice.start + width / 2);
+                Self::clamp_split_point(slice.start, slice.end, desired)
+                    .expect("width >= 2 has an interior point")
+            });
+            if let Some(mid) = split {
                 pieces.push((
                     Slice {
                         start: slice.start,
@@ -200,6 +257,70 @@ impl SliceAssignment {
         };
         debug_assert_eq!(out.validate(), Ok(()));
         (out, moved)
+    }
+
+    /// Splits the slice owning `at` into two at `at` (clamped into the
+    /// slice interior), both pieces keeping the original replica — the
+    /// controller's "split hot slice at the median observed key" primitive.
+    ///
+    /// Returns `None` when the owning slice is too narrow to split (or the
+    /// assignment is empty). The version is bumped.
+    pub fn split_at(&self, at: u64) -> Option<SliceAssignment> {
+        let idx = self.slice_index_for(at)?;
+        let slice = &self.slices[idx];
+        let mid = Self::clamp_split_point(slice.start, slice.end, at)?;
+        let mut slices = self.slices.clone();
+        slices[idx].end = mid;
+        slices.insert(
+            idx + 1,
+            Slice {
+                start: mid,
+                end: slice.end,
+                replica: slice.replica,
+            },
+        );
+        Some(SliceAssignment {
+            version: self.version + 1,
+            replica_count: self.replica_count,
+            slices,
+        })
+    }
+
+    /// Merges slice `index` with its right neighbor; the merged slice keeps
+    /// the left slice's replica (cold adjacent slices re-coalesce so the
+    /// slice count stays bounded across many rebalances).
+    ///
+    /// Returns `None` when `index` has no right neighbor. The version is
+    /// bumped.
+    pub fn merge_at(&self, index: usize) -> Option<SliceAssignment> {
+        if index + 1 >= self.slices.len() {
+            return None;
+        }
+        let mut slices = self.slices.clone();
+        slices[index].end = slices[index + 1].end;
+        slices.remove(index + 1);
+        Some(SliceAssignment {
+            version: self.version + 1,
+            replica_count: self.replica_count,
+            slices,
+        })
+    }
+
+    /// Reassigns the slice owning `at` to `replica` — the controller's
+    /// "move" primitive. Returns `None` for an empty assignment or an
+    /// out-of-range replica. The version is bumped.
+    pub fn move_slice(&self, at: u64, replica: u32) -> Option<SliceAssignment> {
+        if replica >= self.replica_count {
+            return None;
+        }
+        let idx = self.slice_index_for(at)?;
+        let mut slices = self.slices.clone();
+        slices[idx].replica = replica;
+        Some(SliceAssignment {
+            version: self.version + 1,
+            replica_count: self.replica_count,
+            slices,
+        })
     }
 
     /// Resizes the assignment to a new replica count, preserving affinity
@@ -402,5 +523,104 @@ mod tests {
         let a = SliceAssignment::uniform(3, 4);
         let back: SliceAssignment = decode_from_slice(&encode_to_vec(&a)).unwrap();
         assert_eq!(back, a);
+    }
+
+    #[test]
+    fn validate_rejects_zero_width_final_slice() {
+        // Regression: windows(2) never width-checked the last slice, so a
+        // boundary collision at the end of the keyspace passed validation.
+        let a = SliceAssignment {
+            version: 1,
+            replica_count: 2,
+            slices: vec![
+                Slice {
+                    start: 0,
+                    end: u64::MAX,
+                    replica: 0,
+                },
+                Slice {
+                    start: u64::MAX,
+                    end: u64::MAX,
+                    replica: 1,
+                },
+            ],
+        };
+        assert!(a.validate().is_err(), "zero-width final slice accepted");
+    }
+
+    #[test]
+    fn hinted_rebalance_clamps_boundary_medians() {
+        // Regression for the zero-width split: the median observed key of a
+        // hot slice sits exactly on its start (one key taking all traffic at
+        // the boundary). An unclamped split there emits a zero-width left
+        // piece; adjacent boundaries collide and validate() rejects it.
+        let a = SliceAssignment::uniform(2, 4);
+        let mut load = vec![10u64; a.slices.len()];
+        load[3] = 100_000;
+        let mut hints = vec![None; a.slices.len()];
+        hints[3] = Some(a.slices[3].start); // median on the boundary
+        let (b, _) = a.rebalance_hinted(&load, &hints);
+        assert_eq!(b.validate(), Ok(()));
+        assert!(b.slices.len() > a.slices.len(), "hot slice was not split");
+
+        // Same at the far edge: median == end (just past the interior).
+        let mut hints = vec![None; a.slices.len()];
+        hints[3] = Some(a.slices[3].end);
+        let (c, _) = a.rebalance_hinted(&load, &hints);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn clamp_split_point_bounds() {
+        assert_eq!(SliceAssignment::clamp_split_point(10, 20, 10), Some(11));
+        assert_eq!(SliceAssignment::clamp_split_point(10, 20, 25), Some(19));
+        assert_eq!(SliceAssignment::clamp_split_point(10, 20, 15), Some(15));
+        // Width-1 and degenerate slices have no interior point.
+        assert_eq!(SliceAssignment::clamp_split_point(10, 11, 10), None);
+        assert_eq!(SliceAssignment::clamp_split_point(10, 10, 10), None);
+    }
+
+    #[test]
+    fn split_at_preserves_coverage_and_owner() {
+        let a = SliceAssignment::uniform(3, 4);
+        let key = u64::MAX / 3 + 17;
+        let owner = a.replica_for(key).unwrap();
+        let b = a.split_at(key).unwrap();
+        assert_eq!(b.validate(), Ok(()));
+        assert_eq!(b.slices.len(), a.slices.len() + 1);
+        assert_eq!(b.replica_for(key), Some(owner));
+        assert_eq!(b.version, a.version + 1);
+    }
+
+    #[test]
+    fn merge_at_keeps_left_owner() {
+        let a = SliceAssignment::uniform(3, 4);
+        let b = a.merge_at(2).unwrap();
+        assert_eq!(b.validate(), Ok(()));
+        assert_eq!(b.slices.len(), a.slices.len() - 1);
+        assert_eq!(b.slices[2].replica, a.slices[2].replica);
+        assert_eq!(b.slices[2].end, a.slices[3].end);
+        // No right neighbor: nothing to merge.
+        assert!(a.merge_at(a.slices.len() - 1).is_none());
+    }
+
+    #[test]
+    fn move_slice_changes_exactly_one_owner() {
+        let a = SliceAssignment::uniform(3, 4);
+        let key = 42u64;
+        let from = a.replica_for(key).unwrap();
+        let to = (from + 1) % 3;
+        let b = a.move_slice(key, to).unwrap();
+        assert_eq!(b.validate(), Ok(()));
+        assert_eq!(b.replica_for(key), Some(to));
+        let changed = a
+            .slices
+            .iter()
+            .zip(&b.slices)
+            .filter(|(x, y)| x.replica != y.replica)
+            .count();
+        assert_eq!(changed, 1);
+        // Out-of-range replica refused.
+        assert!(a.move_slice(key, 3).is_none());
     }
 }

@@ -51,4 +51,4 @@ pub use dedup::DedupCache;
 pub use envelope::{ReplicaId, SpawnSpec};
 pub use manager::MultiProcess;
 pub use single::{ComponentFault, FaultInjectable, SingleMode, SingleProcess};
-pub use tcp::{TcpOptions, TcpProcess};
+pub use tcp::{MigratedRange, MigrationReport, TcpOptions, TcpProcess};

@@ -5,13 +5,15 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use weaver_core::client::{CallRouter, TargetInfo};
 use weaver_core::context::CallContext;
 use weaver_core::error::WeaverError;
 use weaver_core::fanout::RouteFuture;
-use weaver_metrics::{CallEdge, CallGraph, Histogram, MetricsRegistry};
+use weaver_metrics::{
+    CallEdge, CallGraph, Histogram, MetricsRegistry, SliceLoadReport, SliceLoadTracker,
+};
 use weaver_routing::{Balancer, PowerOfTwo, SliceAssignment};
 use weaver_transport::{CallFuture, Pool, RequestHeader, ResponseBody, Status, WeaverFraming};
 
@@ -57,10 +59,38 @@ pub struct RoutingState {
     pub assignments: HashMap<u32, SliceAssignment>,
 }
 
+/// Whether `key` falls in `[start, end)` under slice semantics
+/// (`end == u64::MAX` is inclusive: the final slice ends the keyspace).
+fn key_in_range(key: u64, range: (u64, u64)) -> bool {
+    key >= range.0 && (key < range.1 || (range.1 == u64::MAX && key == u64::MAX))
+}
+
+/// Migration gate state: which key ranges are frozen (calls queue instead
+/// of launching) and which routed keys have calls in flight (so a
+/// migration can drain the old owner before handing off).
+#[derive(Default)]
+struct FreezeState {
+    /// component → frozen key ranges.
+    frozen: HashMap<u32, Vec<(u64, u64)>>,
+    /// (component, routing key) → routed calls in flight.
+    active: HashMap<(u32, u64), u32>,
+}
+
+impl FreezeState {
+    fn is_frozen(&self, component: u32, key: u64) -> bool {
+        self.frozen
+            .get(&component)
+            .is_some_and(|ranges| ranges.iter().any(|&r| key_in_range(key, r)))
+    }
+}
+
 /// Shared, updatable routing table.
 #[derive(Default)]
 pub struct RoutingTable {
     state: RwLock<RoutingState>,
+    tracker: SliceLoadTracker,
+    gate: Mutex<FreezeState>,
+    gate_cond: Condvar,
 }
 
 impl RoutingTable {
@@ -111,12 +141,18 @@ impl RoutingTable {
         let index = match routing {
             Some(key) => {
                 // Affinity routing: the slice assignment owns the choice.
+                // Every resolution is charged to its slice so the rebalance
+                // controller sees where the traffic actually lands.
                 match state
                     .assignments
                     .get(&component)
-                    .and_then(|a| a.replica_for(key))
+                    .and_then(|a| a.slice_index_for(key).map(|i| (a, i)))
                 {
-                    Some(r) => r as usize % replicas.len(),
+                    Some((a, i)) => {
+                        self.tracker
+                            .observe(component, a.version, a.slices.len(), i, key);
+                        a.slices[i].replica as usize % replicas.len()
+                    }
                     // No assignment yet: fall back to modulo, still sticky.
                     None => (key % replicas.len() as u64) as usize,
                 }
@@ -140,6 +176,114 @@ impl RoutingTable {
     /// Current epoch.
     pub fn epoch(&self) -> u64 {
         self.state.read().epoch
+    }
+
+    /// The slice assignment currently installed for a component.
+    pub fn assignment_of(&self, component: u32) -> Option<SliceAssignment> {
+        self.state.read().assignments.get(&component).cloned()
+    }
+
+    /// Per-slice load observed under the component's *current* assignment,
+    /// or `None` when no routed call resolved against it yet.
+    pub fn slice_load(&self, component: u32) -> Option<SliceLoadReport> {
+        let version = self.state.read().assignments.get(&component)?.version;
+        self.tracker.report(component, version)
+    }
+
+    /// Replaces one component's slice assignment and bumps the epoch —
+    /// the commit point of a migration. Returns the new epoch. Counters
+    /// for the component reset so the next controller round starts clean.
+    pub fn install_assignment(&self, component: u32, assignment: SliceAssignment) -> u64 {
+        let mut state = self.state.write();
+        state.assignments.insert(component, assignment);
+        state.epoch += 1;
+        self.tracker.reset(component);
+        state.epoch
+    }
+
+    // --- migration gate -------------------------------------------------
+    //
+    // The freeze/drain/admit protocol that keeps A8 per-key monotonicity
+    // across a rebalance: a migration freezes the moving range (new calls
+    // queue in `admit` instead of launching), drains in-flight calls to
+    // the old owner, hands state off, installs the new assignment, then
+    // unfreezes — so no key is ever served by two replicas concurrently.
+
+    /// Blocks while `key` is in a frozen range, then registers the call as
+    /// in flight. Fails with `Unavailable` if the freeze outlasts
+    /// `deadline`. Every successful admit must be paired with one
+    /// [`RoutingTable::release`].
+    pub fn admit(&self, component: u32, key: u64, deadline: Instant) -> Result<(), WeaverError> {
+        let mut gate = self.gate.lock();
+        while gate.is_frozen(component, key) {
+            if self.gate_cond.wait_until(&mut gate, deadline).timed_out() {
+                return Err(WeaverError::Unavailable {
+                    detail: format!(
+                        "slice for key {key:#x} of component #{component} frozen past deadline"
+                    ),
+                });
+            }
+        }
+        *gate.active.entry((component, key)).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Releases one in-flight registration made by [`RoutingTable::admit`].
+    pub fn release(&self, component: u32, key: u64) {
+        let mut gate = self.gate.lock();
+        if let Some(n) = gate.active.get_mut(&(component, key)) {
+            *n -= 1;
+            if *n == 0 {
+                gate.active.remove(&(component, key));
+            }
+        }
+        self.gate_cond.notify_all();
+    }
+
+    /// Freezes a key range: subsequent routed calls for keys in it queue
+    /// in [`RoutingTable::admit`] until [`RoutingTable::unfreeze`].
+    pub fn freeze(&self, component: u32, range: (u64, u64)) {
+        self.gate
+            .lock()
+            .frozen
+            .entry(component)
+            .or_default()
+            .push(range);
+    }
+
+    /// Lifts a freeze placed by [`RoutingTable::freeze`] and wakes queued
+    /// callers (who re-resolve against the *current* assignment, i.e. the
+    /// new owner if a migration committed in between).
+    pub fn unfreeze(&self, component: u32, range: (u64, u64)) {
+        let mut gate = self.gate.lock();
+        if let Some(ranges) = gate.frozen.get_mut(&component) {
+            if let Some(i) = ranges.iter().position(|&r| r == range) {
+                ranges.remove(i);
+            }
+            if ranges.is_empty() {
+                gate.frozen.remove(&component);
+            }
+        }
+        self.gate_cond.notify_all();
+    }
+
+    /// Waits until no admitted call for a key in `range` remains in
+    /// flight. Only meaningful after [`RoutingTable::freeze`] on the same
+    /// range (otherwise new calls keep arriving). Returns whether the
+    /// range drained before `timeout`.
+    pub fn drain(&self, component: u32, range: (u64, u64), timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut gate = self.gate.lock();
+        while gate
+            .active
+            .keys()
+            .any(|&(c, k)| c == component && key_in_range(k, range))
+        {
+            if self.gate_cond.wait_until(&mut gate, deadline).timed_out() {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -402,6 +546,8 @@ struct RemoteFuture {
     /// Replica index charged on the balancer, released exactly once.
     active_replica: Option<usize>,
     active_addr: Option<SocketAddr>,
+    /// In-flight registration on the migration gate, released exactly once.
+    admit_token: Option<(u32, u64)>,
     retried: bool,
 }
 
@@ -433,8 +579,22 @@ impl RemoteFuture {
             state: RemoteState::Done,
             active_replica: None,
             active_addr: None,
+            admit_token: None,
             retried: false,
         };
+        // Routed calls pass the migration gate before resolving a replica:
+        // a frozen slice queues the call here (blocking the caller, not
+        // dropping), and the in-flight registration lets a migration drain
+        // the old owner. Unrouted calls have no affinity to protect.
+        if let Some(key) = routing {
+            match fut.inner.table.admit(fut.component, key, fut.deadline) {
+                Ok(()) => fut.admit_token = Some((fut.component, key)),
+                Err(e) => {
+                    fut.state = RemoteState::Ready(Err(e));
+                    return fut;
+                }
+            }
+        }
         fut.launch();
         fut
     }
@@ -500,6 +660,12 @@ impl RemoteFuture {
         }
     }
 
+    fn release_admission(&mut self) {
+        if let Some((component, key)) = self.admit_token.take() {
+            self.inner.table.release(component, key);
+        }
+    }
+
     fn remaining(&self) -> Duration {
         self.deadline.saturating_duration_since(Instant::now())
     }
@@ -525,6 +691,7 @@ impl RemoteFuture {
             }
             Err(e) => Err(e),
         };
+        self.release_admission();
         self.record(&outcome);
         outcome
     }
@@ -580,6 +747,7 @@ impl RouteFuture for RemoteFuture {
     fn wait(mut self: Box<Self>) -> Result<Vec<u8>, WeaverError> {
         match std::mem::replace(&mut self.state, RemoteState::Done) {
             RemoteState::Ready(outcome) => {
+                self.release_admission();
                 self.record(&outcome);
                 outcome
             }
@@ -595,6 +763,7 @@ impl RouteFuture for RemoteFuture {
         match &mut self.state {
             RemoteState::Ready(_) => match std::mem::replace(&mut self.state, RemoteState::Done) {
                 RemoteState::Ready(outcome) => {
+                    self.release_admission();
                     self.record(&outcome);
                     Some(outcome)
                 }
@@ -612,9 +781,11 @@ impl RouteFuture for RemoteFuture {
 
 impl Drop for RemoteFuture {
     fn drop(&mut self) {
-        // An abandoned future still releases its balancer charge; the
-        // transport future's own Drop cancels the wire call.
+        // An abandoned future still releases its balancer charge and its
+        // migration-gate registration; the transport future's own Drop
+        // cancels the wire call.
         self.release_balancer();
+        self.release_admission();
     }
 }
 
@@ -748,6 +919,103 @@ mod tests {
     fn replicas_of_unknown_is_empty() {
         let table = RoutingTable::new();
         assert!(table.replicas_of(3).is_empty());
+    }
+
+    #[test]
+    fn routed_pick_feeds_slice_load() {
+        let table = table_with(0, &[1001, 1002]);
+        {
+            let mut state = RoutingState {
+                epoch: 2,
+                routes: HashMap::new(),
+                assignments: HashMap::new(),
+            };
+            state.routes.insert(0, vec![addr(1001), addr(1002)]);
+            state.assignments.insert(0, SliceAssignment::uniform(2, 4));
+            table.update(state);
+        }
+        let balancer = PowerOfTwo::new(8);
+        for _ in 0..5 {
+            table.pick(0, Some(42), &balancer).unwrap();
+        }
+        let report = table.slice_load(0).expect("load recorded");
+        assert_eq!(report.total(), 5);
+        let idx = table.assignment_of(0).unwrap().slice_index_for(42).unwrap();
+        assert_eq!(report.requests[idx], 5);
+        assert_eq!(report.medians[idx], Some(42));
+    }
+
+    #[test]
+    fn install_assignment_bumps_epoch_and_takes_effect() {
+        let table = table_with(0, &[1001, 1002]);
+        {
+            let mut state = RoutingState {
+                epoch: 2,
+                routes: HashMap::new(),
+                assignments: HashMap::new(),
+            };
+            state.routes.insert(0, vec![addr(1001), addr(1002)]);
+            state.assignments.insert(0, SliceAssignment::uniform(2, 1));
+            table.update(state);
+        }
+        let before = table.epoch();
+        let a = table.assignment_of(0).unwrap();
+        let owner = a.replica_for(7).unwrap();
+        let moved = a.move_slice(7, (owner + 1) % 2).unwrap();
+        let epoch = table.install_assignment(0, moved);
+        assert_eq!(epoch, before + 1);
+        assert_eq!(table.epoch(), epoch);
+        let balancer = PowerOfTwo::new(8);
+        let (picked, _) = table.pick(0, Some(7), &balancer).unwrap();
+        let replicas = table.replicas_of(0);
+        assert_eq!(picked, replicas[((owner + 1) % 2) as usize]);
+    }
+
+    #[test]
+    fn freeze_queues_admit_until_unfrozen() {
+        let table = table_with(0, &[1001]);
+        let range = (0u64, u64::MAX);
+        table.freeze(0, range);
+        // Frozen: admit with an already-expired deadline fails Unavailable.
+        let past = Instant::now();
+        assert!(matches!(
+            table.admit(0, 5, past),
+            Err(WeaverError::Unavailable { .. })
+        ));
+        // A blocked admit wakes when the freeze lifts.
+        let t2 = Arc::clone(&table);
+        let waiter =
+            std::thread::spawn(move || t2.admit(0, 5, Instant::now() + Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "admit went through a frozen range");
+        table.unfreeze(0, range);
+        waiter.join().unwrap().expect("admit after unfreeze");
+        table.release(0, 5);
+    }
+
+    #[test]
+    fn drain_waits_for_releases() {
+        let table = table_with(0, &[1001]);
+        let far = Instant::now() + Duration::from_secs(5);
+        table.admit(0, 9, far).unwrap();
+        table.admit(0, 9, far).unwrap();
+        table.freeze(0, (0, u64::MAX));
+        assert!(
+            !table.drain(0, (0, u64::MAX), Duration::from_millis(20)),
+            "drained with calls in flight"
+        );
+        let t2 = Arc::clone(&table);
+        let drainer =
+            std::thread::spawn(move || t2.drain(0, (0, u64::MAX), Duration::from_secs(5)));
+        table.release(0, 9);
+        table.release(0, 9);
+        assert!(drainer.join().unwrap(), "drain missed the releases");
+        table.unfreeze(0, (0, u64::MAX));
+        // Keys outside the frozen range are unaffected by a partial freeze.
+        table.freeze(0, (100, 200));
+        table.admit(0, 99, far).unwrap();
+        table.release(0, 99);
+        table.unfreeze(0, (100, 200));
     }
 
     #[test]

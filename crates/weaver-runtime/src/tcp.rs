@@ -20,8 +20,9 @@
 //! underneath the connection machinery.
 
 use std::collections::HashMap;
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
@@ -32,7 +33,7 @@ use weaver_core::error::WeaverError;
 use weaver_core::instance::LiveComponents;
 use weaver_core::registry::ComponentRegistry;
 use weaver_metrics::{CallGraph, CallGraphSnapshot, MetricsRegistry};
-use weaver_routing::SliceAssignment;
+use weaver_routing::{ControllerOptions, RebalanceController, RebalanceDecision, SliceAssignment};
 use weaver_transport::fault::{FaultInjector, FaultSpec, FaultStream};
 use weaver_transport::{
     BufferPool, Connection, Pool, RequestHeader, ResponseBody, RpcHandler, Server, Status,
@@ -41,8 +42,15 @@ use weaver_transport::{
 
 use crate::dedup::DedupCache;
 use crate::dispatch::ProcletDispatcher;
-use crate::router::{RemoteRouter, RoutingState, RoutingTable};
+use crate::router::{next_idempotency_key, RemoteRouter, RoutingState, RoutingTable};
 use crate::single::{ComponentFault, FaultInjectable};
+
+/// How long a migration waits for in-flight calls on the frozen range to
+/// finish before aborting (and unfreezing with the old assignment intact).
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Per-call timeout on the migration control plane (export/import calls).
+const MIGRATION_CALL_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Options for a [`TcpProcess`] deployment.
 #[derive(Debug, Clone)]
@@ -173,12 +181,49 @@ struct Replica {
     _server: Server<WeaverFraming>,
 }
 
+/// One key range handed from one replica to another during a rebalance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigratedRange {
+    /// First routing hash in the range.
+    pub start: u64,
+    /// One past the last hash (`u64::MAX` inclusive, slice semantics).
+    pub end: u64,
+    /// Replica index the range moved from.
+    pub from: u32,
+    /// Replica index the range moved to.
+    pub to: u32,
+    /// State entries transferred for the range (0 for stateless moves).
+    pub entries: u64,
+}
+
+/// What one [`TcpProcess::rebalance_routed`] round did: the controller's
+/// decisions, the ranges actually migrated, and the epoch the new
+/// assignment committed at (unchanged epoch = no-op round).
+#[derive(Debug, Clone)]
+pub struct MigrationReport {
+    /// The controller's decisions, in application order (replayable via
+    /// [`weaver_routing::serialize_decisions`]).
+    pub decisions: Vec<RebalanceDecision>,
+    /// Ranges whose owner changed, with transfer counts.
+    pub migrated: Vec<MigratedRange>,
+    /// Routing-table epoch after the round.
+    pub epoch: u64,
+}
+
 /// A deployment whose data plane is real TCP on loopback.
 pub struct TcpProcess {
     registry: Arc<ComponentRegistry>,
     version: u64,
     router: Arc<RemoteRouter>,
+    table: Arc<RoutingTable>,
     replicas: Vec<Replica>,
+    /// Replica server addresses, by replica index — the migration driver
+    /// addresses old/new owners directly.
+    addrs: Vec<SocketAddr>,
+    /// Fault-free connections for the migration control plane: state
+    /// handoffs must not be subject to the chaos the data plane is under
+    /// (a failed handoff aborts the migration; it must not corrupt it).
+    migration_pool: Pool<WeaverFraming>,
     faults: SharedFaults,
     /// One injector per dialed connection, in dial order (empty unless
     /// [`TcpOptions::fault_spec`] was set).
@@ -282,7 +327,10 @@ impl TcpProcess {
             registry,
             version,
             router,
+            table,
             replicas,
+            addrs,
+            migration_pool: Pool::new(),
             faults,
             injectors,
         }))
@@ -358,6 +406,271 @@ impl TcpProcess {
         }
         Ok(())
     }
+
+    /// The shared routing table (assignments, epoch, per-slice load, and
+    /// the migration gate) — tests and benches read it to observe a
+    /// rebalance from the outside.
+    pub fn routing_table(&self) -> &Arc<RoutingTable> {
+        &self.table
+    }
+
+    /// Replaces a routed component's slice assignment wholesale (epoch
+    /// bump, no state handoff). A test/bench hook for setting up a
+    /// deliberately skewed starting point; live rebalancing goes through
+    /// [`TcpProcess::rebalance_routed`].
+    pub fn install_routed_assignment(
+        &self,
+        component: &str,
+        assignment: SliceAssignment,
+    ) -> Result<u64, WeaverError> {
+        let id = self.registry.id_of(component)?;
+        assignment.validate().map_err(WeaverError::app)?;
+        if assignment.replica_count as usize != self.replicas.len() {
+            return Err(WeaverError::app(format!(
+                "assignment names {} replicas, deployment has {}",
+                assignment.replica_count,
+                self.replicas.len()
+            )));
+        }
+        Ok(self.table.install_assignment(id, assignment))
+    }
+
+    /// Runs one controller round for a routed component and migrates live:
+    /// plan from observed per-slice load, then for every range whose owner
+    /// changes — freeze (new calls queue, not drop), drain in-flight calls
+    /// to the old owner, hand the range's state off over the transport,
+    /// commit the new assignment (epoch bump), unfreeze. Queued calls then
+    /// resolve against the new owner, which already holds the state — the
+    /// A8 per-key monotonicity invariant holds across the move.
+    ///
+    /// Components without `export_keys`/`import_keys` methods migrate
+    /// statelessly (ownership moves, state starts fresh — cache
+    /// semantics). Any handoff failure aborts the whole round: ranges are
+    /// unfrozen, the old assignment stays, exported state is re-imported
+    /// to its source.
+    pub fn rebalance_routed(
+        &self,
+        component: &str,
+        options: &ControllerOptions,
+    ) -> Result<MigrationReport, WeaverError> {
+        let id = self.registry.id_of(component)?;
+        let registration = self.registry.get(id)?;
+        let current = self.table.assignment_of(id).ok_or_else(|| {
+            WeaverError::app(format!("{component} has no slice assignment (not routed?)"))
+        })?;
+        let Some(report) = self.table.slice_load(id) else {
+            // No routed traffic observed yet: nothing to decide from.
+            return Ok(MigrationReport {
+                decisions: Vec::new(),
+                migrated: Vec::new(),
+                epoch: self.table.epoch(),
+            });
+        };
+        let controller = RebalanceController::new(options.clone());
+        let plan = controller.plan(&current, &report.requests, &report.medians);
+        if plan.is_noop() {
+            return Ok(MigrationReport {
+                decisions: plan.decisions,
+                migrated: Vec::new(),
+                epoch: self.table.epoch(),
+            });
+        }
+
+        // Decisions only split and move, so every new slice lies inside
+        // exactly one old slice: the old owner of a new slice is the old
+        // owner of its start.
+        let moves: Vec<MigratedRange> = plan
+            .assignment
+            .slices
+            .iter()
+            .filter_map(|s| {
+                let from = current.replica_for(s.start).expect("covered keyspace");
+                (from != s.replica).then_some(MigratedRange {
+                    start: s.start,
+                    end: s.end,
+                    from,
+                    to: s.replica,
+                    entries: 0,
+                })
+            })
+            .collect();
+
+        let export_method = registration
+            .methods
+            .iter()
+            .position(|m| m.name == "export_keys");
+        let import_method = registration
+            .methods
+            .iter()
+            .position(|m| m.name == "import_keys");
+
+        // Freeze every moving range up front: from here to unfreeze, no
+        // new routed call for these keys launches.
+        for m in &moves {
+            self.table.freeze(id, (m.start, m.end));
+        }
+        let unfreeze_all = |table: &RoutingTable| {
+            for m in &moves {
+                table.unfreeze(id, (m.start, m.end));
+            }
+        };
+
+        // Drain: wait for calls admitted before the freeze to finish on
+        // the old owners.
+        for m in &moves {
+            if !self.table.drain(id, (m.start, m.end), DRAIN_TIMEOUT) {
+                unfreeze_all(&self.table);
+                return Err(WeaverError::app(format!(
+                    "migration aborted: range [{:#x}, {:#x}) did not drain",
+                    m.start, m.end
+                )));
+            }
+        }
+
+        // Hand off state for each moving range. On failure, roll back:
+        // re-import whatever was already exported to its source replica,
+        // unfreeze, keep the old assignment.
+        let mut migrated = Vec::with_capacity(moves.len());
+        if let (Some(export), Some(import)) = (export_method, import_method) {
+            let mut done: Vec<(u32, Vec<u8>)> = Vec::new();
+            let mut failure: Option<WeaverError> = None;
+            'transfer: for m in &moves {
+                let blob = match self.migration_call_export(id, export as u32, m) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        failure = Some(e);
+                        break 'transfer;
+                    }
+                };
+                match self.migration_call_import(id, import as u32, m.to, &blob) {
+                    Ok(entries) => {
+                        done.push((m.from, blob));
+                        migrated.push(MigratedRange {
+                            entries,
+                            ..m.clone()
+                        });
+                    }
+                    Err(e) => {
+                        // The export already removed the state from the
+                        // source; put it back before aborting.
+                        if let Err(undo) =
+                            self.migration_call_import(id, import as u32, m.from, &blob)
+                        {
+                            failure = Some(WeaverError::app(format!(
+                                "import failed ({e}) and rollback failed ({undo})"
+                            )));
+                        } else {
+                            failure = Some(e);
+                        }
+                        break 'transfer;
+                    }
+                }
+            }
+            if let Some(e) = failure {
+                for (from, blob) in done {
+                    // Best-effort: pull completed transfers back so the old
+                    // assignment (which stays live) still finds the state.
+                    let _ = self.migration_call_import(id, import as u32, from, &blob);
+                }
+                unfreeze_all(&self.table);
+                return Err(e);
+            }
+        } else {
+            // Stateless component: ownership moves, state starts fresh.
+            migrated = moves.clone();
+        }
+
+        // Commit: the new assignment becomes visible (epoch bump), then
+        // queued calls drain to the new owners.
+        let epoch = self.table.install_assignment(id, plan.assignment);
+        unfreeze_all(&self.table);
+        Ok(MigrationReport {
+            decisions: plan.decisions,
+            migrated,
+            epoch,
+        })
+    }
+
+    fn migration_header(&self, component: u32, method: u32) -> RequestHeader {
+        RequestHeader {
+            component,
+            method,
+            version: self.version,
+            deadline_nanos: MIGRATION_CALL_TIMEOUT.as_nanos() as u64,
+            trace_id: 0,
+            span_id: 0,
+            routing: None,
+            idempotency: Some(next_idempotency_key()),
+            attempt: 0,
+        }
+    }
+
+    fn replica_addr(&self, replica: u32) -> Result<SocketAddr, WeaverError> {
+        self.addrs
+            .get(replica as usize)
+            .copied()
+            .ok_or_else(|| WeaverError::Unavailable {
+                detail: format!("replica {replica} out of range ({})", self.addrs.len()),
+            })
+    }
+
+    /// One call on the migration control plane, returning the decoded
+    /// method reply.
+    fn migration_call(
+        &self,
+        addr: SocketAddr,
+        header: &RequestHeader,
+        args: Vec<u8>,
+    ) -> Result<Vec<u8>, WeaverError> {
+        let body = self
+            .migration_pool
+            .call(addr, header, &args, Some(MIGRATION_CALL_TIMEOUT))
+            .map_err(WeaverError::from)?;
+        match body.status {
+            Status::Ok => Ok(body.payload.to_vec()),
+            Status::Error => Err(
+                weaver_codec::decode_from_slice(&body.payload).unwrap_or_else(|e| {
+                    WeaverError::Codec {
+                        detail: format!("undecodable remote error: {e}"),
+                    }
+                }),
+            ),
+        }
+    }
+
+    fn migration_call_export(
+        &self,
+        component: u32,
+        method: u32,
+        m: &MigratedRange,
+    ) -> Result<Vec<u8>, WeaverError> {
+        let mut args = Vec::new();
+        weaver_codec::wire::Encode::encode(&m.start, &mut args);
+        weaver_codec::wire::Encode::encode(&m.end, &mut args);
+        let reply = self.migration_call(
+            self.replica_addr(m.from)?,
+            &self.migration_header(component, method),
+            args,
+        )?;
+        weaver_core::client::decode_reply::<Vec<u8>>(&reply)
+    }
+
+    fn migration_call_import(
+        &self,
+        component: u32,
+        method: u32,
+        to: u32,
+        blob: &[u8],
+    ) -> Result<u64, WeaverError> {
+        let mut args = Vec::new();
+        weaver_codec::wire::Encode::encode(&blob.to_vec(), &mut args);
+        let reply = self.migration_call(
+            self.replica_addr(to)?,
+            &self.migration_header(component, method),
+            args,
+        )?;
+        weaver_core::client::decode_reply::<u64>(&reply)
+    }
 }
 
 impl FaultInjectable for TcpProcess {
@@ -413,9 +726,17 @@ mod tests {
 
     /// A stateful routed component: per-key bump counts live in whichever
     /// replica the key routes to, so affinity violations are observable as
-    /// counts that fail to increment.
+    /// counts that fail to increment. Implements the state-handoff pair, so
+    /// a live migration carries the counts to the new owner.
     trait Counter: Send + Sync + 'static {
         fn bump(&self, ctx: &CallContext, key: u64) -> Result<u64, WeaverError>;
+        fn export_keys(
+            &self,
+            ctx: &CallContext,
+            range_start: u64,
+            range_end: u64,
+        ) -> Result<Vec<u8>, WeaverError>;
+        fn import_keys(&self, ctx: &CallContext, blob: Vec<u8>) -> Result<u64, WeaverError>;
     }
 
     struct CounterClient(ClientHandle);
@@ -426,14 +747,42 @@ mod tests {
                 .call(ctx, 0, Some(key), weaver_codec::encode_to_vec(&key))?;
             weaver_core::client::decode_reply(&reply)
         }
+        fn export_keys(
+            &self,
+            ctx: &CallContext,
+            range_start: u64,
+            range_end: u64,
+        ) -> Result<Vec<u8>, WeaverError> {
+            let mut args = Vec::new();
+            weaver_codec::wire::Encode::encode(&range_start, &mut args);
+            weaver_codec::wire::Encode::encode(&range_end, &mut args);
+            let reply = self.0.call(ctx, 1, None, args)?;
+            weaver_core::client::decode_reply(&reply)
+        }
+        fn import_keys(&self, ctx: &CallContext, blob: Vec<u8>) -> Result<u64, WeaverError> {
+            let reply = self
+                .0
+                .call(ctx, 2, None, weaver_codec::encode_to_vec(&blob))?;
+            weaver_core::client::decode_reply(&reply)
+        }
     }
 
     impl ComponentInterface for dyn Counter {
         const NAME: &'static str = "test.Counter";
-        const METHODS: &'static [MethodSpec] = &[MethodSpec {
-            name: "bump",
-            routed: true,
-        }];
+        const METHODS: &'static [MethodSpec] = &[
+            MethodSpec {
+                name: "bump",
+                routed: true,
+            },
+            MethodSpec {
+                name: "export_keys",
+                routed: false,
+            },
+            MethodSpec {
+                name: "import_keys",
+                routed: false,
+            },
+        ];
         fn client(handle: ClientHandle) -> Arc<Self> {
             Arc::new(CounterClient(handle))
         }
@@ -447,6 +796,22 @@ mod tests {
                 0 => {
                     let key: u64 = weaver_codec::decode_from_slice(args)?;
                     Ok(weaver_core::client::encode_reply(&this.bump(ctx, key)))
+                }
+                1 => {
+                    let mut r = weaver_codec::reader::Reader::new(args);
+                    let start = <u64 as weaver_codec::wire::Decode>::decode(&mut r)
+                        .map_err(WeaverError::from)?;
+                    let end = <u64 as weaver_codec::wire::Decode>::decode(&mut r)
+                        .map_err(WeaverError::from)?;
+                    Ok(weaver_core::client::encode_reply(
+                        &this.export_keys(ctx, start, end),
+                    ))
+                }
+                2 => {
+                    let blob: Vec<u8> = weaver_codec::decode_from_slice(args)?;
+                    Ok(weaver_core::client::encode_reply(
+                        &this.import_keys(ctx, blob),
+                    ))
                 }
                 m => Err(WeaverError::UnknownMethod {
                     component: Self::NAME.into(),
@@ -466,6 +831,44 @@ mod tests {
             let n = counts.entry(key).or_insert(0);
             *n += 1;
             Ok(*n)
+        }
+        fn export_keys(
+            &self,
+            _: &CallContext,
+            range_start: u64,
+            range_end: u64,
+        ) -> Result<Vec<u8>, WeaverError> {
+            let in_range = |k: u64| {
+                k >= range_start && (k < range_end || (range_end == u64::MAX && k == u64::MAX))
+            };
+            let mut counts = self.counts.lock();
+            let moving: Vec<u64> = counts.keys().copied().filter(|&k| in_range(k)).collect();
+            let entries = moving
+                .into_iter()
+                .map(|k| weaver_transport::StateEntry {
+                    key_hash: k,
+                    payload: weaver_codec::encode_to_vec(
+                        &counts.remove(&k).expect("key just listed"),
+                    ),
+                })
+                .collect();
+            Ok(weaver_transport::StateBlob {
+                component: 0,
+                range_start,
+                range_end,
+                entries,
+            }
+            .encode())
+        }
+        fn import_keys(&self, _: &CallContext, blob: Vec<u8>) -> Result<u64, WeaverError> {
+            let blob = weaver_transport::StateBlob::decode(&blob).map_err(WeaverError::app)?;
+            let mut counts = self.counts.lock();
+            let n = blob.entries.len() as u64;
+            for e in &blob.entries {
+                let count: u64 = weaver_codec::decode_from_slice(&e.payload)?;
+                *counts.entry(e.key_hash).or_insert(0) += count;
+            }
+            Ok(n)
         }
     }
     impl Component for CounterImpl {
@@ -534,6 +937,97 @@ mod tests {
         ));
         dep.inject_fault("test.Counter", ComponentFault::default());
         assert_eq!(counter.bump(&ctx, 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn live_rebalance_migrates_state_and_preserves_counts() {
+        let dep = TcpProcess::deploy(
+            registry(),
+            TcpOptions {
+                replicas: 2,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        // Start deliberately skewed: four slices, all on replica 0.
+        let width = u64::MAX / 4;
+        let all_on_zero = SliceAssignment {
+            version: 1,
+            replica_count: 2,
+            slices: (0..4)
+                .map(|i| weaver_routing::Slice {
+                    start: i * width,
+                    end: if i == 3 { u64::MAX } else { (i + 1) * width },
+                    replica: 0,
+                })
+                .collect(),
+        };
+        dep.install_routed_assignment("test.Counter", all_on_zero)
+            .unwrap();
+
+        let counter = dep.get::<dyn Counter>().unwrap();
+        let ctx = dep.root_context();
+        // One key per slice (the Counter routes on the raw key), bumped to
+        // a known count before the migration.
+        let keys: Vec<u64> = (0..4).map(|i| i * width + width / 2).collect();
+        for _ in 0..3 {
+            for &key in &keys {
+                counter.bump(&ctx, key).unwrap();
+            }
+        }
+
+        let epoch_before = dep.routing_table().epoch();
+        let report = dep
+            .rebalance_routed("test.Counter", &ControllerOptions::default())
+            .unwrap();
+        assert!(
+            !report.migrated.is_empty(),
+            "all-on-one-replica load should trigger moves: {report:?}"
+        );
+        assert!(report.epoch > epoch_before, "epoch must bump on commit");
+        assert!(
+            report.migrated.iter().any(|m| m.entries > 0),
+            "moved ranges should carry state: {report:?}"
+        );
+        // Both replicas now own part of the keyspace.
+        let assignment = dep
+            .routing_table()
+            .assignment_of(
+                // test.Counter is the only component: id 0.
+                0,
+            )
+            .unwrap();
+        let shares = assignment.share_per_replica();
+        assert!(
+            shares.iter().all(|&s| s > 0.0),
+            "one replica still owns everything: {shares:?}"
+        );
+        // A8 across the rebalance: every key's count continues from 3 —
+        // moved keys found their state on the new owner.
+        for &key in &keys {
+            assert_eq!(counter.bump(&ctx, key).unwrap(), 4, "key {key:#x}");
+        }
+    }
+
+    #[test]
+    fn rebalance_without_traffic_is_a_noop() {
+        let dep = TcpProcess::deploy(
+            registry(),
+            TcpOptions {
+                replicas: 2,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        let epoch = dep.routing_table().epoch();
+        let report = dep
+            .rebalance_routed("test.Counter", &ControllerOptions::default())
+            .unwrap();
+        assert!(report.decisions.is_empty());
+        assert!(report.migrated.is_empty());
+        assert_eq!(report.epoch, epoch);
     }
 
     #[test]

@@ -262,6 +262,114 @@ impl ExactlyOnceCheckout {
     }
 }
 
+/// The A8 checker for routed components under live rebalancing (Slicer
+/// v2): per-key sequence numbers must never regress — when a slice
+/// migrates, its state must arrive at the new owner before traffic does —
+/// and no key may ever be observed at two replicas concurrently — the
+/// freeze/drain protocol means ownership is exclusive at every instant.
+///
+/// Workloads feed it from the outside: [`SliceMonotonicity::observe_start`]
+/// / [`SliceMonotonicity::observe_end`] bracket each per-key call with the
+/// replica resolved for it, and [`SliceMonotonicity::record_success`]
+/// records the per-key sequence number a successful call returned. Failed
+/// calls record nothing (chaos may kill a call at any point; gaps are
+/// fine, regressions never are).
+#[derive(Default)]
+pub struct SliceMonotonicity {
+    state: Mutex<SliceMonotonicityState>,
+}
+
+#[derive(Default)]
+struct SliceMonotonicityState {
+    /// key → highest sequence number a successful call returned.
+    last_seq: HashMap<u64, u64>,
+    /// key → (replica serving it, calls in flight there).
+    active: HashMap<u64, (u32, usize)>,
+    /// Successful observations recorded (workload sanity).
+    recorded: u64,
+    violations: Vec<String>,
+}
+
+impl SliceMonotonicity {
+    /// An empty checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a call for `key` in flight at replica `owner`. A different
+    /// replica already serving the key is a dual-ownership violation.
+    pub fn observe_start(&self, key: u64, owner: u32) {
+        let state = &mut *self.state.lock();
+        match state.active.get_mut(&key) {
+            Some((existing, depth)) => {
+                if *existing != owner {
+                    state.violations.push(format!(
+                        "key {key:#x} observed at replica {owner} while replica {existing} is still serving it"
+                    ));
+                }
+                *depth += 1;
+            }
+            None => {
+                state.active.insert(key, (owner, 1));
+            }
+        }
+    }
+
+    /// Ends one in-flight observation for `key`.
+    pub fn observe_end(&self, key: u64) {
+        let mut state = self.state.lock();
+        if let Some((_, depth)) = state.active.get_mut(&key) {
+            *depth -= 1;
+            if *depth == 0 {
+                state.active.remove(&key);
+            }
+        }
+    }
+
+    /// Records the per-key sequence number a *successful* call returned.
+    /// Sequence numbers must strictly increase per key: an equal or lower
+    /// value means the key's state went backwards (lost in a handoff, or
+    /// served by a replica that never had it).
+    pub fn record_success(&self, key: u64, seq: u64) {
+        let state = &mut *self.state.lock();
+        state.recorded += 1;
+        match state.last_seq.get_mut(&key) {
+            Some(last) => {
+                if seq <= *last {
+                    state.violations.push(format!(
+                        "key {key:#x} sequence regressed: observed {seq} after {last}"
+                    ));
+                } else {
+                    *last = seq;
+                }
+            }
+            None => {
+                state.last_seq.insert(key, seq);
+            }
+        }
+    }
+
+    /// Successful observations recorded so far (sanity: the workload did
+    /// something before the invariant is declared to have held).
+    pub fn recorded(&self) -> u64 {
+        self.state.lock().recorded
+    }
+
+    /// All violations seen so far, oldest first (empty = invariant held).
+    pub fn check(&self) -> Result<(), String> {
+        let state = self.state.lock();
+        if state.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} violation(s): {}",
+                state.violations.len(),
+                state.violations.join("; ")
+            ))
+        }
+    }
+}
+
 /// What one [`RolloutHarness::run`] observed.
 #[derive(Debug)]
 pub struct RolloutReport {
@@ -468,6 +576,49 @@ mod tests {
         assert!(err.contains("another user"), "{err}");
 
         assert_eq!(model.acked_adds(), 4);
+    }
+
+    #[test]
+    fn slice_monotonicity_accepts_increasing_sequences_with_gaps() {
+        let inv = SliceMonotonicity::new();
+        inv.observe_start(7, 0);
+        inv.record_success(7, 1);
+        inv.observe_end(7);
+        // Migration to replica 2 between calls: fine, ownership is serial.
+        inv.observe_start(7, 2);
+        inv.record_success(7, 5); // gaps are fine (chaos ate some acks)
+        inv.observe_end(7);
+        assert_eq!(inv.recorded(), 2);
+        inv.check().unwrap();
+    }
+
+    #[test]
+    fn slice_monotonicity_rejects_sequence_regression() {
+        let inv = SliceMonotonicity::new();
+        inv.record_success(7, 5);
+        inv.record_success(7, 5); // equal = regression: state did not advance
+        let err = inv.check().unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn slice_monotonicity_rejects_dual_ownership() {
+        let inv = SliceMonotonicity::new();
+        inv.observe_start(9, 0);
+        // A second call for the same key lands at another replica while
+        // the first is still in flight: the freeze/drain protocol is broken.
+        inv.observe_start(9, 1);
+        inv.observe_end(9);
+        inv.observe_end(9);
+        let err = inv.check().unwrap_err();
+        assert!(err.contains("replica 1"), "{err}");
+        // Nested calls at the *same* replica are fine.
+        let ok = SliceMonotonicity::new();
+        ok.observe_start(9, 0);
+        ok.observe_start(9, 0);
+        ok.observe_end(9);
+        ok.observe_end(9);
+        ok.check().unwrap();
     }
 
     #[test]

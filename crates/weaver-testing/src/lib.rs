@@ -21,9 +21,11 @@
 //!   deterministic regression test.
 //! * [`invariants`] — what chaos asserts: a model-based cart-consistency
 //!   checker, an exactly-once checkout checker for saga-shaped workflows
-//!   (every charge resolved by exactly one order or refund), and a
+//!   (every charge resolved by exactly one order or refund), a
 //!   blue/green rollout harness enforcing the §4.4
-//!   no-cross-version-communication invariant under fire.
+//!   no-cross-version-communication invariant under fire, and a
+//!   slice-monotonicity checker for live rebalancing (per-key sequence
+//!   numbers never regress across a migration; no dual ownership).
 //!
 //! Transport-level fault injection (delay/corrupt/duplicate/truncate/sever
 //! at the socket boundary) lives in `weaver_transport::fault` and is wired
@@ -41,6 +43,8 @@ pub use chaos::{
     apply, eventually, parse_log, replay, seed_from_env, serialize_log, write_log_artifact,
     ChaosAction, ChaosOptions, ChaosRunner, ChaosSchedule,
 };
-pub use invariants::{CartConsistency, ExactlyOnceCheckout, RolloutHarness, RolloutReport};
+pub use invariants::{
+    CartConsistency, ExactlyOnceCheckout, RolloutHarness, RolloutReport, SliceMonotonicity,
+};
 pub use matrix::{run_matrix, run_matrix_with, MatrixDeployment, MatrixOptions, Placement};
 pub use weavertest::{run_both, run_colocated, run_marshaled};

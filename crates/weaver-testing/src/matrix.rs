@@ -28,6 +28,7 @@ use weaver_core::registry::ComponentRegistry;
 use weaver_runtime::{
     ComponentFault, FaultInjectable, SingleMode, SingleProcess, TcpOptions, TcpProcess,
 };
+use weaver_transport::FaultSpec;
 
 /// One cell of the deployment matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +72,10 @@ pub struct MatrixOptions {
     pub replicas: usize,
     /// Worker threads per TCP replica server.
     pub workers: usize,
+    /// Transport-level fault injection for the TCP placements (seeded
+    /// delay/duplicate/truncate/sever at the socket boundary). The
+    /// in-process placements have no wire and ignore it.
+    pub fault_spec: Option<FaultSpec>,
 }
 
 impl Default for MatrixOptions {
@@ -79,6 +84,7 @@ impl Default for MatrixOptions {
             placements: Placement::ALL.to_vec(),
             replicas: 3,
             workers: 16,
+            fault_spec: None,
         }
     }
 }
@@ -114,7 +120,7 @@ impl MatrixDeployment {
                 TcpOptions {
                     replicas: 1,
                     workers: options.workers,
-                    fault_spec: None,
+                    fault_spec: options.fault_spec.clone(),
                 },
                 1,
             )?),
@@ -123,7 +129,7 @@ impl MatrixDeployment {
                 TcpOptions {
                     replicas: options.replicas,
                     workers: options.workers,
-                    fault_spec: None,
+                    fault_spec: options.fault_spec.clone(),
                 },
                 1,
             )?),
@@ -184,6 +190,17 @@ impl MatrixDeployment {
         match &self.inner {
             Inner::Single(_) => 0,
             Inner::Tcp(d) => d.client_in_flight(),
+        }
+    }
+
+    /// The TCP-backed deployment under this cell, when there is one. The
+    /// live-rebalance machinery (`rebalance_routed`, routed assignment
+    /// installation, the shared routing table) only exists on the TCP
+    /// path; in-process placements return `None`.
+    pub fn tcp(&self) -> Option<&Arc<TcpProcess>> {
+        match &self.inner {
+            Inner::Single(_) => None,
+            Inner::Tcp(d) => Some(d),
         }
     }
 

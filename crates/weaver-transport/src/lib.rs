@@ -70,6 +70,7 @@ pub mod reactor {
     }
 }
 pub mod server;
+pub mod state;
 mod writer;
 
 pub use buf::{BufferPool, PoolStats, PooledBuf, WireBuf};
@@ -82,3 +83,4 @@ pub use frame::{
 };
 pub use reactor::{reactor_snapshot, ReactorSnapshot};
 pub use server::{RpcHandler, Server};
+pub use state::{StateBlob, StateEntry};
