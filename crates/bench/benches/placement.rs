@@ -1,0 +1,219 @@
+//! Live placement rung (A12): the metrics → placement → migration loop,
+//! measured before and after.
+//!
+//! Adversarial start is the deployment default: **everything routed** over
+//! loopback TCP — the configuration where a `get_product` that costs
+//! ~158ns colocated pays the full ~22.5µs wire round trip (the ~140× gap
+//! that motivates the controller). The rung measures per-call catalog
+//! latency on the routed placement, lets the placement controller watch
+//! the live call-graph signal and migrate the hot components (freeze →
+//! drain → local re-dispatch → epoch bump) until its plan is a no-op,
+//! then measures the same workload again. Printed numbers (p50/p99 per
+//! phase, migrations, host record) feed BENCH_placement.json.
+//!
+//! The p50-improvement assertion is **paired** (both phases measured in
+//! this run) but still gated on multi-core hosts: with one CPU, client
+//! and replica servers timeshare a core and even the routed phase is
+//! scheduler-bound. Convergence and migration assertions are CPU-count
+//! independent and always enforced.
+//!
+//! CI runs this rung in full (the vendored criterion shim skips bench
+//! bodies under `--test`), so every push exercises a live migration from
+//! a cold, deliberately bad placement.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{host_record, latency_assertions_enabled};
+use boutique::prelude::*;
+use weaver_metrics::PlacementSignalBuilder;
+use weaver_placement::{ComponentPlacement, PlacementController};
+use weaver_runtime::{TcpOptions, TcpProcess};
+
+const CATALOG: &str = "boutique.ProductCatalog";
+const CART: &str = "boutique.CartService";
+const CLIENTS: usize = 4;
+const CALLS_PER_CLIENT: usize = 400;
+const MAX_ROUNDS: usize = 6;
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
+/// Drives `CLIENTS × calls` catalog reads (plus a trickle of cart writes
+/// so the routed component stays warm) and returns sorted per-call
+/// `get_product` latencies in nanoseconds. This is also what feeds the
+/// call-graph signal the controller consumes.
+fn drive(dep: &Arc<TcpProcess>, prefix: &str, calls: usize) -> Vec<u64> {
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                scope.spawn(move || {
+                    let catalog = dep.get::<dyn ProductCatalog>().expect("catalog client");
+                    let cart = dep.get::<dyn CartService>().expect("cart client");
+                    let mut lat = Vec::with_capacity(calls);
+                    for op in 0..calls {
+                        let ctx = dep.root_context().with_timeout(Duration::from_secs(10));
+                        let started = Instant::now();
+                        catalog
+                            .get_product(&ctx, "OLJCESPC7Z".into())
+                            .expect("get_product");
+                        lat.push(started.elapsed().as_nanos() as u64);
+                        if op % 20 == 0 {
+                            cart.add_item(
+                                &ctx,
+                                format!("{prefix}-{client}-{}", op % 5),
+                                CartItem {
+                                    product_id: "OLJCESPC7Z".into(),
+                                    quantity: 1,
+                                },
+                            )
+                            .expect("add_item");
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    latencies.sort_unstable();
+    latencies
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let dep = TcpProcess::deploy(
+        boutique::registry(),
+        TcpOptions {
+            replicas: 2,
+            workers: 2,
+            fault_spec: None,
+        },
+        1,
+    )
+    .expect("deploy");
+    assert_eq!(
+        dep.placement_state().colocated_count(),
+        0,
+        "the starting placement must be the bad one: everything routed"
+    );
+
+    // Warmup, then the routed phase: every catalog read crosses the wire.
+    drive(&dep, "warm", 30);
+    let routed = drive(&dep, "hot", CALLS_PER_CLIENT);
+    let (routed_p50, routed_p99) = (percentile(&routed, 50.0), percentile(&routed, 99.0));
+
+    // The control loop: observe the decayed signal, plan, migrate live,
+    // until the controller is satisfied.
+    let controller = PlacementController::default();
+    let mut builder = PlacementSignalBuilder::halving();
+    let mut rounds = 0usize;
+    let mut migrations = 0usize;
+    let mut consolidated = 0u64;
+    for _ in 0..MAX_ROUNDS {
+        builder.observe(&dep.callgraph());
+        let signal = builder.signal();
+        let report = dep
+            .placement_round(&controller, &signal)
+            .expect("placement round");
+        rounds += 1;
+        migrations += report.migrated.iter().filter(|m| m.changed).count();
+        consolidated += report
+            .migrated
+            .iter()
+            .map(|m| m.consolidated_entries)
+            .sum::<u64>();
+        if report.is_noop() {
+            break;
+        }
+        drive(&dep, "mid", 50); // fresh signal for the next round
+    }
+
+    // Colocated phase: the same workload on the migrated placement.
+    let colocated = drive(&dep, "col", CALLS_PER_CLIENT);
+    let (col_p50, col_p99) = (percentile(&colocated, 50.0), percentile(&colocated, 99.0));
+
+    println!(
+        "placement: routed p50/p99 = {:.1}/{:.1} us, colocated p50/p99 = {:.1}/{:.1} us \
+         ({:.1}x p50)",
+        routed_p50 as f64 / 1e3,
+        routed_p99 as f64 / 1e3,
+        col_p50 as f64 / 1e3,
+        col_p99 as f64 / 1e3,
+        routed_p50 as f64 / (col_p50 as f64).max(1.0),
+    );
+    println!(
+        "placement: {rounds} controller rounds, {migrations} live migrations, \
+         {consolidated} state entries consolidated; {}",
+        host_record(true)
+    );
+
+    // Convergence assertions: CPU-count independent, always enforced.
+    let state = dep.placement_state();
+    assert!(migrations > 0, "no live migration happened");
+    assert!(
+        rounds < MAX_ROUNDS,
+        "controller never went quiet: {state:?}"
+    );
+    assert_eq!(
+        state.placement_of(CATALOG),
+        Some(ComponentPlacement::Colocated),
+        "the hammered catalog must end colocated: {state:?}"
+    );
+    assert_eq!(
+        state.placement_of(CART),
+        Some(ComponentPlacement::Colocated),
+        "the warm cart must end colocated: {state:?}"
+    );
+
+    // Latency assertion: the migrated call path must be ≥5× faster at the
+    // median. Multi-core only — see the module doc.
+    if latency_assertions_enabled() {
+        assert!(
+            col_p50 * 5 <= routed_p50,
+            "expected ≥5x p50 improvement on the migrated path: \
+             routed {routed_p50}ns, colocated {col_p50}ns"
+        );
+    } else {
+        println!(
+            "placement: 1-CPU host, latency gate skipped \
+             (routed {routed_p50}ns, colocated {col_p50}ns)"
+        );
+    }
+
+    // Criterion rung: steady-state catalog read on the migrated placement.
+    let catalog = dep.get::<dyn ProductCatalog>().expect("catalog client");
+    let mut group = c.benchmark_group("placement");
+    group.bench_function("get_product_colocated", |b| {
+        b.iter(|| {
+            let ctx = dep.root_context().with_timeout(Duration::from_secs(10));
+            catalog
+                .get_product(&ctx, "OLJCESPC7Z".into())
+                .expect("get_product")
+        })
+    });
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(15)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_placement
+}
+criterion_main!(benches);

@@ -13,3 +13,35 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// Host CPU count, as every `BENCH_*.json` record pins it (`host_cpus`).
+///
+/// Latency comparisons between placements are only meaningful when client
+/// and server threads can actually run in parallel; on a 1-CPU host every
+/// phase timeshares one core and p50/p99 measures the scheduler, not the
+/// placement (the A11 balanced-phase note in `BENCH_slicer.json`).
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Whether latency assertions should be enforced on this host. Load-share
+/// and convergence assertions are CPU-count independent and stay enforced
+/// everywhere; latency (p50/p99 ratio) gates only run when
+/// [`host_cpus`] > 1.
+pub fn latency_assertions_enabled() -> bool {
+    host_cpus() > 1
+}
+
+/// One-line host record for a bench printout, mirrored verbatim into the
+/// `BENCH_*.json` it feeds. `paired_baseline` is true when the bench
+/// measured its before *and* after phases in the same run (paired ratios
+/// stay meaningful even on noisy or 1-CPU hosts), false when the
+/// "before" numbers were pinned from an earlier commit's run.
+pub fn host_record(paired_baseline: bool) -> String {
+    format!(
+        "host_cpus={} paired_baseline={paired_baseline}",
+        host_cpus()
+    )
+}

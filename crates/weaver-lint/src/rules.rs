@@ -212,14 +212,27 @@ fn l1_wire_data(model: &Model, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Methods that belong to the runtime's migration control plane, not the
+/// request plane: the state-handoff pair the placement and rebalance
+/// controllers drive while the target component's admission gate is
+/// frozen. A control-plane edge cannot create a dispatch-order cycle —
+/// it only ever runs with the callee quiesced — so L2 ignores it.
+const CONTROL_PLANE_METHODS: &[&str] = &["export_keys", "import_keys"];
+
 /// L2: depth-first search for cycles over the component-level edges
 /// (methods collapsed). Each cycle is reported once, canonicalized by
-/// rotating to its lexicographically smallest member.
+/// rotating to its lexicographically smallest member. Control-plane
+/// edges ([`CONTROL_PLANE_METHODS`]) are excluded: a migration driver
+/// calling `export_keys`/`import_keys` back into the component family it
+/// serves is the freeze/drain handoff, not a request-plane dependency.
 fn l2_acyclic_graph(model: &Model, diags: &mut Vec<Diagnostic>) {
     use std::collections::{BTreeMap, BTreeSet};
     let resolved = resolve_calls(model);
     let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     for r in &resolved {
+        if CONTROL_PLANE_METHODS.contains(&r.method.as_str()) {
+            continue;
+        }
         adj.entry(r.caller.clone())
             .or_default()
             .insert(r.callee.clone());
@@ -599,6 +612,58 @@ mod tests {
         "#,
         );
         assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn l2_ignores_migration_control_plane_edges() {
+        // A migration driver calls the state-handoff pair back into the
+        // component family it serves. Without the control-plane carve-out
+        // this is a Store -> Driver -> Store cycle; with it, only the
+        // request-plane edge Store -> Driver remains, which is acyclic.
+        let src = |export: &str, import: &str| {
+            format!(
+                r#"
+                #[component(name = "app.Store")]
+                trait Store {{
+                    fn {export}(&self, ctx: &CallContext, range_start: u64, range_end: u64) -> Result<Vec<u8>, WeaverError>;
+                    fn {import}(&self, ctx: &CallContext, blob: Vec<u8>) -> Result<u64, WeaverError>;
+                }}
+                #[component(name = "app.Driver")]
+                trait Driver {{
+                    fn migrate(&self, ctx: &CallContext, key: u64) -> Result<(), WeaverError>;
+                }}
+                pub struct StoreImpl {{ driver: Arc<dyn Driver> }}
+                impl Component for StoreImpl {{ type Interface = dyn Store; }}
+                impl Store for StoreImpl {{
+                    fn {export}(&self, ctx: &CallContext, range_start: u64, range_end: u64) -> Result<Vec<u8>, WeaverError> {{
+                        self.driver.migrate(ctx, range_start)?;
+                        Ok(Vec::new())
+                    }}
+                    fn {import}(&self, ctx: &CallContext, blob: Vec<u8>) -> Result<u64, WeaverError> {{ Ok(0) }}
+                }}
+                pub struct DriverImpl {{ store: Arc<dyn Store> }}
+                impl Component for DriverImpl {{ type Interface = dyn Driver; }}
+                impl Driver for DriverImpl {{
+                    fn migrate(&self, ctx: &CallContext, key: u64) -> Result<(), WeaverError> {{
+                        let blob = self.store.{export}(ctx, key, key)?;
+                        self.store.{import}(ctx, blob)?;
+                        Ok(())
+                    }}
+                }}
+            "#
+            )
+        };
+        let diags = lint(&src("export_keys", "import_keys"));
+        assert!(
+            diags.iter().all(|d| d.rule != "L2"),
+            "control-plane handoff edges must not report a cycle: {diags:?}"
+        );
+        // The same shape through request-plane methods is still a cycle.
+        let diags = lint(&src("pull_state", "push_state"));
+        assert!(
+            diags.iter().any(|d| d.rule == "L2"),
+            "renamed request-plane edges must still cycle: {diags:?}"
+        );
     }
 
     #[test]

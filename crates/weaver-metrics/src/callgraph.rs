@@ -55,7 +55,12 @@ impl EdgeStats {
     }
 }
 
-struct EdgeCell {
+/// The live accumulator behind one call edge.
+///
+/// A handle ([`CallGraph::handle`]) pins the cell so hot paths can record
+/// repeatedly without re-hashing the string-keyed edge; every update is a
+/// relaxed atomic.
+pub struct EdgeCell {
     calls: std::sync::atomic::AtomicU64,
     request_bytes: std::sync::atomic::AtomicU64,
     response_bytes: std::sync::atomic::AtomicU64,
@@ -71,6 +76,67 @@ impl EdgeCell {
             response_bytes: std::sync::atomic::AtomicU64::new(0),
             errors: std::sync::atomic::AtomicU64::new(0),
             latency: Histogram::new(),
+        }
+    }
+
+    /// Records one completed call against this edge.
+    pub fn record(
+        &self,
+        request_bytes: usize,
+        response_bytes: usize,
+        latency_nanos: u64,
+        is_error: bool,
+    ) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.calls.fetch_add(1, Relaxed);
+        self.request_bytes.fetch_add(request_bytes as u64, Relaxed);
+        self.response_bytes
+            .fetch_add(response_bytes as u64, Relaxed);
+        if is_error {
+            self.errors.fetch_add(1, Relaxed);
+        }
+        self.latency.record(latency_nanos);
+    }
+
+    /// Loads the cumulative edge weight. Unlike a full [`EdgeStats`]
+    /// snapshot this never walks histogram buckets: five relaxed loads.
+    pub fn weight(&self) -> EdgeWeight {
+        use std::sync::atomic::Ordering::Relaxed;
+        EdgeWeight {
+            calls: self.calls.load(Relaxed),
+            request_bytes: self.request_bytes.load(Relaxed),
+            response_bytes: self.response_bytes.load(Relaxed),
+            errors: self.errors.load(Relaxed),
+            latency_sum_nanos: self.latency.sum(),
+        }
+    }
+}
+
+/// A cheap cumulative summary of one edge: counters plus the latency sum,
+/// with no distribution. This is what periodic pollers (the placement
+/// controller's signal builder, dashboards) should read when they do not
+/// need quantiles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, WeaverData)]
+pub struct EdgeWeight {
+    /// Number of calls.
+    pub calls: u64,
+    /// Total request payload bytes.
+    pub request_bytes: u64,
+    /// Total response payload bytes.
+    pub response_bytes: u64,
+    /// Number of calls that returned an error.
+    pub errors: u64,
+    /// Sum of call latencies in nanoseconds (mean = sum / calls).
+    pub latency_sum_nanos: u64,
+}
+
+impl EdgeWeight {
+    /// Mean call latency in nanoseconds (0 when no calls recorded).
+    pub fn mean_latency_nanos(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.latency_sum_nanos as f64 / self.calls as f64
         }
     }
 }
@@ -90,6 +156,27 @@ impl CallGraph {
         Self::default()
     }
 
+    /// Pins the accumulator cell for an edge, creating it on first sight.
+    ///
+    /// Callers that record the same edge repeatedly should hold the handle
+    /// (or use an [`EdgeHandleCache`]) instead of paying the string-keyed
+    /// hash lookup per call.
+    pub fn handle(&self, edge: &CallEdge) -> std::sync::Arc<EdgeCell> {
+        let edges = self.edges.read();
+        match edges.get(edge) {
+            Some(cell) => std::sync::Arc::clone(cell),
+            None => {
+                drop(edges);
+                std::sync::Arc::clone(
+                    self.edges
+                        .write()
+                        .entry(edge.clone())
+                        .or_insert_with(|| std::sync::Arc::new(EdgeCell::new())),
+                )
+            }
+        }
+    }
+
     /// Records one completed call.
     pub fn record(
         &self,
@@ -99,30 +186,8 @@ impl CallGraph {
         latency_nanos: u64,
         is_error: bool,
     ) {
-        use std::sync::atomic::Ordering::Relaxed;
-        let cell = {
-            let edges = self.edges.read();
-            match edges.get(&edge) {
-                Some(cell) => std::sync::Arc::clone(cell),
-                None => {
-                    drop(edges);
-                    std::sync::Arc::clone(
-                        self.edges
-                            .write()
-                            .entry(edge)
-                            .or_insert_with(|| std::sync::Arc::new(EdgeCell::new())),
-                    )
-                }
-            }
-        };
-        cell.calls.fetch_add(1, Relaxed);
-        cell.request_bytes.fetch_add(request_bytes as u64, Relaxed);
-        cell.response_bytes
-            .fetch_add(response_bytes as u64, Relaxed);
-        if is_error {
-            cell.errors.fetch_add(1, Relaxed);
-        }
-        cell.latency.record(latency_nanos);
+        self.handle(&edge)
+            .record(request_bytes, response_bytes, latency_nanos, is_error);
     }
 
     /// Takes a serializable snapshot of all edges.
@@ -148,6 +213,88 @@ impl CallGraph {
             (&a.0.caller, &a.0.callee, &a.0.method).cmp(&(&b.0.caller, &b.0.callee, &b.0.method))
         });
         CallGraphSnapshot { edges: out }
+    }
+
+    /// Cheap weights for every edge, deterministically ordered.
+    ///
+    /// The registry lock is held only long enough to clone the edge keys and
+    /// cell handles; the atomic loads (and no histogram bucket walk at all)
+    /// happen outside it, so a high-rate recorder is never stalled behind a
+    /// poller.
+    pub fn edge_weights(&self) -> Vec<(CallEdge, EdgeWeight)> {
+        let cells: Vec<(CallEdge, std::sync::Arc<EdgeCell>)> = {
+            let edges = self.edges.read();
+            edges
+                .iter()
+                .map(|(edge, cell)| (edge.clone(), std::sync::Arc::clone(cell)))
+                .collect()
+        };
+        let mut out: Vec<(CallEdge, EdgeWeight)> = cells
+            .into_iter()
+            .map(|(edge, cell)| (edge, cell.weight()))
+            .collect();
+        out.sort_by(|a, b| {
+            (&a.0.caller, &a.0.callee, &a.0.method).cmp(&(&b.0.caller, &b.0.callee, &b.0.method))
+        });
+        out
+    }
+}
+
+/// Caches edge-cell handles per (caller, component id, method id), so RPC
+/// hot paths record call-graph samples without allocating three `String`s
+/// and hashing a string-keyed [`CallEdge`] on every call — mirroring the
+/// per-(component, method) handle cache both routers keep for `call_nanos`.
+///
+/// The hit path is one read lock, one `&str` hash and one `(u32, u32)`
+/// hash; the string edge is built once per distinct triple.
+#[derive(Default)]
+pub struct EdgeHandleCache {
+    cache: RwLock<HashMap<String, CallerEdgeCells>>,
+}
+
+/// One caller's cached edge cells, keyed by (component id, method id).
+type CallerEdgeCells = HashMap<(u32, u32), std::sync::Arc<EdgeCell>>;
+
+impl EdgeHandleCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cell for the `caller → component.method` edge in `graph`,
+    /// building the string-keyed edge only on first sight of the triple.
+    ///
+    /// `component_id`/`method_id` must uniquely identify the `component` and
+    /// `method` strings (registry ids do).
+    pub fn handle(
+        &self,
+        graph: &CallGraph,
+        caller: &str,
+        component_id: u32,
+        component: &str,
+        method_id: u32,
+        method: &str,
+    ) -> std::sync::Arc<EdgeCell> {
+        {
+            let cache = self.cache.read();
+            if let Some(cell) = cache
+                .get(caller)
+                .and_then(|inner| inner.get(&(component_id, method_id)))
+            {
+                return std::sync::Arc::clone(cell);
+            }
+        }
+        let cell = graph.handle(&CallEdge {
+            caller: caller.to_string(),
+            callee: component.to_string(),
+            method: method.to_string(),
+        });
+        self.cache
+            .write()
+            .entry(caller.to_string())
+            .or_default()
+            .insert((component_id, method_id), std::sync::Arc::clone(&cell));
+        cell
     }
 }
 
@@ -296,6 +443,55 @@ mod tests {
         assert_eq!(back, s1);
         // Deterministic order: "a" before "z".
         assert_eq!(s1.edges[0].0.caller, "a");
+    }
+
+    #[test]
+    fn edge_weights_match_snapshot_totals() {
+        let g = CallGraph::new();
+        g.record(edge("a", "b", "m"), 10, 20, 1_000, false);
+        g.record(edge("a", "b", "m"), 30, 40, 3_000, true);
+        g.record(edge("a", "c", "n"), 1, 1, 500, false);
+
+        let weights = g.edge_weights();
+        assert_eq!(weights.len(), 2);
+        // Deterministic order: ("a","b","m") before ("a","c","n").
+        let (e, w) = &weights[0];
+        assert_eq!((e.callee.as_str(), w.calls, w.errors), ("b", 2, 1));
+        assert_eq!(w.request_bytes, 40);
+        assert_eq!(w.response_bytes, 60);
+        assert_eq!(w.latency_sum_nanos, 4_000);
+        assert_eq!(w.mean_latency_nanos(), 2_000.0);
+        assert_eq!(EdgeWeight::default().mean_latency_nanos(), 0.0);
+    }
+
+    #[test]
+    fn handle_pins_the_same_cell() {
+        let g = CallGraph::new();
+        let e = edge("x", "y", "z");
+        let h1 = g.handle(&e);
+        h1.record(5, 5, 100, false);
+        let h2 = g.handle(&e);
+        assert_eq!(h2.weight().calls, 1);
+        h2.record(5, 5, 100, false);
+        assert_eq!(h1.weight().calls, 2);
+        assert_eq!(g.snapshot().edges.len(), 1);
+    }
+
+    #[test]
+    fn handle_cache_reuses_cells_and_feeds_the_graph() {
+        let g = CallGraph::new();
+        let cache = EdgeHandleCache::new();
+        let c1 = cache.handle(&g, "frontend", 3, "cart", 1, "add_item");
+        let c2 = cache.handle(&g, "frontend", 3, "cart", 1, "add_item");
+        assert!(std::sync::Arc::ptr_eq(&c1, &c2));
+        c1.record(10, 10, 1_000, false);
+        // A different caller to the same method is a different edge.
+        let c3 = cache.handle(&g, "checkout", 3, "cart", 1, "add_item");
+        assert!(!std::sync::Arc::ptr_eq(&c1, &c3));
+        c3.record(10, 10, 2_000, false);
+        let snap = g.snapshot();
+        assert_eq!(snap.edges.len(), 2);
+        assert_eq!(snap.edge_call_counts().len(), 2);
     }
 
     #[test]

@@ -94,6 +94,13 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all recorded samples. Together with [`Histogram::count`] this
+    /// gives the exact mean without walking any buckets, which is what the
+    /// placement signal reads on every observation round.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
     /// Takes a snapshot of the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = Vec::new();

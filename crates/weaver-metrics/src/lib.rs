@@ -12,6 +12,8 @@
 //! * [`CallGraph`] — per-(caller, callee, method) counts, byte volumes and
 //!   latency sums; the placement optimizer consumes its snapshots to decide
 //!   which components are "chatty" enough to co-locate;
+//! * [`PlacementSignal`] — the decayed per-edge rate × latency aggregate the
+//!   live placement controller plans from;
 //! * [`trace`] — minimal distributed trace spans linked by the trace and
 //!   span ids every call context carries;
 //! * [`sliceload`] — per-slice request accounting for routed components,
@@ -27,11 +29,15 @@ pub mod callgraph;
 pub mod histogram;
 pub mod registry;
 pub mod scalar;
+pub mod signal;
 pub mod sliceload;
 pub mod trace;
 
-pub use callgraph::{CallEdge, CallGraph, CallGraphSnapshot, EdgeStats};
+pub use callgraph::{
+    CallEdge, CallGraph, CallGraphSnapshot, EdgeCell, EdgeHandleCache, EdgeStats, EdgeWeight,
+};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{MetricFamily, MetricsRegistry, MetricsSnapshot};
 pub use scalar::{Counter, Gauge};
+pub use signal::{EdgeSignal, PlacementSignal, PlacementSignalBuilder};
 pub use sliceload::{SliceLoadReport, SliceLoadTracker};

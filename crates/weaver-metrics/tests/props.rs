@@ -1,0 +1,144 @@
+//! Property tests for histogram merge/quantile bounds and the decayed
+//! placement signal.
+//!
+//! The merge property is the one the manager relies on: merging two
+//! proclets' snapshots must estimate the same percentiles (within bucket
+//! error) as one histogram that recorded the pooled samples. The decay
+//! property bounds the signal builder: a decayed mean is a convex blend of
+//! observed round means, so it can never escape their range.
+
+use proptest::prelude::*;
+use weaver_metrics::{CallEdge, CallGraph, Histogram, PlacementSignalBuilder};
+
+/// Exact percentile of a sorted sample set, matching the histogram's
+/// ceil-rank convention.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// Bucket representative error is ≤ ~4%; allow a little slack on top for
+/// the rank landing anywhere inside a bucket shared by many samples.
+fn within_bucket_error(estimate: u64, lo: u64, hi: u64) -> bool {
+    let lo = (lo as f64 * 0.95) as u64;
+    let hi = ((hi as f64 * 1.05) as u64).max(hi + 1);
+    (lo..=hi).contains(&estimate)
+}
+
+proptest! {
+    #[test]
+    fn merged_percentiles_match_pooled_samples(
+        a in proptest::collection::vec(1u64..100_000_000, 1..400),
+        b in proptest::collection::vec(1u64..100_000_000, 1..400),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        for &v in &a { ha.record(v); }
+        for &v in &b { hb.record(v); }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+
+        let mut pooled: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        pooled.sort_unstable();
+        prop_assert_eq!(merged.count, pooled.len() as u64);
+        prop_assert_eq!(merged.max, *pooled.last().unwrap());
+
+        for q in [0.5, 0.99] {
+            let est = merged.quantile(q);
+            // The estimate must sit within bucket error of the exact
+            // percentile's neighborhood: samples one rank either side
+            // bound where a bucket boundary can land.
+            let rank = ((q * pooled.len() as f64).ceil() as usize).max(1);
+            let lo = pooled[rank.saturating_sub(2)];
+            let hi = pooled[(rank).min(pooled.len() - 1)];
+            prop_assert!(
+                within_bucket_error(est, lo.min(exact_percentile(&pooled, q)), hi.max(exact_percentile(&pooled, q))),
+                "q={} estimate {} outside [{}, {}] (pooled {} samples)",
+                q, est, lo, hi, pooled.len()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(1u64..1_000_000, 0..100),
+        b in proptest::collection::vec(1u64..1_000_000, 0..100),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        for &v in &a { ha.record(v); }
+        for &v in &b { hb.record(v); }
+        let mut ab = ha.snapshot();
+        ab.merge(&hb.snapshot());
+        let mut ba = hb.snapshot();
+        ba.merge(&ha.snapshot());
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn decayed_mean_stays_within_observed_round_means(
+        rounds in proptest::collection::vec(
+            (1u64..50, 100u64..1_000_000), 1..12),
+        alpha_millis in 1u64..1000,
+    ) {
+        // Each round records `calls` samples of constant latency `nanos`;
+        // the decayed mean must stay within [min, max] of the round means
+        // seen so far (convexity), within bucket quantization error.
+        let alpha = alpha_millis as f64 / 1000.0;
+        let graph = CallGraph::new();
+        let mut builder = PlacementSignalBuilder::new(alpha);
+        let edge = CallEdge {
+            caller: "a".into(),
+            callee: "b".into(),
+            method: "m".into(),
+        };
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for &(calls, nanos) in &rounds {
+            for _ in 0..calls {
+                graph.record(edge.clone(), 1, 1, nanos, false);
+            }
+            builder.observe(&graph.snapshot());
+            lo = lo.min(nanos);
+            hi = hi.max(nanos);
+            let signal = builder.signal();
+            let e = signal.edges.iter().find(|e| e.callee == "b");
+            prop_assert!(e.is_some(), "edge with live traffic missing from signal");
+            let mean = e.unwrap().mean_latency_ns;
+            prop_assert!(
+                within_bucket_error(mean, lo, hi),
+                "decayed mean {} escaped [{}, {}]", mean, lo, hi
+            );
+        }
+        prop_assert_eq!(builder.signal().rounds, rounds.len() as u64);
+    }
+
+    #[test]
+    fn decayed_rate_never_exceeds_peak_round_delta(
+        deltas in proptest::collection::vec(0u64..200, 1..10),
+        alpha_millis in 1u64..1000,
+    ) {
+        let alpha = alpha_millis as f64 / 1000.0;
+        let graph = CallGraph::new();
+        let mut builder = PlacementSignalBuilder::new(alpha);
+        let edge = CallEdge {
+            caller: "a".into(),
+            callee: "b".into(),
+            method: "m".into(),
+        };
+        let peak = *deltas.iter().max().unwrap();
+        for &delta in &deltas {
+            for _ in 0..delta {
+                graph.record(edge.clone(), 1, 1, 1_000, false);
+            }
+            builder.observe(&graph.snapshot());
+        }
+        let signal = builder.signal();
+        if let Some(e) = signal.edges.first() {
+            prop_assert!(
+                e.rate() <= peak as f64 + 0.001,
+                "rate {} exceeds peak round delta {}", e.rate(), peak
+            );
+        }
+    }
+}

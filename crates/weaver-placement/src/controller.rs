@@ -1,0 +1,480 @@
+//! The online placement controller (paper §5.1).
+//!
+//! `colocate()` answers the offline question — which components *would*
+//! benefit from sharing a process. This module answers the live one: given
+//! the deployment's decayed [`PlacementSignal`], which components should
+//! move **now**, is the modeled RTT saving worth the migration, and in what
+//! order. The controller is pure and deterministic — same signal + same
+//! state → same plan — and every plan serializes to a line-based decision
+//! log that [`apply_decisions`] replays bit for bit, mirroring the slice
+//! rebalance controller's golden-log contract.
+//!
+//! The runtime half lives in weaver-runtime: `TcpProcess::migrate_component`
+//! executes one decision (freeze → drain → re-register → epoch bump →
+//! unfreeze), and `placement_round` runs a whole plan.
+
+use std::collections::BTreeMap;
+
+use weaver_macros::WeaverData;
+use weaver_metrics::PlacementSignal;
+
+/// Where one component's calls are dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, WeaverData)]
+pub enum ComponentPlacement {
+    /// Calls cross the wire to a (possibly routed/replicated) remote pool.
+    #[default]
+    Routed,
+    /// Calls dispatch into a local instance in the caller's process.
+    Colocated,
+}
+
+/// The versioned placement of every managed component.
+///
+/// Versions bump once per applied decision, on both the planning and the
+/// replay path, so a replayed log lands on an identical (version included)
+/// state.
+#[derive(Debug, Clone, Default, PartialEq, Eq, WeaverData)]
+pub struct PlacementState {
+    /// Monotonic version; bumps once per applied decision.
+    pub version: u64,
+    /// Placement per component name, deterministically ordered.
+    pub placements: BTreeMap<String, ComponentPlacement>,
+}
+
+impl PlacementState {
+    /// The deliberately-bad starting point: every component routed.
+    pub fn all_routed<I, S>(components: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        PlacementState {
+            version: 1,
+            placements: components
+                .into_iter()
+                .map(|c| (c.into(), ComponentPlacement::Routed))
+                .collect(),
+        }
+    }
+
+    /// The placement of `component`, if managed.
+    pub fn placement_of(&self, component: &str) -> Option<ComponentPlacement> {
+        self.placements.get(component).copied()
+    }
+
+    /// Number of components currently colocated.
+    pub fn colocated_count(&self) -> usize {
+        self.placements
+            .values()
+            .filter(|p| **p == ComponentPlacement::Colocated)
+            .count()
+    }
+}
+
+/// One planned placement move.
+#[derive(Debug, Clone, PartialEq, Eq, WeaverData)]
+pub enum PlacementDecision {
+    /// Dispatch `component` locally in the caller's process.
+    Colocate {
+        /// Component name.
+        component: String,
+    },
+    /// Send `component`'s calls back over the wire.
+    Route {
+        /// Component name.
+        component: String,
+    },
+}
+
+impl Default for PlacementDecision {
+    fn default() -> Self {
+        PlacementDecision::Colocate {
+            component: String::new(),
+        }
+    }
+}
+
+impl PlacementDecision {
+    /// The component the decision moves.
+    pub fn component(&self) -> &str {
+        match self {
+            PlacementDecision::Colocate { component } => component,
+            PlacementDecision::Route { component } => component,
+        }
+    }
+}
+
+/// Tuning knobs for [`PlacementController::plan`].
+#[derive(Debug, Clone)]
+pub struct PlacementOptions {
+    /// Modeled latency of a local dispatch, in nanoseconds. A remote edge's
+    /// saving is its observed mean latency minus this floor.
+    pub local_latency_ns: f64,
+    /// Modeled one-time cost of a migration (freeze + drain + state
+    /// consolidation), in rate-weighted nanoseconds per round. A colocation
+    /// must save more than this per observation round to be worth planning.
+    pub migration_cost_ns: f64,
+    /// Colocated components whose decayed inbound rate falls below this
+    /// (calls per round) are routed back out — the demotion hysteresis that
+    /// keeps a cold component from squatting in every caller's process.
+    pub min_rate: f64,
+    /// Upper bound on moves per plan, so one round never freezes the whole
+    /// deployment at once.
+    pub max_moves: usize,
+}
+
+impl Default for PlacementOptions {
+    fn default() -> Self {
+        PlacementOptions {
+            local_latency_ns: 1_000.0,
+            migration_cost_ns: 1_000_000.0,
+            min_rate: 1.0,
+            max_moves: 4,
+        }
+    }
+}
+
+/// A plan: the ordered decisions plus the state they produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementPlan {
+    /// Decisions in execution order (largest modeled saving first).
+    pub decisions: Vec<PlacementDecision>,
+    /// The state after applying every decision to the input state.
+    pub state: PlacementState,
+}
+
+impl PlacementPlan {
+    /// True when the controller found nothing worth moving.
+    pub fn is_noop(&self) -> bool {
+        self.decisions.is_empty()
+    }
+}
+
+/// The pure planner: scores candidate moves by modeled RTT savings minus
+/// migration cost against the decayed signal.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementController {
+    /// Tuning knobs.
+    pub options: PlacementOptions,
+}
+
+impl PlacementController {
+    /// A controller with the given options.
+    pub fn new(options: PlacementOptions) -> Self {
+        PlacementController { options }
+    }
+
+    /// Plans the next round of moves.
+    ///
+    /// For every routed component, the modeled per-round saving of
+    /// colocating it is `Σ_inbound rate × max(0, mean_latency −
+    /// local_latency)`; components whose saving exceeds the migration cost
+    /// are colocated, biggest saving first (name-ordered on ties), capped
+    /// at `max_moves`. Colocated components whose decayed inbound rate has
+    /// fallen below `min_rate` are demoted back to routed. Deterministic:
+    /// the same `(signal, state)` always yields the same plan.
+    pub fn plan(&self, signal: &PlacementSignal, state: &PlacementState) -> PlacementPlan {
+        let mut promotions: Vec<(f64, &str)> = Vec::new();
+        let mut demotions: Vec<&str> = Vec::new();
+        for (component, placement) in &state.placements {
+            let (rate, mean) = signal.inbound(component);
+            match placement {
+                ComponentPlacement::Routed => {
+                    let saving = rate * (mean - self.options.local_latency_ns).max(0.0);
+                    if saving > self.options.migration_cost_ns {
+                        promotions.push((saving, component));
+                    }
+                }
+                ComponentPlacement::Colocated => {
+                    if rate < self.options.min_rate {
+                        demotions.push(component);
+                    }
+                }
+            }
+        }
+        // Biggest saving first; ties break on name so the order is total.
+        promotions.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.cmp(b.1))
+        });
+        let mut decisions: Vec<PlacementDecision> = promotions
+            .into_iter()
+            .map(|(_, c)| PlacementDecision::Colocate {
+                component: c.to_string(),
+            })
+            .collect();
+        decisions.extend(demotions.into_iter().map(|c| PlacementDecision::Route {
+            component: c.to_string(),
+        }));
+        decisions.truncate(self.options.max_moves);
+
+        let state = apply_decisions(state, &decisions)
+            .expect("planned decisions must apply to the state they were planned against");
+        PlacementPlan { decisions, state }
+    }
+}
+
+/// Replays a decision list against `base` — the replay half of the
+/// golden-log contract. Strict: a decision that does not change the state
+/// (unknown component, or already at the target placement) is an error,
+/// because the controller never plans one.
+pub fn apply_decisions(
+    base: &PlacementState,
+    decisions: &[PlacementDecision],
+) -> Result<PlacementState, String> {
+    let mut current = base.clone();
+    for d in decisions {
+        let target = match d {
+            PlacementDecision::Colocate { .. } => ComponentPlacement::Colocated,
+            PlacementDecision::Route { .. } => ComponentPlacement::Routed,
+        };
+        let name = d.component();
+        match current.placements.get_mut(name) {
+            None => return Err(format!("unknown component {name:?}")),
+            Some(p) if *p == target => {
+                return Err(format!("{name:?} is already {target:?}"));
+            }
+            Some(p) => *p = target,
+        }
+        current.version += 1;
+    }
+    Ok(current)
+}
+
+/// Serializes decisions to the line-based log form:
+///
+/// ```text
+/// colocate boutique.CartService
+/// route boutique.EmailService
+/// ```
+///
+/// One decision per line; blank lines and `#` comments are ignored by
+/// [`parse_decisions`], so multi-round logs can annotate rounds.
+pub fn serialize_decisions(decisions: &[PlacementDecision]) -> String {
+    let mut out = String::new();
+    for d in decisions {
+        match d {
+            PlacementDecision::Colocate { component } => {
+                out.push_str(&format!("colocate {component}\n"));
+            }
+            PlacementDecision::Route { component } => {
+                out.push_str(&format!("route {component}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Parses the [`serialize_decisions`] format back into decisions.
+pub fn parse_decisions(text: &str) -> Result<Vec<PlacementDecision>, String> {
+    let mut decisions = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let verb = parts.next().unwrap_or_default();
+        let component = parts
+            .next()
+            .ok_or_else(|| format!("line {lineno}: missing component in {line:?}"))?
+            .to_string();
+        let decision = match verb {
+            "colocate" => PlacementDecision::Colocate { component },
+            "route" => PlacementDecision::Route { component },
+            other => return Err(format!("line {lineno}: unknown verb {other:?}")),
+        };
+        if let Some(extra) = parts.next() {
+            return Err(format!("line {lineno}: trailing token {extra:?}"));
+        }
+        decisions.push(decision);
+    }
+    Ok(decisions)
+}
+
+/// Writes a decision log under `target/placement-logs/<name>.log` so CI can
+/// upload it as an artifact when a convergence test fails. Best effort:
+/// returns the path on success, `None` if the filesystem refused.
+pub fn write_decision_artifact(name: &str, text: &str) -> Option<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)?
+        .join("target")
+        .join("placement-logs");
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{name}.log"));
+    std::fs::write(&path, text).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weaver_metrics::EdgeSignal;
+
+    fn signal(edges: &[(&str, &str, f64, u64)]) -> PlacementSignal {
+        PlacementSignal {
+            edges: edges
+                .iter()
+                .map(|(caller, callee, rate, latency)| EdgeSignal {
+                    caller: caller.to_string(),
+                    callee: callee.to_string(),
+                    rate_x1000: (rate * 1000.0).round() as u64,
+                    mean_latency_ns: *latency,
+                })
+                .collect(),
+            rounds: 1,
+        }
+    }
+
+    #[test]
+    fn hot_remote_component_gets_colocated() {
+        let state = PlacementState::all_routed(["cart", "email"]);
+        // cart: 100 calls/round × ~25 µs remote mean — way past the bar.
+        // email: 0.1 calls/round — not worth moving.
+        let sig = signal(&[
+            ("frontend", "cart", 100.0, 25_000),
+            ("checkout", "email", 0.1, 25_000),
+        ]);
+        let plan = PlacementController::default().plan(&sig, &state);
+        assert_eq!(
+            plan.decisions,
+            vec![PlacementDecision::Colocate {
+                component: "cart".into()
+            }]
+        );
+        assert_eq!(
+            plan.state.placement_of("cart"),
+            Some(ComponentPlacement::Colocated)
+        );
+        assert_eq!(
+            plan.state.placement_of("email"),
+            Some(ComponentPlacement::Routed)
+        );
+        assert_eq!(plan.state.version, state.version + 1);
+    }
+
+    #[test]
+    fn saving_below_migration_cost_is_a_noop() {
+        let state = PlacementState::all_routed(["cart"]);
+        // 10 calls/round × (25 µs − 1 µs) = 240 µs < 1 ms migration cost.
+        let sig = signal(&[("frontend", "cart", 10.0, 25_000)]);
+        let plan = PlacementController::default().plan(&sig, &state);
+        assert!(plan.is_noop());
+        assert_eq!(plan.state, state);
+    }
+
+    #[test]
+    fn local_latency_floor_zeroes_fast_edges() {
+        let state = PlacementState::all_routed(["cart"]);
+        // A huge rate on an already-local-speed edge saves nothing.
+        let sig = signal(&[("frontend", "cart", 1_000_000.0, 900)]);
+        let plan = PlacementController::default().plan(&sig, &state);
+        assert!(plan.is_noop());
+    }
+
+    #[test]
+    fn cold_colocated_component_is_demoted() {
+        let mut state = PlacementState::all_routed(["cart"]);
+        state
+            .placements
+            .insert("cart".into(), ComponentPlacement::Colocated);
+        let plan = PlacementController::default().plan(&PlacementSignal::default(), &state);
+        assert_eq!(
+            plan.decisions,
+            vec![PlacementDecision::Route {
+                component: "cart".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn plan_orders_by_saving_and_respects_max_moves() {
+        let state = PlacementState::all_routed(["a", "b", "c"]);
+        let sig = signal(&[
+            ("f", "a", 100.0, 25_000),
+            ("f", "b", 300.0, 25_000),
+            ("f", "c", 200.0, 25_000),
+        ]);
+        let controller = PlacementController::new(PlacementOptions {
+            max_moves: 2,
+            ..Default::default()
+        });
+        let plan = controller.plan(&sig, &state);
+        assert_eq!(
+            plan.decisions
+                .iter()
+                .map(|d| d.component())
+                .collect::<Vec<_>>(),
+            vec!["b", "c"]
+        );
+        // The third candidate waits for the next round.
+        assert_eq!(
+            plan.state.placement_of("a"),
+            Some(ComponentPlacement::Routed)
+        );
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_replays_bit_for_bit() {
+        let state = PlacementState::all_routed(["a", "b", "c", "d"]);
+        let sig = signal(&[
+            ("f", "a", 150.0, 30_000),
+            ("f", "b", 150.0, 30_000),
+            ("g", "c", 90.0, 40_000),
+        ]);
+        let controller = PlacementController::default();
+        let p1 = controller.plan(&sig, &state);
+        let p2 = controller.plan(&sig, &state);
+        assert_eq!(p1, p2);
+
+        // Golden-log round trip: serialize → parse → apply ≡ planned state.
+        let log = serialize_decisions(&p1.decisions);
+        let parsed = parse_decisions(&log).unwrap();
+        assert_eq!(parsed, p1.decisions);
+        let replayed = apply_decisions(&state, &parsed).unwrap();
+        assert_eq!(replayed, p1.state);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_decisions("colocate").is_err());
+        assert!(parse_decisions("teleport cart").is_err());
+        assert!(parse_decisions("colocate cart extra").is_err());
+        assert_eq!(
+            parse_decisions("# comment\n\ncolocate cart\n")
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn apply_is_strict() {
+        let state = PlacementState::all_routed(["cart"]);
+        let err = apply_decisions(
+            &state,
+            &[PlacementDecision::Route {
+                component: "cart".into(),
+            }],
+        );
+        assert!(err.is_err(), "routing a routed component must not apply");
+        let err = apply_decisions(
+            &state,
+            &[PlacementDecision::Colocate {
+                component: "nope".into(),
+            }],
+        );
+        assert!(err.is_err(), "unknown component must not apply");
+    }
+
+    #[test]
+    fn artifact_writes_under_target() {
+        let path = write_decision_artifact("controller-unit-test", "colocate cart\n").unwrap();
+        assert!(path.ends_with("target/placement-logs/controller-unit-test.log"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(parse_decisions(&text).unwrap().len(), 1);
+    }
+}

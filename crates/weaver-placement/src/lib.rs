@@ -15,6 +15,10 @@
 //!   prevent flapping.
 //! * [`binpack`] — first-fit-decreasing placement of co-location groups
 //!   onto machines with finite CPU capacity.
+//! * [`controller`] — the **online** planner: consumes the live
+//!   [`PlacementSignal`](weaver_metrics::PlacementSignal) and plans
+//!   colocate/route moves by modeled RTT savings minus migration cost,
+//!   with replayable decision logs like the slice rebalance controller.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,7 +26,13 @@
 pub mod autoscale;
 pub mod binpack;
 pub mod colocate;
+pub mod controller;
 
 pub use autoscale::{Autoscaler, AutoscalerConfig};
 pub use binpack::{Machine, Placement};
 pub use colocate::{colocate, ColocationConfig};
+pub use controller::{
+    apply_decisions, parse_decisions, serialize_decisions, write_decision_artifact,
+    ComponentPlacement, PlacementController, PlacementDecision, PlacementOptions, PlacementPlan,
+    PlacementState,
+};

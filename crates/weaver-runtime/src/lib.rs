@@ -51,4 +51,7 @@ pub use dedup::DedupCache;
 pub use envelope::{ReplicaId, SpawnSpec};
 pub use manager::MultiProcess;
 pub use single::{ComponentFault, FaultInjectable, SingleMode, SingleProcess};
-pub use tcp::{MigratedRange, MigrationReport, TcpOptions, TcpProcess};
+pub use tcp::{
+    ComponentMigration, MigratedRange, MigrationReport, PlacementRoundReport, TcpOptions,
+    TcpProcess,
+};

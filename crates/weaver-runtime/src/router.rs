@@ -12,10 +12,12 @@ use weaver_core::context::CallContext;
 use weaver_core::error::WeaverError;
 use weaver_core::fanout::RouteFuture;
 use weaver_metrics::{
-    CallEdge, CallGraph, Histogram, MetricsRegistry, SliceLoadReport, SliceLoadTracker,
+    CallGraph, EdgeHandleCache, Histogram, MetricsRegistry, SliceLoadReport, SliceLoadTracker,
 };
 use weaver_routing::{Balancer, PowerOfTwo, SliceAssignment};
-use weaver_transport::{CallFuture, Pool, RequestHeader, ResponseBody, Status, WeaverFraming};
+use weaver_transport::{
+    CallFuture, Pool, RequestHeader, ResponseBody, RpcHandler, Status, WeaverFraming,
+};
 
 /// Default per-call timeout when the caller set no deadline. Generous: the
 /// point is to bound hangs, not to police slow handlers.
@@ -74,6 +76,10 @@ struct FreezeState {
     frozen: HashMap<u32, Vec<(u64, u64)>>,
     /// (component, routing key) → routed calls in flight.
     active: HashMap<(u32, u64), u32>,
+    /// Components whose *entire* admission is frozen (placement migration).
+    frozen_components: std::collections::HashSet<u32>,
+    /// component → calls in flight (all calls, routed or not).
+    component_active: HashMap<u32, u32>,
 }
 
 impl FreezeState {
@@ -267,6 +273,85 @@ impl RoutingTable {
         self.gate_cond.notify_all();
     }
 
+    // --- component gate -------------------------------------------------
+    //
+    // The placement-migration analogue of the slice gate: a component
+    // migration freezes the *whole* component (every new call — routed or
+    // not — queues in `admit_component`), drains all in-flight calls, moves
+    // the dispatch target between the remote pool and a local instance,
+    // bumps the epoch, then unfreezes. Every call passes this gate, so a
+    // migration observes every in-flight call and no call is ever executed
+    // at two placements.
+
+    /// Blocks while `component` is frozen for migration, then registers
+    /// the call as in flight. Fails with `Unavailable` if the freeze
+    /// outlasts `deadline`. Every successful admit must be paired with one
+    /// [`RoutingTable::release_component`].
+    pub fn admit_component(&self, component: u32, deadline: Instant) -> Result<(), WeaverError> {
+        let mut gate = self.gate.lock();
+        while gate.frozen_components.contains(&component) {
+            if self.gate_cond.wait_until(&mut gate, deadline).timed_out() {
+                return Err(WeaverError::Unavailable {
+                    detail: format!("component #{component} frozen for migration past deadline"),
+                });
+            }
+        }
+        *gate.component_active.entry(component).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Releases one in-flight registration made by
+    /// [`RoutingTable::admit_component`].
+    pub fn release_component(&self, component: u32) {
+        let mut gate = self.gate.lock();
+        if let Some(n) = gate.component_active.get_mut(&component) {
+            *n -= 1;
+            if *n == 0 {
+                gate.component_active.remove(&component);
+            }
+        }
+        self.gate_cond.notify_all();
+    }
+
+    /// Freezes a whole component: subsequent calls queue in
+    /// [`RoutingTable::admit_component`] until
+    /// [`RoutingTable::unfreeze_component`].
+    pub fn freeze_component(&self, component: u32) {
+        self.gate.lock().frozen_components.insert(component);
+    }
+
+    /// Lifts a component freeze and wakes queued callers (who re-resolve
+    /// against the *current* dispatch target — the new placement if a
+    /// migration committed in between).
+    pub fn unfreeze_component(&self, component: u32) {
+        self.gate.lock().frozen_components.remove(&component);
+        self.gate_cond.notify_all();
+    }
+
+    /// Waits until no admitted call for `component` remains in flight.
+    /// Only meaningful after [`RoutingTable::freeze_component`] (otherwise
+    /// new calls keep arriving). Returns whether the component drained
+    /// before `timeout`.
+    pub fn drain_component(&self, component: u32, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut gate = self.gate.lock();
+        while gate.component_active.get(&component).copied().unwrap_or(0) > 0 {
+            if self.gate_cond.wait_until(&mut gate, deadline).timed_out() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Bumps the epoch without touching assignments — the commit point of
+    /// a placement migration on a component with no slice assignment.
+    /// Returns the new epoch.
+    pub fn bump_epoch(&self) -> u64 {
+        let mut state = self.state.write();
+        state.epoch += 1;
+        state.epoch
+    }
+
     /// Waits until no admitted call for a key in `range` remains in
     /// flight. Only meaningful after [`RoutingTable::freeze`] on the same
     /// range (otherwise new calls keep arriving). Returns whether the
@@ -389,6 +474,20 @@ struct RouterInner {
     callgraph: Arc<CallGraph>,
     version: u64,
     latency: LatencyHistograms,
+    /// Latency histograms for locally-dispatched (migrated-in) components,
+    /// labeled `colocated` so before/after placement shows up in the same
+    /// registry snapshot.
+    local_latency: LatencyHistograms,
+    /// Call-graph edge handles cached per (caller, component, method), so
+    /// the hot path records edges without allocating a string-keyed
+    /// [`weaver_metrics::CallEdge`] per call.
+    edge_cache: EdgeHandleCache,
+    /// Components the placement controller migrated into this process:
+    /// calls short-circuit to the handler instead of crossing the wire.
+    /// The handler is the same dispatcher the component's server runs
+    /// (version backstop, fault injection, dedup — everything but the
+    /// socket).
+    local: RwLock<HashMap<u32, Arc<dyn RpcHandler>>>,
     /// Attach a fresh idempotency key to every call (the default). Off,
     /// retries are begin-time-only — the pre-dedup behavior, kept as a
     /// test hook so the double-execution hazard stays demonstrable.
@@ -438,10 +537,34 @@ impl RemoteRouter {
                 balancer: PowerOfTwo::new(64),
                 callgraph,
                 version,
-                latency: LatencyHistograms::new(metrics, placement),
+                latency: LatencyHistograms::new(Arc::clone(&metrics), placement),
+                local_latency: LatencyHistograms::new(metrics, "colocated"),
+                edge_cache: EdgeHandleCache::new(),
+                local: RwLock::new(HashMap::new()),
                 auto_idempotency: std::sync::atomic::AtomicBool::new(true),
             }),
         }
+    }
+
+    /// Registers a local dispatch target for `component`: subsequent calls
+    /// short-circuit to `handler` instead of crossing the wire. This is the
+    /// re-registration step of `migrate_component` — call it only with the
+    /// component's admission gate frozen and drained, or in-flight remote
+    /// calls race the switch.
+    pub fn install_local(&self, component: u32, handler: Arc<dyn RpcHandler>) {
+        self.inner.local.write().insert(component, handler);
+    }
+
+    /// Removes the local dispatch target for `component`, sending calls
+    /// back over the wire. Same gating contract as
+    /// [`RemoteRouter::install_local`].
+    pub fn clear_local(&self, component: u32) {
+        self.inner.local.write().remove(&component);
+    }
+
+    /// Whether `component` currently dispatches locally.
+    pub fn has_local(&self, component: u32) -> bool {
+        self.inner.local.read().contains_key(&component)
     }
 
     /// Enables or disables automatic idempotency keys (on by default).
@@ -548,6 +671,11 @@ struct RemoteFuture {
     active_addr: Option<SocketAddr>,
     /// In-flight registration on the migration gate, released exactly once.
     admit_token: Option<(u32, u64)>,
+    /// In-flight registration on the component gate, released exactly once.
+    component_token: Option<u32>,
+    /// Whether the call dispatched to a migrated-in local instance (for
+    /// latency labeling: `colocated` instead of the wire placement).
+    local: bool,
     retried: bool,
 }
 
@@ -580,12 +708,26 @@ impl RemoteFuture {
             active_replica: None,
             active_addr: None,
             admit_token: None,
+            component_token: None,
+            local: false,
             retried: false,
         };
-        // Routed calls pass the migration gate before resolving a replica:
-        // a frozen slice queues the call here (blocking the caller, not
-        // dropping), and the in-flight registration lets a migration drain
-        // the old owner. Unrouted calls have no affinity to protect.
+        // Every call passes the component migration gate first: a frozen
+        // component queues the call here (blocking the caller, not
+        // dropping), and the in-flight registration lets a placement
+        // migration drain every outstanding call before it moves the
+        // dispatch target.
+        match fut.inner.table.admit_component(fut.component, fut.deadline) {
+            Ok(()) => fut.component_token = Some(fut.component),
+            Err(e) => {
+                fut.state = RemoteState::Ready(Err(e));
+                return fut;
+            }
+        }
+        // Routed calls additionally pass the slice gate before resolving a
+        // replica: a frozen slice queues the call, and the registration
+        // lets a rebalance drain the old owner. Unrouted calls have no
+        // affinity to protect.
         if let Some(key) = routing {
             match fut.inner.table.admit(fut.component, key, fut.deadline) {
                 Ok(()) => fut.admit_token = Some((fut.component, key)),
@@ -594,6 +736,16 @@ impl RemoteFuture {
                     return fut;
                 }
             }
+        }
+        // A migrated-in component dispatches locally: same handler the
+        // component's server runs, minus the socket. Synchronous — a local
+        // dispatch is the thing we migrated to make fast.
+        let local = fut.inner.local.read().get(&fut.component).cloned();
+        if let Some(handler) = local {
+            let body = handler.handle(&fut.header, &fut.args);
+            fut.local = true;
+            fut.state = RemoteState::Ready(body_to_outcome(body));
+            return fut;
         }
         fut.launch();
         fut
@@ -664,6 +816,9 @@ impl RemoteFuture {
         if let Some((component, key)) = self.admit_token.take() {
             self.inner.table.release(component, key);
         }
+        if let Some(component) = self.component_token.take() {
+            self.inner.table.release_component(component);
+        }
     }
 
     fn remaining(&self) -> Duration {
@@ -722,18 +877,28 @@ impl RemoteFuture {
             Ok(reply) => weaver_core::client::reply_is_err(reply),
             Err(_) => true,
         };
-        self.inner.callgraph.record(
-            CallEdge {
-                caller: self.caller.to_string(),
-                callee: self.callee.to_string(),
-                method: self.method_name.to_string(),
-            },
-            self.request_bytes,
-            outcome.as_ref().map_or(0, Vec::len),
-            elapsed,
-            is_error,
-        );
-        self.inner.latency.record(
+        self.inner
+            .edge_cache
+            .handle(
+                &self.inner.callgraph,
+                self.caller,
+                self.component,
+                self.callee,
+                self.header.method,
+                self.method_name,
+            )
+            .record(
+                self.request_bytes,
+                outcome.as_ref().map_or(0, Vec::len),
+                elapsed,
+                is_error,
+            );
+        let latency = if self.local {
+            &self.inner.local_latency
+        } else {
+            &self.inner.latency
+        };
+        latency.record(
             self.component,
             self.callee,
             self.header.method,
@@ -1016,6 +1181,67 @@ mod tests {
         table.admit(0, 99, far).unwrap();
         table.release(0, 99);
         table.unfreeze(0, (100, 200));
+    }
+
+    #[test]
+    fn component_freeze_queues_admit_until_unfrozen() {
+        let table = table_with(0, &[1001]);
+        table.freeze_component(0);
+        // Frozen: admit with an already-expired deadline fails Unavailable.
+        assert!(matches!(
+            table.admit_component(0, Instant::now()),
+            Err(WeaverError::Unavailable { .. })
+        ));
+        // Other components are unaffected by the freeze.
+        table
+            .admit_component(1, Instant::now() + Duration::from_secs(1))
+            .unwrap();
+        table.release_component(1);
+        // A blocked admit wakes when the freeze lifts.
+        let t2 = Arc::clone(&table);
+        let waiter = std::thread::spawn(move || {
+            t2.admit_component(0, Instant::now() + Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            !waiter.is_finished(),
+            "admit went through a frozen component"
+        );
+        table.unfreeze_component(0);
+        waiter.join().unwrap().expect("admit after unfreeze");
+        table.release_component(0);
+    }
+
+    #[test]
+    fn drain_component_waits_for_releases() {
+        let table = table_with(0, &[1001]);
+        let far = Instant::now() + Duration::from_secs(5);
+        table.admit_component(0, far).unwrap();
+        table.admit_component(0, far).unwrap();
+        table.freeze_component(0);
+        assert!(
+            !table.drain_component(0, Duration::from_millis(20)),
+            "drained with calls in flight"
+        );
+        let t2 = Arc::clone(&table);
+        let drainer = std::thread::spawn(move || t2.drain_component(0, Duration::from_secs(5)));
+        table.release_component(0);
+        table.release_component(0);
+        assert!(drainer.join().unwrap(), "drain missed the releases");
+        table.unfreeze_component(0);
+        // A component with nothing in flight drains immediately.
+        assert!(table.drain_component(0, Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn bump_epoch_is_monotonic() {
+        let table = table_with(0, &[1001]);
+        let before = table.epoch();
+        let e1 = table.bump_epoch();
+        let e2 = table.bump_epoch();
+        assert_eq!(e1, before + 1);
+        assert_eq!(e2, before + 2);
+        assert_eq!(table.epoch(), e2);
     }
 
     #[test]

@@ -32,7 +32,10 @@ use weaver_core::context::{Acquired, CallContext, ComponentGetter};
 use weaver_core::error::WeaverError;
 use weaver_core::instance::LiveComponents;
 use weaver_core::registry::ComponentRegistry;
-use weaver_metrics::{CallGraph, CallGraphSnapshot, MetricsRegistry};
+use weaver_metrics::{CallGraph, CallGraphSnapshot, MetricsRegistry, PlacementSignal};
+use weaver_placement::{
+    ComponentPlacement, PlacementController, PlacementDecision, PlacementState,
+};
 use weaver_routing::{ControllerOptions, RebalanceController, RebalanceDecision, SliceAssignment};
 use weaver_transport::fault::{FaultInjector, FaultSpec, FaultStream};
 use weaver_transport::{
@@ -210,6 +213,44 @@ pub struct MigrationReport {
     pub epoch: u64,
 }
 
+/// One placement move executed by [`TcpProcess::migrate_component`].
+#[derive(Debug, Clone)]
+pub struct ComponentMigration {
+    /// Component name.
+    pub component: String,
+    /// The placement migrated to.
+    pub to: ComponentPlacement,
+    /// Routing-table epoch after the move (unchanged when `!changed`).
+    pub epoch: u64,
+    /// State entries consolidated onto the surviving instance during a
+    /// colocation (0 for stateless or single-replica moves).
+    pub consolidated_entries: u64,
+    /// False when the component was already at the target placement.
+    pub changed: bool,
+}
+
+/// What one [`TcpProcess::placement_round`] did: the placement controller's
+/// decisions, the migrations that executed them, and the resulting state.
+#[derive(Debug, Clone)]
+pub struct PlacementRoundReport {
+    /// The controller's decisions, in execution order (replayable via
+    /// [`weaver_placement::serialize_decisions`]).
+    pub decisions: Vec<PlacementDecision>,
+    /// Executed migrations, one per decision.
+    pub migrated: Vec<ComponentMigration>,
+    /// The versioned placement state after the round.
+    pub state: PlacementState,
+    /// Routing-table epoch after the round.
+    pub epoch: u64,
+}
+
+impl PlacementRoundReport {
+    /// True when the controller found nothing worth moving.
+    pub fn is_noop(&self) -> bool {
+        self.decisions.is_empty()
+    }
+}
+
 /// A deployment whose data plane is real TCP on loopback.
 pub struct TcpProcess {
     registry: Arc<ComponentRegistry>,
@@ -228,6 +269,15 @@ pub struct TcpProcess {
     /// One injector per dialed connection, in dial order (empty unless
     /// [`TcpOptions::fault_spec`] was set).
     injectors: Arc<Mutex<Vec<FaultInjector>>>,
+    /// The per-replica server handlers, by replica index. Replica 0's
+    /// handler doubles as the local dispatch target when a component is
+    /// migrated to `Colocated`: calls run the identical server-side path
+    /// (version backstop, fault injection, dedup, nested calls) minus the
+    /// socket, against the same live instance replica 0 serves remotely.
+    handlers: Vec<Arc<FaultingHandler>>,
+    /// The live placement of every component, bumped once per executed
+    /// migration — the runtime half of the weaver-placement decision log.
+    placements: Mutex<PlacementState>,
 }
 
 impl TcpProcess {
@@ -273,6 +323,7 @@ impl TcpProcess {
 
         let mut replicas = Vec::with_capacity(options.replicas);
         let mut addrs = Vec::with_capacity(options.replicas);
+        let mut handlers = Vec::with_capacity(options.replicas);
         // One dedup cache for the whole deployment (the stand-in for a
         // shared dedup store): an unrouted retry may land on a different
         // replica than the attempt that executed, and must still replay.
@@ -297,9 +348,14 @@ impl TcpProcess {
                 pool: BufferPool::global().clone(),
                 version,
             });
-            let server = Server::<WeaverFraming>::bind("127.0.0.1:0", options.workers, handler)
-                .map_err(WeaverError::from)?;
+            let server = Server::<WeaverFraming>::bind(
+                "127.0.0.1:0",
+                options.workers,
+                Arc::clone(&handler) as Arc<dyn RpcHandler>,
+            )
+            .map_err(WeaverError::from)?;
             addrs.push(server.local_addr());
+            handlers.push(handler);
             replicas.push(Replica {
                 live,
                 _server: server,
@@ -323,6 +379,11 @@ impl TcpProcess {
             assignments,
         });
 
+        // Every component starts routed: all calls cross the wire until the
+        // placement controller earns a colocation from the live signal.
+        let placements =
+            PlacementState::all_routed(registry.iter().map(|(_, registration)| registration.name));
+
         Ok(Arc::new(TcpProcess {
             registry,
             version,
@@ -333,6 +394,8 @@ impl TcpProcess {
             migration_pool: Pool::new(),
             faults,
             injectors,
+            handlers,
+            placements: Mutex::new(placements),
         }))
     }
 
@@ -588,6 +651,202 @@ impl TcpProcess {
             decisions: plan.decisions,
             migrated,
             epoch,
+        })
+    }
+
+    /// The live (versioned) placement of every component.
+    pub fn placement_state(&self) -> PlacementState {
+        self.placements.lock().clone()
+    }
+
+    /// Whether `component`'s calls currently dispatch locally.
+    pub fn is_colocated(&self, component: &str) -> bool {
+        self.placements.lock().placement_of(component) == Some(ComponentPlacement::Colocated)
+    }
+
+    /// Migrates one component between placements without dropping calls:
+    /// freeze the component's admission gate (new calls — routed or not —
+    /// queue instead of launching), drain every in-flight call, move the
+    /// dispatch target, bump the epoch, unfreeze. Queued calls then resolve
+    /// against the new placement.
+    ///
+    /// Migrating to [`ComponentPlacement::Colocated`] first consolidates the
+    /// component's state onto replica 0 (the instance the local handler
+    /// dispatches into) via the `export_keys`/`import_keys` pair over the
+    /// fault-free control plane, then short-circuits calls to replica 0's
+    /// server handler in-process. Migrating back to
+    /// [`ComponentPlacement::Routed`] clears the local target; routed keys
+    /// keep resolving to replica 0 — where the state lives — until a slice
+    /// rebalance respreads them with a proper handoff. Components without
+    /// the handoff pair move with cache semantics (other replicas start
+    /// fresh instances).
+    ///
+    /// Any failure rolls back: exported state is re-imported to its source,
+    /// the gate unfreezes, the old placement stays live.
+    pub fn migrate_component(
+        &self,
+        component: &str,
+        to: ComponentPlacement,
+    ) -> Result<ComponentMigration, WeaverError> {
+        let id = self.registry.id_of(component)?;
+        let registration = self.registry.get(id)?;
+        {
+            let placements = self.placements.lock();
+            if placements.placement_of(component) == Some(to) {
+                return Ok(ComponentMigration {
+                    component: component.to_string(),
+                    to,
+                    epoch: self.table.epoch(),
+                    consolidated_entries: 0,
+                    changed: false,
+                });
+            }
+        }
+        let export_method = registration
+            .methods
+            .iter()
+            .position(|m| m.name == "export_keys");
+        let import_method = registration
+            .methods
+            .iter()
+            .position(|m| m.name == "import_keys");
+
+        // Freeze the whole component, then wait for calls admitted before
+        // the freeze to finish at the old placement. Nested calls arriving
+        // mid-drain queue at the gate (uncounted), so the drain terminates;
+        // they dispatch to the new placement after the unfreeze.
+        self.table.freeze_component(id);
+        if !self.table.drain_component(id, DRAIN_TIMEOUT) {
+            self.table.unfreeze_component(id);
+            return Err(WeaverError::app(format!(
+                "migration aborted: {component} did not drain"
+            )));
+        }
+
+        let mut consolidated = 0u64;
+        let switch: Result<(), WeaverError> = match to {
+            ComponentPlacement::Colocated => if self.replicas.len() > 1 {
+                if let (Some(export), Some(import)) = (export_method, import_method) {
+                    match self.consolidate_to_zero(id, export as u32, import as u32) {
+                        Ok(n) => {
+                            consolidated = n;
+                            Ok(())
+                        }
+                        Err(e) => Err(e),
+                    }
+                } else {
+                    Ok(())
+                }
+            } else {
+                Ok(())
+            }
+            .map(|()| {
+                self.router
+                    .install_local(id, Arc::clone(&self.handlers[0]) as Arc<dyn RpcHandler>);
+            }),
+            ComponentPlacement::Routed => {
+                self.router.clear_local(id);
+                Ok(())
+            }
+        };
+        if let Err(e) = switch {
+            self.table.unfreeze_component(id);
+            return Err(e);
+        }
+
+        // Commit. The component's state (and, when colocated, its dispatch
+        // target) lives with replica 0 now, so any slice assignment must
+        // resolve every key there; the install doubles as the epoch bump.
+        let epoch = match self.table.assignment_of(id) {
+            Some(mut assignment) => {
+                for slice in &mut assignment.slices {
+                    slice.replica = 0;
+                }
+                assignment.version += 1;
+                self.table.install_assignment(id, assignment)
+            }
+            None => self.table.bump_epoch(),
+        };
+        self.table.unfreeze_component(id);
+
+        {
+            // One version bump per executed decision — the same contract as
+            // `weaver_placement::apply_decisions`, so a replayed decision
+            // log reproduces this state bit for bit.
+            let mut placements = self.placements.lock();
+            placements.placements.insert(component.to_string(), to);
+            placements.version += 1;
+        }
+        Ok(ComponentMigration {
+            component: component.to_string(),
+            to,
+            epoch,
+            consolidated_entries: consolidated,
+            changed: true,
+        })
+    }
+
+    /// Pulls the full keyspace of `component` from every replica except 0
+    /// into replica 0. On failure the already-exported blob is re-imported
+    /// to its source before the error propagates.
+    fn consolidate_to_zero(
+        &self,
+        component: u32,
+        export: u32,
+        import: u32,
+    ) -> Result<u64, WeaverError> {
+        let mut total = 0u64;
+        for from in 1..self.replicas.len() as u32 {
+            let m = MigratedRange {
+                start: 0,
+                end: u64::MAX,
+                from,
+                to: 0,
+                entries: 0,
+            };
+            let blob = self.migration_call_export(component, export, &m)?;
+            match self.migration_call_import(component, import, 0, &blob) {
+                Ok(n) => total += n,
+                Err(e) => {
+                    // The export removed the state from the source; put it
+                    // back before aborting so the old placement stays whole.
+                    if let Err(undo) = self.migration_call_import(component, import, from, &blob) {
+                        return Err(WeaverError::app(format!(
+                            "consolidation failed ({e}) and rollback failed ({undo})"
+                        )));
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Runs one live placement round: plan against the decayed signal, then
+    /// execute every decision through [`TcpProcess::migrate_component`].
+    /// The resulting state equals `weaver_placement::apply_decisions(state
+    /// before, decisions)` — the report's decision list is the replayable
+    /// log.
+    pub fn placement_round(
+        &self,
+        controller: &PlacementController,
+        signal: &PlacementSignal,
+    ) -> Result<PlacementRoundReport, WeaverError> {
+        let before = self.placements.lock().clone();
+        let plan = controller.plan(signal, &before);
+        let mut migrated = Vec::with_capacity(plan.decisions.len());
+        for decision in &plan.decisions {
+            let to = match decision {
+                PlacementDecision::Colocate { .. } => ComponentPlacement::Colocated,
+                PlacementDecision::Route { .. } => ComponentPlacement::Routed,
+            };
+            migrated.push(self.migrate_component(decision.component(), to)?);
+        }
+        Ok(PlacementRoundReport {
+            decisions: plan.decisions,
+            migrated,
+            state: self.placements.lock().clone(),
+            epoch: self.table.epoch(),
         })
     }
 
@@ -1053,5 +1312,154 @@ mod tests {
         let logs = dep.transport_fault_logs();
         let total: usize = logs.iter().map(Vec::len).sum();
         assert!(total > 0, "delay faults should have been recorded");
+    }
+
+    #[test]
+    fn colocate_consolidates_state_and_dispatches_locally() {
+        let dep = TcpProcess::deploy(
+            registry(),
+            TcpOptions {
+                replicas: 2,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        let counter = dep.get::<dyn Counter>().unwrap();
+        let ctx = dep.root_context();
+        // One key per slice of the uniform assignment (16 slices
+        // alternating replicas), so both replicas hold state before the
+        // migration.
+        let keys: Vec<u64> = (0..8).map(|i| i * (u64::MAX / 16) + 7).collect();
+        for _ in 0..2 {
+            for &key in &keys {
+                counter.bump(&ctx, key).unwrap();
+            }
+        }
+        assert!(!dep.is_colocated("test.Counter"));
+        let epoch_before = dep.routing_table().epoch();
+        let migration = dep
+            .migrate_component("test.Counter", ComponentPlacement::Colocated)
+            .unwrap();
+        assert!(migration.changed);
+        assert!(migration.epoch > epoch_before, "epoch must bump on commit");
+        assert!(
+            migration.consolidated_entries > 0,
+            "replica 1's keys should consolidate onto replica 0: {migration:?}"
+        );
+        assert!(dep.is_colocated("test.Counter"));
+        // Every key continues from 2: nothing dropped, nothing doubled —
+        // replica 1's state moved into the instance local calls now hit.
+        for &key in &keys {
+            assert_eq!(counter.bump(&ctx, key).unwrap(), 3, "key {key:#x}");
+        }
+        // Local dispatch records under the colocated placement label, so
+        // before/after shows up side by side in one snapshot.
+        let snapshot = dep.client_metrics();
+        assert!(
+            snapshot
+                .get("test.Counter/bump/colocated/call_nanos")
+                .is_some(),
+            "local calls should be recorded under the colocated placement"
+        );
+    }
+
+    #[test]
+    fn migrate_to_current_placement_is_a_noop() {
+        let dep = deploy_tcp(registry(), 1).unwrap();
+        let epoch = dep.routing_table().epoch();
+        let version = dep.placement_state().version;
+        let migration = dep
+            .migrate_component("test.Counter", ComponentPlacement::Routed)
+            .unwrap();
+        assert!(!migration.changed);
+        assert_eq!(migration.consolidated_entries, 0);
+        assert_eq!(dep.routing_table().epoch(), epoch);
+        assert_eq!(
+            dep.placement_state().version,
+            version,
+            "no decision, no bump"
+        );
+    }
+
+    #[test]
+    fn route_back_keeps_state_reachable() {
+        let dep = TcpProcess::deploy(
+            registry(),
+            TcpOptions {
+                replicas: 2,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        let counter = dep.get::<dyn Counter>().unwrap();
+        let ctx = dep.root_context();
+        let keys: Vec<u64> = (0..6).map(|i| i * (u64::MAX / 6) + 3).collect();
+        for &key in &keys {
+            counter.bump(&ctx, key).unwrap();
+        }
+        dep.migrate_component("test.Counter", ComponentPlacement::Colocated)
+            .unwrap();
+        for &key in &keys {
+            assert_eq!(counter.bump(&ctx, key).unwrap(), 2, "key {key:#x}");
+        }
+        let migration = dep
+            .migrate_component("test.Counter", ComponentPlacement::Routed)
+            .unwrap();
+        assert!(migration.changed);
+        assert!(!dep.is_colocated("test.Counter"));
+        // The consolidated state lives with replica 0, and the committed
+        // assignment resolves every key there — counts keep continuing.
+        for &key in &keys {
+            assert_eq!(counter.bump(&ctx, key).unwrap(), 3, "key {key:#x}");
+        }
+        assert_eq!(dep.placement_state().version, 3, "two decisions, two bumps");
+    }
+
+    #[test]
+    fn placement_round_colocates_the_hot_component() {
+        let dep = TcpProcess::deploy(
+            registry(),
+            TcpOptions {
+                replicas: 2,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        let counter = dep.get::<dyn Counter>().unwrap();
+        let ctx = dep.root_context();
+        for key in 0..16u64 {
+            counter.bump(&ctx, key).unwrap();
+        }
+        // A signal hot enough that modeled savings dwarf the migration
+        // cost: 100 calls/round at 50µs against a 1µs local floor.
+        let signal = weaver_metrics::PlacementSignal {
+            edges: vec![weaver_metrics::EdgeSignal {
+                caller: "client".into(),
+                callee: "test.Counter".into(),
+                rate_x1000: 100_000,
+                mean_latency_ns: 50_000,
+            }],
+            rounds: 3,
+        };
+        let controller = PlacementController::default();
+        let before = dep.placement_state();
+        let report = dep.placement_round(&controller, &signal).unwrap();
+        assert_eq!(report.decisions.len(), 1, "{report:?}");
+        assert!(dep.is_colocated("test.Counter"));
+        assert!(report.migrated[0].changed);
+        // The executed round lands exactly where a log replay would: the
+        // decision list *is* the state transition.
+        let replayed = weaver_placement::apply_decisions(&before, &report.decisions).unwrap();
+        assert_eq!(replayed.version, report.state.version);
+        assert_eq!(replayed.placements, report.state.placements);
+        for key in 0..16u64 {
+            assert_eq!(counter.bump(&ctx, key).unwrap(), 2, "key {key}");
+        }
+        // A second round against the same signal is a no-op: converged.
+        let second = dep.placement_round(&controller, &signal).unwrap();
+        assert!(second.is_noop(), "{second:?}");
     }
 }

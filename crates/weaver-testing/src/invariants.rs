@@ -370,6 +370,90 @@ impl SliceMonotonicity {
     }
 }
 
+/// Safety checker for **live placement migration** (the placement
+/// controller's freeze/drain/colocate loop): while a component migrates
+/// between `routed` and `colocated`, no call may be dropped, no call may
+/// execute at two placements at once, and per-key sequences must never
+/// regress.
+///
+/// Mechanically it is [`SliceMonotonicity`] plus call accounting: the
+/// workload brackets every call with [`PlacementSafety::call_started`] /
+/// [`PlacementSafety::call_ended`] (ended on success *and* on error — an
+/// error ack is still an answer; a call that never concludes is a drop),
+/// and feeds per-key observations through the same
+/// `observe_start`/`record_success`/`observe_end` protocol. Encode the
+/// *placement* in the owner id (e.g. replica index while routed, a
+/// sentinel like `u32::MAX` once colocated) and the dual-ownership check
+/// becomes "never executed at two placements concurrently".
+#[derive(Default)]
+pub struct PlacementSafety {
+    inner: SliceMonotonicity,
+    started: std::sync::atomic::AtomicU64,
+    ended: std::sync::atomic::AtomicU64,
+}
+
+impl PlacementSafety {
+    /// An empty checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Owner id for observations made while a component is colocated
+    /// (locally dispatched). Distinct from every replica index, so a call
+    /// observed locally while a replica still serves the key trips the
+    /// dual-placement check.
+    pub const LOCAL_OWNER: u32 = u32::MAX;
+
+    /// Marks one workload call issued.
+    pub fn call_started(&self) {
+        self.started
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Marks one workload call concluded — success or error, either is an
+    /// answer. Calls that start and never end are dropped calls.
+    pub fn call_ended(&self) {
+        self.ended
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Marks a call for `key` in flight at `owner` (replica index, or
+    /// [`PlacementSafety::LOCAL_OWNER`] when dispatched locally).
+    pub fn observe_start(&self, key: u64, owner: u32) {
+        self.inner.observe_start(key, owner);
+    }
+
+    /// Ends one in-flight observation for `key`.
+    pub fn observe_end(&self, key: u64) {
+        self.inner.observe_end(key);
+    }
+
+    /// Records the per-key sequence a *successful* call returned.
+    pub fn record_success(&self, key: u64, seq: u64) {
+        self.inner.record_success(key, seq);
+    }
+
+    /// Successful observations recorded so far.
+    pub fn recorded(&self) -> u64 {
+        self.inner.recorded()
+    }
+
+    /// The invariant: no sequence regression, no dual-placement execution,
+    /// and every started call concluded.
+    pub fn check(&self) -> Result<(), String> {
+        self.inner.check()?;
+        let started = self.started.load(std::sync::atomic::Ordering::Relaxed);
+        let ended = self.ended.load(std::sync::atomic::Ordering::Relaxed);
+        if started != ended {
+            return Err(format!(
+                "{} call(s) dropped during migration: {started} started, {ended} concluded",
+                started - ended.min(started)
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// What one [`RolloutHarness::run`] observed.
 #[derive(Debug)]
 pub struct RolloutReport {
@@ -619,6 +703,54 @@ mod tests {
         ok.observe_end(9);
         ok.observe_end(9);
         ok.check().unwrap();
+    }
+
+    #[test]
+    fn placement_safety_holds_across_a_clean_migration() {
+        let inv = PlacementSafety::new();
+        // Routed phase: key served by replica 1.
+        inv.call_started();
+        inv.observe_start(3, 1);
+        inv.record_success(3, 1);
+        inv.observe_end(3);
+        inv.call_ended();
+        // Migration happens (serially). Colocated phase: local owner.
+        inv.call_started();
+        inv.observe_start(3, PlacementSafety::LOCAL_OWNER);
+        inv.record_success(3, 2);
+        inv.observe_end(3);
+        inv.call_ended();
+        // A chaos-failed call concludes without recording a sequence.
+        inv.call_started();
+        inv.call_ended();
+        assert_eq!(inv.recorded(), 2);
+        inv.check().unwrap();
+    }
+
+    #[test]
+    fn placement_safety_rejects_dual_placement_execution() {
+        let inv = PlacementSafety::new();
+        inv.call_started();
+        inv.observe_start(3, 1);
+        // Local dispatch while replica 1 still serves the key: the gate
+        // did not drain before the switch.
+        inv.observe_start(3, PlacementSafety::LOCAL_OWNER);
+        inv.observe_end(3);
+        inv.observe_end(3);
+        inv.call_ended();
+        let err = inv.check().unwrap_err();
+        assert!(err.contains("still serving"), "{err}");
+    }
+
+    #[test]
+    fn placement_safety_rejects_dropped_calls() {
+        let inv = PlacementSafety::new();
+        inv.call_started();
+        inv.call_started();
+        inv.call_ended();
+        // One call never concluded: dropped in the migration window.
+        let err = inv.check().unwrap_err();
+        assert!(err.contains("dropped"), "{err}");
     }
 
     #[test]

@@ -44,7 +44,8 @@ pub use chaos::{
     ChaosAction, ChaosOptions, ChaosRunner, ChaosSchedule,
 };
 pub use invariants::{
-    CartConsistency, ExactlyOnceCheckout, RolloutHarness, RolloutReport, SliceMonotonicity,
+    CartConsistency, ExactlyOnceCheckout, PlacementSafety, RolloutHarness, RolloutReport,
+    SliceMonotonicity,
 };
 pub use matrix::{run_matrix, run_matrix_with, MatrixDeployment, MatrixOptions, Placement};
 pub use weavertest::{run_both, run_colocated, run_marshaled};
